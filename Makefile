@@ -1,0 +1,32 @@
+# Convenience targets for the DREP reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-smoke figures report examples clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-log:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-smoke:
+	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro.cli figures
+
+report:
+	$(PYTHON) -m repro.cli report --out report.md
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks results/*.svg report.md

@@ -1,0 +1,52 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's evaluation
+(Sec. V).  Each bench runs its experiment exactly once under
+``benchmark.pedantic`` (a scheduling simulation is not a microbenchmark),
+prints the paper-style series table, and writes the raw rows to
+``results/``.
+
+Scale control: the environment variable ``REPRO_BENCH_SCALE`` multiplies
+the default job counts (1.0 by default).  The paper uses 100,000 jobs per
+simulation point and 10,000 per runtime point; defaults here are sized
+for minutes-not-hours laptop runs, and EXPERIMENTS.md records which scale
+produced the checked-in numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.tables import save_rows, series_table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    return max(10, int(n * bench_scale()))
+
+
+@pytest.fixture
+def report():
+    """Print a figure-style table and persist rows for the record."""
+
+    def _report(rows, name: str, x: str, series: str = "scheduler", value: str = "mean_flow"):
+        print()
+        print(f"== {name} ==")
+        print(series_table(rows, x=x, series=series, value=value))
+        save_rows(RESULTS_DIR / f"{name}.json", rows)
+        return rows
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

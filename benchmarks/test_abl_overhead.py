@@ -1,0 +1,62 @@
+"""Ablation X7 — preemption overhead: DREP vs quantum round-robin.
+
+The paper's central practicality argument (Sec. I): schedulers that
+preempt frequently pay state save/restore costs that theory ignores, so
+"schedulers with a large number of preemptions have high overhead and
+this leads to a large gap between theory and practice".  RR needs
+preemption at every quantum; DREP preempts only on arrivals.
+
+This bench makes the argument quantitative: sweep the per-preemption
+overhead (in runtime steps) and compare DREP against quantum-based RR.
+Expected: near parity at zero overhead (both approximate equi-partition)
+and a widening gap as overhead grows, with quantum-RR eventually
+collapsing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, scaled
+from repro.analysis.experiments import run_ws_point
+from repro.wsim.runtime import WsConfig
+from repro.wsim.schedulers import DrepWS, RrQuantumWS
+
+N_JOBS = scaled(400)
+OVERHEADS = [0, 5, 25]
+
+
+def _run():
+    rows = []
+    for overhead in OVERHEADS:
+        point = run_ws_point(
+            distribution="finance",
+            load=0.65,
+            m=8,
+            schedulers={
+                "DREP": DrepWS,
+                "RR(q=50)": lambda: RrQuantumWS(quantum=50),
+            },
+            n_jobs=N_JOBS,
+            mean_work_units=400,
+            seed=161,
+            config=WsConfig(preemption_overhead=overhead),
+        )
+        for r in point:
+            r["overhead"] = overhead
+        rows.extend(point)
+    return rows
+
+
+def test_abl_preemption_overhead(benchmark, report):
+    rows = run_once(benchmark, _run)
+    report(rows, "x7_preemption_overhead", x="overhead", series="scheduler", value="mean_flow")
+    flows = {}
+    for r in rows:
+        flows.setdefault(r["scheduler"], {})[r["overhead"]] = r["mean_flow"]
+    # at zero overhead the two equi-partition approximations are close
+    assert flows["DREP"][0] <= 1.5 * flows["RR(q=50)"][0]
+    # at high overhead quantum-RR degrades far more than DREP
+    drep_slowdown = flows["DREP"][25] / flows["DREP"][0]
+    rr_slowdown = flows["RR(q=50)"][25] / flows["RR(q=50)"][0]
+    assert rr_slowdown >= 2 * drep_slowdown
+    # DREP's absolute degradation stays moderate (preempts only on arrival)
+    assert drep_slowdown <= 2.0

@@ -1,0 +1,67 @@
+"""Engine throughput microbenchmarks (performance regression guards).
+
+Unlike the figure benches (one-shot experiment regenerations), these use
+pytest-benchmark's repeated-round machinery on fixed small workloads so
+a slowdown in either engine's hot loop is caught by comparing saved
+.benchmarks baselines across commits.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import scale_trace
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import FlowSimConfig, simulate
+from repro.flowsim.policies import RoundRobin, SRPT, DrepSequential
+from repro.workloads.traces import attach_dags, generate_trace
+from repro.wsim.runtime import simulate_ws
+from repro.wsim.schedulers import DrepWS
+
+
+def test_flowsim_srpt_throughput(benchmark):
+    trace = generate_trace(3000, "finance", 0.7, 8, seed=301)
+    result = benchmark(lambda: simulate(trace, 8, SRPT(), seed=301))
+    assert result.n_jobs == 3000
+
+
+def test_flowsim_rr_throughput(benchmark):
+    """RR stresses the all-jobs-served path (every event touches |A|)."""
+    trace = generate_trace(3000, "bing", 0.7, 8, seed=302)
+    result = benchmark(lambda: simulate(trace, 8, RoundRobin(), seed=302))
+    assert result.n_jobs == 3000
+
+
+def test_flowsim_drep_throughput(benchmark):
+    trace = generate_trace(3000, "finance", 0.7, 8, seed=303)
+    result = benchmark(lambda: simulate(trace, 8, DrepSequential(), seed=303))
+    assert result.n_jobs == 3000
+
+
+def test_flowsim_profiled_throughput(benchmark):
+    base = generate_trace(
+        300,
+        "finance",
+        0.6,
+        4,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=304,
+        scale_work_with_m=False,
+    )
+    trace = attach_dags(scale_trace(base, 200.0), parallelism=8, seed=304)
+    config = FlowSimConfig(use_profiles=True)
+    result = benchmark(lambda: simulate(trace, 4, SRPT(), seed=304, config=config))
+    assert result.n_jobs == 300
+
+
+def test_wsim_drep_throughput(benchmark):
+    base = generate_trace(
+        150,
+        "finance",
+        0.6,
+        8,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=305,
+        scale_work_with_m=False,
+    )
+    trace = attach_dags(scale_trace(base, 300.0), parallelism=16, seed=305)
+    result = benchmark(lambda: simulate_ws(trace, 8, DrepWS(), seed=305))
+    assert result.n_jobs == 150

@@ -1,0 +1,137 @@
+"""Extension X11 — the paper's open problem: related machines.
+
+"For future work, it is of interest to design schedulers for parallel
+jobs on processors of different speeds ... no prior work has addressed
+this problem theoretically in the online model" (Conclusion).
+
+This bench runs the related-machines testbed across heterogeneity
+profiles: DREP transplanted verbatim, DREP with the reseat fix (a faster
+idle processor mugs the slowest busy one), clairvoyant SRPT matching and
+FIFO matching.  The reported number is each policy's mean flow relative
+to SRPT-rel on the same machine.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, scaled
+from repro.hetero import (
+    DrepRelated,
+    FifoRelated,
+    SrptRelated,
+    geometric_machine,
+    simulate_hetero,
+    two_class_machine,
+    uniform_machine,
+)
+from repro.workloads.traces import generate_trace
+
+N_JOBS = scaled(8_000)
+
+
+def _machines():
+    return {
+        "uniform 8x1": uniform_machine(8),
+        "big.LITTLE 2x4+6x1": two_class_machine(2, 6, fast=4.0, slow=1.0),
+        "geometric 1..128": geometric_machine(8, ratio=2.0),
+    }
+
+
+def _run():
+    rows = []
+    for mach_name, mach in _machines().items():
+        # calibrate the trace so offered work ~= 60% of the machine's
+        # total speed (generate_trace calibrates per unit-speed core)
+        eq_m = max(1, round(mach.total_speed))
+        trace = generate_trace(
+            N_JOBS, "finance", 0.6, eq_m, seed=211, scale_work_with_m=False
+        )
+        base = simulate_hetero(trace, mach, SrptRelated(), seed=211).mean_flow
+        for policy in (
+            SrptRelated(),
+            FifoRelated(),
+            DrepRelated(),
+            DrepRelated(reseat=True),
+        ):
+            r = simulate_hetero(trace, mach, policy, seed=211)
+            rows.append(
+                {
+                    "machine": mach_name,
+                    "scheduler": r.scheduler,
+                    "mean_flow": r.mean_flow,
+                    "vs_srpt_rel": r.mean_flow / base,
+                    "preemptions": r.preemptions,
+                }
+            )
+    return rows
+
+
+def _run_dag_jobs():
+    """The open problem's full setting: *parallel DAG* jobs on a
+    heterogeneous work-stealing runtime (per-worker speeds in wsim)."""
+    import numpy as np
+
+    from repro.analysis.experiments import scale_trace
+    from repro.core.job import ParallelismMode
+    from repro.workloads.traces import attach_dags
+    from repro.wsim.runtime import simulate_ws
+    from repro.wsim.schedulers import DrepWS
+
+    base = generate_trace(
+        max(40, N_JOBS // 20),
+        "finance",
+        0.6,
+        8,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=212,
+        scale_work_with_m=False,
+    )
+    trace = attach_dags(scale_trace(base, 400.0), parallelism=16, seed=212)
+    profiles = {
+        "uniform 8x1.75": np.full(8, 1.75),
+        "big.LITTLE 2x4+6x1": np.array([4.0, 4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
+    }
+    rows = []
+    for name, speeds in profiles.items():
+        r = simulate_ws(trace, 8, DrepWS(), seed=212, speeds=speeds)
+        rows.append(
+            {
+                "machine": name,
+                "scheduler": "DREP-WS (DAG jobs)",
+                "mean_flow": r.mean_flow,
+                "preemptions": r.preemptions,
+            }
+        )
+    return rows
+
+
+def test_ext_related_machines_dag_jobs(benchmark, report):
+    rows = run_once(benchmark, _run_dag_jobs)
+    report(rows, "x11b_related_dag_jobs", x="machine", series="scheduler", value="mean_flow")
+    by = {r["machine"]: r["mean_flow"] for r in rows}
+    # same total speed (14): the skewed machine costs speed-oblivious
+    # DREP on DAG jobs too, but work stealing's self-balancing keeps the
+    # penalty bounded
+    assert by["big.LITTLE 2x4+6x1"] <= 3.0 * by["uniform 8x1.75"]
+
+
+def test_ext_related_machines(benchmark, report):
+    rows = run_once(benchmark, _run)
+    report(rows, "x11_related_machines", x="machine", series="scheduler", value="vs_srpt_rel")
+    by = {(r["machine"], r["scheduler"]): r for r in rows}
+
+    # on the uniform control, DREP behaves as in the paper (close to SRPT)
+    assert by[("uniform 8x1", "DREP-rel")]["vs_srpt_rel"] <= 2.0
+    # heterogeneity hurts the oblivious protocol more...
+    hetero_ratio = by[("geometric 1..128", "DREP-rel")]["vs_srpt_rel"]
+    uniform_ratio = by[("uniform 8x1", "DREP-rel")]["vs_srpt_rel"]
+    assert hetero_ratio >= uniform_ratio * 0.9
+    # ...and the reseat fix recovers a large part of the gap on every
+    # heterogeneous machine
+    for mach_name in ("big.LITTLE 2x4+6x1", "geometric 1..128"):
+        plain = by[(mach_name, "DREP-rel")]["vs_srpt_rel"]
+        fixed = by[(mach_name, "DREP-rel+reseat")]["vs_srpt_rel"]
+        assert fixed <= plain + 1e-9
+    # DREP's arrival-only preemption budget holds on every machine
+    for (mach_name, sched), r in by.items():
+        if sched == "DREP-rel":
+            assert r["preemptions"] <= 1.2 * N_JOBS

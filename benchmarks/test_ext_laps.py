@@ -1,0 +1,57 @@
+"""Extension X1 — LAPS and SETF in the flow-level simulator.
+
+The paper could not include LAPS even in simulation (it preempts at
+infinitesimal time steps and needs the speed-augmentation epsilon);
+SETF is cited as the closest prior non-clairvoyant guarantee.  Our
+fractional-rate simulator makes the idealized forms exact, so this bench
+places them alongside the paper's series: how much does DREP give up
+against the theoretically stronger but unimplementable policies?
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, scaled
+from repro.analysis.experiments import run_flow_sweep
+from repro.core.job import ParallelismMode
+from repro.flowsim.policies import LAPS, MLF, SETF, DrepSequential, RoundRobin, SRPT
+
+M_SWEEP = [1, 4, 16, 64]
+N_JOBS = scaled(10_000)
+
+
+def _policies():
+    return {
+        "SRPT": SRPT,
+        "RR": RoundRobin,
+        "LAPS(0.5)": lambda: LAPS(beta=0.5),
+        "SETF": SETF,
+        "MLF": MLF,
+        "DREP": DrepSequential,
+    }
+
+
+def test_ext_laps_setf(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: run_flow_sweep(
+            distribution="finance",
+            load=0.6,
+            mode=ParallelismMode.SEQUENTIAL,
+            m_values=M_SWEEP,
+            n_jobs=N_JOBS,
+            seed=111,
+            policies=_policies(),
+        ),
+    )
+    report(rows, "x1_laps_setf", x="m")
+    flows = {}
+    for r in rows:
+        flows.setdefault(r["scheduler"], {})[r["m"]] = r["mean_flow"]
+    for m in M_SWEEP:
+        # SRPT remains the floor
+        for name in flows:
+            assert flows["SRPT"][m] <= flows[name][m] * (1 + 1e-9)
+        # DREP is within a small constant of the idealized non-clairvoyant
+        # policies despite its bounded preemptions
+        assert flows["DREP"][m] <= 3.0 * flows["SETF"][m]
+        assert flows["DREP"][m] <= 3.0 * flows["LAPS(0.5)"][m]

@@ -1,0 +1,91 @@
+"""Extension X8 — changing-parallelism simulation (the paper's "difficult" case).
+
+Sec. V-A: "in our simulation experiments, we assume that all jobs are
+equally parallel since running accurate simulations with different and
+changing parallelisms is difficult".  Our flow-level engine removes the
+restriction via DAG parallelism profiles with exact breakpoint events;
+the work-stealing runtime simulates the same instances natively.
+
+This bench runs the same DAG trace three ways — flat flow-level
+(equally-parallel assumption), profiled flow-level, and the runtime
+simulator — and reports how much the equally-parallel assumption
+distorts each scheduler's mean flow.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once, scaled
+from repro.analysis.experiments import scale_trace
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import FlowSimConfig, simulate
+from repro.flowsim.policies import RoundRobin, SRPT, DrepParallel
+from repro.workloads.traces import attach_dags, generate_trace
+from repro.wsim.runtime import simulate_ws
+from repro.wsim.schedulers import DrepWS
+
+N_JOBS = scaled(400)
+M = 8
+
+
+def _trace():
+    base = generate_trace(
+        n_jobs=N_JOBS,
+        distribution="finance",
+        load=0.6,
+        m=M,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=181,
+        scale_work_with_m=False,
+    )
+    # parallelism ~= m so ramps actually bind
+    return attach_dags(scale_trace(base, 400.0), parallelism=M, seed=181)
+
+
+def _run():
+    trace = _trace()
+    rows = []
+    flat_cfg = FlowSimConfig()
+    prof_cfg = FlowSimConfig(use_profiles=True)
+    for name, policy_factory in (
+        ("SRPT", SRPT),
+        ("RR", RoundRobin),
+        ("DREP", DrepParallel),
+    ):
+        flat = simulate(trace, M, policy_factory(), seed=181, config=flat_cfg)
+        prof = simulate(trace, M, policy_factory(), seed=181, config=prof_cfg)
+        rows.append(
+            {
+                "scheduler": name,
+                "m": M,
+                "flat_flow": flat.mean_flow,
+                "profiled_flow": prof.mean_flow,
+                "distortion": prof.mean_flow / flat.mean_flow,
+            }
+        )
+    real = simulate_ws(trace, M, DrepWS(), seed=181)
+    rows.append(
+        {
+            "scheduler": "DREP (runtime sim)",
+            "m": M,
+            "flat_flow": float("nan"),
+            "profiled_flow": real.mean_flow,
+            "distortion": float("nan"),
+        }
+    )
+    return rows
+
+
+def test_ext_changing_parallelism(benchmark, report):
+    rows = run_once(benchmark, _run)
+    report(rows, "x8_changing_parallelism", x="scheduler", series="m", value="profiled_flow")
+    by = {r["scheduler"]: r for r in rows}
+    # profiles only constrain: every policy's profiled flow >= flat flow
+    for name in ("SRPT", "RR", "DREP"):
+        assert by[name]["profiled_flow"] >= by[name]["flat_flow"] * (1 - 1e-9)
+    # the profiled flow-level DREP should land nearer the runtime
+    # simulator than the flat one does (it models the ramp the runtime
+    # actually pays)
+    real = by["DREP (runtime sim)"]["profiled_flow"]
+    flat_gap = abs(by["DREP"]["flat_flow"] - real)
+    prof_gap = abs(by["DREP"]["profiled_flow"] - real)
+    assert prof_gap <= flat_gap * 1.1

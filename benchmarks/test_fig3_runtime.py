@@ -1,0 +1,58 @@
+"""Figure 3 — parallel jobs on the work-stealing runtime (paper Sec. V-B).
+
+Four subplots: {Finance, Bing} x {16 cores, 8 cores}, sweeping system
+load over the paper's three levels, with DREP, SWF-approx, steal-first
+and admit-first running inside the simulated Cilk-Plus-style runtime
+(DESIGN.md Substitution 1).  Expected shape: DREP comparable to the
+clairvoyant SWF approximation, admit-first close to DREP, steal-first the
+weakest at high load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, scaled
+from repro.analysis.experiments import run_ws_sweep
+
+LOADS = [0.5, 0.6, 0.7]
+N_JOBS = scaled(600)
+
+
+def _run(distribution: str, m: int):
+    return run_ws_sweep(
+        distribution=distribution,
+        loads=LOADS,
+        m=m,
+        n_jobs=N_JOBS,
+        mean_work_units=400,
+        seed=103,
+    )
+
+
+@pytest.mark.parametrize(
+    "subplot,distribution,m",
+    [
+        ("fig3a", "finance", 16),
+        ("fig3b", "bing", 16),
+        ("fig3c", "finance", 8),
+        ("fig3d", "bing", 8),
+    ],
+)
+def test_fig3(benchmark, report, subplot, distribution, m):
+    rows = run_once(benchmark, lambda: _run(distribution, m))
+    report(rows, f"{subplot}_{distribution}_m{m}", x="load")
+    flows = {}
+    for r in rows:
+        flows.setdefault(r["scheduler"], {})[r["load"]] = r["mean_flow"]
+    for load in LOADS:
+        # DREP has comparable performance with the work-stealing SWF
+        assert flows["DREP"][load] <= 2.5 * flows["SWF"][load]
+        # DREP and admit-first have similar performance
+        ratio = flows["DREP"][load] / flows["admit-first"][load]
+        assert 0.4 <= ratio <= 2.5
+    # flow grows with load for every scheduler (skip at smoke-test sizes
+    # where a dozen heavy-tailed jobs dominate the mean)
+    if N_JOBS >= 200:
+        for name, series in flows.items():
+            assert series[0.7] > series[0.5] * 0.9, name

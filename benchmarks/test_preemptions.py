@@ -1,0 +1,105 @@
+"""Theorem 1.2 — preemption and switch budgets (experiment T2).
+
+The paper has no figure for this theorem, but it is the core practicality
+claim, so we regenerate it as a table: observed preemptions and switches
+for sequential DREP (expected preemptions <= n) and for DREP with work
+stealing (switches <= O(mn)), across job counts and machine sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, scaled
+from repro.analysis.experiments import run_ws_point, ws_scheduler_factories
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import DrepParallel, DrepSequential
+from repro.theory.preemptions import check_theorem_1_2
+from repro.workloads.traces import generate_trace
+
+
+def _sequential_rows():
+    rows = []
+    for m in [1, 4, 16, 64]:
+        n = scaled(20_000)
+        trace = generate_trace(n, "finance", 0.6, m, seed=201 + m)
+        result = simulate(trace, m, DrepSequential(), seed=201 + m)
+        budget = check_theorem_1_2(result, n)
+        rows.append(
+            {
+                "variant": "sequential",
+                "m": m,
+                "n_jobs": n,
+                "preemptions": budget.observed_preemptions,
+                "preemptions_per_job": budget.sequential_ratio(),
+                "switches": budget.observed_switches,
+                "switch_bound_2mn": budget.switch_bound,
+            }
+        )
+    return rows
+
+
+def _parallel_rows():
+    rows = []
+    for m in [4, 16]:
+        n = scaled(20_000)
+        trace = generate_trace(
+            n, "finance", 0.6, m, mode=ParallelismMode.FULLY_PARALLEL, seed=301 + m
+        )
+        result = simulate(trace, m, DrepParallel(), seed=301 + m)
+        budget = check_theorem_1_2(result, n)
+        rows.append(
+            {
+                "variant": "parallel",
+                "m": m,
+                "n_jobs": n,
+                "preemptions": budget.observed_preemptions,
+                "preemptions_per_job": budget.sequential_ratio(),
+                "switches": budget.observed_switches,
+                "switch_bound_2mn": budget.switch_bound,
+            }
+        )
+    return rows
+
+
+def test_theorem_1_2_sequential(benchmark, report):
+    rows = run_once(benchmark, _sequential_rows)
+    report(rows, "t2_preemptions_sequential", x="m", series="variant", value="preemptions_per_job")
+    for r in rows:
+        # Theorem 1.2: O(n) expected preemptions — observed ~<= 1 per job
+        assert r["preemptions_per_job"] <= 1.2
+        assert r["switches"] <= r["switch_bound_2mn"]
+
+
+def test_theorem_1_2_parallel(benchmark, report):
+    rows = run_once(benchmark, _parallel_rows)
+    report(rows, "t2_preemptions_parallel", x="m", series="variant", value="switches")
+    for r in rows:
+        assert r["switches"] <= r["switch_bound_2mn"]
+        # per-arrival expected preemptions: m * 1/|A| <= m
+        assert r["preemptions"] <= r["m"] * r["n_jobs"]
+
+
+def test_runtime_drep_preempts_only_on_arrivals(benchmark, report):
+    """In the runtime simulator, DREP's preemption count stays far below
+    the clairvoyant SWF approximation's switch count."""
+
+    def run():
+        return run_ws_point(
+            "finance",
+            0.6,
+            8,
+            ws_scheduler_factories(),
+            n_jobs=scaled(400),
+            mean_work_units=400,
+            seed=401,
+        )
+
+    rows = run_once(benchmark, run)
+    report(rows, "t2_runtime_preemptions", x="scheduler", series="m", value="preemptions")
+    by = {r["scheduler"]: r for r in rows}
+    n = by["DREP"]["preemptions"]
+    assert n <= 8 * scaled(400)  # O(mn) hard budget
+    assert by["steal-first"]["preemptions"] == 0  # never preempts
+    assert by["admit-first"]["preemptions"] == 0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Simulating jobs whose parallelism changes as they run.
+
+The paper's simulations "assume that all jobs are equally parallel since
+running accurate simulations with different and changing parallelisms is
+difficult" (Sec. V-A).  This example shows the library doing the
+difficult thing three ways on the same instance:
+
+1. flat flow-level simulation (the paper's equally-parallel assumption);
+2. profiled flow-level simulation — each job's usable parallelism
+   follows its DAG's parallelism profile with exact breakpoint events;
+3. the work-stealing runtime simulator executing the DAGs natively.
+
+Run:  python examples/changing_parallelism.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import scale_trace
+from repro.analysis.tables import format_table
+from repro.core.job import ParallelismMode
+from repro.dag import ParallelismProfile, spawn_tree
+from repro.flowsim import FlowSimConfig, DrepParallel, SRPT, simulate
+from repro.workloads import attach_dags, generate_trace
+from repro.wsim import DrepWS, simulate_ws
+
+
+def show_profile() -> None:
+    dag = spawn_tree(depth=4, leaf_weight=25)
+    profile = ParallelismProfile.from_dag(dag)
+    print(f"spawn_tree(4, 25): work={dag.work}, span={dag.span}, "
+          f"avg parallelism={profile.average_parallelism:.1f}")
+    print("parallelism ramp (per profile segment):",
+          " ".join(f"{int(p)}" for p in profile.parallelism))
+    print()
+
+
+def main() -> None:
+    show_profile()
+
+    m = 8
+    base = generate_trace(
+        n_jobs=200,
+        distribution="finance",
+        load=0.6,
+        m=m,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=11,
+        scale_work_with_m=False,
+    )
+    trace = attach_dags(scale_trace(base, 400.0), parallelism=m, seed=11)
+
+    rows = []
+    for name, policy in (("SRPT", SRPT), ("DREP", DrepParallel)):
+        flat = simulate(trace, m, policy(), seed=11)
+        prof = simulate(
+            trace, m, policy(), seed=11, config=FlowSimConfig(use_profiles=True)
+        )
+        rows.append(
+            {
+                "scheduler": name,
+                "flat (equally parallel)": flat.mean_flow,
+                "profiled (changing)": prof.mean_flow,
+                "distortion": prof.mean_flow / flat.mean_flow,
+            }
+        )
+    real = simulate_ws(trace, m, DrepWS(), seed=11)
+    rows.append(
+        {
+            "scheduler": "DREP on runtime sim",
+            "flat (equally parallel)": "",
+            "profiled (changing)": real.mean_flow,
+            "distortion": "",
+        }
+    )
+    print(format_table(rows))
+    print(
+        "\nThe equally-parallel assumption undercharges jobs during their"
+        "\nsequential ramp-up/down phases; profiles recover most of the gap"
+        "\nto the native runtime simulation."
+    )
+
+
+if __name__ == "__main__":
+    main()

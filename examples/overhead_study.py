@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quantifying the paper's practicality argument: preemption overhead.
+
+Sec. I argues that theoretically strong schedulers (RR/LAPS/SETF) are
+impractical because they preempt constantly, and every preemption pays a
+state save/restore cost.  This example makes the argument a number: it
+sweeps the per-preemption overhead in the runtime simulator and compares
+
+* DREP — preempts only on job arrivals (Theorem 1.2), and
+* quantum-based round-robin — the practical realization of RR, which
+  re-partitions workers every quantum.
+
+Run:  python examples/overhead_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import scale_trace
+from repro.analysis.tables import format_table
+from repro.core.job import ParallelismMode
+from repro.workloads import attach_dags, generate_trace
+from repro.wsim import DrepWS, RrQuantumWS, WsConfig, simulate_ws
+
+
+def main() -> None:
+    m = 8
+    base = generate_trace(
+        n_jobs=150,
+        distribution="finance",
+        load=0.65,
+        m=m,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=31,
+        scale_work_with_m=False,
+    )
+    trace = attach_dags(scale_trace(base, 300.0), parallelism=2 * m, seed=31)
+
+    rows = []
+    for overhead in (0, 2, 10, 50):
+        config = WsConfig(preemption_overhead=overhead)
+        for scheduler in (DrepWS(), RrQuantumWS(quantum=50)):
+            r = simulate_ws(trace, m, scheduler, seed=31, config=config)
+            rows.append(
+                {
+                    "overhead (steps)": overhead,
+                    "scheduler": r.scheduler,
+                    "mean_flow": r.mean_flow,
+                    "preemptions": r.preemptions,
+                    "overhead_steps": r.extra["overhead_steps"],
+                }
+            )
+    print(f"{len(trace)} DAG jobs on {m} workers, ~65% load:\n")
+    print(format_table(rows))
+    print(
+        "\nDREP's flow barely moves (it preempts only on arrivals), while"
+        "\nquantum-RR — which must preempt every quantum to stay fair —"
+        "\ncollapses once preemptions carry a realistic cost.  This is the"
+        "\ntheory-practice gap the paper's Sec. I describes, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

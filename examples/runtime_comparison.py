@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Work-stealing runtime comparison (the paper's Figure 3 in miniature).
+
+Runs DAG jobs through the simulated Cilk-Plus-style runtime under the
+four schedulers of Sec. V-B — DREP, the SWF approximation, steal-first
+and admit-first — and prints mean flow alongside the runtime-mechanics
+counters (steal attempts, muggings, preemptions) that explain the
+practicality story.
+
+Run:  python examples/runtime_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import scale_trace
+from repro.analysis.tables import format_table
+from repro.core.job import ParallelismMode
+from repro.workloads import attach_dags, generate_trace
+from repro.wsim import (
+    AdmitFirstWS,
+    DrepWS,
+    StealFirstWS,
+    SwfApproxWS,
+    simulate_ws,
+)
+
+
+def main() -> None:
+    m = 8
+    base = generate_trace(
+        n_jobs=250,
+        distribution="bing",
+        load=0.65,
+        m=m,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=23,
+        scale_work_with_m=False,
+    )
+    # convert unit-mean work into integer runtime steps and attach
+    # Cilk-style DAGs (spawn trees / fork-join loops)
+    trace = attach_dags(scale_trace(base, 400.0), parallelism=2 * m, seed=23)
+    print(
+        f"{len(trace)} DAG jobs ({trace.total_work:.0f} work units) on {m} "
+        f"simulated workers, ~{trace.offered_load(m):.0%} load\n"
+    )
+
+    rows = []
+    for scheduler in (DrepWS(), SwfApproxWS(), StealFirstWS(), AdmitFirstWS()):
+        r = simulate_ws(trace, m, scheduler, seed=23)
+        rows.append(
+            {
+                "scheduler": r.scheduler,
+                "mean_flow": r.mean_flow,
+                "p99_flow": r.percentile(99),
+                "steals": r.steal_attempts,
+                "muggings": r.muggings,
+                "preemptions": r.preemptions,
+                "utilization": r.extra["utilization"],
+            }
+        )
+    print(format_table(rows))
+    print(
+        "\nDREP tracks the clairvoyant SWF approximation while staying"
+        "\nnon-clairvoyant; muggings are DREP's whole-deque takeovers of"
+        "\ndeques abandoned at preemption time (Sec. IV-A)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Baseline persistence: detect when a code change alters the physics.
+
+Refactoring a simulator must not change its outputs.  A *baseline* is a
+JSON snapshot of headline numbers from named runs; ``compare_to_baseline``
+re-checks fresh numbers against it with per-metric tolerances, so a CI
+job (or `tests/integration/test_baselines.py`) can flag any drift in
+simulated behaviour — deterministic metrics must match exactly, sampled
+ones within a stated band.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["BaselineMismatch", "save_baseline", "compare_to_baseline"]
+
+
+class BaselineMismatch(AssertionError):
+    """A measured value drifted outside its tolerance band."""
+
+
+@dataclass(frozen=True)
+class _Check:
+    name: str
+    metric: str
+    expected: float
+    measured: float
+    rel_tol: float
+
+    @property
+    def ok(self) -> bool:
+        if self.expected == self.measured:
+            return True
+        scale = max(abs(self.expected), 1e-12)
+        return abs(self.measured - self.expected) / scale <= self.rel_tol
+
+
+def save_baseline(path: str | Path, entries: dict[str, dict[str, float]]) -> Path:
+    """Persist ``{run_name: {metric: value}}`` as the new baseline."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(entries, indent=2, sort_keys=True))
+    return p
+
+
+def compare_to_baseline(
+    path: str | Path,
+    entries: dict[str, dict[str, float]],
+    rel_tol: float = 0.0,
+    per_metric_tol: dict[str, float] | None = None,
+) -> list[str]:
+    """Check fresh ``entries`` against the stored baseline.
+
+    ``rel_tol`` is the default relative tolerance (0.0 = exact, right for
+    seeded deterministic metrics); ``per_metric_tol`` overrides per
+    metric name.  Returns the list of compared "run.metric" names;
+    raises :class:`BaselineMismatch` listing every violation, and
+    ``KeyError`` if the baseline lacks a requested run or metric.
+    """
+    stored = json.loads(Path(path).read_text())
+    tols = per_metric_tol or {}
+    failures: list[_Check] = []
+    compared: list[str] = []
+    for run, metrics in entries.items():
+        if run not in stored:
+            raise KeyError(f"baseline has no run {run!r}")
+        for metric, value in metrics.items():
+            if metric not in stored[run]:
+                raise KeyError(f"baseline run {run!r} has no metric {metric!r}")
+            check = _Check(
+                name=run,
+                metric=metric,
+                expected=float(stored[run][metric]),
+                measured=float(value),
+                rel_tol=tols.get(metric, rel_tol),
+            )
+            compared.append(f"{run}.{metric}")
+            if not check.ok:
+                failures.append(check)
+    if failures:
+        lines = [
+            f"{c.name}.{c.metric}: expected {c.expected:.6g}, "
+            f"measured {c.measured:.6g} (tol {c.rel_tol:.2%})"
+            for c in failures
+        ]
+        raise BaselineMismatch("baseline drift:\n" + "\n".join(lines))
+    return compared

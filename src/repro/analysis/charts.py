@@ -1,0 +1,156 @@
+"""Dependency-free SVG line charts for figure reproduction.
+
+Renders the paper-style figures (mean flow vs swept parameter, one line
+per scheduler) as self-contained SVG from result rows, so the repository
+can ship visual reproductions without a plotting stack.  Log-scale
+y-axis optional (the figures' flow values span decades on Bing).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["line_chart_svg", "figure_svg_from_rows", "save_figure_svg"]
+
+_PALETTE = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+]
+_MARKERS = "oxs^v"  # cycled per series (drawn as small shapes)
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    if hi == lo:
+        return 0.5
+    return (value - lo) / (hi - lo)
+
+
+def line_chart_svg(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: int = 560,
+    height: int = 360,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Render named (xs, ys) series as an SVG line chart with a legend."""
+    pts = [(x, y) for xs, ys in series.values() for x, y in zip(xs, ys)]
+    if not pts:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+    xs_all = [p[0] for p in pts]
+    ys_all = [p[1] for p in pts]
+    if log_x and min(xs_all) <= 0:
+        raise ValueError("log_x requires positive x values")
+    if log_y and min(ys_all) <= 0:
+        raise ValueError("log_y requires positive y values")
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+
+    ml, mr, mt, mb = 62, 150, 34, 46  # margins (right holds the legend)
+    plot_w, plot_h = width - ml - mr, height - mt - mb
+
+    def px(x: float) -> float:
+        return ml + _scale(x, x_lo, x_hi, log_x) * plot_w
+
+    def py(y: float) -> float:
+        return mt + (1 - _scale(y, y_lo, y_hi, log_y)) * plot_h
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' font-family='sans-serif' font-size='12'>",
+        f"<rect x='{ml}' y='{mt}' width='{plot_w}' height='{plot_h}' "
+        "fill='none' stroke='#999'/>",
+    ]
+    if title:
+        parts.append(
+            f"<text x='{ml}' y='18' font-size='14' font-weight='bold'>{title}</text>"
+        )
+    if x_label:
+        parts.append(
+            f"<text x='{ml + plot_w / 2:.0f}' y='{height - 8}' "
+            f"text-anchor='middle'>{x_label}</text>"
+        )
+    if y_label:
+        parts.append(
+            f"<text x='14' y='{mt + plot_h / 2:.0f}' text-anchor='middle' "
+            f"transform='rotate(-90 14 {mt + plot_h / 2:.0f})'>{y_label}</text>"
+        )
+    # axis ticks: min, mid, max
+    for frac in (0.0, 0.5, 1.0):
+        if log_x:
+            xv = 10 ** (math.log10(x_lo) + frac * (math.log10(x_hi) - math.log10(x_lo)))
+        else:
+            xv = x_lo + frac * (x_hi - x_lo)
+        parts.append(
+            f"<text x='{ml + frac * plot_w:.0f}' y='{mt + plot_h + 16}' "
+            f"text-anchor='middle' fill='#444'>{xv:.3g}</text>"
+        )
+        if log_y:
+            yv = 10 ** (math.log10(y_lo) + frac * (math.log10(y_hi) - math.log10(y_lo)))
+        else:
+            yv = y_lo + frac * (y_hi - y_lo)
+        parts.append(
+            f"<text x='{ml - 6}' y='{mt + (1 - frac) * plot_h + 4:.0f}' "
+            f"text-anchor='end' fill='#444'>{yv:.3g}</text>"
+        )
+
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        color = _PALETTE[idx % len(_PALETTE)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{px(x):.1f},{py(y):.1f}"
+            for i, (x, y) in enumerate(sorted(zip(xs, ys)))
+        )
+        parts.append(
+            f"<path d='{path}' fill='none' stroke='{color}' stroke-width='2'/>"
+        )
+        for x, y in zip(xs, ys):
+            parts.append(
+                f"<circle cx='{px(x):.1f}' cy='{py(y):.1f}' r='3' "
+                f"fill='{color}'><title>{name}: ({x:g}, {y:.4g})</title></circle>"
+            )
+        ly = mt + 8 + idx * 18
+        parts.append(
+            f"<rect x='{ml + plot_w + 10}' y='{ly - 8}' width='12' "
+            f"height='12' fill='{color}'/>"
+        )
+        parts.append(
+            f"<text x='{ml + plot_w + 27}' y='{ly + 2}'>{name}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def figure_svg_from_rows(
+    rows: Sequence[dict],
+    x: str,
+    value: str = "mean_flow",
+    series_key: str = "scheduler",
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Build a paper-style figure from flat result rows."""
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for r in rows:
+        xs, ys = series.setdefault(str(r[series_key]), ([], []))
+        xs.append(float(r[x]))
+        ys.append(float(r[value]))
+    return line_chart_svg(
+        series,
+        title=title,
+        x_label=x,
+        y_label=value,
+        log_y=log_y,
+    )
+
+
+def save_figure_svg(path: str | Path, svg: str) -> Path:
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(svg)
+    return p

@@ -1,0 +1,100 @@
+"""Multi-seed replication with confidence intervals.
+
+Randomized schedulers (DREP above all) need replicated runs before two
+mean flows can be compared honestly.  ``replicate`` runs any
+result-producing callable across seeds and summarizes with a normal-
+approximation confidence interval; ``significantly_less`` is the
+two-sample comparison benches use to claim an ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.metrics import ScheduleResult
+
+__all__ = ["Replication", "replicate", "significantly_less"]
+
+#: two-sided 95% normal quantile
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summary of one metric across replicated runs."""
+
+    label: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one replication")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if self.n > 1 else 0.0
+
+    @property
+    def stderr(self) -> float:
+        return self.std / math.sqrt(self.n) if self.n > 1 else 0.0
+
+    def ci95(self) -> tuple[float, float]:
+        half = _Z95 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+    def summary(self) -> dict:
+        lo, hi = self.ci95()
+        return {
+            "label": self.label,
+            "n": self.n,
+            "mean": self.mean,
+            "ci95_lo": lo,
+            "ci95_hi": hi,
+        }
+
+
+def replicate(
+    run: Callable[[int], ScheduleResult],
+    seeds: Sequence[int],
+    metric: Callable[[ScheduleResult], float] = lambda r: r.mean_flow,
+    label: str | None = None,
+) -> Replication:
+    """Run ``run(seed)`` for each seed and summarize ``metric``."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = []
+    name = label
+    for seed in seeds:
+        result = run(int(seed))
+        if name is None:
+            name = result.scheduler
+        values.append(float(metric(result)))
+    return Replication(label=name or "run", values=tuple(values))
+
+
+def significantly_less(
+    a: Replication, b: Replication, alpha_z: float = _Z95
+) -> bool:
+    """Welch-style test: is ``a``'s mean below ``b``'s beyond noise?
+
+    Returns True when ``mean(a) + z·se < mean(b) - z·se`` fails to hold
+    ... i.e. when the upper CI bound of ``a`` sits below the lower CI
+    bound of ``b`` under the pooled normal approximation.  Conservative
+    and dependency-free (no scipy needed, though scipy is available).
+    """
+    se = math.hypot(a.stderr, b.stderr)
+    if se == 0:
+        return a.mean < b.mean
+    return (b.mean - a.mean) > alpha_z * se

@@ -1,0 +1,129 @@
+"""Result tables and text rendering.
+
+Every bench prints its figure/table as plain rows (the series the paper
+plots), so reproduction output can be eyeballed and diffed.  Helpers here
+are dependency-free renderers over lists of dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["format_table", "pivot", "series_table", "ascii_plot", "save_rows"]
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    floatfmt: str = ".4g",
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(v: Any) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    body = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(b[i]) for b in body)) for i, c in enumerate(cols)]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(v.ljust(w) for v, w in zip(b, widths)) for b in body]
+    return "\n".join(lines)
+
+
+def pivot(
+    rows: Sequence[dict], index: str, column: str, value: str
+) -> tuple[list, list, list[list]]:
+    """Pivot rows into (index values, column names, matrix of values).
+
+    Missing cells become ``None``; duplicate cells keep the last value.
+    """
+    idx_vals: list = []
+    col_vals: list = []
+    cells: dict[tuple, Any] = {}
+    for r in rows:
+        i, c = r[index], r[column]
+        if i not in idx_vals:
+            idx_vals.append(i)
+        if c not in col_vals:
+            col_vals.append(c)
+        cells[(i, c)] = r[value]
+    matrix = [[cells.get((i, c)) for c in col_vals] for i in idx_vals]
+    return idx_vals, col_vals, matrix
+
+
+def series_table(
+    rows: Sequence[dict],
+    x: str,
+    series: str,
+    value: str,
+    floatfmt: str = ".4g",
+) -> str:
+    """Figure-style rendering: one row per x, one column per series."""
+    idx_vals, col_vals, matrix = pivot(rows, x, series, value)
+    out_rows = []
+    for i, iv in enumerate(idx_vals):
+        row = {x: iv}
+        for j, cv in enumerate(col_vals):
+            row[str(cv)] = matrix[i][j] if matrix[i][j] is not None else ""
+        out_rows.append(row)
+    return format_table(out_rows, [x] + [str(c) for c in col_vals], floatfmt)
+
+
+def ascii_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Crude scatter plot of several (xs, ys) series in ASCII.
+
+    Intended for EXPERIMENTS.md shape records, not publication graphics.
+    Each series gets a marker letter; overlapping points show the later
+    series' marker.
+    """
+    pts = [
+        (float(xv), float(yv), name)
+        for name, (xs, ys) in series.items()
+        for xv, yv in zip(xs, ys)
+    ]
+    if not pts:
+        return "(empty plot)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = {name: chr(ord("A") + i % 26) for i, name in enumerate(series)}
+    for xv, yv, name in pts:
+        col = int((xv - x0) / xspan * (width - 1))
+        row = height - 1 - int((yv - y0) / yspan * (height - 1))
+        grid[row][col] = markers[name]
+    legend = "  ".join(f"{mk}={name}" for name, mk in markers.items())
+    lines = []
+    if title:
+        lines.append(title)
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x0:g}, {x1:g}]  y: [{y0:g}, {y1:g}]")
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def save_rows(path: str | Path, rows: Sequence[dict]) -> None:
+    """Persist result rows as JSON (creates parent directories)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(list(rows), indent=2, default=str))

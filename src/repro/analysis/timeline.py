@@ -1,0 +1,164 @@
+"""Runtime timelines: what every worker did, step by step.
+
+For small work-stealing runs this renders the schedule the way the
+paper's Sec. IV-A prose describes it — which worker executed which job,
+when steals/muggings happened, when preemption flags fired — so runtime
+behaviour can be inspected and asserted on directly.
+
+Built on the :meth:`repro.wsim.runtime.WsRuntime.run` observer hook: the
+recorder samples worker state once per step, then renders an ASCII chart
+(one row per worker, one column per sampled step, job ids as symbols).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TimelineRecorder", "render_timeline", "render_timeline_svg", "occupancy"]
+
+_IDLE = -1
+_SYMBOLS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+@dataclass
+class TimelineRecorder:
+    """Observer that samples per-worker job occupancy each step.
+
+    Pass ``recorder`` to ``WsRuntime.run(observer=recorder)``.  Use
+    ``stride`` to subsample long runs.  A worker's sample is the job id
+    it is assigned to (affinity mode) or the job of its current node
+    (global mode); ``-1`` when neither exists.
+    """
+
+    stride: int = 1
+    steps: list[int] = field(default_factory=list)
+    rows: list[list[int]] = field(default_factory=list)
+    active_counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        self._tick = 0
+
+    def __call__(self, rt) -> None:
+        if self._tick % self.stride == 0:
+            sample = []
+            for w in rt.workers:
+                if w.job is not None:
+                    sample.append(w.job.job_id)
+                elif w.current is not None:
+                    sample.append(w.current[0].job_id)
+                elif w.dq is not None and w.dq.nodes:
+                    sample.append(w.dq.nodes[-1][0].job_id)
+                else:
+                    sample.append(_IDLE)
+            self.rows.append(sample)
+            self.steps.append(rt.step)
+            self.active_counts.append(len(rt.active))
+        self._tick += 1
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """``int[steps, workers]`` occupancy matrix (-1 = idle)."""
+        return np.array(self.rows, dtype=np.int64).reshape(len(self.rows), -1)
+
+
+def render_timeline(recorder: TimelineRecorder, max_width: int = 100) -> str:
+    """ASCII chart: one row per worker, one character per sampled step.
+
+    Job ids map to symbols cyclically; ``.`` marks an idle worker.
+    """
+    if not recorder.rows:
+        return "(no samples)"
+    mat = recorder.matrix.T  # workers x steps
+    cols = mat.shape[1]
+    stride = max(1, cols // max_width)
+    lines = []
+    for wid in range(mat.shape[0]):
+        chars = []
+        for c in range(0, cols, stride):
+            job = int(mat[wid, c])
+            chars.append("." if job == _IDLE else _SYMBOLS[job % len(_SYMBOLS)])
+        lines.append(f"W{wid:<3d} |" + "".join(chars))
+    lines.append(
+        f"steps {recorder.steps[0]}..{recorder.steps[-1]} "
+        f"(every {recorder.stride * stride} steps per column)"
+    )
+    return "\n".join(lines)
+
+
+def render_timeline_svg(
+    recorder: TimelineRecorder,
+    width: int = 900,
+    row_height: int = 18,
+    title: str = "",
+) -> str:
+    """Self-contained SVG Gantt chart of the recorded schedule.
+
+    One row per worker; colored blocks are contiguous runs on one job
+    (color cycles by job id), grey gaps are idle.  No dependencies —
+    plain SVG text, viewable in any browser.
+    """
+    if not recorder.rows:
+        return "<svg xmlns='http://www.w3.org/2000/svg'/>"
+    mat = recorder.matrix.T  # workers x samples
+    workers, cols = mat.shape
+    label_w = 46
+    chart_w = width - label_w
+    height = workers * row_height + (28 if title else 8) + 20
+    top = 24 if title else 4
+    palette = [
+        "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+        "#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+    ]
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' font-family='monospace' font-size='11'>"
+    ]
+    if title:
+        parts.append(f"<text x='4' y='14'>{title}</text>")
+    px_per_col = chart_w / cols
+    for wid in range(workers):
+        y = top + wid * row_height
+        parts.append(
+            f"<text x='2' y='{y + row_height - 5}'>W{wid}</text>"
+        )
+        # compress consecutive equal samples into blocks
+        c = 0
+        while c < cols:
+            job = int(mat[wid, c])
+            c_end = c
+            while c_end + 1 < cols and int(mat[wid, c_end + 1]) == job:
+                c_end += 1
+            x = label_w + c * px_per_col
+            w = (c_end - c + 1) * px_per_col
+            color = "#dddddd" if job == _IDLE else palette[job % len(palette)]
+            parts.append(
+                f"<rect x='{x:.1f}' y='{y}' width='{max(w, 0.5):.1f}' "
+                f"height='{row_height - 3}' fill='{color}'>"
+                f"<title>W{wid} job {job if job != _IDLE else 'idle'} "
+                f"steps {recorder.steps[c]}..{recorder.steps[c_end]}</title></rect>"
+            )
+            c = c_end + 1
+    parts.append(
+        f"<text x='{label_w}' y='{height - 6}'>steps "
+        f"{recorder.steps[0]}..{recorder.steps[-1]}</text>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def occupancy(recorder: TimelineRecorder) -> dict[int, float]:
+    """Fraction of sampled worker-steps spent on each job (incl. idle=-1).
+
+    Under DREP this should be near-proportional to each job's share of
+    active time — the equi-partition property of Lemma 4.1.
+    """
+    if not recorder.rows:
+        return {}
+    mat = recorder.matrix
+    total = mat.size
+    jobs, counts = np.unique(mat, return_counts=True)
+    return {int(j): float(c) / total for j, c in zip(jobs, counts)}

@@ -1,0 +1,261 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Installed as ``drep-sim``.  Examples::
+
+    drep-sim fig1 --distribution finance --load 0.5 --n-jobs 5000
+    drep-sim fig2 --distribution bing --load 0.7
+    drep-sim fig3 --m 16 --n-jobs 500
+    drep-sim preemptions --n-jobs 10000 --m 16
+    drep-sim stats --distribution bing
+    drep-sim report --out report.md --flow-jobs 5000
+
+Each subcommand prints the corresponding figure's series as a table
+(mean flow time per scheduler over the swept parameter).  Sizes default
+to laptop-friendly values; raise ``--n-jobs`` toward the paper's 100,000
+(fig1/fig2) or 10,000 (fig3) for tighter estimates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    flow_policy_factories,
+    run_flow_sweep,
+    run_ws_sweep,
+)
+from repro.analysis.tables import series_table
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies.drep import DrepSequential
+from repro.theory.preemptions import check_theorem_1_2
+from repro.workloads.traces import generate_trace
+
+__all__ = ["main"]
+
+_DEFAULT_M_SWEEP = [1, 2, 4, 8, 16, 32, 64]
+
+
+def _fig_flow(args: argparse.Namespace, mode: ParallelismMode) -> int:
+    rows = run_flow_sweep(
+        distribution=args.distribution,
+        load=args.load,
+        mode=mode,
+        m_values=args.m_values,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+        policies=flow_policy_factories(mode),
+    )
+    print(
+        f"# {args.distribution} workload, load={args.load:g}, "
+        f"{mode.value} jobs, n={args.n_jobs} (mean flow time)"
+    )
+    print(series_table(rows, x="m", series="scheduler", value="mean_flow"))
+    return 0
+
+
+def _fig3(args: argparse.Namespace) -> int:
+    rows = run_ws_sweep(
+        distribution=args.distribution,
+        loads=args.loads,
+        m=args.m,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+    )
+    print(
+        f"# {args.distribution} workload on {args.m} cores, n={args.n_jobs} "
+        "(work-stealing runtime, mean flow in steps)"
+    )
+    print(series_table(rows, x="load", series="scheduler", value="mean_flow"))
+    return 0
+
+
+def _preemptions(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        n_jobs=args.n_jobs,
+        distribution=args.distribution,
+        load=args.load,
+        m=args.m,
+        mode=ParallelismMode.SEQUENTIAL,
+        seed=args.seed,
+    )
+    result = simulate(trace, args.m, DrepSequential(), seed=args.seed)
+    budget = check_theorem_1_2(result, args.n_jobs)
+    print("# Theorem 1.2 check — sequential DREP")
+    for key, value in budget.summary().items():
+        print(f"{key:22s} {value}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="drep-sim", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--distribution", default="finance", help="bing|finance|...")
+        p.add_argument("--seed", type=int, default=0)
+
+    p1 = sub.add_parser("fig1", help="sequential jobs, m-sweep (Figure 1)")
+    common(p1)
+    p1.add_argument("--load", type=float, default=0.5)
+    p1.add_argument("--n-jobs", type=int, default=5000)
+    p1.add_argument("--m-values", type=int, nargs="+", default=_DEFAULT_M_SWEEP)
+
+    p2 = sub.add_parser("fig2", help="fully parallel jobs, m-sweep (Figure 2)")
+    common(p2)
+    p2.add_argument("--load", type=float, default=0.5)
+    p2.add_argument("--n-jobs", type=int, default=5000)
+    p2.add_argument("--m-values", type=int, nargs="+", default=_DEFAULT_M_SWEEP)
+
+    p3 = sub.add_parser("fig3", help="work-stealing runtime, load-sweep (Figure 3)")
+    common(p3)
+    p3.add_argument("--m", type=int, default=16)
+    p3.add_argument("--n-jobs", type=int, default=300)
+    p3.add_argument("--loads", type=float, nargs="+", default=[0.5, 0.6, 0.7])
+
+    p4 = sub.add_parser("preemptions", help="Theorem 1.2 budget check")
+    common(p4)
+    p4.add_argument("--m", type=int, default=16)
+    p4.add_argument("--load", type=float, default=0.6)
+    p4.add_argument("--n-jobs", type=int, default=10000)
+
+    p5 = sub.add_parser("stats", help="workload distribution statistics")
+    common(p5)
+    p5.add_argument("--samples", type=int, default=100_000)
+
+    p6 = sub.add_parser("report", help="full reproduction report (markdown)")
+    common(p6)
+    p6.add_argument("--out", default="report.md")
+    p6.add_argument("--flow-jobs", type=int, default=5000)
+    p6.add_argument("--ws-jobs", type=int, default=200)
+
+    p8 = sub.add_parser(
+        "figures", help="render saved results/*.json into SVG line charts"
+    )
+    p8.add_argument("--results-dir", default="results")
+
+    p7 = sub.add_parser(
+        "hetero", help="related-machines comparison (the paper's open problem)"
+    )
+    common(p7)
+    p7.add_argument("--n-jobs", type=int, default=4000)
+    p7.add_argument(
+        "--machine",
+        default="2x4+6x1",
+        help="speed spec: 'NxS+NxS+...' e.g. '2x4+6x1' or 'geometric:8:2'",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "fig1":
+        return _fig_flow(args, ParallelismMode.SEQUENTIAL)
+    if args.command == "fig2":
+        return _fig_flow(args, ParallelismMode.FULLY_PARALLEL)
+    if args.command == "fig3":
+        return _fig3(args)
+    if args.command == "preemptions":
+        return _preemptions(args)
+    if args.command == "stats":
+        return _stats(args)
+    if args.command == "report":
+        return _report(args)
+    if args.command == "hetero":
+        return _hetero(args)
+    if args.command == "figures":
+        return _figures(args)
+    return 2  # pragma: no cover
+
+
+def _figures(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.charts import figure_svg_from_rows, save_figure_svg
+
+    results = Path(args.results_dir)
+    rendered = 0
+    for path in sorted(results.glob("fig*.json")):
+        rows = json.loads(path.read_text())
+        tag = path.stem
+        x = "m" if tag.startswith(("fig1", "fig2")) else "load"
+        svg = figure_svg_from_rows(
+            rows, x=x, title=tag, log_y=tag.startswith(("fig1", "fig2"))
+        )
+        save_figure_svg(results / f"{tag}.svg", svg)
+        rendered += 1
+    print(f"rendered {rendered} figures into {results}/")
+    return 0 if rendered else 1
+
+
+def _parse_machine(spec: str):
+    import numpy as np
+
+    from repro.hetero.machine import Machine, geometric_machine
+
+    if spec.startswith("geometric:"):
+        _, m, ratio = spec.split(":")
+        return geometric_machine(int(m), ratio=float(ratio))
+    speeds = []
+    for part in spec.split("+"):
+        count, speed = part.split("x")
+        speeds.extend([float(speed)] * int(count))
+    return Machine(np.array(speeds))
+
+
+def _hetero(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.hetero import DrepRelated, FifoRelated, SrptRelated, simulate_hetero
+
+    machine = _parse_machine(args.machine)
+    eq_m = max(1, round(machine.total_speed))
+    trace = generate_trace(
+        args.n_jobs,
+        args.distribution,
+        0.6,
+        eq_m,
+        seed=args.seed,
+        scale_work_with_m=False,
+    )
+    rows = []
+    for policy in (SrptRelated(), FifoRelated(), DrepRelated(), DrepRelated(reseat=True)):
+        r = simulate_hetero(trace, machine, policy, seed=args.seed)
+        rows.append(
+            {
+                "scheduler": r.scheduler,
+                "mean_flow": r.mean_flow,
+                "p99_flow": r.percentile(99),
+                "preemptions": r.preemptions,
+            }
+        )
+    print(f"# machine {machine.describe()} — {args.distribution}, {args.n_jobs} jobs")
+    print(format_table(rows))
+    return 0
+
+
+def _stats(args: argparse.Namespace) -> int:
+    from repro.workloads.distributions import distribution_by_name
+    from repro.workloads.stats import distribution_stats
+
+    dist = distribution_by_name(args.distribution)
+    stats = distribution_stats(dist, n=args.samples, seed=args.seed)
+    print(f"# {args.distribution} work distribution ({args.samples} samples)")
+    for key, value in stats.summary().items():
+        print(f"{key:12s} {value:.6g}" if isinstance(value, float) else f"{key:12s} {value}")
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportConfig, write_report
+
+    config = ReportConfig(
+        flow_jobs=args.flow_jobs, ws_jobs=args.ws_jobs, seed=args.seed
+    )
+    path = write_report(args.out, config)
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

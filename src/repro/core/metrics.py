@@ -1,0 +1,198 @@
+"""Result containers and summary statistics for schedule evaluations.
+
+The paper's headline metric is **average (total) flow time** — the mean of
+:math:`f_i - r_i` over all jobs (Sec. I).  The practicality arguments rest
+on secondary counters: preemptions, migrations, steal attempts and muggings
+(Sec. IV-A, Theorem 1.2).  ``ScheduleResult`` carries all of them so every
+bench can report the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ScheduleResult", "summarize_flow", "compare_results"]
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of simulating one trace under one scheduler.
+
+    Attributes
+    ----------
+    scheduler:
+        Human-readable scheduler name (e.g. ``"DREP"``, ``"SRPT"``).
+    m:
+        Number of processors simulated.
+    flow_times:
+        Array of per-job flow times, indexed by ``job_id``.
+    preemptions:
+        Times a processor switched *away from an unfinished job*
+        (the quantity Theorem 1.2 bounds).
+    migrations:
+        Times a job resumed on a different processor than it last ran on.
+    steal_attempts / muggings:
+        Work-stealing runtime counters (zero for flow-level runs).
+    makespan:
+        Completion time of the last job.
+    extra:
+        Free-form per-run diagnostics (e.g. utilization achieved).
+    """
+
+    scheduler: str
+    m: int
+    flow_times: np.ndarray
+    preemptions: int = 0
+    migrations: int = 0
+    steal_attempts: int = 0
+    muggings: int = 0
+    makespan: float = 0.0
+    #: per-job minimal possible flow times (Observation 1 bounds), set by
+    #: the engines so slowdown statistics can be computed
+    min_flows: np.ndarray | None = None
+    #: per-job importance weights (all ones when the trace is unweighted)
+    weights: np.ndarray | None = None
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.flow_times = np.asarray(self.flow_times, dtype=float)
+        if self.flow_times.ndim != 1:
+            raise ValueError("flow_times must be a 1-D array")
+        if self.flow_times.size and float(self.flow_times.min()) < -1e-9:
+            raise ValueError("negative flow time")
+        if self.m <= 0:
+            raise ValueError("m must be positive")
+        if self.min_flows is not None:
+            self.min_flows = np.asarray(self.min_flows, dtype=float)
+            if self.min_flows.shape != self.flow_times.shape:
+                raise ValueError("min_flows must align with flow_times")
+            if self.min_flows.size and float(self.min_flows.min()) <= 0:
+                raise ValueError("min_flows must be positive")
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=float)
+            if self.weights.shape != self.flow_times.shape:
+                raise ValueError("weights must align with flow_times")
+            if self.weights.size and float(self.weights.min()) <= 0:
+                raise ValueError("weights must be positive")
+
+    @property
+    def n_jobs(self) -> int:
+        return int(self.flow_times.size)
+
+    @property
+    def mean_flow(self) -> float:
+        """Average flow time — the paper's objective (divided by n)."""
+        return float(self.flow_times.mean()) if self.flow_times.size else 0.0
+
+    @property
+    def total_flow(self) -> float:
+        return float(self.flow_times.sum())
+
+    @property
+    def max_flow(self) -> float:
+        return float(self.flow_times.max()) if self.flow_times.size else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.flow_times, q)) if self.flow_times.size else 0.0
+
+    def weighted_mean_flow(self) -> float:
+        """Weight-normalized mean flow ``Σ w_i f_i / Σ w_i`` (extension;
+        equals :attr:`mean_flow` for unweighted traces)."""
+        if self.weights is None:
+            return self.mean_flow
+        total = float(self.weights.sum())
+        if total == 0:
+            return 0.0
+        return float((self.weights * self.flow_times).sum() / total)
+
+    @property
+    def slowdowns(self) -> np.ndarray:
+        """Per-job slowdown (stretch): flow time over the job's minimal
+        possible flow time (Observation 1).
+
+        Slowdown is the fairness lens of this literature: SRPT minimizes
+        mean flow but can stretch large jobs arbitrarily, while
+        equi-partition schedulers (RR, DREP) keep every job's slowdown
+        near the system load factor.  Requires ``min_flows``.
+        """
+        if self.min_flows is None:
+            raise ValueError(f"{self.scheduler}: result carries no min_flows")
+        return self.flow_times / self.min_flows
+
+    def mean_slowdown(self) -> float:
+        s = self.slowdowns
+        return float(s.mean()) if s.size else 0.0
+
+    def max_slowdown(self) -> float:
+        s = self.slowdowns
+        return float(s.max()) if s.size else 0.0
+
+    def slowdown_percentile(self, q: float) -> float:
+        s = self.slowdowns
+        return float(np.percentile(s, q)) if s.size else 0.0
+
+    def lk_norm(self, k: float) -> float:
+        """ℓ_k norm of flow times, ``(Σ f_i^k)^{1/k}``.
+
+        k=1 recovers total flow (the paper's objective × n); large k
+        approaches max flow — the fairness-sensitive objectives studied
+        in the related work the paper cites ([32, 33]).
+        """
+        if k <= 0:
+            raise ValueError("k must be > 0")
+        if not self.flow_times.size:
+            return 0.0
+        return float((self.flow_times**k).sum() ** (1.0 / k))
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers, ready for table rows."""
+        return {
+            "scheduler": self.scheduler,
+            "m": self.m,
+            "n_jobs": self.n_jobs,
+            "mean_flow": self.mean_flow,
+            "p50_flow": self.percentile(50),
+            "p99_flow": self.percentile(99),
+            "max_flow": self.max_flow,
+            "preemptions": self.preemptions,
+            "migrations": self.migrations,
+            "steal_attempts": self.steal_attempts,
+            "muggings": self.muggings,
+            "makespan": self.makespan,
+            **self.extra,
+        }
+
+
+def summarize_flow(results: list[ScheduleResult]) -> dict[str, float]:
+    """Map scheduler name -> mean flow over a list of repetition results.
+
+    Repetitions of the same scheduler are averaged (mean of means, since all
+    repetitions simulate the same number of jobs).
+    """
+    acc: dict[str, list[float]] = {}
+    for r in results:
+        acc.setdefault(r.scheduler, []).append(r.mean_flow)
+    return {name: float(np.mean(vals)) for name, vals in acc.items()}
+
+
+def compare_results(
+    baseline: ScheduleResult, other: ScheduleResult
+) -> dict[str, float]:
+    """Ratios of ``other`` relative to ``baseline`` (e.g. DREP vs SRPT).
+
+    ``flow_ratio`` is the number the paper quotes, e.g. "at most a factor of
+    3.25 compared to SRPT" (Sec. V-A).
+    """
+    if baseline.n_jobs != other.n_jobs:
+        raise ValueError("results cover different job counts")
+    base = baseline.mean_flow
+    return {
+        "flow_ratio": other.mean_flow / base if base > 0 else float("inf"),
+        "preemption_ratio": (
+            other.preemptions / baseline.preemptions
+            if baseline.preemptions
+            else float("inf") if other.preemptions else 1.0
+        ),
+    }

@@ -1,0 +1,19 @@
+"""Explicit DAG job model (paper Sec. II) and Cilk-style DAG generators."""
+
+from repro.dag.generators import chain, fork_join, layered_random, spawn_tree, wide
+from repro.dag.graph import NO_CHILD, DagJob
+from repro.dag.profile import ParallelismProfile
+from repro.dag.validate import DagValidationError, validate_dag
+
+__all__ = [
+    "DagJob",
+    "NO_CHILD",
+    "ParallelismProfile",
+    "chain",
+    "fork_join",
+    "layered_random",
+    "spawn_tree",
+    "wide",
+    "validate_dag",
+    "DagValidationError",
+]

@@ -1,0 +1,231 @@
+"""DAG generators mimicking programs written in Cilk-style languages.
+
+The paper's runtime experiments execute jobs produced by a work-stealing
+parallel language (Cilk Plus).  These generators produce the DAG shapes such
+programs induce:
+
+* :func:`chain` — a purely sequential job (span == work);
+* :func:`spawn_tree` — binary spawn/sync recursion (``cilk_spawn`` of two
+  halves), the canonical divide-and-conquer shape;
+* :func:`fork_join` — a ``cilk_for``-style loop: repeated parallel segments
+  fanned out/in through binary trees so out-degree stays <= 2;
+* :func:`layered_random` — random layered DAGs with irregular parallelism;
+* :func:`wide` — maximal parallelism: n heavy leaves under a binary fan-out,
+  approximating the paper's "fully parallel" extreme within the DAG model.
+
+All generators emit nodes in topological order and respect out-degree <= 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import NO_CHILD, DagJob
+
+__all__ = ["chain", "spawn_tree", "fork_join", "layered_random", "wide"]
+
+
+class _Builder:
+    """Incremental DAG assembly helper (append nodes, link edges)."""
+
+    def __init__(self) -> None:
+        self.weights: list[int] = []
+        self.child1: list[int] = []
+        self.child2: list[int] = []
+
+    def add(self, weight: int) -> int:
+        if weight < 1:
+            raise ValueError("node weight must be >= 1")
+        self.weights.append(int(weight))
+        self.child1.append(NO_CHILD)
+        self.child2.append(NO_CHILD)
+        return len(self.weights) - 1
+
+    def link(self, parent: int, child: int) -> None:
+        if child <= parent:
+            raise ValueError("edges must go forward in node order")
+        if self.child1[parent] == NO_CHILD:
+            self.child1[parent] = child
+        elif self.child2[parent] == NO_CHILD:
+            self.child2[parent] = child
+        else:
+            raise ValueError(f"node {parent} already has two children")
+
+    def build(self, name: str) -> DagJob:
+        return DagJob(
+            weights=np.array(self.weights, dtype=np.int64),
+            child1=np.array(self.child1, dtype=np.int64),
+            child2=np.array(self.child2, dtype=np.int64),
+            name=name,
+        )
+
+    def fan_out(self, root: int, count: int, node_weight: int = 1) -> list[int]:
+        """Attach a binary tree under ``root`` exposing ``count`` leaves.
+
+        Returns the leaf node ids.  Internal tree nodes get ``node_weight``
+        (they model the constant-cost spawn strands of a real runtime).
+        """
+        frontier = [root]
+        while len(frontier) < count:
+            nxt: list[int] = []
+            for node in frontier:
+                if len(frontier) + len(nxt) >= count:
+                    nxt.append(node)  # carry through unexpanded
+                    continue
+                a = self.add(node_weight)
+                b = self.add(node_weight)
+                self.link(node, a)
+                self.link(node, b)
+                nxt.append(a)
+                nxt.append(b)
+            frontier = nxt
+        return frontier[:count]
+
+    def fan_in(self, leaves: list[int], node_weight: int = 1) -> int:
+        """Merge ``leaves`` through a binary reduction tree; returns the sink."""
+        frontier = list(leaves)
+        while len(frontier) > 1:
+            nxt: list[int] = []
+            for i in range(0, len(frontier) - 1, 2):
+                j = self.add(node_weight)
+                self.link(frontier[i], j)
+                self.link(frontier[i + 1], j)
+                nxt.append(j)
+            if len(frontier) % 2 == 1:
+                nxt.append(frontier[-1])
+            frontier = nxt
+        return frontier[0]
+
+
+def chain(total_work: int, granularity: int = 1) -> DagJob:
+    """A sequential job: a path of nodes totalling ``total_work`` units.
+
+    ``granularity`` is the per-node weight; the final node absorbs the
+    remainder so work is exact.
+    """
+    if total_work < 1:
+        raise ValueError("total_work must be >= 1")
+    if granularity < 1:
+        raise ValueError("granularity must be >= 1")
+    b = _Builder()
+    remaining = total_work
+    prev = None
+    while remaining > 0:
+        w = min(granularity, remaining)
+        node = b.add(w)
+        if prev is not None:
+            b.link(prev, node)
+        prev = node
+        remaining -= w
+    return b.build("chain")
+
+
+def spawn_tree(depth: int, leaf_weight: int, spawn_weight: int = 1) -> DagJob:
+    """Binary divide-and-conquer: spawn two halves, sync, continue.
+
+    Produces ``2**depth`` leaves of weight ``leaf_weight`` under a full
+    binary fan-out/fan-in; spawn and sync strands weigh ``spawn_weight``.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    if leaf_weight < 1:
+        raise ValueError("leaf_weight must be >= 1")
+    b = _Builder()
+
+    def rec(d: int) -> tuple[int, int]:
+        """Build a subtree; returns (entry node, exit node)."""
+        if d == 0:
+            node = b.add(leaf_weight)
+            return node, node
+        entry = b.add(spawn_weight)
+        l_in, l_out = rec(d - 1)
+        b.link(entry, l_in)
+        r_in, r_out = rec(d - 1)
+        b.link(entry, r_in)
+        exit_ = b.add(spawn_weight)
+        b.link(l_out, exit_)
+        b.link(r_out, exit_)
+        return entry, exit_
+
+    # Note: rec emits the left subtree fully before the right, and parents
+    # before children within each spawn, so node order is topological.
+    rec(depth)
+    return b.build("spawn_tree")
+
+
+def fork_join(
+    segments: int, width: int, strand_work: int, overhead_weight: int = 1
+) -> DagJob:
+    """``segments`` sequential phases, each a parallel loop of ``width``
+    strands of ``strand_work`` units, fanned out/in by binary trees.
+
+    This is the DAG a ``for`` loop of ``cilk_for`` rounds induces.
+    """
+    if segments < 1 or width < 1 or strand_work < 1:
+        raise ValueError("segments, width and strand_work must be >= 1")
+    b = _Builder()
+    prev_sink: int | None = None
+    for _ in range(segments):
+        root = b.add(overhead_weight)
+        if prev_sink is not None:
+            b.link(prev_sink, root)
+        fan_leaves = b.fan_out(root, width, overhead_weight)
+        strands = []
+        for leaf in fan_leaves:
+            s = b.add(strand_work)
+            b.link(leaf, s)
+            strands.append(s)
+        prev_sink = b.fan_in(strands, overhead_weight)
+    return b.build("fork_join")
+
+
+def layered_random(
+    layers: int,
+    max_width: int,
+    max_node_weight: int,
+    rng: np.random.Generator,
+) -> DagJob:
+    """Random layered DAG with irregular, time-varying parallelism.
+
+    Each layer has a random width in ``[1, max_width]``; every node links to
+    one or two random nodes in the next layer, and orphaned next-layer nodes
+    get a parent from the current layer if in-degree room remains, else from
+    a chain of filler nodes.  A single source node roots the DAG.
+    """
+    if layers < 1 or max_width < 1 or max_node_weight < 1:
+        raise ValueError("layers, max_width and max_node_weight must be >= 1")
+    b = _Builder()
+    source = b.add(int(rng.integers(1, max_node_weight + 1)))
+    prev = [source]
+    for _ in range(layers):
+        width = int(rng.integers(1, max_width + 1))
+        cur = [b.add(int(rng.integers(1, max_node_weight + 1))) for _ in range(width)]
+        def out_degree(u: int) -> int:
+            return (b.child1[u] != NO_CHILD) + (b.child2[u] != NO_CHILD)
+
+        # Guaranteed coverage: give every current node one parent, drawn
+        # from prev nodes (in shuffled order) and, once those run out of
+        # out-degree room, from already-covered current nodes with a lower
+        # index.  Each covered node adds two units of out-capacity while
+        # consuming one, so the pool never empties.
+        donor_pool = [prev[int(i)] for i in rng.permutation(len(prev))]
+        for node in cur:
+            while out_degree(donor_pool[0]) >= 2:
+                donor_pool.pop(0)
+            b.link(donor_pool[0], node)
+            donor_pool.append(node)
+        # Extra random cross edges from prev nodes with spare out-degree.
+        for u in prev:
+            if out_degree(u) >= 2 or rng.random() < 0.5:
+                continue
+            target = cur[int(rng.integers(0, len(cur)))]
+            if b.child1[u] == target or b.child2[u] == target:
+                continue  # avoid duplicate edges
+            b.link(u, target)
+        prev = cur
+    return b.build("layered_random")
+
+
+def wide(width: int, strand_work: int, overhead_weight: int = 1) -> DagJob:
+    """Maximal-parallelism job: one fork-join phase of ``width`` strands."""
+    return fork_join(1, width, strand_work, overhead_weight)

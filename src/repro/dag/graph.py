@@ -1,0 +1,180 @@
+"""Compact DAG representation for parallel jobs.
+
+The paper models a parallel program as a DAG whose nodes are sequential
+instruction strands and whose edges are dependences (Sec. I); following the
+paper (Sec. IV-A) every node has **out-degree at most two** — "the system
+can only spawn a constant number of nodes in constant time", and any
+constant out-degree converts to two without asymptotic change in work or
+span.
+
+``DagJob`` stores the DAG as flat numpy arrays (two child slots per node
+with ``-1`` sentinels) so the runtime simulator can walk it with O(1)
+bookkeeping per executed node.  Nodes are kept in a topological order
+(every edge goes from a lower to a higher index); generators guarantee
+this, :func:`repro.dag.validate.validate_dag` checks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DagJob", "NO_CHILD"]
+
+NO_CHILD = -1
+
+
+@dataclass(frozen=True)
+class DagJob:
+    """One parallel job's DAG.
+
+    Attributes
+    ----------
+    weights:
+        ``int64[n]`` — processing time of each node in unit steps (>= 1).
+        The runtime simulator executes one unit per worker per time step.
+    child1, child2:
+        ``int64[n]`` — children of each node, ``NO_CHILD`` when absent.
+        ``child2 != NO_CHILD`` implies ``child1 != NO_CHILD``.
+    name:
+        Generator tag, for diagnostics.
+    """
+
+    weights: np.ndarray
+    child1: np.ndarray
+    child2: np.ndarray
+    name: str = "dag"
+
+    def __post_init__(self) -> None:
+        w = np.ascontiguousarray(self.weights, dtype=np.int64)
+        c1 = np.ascontiguousarray(self.child1, dtype=np.int64)
+        c2 = np.ascontiguousarray(self.child2, dtype=np.int64)
+        object.__setattr__(self, "weights", w)
+        object.__setattr__(self, "child1", c1)
+        object.__setattr__(self, "child2", c2)
+        if not (len(w) == len(c1) == len(c2)):
+            raise ValueError("weights/child1/child2 must have equal length")
+        if len(w) == 0:
+            raise ValueError("a DAG job must have at least one node")
+        if (w < 1).any():
+            raise ValueError("node weights must be >= 1")
+
+    @property
+    def n_nodes(self) -> int:
+        return int(len(self.weights))
+
+    @property
+    def work(self) -> int:
+        """Total work :math:`W_i` — the sum of all node weights (Sec. II)."""
+        return int(self.weights.sum())
+
+    @property
+    def span(self) -> int:
+        """Critical-path length :math:`C_i` — the heaviest path (Sec. II).
+
+        Computed by dynamic programming over the topological node order.
+        """
+        n = self.n_nodes
+        # depth[v] = heaviest path ending at v, *including* v's weight
+        depth = np.array(self.weights, dtype=np.int64)
+        best_prefix = np.zeros(n, dtype=np.int64)  # heaviest path ending just before v
+        c1, c2, w = self.child1, self.child2, self.weights
+        for u in range(n):
+            du = best_prefix[u] + w[u]
+            depth[u] = du
+            for c in (c1[u], c2[u]):
+                if c != NO_CHILD and best_prefix[c] < du:
+                    best_prefix[c] = du
+        return int(depth.max())
+
+    def in_degrees(self) -> np.ndarray:
+        """``int64[n]`` — number of parents per node."""
+        deg = np.zeros(self.n_nodes, dtype=np.int64)
+        for arr in (self.child1, self.child2):
+            valid = arr[arr != NO_CHILD]
+            np.add.at(deg, valid, 1)
+        return deg
+
+    def sources(self) -> np.ndarray:
+        """Indices of nodes with no parents (initially ready nodes)."""
+        return np.flatnonzero(self.in_degrees() == 0)
+
+    def children_of(self, u: int) -> tuple[int, ...]:
+        """Children of node ``u`` as a 0-, 1- or 2-tuple."""
+        out = []
+        if self.child1[u] != NO_CHILD:
+            out.append(int(self.child1[u]))
+        if self.child2[u] != NO_CHILD:
+            out.append(int(self.child2[u]))
+        return tuple(out)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as (parent, child) pairs, for validation and tests."""
+        out: list[tuple[int, int]] = []
+        for u in range(self.n_nodes):
+            for c in self.children_of(u):
+                out.append((u, c))
+        return out
+
+    def node_depths(self) -> np.ndarray:
+        """``d(u)`` for every node: heaviest path *ending* at u (Sec. IV-B).
+
+        Used by the steal potential, where a node's weight is
+        ``w(u) = C_i - d(u)``.
+        """
+        n = self.n_nodes
+        best_prefix = np.zeros(n, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+        c1, c2, w = self.child1, self.child2, self.weights
+        for u in range(n):
+            du = best_prefix[u] + w[u]
+            depth[u] = du
+            for c in (c1[u], c2[u]):
+                if c != NO_CHILD and best_prefix[c] < du:
+                    best_prefix[c] = du
+        return depth
+
+    def to_dot(self, highlight_critical: bool = True) -> str:
+        """Graphviz DOT rendering of the DAG (debugging/documentation).
+
+        Nodes are labeled ``id:weight``; with ``highlight_critical`` the
+        nodes on one critical path are drawn bold red.
+        """
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;", "  node [shape=box];"]
+        critical: set[int] = set()
+        if highlight_critical:
+            # walk one heaviest path backwards from the deepest node
+            depths = self.node_depths()
+            v = int(depths.argmax())
+            critical.add(v)
+            parents: dict[int, list[int]] = {}
+            for u, c in self.edges():
+                parents.setdefault(c, []).append(u)
+            while True:
+                preds = parents.get(v, [])
+                best = None
+                for u in preds:
+                    if depths[u] == depths[v] - self.weights[v]:
+                        best = u
+                        break
+                if best is None:
+                    break
+                critical.add(best)
+                v = best
+        for u in range(self.n_nodes):
+            style = (
+                ' color=red penwidth=2' if u in critical else ""
+            )
+            lines.append(f'  n{u} [label="{u}:{int(self.weights[u])}"{style}];')
+        for u, c in self.edges():
+            style = " [color=red penwidth=2]" if u in critical and c in critical else ""
+            lines.append(f"  n{u} -> n{c}{style};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DagJob(name={self.name!r}, nodes={self.n_nodes}, "
+            f"work={self.work}, span={self.span})"
+        )

@@ -1,0 +1,160 @@
+"""Parallelism profiles: how much parallelism a DAG exposes as it runs.
+
+The paper's flow-level simulations assume "all jobs are equally parallel
+since running accurate simulations with different and changing
+parallelisms is difficult" (Sec. V-A).  This module removes that
+restriction for the flow-level simulator: a
+:class:`ParallelismProfile` maps *attained work* to the number of
+processors the job can exploit at that point, derived from the DAG's
+infinite-processor (greedy) execution:
+
+* on infinitely many processors every node ``u`` runs during the
+  interval ``(d(u) - w(u), d(u)]`` where ``d(u)`` is its depth;
+* the instantaneous parallelism at time ``t`` is the number of running
+  nodes, a piecewise-constant function over ``[0, span]``;
+* attained work is its integral, so inverting it yields parallelism as
+  a (piecewise-constant) function of attained work.
+
+This is the classic work/span view (the profile's average equals
+``work / span``) and gives the flow-level engine exact event times via
+cap-breakpoint timers (see ``repro.flowsim.engine``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import DagJob
+
+__all__ = ["ParallelismProfile"]
+
+
+@dataclass(frozen=True)
+class ParallelismProfile:
+    """Piecewise-constant parallelism as a function of attained work.
+
+    Attributes
+    ----------
+    work_breaks:
+        ``float[k+1]`` increasing, from 0 to total work — segment
+        boundaries in attained-work space.
+    parallelism:
+        ``float[k]`` — parallelism available within each segment (>= 1).
+    """
+
+    work_breaks: np.ndarray
+    parallelism: np.ndarray
+
+    def __post_init__(self) -> None:
+        wb = np.ascontiguousarray(self.work_breaks, dtype=float)
+        par = np.ascontiguousarray(self.parallelism, dtype=float)
+        object.__setattr__(self, "work_breaks", wb)
+        object.__setattr__(self, "parallelism", par)
+        if wb.ndim != 1 or par.ndim != 1 or wb.size != par.size + 1:
+            raise ValueError("need k+1 work breaks for k parallelism segments")
+        if wb[0] != 0 or (np.diff(wb) <= 0).any():
+            raise ValueError("work_breaks must start at 0 and increase")
+        if (par < 1).any():
+            raise ValueError("parallelism must be >= 1 everywhere")
+
+    @property
+    def total_work(self) -> float:
+        return float(self.work_breaks[-1])
+
+    @property
+    def span(self) -> float:
+        """Time to drain the profile at full parallelism — equals the
+        DAG's critical path by construction."""
+        seg = np.diff(self.work_breaks)
+        return float((seg / self.parallelism).sum())
+
+    @property
+    def average_parallelism(self) -> float:
+        return self.total_work / self.span
+
+    def cap_at(self, attained: float, tol: float = 0.0) -> float:
+        """Parallelism available once ``attained`` work is done.
+
+        ``tol`` makes the lookup robust to float drift: an attained value
+        within ``tol`` below a breakpoint counts as having crossed it
+        (simulators accumulate ``remaining -= rate*dt`` error, so landing
+        *exactly* on a break is numerically impossible).
+        """
+        if attained < -tol:
+            raise ValueError("attained must be >= 0")
+        probe = attained + tol
+        if probe >= self.total_work:
+            return float(self.parallelism[-1])
+        idx = int(np.searchsorted(self.work_breaks, probe, side="right")) - 1
+        idx = min(max(idx, 0), self.parallelism.size - 1)
+        return float(self.parallelism[idx])
+
+    def next_break_after(self, attained: float, tol: float = 0.0) -> float | None:
+        """Attained-work level where the cap next changes, or ``None``.
+
+        Breakpoints within ``tol`` of ``attained`` are treated as already
+        crossed (matching :meth:`cap_at`'s view), so the returned break is
+        always strictly ahead by more than ``tol``.
+        """
+        probe = attained + tol
+        idx = int(np.searchsorted(self.work_breaks, probe, side="right"))
+        cur = self.cap_at(attained, tol)
+        while idx < self.work_breaks.size - 1:
+            brk = float(self.work_breaks[idx])
+            if self.cap_at(brk, tol) != cur:
+                return brk
+            idx += 1
+        return None
+
+    @classmethod
+    def from_dag(cls, dag: DagJob) -> "ParallelismProfile":
+        """Profile of the infinite-processor greedy execution of ``dag``."""
+        depths = dag.node_depths().astype(np.int64)
+        starts = depths - dag.weights  # node u runs in (start, depth]
+        span = int(depths.max())
+        # parallelism over unit time steps 0..span-1: node u is running
+        # during steps start..depth-1
+        delta = np.zeros(span + 1, dtype=np.int64)
+        np.add.at(delta, starts, 1)
+        np.add.at(delta, depths, -1)
+        par_t = np.cumsum(delta[:-1])  # parallelism at each unit step
+        if (par_t < 1).any():
+            raise ValueError("profile gap: DAG has an idle instant")
+        # compress equal consecutive steps into segments; work per step
+        # equals parallelism (every running node does one unit per step)
+        breaks = [0.0]
+        pars = []
+        seg_par = int(par_t[0])
+        seg_work = 0
+        for p in par_t:
+            if int(p) != seg_par:
+                breaks.append(breaks[-1] + seg_work)
+                pars.append(float(seg_par))
+                seg_par = int(p)
+                seg_work = 0
+            seg_work += int(p)
+        breaks.append(breaks[-1] + seg_work)
+        pars.append(float(seg_par))
+        return cls(
+            work_breaks=np.array(breaks, dtype=float),
+            parallelism=np.array(pars, dtype=float),
+        )
+
+    @classmethod
+    def constant(cls, work: float, parallelism: float) -> "ParallelismProfile":
+        """Fixed-parallelism profile (testing and the paper's settings)."""
+        if work <= 0:
+            raise ValueError("work must be > 0")
+        return cls(
+            work_breaks=np.array([0.0, float(work)]),
+            parallelism=np.array([float(parallelism)]),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelismProfile(segments={self.parallelism.size}, "
+            f"work={self.total_work:g}, span={self.span:g}, "
+            f"avg_par={self.average_parallelism:.2f})"
+        )

@@ -1,0 +1,72 @@
+"""Structural validation for :class:`repro.dag.DagJob`.
+
+The runtime simulator's correctness rests on three structural properties the
+paper assumes (Sec. II, IV-A): the graph is acyclic, nodes have out-degree
+at most two, and node weights are positive.  We additionally require nodes
+to be stored in a topological order (every edge forward), which the
+simulator exploits, and we cross-check the work/span accessors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import NO_CHILD, DagJob
+
+__all__ = ["validate_dag", "DagValidationError"]
+
+
+class DagValidationError(ValueError):
+    """Raised when a DAG violates a structural invariant."""
+
+
+def validate_dag(dag: DagJob) -> None:
+    """Check all structural invariants; raise :class:`DagValidationError`.
+
+    Checks performed:
+
+    1. child indices in range or ``NO_CHILD``;
+    2. every edge goes from a lower to a higher node index (which implies
+       acyclicity);
+    3. ``child2`` set implies ``child1`` set, and the two differ unless
+       both are ``NO_CHILD`` (no duplicate edges);
+    4. weights >= 1 (enforced at construction, re-checked here);
+    5. ``1 <= span <= work``;
+    6. every node is reachable from some source (no disconnected garbage
+       that would leave the job unfinishable is possible here by
+       construction, but unreachable nodes with parents forming a cycle are
+       ruled out by check 2; we still verify every non-source node has a
+       parent edge pointing at it).
+    """
+    n = dag.n_nodes
+    for name, arr in (("child1", dag.child1), ("child2", dag.child2)):
+        bad = (arr != NO_CHILD) & ((arr < 0) | (arr >= n))
+        if bad.any():
+            raise DagValidationError(f"{name} contains out-of-range indices")
+
+    idx = np.arange(n)
+    for name, arr in (("child1", dag.child1), ("child2", dag.child2)):
+        has = arr != NO_CHILD
+        if (arr[has] <= idx[has]).any():
+            raise DagValidationError(f"{name} contains a non-forward edge")
+
+    orphan_second = (dag.child2 != NO_CHILD) & (dag.child1 == NO_CHILD)
+    if orphan_second.any():
+        raise DagValidationError("child2 set while child1 empty")
+
+    dup = (dag.child1 != NO_CHILD) & (dag.child1 == dag.child2)
+    if dup.any():
+        raise DagValidationError("duplicate edge (child1 == child2)")
+
+    if (dag.weights < 1).any():
+        raise DagValidationError("node weight < 1")
+
+    work, span = dag.work, dag.span
+    if not (1 <= span <= work):
+        raise DagValidationError(f"span/work inconsistent: span={span}, work={work}")
+
+    # every non-source node must be someone's child
+    deg = dag.in_degrees()
+    sources = deg == 0
+    if n > 1 and sources.sum() == n:
+        raise DagValidationError("multi-node DAG with no edges at all")

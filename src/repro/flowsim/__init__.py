@@ -1,0 +1,46 @@
+"""Flow-level simulator (paper Sec. V-A, Figures 1-2).
+
+Jobs are characterized by remaining work and a parallelism cap; policies
+assign (possibly fractional) processor rates that stay constant between
+events.  See :mod:`repro.flowsim.engine` for the loop and
+:mod:`repro.flowsim.policies` for the scheduler implementations.
+"""
+
+from repro.flowsim.engine import FlowSimConfig, FlowSimError, simulate
+from repro.flowsim.policies import (
+    FIFO,
+    LAPS,
+    MLF,
+    RoundRobin,
+    SETF,
+    SJF,
+    SRPT,
+    SWF,
+    ActiveView,
+    DrepParallel,
+    DrepSequential,
+    Policy,
+    policy_by_name,
+)
+from repro.flowsim.rates import equal_split, priority_waterfill
+
+__all__ = [
+    "simulate",
+    "FlowSimConfig",
+    "FlowSimError",
+    "Policy",
+    "ActiveView",
+    "SRPT",
+    "SJF",
+    "SWF",
+    "RoundRobin",
+    "FIFO",
+    "LAPS",
+    "MLF",
+    "SETF",
+    "DrepSequential",
+    "DrepParallel",
+    "policy_by_name",
+    "equal_split",
+    "priority_waterfill",
+]

@@ -1,0 +1,64 @@
+"""Flow-level scheduling policies.
+
+The paper's simulation series (Figures 1-2): :class:`SRPT`, :class:`SJF`
+(= :class:`SWF` for parallel jobs), :class:`RoundRobin`, and the paper's
+contribution :class:`DrepSequential` / :class:`DrepParallel`.  Extensions:
+:class:`FIFO`, :class:`LAPS`, :class:`SETF`.
+"""
+
+from repro.flowsim.policies.base import ActiveView, Policy
+from repro.flowsim.policies.drep import DrepParallel, DrepSequential
+from repro.flowsim.policies.fifo import FIFO
+from repro.flowsim.policies.laps import LAPS
+from repro.flowsim.policies.mlf import MLF
+from repro.flowsim.policies.random_np import RandomNonPreemptive
+from repro.flowsim.policies.rr import RoundRobin
+from repro.flowsim.policies.setf import SETF
+from repro.flowsim.policies.sjf import SJF, SWF
+from repro.flowsim.policies.srpt import SRPT
+from repro.flowsim.policies.weighted import HDF, WDrep, WSRPT
+
+__all__ = [
+    "ActiveView",
+    "Policy",
+    "SRPT",
+    "SJF",
+    "SWF",
+    "RoundRobin",
+    "FIFO",
+    "LAPS",
+    "MLF",
+    "RandomNonPreemptive",
+    "SETF",
+    "DrepSequential",
+    "DrepParallel",
+    "HDF",
+    "WSRPT",
+    "WDrep",
+]
+
+
+def policy_by_name(name: str, **kwargs) -> Policy:
+    """Instantiate a policy by its table name (case-insensitive)."""
+    registry = {
+        "srpt": SRPT,
+        "sjf": SJF,
+        "swf": SWF,
+        "rr": RoundRobin,
+        "fifo": FIFO,
+        "laps": LAPS,
+        "mlf": MLF,
+        "random-np": RandomNonPreemptive,
+        "setf": SETF,
+        "drep": DrepSequential,
+        "drep-seq": DrepSequential,
+        "drep-par": DrepParallel,
+        "hdf": HDF,
+        "wsrpt": WSRPT,
+        "wdrep": WDrep,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(registry)}") from None
+    return cls(**kwargs)

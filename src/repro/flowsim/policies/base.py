@@ -1,0 +1,116 @@
+"""Policy interface for the flow-level simulator.
+
+A policy sees the active jobs through an :class:`ActiveView` — aligned
+numpy arrays of ids, remaining work, total work, release times, attained
+service and rate caps — and returns a rate vector.  Stateful policies
+(DREP's integral processor assignment) additionally receive arrival and
+completion callbacks; the engine guarantees the callback order documented
+on each hook.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ActiveView", "Policy"]
+
+
+@dataclass(frozen=True)
+class ActiveView:
+    """Snapshot of the active jobs at one instant.
+
+    All arrays are aligned: entry ``k`` describes the job ``job_ids[k]``.
+    ``attained == work - remaining`` is the elapsed service (for SETF).
+    Views are cheap, read-only conveniences; policies must not mutate them.
+    """
+
+    t: float
+    m: int
+    job_ids: np.ndarray
+    remaining: np.ndarray
+    work: np.ndarray
+    release: np.ndarray
+    caps: np.ndarray
+    #: resource-augmentation factor: work drains at ``rate * speed``
+    #: (relevant only to policies that schedule timers in absolute time)
+    speed: float = 1.0
+
+    @property
+    def n(self) -> int:
+        return int(self.job_ids.size)
+
+    @property
+    def attained(self) -> np.ndarray:
+        return self.work - self.remaining
+
+    def index_of(self, job_id: int) -> int:
+        """Position of ``job_id`` in the view arrays (raises if absent)."""
+        pos = np.flatnonzero(self.job_ids == job_id)
+        if pos.size != 1:
+            raise KeyError(f"job {job_id} not active")
+        return int(pos[0])
+
+
+class Policy(abc.ABC):
+    """Base class for flow-level scheduling policies.
+
+    Lifecycle: the engine calls :meth:`reset` once per run, then
+    :meth:`on_arrival` / :meth:`on_completion` as events fire, and
+    :meth:`rates` after every event.  ``on_arrival`` is called *after* the
+    new job joins the active set; ``on_completion`` *after* the finished job
+    leaves it.  :meth:`next_timer` lets a policy request an extra event
+    (e.g. SETF's service-level crossings); return ``None`` for never.
+    """
+
+    #: Human-readable name used in results and plots.
+    name: str = "policy"
+
+    #: Whether the policy is clairvoyant (needs job sizes up front).  The
+    #: paper stresses DREP and RR are non-clairvoyant while SRPT/SJF/SWF
+    #: are not; exposed so harnesses can annotate tables.
+    clairvoyant: bool = False
+
+    def reset(self, m: int, rng: np.random.Generator) -> None:
+        """Prepare for a fresh run on an ``m``-processor machine."""
+
+    def on_arrival(self, job_id: int, view: ActiveView) -> None:
+        """Notify that ``job_id`` just arrived (already in ``view``)."""
+
+    def on_completion(self, job_id: int, view: ActiveView) -> None:
+        """Notify that ``job_id`` just finished (absent from ``view``)."""
+
+    @abc.abstractmethod
+    def rates(self, view: ActiveView) -> np.ndarray:
+        """Rate vector aligned with ``view.job_ids``.
+
+        Must satisfy ``0 <= rates <= caps`` elementwise and
+        ``rates.sum() <= m`` (the engine verifies both).
+        """
+
+    def next_timer(self, view: ActiveView) -> float | None:
+        """Absolute time of the next policy-requested event, if any."""
+        return None
+
+    # -- practicality accounting ------------------------------------------
+
+    @property
+    def preemptions(self) -> int:
+        """Processor switches away from unfinished jobs so far (Thm 1.2)."""
+        return 0
+
+    @property
+    def migrations(self) -> int:
+        """Job resumptions on a different processor so far."""
+        return 0
+
+    @property
+    def switches(self) -> int:
+        """All processor re-assignments so far (the Theorem 1.2 O(mn)
+        quantity); includes post-completion re-draws."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

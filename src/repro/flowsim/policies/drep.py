@@ -1,0 +1,201 @@
+"""DREP — Distributed Random Equi-Partition (the paper's contribution).
+
+Flow-level form of the algorithm.  Two variants:
+
+* :class:`DrepSequential` — Sec. III, jobs use at most one processor.  On
+  an arrival, a free processor (if any) takes the new job outright;
+  otherwise every processor flips a coin with probability ``1/|A(t)|``
+  (``|A(t)|`` counting the new job) and ties are broken so the new job
+  gets **at most one** processor.  On a completion, the freed processor
+  draws a job uniformly at random from the queue of *unassigned* jobs.
+  Preemptions happen only on arrivals; the expected total is O(n)
+  (Theorem 1.2).
+
+* :class:`DrepParallel` — the processor-assignment rule of Sec. IV without
+  the work-stealing internals (those live in :mod:`repro.wsim`): on an
+  arrival every processor independently switches to the new job with
+  probability ``1/|A(t)|`` (several may switch); on a completion each
+  processor of the finished job re-draws uniformly from all remaining
+  active jobs.  A job's processing rate is ``min(cap, p_i(t))`` — exact
+  for the fully parallel jobs of Figure 2.
+
+Both variants expose preemption/migration counters so the Theorem 1.2
+budget can be checked empirically (``benchmarks/test_preemptions.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flowsim.policies.base import ActiveView, Policy
+
+__all__ = ["DrepSequential", "DrepParallel"]
+
+_FREE = -1
+
+
+class _DrepBase(Policy):
+    """Shared machinery: per-processor assignment table and counters.
+
+    ``arrival_switch_prob`` overrides the coin-flip probability used on a
+    job arrival: ``None`` (default) is the paper's ``1/|A(t)|``; a float
+    in (0, 1] fixes the probability (ablation X3 in DESIGN.md — a fixed
+    probability loses the equi-partition property and, when large, the
+    O(n) expected preemption budget).
+    """
+
+    clairvoyant = False
+
+    def __init__(self, arrival_switch_prob: float | None = None) -> None:
+        if arrival_switch_prob is not None and not 0 < arrival_switch_prob <= 1:
+            raise ValueError("arrival_switch_prob must be in (0, 1]")
+        self.arrival_switch_prob = arrival_switch_prob
+        if arrival_switch_prob is not None:
+            self.name = f"DREP(p={arrival_switch_prob:g})"
+        self._assignment: np.ndarray | None = None
+        self._rng: np.random.Generator | None = None
+        self._preemptions = 0
+        self._switches = 0
+        self._migrations = 0
+        self._last_proc: dict[int, set[int]] = {}
+
+    def _switch_prob(self, n_active: int) -> float:
+        if self.arrival_switch_prob is not None:
+            return self.arrival_switch_prob
+        return 1.0 / n_active
+
+    def reset(self, m: int, rng: np.random.Generator) -> None:
+        self._assignment = np.full(m, _FREE, dtype=np.int64)
+        self._rng = rng
+        self._preemptions = 0
+        self._switches = 0
+        self._migrations = 0
+        self._last_proc = {}
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def preemptions(self) -> int:
+        return self._preemptions
+
+    @property
+    def switches(self) -> int:
+        """All processor re-assignments, including after completions."""
+        return self._switches
+
+    @property
+    def migrations(self) -> int:
+        return self._migrations
+
+    def processors_of(self, job_id: int) -> np.ndarray:
+        """Indices of processors currently assigned to ``job_id``."""
+        assert self._assignment is not None
+        return np.flatnonzero(self._assignment == job_id)
+
+    def _assign(self, proc: int, job_id: int, preempt: bool) -> None:
+        """Move processor ``proc`` onto ``job_id``, updating counters."""
+        assert self._assignment is not None
+        if self._assignment[proc] == job_id:
+            return
+        if preempt and self._assignment[proc] != _FREE:
+            self._preemptions += 1
+        self._switches += 1
+        self._assignment[proc] = job_id
+        seen = self._last_proc.setdefault(job_id, set())
+        if seen and proc not in seen:
+            self._migrations += 1
+        seen.add(proc)
+
+    def _release_procs_of(self, job_id: int) -> np.ndarray:
+        assert self._assignment is not None
+        procs = np.flatnonzero(self._assignment == job_id)
+        self._assignment[procs] = _FREE
+        self._last_proc.pop(job_id, None)
+        return procs
+
+
+class DrepSequential(_DrepBase):
+    """DREP for sequential jobs (paper Sec. III)."""
+
+    name = "DREP"
+
+    def on_arrival(self, job_id: int, view: ActiveView) -> None:
+        assert self._assignment is not None and self._rng is not None
+        free = np.flatnonzero(self._assignment == _FREE)
+        if free.size:
+            # a free processor takes the new job; no preemption
+            self._assign(int(free[0]), job_id, preempt=False)
+            return
+        n_active = view.n  # includes the new job
+        flips = self._rng.random(self._assignment.size) < self._switch_prob(n_active)
+        winners = np.flatnonzero(flips)
+        if winners.size == 0:
+            return  # job waits in the unassigned queue
+        # tie-break: exactly one of the coin winners switches (Sec. III,
+        # "breaking ties arbitrarily to give the job at most one processor")
+        proc = int(winners[self._rng.integers(winners.size)])
+        self._assign(proc, job_id, preempt=True)
+
+    def on_completion(self, job_id: int, view: ActiveView) -> None:
+        assert self._assignment is not None and self._rng is not None
+        freed = self._release_procs_of(job_id)
+        for proc in freed:
+            unassigned = np.setdiff1d(view.job_ids, self._assignment, assume_unique=False)
+            if unassigned.size == 0:
+                continue  # processor stays free
+            pick = int(unassigned[self._rng.integers(unassigned.size)])
+            self._assign(int(proc), pick, preempt=False)
+
+    def rates(self, view: ActiveView) -> np.ndarray:
+        assert self._assignment is not None
+        rates = np.zeros(view.n, dtype=float)
+        assigned = self._assignment[self._assignment != _FREE]
+        if assigned.size:
+            # sequential DREP gives each job at most one processor
+            served = np.isin(view.job_ids, assigned)
+            rates[served] = np.minimum(1.0, view.caps[served])
+        return rates
+
+
+class DrepParallel(_DrepBase):
+    """DREP's processor-assignment rule for parallel jobs (paper Sec. IV)."""
+
+    name = "DREP"
+
+    def on_arrival(self, job_id: int, view: ActiveView) -> None:
+        assert self._assignment is not None and self._rng is not None
+        free = np.flatnonzero(self._assignment == _FREE)
+        for proc in free:
+            # idle processors exist only when the machine was empty; they
+            # all join the newcomer (work stealing spreads them internally)
+            self._assign(int(proc), job_id, preempt=False)
+        busy = np.flatnonzero(self._assignment != _FREE)
+        busy = busy[self._assignment[busy] != job_id]
+        if busy.size == 0:
+            return
+        n_active = view.n  # includes the new job
+        flips = self._rng.random(busy.size) < self._switch_prob(n_active)
+        for proc in busy[flips]:
+            self._assign(int(proc), job_id, preempt=True)
+
+    def on_completion(self, job_id: int, view: ActiveView) -> None:
+        assert self._assignment is not None and self._rng is not None
+        freed = self._release_procs_of(job_id)
+        if view.n == 0:
+            return  # machine drained; processors stay free
+        for proc in freed:
+            pick = int(view.job_ids[self._rng.integers(view.n)])
+            self._assign(int(proc), pick, preempt=False)
+
+    def rates(self, view: ActiveView) -> np.ndarray:
+        assert self._assignment is not None
+        rates = np.zeros(view.n, dtype=float)
+        assigned = self._assignment[self._assignment != _FREE]
+        if assigned.size == 0 or view.n == 0:
+            return rates
+        ids, counts = np.unique(assigned, return_counts=True)
+        pos = np.searchsorted(ids, view.job_ids)
+        pos_clip = np.minimum(pos, ids.size - 1)
+        hit = ids[pos_clip] == view.job_ids
+        rates[hit] = np.minimum(view.caps[hit], counts[pos_clip[hit]].astype(float))
+        return rates

@@ -1,0 +1,28 @@
+"""First-In-First-Out (FIFO / First-Come-First-Served).
+
+Not part of the paper's simulation series, but the canonical
+no-preemption straw man its motivating example attacks (Sec. I,
+"Challenges"): a large job that arrives first occupies the whole machine
+and a burst of small jobs behind it suffers.  Included so tests and
+ablations can reproduce that pathology quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flowsim.policies.base import ActiveView, Policy
+from repro.flowsim.rates import priority_waterfill
+
+__all__ = ["FIFO"]
+
+
+class FIFO(Policy):
+    """Serve jobs in arrival order, each up to its cap."""
+
+    name = "FIFO"
+    clairvoyant = False
+
+    def rates(self, view: ActiveView) -> np.ndarray:
+        order = np.lexsort((view.job_ids, view.release))
+        return priority_waterfill(view.caps, order, view.m)

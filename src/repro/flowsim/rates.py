@@ -1,0 +1,96 @@
+"""Rate-allocation helpers shared by flow-level policies.
+
+A flow-level policy turns the active-job state into a vector of processing
+rates (processors, possibly fractional) subject to two constraints:
+
+* per-job cap — 1 for sequential jobs, ``m`` for fully parallel ones
+  (:meth:`repro.core.ParallelismMode.rate_cap`);
+* machine capacity — rates sum to at most ``m``.
+
+Two allocation shapes cover every policy in the paper's evaluation:
+**priority water-fill** (SRPT, SJF/SWF, FIFO: serve jobs in priority order,
+each up to its cap, until the machine is full) and **equal split** (RR /
+EQUI, LAPS, SETF: split capacity evenly with per-job caps, redistributing
+the excess — classic water-filling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["priority_waterfill", "equal_split"]
+
+
+def priority_waterfill(caps: np.ndarray, order: np.ndarray, m: float) -> np.ndarray:
+    """Allocate ``m`` processors to jobs in ``order``, each up to its cap.
+
+    Parameters
+    ----------
+    caps:
+        ``float[n]`` per-job rate caps (> 0).
+    order:
+        Permutation of ``range(n)``; earlier entries are served first.
+    m:
+        Machine capacity.
+
+    Returns the rate vector (aligned with ``caps``).  This is the greedy
+    schedule SRPT/SJF induce: the highest-priority jobs each get their full
+    cap, one job may get a partial remainder, the rest get zero.
+    """
+    caps = np.asarray(caps, dtype=float)
+    n = caps.size
+    if np.asarray(order).shape != (n,):
+        raise ValueError("order must be a permutation of range(len(caps))")
+    rates = np.zeros(n, dtype=float)
+    left = float(m)
+    for idx in order:
+        if left <= 0:
+            break
+        give = min(float(caps[idx]), left)
+        rates[idx] = give
+        left -= give
+    return rates
+
+
+def equal_split(caps: np.ndarray, m: float, mask: np.ndarray | None = None) -> np.ndarray:
+    """Water-fill ``m`` processors equally among (masked) jobs with caps.
+
+    Every selected job receives ``min(cap, level)`` where the common level
+    is chosen so allocations sum to ``min(m, sum caps)``.  Exact O(n log n)
+    water-filling via a sort on caps.
+    """
+    caps = np.asarray(caps, dtype=float)
+    n = caps.size
+    sel = np.ones(n, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
+    if sel.shape != (n,):
+        raise ValueError("mask must align with caps")
+    rates = np.zeros(n, dtype=float)
+    idx = np.flatnonzero(sel)
+    if idx.size == 0 or m <= 0:
+        return rates
+    c = caps[idx]
+    if (c <= 0).any():
+        raise ValueError("caps must be positive")
+    total = c.sum()
+    if total <= m:
+        rates[idx] = c  # everyone saturates
+        return rates
+    # find level L with sum(min(c, L)) == m
+    order = np.argsort(c)
+    c_sorted = c[order]
+    k = c_sorted.size
+    # prefix[i] = sum of the i smallest caps
+    prefix = np.concatenate([[0.0], np.cumsum(c_sorted)])
+    # with the i smallest saturated at their caps, the rest at level L:
+    #   prefix[i] + (k - i) * L = m, need c_sorted[i-1] <= L <= c_sorted[i]
+    for i in range(k):
+        level = (m - prefix[i]) / (k - i)
+        if level <= c_sorted[i] + 1e-15:
+            alloc = np.minimum(c_sorted, level)
+            out = np.empty(k, dtype=float)
+            out[order] = alloc
+            rates[idx] = out
+            return rates
+    # numerically everyone saturates (shouldn't happen given total > m)
+    rates[idx] = c * (m / total)
+    return rates

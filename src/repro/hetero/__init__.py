@@ -1,0 +1,33 @@
+"""Related-machines testbed — the paper's stated open problem
+(Conclusion: scheduling parallel jobs on processors of different speeds).
+"""
+
+from repro.hetero.engine import (
+    FREE,
+    HeteroPolicy,
+    HeteroSimError,
+    HeteroState,
+    simulate_hetero,
+)
+from repro.hetero.machine import (
+    Machine,
+    geometric_machine,
+    two_class_machine,
+    uniform_machine,
+)
+from repro.hetero.policies import DrepRelated, FifoRelated, SrptRelated
+
+__all__ = [
+    "FREE",
+    "HeteroPolicy",
+    "HeteroSimError",
+    "HeteroState",
+    "simulate_hetero",
+    "Machine",
+    "uniform_machine",
+    "two_class_machine",
+    "geometric_machine",
+    "SrptRelated",
+    "FifoRelated",
+    "DrepRelated",
+]

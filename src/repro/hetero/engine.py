@@ -1,0 +1,224 @@
+"""Event-driven simulator for sequential jobs on related machines.
+
+Model: ``m`` processors with speeds ``s_1..s_m``; each sequential job
+holds at most one processor at a time and is processed at that
+processor's speed.  Policies assign processors to jobs integrally and
+are notified at arrivals and completions (plus an optional global
+rebalance hook after every event, for clairvoyant policies that re-match
+like SRPT).  Between events rates are constant, so the engine jumps to
+the next arrival/completion exactly.
+
+This is the testbed for the paper's stated open problem (Conclusion):
+online flow-time scheduling on processors of different speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import ScheduleResult
+from repro.core.rng import RngFactory
+from repro.hetero.machine import Machine
+from repro.workloads.traces import Trace
+
+__all__ = ["HeteroState", "HeteroPolicy", "simulate_hetero", "HeteroSimError"]
+
+FREE = -1
+
+
+class HeteroSimError(RuntimeError):
+    """Invariant violation or stall in the related-machines simulator."""
+
+
+@dataclass
+class HeteroState:
+    """Mutable simulation state handed to policies.
+
+    ``assignment[p]`` is the job id processor ``p`` currently runs, or
+    ``FREE``.  Policies mutate assignments only through
+    :meth:`assign` / :meth:`release_job` so counters stay honest.
+    """
+
+    machine: Machine
+    assignment: np.ndarray
+    remaining: dict[int, float]
+    release: np.ndarray
+    work: np.ndarray
+    t: float = 0.0
+    preemptions: int = 0
+    switches: int = 0
+
+    @property
+    def active_ids(self) -> list[int]:
+        return sorted(self.remaining)
+
+    def procs_of(self, job_id: int) -> np.ndarray:
+        return np.flatnonzero(self.assignment == job_id)
+
+    def free_procs(self) -> np.ndarray:
+        return np.flatnonzero(self.assignment == FREE)
+
+    def rate_of(self, job_id: int) -> float:
+        procs = self.procs_of(job_id)
+        if procs.size == 0:
+            return 0.0
+        # sequential job: only its (single) processor's speed counts;
+        # enforce the one-processor invariant loudly
+        if procs.size > 1:
+            raise HeteroSimError(f"sequential job {job_id} holds {procs.size} processors")
+        return float(self.machine.speeds[procs[0]])
+
+    def assign(self, proc: int, job_id: int) -> None:
+        """Put ``proc`` on ``job_id`` (or FREE), with preemption counting."""
+        old = int(self.assignment[proc])
+        if old == job_id:
+            return
+        if old != FREE and old in self.remaining:
+            self.preemptions += 1  # switched away from an unfinished job
+        if job_id != FREE and (self.assignment == job_id).any():
+            raise HeteroSimError(f"job {job_id} already has a processor")
+        self.assignment[proc] = job_id
+        self.switches += 1
+
+    def release_job(self, job_id: int) -> np.ndarray:
+        """Free all processors of a (finished) job; returns their ids."""
+        procs = self.procs_of(job_id)
+        self.assignment[procs] = FREE
+        return procs
+
+
+class HeteroPolicy:
+    """Base class: assignment policies for related machines."""
+
+    name = "hetero-policy"
+    clairvoyant = False
+
+    def reset(self, state: HeteroState, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def on_arrival(self, state: HeteroState, job_id: int) -> None:
+        """``job_id`` just became active (already in ``state.remaining``)."""
+
+    def on_completion(self, state: HeteroState, job_id: int) -> None:
+        """``job_id`` just finished (already removed; its procs freed)."""
+
+    def rebalance(self, state: HeteroState) -> None:
+        """Optional global re-match after every event (clairvoyant)."""
+
+
+def simulate_hetero(
+    trace: Trace,
+    machine: Machine,
+    policy: HeteroPolicy,
+    seed: int = 0,
+    completion_tol: float = 1e-9,
+) -> ScheduleResult:
+    """Run ``policy`` over ``trace`` on ``machine``; sequential jobs only."""
+    n = len(trace)
+    for spec in trace.jobs:
+        if spec.mode.value != "sequential":
+            raise ValueError("the related-machines engine handles sequential jobs")
+    if n == 0:
+        return ScheduleResult(
+            scheduler=policy.name, m=machine.m, flow_times=np.empty(0)
+        )
+    release = np.array([j.release for j in trace.jobs], dtype=float)
+    work = np.array([j.work for j in trace.jobs], dtype=float)
+    flow_times = np.full(n, np.nan)
+
+    state = HeteroState(
+        machine=machine,
+        assignment=np.full(machine.m, FREE, dtype=np.int64),
+        remaining={},
+        release=release,
+        work=work,
+    )
+    rng = RngFactory(seed).stream(f"hetero/{policy.name}")
+    policy.reset(state, rng)
+
+    next_arrival = 0
+    completed = 0
+    busy_speed_time = 0.0
+    max_events = 60 * n + 1000
+    events = 0
+
+    while completed < n:
+        events += 1
+        if events > max_events:
+            raise HeteroSimError(
+                f"{policy.name}: exceeded {max_events} events "
+                f"({completed}/{n} done at t={state.t:.6g})"
+            )
+        # admit due arrivals
+        while next_arrival < n and release[next_arrival] <= state.t * (1 + 1e-15):
+            j = next_arrival
+            next_arrival += 1
+            state.remaining[j] = float(work[j])
+            policy.on_arrival(state, j)
+        if not state.remaining:
+            if next_arrival >= n:
+                break
+            state.t = float(release[next_arrival])
+            continue
+        policy.rebalance(state)
+
+        # constant-rate segment
+        rates = {j: state.rate_of(j) for j in state.remaining}
+        dt_candidates = []
+        for j, r in rates.items():
+            if r > 0:
+                dt_candidates.append(state.remaining[j] / r)
+        if next_arrival < n:
+            dt_candidates.append(release[next_arrival] - state.t)
+        if not dt_candidates:
+            raise HeteroSimError(
+                f"{policy.name}: stalled with {len(state.remaining)} active jobs"
+            )
+        dt = min(dt_candidates)
+        if dt < 0:
+            raise HeteroSimError("negative time step")
+        if dt > 0:
+            for j, r in rates.items():
+                if r > 0:
+                    state.remaining[j] -= r * dt
+                    busy_speed_time += r * dt
+            state.t += dt
+
+        # completions (one at a time; policy sees the updated state)
+        while True:
+            done = [
+                j
+                for j, rem in state.remaining.items()
+                if rem <= completion_tol * max(1.0, work[j])
+            ]
+            if not done:
+                break
+            j = min(done)
+            del state.remaining[j]
+            state.release_job(j)
+            flow_times[j] = state.t - release[j]
+            completed += 1
+            policy.on_completion(state, j)
+
+    if np.isnan(flow_times).any():
+        raise HeteroSimError(f"{policy.name}: unfinished jobs at end")
+    makespan = state.t
+    util = (
+        busy_speed_time / (makespan * machine.total_speed) if makespan > 0 else 0.0
+    )
+    return ScheduleResult(
+        scheduler=policy.name,
+        m=machine.m,
+        flow_times=flow_times,
+        preemptions=state.preemptions,
+        makespan=makespan,
+        min_flows=np.maximum(work / machine.max_speed, 1e-300),
+        weights=np.array([j.weight for j in trace.jobs]),
+        extra={
+            "switches": state.switches,
+            "utilization": util,
+            "machine": machine.describe(),
+        },
+    )

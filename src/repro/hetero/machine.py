@@ -1,0 +1,78 @@
+"""Related-machines model: processors with different speeds.
+
+The paper's conclusion poses this as open: "design schedulers for
+parallel jobs on processors of different speeds ... As far as the
+authors are aware, no prior work has addressed this problem theoretically
+in the online model."  This subpackage provides the experimental testbed
+for that question: an event-driven simulator where each processor has its
+own speed and schedulers assign processors to (sequential) jobs
+integrally, so a job's processing rate is the speed of the processor it
+holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Machine", "uniform_machine", "two_class_machine", "geometric_machine"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """An ordered set of processors with positive speeds."""
+
+    speeds: np.ndarray
+
+    def __post_init__(self) -> None:
+        s = np.ascontiguousarray(self.speeds, dtype=float)
+        object.__setattr__(self, "speeds", s)
+        if s.ndim != 1 or s.size == 0:
+            raise ValueError("speeds must be a non-empty 1-D array")
+        if (s <= 0).any():
+            raise ValueError("speeds must be positive")
+
+    @property
+    def m(self) -> int:
+        return int(self.speeds.size)
+
+    @property
+    def total_speed(self) -> float:
+        return float(self.speeds.sum())
+
+    @property
+    def max_speed(self) -> float:
+        return float(self.speeds.max())
+
+    def by_speed_desc(self) -> np.ndarray:
+        """Processor indices sorted fastest first (stable)."""
+        return np.lexsort((np.arange(self.m), -self.speeds))
+
+    def describe(self) -> str:
+        uniq, counts = np.unique(self.speeds, return_counts=True)
+        parts = [f"{int(c)}x{s:g}" for s, c in zip(uniq[::-1], counts[::-1])]
+        return "+".join(parts)
+
+
+def uniform_machine(m: int, speed: float = 1.0) -> Machine:
+    """Identical processors — the paper's setting, as the control case."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return Machine(np.full(m, float(speed)))
+
+
+def two_class_machine(n_fast: int, n_slow: int, fast: float = 4.0, slow: float = 1.0) -> Machine:
+    """big.LITTLE-style machine: a few fast cores, many slow ones."""
+    if n_fast < 0 or n_slow < 0 or n_fast + n_slow < 1:
+        raise ValueError("need at least one processor")
+    return Machine(np.concatenate([np.full(n_fast, fast), np.full(n_slow, slow)]))
+
+
+def geometric_machine(m: int, ratio: float = 2.0, base: float = 1.0) -> Machine:
+    """Speeds ``base * ratio**k`` — a maximally heterogeneous stress case."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if ratio <= 0:
+        raise ValueError("ratio must be > 0")
+    return Machine(base * ratio ** np.arange(m, dtype=float))

@@ -1,0 +1,125 @@
+"""Assignment policies for the related-machines testbed.
+
+Three natural contenders for the paper's open problem:
+
+* :class:`SrptRelated` — clairvoyant greedy: after every event, match the
+  fastest processors to the jobs with least remaining work (the classic
+  "level algorithm" matching; optimal-ish intuition carried over from
+  identical machines);
+* :class:`FifoRelated` — non-preemptive-ish control: earliest arrivals
+  hold the fastest processors;
+* :class:`DrepRelated` — DREP transplanted verbatim: a free processor
+  takes an arriving job (fastest free first); otherwise each processor
+  flips a coin with probability 1/|A(t)| and one winner switches; a
+  completing job's processor re-draws uniformly from the unassigned
+  queue.  Non-clairvoyant, decentralized, preemptions only on arrivals —
+  the open question is what guarantee this loses to speed heterogeneity.
+
+The known hazard for oblivious policies on related machines: a long job
+can get stuck on a slow processor forever.  ``DrepRelated`` optionally
+adds the minimal fix (``reseat=True``): when a *faster* processor would
+go idle, it mugs the job from the slowest busy processor instead —
+a work-stealing-flavored upgrade that never increases total preemptions
+beyond completions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hetero.engine import FREE, HeteroPolicy, HeteroState
+
+__all__ = ["SrptRelated", "FifoRelated", "DrepRelated"]
+
+
+def _match(state: HeteroState, job_order: list[int]) -> None:
+    """Assign fastest processors to jobs in ``job_order`` (one each)."""
+    procs = state.machine.by_speed_desc()
+    k = min(len(job_order), procs.size)
+    target = {int(procs[i]): job_order[i] for i in range(k)}
+    # clear processors whose target changed (or who should be free)
+    for p in range(state.machine.m):
+        want = target.get(p, FREE)
+        if state.assignment[p] != want:
+            state.assign(p, FREE)
+    for p, j in target.items():
+        if state.assignment[p] != j:
+            # the job may still be held by another processor that is
+            # about to be cleared; release it first
+            holder = np.flatnonzero(state.assignment == j)
+            for h in holder:
+                state.assign(int(h), FREE)
+            state.assign(p, j)
+
+
+class SrptRelated(HeteroPolicy):
+    """Fastest processors to smallest remaining work, re-matched on events."""
+
+    name = "SRPT-rel"
+    clairvoyant = True
+
+    def rebalance(self, state: HeteroState) -> None:
+        order = sorted(state.remaining, key=lambda j: (state.remaining[j], j))
+        _match(state, order)
+
+
+class FifoRelated(HeteroPolicy):
+    """Fastest processors to earliest arrivals, re-matched on events."""
+
+    name = "FIFO-rel"
+    clairvoyant = False
+
+    def rebalance(self, state: HeteroState) -> None:
+        order = sorted(state.remaining, key=lambda j: (state.release[j], j))
+        _match(state, order)
+
+
+class DrepRelated(HeteroPolicy):
+    """DREP's protocol on heterogeneous processors."""
+
+    clairvoyant = False
+
+    def __init__(self, reseat: bool = False) -> None:
+        self.reseat = reseat
+        self.name = "DREP-rel+reseat" if reseat else "DREP-rel"
+
+    def on_arrival(self, state: HeteroState, job_id: int) -> None:
+        free = state.free_procs()
+        if free.size:
+            # fastest free processor takes the newcomer
+            speeds = state.machine.speeds[free]
+            state.assign(int(free[np.argmax(speeds)]), job_id)
+            return
+        n_active = len(state.remaining)
+        flips = self.rng.random(state.machine.m) < 1.0 / n_active
+        winners = np.flatnonzero(flips)
+        if winners.size == 0:
+            return
+        proc = int(winners[self.rng.integers(winners.size)])
+        state.assign(proc, FREE)
+        state.assign(proc, job_id)
+
+    def on_completion(self, state: HeteroState, job_id: int) -> None:
+        # the freed processor draws a random unassigned job
+        free = state.free_procs()
+        for proc in free:
+            assigned = set(int(a) for a in state.assignment if a != FREE)
+            unassigned = [j for j in state.remaining if j not in assigned]
+            if not unassigned:
+                if self.reseat:
+                    self._reseat(state, int(proc))
+                continue
+            pick = unassigned[int(self.rng.integers(len(unassigned)))]
+            state.assign(int(proc), pick)
+
+    def _reseat(self, state: HeteroState, proc: int) -> None:
+        """A faster idle processor mugs the slowest busy processor's job."""
+        busy = np.flatnonzero(state.assignment != FREE)
+        if busy.size == 0:
+            return
+        slowest = int(busy[np.argmin(state.machine.speeds[busy])])
+        if state.machine.speeds[proc] <= state.machine.speeds[slowest]:
+            return
+        job = int(state.assignment[slowest])
+        state.assign(slowest, FREE)
+        state.assign(proc, job)

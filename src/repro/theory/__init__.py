@@ -1,0 +1,47 @@
+"""Theory toolkit: lower bounds, potential functions, preemption budgets."""
+
+from repro.theory.bounds import (
+    empirical_competitive_ratio,
+    flow_lower_bound,
+    job_lower_bounds,
+    srpt_opt_proxy,
+)
+from repro.theory.competitive import SpeedFrontier, find_required_speed, speed_sweep
+from repro.theory.exact_opt import (
+    exact_optimal_mean_flow,
+    exact_optimal_total_flow,
+    exhaustive_ratio,
+)
+from repro.theory.lemma48 import Lemma48Tracker, WindowStats
+from repro.theory.potential import (
+    PotentialSnapshot,
+    flow_potential,
+    job_steal_potential_log3,
+    node_weights,
+    snapshot_runtime,
+    steal_potential_log3,
+)
+from repro.theory.preemptions import PreemptionBudget, check_theorem_1_2
+
+__all__ = [
+    "exact_optimal_mean_flow",
+    "exact_optimal_total_flow",
+    "exhaustive_ratio",
+    "SpeedFrontier",
+    "find_required_speed",
+    "speed_sweep",
+    "Lemma48Tracker",
+    "WindowStats",
+    "empirical_competitive_ratio",
+    "flow_lower_bound",
+    "job_lower_bounds",
+    "srpt_opt_proxy",
+    "PotentialSnapshot",
+    "flow_potential",
+    "job_steal_potential_log3",
+    "node_weights",
+    "snapshot_runtime",
+    "steal_potential_log3",
+    "PreemptionBudget",
+    "check_theorem_1_2",
+]

@@ -1,0 +1,67 @@
+"""Lower bounds and optimal-cost proxies for flow-time experiments.
+
+Two reference points calibrate "how far from optimal" a scheduler is:
+
+* the **Observation 1** bound (Sec. II): any unit-speed schedule needs at
+  least ``max(W_i / m', C_i)`` time for job ``J_i`` (``m'`` being the
+  processors it can use), so total flow is at least the sum of these;
+* the **SRPT proxy**: for fully parallel jobs SRPT is optimal for average
+  flow (single-machine SRPT optimality carries over — Sec. V-A), and for
+  sequential jobs it is the strongest practical stand-in for OPT, so the
+  paper's own comparisons use it as the near-optimal baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import ScheduleResult
+from repro.flowsim.engine import FlowSimConfig, simulate
+from repro.flowsim.policies.srpt import SRPT
+from repro.workloads.traces import Trace
+
+__all__ = [
+    "job_lower_bounds",
+    "flow_lower_bound",
+    "srpt_opt_proxy",
+    "empirical_competitive_ratio",
+]
+
+
+def job_lower_bounds(trace: Trace, m: int) -> np.ndarray:
+    """Per-job Observation-1 lower bounds on flow time."""
+    return np.array([spec.lower_bound(m) for spec in trace.jobs], dtype=float)
+
+
+def flow_lower_bound(trace: Trace, m: int) -> float:
+    """Lower bound on the *average* flow time of any unit-speed schedule.
+
+    Sums per-job execution-time bounds; ignores queueing, so it is loose
+    at high load but valid at every load.
+    """
+    n = len(trace)
+    if n == 0:
+        return 0.0
+    return float(job_lower_bounds(trace, m).mean())
+
+
+def srpt_opt_proxy(trace: Trace, m: int, seed: int = 0) -> ScheduleResult:
+    """Simulate SRPT on the trace as the near-optimal reference point."""
+    return simulate(trace, m, SRPT(), seed=seed, config=FlowSimConfig())
+
+
+def empirical_competitive_ratio(
+    result: ScheduleResult, trace: Trace, m: int, seed: int = 0
+) -> dict[str, float]:
+    """Ratios of ``result`` against both reference points.
+
+    ``vs_lower_bound`` can exceed the true competitive ratio arbitrarily
+    at high load (the bound ignores queueing); ``vs_srpt`` is the number
+    the paper quotes (e.g. "at most a factor of 3.25 compared to SRPT").
+    """
+    lb = flow_lower_bound(trace, m)
+    srpt = srpt_opt_proxy(trace, m, seed=seed).mean_flow
+    return {
+        "vs_lower_bound": result.mean_flow / lb if lb > 0 else float("inf"),
+        "vs_srpt": result.mean_flow / srpt if srpt > 0 else float("inf"),
+    }

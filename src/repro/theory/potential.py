@@ -1,0 +1,144 @@
+"""The potential functions of the paper's analysis (Sec. IV-B).
+
+Instrumentation — not needed to *run* DREP, but lets tests check the
+structural lemmas the proof of Theorem 1.1 rests on:
+
+* **steal potential** ψ_i(t): a ready node ``u`` on a deque contributes
+  ``3^{2 w(u)}`` and an assigned (executing) node ``3^{2 w(u) - 1}``,
+  where ``w(u) = C_i - d(u)`` and ``d(u)`` is the depth of ``u`` (the
+  heaviest path ending at ``u``).  Lemma 4.8: ψ never increases during
+  execution, and ``d`` steal attempts shrink it by 1/4 with probability
+  > 1/4.
+
+* **flow potential** Φ_i(t) =
+  ``(10/ε) (rank_i/m) (Z_i + d_i^m) + (320/ε²) log₃ ψ_i``
+  combining the work term (lag Z_i), the mug term (muggable deque count
+  d_i^m) and the critical-path term (log of the steal potential).
+
+ψ is astronomically large (3^{2C}), so everything is computed in
+log₃-space with a log-sum-exp reduction.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import DagJob
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.wsim.runtime import WsRuntime
+    from repro.wsim.structures import JobRun
+
+__all__ = [
+    "node_weights",
+    "steal_potential_log3",
+    "job_steal_potential_log3",
+    "flow_potential",
+    "PotentialSnapshot",
+    "snapshot_runtime",
+]
+
+_LN3 = np.log(3.0)
+
+
+def node_weights(dag: DagJob) -> np.ndarray:
+    """``w(u) = C - d(u)`` for every node (>= 0, 0 only at sinks)."""
+    depths = dag.node_depths()
+    return dag.span - depths
+
+
+def steal_potential_log3(
+    dag: DagJob, ready_nodes: np.ndarray, assigned_nodes: np.ndarray
+) -> float:
+    """log₃ ψ for the given sets of ready (on-deque) and assigned nodes.
+
+    Returns ``-inf`` when both sets are empty (ψ = 0, the completed-job
+    case).
+    """
+    w = node_weights(dag)
+    exponents = []
+    if len(ready_nodes):
+        exponents.append(2.0 * w[np.asarray(ready_nodes, dtype=np.int64)])
+    if len(assigned_nodes):
+        exponents.append(2.0 * w[np.asarray(assigned_nodes, dtype=np.int64)] - 1.0)
+    if not exponents:
+        return float("-inf")
+    e = np.concatenate(exponents).astype(float)
+    # log3-sum-exp, stabilized at the max exponent
+    mx = float(e.max())
+    return mx + float(np.log(np.exp((e - mx) * _LN3).sum()) / _LN3)
+
+
+def job_steal_potential_log3(job: "JobRun", runtime: "WsRuntime") -> float:
+    """log₃ ψ_i(t) read off the live runtime state."""
+    ready = [
+        node
+        for dq in job.deques
+        for (ref_job, node) in dq.nodes
+        if ref_job is job
+    ]
+    # global-mode deques live on workers and may hold this job's nodes
+    for worker in runtime.workers:
+        if worker.dq is not None and worker.dq not in job.deques:
+            ready.extend(
+                node for (ref_job, node) in worker.dq.nodes if ref_job is job
+            )
+    assigned = [
+        worker.current[1]
+        for worker in runtime.workers
+        if worker.current is not None and worker.current[0] is job
+    ]
+    return steal_potential_log3(
+        job.dag,
+        np.array(ready, dtype=np.int64),
+        np.array(assigned, dtype=np.int64),
+    )
+
+
+def flow_potential(
+    rank: int,
+    m: int,
+    lag: float,
+    muggable_deques: int,
+    psi_log3: float,
+    epsilon: float,
+) -> float:
+    """Φ_i per the Sec. IV-B formula.
+
+    ``lag`` is Z_i(t) = max(W_i^A(t) - W_i^O(t), 0); ``psi_log3`` is
+    log₃ ψ_i(t) (−inf means the critical-path term is absent).
+    """
+    if not 0 < epsilon <= 0.25:
+        raise ValueError("epsilon must be in (0, 1/4]")
+    if lag < 0 or muggable_deques < 0 or rank < 0 or m < 1:
+        raise ValueError("rank, m, lag, muggable_deques must be non-negative")
+    work_mug = (10.0 / epsilon) * (rank / m) * (lag + muggable_deques)
+    cp = (320.0 / epsilon**2) * psi_log3 if np.isfinite(psi_log3) else 0.0
+    return work_mug + max(cp, 0.0)
+
+
+@dataclass(frozen=True)
+class PotentialSnapshot:
+    """Per-job potential readings at one runtime instant."""
+
+    step: int
+    job_ids: tuple[int, ...]
+    psi_log3: tuple[float, ...]
+    muggable: tuple[int, ...]
+
+    def psi_of(self, job_id: int) -> float:
+        return self.psi_log3[self.job_ids.index(job_id)]
+
+
+def snapshot_runtime(runtime: "WsRuntime") -> PotentialSnapshot:
+    """Record log₃ ψ and muggable-deque counts for all active jobs."""
+    jobs = list(runtime.active)
+    return PotentialSnapshot(
+        step=runtime.step,
+        job_ids=tuple(j.job_id for j in jobs),
+        psi_log3=tuple(job_steal_potential_log3(j, runtime) for j in jobs),
+        muggable=tuple(j.muggable_count() for j in jobs),
+    )

@@ -1,0 +1,72 @@
+"""Preemption accounting for Theorem 1.2.
+
+The theorem: DREP switches processors between unfinished jobs at most
+O(mn) times over the whole schedule, and for sequential jobs the total
+*expected* number of preemptions is O(n) — because a preemption can only
+happen when a job arrives, and on an arrival either a free processor
+absorbs the job (no preemption) or there are at least m active jobs, in
+which case each of the m processors preempts with probability
+1/|A(t)| <= 1/m, i.e. one expected preemption per arrival.
+
+These helpers turn a :class:`~repro.core.metrics.ScheduleResult` into a
+budget check that benches and tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import ScheduleResult
+
+__all__ = ["PreemptionBudget", "check_theorem_1_2"]
+
+
+@dataclass(frozen=True)
+class PreemptionBudget:
+    """Observed counts vs. the Theorem 1.2 budgets."""
+
+    n_jobs: int
+    m: int
+    observed_preemptions: int
+    observed_switches: int
+    #: hard bound on switches for any DREP run: one switch per processor
+    #: per event, events being n arrivals + n completions
+    switch_bound: int
+    #: expected-preemption budget for the sequential variant: one per arrival
+    expected_sequential: int
+
+    @property
+    def within_switch_bound(self) -> bool:
+        return self.observed_switches <= self.switch_bound
+
+    def sequential_ratio(self) -> float:
+        """Observed preemptions per job; ~<= 1 in expectation (sequential)."""
+        return self.observed_preemptions / self.n_jobs if self.n_jobs else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "n_jobs": self.n_jobs,
+            "m": self.m,
+            "preemptions": self.observed_preemptions,
+            "switches": self.observed_switches,
+            "switch_bound_2mn": self.switch_bound,
+            "preemptions_per_job": self.sequential_ratio(),
+            "within_switch_bound": self.within_switch_bound,
+        }
+
+
+def check_theorem_1_2(result: ScheduleResult, n_jobs: int) -> PreemptionBudget:
+    """Build the budget record for a DREP run result.
+
+    Both simulators record the total re-assignment count under
+    ``result.extra["switches"]``.
+    """
+    switches = int(result.extra.get("switches", result.migrations))
+    return PreemptionBudget(
+        n_jobs=n_jobs,
+        m=result.m,
+        observed_preemptions=result.preemptions,
+        observed_switches=switches,
+        switch_bound=2 * result.m * n_jobs,
+        expected_sequential=n_jobs,
+    )

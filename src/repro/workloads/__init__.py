@@ -1,0 +1,56 @@
+"""Workload substrate: work distributions, arrival processes, job traces."""
+
+from repro.workloads.arrivals import (
+    LOAD_LEVELS,
+    poisson_arrivals,
+    qps_for_load,
+    work_scale_for_m,
+)
+from repro.workloads.distributions import (
+    BoundedParetoWork,
+    ExponentialWork,
+    FixedWork,
+    LogNormalWork,
+    MixtureWork,
+    UniformWork,
+    WorkDistribution,
+    bing_distribution,
+    distribution_by_name,
+    finance_distribution,
+)
+from repro.workloads.stats import WorkStats, distribution_stats, trace_stats
+from repro.workloads.traces import Trace, attach_dags, dag_for_work, generate_trace
+from repro.workloads.transforms import (
+    jitter_releases,
+    merge_traces,
+    repeat_trace,
+    slice_trace,
+)
+
+__all__ = [
+    "LOAD_LEVELS",
+    "poisson_arrivals",
+    "qps_for_load",
+    "work_scale_for_m",
+    "WorkDistribution",
+    "LogNormalWork",
+    "BoundedParetoWork",
+    "ExponentialWork",
+    "UniformWork",
+    "FixedWork",
+    "MixtureWork",
+    "bing_distribution",
+    "finance_distribution",
+    "distribution_by_name",
+    "Trace",
+    "generate_trace",
+    "attach_dags",
+    "dag_for_work",
+    "WorkStats",
+    "distribution_stats",
+    "trace_stats",
+    "merge_traces",
+    "slice_trace",
+    "repeat_trace",
+    "jitter_releases",
+]

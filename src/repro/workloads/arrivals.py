@@ -1,0 +1,119 @@
+"""Arrival processes and load calibration.
+
+The paper generates inter-arrival times "using a Poisson process with a
+mean equal to 1/QPS" and picks QPS to hit target machine utilizations of
+roughly 50% (low), 60% (medium) and 70% (high) (Sec. V-A).  With unit-mean
+work distributions the calibration is exact in expectation:
+
+    utilization = arrival_rate * E[work] / m    =>    QPS = load * m / E[work].
+
+The paper also "scale[s] the amount of work of each job according to the
+number of processors" when sweeping m so that utilization stays constant;
+:func:`work_scale_for_m` implements that convention (work scaled by m, QPS
+held fixed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "poisson_arrivals",
+    "mmpp_arrivals",
+    "qps_for_load",
+    "work_scale_for_m",
+    "LOAD_LEVELS",
+]
+
+#: The paper's three load levels (Sec. V-A): low ~50%, medium ~60%, high ~70%.
+LOAD_LEVELS: dict[str, float] = {"low": 0.5, "medium": 0.6, "high": 0.7}
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, n_jobs: int, rate: float, start: float = 0.0
+) -> np.ndarray:
+    """Release times of ``n_jobs`` Poisson arrivals at the given rate.
+
+    Returns a sorted float array; the first job arrives one inter-arrival
+    after ``start``.
+    """
+    if n_jobs < 0:
+        raise ValueError("n_jobs must be >= 0")
+    if not rate > 0:
+        raise ValueError("rate must be > 0")
+    gaps = rng.exponential(1.0 / rate, size=n_jobs)
+    return start + np.cumsum(gaps)
+
+
+def mmpp_arrivals(
+    rng: np.random.Generator,
+    n_jobs: int,
+    rate: float,
+    burstiness: float = 4.0,
+    switch_rate: float = 0.05,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Two-state Markov-modulated Poisson process with mean rate ``rate``.
+
+    Interactive-service traffic is burstier than Poisson (the paper's
+    Bing scenario); MMPP(2) is the standard model.  The process
+    alternates between a *calm* state and a *burst* state whose rate is
+    ``burstiness`` times the calm rate; both states have mean sojourn
+    ``1/switch_rate`` and the rates are balanced so the long-run average
+    is exactly ``rate``.  ``burstiness == 1`` degenerates to Poisson.
+    """
+    if n_jobs < 0:
+        raise ValueError("n_jobs must be >= 0")
+    if not rate > 0:
+        raise ValueError("rate must be > 0")
+    if burstiness < 1:
+        raise ValueError("burstiness must be >= 1")
+    if not switch_rate > 0:
+        raise ValueError("switch_rate must be > 0")
+    # equal state occupancy: calm + burst rates average to `rate`
+    calm = 2.0 * rate / (1.0 + burstiness)
+    burst = calm * burstiness
+    out = np.empty(n_jobs, dtype=float)
+    t = start
+    in_burst = bool(rng.random() < 0.5)
+    state_ends = t + rng.exponential(1.0 / switch_rate)
+    for i in range(n_jobs):
+        while True:
+            lam = burst if in_burst else calm
+            gap = rng.exponential(1.0 / lam)
+            if t + gap <= state_ends:
+                t += gap
+                out[i] = t
+                break
+            # jump to the state boundary and re-draw (memorylessness)
+            t = state_ends
+            in_burst = not in_burst
+            state_ends = t + rng.exponential(1.0 / switch_rate)
+    return out
+
+
+def qps_for_load(load: float, m: int, mean_work: float) -> float:
+    """Arrival rate achieving expected utilization ``load`` on ``m`` cores.
+
+    ``load`` is a fraction in (0, 1); the returned rate satisfies
+    ``rate * mean_work == load * m``.
+    """
+    if not 0 < load < 1:
+        raise ValueError(f"load must be in (0, 1), got {load}")
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if not mean_work > 0:
+        raise ValueError("mean_work must be > 0")
+    return load * m / mean_work
+
+
+def work_scale_for_m(m: int, base_m: int = 1) -> float:
+    """Work multiplier keeping utilization constant across an m-sweep.
+
+    The paper's convention: when the processor count grows from ``base_m``
+    to ``m`` with QPS unchanged, each job's work grows by ``m / base_m`` so
+    ``rate * mean_work / m`` is invariant.
+    """
+    if m < 1 or base_m < 1:
+        raise ValueError("processor counts must be >= 1")
+    return m / base_m

@@ -1,0 +1,79 @@
+"""Workload statistics: characterize distributions and traces.
+
+The paper's comparison hinges on workload shape ("Bing workload has some
+very large jobs", Sec. V-A), so the harness reports the statistics that
+drive scheduler behaviour: coefficient of variation, tail percentiles,
+and the largest-job share of total work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rng import RngFactory
+from repro.workloads.distributions import WorkDistribution
+from repro.workloads.traces import Trace
+
+__all__ = ["WorkStats", "distribution_stats", "trace_stats"]
+
+
+@dataclass(frozen=True)
+class WorkStats:
+    """Summary of a sample of job work values."""
+
+    n: int
+    mean: float
+    cv: float  # coefficient of variation (std / mean)
+    p50: float
+    p99: float
+    p999: float
+    max: float
+    top1pct_work_share: float  # fraction of total work held by largest 1%
+
+    def summary(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "cv": self.cv,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "max": self.max,
+            "top1%_share": self.top1pct_work_share,
+        }
+
+
+def _stats(values: np.ndarray) -> WorkStats:
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if (values <= 0).any():
+        raise ValueError("work values must be positive")
+    mean = float(values.mean())
+    k = max(1, values.size // 100)
+    top = np.sort(values)[-k:]
+    return WorkStats(
+        n=int(values.size),
+        mean=mean,
+        cv=float(values.std() / mean) if mean > 0 else 0.0,
+        p50=float(np.percentile(values, 50)),
+        p99=float(np.percentile(values, 99)),
+        p999=float(np.percentile(values, 99.9)),
+        max=float(values.max()),
+        top1pct_work_share=float(top.sum() / values.sum()),
+    )
+
+
+def distribution_stats(
+    dist: WorkDistribution, n: int = 100_000, seed: int = 0
+) -> WorkStats:
+    """Monte-Carlo summary of a work distribution."""
+    rng = RngFactory(seed).stream("stats")
+    return _stats(dist.sample(rng, n))
+
+
+def trace_stats(trace: Trace) -> WorkStats:
+    """Summary of the work values in a generated trace."""
+    return _stats(np.array([j.work for j in trace.jobs]))

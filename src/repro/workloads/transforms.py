@@ -1,0 +1,118 @@
+"""Trace transformations: merge, slice, repeat, perturb.
+
+Scenario-building utilities: the paper's motivating example (a giant job
+plus a burst of small queries) and stress variants are compositions of
+simpler traces.  All transforms re-index job ids densely and keep
+releases sorted, so any output is again a valid :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.job import JobSpec
+from repro.workloads.traces import Trace
+
+__all__ = ["merge_traces", "slice_trace", "repeat_trace", "jitter_releases"]
+
+
+def _reindex(jobs: list[JobSpec], name: str, m: int, distribution: str) -> Trace:
+    jobs = sorted(jobs, key=lambda j: (j.release, j.job_id))
+    renumbered = [
+        JobSpec(
+            job_id=i,
+            release=j.release,
+            work=j.work,
+            span=j.span,
+            mode=j.mode,
+            dag=j.dag,
+            weight=j.weight,
+        )
+        for i, j in enumerate(jobs)
+    ]
+    return Trace(jobs=renumbered, m=m, distribution=distribution, name=name)
+
+
+def merge_traces(*traces: Trace, name: str | None = None) -> Trace:
+    """Interleave several traces on a common timeline.
+
+    Jobs keep their release times; ids are re-assigned in release order.
+    The result's ``m`` is taken from the first trace.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    jobs = [j for tr in traces for j in tr.jobs]
+    return _reindex(
+        jobs,
+        name or "+".join(tr.name for tr in traces),
+        traces[0].m,
+        "+".join(sorted({tr.distribution for tr in traces})),
+    )
+
+
+def slice_trace(trace: Trace, t_start: float, t_end: float) -> Trace:
+    """Jobs released in ``[t_start, t_end)``, re-based to time 0."""
+    if t_end <= t_start:
+        raise ValueError("t_end must exceed t_start")
+    picked = [j for j in trace.jobs if t_start <= j.release < t_end]
+    if not picked:
+        raise ValueError("slice contains no jobs")
+    rebased = [
+        JobSpec(
+            job_id=j.job_id,
+            release=j.release - t_start,
+            work=j.work,
+            span=j.span,
+            mode=j.mode,
+            dag=j.dag,
+            weight=j.weight,
+        )
+        for j in picked
+    ]
+    return _reindex(rebased, f"{trace.name}[{t_start:g}:{t_end:g}]", trace.m, trace.distribution)
+
+
+def repeat_trace(trace: Trace, times: int, gap: float = 0.0) -> Trace:
+    """Concatenate ``times`` copies back to back, ``gap`` time apart."""
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    if gap < 0:
+        raise ValueError("gap must be >= 0")
+    period = trace.horizon + gap
+    jobs = []
+    for k in range(times):
+        for j in trace.jobs:
+            jobs.append(
+                JobSpec(
+                    job_id=j.job_id,
+                    release=j.release + k * period,
+                    work=j.work,
+                    span=j.span,
+                    mode=j.mode,
+                    dag=j.dag,
+                    weight=j.weight,
+                )
+            )
+    return _reindex(jobs, f"{trace.name}x{times}", trace.m, trace.distribution)
+
+
+def jitter_releases(
+    trace: Trace, rng: np.random.Generator, sigma: float
+) -> Trace:
+    """Perturb release times with truncated Gaussian noise (robustness
+    tests: schedulers should degrade smoothly, not discontinuously)."""
+    if sigma < 0:
+        raise ValueError("sigma must be >= 0")
+    jobs = [
+        JobSpec(
+            job_id=j.job_id,
+            release=max(0.0, j.release + float(rng.normal(0.0, sigma))),
+            work=j.work,
+            span=j.span,
+            mode=j.mode,
+            dag=j.dag,
+            weight=j.weight,
+        )
+        for j in trace.jobs
+    ]
+    return _reindex(jobs, f"{trace.name}~N(0,{sigma:g})", trace.m, trace.distribution)

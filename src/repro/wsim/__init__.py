@@ -1,0 +1,43 @@
+"""Work-stealing runtime simulator (paper Sec. V-B, Figure 3).
+
+A discrete-time model of the paper's modified Cilk Plus runtime: workers,
+per-job deque sets, steal attempts, muggable deques and mugging, and
+arrival-time preemption flags.  See DESIGN.md Substitution 1 for why this
+simulator stands in for the real shared-memory runtime.
+"""
+
+from repro.wsim.probes import JobStats, JobStatsCollector
+from repro.wsim.runtime import WsConfig, WsimError, WsRuntime, simulate_ws
+from repro.wsim.schedulers import (
+    AdmitFirstWS,
+    CentralGreedyWS,
+    DrepWS,
+    LapsQuantumWS,
+    RrQuantumWS,
+    StealFirstWS,
+    SwfApproxWS,
+    WsScheduler,
+    ws_scheduler_by_name,
+)
+from repro.wsim.structures import JobRun, Worker, WsDeque
+
+__all__ = [
+    "WsConfig",
+    "WsRuntime",
+    "WsimError",
+    "simulate_ws",
+    "WsScheduler",
+    "DrepWS",
+    "SwfApproxWS",
+    "StealFirstWS",
+    "AdmitFirstWS",
+    "CentralGreedyWS",
+    "RrQuantumWS",
+    "LapsQuantumWS",
+    "ws_scheduler_by_name",
+    "JobStats",
+    "JobStatsCollector",
+    "JobRun",
+    "Worker",
+    "WsDeque",
+]

@@ -1,0 +1,130 @@
+"""Per-job observability for the work-stealing runtime.
+
+:class:`JobStatsCollector` rides the ``WsRuntime.run`` observer hook and
+decomposes each job's flow time into the pieces practitioners care about:
+
+* **admission wait** — steps between release and the first worker
+  assignment (DREP's coin flips can leave a job queued; steal-first
+  queues jobs behind its failed-steal budget);
+* **service span** — first assignment to completion;
+* **mean workers while served** — the realized p_i(t), whose expectation
+  Lemma 4.1 pins at m/|A(t)|.
+
+The collector is scheduler-agnostic: global-pool schedulers mark service
+through executing nodes rather than worker assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["JobStats", "JobStatsCollector"]
+
+
+@dataclass
+class JobStats:
+    """Observed lifecycle of one job."""
+
+    job_id: int
+    release_step: int
+    first_service_step: int | None = None
+    finish_step: int | None = None
+    worker_samples: list[int] = field(default_factory=list)
+
+    @property
+    def admission_wait(self) -> int | None:
+        if self.first_service_step is None:
+            return None
+        return self.first_service_step - self.release_step
+
+    @property
+    def service_span(self) -> int | None:
+        if self.first_service_step is None or self.finish_step is None:
+            return None
+        return self.finish_step - self.first_service_step + 1
+
+    @property
+    def mean_workers(self) -> float:
+        if not self.worker_samples:
+            return 0.0
+        return float(np.mean(self.worker_samples))
+
+
+class JobStatsCollector:
+    """Observer: pass to ``WsRuntime.run(observer=collector)``."""
+
+    def __init__(self) -> None:
+        self.stats: dict[int, JobStats] = {}
+
+    def __call__(self, rt) -> None:
+        # per-job worker counts this step (affinity via worker.job,
+        # global mode via the executing node's owner)
+        counts: dict[int, int] = {}
+        for w in rt.workers:
+            job = None
+            if w.job is not None and not w.job.done:
+                job = w.job
+            elif w.current is not None:
+                job = w.current[0]
+            if job is not None:
+                counts[job.job_id] = counts.get(job.job_id, 0) + 1
+        for job in rt.active:
+            entry = self.stats.get(job.job_id)
+            if entry is None:
+                entry = JobStats(job_id=job.job_id, release_step=job.release_step)
+                self.stats[job.job_id] = entry
+            served_by = counts.get(job.job_id, 0)
+            executed_any = bool((job.node_remaining < job.dag.weights).any())
+            in_service = served_by > 0 or executed_any
+            if entry.first_service_step is None and in_service:
+                entry.first_service_step = rt.step
+            if entry.first_service_step is not None and job.finish_step is None:
+                entry.worker_samples.append(served_by)
+            if job.finish_step is not None:
+                entry.finish_step = job.finish_step
+        # late finish marks (jobs leave rt.active on completion)
+        for job_id, entry in self.stats.items():
+            if entry.finish_step is None:
+                flow = rt._flow_steps[job_id]
+                if not np.isnan(flow):
+                    entry.finish_step = int(flow) + entry.release_step - 1
+
+    def finalize(self, rt) -> None:
+        """Fill lifecycle fields for jobs that finished after the last
+        observation (the observer never sees the final step's effects).
+        Call once after ``rt.run`` returns.
+        """
+        for job_id, entry in self.stats.items():
+            if entry.finish_step is None:
+                flow = rt._flow_steps[job_id]
+                if not np.isnan(flow):
+                    entry.finish_step = int(flow) + entry.release_step - 1
+            if entry.first_service_step is None and entry.finish_step is not None:
+                # served and finished inside one observation window: the
+                # earliest it can have started is its release step
+                entry.first_service_step = entry.release_step
+
+    def summary_rows(self) -> list[dict]:
+        """Flat rows for table rendering (one per observed job)."""
+        rows = []
+        for job_id in sorted(self.stats):
+            s = self.stats[job_id]
+            rows.append(
+                {
+                    "job_id": job_id,
+                    "admission_wait": s.admission_wait,
+                    "service_span": s.service_span,
+                    "mean_workers": round(s.mean_workers, 3),
+                }
+            )
+        return rows
+
+    def mean_admission_wait(self) -> float:
+        waits = [
+            s.admission_wait
+            for s in self.stats.values()
+            if s.admission_wait is not None
+        ]
+        return float(np.mean(waits)) if waits else 0.0

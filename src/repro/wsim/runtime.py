@@ -1,0 +1,465 @@
+"""Discrete-time work-stealing runtime simulator.
+
+This is the stand-in for the paper's modified Cilk Plus runtime (Sec. V-B;
+see DESIGN.md Substitution 1).  Time advances in unit steps; on every step
+each of the ``m`` workers performs exactly one action:
+
+* **execute** one unit of its current node (node completion enables 0, 1
+  or 2 children, handled Cilk-style: one child continues in place, the
+  other is pushed to the deque bottom);
+* **pop** the bottom of its own deque and execute (popping is part of the
+  work step, as in real work stealing);
+* **switch** jobs when its scheduler tells it to (a DREP preemption flag
+  firing, or a completed job's re-draw) — switching costs the step,
+  modeling preemption overhead;
+* otherwise it is **out of work** and the scheduler spends the step on a
+  steal attempt / mugging / job admission (every steal attempt costs
+  constant work — one step — like the paper assumes).
+
+The engine is scheduler-agnostic: all policy decisions are delegated to a
+:class:`~repro.wsim.schedulers.base.WsScheduler`.  Invariants (checked in
+debug mode): muggable deques are never empty; a node is on exactly one
+deque or one worker; executed units equal total work at the end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.metrics import ScheduleResult
+from repro.core.rng import RngFactory
+from repro.wsim.structures import JobRun, Worker, WsDeque
+from repro.workloads.traces import Trace
+
+__all__ = ["WsConfig", "WsRuntime", "simulate_ws", "WsimError"]
+
+
+class WsimError(RuntimeError):
+    """Raised when the runtime detects an invariant violation or stall."""
+
+
+@dataclass(frozen=True)
+class WsConfig:
+    """Runtime knobs.
+
+    preempt_check:
+        When a flagged worker notices its DREP preemption flag —
+        ``"steal"`` (only on steal attempts; the paper's implementation),
+        ``"node"`` (at node boundaries; the paper's proposed improvement,
+        checking "at function calls"), or ``"step"`` (immediately; the
+        theoretical algorithm of Sec. IV-A).
+    preemption_overhead:
+        Extra steps a worker loses after every preemptive switch,
+        modeling the state save/restore cost the paper's practicality
+        argument is about ("when a preemption occurs the state of a job
+        needs to be stored and then later restored; this leads to a
+        large overhead", Sec. I).  Zero by default (the paper's own
+        simulation convention); ablation X7 sweeps it.
+    max_steps:
+        Hard cap on simulated steps (default: generous bound from total
+        work); exceeding it raises :class:`WsimError`.
+    debug_invariants:
+        Check structural invariants every step (slow; used by tests).
+    """
+
+    preempt_check: str = "steal"
+    preemption_overhead: int = 0
+    max_steps: int | None = None
+    debug_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.preempt_check not in ("steal", "node", "step"):
+            raise ValueError(
+                f"preempt_check must be steal|node|step, got {self.preempt_check!r}"
+            )
+        if self.preemption_overhead < 0:
+            raise ValueError("preemption_overhead must be >= 0")
+
+
+@dataclass
+class WsCounters:
+    """Practicality counters the paper's arguments are about."""
+
+    work_steps: int = 0
+    steal_attempts: int = 0
+    failed_steals: int = 0
+    muggings: int = 0
+    preemptions: int = 0
+    switches: int = 0
+    admissions: int = 0
+    idle_steps: int = 0
+    #: steps lost to preemption state save/restore (config overhead)
+    overhead_steps: int = 0
+    #: node-level migrations: ready nodes that started executing on a
+    #: different worker than the one that made them ready (successful
+    #: steals and muggings) — the paper's costly "migration" events
+    node_migrations: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class WsRuntime:
+    """One simulation run: a trace, ``m`` workers and a scheduler."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        m: int,
+        scheduler: "WsScheduler",
+        seed: int = 0,
+        config: WsConfig = WsConfig(),
+        speeds: "np.ndarray | None" = None,
+    ) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        for spec in trace.jobs:
+            if spec.dag is None:
+                raise ValueError(
+                    "wsim needs DAG-attached traces; see workloads.attach_dags"
+                )
+        self.trace = trace
+        self.m = m
+        self.scheduler = scheduler
+        self.config = config
+        # heterogeneous workers (the open problem's full setting: parallel
+        # jobs on processors of different speeds): worker p executes
+        # speeds[p] work units per step; steal attempts still cost one
+        # step for everyone.  None means identical unit-speed workers.
+        if speeds is not None:
+            speeds = np.ascontiguousarray(speeds, dtype=float)
+            if speeds.shape != (m,):
+                raise ValueError("speeds must have shape (m,)")
+            if (speeds <= 0).any():
+                raise ValueError("speeds must be positive")
+        self.speeds = speeds
+        self.rng = RngFactory(seed).stream(f"wsim/{scheduler.name}")
+        self.workers = [Worker(wid=i) for i in range(m)]
+        #: all arrived, unfinished jobs — the paper's A(t).  Schedulers
+        #: append on arrival; the runtime removes on completion.
+        self.active: list[JobRun] = []
+        self.counters = WsCounters()
+        self.step = 0
+        self._arrivals = [
+            (int(math.ceil(spec.release)), spec) for spec in trace.jobs
+        ]
+        self._next_arrival = 0
+        self._completed = 0
+        self._flow_steps = np.full(len(trace), np.nan)
+        total_work = sum(int(spec.dag.work) for spec in trace.jobs)
+        self.total_work_units = total_work
+        horizon = self._arrivals[-1][0] if self._arrivals else 0
+        self.max_steps = config.max_steps or (
+            horizon + 50 * total_work + 10_000
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, observer=None) -> ScheduleResult:
+        """Execute to completion.
+
+        ``observer``, if given, is called as ``observer(self)`` once per
+        simulated step *after* arrivals are admitted and *before* workers
+        act — the instant the potential-function analysis reasons about.
+        Used by :mod:`repro.analysis.timeline` and the theory tests.
+        """
+        self.scheduler.reset(self)
+        n = len(self.trace)
+        while self._completed < n:
+            if self.step > self.max_steps:
+                raise WsimError(
+                    f"{self.scheduler.name}: exceeded {self.max_steps} steps "
+                    f"with {self._completed}/{n} jobs done"
+                )
+            self._admit_arrivals()
+            if not self.active:
+                # machine idle: jump to the next arrival
+                if self._next_arrival >= n:
+                    break
+                self.step = self._arrivals[self._next_arrival][0]
+                continue
+            if observer is not None:
+                observer(self)
+            self.scheduler.on_step()
+            for worker in self.workers:
+                self._act(worker)
+            if self.config.debug_invariants:
+                self._check_invariants()
+            self.step += 1
+        if np.isnan(self._flow_steps).any():
+            raise WsimError(f"{self.scheduler.name}: unfinished jobs at end")
+        total_speed = float(self.m if self.speeds is None else self.speeds.sum())
+        max_speed = float(1.0 if self.speeds is None else self.speeds.max())
+        return ScheduleResult(
+            scheduler=self.scheduler.name,
+            m=self.m,
+            flow_times=self._flow_steps.copy(),
+            preemptions=self.counters.preemptions,
+            migrations=self.counters.node_migrations,
+            steal_attempts=self.counters.steal_attempts,
+            muggings=self.counters.muggings,
+            makespan=float(self.step),
+            min_flows=np.array(
+                [
+                    max(
+                        spec.dag.work / total_speed,
+                        float(spec.dag.span) / max_speed,
+                        1.0,
+                    )
+                    for spec in self.trace.jobs
+                ]
+            ),
+            extra={
+                "switches": self.counters.switches,
+                "work_steps": self.counters.work_steps,
+                "failed_steals": self.counters.failed_steals,
+                "idle_steps": self.counters.idle_steps,
+                "overhead_steps": self.counters.overhead_steps,
+                "admissions": self.counters.admissions,
+                "utilization": (
+                    self.counters.work_steps / (self.step * total_speed)
+                    if self.step
+                    else 0.0
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # arrivals / completions
+    # ------------------------------------------------------------------
+
+    def _admit_arrivals(self) -> None:
+        while (
+            self._next_arrival < len(self._arrivals)
+            and self._arrivals[self._next_arrival][0] <= self.step
+        ):
+            release_step, spec = self._arrivals[self._next_arrival]
+            self._next_arrival += 1
+            job = JobRun(spec, release_step)
+            self.scheduler.on_arrival(job)
+
+    def complete_job(self, job: JobRun) -> None:
+        """Called by :meth:`_act` when a job's last node finishes."""
+        job.finish_step = self.step
+        # completion at the end of this step; arrival at the start of its
+        # release step, so flow >= 1 for any job with work
+        self._flow_steps[job.job_id] = self.step + 1 - job.release_step
+        self._completed += 1
+        if job in self.active:
+            self.active.remove(job)
+        self.scheduler.on_completion(job)
+
+    # ------------------------------------------------------------------
+    # per-worker step
+    # ------------------------------------------------------------------
+
+    def _flag_fires(self, worker: Worker) -> bool:
+        if worker.flag_target is None:
+            return False
+        if worker.flag_target.done:
+            worker.flag_target = None  # stale flag: target already finished
+            return False
+        mode = self.config.preempt_check
+        if mode == "step":
+            return True
+        if mode == "node":
+            return worker.current is None
+        return worker.out_of_work  # "steal"
+
+    def _act(self, worker: Worker) -> None:
+        if worker.scratch.get("blocked_until", 0) > self.step:
+            self.counters.overhead_steps += 1
+            return  # paying preemption overhead
+        if self._flag_fires(worker):
+            target = worker.flag_target
+            worker.flag_target = None
+            self.switch_worker(worker, target, preempt=True)
+            return
+        if worker.current is None:
+            if worker.dq is not None and worker.dq.nodes:
+                # popping one's own deque is free; fall through to execute
+                worker.current = worker.dq.pop_bottom()
+            else:
+                self.scheduler.out_of_work(worker)
+                return
+        if worker.current is not None:
+            self._execute_unit(worker)
+        else:
+            self.counters.idle_steps += 1
+
+    def _execute_unit(self, worker: Worker) -> None:
+        job, node = worker.current
+        speed = 1.0 if self.speeds is None else float(self.speeds[worker.wid])
+        before = float(job.node_remaining[node])
+        job.node_remaining[node] = before - speed
+        # account actual units done; a fast worker overshooting a node's
+        # end wastes the excess (realistic granularity cost)
+        self.counters.work_steps += min(speed, before)
+        if job.node_remaining[node] > 1e-9:
+            return
+        # node finished: enable children
+        job.remaining_nodes -= 1
+        ready = job.ready_children(node)
+        if len(ready) == 2:
+            self._deque_for(worker, job).push_bottom((job, ready[0]))
+            worker.current = (job, ready[1])
+        elif len(ready) == 1:
+            worker.current = (job, ready[0])
+        else:
+            worker.current = None
+        if job.remaining_nodes == 0:
+            self.complete_job(job)
+
+    def _deque_for(self, worker: Worker, job: JobRun) -> WsDeque:
+        """The worker's deque, created lazily on first push."""
+        if worker.dq is None:
+            dq = WsDeque(job=job if self.scheduler.affinity else None, owner=worker.wid)
+            worker.dq = dq
+            if self.scheduler.affinity:
+                job.deques.append(dq)
+        return worker.dq
+
+    # ------------------------------------------------------------------
+    # scheduler services
+    # ------------------------------------------------------------------
+
+    def switch_worker(
+        self, worker: Worker, target: JobRun | None, preempt: bool
+    ) -> None:
+        """Detach ``worker`` from its job and attach it to ``target``.
+
+        Affinity-mode semantics from Sec. IV-A: a partially executed node
+        goes back on the worker's deque; a non-empty deque is marked
+        muggable and stays with the old job; an empty one is deallocated.
+        Costs the caller's step.  ``preempt=True`` counts toward the
+        Theorem 1.2 preemption budget when the old job is unfinished.
+        """
+        old = worker.job
+        if old is not None and old is target:
+            return
+        if worker.current is not None:
+            job, _node = worker.current
+            self._deque_for(worker, job).push_bottom(worker.current)
+            worker.current = None
+        if worker.dq is not None:
+            if worker.dq.nodes:
+                worker.dq.owner = None  # becomes muggable
+            else:
+                if worker.dq.job is not None:
+                    worker.dq.job.drop_deque(worker.dq)
+            worker.dq = None
+        if old is not None:
+            old.workers -= 1
+            if preempt and not old.done:
+                self.counters.preemptions += 1
+                if self.config.preemption_overhead:
+                    # state save/restore stalls this worker (Sec. I)
+                    worker.scratch["blocked_until"] = (
+                        self.step + 1 + self.config.preemption_overhead
+                    )
+        if old is not target:
+            self.counters.switches += 1
+        worker.job = target
+        if target is not None:
+            target.workers += 1
+
+    def steal_within(self, worker: Worker, job: JobRun) -> bool:
+        """One steal attempt among ``job``'s deques (affinity mode).
+
+        Picks a victim uniformly at random among the job's other deques.
+        A muggable victim is mugged: the thief adopts the whole deque and
+        takes its bottom node (a mugging "can always do at least one unit
+        of work").  An active victim loses its top node.  Returns True on
+        success; always costs the step.
+        """
+        self.counters.steal_attempts += 1
+        victims = [d for d in job.deques if d is not worker.dq]
+        if not victims:
+            self.counters.failed_steals += 1
+            return False
+        victim = victims[int(self.rng.integers(len(victims)))]
+        if victim.muggable:
+            # mugging: adopt the deque wholesale (always succeeds, and the
+            # thief "can always do at least one unit of work" — Sec. IV-A)
+            if worker.dq is not None:
+                if worker.dq.nodes:
+                    raise WsimError("thief with non-empty deque attempted a mug")
+                if worker.dq.job is not None:
+                    worker.dq.job.drop_deque(worker.dq)
+            victim.owner = worker.wid
+            worker.dq = victim
+            worker.current = victim.pop_bottom()
+            self.counters.muggings += 1
+            self.counters.node_migrations += 1
+            return True
+        if victim.nodes:
+            worker.current = victim.steal_top()
+            self.counters.node_migrations += 1
+            return True
+        self.counters.failed_steals += 1
+        return False
+
+    def steal_from_worker(self, thief: Worker, victim: Worker) -> bool:
+        """Classic work stealing between worker deques (global mode)."""
+        self.counters.steal_attempts += 1
+        dq = victim.dq
+        if dq is None or not dq.nodes:
+            self.counters.failed_steals += 1
+            return False
+        thief.current = dq.steal_top()
+        self.counters.node_migrations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # invariants (debug)
+    # ------------------------------------------------------------------
+
+    def _check_invariants(self) -> None:
+        for job in self.active:
+            for dq in job.deques:
+                if dq.muggable and not dq.nodes:
+                    raise WsimError("empty muggable deque")
+        seen: set[tuple[int, int]] = set()
+        for worker in self.workers:
+            if worker.current is not None:
+                key = (worker.current[0].job_id, worker.current[1])
+                if key in seen:
+                    raise WsimError(f"node {key} executed by two workers")
+                seen.add(key)
+        all_deques = [dq for job in self.active for dq in job.deques]
+        all_deques += [w.dq for w in self.workers if w.dq is not None]
+        checked: set[int] = set()
+        for dq in all_deques:
+            if id(dq) in checked:
+                continue
+            checked.add(id(dq))
+            for ref_job, node in dq.nodes:
+                key = (ref_job.job_id, node)
+                if key in seen:
+                    raise WsimError(f"node {key} duplicated")
+                seen.add(key)
+
+
+def simulate_ws(
+    trace: Trace,
+    m: int,
+    scheduler: "WsScheduler",
+    seed: int = 0,
+    config: WsConfig = WsConfig(),
+    speeds: "np.ndarray | None" = None,
+) -> ScheduleResult:
+    """Convenience wrapper: build a runtime and run it.
+
+    ``speeds`` (length m, positive) makes workers heterogeneous — the
+    related-machines setting for parallel DAG jobs.
+    """
+    return WsRuntime(
+        trace, m, scheduler, seed=seed, config=config, speeds=speeds
+    ).run()
+
+
+# imported late to avoid a cycle (schedulers import runtime helpers' types)
+from repro.wsim.schedulers.base import WsScheduler  # noqa: E402

@@ -1,0 +1,40 @@
+"""Work-stealing runtime schedulers (paper Sec. V-B)."""
+
+from repro.wsim.schedulers.admit_first import AdmitFirstWS
+from repro.wsim.schedulers.base import WsScheduler
+from repro.wsim.schedulers.central_greedy import CentralGreedyWS
+from repro.wsim.schedulers.drep_ws import DrepWS
+from repro.wsim.schedulers.laps_quantum import LapsQuantumWS
+from repro.wsim.schedulers.rr_quantum import RrQuantumWS
+from repro.wsim.schedulers.steal_first import StealFirstWS
+from repro.wsim.schedulers.swf_approx import SwfApproxWS
+
+__all__ = [
+    "WsScheduler",
+    "DrepWS",
+    "SwfApproxWS",
+    "StealFirstWS",
+    "AdmitFirstWS",
+    "CentralGreedyWS",
+    "RrQuantumWS",
+    "LapsQuantumWS",
+    "ws_scheduler_by_name",
+]
+
+
+def ws_scheduler_by_name(name: str, **kwargs) -> WsScheduler:
+    """Instantiate a runtime scheduler by its table name."""
+    registry = {
+        "drep": DrepWS,
+        "swf": SwfApproxWS,
+        "steal-first": StealFirstWS,
+        "admit-first": AdmitFirstWS,
+        "central-greedy": CentralGreedyWS,
+        "rr": RrQuantumWS,
+        "laps": LapsQuantumWS,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; known: {sorted(registry)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,74 @@
+"""Approximated Smallest-Work-First over work stealing (paper Sec. V-B).
+
+The clairvoyant comparison point in Figure 3: "every worker when running
+out of work, checks every active job in the system and works on the job
+with the smallest amount of work".  Crucially it is an *approximation* of
+SWF: a worker only re-evaluates when it runs out of work, so — unlike the
+theoretical SWF — it "cannot immediately preempt the execution of a large
+job to work on the newly available work from a smaller job".
+
+Implementation detail: among the smallest-work jobs we prefer one that
+currently has stealable nodes (non-empty or muggable deques) so workers
+do not spin on a small job whose only work is a single executing node
+while other jobs starve; ties and the no-stealable-work fallback go to
+the smallest job overall.
+"""
+
+from __future__ import annotations
+
+from repro.wsim.schedulers.base import WsScheduler
+from repro.wsim.structures import JobRun, Worker
+
+__all__ = ["SwfApproxWS"]
+
+
+def _has_stealable_work(job: JobRun) -> bool:
+    return any(d.nodes for d in job.deques)
+
+
+class SwfApproxWS(WsScheduler):
+    """Workers gravitate to the smallest-work active job when idle."""
+
+    name = "SWF"
+    affinity = True
+    clairvoyant = True
+
+    def _target(self) -> JobRun | None:
+        """Smallest-work active job, preferring ones with stealable work."""
+        active = self.rt.active
+        if not active:
+            return None
+        with_work = [j for j in active if _has_stealable_work(j)]
+        pool = with_work or active
+        return min(pool, key=lambda j: (j.spec.work, j.job_id))
+
+    def on_arrival(self, job: JobRun) -> None:
+        rt = self.rt
+        rt.active.append(job)
+        self.make_arrival_deque(job)
+        # only idle workers react immediately; busy ones re-evaluate when
+        # they next run out of work (that is the approximation)
+        for worker in rt.workers:
+            if worker.job is None or worker.job.done:
+                target = self._target()
+                if target is not None:
+                    rt.switch_worker(worker, target, preempt=False)
+
+    def on_completion(self, job: JobRun) -> None:
+        rt = self.rt
+        for worker in rt.workers:
+            if worker.job is job:
+                rt.switch_worker(worker, self._target(), preempt=False)
+
+    def out_of_work(self, worker: Worker) -> None:
+        rt = self.rt
+        target = self._target()
+        if target is None:
+            self.idle(worker)
+            return
+        if worker.job is not target:
+            # moving to the smallest job costs the step (preemption is a
+            # switch away from an unfinished job, per Theorem 1.2 counting)
+            rt.switch_worker(worker, target, preempt=True)
+            return
+        rt.steal_within(worker, target)

@@ -1,0 +1,91 @@
+"""Tests for baseline persistence and drift detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.baselines import (
+    BaselineMismatch,
+    compare_to_baseline,
+    save_baseline,
+)
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    path = tmp_path / "baseline.json"
+    save_baseline(
+        path,
+        {
+            "fig1a": {"mean_flow": 2.5, "preemptions": 100},
+            "fig3a": {"mean_flow": 90.0},
+        },
+    )
+    return path
+
+
+class TestCompare:
+    def test_exact_match_passes(self, baseline):
+        compared = compare_to_baseline(
+            baseline, {"fig1a": {"mean_flow": 2.5, "preemptions": 100}}
+        )
+        assert set(compared) == {"fig1a.mean_flow", "fig1a.preemptions"}
+
+    def test_drift_detected(self, baseline):
+        with pytest.raises(BaselineMismatch, match="fig1a.mean_flow"):
+            compare_to_baseline(baseline, {"fig1a": {"mean_flow": 2.6}})
+
+    def test_tolerance_band(self, baseline):
+        compare_to_baseline(
+            baseline, {"fig1a": {"mean_flow": 2.55}}, rel_tol=0.03
+        )
+        with pytest.raises(BaselineMismatch):
+            compare_to_baseline(
+                baseline, {"fig1a": {"mean_flow": 2.6}}, rel_tol=0.03
+            )
+
+    def test_per_metric_tolerance(self, baseline):
+        compare_to_baseline(
+            baseline,
+            {"fig1a": {"mean_flow": 2.5, "preemptions": 104}},
+            per_metric_tol={"preemptions": 0.05},
+        )
+
+    def test_unknown_run(self, baseline):
+        with pytest.raises(KeyError, match="fig9"):
+            compare_to_baseline(baseline, {"fig9": {"x": 1.0}})
+
+    def test_unknown_metric(self, baseline):
+        with pytest.raises(KeyError, match="nope"):
+            compare_to_baseline(baseline, {"fig1a": {"nope": 1.0}})
+
+    def test_all_failures_listed(self, baseline):
+        with pytest.raises(BaselineMismatch) as exc:
+            compare_to_baseline(
+                baseline,
+                {"fig1a": {"mean_flow": 3.0, "preemptions": 200}},
+            )
+        assert "mean_flow" in str(exc.value) and "preemptions" in str(exc.value)
+
+
+class TestLiveBaseline:
+    def test_deterministic_run_baselines_exactly(self, tmp_path):
+        """Seeded runs must snapshot/compare exactly — the CI guard."""
+        from repro.flowsim.engine import simulate
+        from repro.flowsim.policies import DrepSequential
+        from repro.workloads.traces import generate_trace
+
+        trace = generate_trace(300, "finance", 0.6, 2, seed=55)
+
+        def measure():
+            r = simulate(trace, 2, DrepSequential(), seed=55)
+            return {
+                "drep": {
+                    "mean_flow": r.mean_flow,
+                    "preemptions": float(r.preemptions),
+                }
+            }
+
+        path = tmp_path / "live.json"
+        save_baseline(path, measure())
+        compare_to_baseline(path, measure())  # exact, rel_tol=0

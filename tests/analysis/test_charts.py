@@ -1,0 +1,62 @@
+"""Tests for SVG line charts."""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.analysis.charts import figure_svg_from_rows, line_chart_svg, save_figure_svg
+
+ROWS = [
+    {"m": 1, "scheduler": "SRPT", "mean_flow": 1.5},
+    {"m": 4, "scheduler": "SRPT", "mean_flow": 1.2},
+    {"m": 1, "scheduler": "DREP", "mean_flow": 4.0},
+    {"m": 4, "scheduler": "DREP", "mean_flow": 1.4},
+]
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart_svg({}).startswith("<svg")
+
+    def test_well_formed_with_series(self):
+        svg = line_chart_svg(
+            {"A": ([1, 2, 4], [3.0, 2.0, 1.0]), "B": ([1, 2, 4], [1.0, 1.1, 1.2])},
+            title="t",
+            x_label="m",
+            y_label="flow",
+        )
+        root = ElementTree.fromstring(svg)
+        paths = [e for e in root.iter() if e.tag.endswith("path")]
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(paths) == 2
+        assert len(circles) == 6
+        assert "t" in svg and "flow" in svg
+
+    def test_log_scale_validation(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({"A": ([0, 1], [1, 2])}, log_x=True)
+        with pytest.raises(ValueError):
+            line_chart_svg({"A": ([1, 2], [0, 2])}, log_y=True)
+
+    def test_log_scale_renders(self):
+        svg = line_chart_svg({"A": ([1, 10, 100], [1.0, 10.0, 100.0])}, log_x=True, log_y=True)
+        ElementTree.fromstring(svg)
+
+    def test_single_point_series(self):
+        svg = line_chart_svg({"A": ([2], [5.0])})
+        ElementTree.fromstring(svg)
+
+
+class TestFigureFromRows:
+    def test_series_split(self):
+        svg = figure_svg_from_rows(ROWS, x="m", title="Figure 1")
+        assert "SRPT" in svg and "DREP" in svg and "Figure 1" in svg
+        ElementTree.fromstring(svg)
+
+    def test_save(self, tmp_path):
+        svg = figure_svg_from_rows(ROWS, x="m")
+        p = save_figure_svg(tmp_path / "figs" / "fig1.svg", svg)
+        assert p.exists()
+        assert p.read_text().startswith("<svg")

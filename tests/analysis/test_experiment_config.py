@@ -1,0 +1,73 @@
+"""Config plumbing tests for the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_ws_point, run_ws_sweep, ws_scheduler_factories
+from repro.wsim.runtime import WsConfig
+from repro.wsim.schedulers import DrepWS
+
+
+class TestWsConfigForwarding:
+    def test_preempt_check_forwarded(self):
+        """The WsConfig handed to run_ws_point must reach the runtime:
+        'step' mode produces at least as many preemptions as 'steal'."""
+        counts = {}
+        for mode in ("steal", "step"):
+            rows = run_ws_point(
+                "finance",
+                0.7,
+                4,
+                {"DREP": DrepWS},
+                n_jobs=80,
+                mean_work_units=200,
+                seed=5,
+                config=WsConfig(preempt_check=mode),
+            )
+            counts[mode] = rows[0]["preemptions"]
+        assert counts["step"] >= counts["steal"]
+
+    def test_overhead_forwarded(self):
+        flows = {}
+        for overhead in (0, 40):
+            rows = run_ws_point(
+                "finance",
+                0.7,
+                2,
+                {"DREP": DrepWS},
+                n_jobs=60,
+                mean_work_units=200,
+                seed=6,
+                config=WsConfig(preemption_overhead=overhead),
+            )
+            flows[overhead] = rows[0]["mean_flow"]
+        assert flows[40] >= flows[0]
+
+    def test_parallelism_default_is_2m(self):
+        rows = run_ws_point(
+            "finance", 0.5, 3, {"DREP": DrepWS}, n_jobs=10, mean_work_units=100, seed=7
+        )
+        assert rows  # smoke: default parallelism path exercised
+
+    def test_sweep_uses_same_schedulers_per_load(self):
+        rows = run_ws_sweep(
+            "finance", [0.5, 0.6], 2, n_jobs=12, mean_work_units=100, seed=8
+        )
+        per_load = {}
+        for r in rows:
+            per_load.setdefault(r["load"], set()).add(r["scheduler"])
+        assert per_load[0.5] == per_load[0.6] == set(ws_scheduler_factories())
+
+    def test_rows_carry_practicality_counters(self):
+        rows = run_ws_point(
+            "finance", 0.5, 2, ws_scheduler_factories(), n_jobs=15, mean_work_units=100, seed=9
+        )
+        for r in rows:
+            assert {"steal_attempts", "muggings", "preemptions", "switches"} <= set(r)
+
+    def test_invalid_mean_work_guard(self):
+        with pytest.raises(ValueError):
+            run_ws_point(
+                "finance", 0.5, 2, {"DREP": DrepWS}, n_jobs=5, mean_work_units=0, seed=1
+            )

@@ -1,0 +1,120 @@
+"""Tests for repro.analysis.experiments — the sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    flow_policy_factories,
+    run_flow_point,
+    run_flow_sweep,
+    run_ws_point,
+    run_ws_sweep,
+    scale_trace,
+    ws_scheduler_factories,
+)
+from repro.core.job import ParallelismMode
+from tests.conftest import make_trace
+
+
+class TestFactories:
+    def test_sequential_series_matches_fig1(self):
+        names = set(flow_policy_factories(ParallelismMode.SEQUENTIAL))
+        assert names == {"SRPT", "SJF", "RR", "DREP"}
+
+    def test_parallel_series_matches_fig2(self):
+        names = set(flow_policy_factories(ParallelismMode.FULLY_PARALLEL))
+        assert names == {"SRPT", "SWF", "RR", "DREP"}
+
+    def test_ws_series_matches_fig3(self):
+        names = set(ws_scheduler_factories())
+        assert names == {"DREP", "SWF", "steal-first", "admit-first"}
+
+    def test_factories_return_fresh_instances(self):
+        f = flow_policy_factories(ParallelismMode.SEQUENTIAL)["DREP"]
+        assert f() is not f()
+
+
+class TestScaleTrace:
+    def test_scales_all_fields(self):
+        t = make_trace([2.0, 4.0], releases=[1.0, 2.0])
+        s = scale_trace(t, 10.0)
+        assert s.jobs[0].work == 20.0
+        assert s.jobs[1].release == 20.0
+        assert s.jobs[1].span == 40.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_trace(make_trace([1.0]), 0.0)
+
+
+class TestFlowSweep:
+    def test_point_rows(self):
+        rows = run_flow_point(
+            "finance",
+            0.5,
+            2,
+            ParallelismMode.SEQUENTIAL,
+            flow_policy_factories(ParallelismMode.SEQUENTIAL),
+            n_jobs=100,
+            seed=1,
+        )
+        assert len(rows) == 4
+        assert {r["scheduler"] for r in rows} == {"SRPT", "SJF", "RR", "DREP"}
+        for r in rows:
+            assert r["mean_flow"] > 0
+            assert r["m"] == 2
+
+    def test_sweep_covers_all_m(self):
+        rows = run_flow_sweep(
+            "finance", 0.5, ParallelismMode.SEQUENTIAL, [1, 2], n_jobs=60, seed=1
+        )
+        assert {r["m"] for r in rows} == {1, 2}
+        assert len(rows) == 8
+
+    def test_same_trace_for_all_policies(self):
+        """All policies in a cell must see the identical trace: SRPT beats
+        or ties everyone on the shared instance."""
+        rows = run_flow_point(
+            "finance",
+            0.6,
+            1,
+            ParallelismMode.SEQUENTIAL,
+            flow_policy_factories(ParallelismMode.SEQUENTIAL),
+            n_jobs=200,
+            seed=2,
+        )
+        flows = {r["scheduler"]: r["mean_flow"] for r in rows}
+        assert flows["SRPT"] == min(flows.values())
+
+
+class TestWsSweep:
+    def test_point_rows(self):
+        rows = run_ws_point(
+            "finance",
+            0.5,
+            2,
+            ws_scheduler_factories(),
+            n_jobs=20,
+            mean_work_units=120,
+            seed=3,
+        )
+        assert len(rows) == 4
+        for r in rows:
+            assert r["mean_flow"] >= 1
+            assert r["utilization"] > 0
+
+    def test_sweep_covers_loads(self):
+        rows = run_ws_sweep(
+            "finance", [0.5, 0.7], 2, n_jobs=15, mean_work_units=100, seed=4
+        )
+        assert {r["load"] for r in rows} == {0.5, 0.7}
+
+    def test_flow_grows_with_load(self):
+        rows = run_ws_sweep(
+            "finance", [0.4, 0.8], 2, n_jobs=60, mean_work_units=150, seed=5
+        )
+        by = {(r["load"], r["scheduler"]): r["mean_flow"] for r in rows}
+        # within each scheduler, higher load means higher (or equal) flow
+        for name in ws_scheduler_factories():
+            assert by[(0.8, name)] > by[(0.4, name)] * 0.8

@@ -1,0 +1,88 @@
+"""Tests for multi-seed replication utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.replication import Replication, replicate, significantly_less
+from repro.core.metrics import ScheduleResult
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import DrepSequential, SRPT
+from repro.workloads.traces import generate_trace
+
+
+class TestReplication:
+    def test_summary_statistics(self):
+        r = Replication("x", (1.0, 2.0, 3.0))
+        assert r.mean == pytest.approx(2.0)
+        assert r.std == pytest.approx(1.0)
+        lo, hi = r.ci95()
+        assert lo < 2.0 < hi
+
+    def test_single_value(self):
+        r = Replication("x", (5.0,))
+        assert r.stderr == 0.0
+        assert r.ci95() == (5.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Replication("x", ())
+
+    def test_summary_keys(self):
+        s = Replication("x", (1.0, 2.0)).summary()
+        assert {"label", "n", "mean", "ci95_lo", "ci95_hi"} == set(s)
+
+
+class TestReplicate:
+    def test_runs_each_seed(self):
+        seen = []
+
+        def run(seed: int) -> ScheduleResult:
+            seen.append(seed)
+            return ScheduleResult("X", 1, np.array([float(seed)]))
+
+        rep = replicate(run, seeds=[1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert rep.mean == pytest.approx(2.0)
+        assert rep.label == "X"
+
+    def test_custom_metric(self):
+        def run(seed: int) -> ScheduleResult:
+            return ScheduleResult("X", 1, np.array([1.0, 3.0]), preemptions=seed)
+
+        rep = replicate(run, seeds=[2, 4], metric=lambda r: r.preemptions)
+        assert rep.mean == pytest.approx(3.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: None, seeds=[])  # type: ignore[arg-type]
+
+
+class TestSignificance:
+    def test_clear_separation(self):
+        a = Replication("a", (1.0, 1.1, 0.9, 1.0))
+        b = Replication("b", (5.0, 5.1, 4.9, 5.0))
+        assert significantly_less(a, b)
+        assert not significantly_less(b, a)
+
+    def test_overlapping_noise(self):
+        a = Replication("a", (1.0, 3.0, 2.0))
+        b = Replication("b", (1.5, 3.5, 2.5))
+        assert not significantly_less(a, b)
+
+    def test_zero_variance(self):
+        a = Replication("a", (1.0,))
+        b = Replication("b", (2.0,))
+        assert significantly_less(a, b)
+
+    def test_srpt_significantly_beats_drep(self):
+        """End-to-end: the replicated comparison benches rely on."""
+        trace = generate_trace(1200, "bing", 0.7, 2, seed=5)
+        srpt = replicate(
+            lambda s: simulate(trace, 2, SRPT(), seed=s), seeds=range(4)
+        )
+        drep = replicate(
+            lambda s: simulate(trace, 2, DrepSequential(), seed=s), seeds=range(4)
+        )
+        assert significantly_less(srpt, drep)

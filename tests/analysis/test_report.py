@@ -1,0 +1,60 @@
+"""Tests for the reproduction report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ReportConfig, build_report, write_report
+
+TINY = ReportConfig(
+    flow_jobs=60,
+    ws_jobs=10,
+    m_values=(1, 2),
+    loads=(0.5,),
+    ws_loads=(0.5,),
+    ws_m=2,
+    distributions=("finance",),
+    seed=3,
+)
+
+
+class TestReportConfig:
+    def test_defaults_valid(self):
+        ReportConfig()
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ValueError):
+            ReportConfig(flow_jobs=0)
+
+    def test_invalid_sweeps(self):
+        with pytest.raises(ValueError):
+            ReportConfig(m_values=())
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(TINY)
+
+    def test_has_all_sections(self, report):
+        assert "# DREP reproduction report" in report
+        assert "## Figure 1 (sequential jobs)" in report
+        assert "## Figure 2 (fully parallel jobs)" in report
+        assert "## Figure 3 (work-stealing runtime)" in report
+        assert "## Theorem 1.2" in report
+
+    def test_series_present(self, report):
+        for name in ("SRPT", "RR", "DREP", "steal-first", "admit-first"):
+            assert name in report
+
+    def test_plots_rendered(self, report):
+        assert "mean flow vs m" in report
+        assert "A=" in report  # plot legend markers
+
+    def test_budget_lines(self, report):
+        assert "preempt/job" in report
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "sub" / "report.md", TINY)
+        assert path.exists()
+        assert path.read_text().startswith("# DREP reproduction report")

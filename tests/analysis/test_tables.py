@@ -1,0 +1,90 @@
+"""Tests for repro.analysis.tables."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.tables import ascii_plot, format_table, pivot, save_rows, series_table
+
+
+ROWS = [
+    {"m": 1, "scheduler": "SRPT", "mean_flow": 1.5},
+    {"m": 1, "scheduler": "DREP", "mean_flow": 3.0},
+    {"m": 2, "scheduler": "SRPT", "mean_flow": 1.4},
+    {"m": 2, "scheduler": "DREP", "mean_flow": 2.2},
+]
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_columns_aligned(self):
+        out = format_table(ROWS)
+        lines = out.splitlines()
+        assert len(lines) == 2 + len(ROWS)
+        assert len({len(line.rstrip()) for line in lines[2:]}) >= 1
+
+    def test_column_subset(self):
+        out = format_table(ROWS, columns=["scheduler"])
+        assert "mean_flow" not in out
+        assert "SRPT" in out
+
+    def test_float_format(self):
+        out = format_table([{"x": 1.23456789}], floatfmt=".2f")
+        assert "1.23" in out
+
+    def test_missing_cells_blank(self):
+        out = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert out  # no crash
+
+
+class TestPivot:
+    def test_shape(self):
+        idx, cols, matrix = pivot(ROWS, "m", "scheduler", "mean_flow")
+        assert idx == [1, 2]
+        assert cols == ["SRPT", "DREP"]
+        assert matrix == [[1.5, 3.0], [1.4, 2.2]]
+
+    def test_missing_cells_none(self):
+        rows = ROWS[:3]
+        _, _, matrix = pivot(rows, "m", "scheduler", "mean_flow")
+        assert matrix[1][1] is None
+
+
+class TestSeriesTable:
+    def test_figure_layout(self):
+        out = series_table(ROWS, x="m", series="scheduler", value="mean_flow")
+        lines = out.splitlines()
+        assert lines[0].split()[:3] == ["m", "SRPT", "DREP"]
+        assert len(lines) == 4  # header + sep + 2 x-values
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}) == "(empty plot)"
+
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot(
+            {"SRPT": ([1, 2, 4], [1.0, 1.1, 1.2]), "DREP": ([1, 2, 4], [3.0, 2.0, 1.5])},
+            width=32,
+            height=8,
+            title="demo",
+        )
+        assert "demo" in out
+        assert "A=SRPT" in out and "B=DREP" in out
+        assert "A" in out.splitlines()[1:][0] or any(
+            "A" in line for line in out.splitlines()
+        )
+
+    def test_single_point(self):
+        out = ascii_plot({"x": ([1.0], [1.0])})
+        assert "A=x" in out
+
+
+class TestSaveRows:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "rows.json"
+        save_rows(path, ROWS)
+        back = json.loads(path.read_text())
+        assert back == ROWS

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.workloads.traces import Trace, attach_dags, generate_trace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_trace(
+    works,
+    releases=None,
+    mode: ParallelismMode = ParallelismMode.SEQUENTIAL,
+    m: int = 2,
+) -> Trace:
+    """Hand-built trace from explicit work values (and optional releases)."""
+    releases = releases if releases is not None else [0.0] * len(works)
+    jobs = []
+    for i, (w, r) in enumerate(zip(works, releases)):
+        span = w if mode is ParallelismMode.SEQUENTIAL else w / m
+        jobs.append(JobSpec(job_id=i, release=float(r), work=float(w), span=span, mode=mode))
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual", name="manual")
+
+
+@pytest.fixture
+def tiny_seq_trace() -> Trace:
+    """Three sequential jobs with staggered arrivals."""
+    return make_trace([4.0, 2.0, 1.0], releases=[0.0, 1.0, 2.0])
+
+
+@pytest.fixture
+def small_random_trace() -> Trace:
+    return generate_trace(
+        n_jobs=200, distribution="finance", load=0.6, m=4, seed=11
+    )
+
+
+@pytest.fixture
+def small_parallel_trace() -> Trace:
+    return generate_trace(
+        n_jobs=200,
+        distribution="bing",
+        load=0.5,
+        m=4,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=13,
+    )
+
+
+@pytest.fixture
+def small_dag_trace() -> Trace:
+    """A small DAG-attached trace for runtime-simulator tests."""
+    base = generate_trace(
+        n_jobs=30,
+        distribution="finance",
+        load=0.6,
+        m=4,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=17,
+        scale_work_with_m=False,
+    )
+    from repro.analysis.experiments import scale_trace
+
+    return attach_dags(scale_trace(base, 150.0), parallelism=6, seed=19)

@@ -1,0 +1,94 @@
+"""Tests for repro.core.events — ordering and lazy invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push_arrival(5.0, job_id=1)
+        q.push_arrival(2.0, job_id=2)
+        q.push_arrival(9.0, job_id=3)
+        assert [q.pop().job_id for _ in range(3)] == [2, 1, 3]
+
+    def test_arrival_before_completion_at_equal_time(self):
+        q = EventQueue()
+        q.set_version(7, 0)
+        q.push_completion(3.0, job_id=7, version=0)
+        q.push_arrival(3.0, job_id=8)
+        first = q.pop()
+        assert first.kind is EventKind.ARRIVAL
+
+    def test_fifo_among_equal_arrivals(self):
+        q = EventQueue()
+        for j in range(5):
+            q.push_arrival(1.0, job_id=j)
+        assert [q.pop().job_id for _ in range(5)] == list(range(5))
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestLazyInvalidation:
+    def test_stale_completion_skipped(self):
+        q = EventQueue()
+        q.set_version(1, 0)
+        q.push_completion(1.0, job_id=1, version=0)
+        q.set_version(1, 1)  # rate changed: old prediction is stale
+        q.push_completion(2.0, job_id=1, version=1)
+        ev = q.pop()
+        assert ev.time == 2.0 and ev.version == 1
+        assert q.pop() is None
+
+    def test_completion_consumed_once(self):
+        q = EventQueue()
+        q.set_version(1, 0)
+        q.push_completion(1.0, job_id=1, version=0)
+        assert q.pop().kind is EventKind.COMPLETION
+        q.push_completion(2.0, job_id=1, version=0)
+        assert q.pop() is None  # version registry was consumed
+
+    def test_clear_job_invalidates(self):
+        q = EventQueue()
+        q.set_version(1, 0)
+        q.push_completion(1.0, job_id=1, version=0)
+        q.clear_job(1)
+        assert q.pop() is None
+
+    def test_peek_time_skips_stale(self):
+        q = EventQueue()
+        q.set_version(1, 0)
+        q.push_completion(1.0, job_id=1, version=0)
+        q.set_version(1, 1)
+        q.push_completion(5.0, job_id=1, version=1)
+        assert q.peek_time() == 5.0
+
+    def test_peek_on_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push_arrival(-1.0, job_id=0)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push_timer(float("nan"))
+
+    def test_timer_events(self):
+        q = EventQueue()
+        q.push_timer(3.0)
+        ev = q.pop()
+        assert ev.kind is EventKind.TIMER and ev.time == 3.0
+
+    def test_len_counts_raw_heap(self):
+        q = EventQueue()
+        q.push_arrival(1.0, 0)
+        q.push_arrival(2.0, 1)
+        assert len(q) == 2
+        assert not q.empty

@@ -1,0 +1,123 @@
+"""Model-based (stateful) testing of the EventQueue against a reference.
+
+Hypothesis drives random sequences of pushes, version bumps, clears and
+pops; a brute-force reference model computes the expected pop order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.events import EventKind, EventQueue
+
+
+class EventQueueMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.q = EventQueue()
+        # reference: list of live (time, kind, seq, job, version)
+        self.model: list[tuple] = []
+        self.versions: dict[int, int] = {}
+        self.seq = 0
+
+    def _next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    @rule(time=st.floats(0, 100, allow_nan=False), job=st.integers(0, 5))
+    def push_arrival(self, time, job):
+        self.q.push_arrival(time, job)
+        self.model.append((time, int(EventKind.ARRIVAL), self._next_seq(), job, 0))
+
+    @rule(time=st.floats(0, 100, allow_nan=False))
+    def push_timer(self, time):
+        self.q.push_timer(time)
+        self.model.append((time, int(EventKind.TIMER), self._next_seq(), -1, 0))
+
+    @rule(
+        time=st.floats(0, 100, allow_nan=False),
+        job=st.integers(0, 5),
+    )
+    def push_completion_current_version(self, time, job):
+        # fresh-version contract: registering an old number would revive
+        # consumed heap entries, so versions only move forward (exactly
+        # what the flow engine does)
+        version = self.versions.get(job, 0)
+        self.q.set_version(job, version)
+        self.q.push_completion(time, job, version)
+        self.model.append((time, int(EventKind.COMPLETION), self._next_seq(), job, version))
+        # re-registering the same version revives same-version entries
+        # that were only *superseded* (never popped); the model keeps all
+        # same-version entries live, so nothing to fix here — popping is
+        # the only consumer, handled in pop()
+
+    @rule(job=st.integers(0, 5))
+    def bump_version(self, job):
+        self.versions[job] = self.versions.get(job, 0) + 1
+        self.q.set_version(job, self.versions[job])
+        # reference: completions of older versions are now dead
+        self.model = [
+            ev
+            for ev in self.model
+            if not (
+                ev[1] == int(EventKind.COMPLETION)
+                and ev[3] == job
+                and ev[4] != self.versions[job]
+            )
+        ]
+
+    @rule(job=st.integers(0, 5))
+    def clear_job(self, job):
+        self.q.clear_job(job)
+        # keep the job's version counter moving forward so later pushes
+        # never reuse a number that stale heap entries still carry (the
+        # documented fresh-version contract)
+        self.versions[job] = self.versions.get(job, 0) + 1
+        self.model = [
+            ev
+            for ev in self.model
+            if not (ev[1] == int(EventKind.COMPLETION) and ev[3] == job)
+        ]
+
+    @rule()
+    def pop(self):
+        got = self.q.pop()
+        if not self.model:
+            assert got is None
+            return
+        expected = min(self.model)
+        self.model.remove(expected)
+        assert got is not None
+        assert got.time == expected[0]
+        assert int(got.kind) == expected[1]
+        if got.kind is EventKind.COMPLETION:
+            assert got.job_id == expected[3]
+            # a popped completion consumes the job's version registration:
+            # remaining same-version entries are dead.  Move the model's
+            # version forward so future pushes use a fresh number (the
+            # engine contract documented on EventQueue).
+            consumed = expected[4]
+            self.versions[got.job_id] = consumed + 1
+            self.model = [
+                ev
+                for ev in self.model
+                if not (
+                    ev[1] == int(EventKind.COMPLETION) and ev[3] == got.job_id
+                )
+            ]
+
+    @invariant()
+    def peek_matches_model(self):
+        t = self.q.peek_time()
+        if not self.model:
+            assert t is None
+        else:
+            assert t == min(self.model)[0]
+
+
+EventQueueMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestEventQueueStateful = EventQueueMachine.TestCase

@@ -1,0 +1,107 @@
+"""Tests for repro.core.job — spec validation and state transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.job import JobSpec, JobState, ParallelismMode
+
+
+def spec(**kw):
+    defaults = dict(job_id=0, release=0.0, work=10.0, span=10.0)
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+class TestParallelismMode:
+    def test_sequential_rate_cap(self):
+        assert ParallelismMode.SEQUENTIAL.rate_cap(16) == 1.0
+
+    def test_parallel_rate_cap(self):
+        assert ParallelismMode.FULLY_PARALLEL.rate_cap(16) == 16.0
+
+    def test_dag_rate_cap(self):
+        assert ParallelismMode.DAG.rate_cap(8) == 8.0
+
+
+class TestJobSpec:
+    def test_valid(self):
+        s = spec()
+        assert s.work == 10.0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            spec(job_id=-1)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError):
+            spec(release=-0.5)
+
+    def test_zero_work_rejected(self):
+        with pytest.raises(ValueError):
+            spec(work=0.0, span=0.0)
+
+    def test_span_exceeding_work_rejected(self):
+        with pytest.raises(ValueError):
+            spec(work=5.0, span=6.0, mode=ParallelismMode.FULLY_PARALLEL)
+
+    def test_sequential_requires_span_equals_work(self):
+        with pytest.raises(ValueError):
+            spec(work=10.0, span=5.0)  # sequential by default
+
+    def test_parallel_span_below_work_ok(self):
+        s = spec(span=2.0, mode=ParallelismMode.FULLY_PARALLEL)
+        assert s.span == 2.0
+
+    def test_nan_work_rejected(self):
+        with pytest.raises(ValueError):
+            spec(work=float("nan"), span=float("nan"))
+
+    def test_inf_release_rejected(self):
+        with pytest.raises(ValueError):
+            spec(release=float("inf"))
+
+
+class TestLowerBound:
+    def test_sequential_bound_is_work(self):
+        # a sequential job cannot use more than one processor
+        s = spec(work=10.0, span=10.0)
+        assert s.lower_bound(m=8) == 10.0
+
+    def test_parallel_bound_work_over_m(self):
+        s = spec(work=16.0, span=1.0, mode=ParallelismMode.FULLY_PARALLEL)
+        assert s.lower_bound(m=4) == 4.0
+
+    def test_parallel_bound_span_dominates(self):
+        s = spec(work=16.0, span=9.0, mode=ParallelismMode.FULLY_PARALLEL)
+        assert s.lower_bound(m=4) == 9.0
+
+
+class TestJobState:
+    def test_initial_remaining_is_work(self):
+        st = JobState(spec=spec())
+        assert st.remaining == 10.0
+        assert not st.done
+
+    def test_complete_sets_flow_time(self):
+        st = JobState(spec=spec(release=2.0))
+        st.complete(now=7.5)
+        assert st.done
+        assert st.flow_time == pytest.approx(5.5)
+        assert st.remaining == 0.0
+
+    def test_double_completion_rejected(self):
+        st = JobState(spec=spec())
+        st.complete(now=3.0)
+        with pytest.raises(ValueError):
+            st.complete(now=4.0)
+
+    def test_completion_before_release_rejected(self):
+        st = JobState(spec=spec(release=5.0))
+        with pytest.raises(ValueError):
+            st.complete(now=4.0)
+
+    def test_flow_time_before_completion_raises(self):
+        st = JobState(spec=spec())
+        with pytest.raises(ValueError):
+            _ = st.flow_time

@@ -1,0 +1,75 @@
+"""Tests for repro.core.metrics — summaries and comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import ScheduleResult, compare_results, summarize_flow
+
+
+def result(flows, scheduler="X", m=4, **kw):
+    return ScheduleResult(scheduler=scheduler, m=m, flow_times=np.array(flows), **kw)
+
+
+class TestScheduleResult:
+    def test_mean_flow(self):
+        assert result([1.0, 2.0, 3.0]).mean_flow == pytest.approx(2.0)
+
+    def test_total_flow(self):
+        assert result([1.0, 2.0, 3.0]).total_flow == pytest.approx(6.0)
+
+    def test_max_flow(self):
+        assert result([1.0, 5.0, 3.0]).max_flow == 5.0
+
+    def test_percentile(self):
+        r = result(list(range(101)))
+        assert r.percentile(50) == pytest.approx(50.0)
+        assert r.percentile(99) == pytest.approx(99.0)
+
+    def test_empty_result(self):
+        r = result([])
+        assert r.mean_flow == 0.0
+        assert r.n_jobs == 0
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValueError):
+            result([1.0, -2.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            result([[1.0], [2.0]])
+
+    def test_nonpositive_m_rejected(self):
+        with pytest.raises(ValueError):
+            result([1.0], m=0)
+
+    def test_summary_keys(self):
+        s = result([1.0, 2.0], preemptions=3, extra={"utilization": 0.5}).summary()
+        assert s["mean_flow"] == pytest.approx(1.5)
+        assert s["preemptions"] == 3
+        assert s["utilization"] == 0.5
+        assert s["n_jobs"] == 2
+
+
+class TestSummarize:
+    def test_averages_repetitions(self):
+        rs = [result([2.0], scheduler="A"), result([4.0], scheduler="A"), result([1.0], scheduler="B")]
+        out = summarize_flow(rs)
+        assert out == {"A": pytest.approx(3.0), "B": pytest.approx(1.0)}
+
+
+class TestCompare:
+    def test_flow_ratio(self):
+        base = result([1.0, 1.0], scheduler="SRPT")
+        other = result([2.0, 4.0], scheduler="DREP")
+        assert compare_results(base, other)["flow_ratio"] == pytest.approx(3.0)
+
+    def test_preemption_ratio_zero_baseline(self):
+        base = result([1.0], preemptions=0)
+        other = result([1.0], preemptions=5)
+        assert compare_results(base, other)["preemption_ratio"] == float("inf")
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            compare_results(result([1.0]), result([1.0, 2.0]))

@@ -1,0 +1,71 @@
+"""Additional metrics edge cases and cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import ScheduleResult
+
+
+def result(flows, **kw):
+    return ScheduleResult(scheduler="X", m=2, flow_times=np.array(flows, dtype=float), **kw)
+
+
+class TestLkNorms:
+    def test_l1_is_total_flow(self):
+        r = result([1.0, 2.0, 3.0])
+        assert r.lk_norm(1) == pytest.approx(r.total_flow)
+
+    def test_large_k_approaches_max(self):
+        r = result([1.0, 2.0, 10.0])
+        assert r.lk_norm(50) == pytest.approx(r.max_flow, rel=0.05)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        flows=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20),
+        k1=st.floats(1.0, 4.0),
+        k2=st.floats(4.01, 12.0),
+    )
+    def test_norm_ordering_property(self, flows, k1, k2):
+        """Power-mean style ordering: for k2 > k1 >= 1, the ℓ_k norm is
+        non-increasing in k (for fixed vectors, ||x||_k2 <= ||x||_k1)."""
+        r = result(flows)
+        assert r.lk_norm(k2) <= r.lk_norm(k1) * (1 + 1e-9)
+
+
+class TestWeightedMean:
+    def test_weight_shift_moves_mean(self):
+        base = result([1.0, 9.0], weights=np.array([1.0, 1.0]))
+        tilted = result([1.0, 9.0], weights=np.array([9.0, 1.0]))
+        assert tilted.weighted_mean_flow() < base.weighted_mean_flow()
+
+    def test_no_weights_falls_back(self):
+        r = result([2.0, 4.0])
+        assert r.weighted_mean_flow() == r.mean_flow
+
+
+class TestSummaryCompleteness:
+    def test_summary_includes_all_counters(self):
+        r = result(
+            [1.0],
+            preemptions=1,
+            migrations=2,
+            steal_attempts=3,
+            muggings=4,
+            makespan=5.0,
+        )
+        s = r.summary()
+        assert s["preemptions"] == 1
+        assert s["migrations"] == 2
+        assert s["steal_attempts"] == 3
+        assert s["muggings"] == 4
+        assert s["makespan"] == 5.0
+
+    def test_extra_keys_merged_and_not_clobbering(self):
+        r = result([1.0], extra={"utilization": 0.5, "custom": "x"})
+        s = r.summary()
+        assert s["custom"] == "x"
+        assert s["utilization"] == 0.5

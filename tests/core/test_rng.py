@@ -1,0 +1,72 @@
+"""Tests for repro.core.rng — determinism and stream independence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RngFactory, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("arrivals") == stable_hash("arrivals")
+
+    def test_distinct_names_distinct_hashes(self):
+        names = [f"stream-{i}" for i in range(200)]
+        hashes = {stable_hash(n) for n in names}
+        assert len(hashes) == len(names)
+
+    def test_64_bit_range(self):
+        h = stable_hash("x")
+        assert 0 <= h < 2**64
+
+    def test_unicode(self):
+        assert stable_hash("日本語") == stable_hash("日本語")
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        a = RngFactory(7).stream("work").random(16)
+        b = RngFactory(7).stream("work").random(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(7).stream("work").random(16)
+        b = RngFactory(8).stream("work").random(16)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        f = RngFactory(7)
+        a = f.stream("work").random(16)
+        b = f.stream("arrivals").random(16)
+        assert not np.array_equal(a, b)
+
+    def test_stream_order_independent(self):
+        f1 = RngFactory(3)
+        _ = f1.stream("a").random(4)
+        x = f1.stream("b").random(4)
+        f2 = RngFactory(3)
+        y = f2.stream("b").random(4)
+        np.testing.assert_array_equal(x, y)
+
+    def test_child_factories_reproducible(self):
+        a = RngFactory(5).child("rep0").stream("s").random(8)
+        b = RngFactory(5).child("rep0").stream("s").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = RngFactory(5)
+        child = parent.child("rep0")
+        assert child.seed != parent.seed
+        a = parent.stream("s").random(8)
+        b = child.stream("s").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(TypeError):
+            RngFactory(seed="42")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        f = RngFactory(np.int64(9))
+        assert f.seed == 9

@@ -1,0 +1,98 @@
+"""Tests for slowdown (stretch) metrics and their engine wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import ScheduleResult
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import RoundRobin, SRPT, DrepSequential
+from repro.workloads.traces import generate_trace
+from tests.conftest import make_trace
+
+
+class TestSlowdownMetric:
+    def test_basic(self):
+        r = ScheduleResult(
+            scheduler="X",
+            m=1,
+            flow_times=np.array([2.0, 6.0]),
+            min_flows=np.array([1.0, 2.0]),
+        )
+        np.testing.assert_allclose(r.slowdowns, [2.0, 3.0])
+        assert r.mean_slowdown() == pytest.approx(2.5)
+        assert r.max_slowdown() == 3.0
+        assert r.slowdown_percentile(50) == pytest.approx(2.5)
+
+    def test_requires_min_flows(self):
+        r = ScheduleResult(scheduler="X", m=1, flow_times=np.array([1.0]))
+        with pytest.raises(ValueError, match="min_flows"):
+            _ = r.slowdowns
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            ScheduleResult(
+                scheduler="X",
+                m=1,
+                flow_times=np.array([1.0, 2.0]),
+                min_flows=np.array([1.0]),
+            )
+
+    def test_positive_min_flows_required(self):
+        with pytest.raises(ValueError):
+            ScheduleResult(
+                scheduler="X",
+                m=1,
+                flow_times=np.array([1.0]),
+                min_flows=np.array([0.0]),
+            )
+
+    def test_lk_norm(self):
+        r = ScheduleResult(scheduler="X", m=1, flow_times=np.array([3.0, 4.0]))
+        assert r.lk_norm(2) == pytest.approx(5.0)
+        assert r.lk_norm(1) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            r.lk_norm(0)
+
+    def test_lk_norm_empty(self):
+        r = ScheduleResult(scheduler="X", m=1, flow_times=np.empty(0))
+        assert r.lk_norm(2) == 0.0
+
+
+class TestEngineWiring:
+    def test_slowdowns_at_least_one(self, small_random_trace):
+        r = simulate(small_random_trace, 4, SRPT())
+        assert (r.slowdowns >= 1.0 - 1e-9).all()
+
+    def test_single_job_slowdown_is_one(self):
+        trace = make_trace([5.0])
+        r = simulate(trace, 1, SRPT())
+        assert r.slowdowns[0] == pytest.approx(1.0)
+
+    def test_wsim_slowdowns(self, small_dag_trace):
+        from repro.wsim.runtime import simulate_ws
+        from repro.wsim.schedulers import DrepWS
+
+        r = simulate_ws(small_dag_trace, 4, DrepWS(), seed=1)
+        assert (r.slowdowns >= 1.0 - 1e-9).all()
+
+
+class TestFairnessStory:
+    def test_srpt_stretches_large_jobs_more_than_drep(self):
+        """The fairness inversion: SRPT wins on mean flow but stretches
+        the biggest jobs; equi-partition (RR/DREP) bounds the stretch."""
+        trace = generate_trace(4000, "bing", 0.7, 4, seed=61)
+        srpt = simulate(trace, 4, SRPT(), seed=61)
+        rr = simulate(trace, 4, RoundRobin(), seed=61)
+        drep = simulate(trace, 4, DrepSequential(), seed=61)
+        # mean flow: SRPT best
+        assert srpt.mean_flow <= rr.mean_flow
+        # but tail slowdown: the large jobs suffer more under SRPT than RR
+        works = np.array([j.work for j in trace.jobs])
+        big = works >= np.percentile(works, 99)
+        srpt_big = srpt.slowdowns[big].mean()
+        rr_big = rr.slowdowns[big].mean()
+        drep_big = drep.slowdowns[big].mean()
+        assert srpt_big > rr_big
+        assert drep_big <= srpt_big * 1.1

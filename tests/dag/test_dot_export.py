@@ -1,0 +1,53 @@
+"""Tests for DagJob.to_dot."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.generators import chain, spawn_tree
+from repro.dag.graph import NO_CHILD, DagJob
+
+
+def diamond():
+    return DagJob(
+        weights=np.array([1, 2, 5, 1]),
+        child1=np.array([1, 3, 3, NO_CHILD]),
+        child2=np.array([2, NO_CHILD, NO_CHILD, NO_CHILD]),
+        name="diamond",
+    )
+
+
+class TestDotExport:
+    def test_structure(self):
+        dot = diamond().to_dot()
+        assert dot.startswith('digraph "diamond"')
+        assert dot.rstrip().endswith("}")
+        # 4 nodes, 4 edges
+        assert dot.count("->") == 4
+        for u in range(4):
+            assert f"n{u} [" in dot
+
+    def test_labels_carry_weights(self):
+        dot = diamond().to_dot()
+        assert '"2:5"' in dot  # node 2 has weight 5
+
+    def test_critical_path_highlighted(self):
+        # critical path of the diamond: 0 -> 2 -> 3
+        dot = diamond().to_dot(highlight_critical=True)
+        assert "n0 -> n2 [color=red" in dot
+        assert "n2 -> n3 [color=red" in dot
+        assert "n0 -> n1 [color=red" not in dot
+
+    def test_no_highlight_option(self):
+        dot = diamond().to_dot(highlight_critical=False)
+        assert "red" not in dot
+
+    def test_chain_fully_critical(self):
+        dot = chain(6, 2).to_dot()
+        # every node and edge of a chain is critical: 3 nodes + 2 edges
+        assert dot.count("color=red") == 5
+
+    def test_spawn_tree_renders(self):
+        dot = spawn_tree(3, 5).to_dot()
+        d = spawn_tree(3, 5)
+        assert dot.count("->") == len(d.edges())

@@ -1,0 +1,157 @@
+"""Tests for repro.dag.generators — shapes, invariants, property-based."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.generators import chain, fork_join, layered_random, spawn_tree, wide
+from repro.dag.validate import validate_dag
+
+
+class TestChain:
+    def test_exact_work(self):
+        d = chain(17, granularity=5)
+        assert d.work == 17
+
+    def test_span_equals_work(self):
+        d = chain(23, granularity=4)
+        assert d.span == d.work
+
+    def test_single_unit(self):
+        d = chain(1)
+        assert d.n_nodes == 1
+
+    def test_granularity_controls_node_count(self):
+        assert chain(100, granularity=10).n_nodes == 10
+        assert chain(100, granularity=1).n_nodes == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chain(0)
+        with pytest.raises(ValueError):
+            chain(5, granularity=0)
+
+    def test_valid_dag(self):
+        validate_dag(chain(37, granularity=7))
+
+
+class TestSpawnTree:
+    def test_leaf_count_work(self):
+        d = spawn_tree(depth=3, leaf_weight=10, spawn_weight=1)
+        # 8 leaves of weight 10, 7 spawn + 7 sync internal nodes of weight 1
+        assert d.work == 8 * 10 + 14
+
+    def test_depth_zero_is_single_node(self):
+        d = spawn_tree(depth=0, leaf_weight=5)
+        assert d.n_nodes == 1 and d.work == 5
+
+    def test_span_structure(self):
+        d = spawn_tree(depth=2, leaf_weight=10, spawn_weight=1)
+        # span: spawn, spawn, leaf, sync, sync = 1+1+10+1+1
+        assert d.span == 14
+
+    def test_parallelism_grows_with_depth(self):
+        shallow = spawn_tree(2, 100)
+        deep = spawn_tree(5, 100)
+        assert deep.work / deep.span > shallow.work / shallow.span
+
+    def test_valid(self):
+        for depth in range(5):
+            validate_dag(spawn_tree(depth, 3))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            spawn_tree(-1, 1)
+        with pytest.raises(ValueError):
+            spawn_tree(2, 0)
+
+
+class TestForkJoin:
+    def test_work_accounting(self):
+        d = fork_join(segments=2, width=4, strand_work=10, overhead_weight=1)
+        # per segment: 1 root + 2 fan nodes (4 leaves from 1 root needs 3
+        # internal? builder expands root itself) + 4 strands + fan-in
+        assert d.work >= 2 * 4 * 10
+        validate_dag(d)
+
+    def test_width_one(self):
+        d = fork_join(segments=3, width=1, strand_work=5)
+        validate_dag(d)
+        assert d.span == d.work  # no parallelism at width 1
+
+    def test_segments_serialize(self):
+        one = fork_join(1, 8, 10)
+        two = fork_join(2, 8, 10)
+        assert two.span > one.span
+
+    def test_wide_is_single_segment(self):
+        d = wide(width=8, strand_work=10)
+        validate_dag(d)
+        # parallelism should be close to 8
+        assert d.work / d.span > 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fork_join(0, 1, 1)
+
+
+class TestLayeredRandom:
+    def test_valid_many_seeds(self):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            validate_dag(layered_random(5, 6, 4, rng))
+
+    def test_single_layer(self):
+        rng = np.random.default_rng(1)
+        validate_dag(layered_random(1, 1, 1, rng))
+
+    def test_invalid(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            layered_random(0, 1, 1, rng)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    depth=st.integers(0, 6),
+    leaf=st.integers(1, 50),
+    spawn=st.integers(1, 5),
+)
+def test_spawn_tree_properties(depth, leaf, spawn):
+    d = spawn_tree(depth, leaf, spawn)
+    validate_dag(d)
+    assert 1 <= d.span <= d.work
+    assert d.work == (2**depth) * leaf + 2 * (2**depth - 1) * spawn
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    segments=st.integers(1, 4),
+    width=st.integers(1, 12),
+    strand=st.integers(1, 30),
+)
+def test_fork_join_properties(segments, width, strand):
+    d = fork_join(segments, width, strand)
+    validate_dag(d)
+    assert d.work >= segments * width * strand
+    # span must include every segment's strand at least once
+    assert d.span >= segments * strand
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    layers=st.integers(1, 8),
+    width=st.integers(1, 10),
+    weight=st.integers(1, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_layered_random_properties(layers, width, weight, seed):
+    rng = np.random.default_rng(seed)
+    d = layered_random(layers, width, weight, rng)
+    validate_dag(d)
+    assert 1 <= d.span <= d.work
+    # out-degree <= 2 by construction
+    assert (d.child2 == -1).sum() >= 0  # trivially true; validate_dag covers it

@@ -1,0 +1,95 @@
+"""Tests for repro.dag.graph — DagJob structure and work/span math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import NO_CHILD, DagJob
+
+
+def diamond() -> DagJob:
+    """0 -> {1, 2} -> 3 with weights 1, 2, 5, 1."""
+    return DagJob(
+        weights=np.array([1, 2, 5, 1]),
+        child1=np.array([1, 3, 3, NO_CHILD]),
+        child2=np.array([2, NO_CHILD, NO_CHILD, NO_CHILD]),
+        name="diamond",
+    )
+
+
+class TestConstruction:
+    def test_single_node(self):
+        d = DagJob(weights=[3], child1=[NO_CHILD], child2=[NO_CHILD])
+        assert d.n_nodes == 1
+        assert d.work == 3
+        assert d.span == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DagJob(weights=[], child1=[], child2=[])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DagJob(weights=[0], child1=[NO_CHILD], child2=[NO_CHILD])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DagJob(weights=[1, 1], child1=[NO_CHILD], child2=[NO_CHILD])
+
+    def test_arrays_coerced_to_int64(self):
+        d = diamond()
+        assert d.weights.dtype == np.int64
+        assert d.child1.dtype == np.int64
+
+
+class TestWorkSpan:
+    def test_diamond_work(self):
+        assert diamond().work == 9
+
+    def test_diamond_span(self):
+        # longest path: 0 -> 2 -> 3 = 1 + 5 + 1
+        assert diamond().span == 7
+
+    def test_chain_span_equals_work(self):
+        d = DagJob(
+            weights=[2, 3, 4],
+            child1=[1, 2, NO_CHILD],
+            child2=[NO_CHILD] * 3,
+        )
+        assert d.span == d.work == 9
+
+    def test_parallel_nodes_span_is_max(self):
+        d = DagJob(
+            weights=[4, 7],
+            child1=[NO_CHILD, NO_CHILD],
+            child2=[NO_CHILD, NO_CHILD],
+        )
+        assert d.work == 11
+        assert d.span == 7
+
+
+class TestStructureQueries:
+    def test_in_degrees(self):
+        np.testing.assert_array_equal(diamond().in_degrees(), [0, 1, 1, 2])
+
+    def test_sources(self):
+        np.testing.assert_array_equal(diamond().sources(), [0])
+
+    def test_children_of(self):
+        d = diamond()
+        assert d.children_of(0) == (1, 2)
+        assert d.children_of(1) == (3,)
+        assert d.children_of(3) == ()
+
+    def test_edges(self):
+        assert sorted(diamond().edges()) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_node_depths(self):
+        d = diamond()
+        # depth = heaviest path ending at node, inclusive
+        np.testing.assert_array_equal(d.node_depths(), [1, 3, 6, 7])
+
+    def test_depths_max_equals_span(self):
+        d = diamond()
+        assert int(d.node_depths().max()) == d.span

@@ -1,0 +1,78 @@
+"""Cross-validate DAG computations against networkx as an oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.generators import chain, fork_join, layered_random, spawn_tree
+
+
+def to_networkx(dag) -> nx.DiGraph:
+    g = nx.DiGraph()
+    for u in range(dag.n_nodes):
+        g.add_node(u, weight=int(dag.weights[u]))
+    for u, v in dag.edges():
+        g.add_edge(u, v)
+    return g
+
+
+def nx_span(dag) -> int:
+    """Critical path via networkx: heaviest path in node weights."""
+    g = to_networkx(dag)
+    best = 0
+    # DP over topological order using node weights
+    dist = {u: int(dag.weights[u]) for u in g.nodes}
+    for u in nx.topological_sort(g):
+        for v in g.successors(u):
+            cand = dist[u] + int(dag.weights[v])
+            if cand > dist[v]:
+                dist[v] = cand
+        best = max(best, dist[u])
+    return best
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.integers(0, 3),
+    a=st.integers(1, 6),
+    b=st.integers(1, 8),
+    c=st.integers(1, 12),
+    seed=st.integers(0, 1000),
+)
+def test_span_matches_networkx(kind, a, b, c, seed):
+    rng = np.random.default_rng(seed)
+    if kind == 0:
+        dag = chain(a * b * c, granularity=a)
+    elif kind == 1:
+        dag = spawn_tree(min(a, 5), b, 1)
+    elif kind == 2:
+        dag = fork_join(min(a, 4), b, c)
+    else:
+        dag = layered_random(min(a, 6), b, c, rng)
+    assert dag.span == nx_span(dag)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    layers=st.integers(1, 6),
+    width=st.integers(1, 8),
+    seed=st.integers(0, 1000),
+)
+def test_generated_dags_acyclic_per_networkx(layers, width, seed):
+    rng = np.random.default_rng(seed)
+    dag = layered_random(layers, width, 4, rng)
+    g = to_networkx(dag)
+    assert nx.is_directed_acyclic_graph(g)
+    # single weakly connected component (the job is one program)
+    assert nx.number_weakly_connected_components(g) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(depth=st.integers(0, 5), leaf=st.integers(1, 20))
+def test_spawn_tree_work_matches_networkx_sum(depth, leaf):
+    dag = spawn_tree(depth, leaf)
+    g = to_networkx(dag)
+    assert dag.work == sum(d["weight"] for _, d in g.nodes(data=True))

@@ -1,0 +1,134 @@
+"""Tests for repro.dag.profile — parallelism profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.generators import chain, fork_join, layered_random, spawn_tree, wide
+from repro.dag.profile import ParallelismProfile
+
+
+class TestConstruction:
+    def test_constant(self):
+        p = ParallelismProfile.constant(work=10.0, parallelism=4.0)
+        assert p.total_work == 10.0
+        assert p.cap_at(0.0) == 4.0
+        assert p.cap_at(9.9) == 4.0
+        assert p.span == pytest.approx(2.5)
+
+    def test_invalid_breaks(self):
+        with pytest.raises(ValueError):
+            ParallelismProfile(np.array([1.0, 2.0]), np.array([1.0]))  # no 0 start
+        with pytest.raises(ValueError):
+            ParallelismProfile(np.array([0.0, 2.0, 2.0]), np.array([1.0, 1.0]))
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            ParallelismProfile(np.array([0.0, 1.0]), np.array([0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ParallelismProfile(np.array([0.0, 1.0, 2.0]), np.array([1.0]))
+
+    def test_constant_invalid_work(self):
+        with pytest.raises(ValueError):
+            ParallelismProfile.constant(0.0, 1.0)
+
+
+class TestFromDag:
+    def test_chain_profile_flat_one(self):
+        p = ParallelismProfile.from_dag(chain(25, 5))
+        assert p.parallelism.tolist() == [1.0]
+        assert p.total_work == 25
+        assert p.span == 25
+
+    def test_work_and_span_match_dag(self):
+        for dag in (spawn_tree(3, 7), fork_join(2, 5, 9), wide(8, 11)):
+            p = ParallelismProfile.from_dag(dag)
+            assert p.total_work == dag.work
+            assert p.span == dag.span
+            assert p.average_parallelism == pytest.approx(dag.work / dag.span)
+
+    def test_spawn_tree_ramps_up_and_down(self):
+        p = ParallelismProfile.from_dag(spawn_tree(3, 50))
+        assert p.cap_at(0.0) == 1.0  # single root strand
+        assert p.parallelism.max() == 8.0  # 8 leaves
+        assert p.parallelism[-1] == 1.0  # final sync strand
+
+    def test_wide_exposes_width(self):
+        p = ParallelismProfile.from_dag(wide(16, 20))
+        assert p.parallelism.max() >= 16
+
+
+class TestCapLookup:
+    def test_cap_progression(self):
+        p = ParallelismProfile(np.array([0.0, 2.0, 6.0]), np.array([1.0, 4.0]))
+        assert p.cap_at(0.0) == 1.0
+        assert p.cap_at(1.999) == 1.0
+        assert p.cap_at(2.0) == 4.0
+        assert p.cap_at(5.9) == 4.0
+        assert p.cap_at(6.0) == 4.0  # past end: last segment
+
+    def test_cap_with_tolerance(self):
+        p = ParallelismProfile(np.array([0.0, 2.0, 6.0]), np.array([1.0, 4.0]))
+        # a hair below the break, tol counts it as crossed
+        assert p.cap_at(2.0 - 1e-12, tol=1e-9) == 4.0
+        assert p.cap_at(2.0 - 1e-6, tol=1e-9) == 1.0
+
+    def test_negative_attained_rejected(self):
+        p = ParallelismProfile.constant(1.0, 1.0)
+        with pytest.raises(ValueError):
+            p.cap_at(-0.5)
+
+    def test_next_break(self):
+        p = ParallelismProfile(np.array([0.0, 2.0, 6.0]), np.array([1.0, 4.0]))
+        assert p.next_break_after(0.0) == 2.0
+        assert p.next_break_after(2.0) is None  # last segment
+        assert p.next_break_after(5.0) is None
+
+    def test_next_break_respects_tol(self):
+        p = ParallelismProfile(np.array([0.0, 2.0, 6.0]), np.array([1.0, 4.0]))
+        assert p.next_break_after(2.0 - 1e-12, tol=1e-9) is None
+
+    def test_next_break_skips_same_cap_boundary(self):
+        p = ParallelismProfile(
+            np.array([0.0, 2.0, 4.0, 6.0]), np.array([1.0, 1.0, 3.0])
+        )
+        # the 2.0 boundary does not change the cap; first real change is 4.0
+        assert p.next_break_after(0.0) == 4.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    kind=st.integers(0, 3),
+    a=st.integers(1, 5),
+    b=st.integers(1, 8),
+    seed=st.integers(0, 500),
+)
+def test_profile_invariants_random_dags(kind, a, b, seed):
+    rng = np.random.default_rng(seed)
+    if kind == 0:
+        dag = chain(a * b, granularity=a)
+    elif kind == 1:
+        dag = spawn_tree(a, b)
+    elif kind == 2:
+        dag = fork_join(a, b, 3)
+    else:
+        dag = layered_random(a, b, 4, rng)
+    p = ParallelismProfile.from_dag(dag)
+    assert p.total_work == dag.work
+    assert p.span == dag.span
+    assert (p.parallelism >= 1).all()
+    # walking the breaks visits strictly increasing work levels
+    level, guard = 0.0, 0
+    while True:
+        nxt = p.next_break_after(level)
+        if nxt is None:
+            break
+        assert nxt > level
+        level = nxt
+        guard += 1
+        assert guard < p.parallelism.size + 1

@@ -1,0 +1,57 @@
+"""Tests for repro.dag.validate — each invariant violation is caught."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import NO_CHILD, DagJob
+from repro.dag.validate import DagValidationError, validate_dag
+
+
+def dag(weights, child1, child2):
+    return DagJob(
+        weights=np.array(weights),
+        child1=np.array(child1),
+        child2=np.array(child2),
+    )
+
+
+class TestValidateDag:
+    def test_accepts_single_node(self):
+        validate_dag(dag([1], [NO_CHILD], [NO_CHILD]))
+
+    def test_accepts_chain(self):
+        validate_dag(dag([1, 1], [1, NO_CHILD], [NO_CHILD, NO_CHILD]))
+
+    def test_out_of_range_child(self):
+        with pytest.raises(DagValidationError, match="out-of-range"):
+            validate_dag(dag([1, 1], [5, NO_CHILD], [NO_CHILD, NO_CHILD]))
+
+    def test_negative_child_index(self):
+        with pytest.raises(DagValidationError, match="out-of-range"):
+            validate_dag(dag([1, 1], [-3, NO_CHILD], [NO_CHILD, NO_CHILD]))
+
+    def test_backward_edge(self):
+        with pytest.raises(DagValidationError, match="non-forward"):
+            validate_dag(dag([1, 1], [NO_CHILD, 0], [NO_CHILD, NO_CHILD]))
+
+    def test_self_loop(self):
+        with pytest.raises(DagValidationError, match="non-forward"):
+            validate_dag(dag([1, 1], [0, NO_CHILD], [NO_CHILD, NO_CHILD]))
+
+    def test_child2_without_child1(self):
+        with pytest.raises(DagValidationError, match="child2 set"):
+            validate_dag(dag([1, 1], [NO_CHILD, NO_CHILD], [1, NO_CHILD]))
+
+    def test_duplicate_edge(self):
+        with pytest.raises(DagValidationError, match="duplicate"):
+            validate_dag(dag([1, 1], [1, NO_CHILD], [1, NO_CHILD]))
+
+    def test_fully_disconnected_multinode(self):
+        with pytest.raises(DagValidationError, match="no edges"):
+            validate_dag(dag([1, 1], [NO_CHILD] * 2, [NO_CHILD] * 2))
+
+    def test_two_sources_one_sink_ok(self):
+        # multiple sources are allowed as long as edges exist
+        validate_dag(dag([1, 1, 1], [2, 2, NO_CHILD], [NO_CHILD] * 3))

@@ -1,0 +1,168 @@
+"""Tests for repro.flowsim.engine — exactness, conservation, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import FlowSimConfig, FlowSimError, simulate
+from repro.flowsim.policies import FIFO, RoundRobin, SRPT
+from repro.flowsim.policies.base import ActiveView, Policy
+from tests.conftest import make_trace
+
+
+class TestExactSchedules:
+    def test_single_job(self):
+        trace = make_trace([5.0])
+        r = simulate(trace, m=1, policy=FIFO())
+        assert r.flow_times[0] == pytest.approx(5.0)
+        assert r.makespan == pytest.approx(5.0)
+
+    def test_released_later(self):
+        trace = make_trace([2.0], releases=[3.0])
+        r = simulate(trace, m=1, policy=FIFO())
+        assert r.flow_times[0] == pytest.approx(2.0)
+        assert r.makespan == pytest.approx(5.0)
+
+    def test_fifo_two_jobs_one_core(self):
+        trace = make_trace([3.0, 1.0], releases=[0.0, 0.0])
+        r = simulate(trace, m=1, policy=FIFO())
+        # FIFO: job0 finishes at 3, job1 at 4
+        np.testing.assert_allclose(r.flow_times, [3.0, 4.0])
+
+    def test_srpt_two_jobs_one_core(self):
+        trace = make_trace([3.0, 1.0], releases=[0.0, 0.0])
+        r = simulate(trace, m=1, policy=SRPT())
+        # SRPT: job1 first (1), then job0 (4)
+        np.testing.assert_allclose(r.flow_times, [4.0, 1.0])
+
+    def test_srpt_preempts_on_arrival(self):
+        trace = make_trace([10.0, 1.0], releases=[0.0, 2.0])
+        r = simulate(trace, m=1, policy=SRPT())
+        # job0 runs 2 units, preempted; job1 runs 2..3; job0 resumes 3..11
+        np.testing.assert_allclose(r.flow_times, [11.0, 1.0])
+
+    def test_rr_processor_sharing(self):
+        trace = make_trace([2.0, 2.0], releases=[0.0, 0.0])
+        r = simulate(trace, m=1, policy=RoundRobin())
+        # both share rate 1/2, both finish at 4
+        np.testing.assert_allclose(r.flow_times, [4.0, 4.0])
+
+    def test_two_cores_no_contention(self):
+        trace = make_trace([2.0, 2.0], releases=[0.0, 0.0])
+        r = simulate(trace, m=2, policy=RoundRobin())
+        np.testing.assert_allclose(r.flow_times, [2.0, 2.0])
+
+    def test_fully_parallel_job_uses_all_cores(self):
+        trace = make_trace([8.0], mode=ParallelismMode.FULLY_PARALLEL, m=4)
+        r = simulate(trace, m=4, policy=FIFO())
+        assert r.flow_times[0] == pytest.approx(2.0)
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        r = simulate(trace, m=2, policy=FIFO())
+        assert r.n_jobs == 0
+
+
+class TestConservation:
+    def test_utilization_matches_offered_work(self, small_random_trace):
+        r = simulate(small_random_trace, m=4, policy=SRPT())
+        total_work = small_random_trace.total_work
+        busy = r.extra["utilization"] * r.makespan * 4
+        assert busy == pytest.approx(total_work, rel=1e-6)
+
+    def test_flow_at_least_lower_bound(self, small_random_trace):
+        r = simulate(small_random_trace, m=4, policy=SRPT())
+        for spec, f in zip(small_random_trace.jobs, r.flow_times):
+            assert f >= spec.lower_bound(4) * (1 - 1e-9)
+
+    def test_all_jobs_completed(self, small_random_trace):
+        r = simulate(small_random_trace, m=4, policy=RoundRobin())
+        assert np.isfinite(r.flow_times).all()
+        assert r.n_jobs == len(small_random_trace)
+
+
+class TestPolicyValidation:
+    class OverCommitted(Policy):
+        name = "bad-total"
+
+        def rates(self, view: ActiveView) -> np.ndarray:
+            return np.full(view.n, view.m, dtype=float)
+
+    class OverCap(Policy):
+        name = "bad-cap"
+
+        def rates(self, view: ActiveView) -> np.ndarray:
+            return view.caps * 2.0
+
+    class Negative(Policy):
+        name = "bad-negative"
+
+        def rates(self, view: ActiveView) -> np.ndarray:
+            return np.full(view.n, -1.0)
+
+    class WrongShape(Policy):
+        name = "bad-shape"
+
+        def rates(self, view: ActiveView) -> np.ndarray:
+            return np.zeros(view.n + 1)
+
+    class Lazy(Policy):
+        name = "lazy"
+
+        def rates(self, view: ActiveView) -> np.ndarray:
+            return np.zeros(view.n)
+
+    def test_total_overcommit_detected(self):
+        trace = make_trace([1.0, 1.0])
+        with pytest.raises(FlowSimError, match="total rate"):
+            simulate(trace, m=1, policy=self.OverCommitted())
+
+    def test_cap_violation_detected(self):
+        trace = make_trace([1.0])
+        with pytest.raises(FlowSimError, match="cap"):
+            simulate(trace, m=4, policy=self.OverCap())
+
+    def test_negative_rate_detected(self):
+        trace = make_trace([1.0])
+        with pytest.raises(FlowSimError, match="negative"):
+            simulate(trace, m=1, policy=self.Negative())
+
+    def test_shape_mismatch_detected(self):
+        trace = make_trace([1.0])
+        with pytest.raises(FlowSimError, match="shape"):
+            simulate(trace, m=1, policy=self.WrongShape())
+
+    def test_stall_detected(self):
+        trace = make_trace([1.0])
+        with pytest.raises(FlowSimError, match="stalled"):
+            simulate(trace, m=1, policy=self.Lazy())
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            simulate(make_trace([1.0]), m=0, policy=FIFO())
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, small_random_trace):
+        from repro.flowsim.policies import DrepSequential
+
+        a = simulate(small_random_trace, 4, DrepSequential(), seed=5)
+        b = simulate(small_random_trace, 4, DrepSequential(), seed=5)
+        np.testing.assert_array_equal(a.flow_times, b.flow_times)
+        assert a.preemptions == b.preemptions
+
+    def test_different_seed_differs(self, small_random_trace):
+        from repro.flowsim.policies import DrepSequential
+
+        a = simulate(small_random_trace, 4, DrepSequential(), seed=5)
+        b = simulate(small_random_trace, 4, DrepSequential(), seed=6)
+        assert not np.array_equal(a.flow_times, b.flow_times)
+
+    def test_config_event_cap(self):
+        trace = make_trace([1.0, 1.0])
+        with pytest.raises(FlowSimError, match="events"):
+            simulate(
+                trace, m=1, policy=FIFO(), config=FlowSimConfig(max_events=1)
+            )

@@ -1,0 +1,122 @@
+"""Property-based tests for the flow-level engine across all policies.
+
+Random small instances; invariants that must hold for every policy:
+conservation of work, flow >= per-job lower bound, completion of all
+jobs, determinism under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import (
+    FIFO,
+    LAPS,
+    RoundRobin,
+    SETF,
+    SJF,
+    SRPT,
+    DrepParallel,
+    DrepSequential,
+)
+from repro.workloads.traces import Trace
+
+POLICY_FACTORIES = [
+    SRPT,
+    SJF,
+    RoundRobin,
+    FIFO,
+    LAPS,
+    SETF,
+    DrepSequential,
+    DrepParallel,
+]
+
+
+@st.composite
+def random_instance(draw):
+    n = draw(st.integers(1, 12))
+    m = draw(st.integers(1, 6))
+    mode = draw(
+        st.sampled_from([ParallelismMode.SEQUENTIAL, ParallelismMode.FULLY_PARALLEL])
+    )
+    releases = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 50.0, allow_nan=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    works = draw(
+        st.lists(st.floats(0.1, 20.0, allow_nan=False), min_size=n, max_size=n)
+    )
+    jobs = []
+    for i in range(n):
+        w = float(works[i])
+        span = w if mode is ParallelismMode.SEQUENTIAL else w / m
+        jobs.append(
+            JobSpec(job_id=i, release=float(releases[i]), work=w, span=span, mode=mode)
+        )
+    return Trace(jobs=jobs, m=m), m
+
+
+@settings(max_examples=40, deadline=None)
+@given(inst=random_instance(), policy_idx=st.integers(0, len(POLICY_FACTORIES) - 1))
+def test_engine_invariants_random_instances(inst, policy_idx):
+    trace, m = inst
+    policy = POLICY_FACTORIES[policy_idx]()
+    result = simulate(trace, m, policy, seed=3)
+
+    # every job completed, no NaNs
+    assert np.isfinite(result.flow_times).all()
+    assert result.n_jobs == len(trace)
+
+    # flow time >= the Observation 1 lower bound for each job
+    for spec, f in zip(trace.jobs, result.flow_times):
+        assert f >= spec.lower_bound(m) * (1 - 1e-7) - 1e-9
+
+    # conservation: processor-time used equals total work (unit speed)
+    busy = result.extra["utilization"] * result.makespan * m
+    if result.makespan > 0:
+        assert busy == pytest.approx(trace.total_work, rel=1e-5, abs=1e-6)
+
+    # makespan is at least the last completion's lower bound
+    last = max(
+        spec.release + spec.lower_bound(m) for spec in trace.jobs
+    )
+    assert result.makespan >= last * (1 - 1e-9) - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(inst=random_instance())
+def test_srpt_floor_property(inst):
+    """SRPT lower-bounds every other policy on single-resource settings
+    (m == 1, or fully parallel jobs where the machine acts as one
+    resource)."""
+    trace, m = inst
+    mode = trace.jobs[0].mode
+    if m > 1 and mode is ParallelismMode.SEQUENTIAL:
+        return  # SRPT is not exactly optimal for parallel machines
+    srpt = simulate(trace, m, SRPT(), seed=1).mean_flow
+    for factory in (SJF, FIFO, RoundRobin, SETF):
+        other = simulate(trace, m, factory(), seed=1).mean_flow
+        assert srpt <= other * (1 + 1e-6) + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(inst=random_instance(), seed=st.integers(0, 50))
+def test_drep_switch_budget_random(inst, seed):
+    trace, m = inst
+    mode = trace.jobs[0].mode
+    policy = (
+        DrepSequential() if mode is ParallelismMode.SEQUENTIAL else DrepParallel()
+    )
+    result = simulate(trace, m, policy, seed=seed)
+    assert result.extra["switches"] <= 2 * m * len(trace)

@@ -1,0 +1,53 @@
+"""Theory-anchored behavioral tests for LAPS's beta parameter.
+
+LAPS(beta) is (1+beta·ε')-speed O(1/(beta·ε'))-competitive flavors: the
+smaller the served fraction beta, the more SETF-like (favoring recent
+arrivals) and the more speed the guarantee needs.  At unit speed on
+moderate loads, tiny beta concentrates capacity on the newest jobs and
+starves older ones — measurable as worse mean flow and much worse tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowsim.engine import FlowSimConfig, simulate
+from repro.flowsim.policies import LAPS, RoundRobin
+from repro.workloads.traces import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(4000, "finance", 0.7, 4, seed=61)
+
+
+class TestBetaSensitivity:
+    def test_small_beta_hurts_at_unit_speed(self, trace):
+        flows = {
+            beta: simulate(trace, 4, LAPS(beta=beta), seed=61).mean_flow
+            for beta in (0.1, 0.5, 1.0)
+        }
+        assert flows[0.1] > flows[0.5] > flows[1.0] * 0.95
+
+    def test_beta_one_is_rr_at_any_speed(self, trace):
+        for speed in (1.0, 1.5):
+            cfg = FlowSimConfig(speed=speed)
+            laps = simulate(trace, 4, LAPS(beta=1.0), seed=61, config=cfg)
+            rr = simulate(trace, 4, RoundRobin(), seed=61, config=cfg)
+            assert laps.mean_flow == pytest.approx(rr.mean_flow, rel=1e-9)
+
+    def test_speed_helps_every_beta(self, trace):
+        for beta in (0.1, 0.5, 1.0):
+            slow = simulate(trace, 4, LAPS(beta=beta), seed=61).mean_flow
+            fast = simulate(
+                trace, 4, LAPS(beta=beta), seed=61, config=FlowSimConfig(speed=1.5)
+            ).mean_flow
+            assert fast < slow
+
+    def test_tail_suffers_most(self, trace):
+        narrow = simulate(trace, 4, LAPS(beta=0.1), seed=61)
+        full = simulate(trace, 4, LAPS(beta=1.0), seed=61)
+        # p99 blows up faster than the mean when old jobs starve
+        p99_ratio = narrow.percentile(99) / full.percentile(99)
+        mean_ratio = narrow.mean_flow / full.mean_flow
+        assert p99_ratio > mean_ratio

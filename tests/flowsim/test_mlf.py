@@ -1,0 +1,72 @@
+"""Tests for the MLF policy (practical SETF approximation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import MLF, SETF, SRPT
+from repro.workloads.traces import generate_trace
+from tests.conftest import make_trace
+
+
+class TestMlfConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MLF(base=0.0)
+        with pytest.raises(ValueError):
+            MLF(growth=1.0)
+
+    def test_name(self):
+        assert MLF(base=0.5, growth=4.0).name == "MLF(b=0.5,g=4)"
+
+    def test_preemption_estimate(self):
+        mlf = MLF(base=1.0, growth=2.0)
+        assert mlf.preemption_estimate(0.5) == 0
+        assert mlf.preemption_estimate(8.0) == 3
+        assert mlf.preemption_estimate(1000.0) == 10
+
+
+class TestMlfScheduling:
+    def test_fresh_job_preempts_old_one(self):
+        """A long job demoted below level 0 yields to a fresh arrival."""
+        trace = make_trace([10.0, 1.0], releases=[0.0, 3.0])
+        r = simulate(trace, 1, MLF(base=1.0, growth=2.0))
+        # job1 arrives at level 0 while job0 (attained 3) sits at level 2
+        assert r.flow_times[1] == pytest.approx(1.0)
+
+    def test_single_job_runs_at_full_rate(self):
+        trace = make_trace([8.0])
+        r = simulate(trace, 1, MLF())
+        assert r.flow_times[0] == pytest.approx(8.0)
+
+    def test_work_conserving(self, small_random_trace):
+        r = simulate(small_random_trace, 4, MLF())
+        busy = r.extra["utilization"] * r.makespan * 4
+        assert busy == pytest.approx(small_random_trace.total_work, rel=1e-6)
+
+    def test_all_jobs_finish(self, small_random_trace):
+        r = simulate(small_random_trace, 4, MLF())
+        assert np.isfinite(r.flow_times).all()
+
+    def test_tracks_setf(self):
+        """MLF approximates SETF: mean flows within a modest factor."""
+        trace = generate_trace(3000, "finance", 0.6, 4, seed=51)
+        mlf = simulate(trace, 4, MLF(base=0.25, growth=2.0)).mean_flow
+        setf = simulate(trace, 4, SETF()).mean_flow
+        assert mlf <= 1.5 * setf
+        assert setf <= 1.5 * mlf
+
+    def test_finer_levels_approach_setf(self):
+        """Smaller growth factor => closer to ideal SETF."""
+        trace = generate_trace(2500, "bing", 0.6, 2, seed=52)
+        setf = simulate(trace, 2, SETF()).mean_flow
+        coarse = simulate(trace, 2, MLF(base=1.0, growth=8.0)).mean_flow
+        fine = simulate(trace, 2, MLF(base=0.125, growth=1.3)).mean_flow
+        assert abs(fine - setf) <= abs(coarse - setf) + 0.05 * setf
+
+    def test_never_beats_srpt(self, small_random_trace):
+        srpt = simulate(small_random_trace, 1, SRPT()).mean_flow
+        mlf = simulate(small_random_trace, 1, MLF()).mean_flow
+        assert srpt <= mlf * (1 + 1e-9)

@@ -1,0 +1,98 @@
+"""Numerical-extremes robustness for the flow-level engine.
+
+Simulation engines die at scale on float pathologies; these tests pin
+behaviour with tiny/huge work values, extreme work ratios (the paper's
+lower bound is parameterized by exactly this ratio k), long horizons and
+simultaneous events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import FIFO, RoundRobin, SETF, SRPT, DrepSequential
+from repro.workloads.traces import Trace
+from tests.conftest import make_trace
+
+
+class TestExtremeScales:
+    def test_tiny_work_values(self):
+        trace = make_trace([1e-9, 1e-9, 1e-9])
+        r = simulate(trace, 1, SRPT())
+        assert np.isfinite(r.flow_times).all()
+        assert (r.flow_times > 0).all()
+
+    def test_huge_work_values(self):
+        trace = make_trace([1e12, 1e12])
+        r = simulate(trace, 2, FIFO())
+        np.testing.assert_allclose(r.flow_times, 1e12)
+
+    def test_extreme_work_ratio(self):
+        """k = max/min work of 1e12 (the lower-bound parameter)."""
+        trace = make_trace([1e-3, 1e9], releases=[0.0, 0.0])
+        r = simulate(trace, 1, SRPT())
+        assert r.flow_times[0] == pytest.approx(1e-3, rel=1e-6)
+        assert r.flow_times[1] == pytest.approx(1e9, rel=1e-6)
+
+    def test_long_idle_horizon(self):
+        trace = make_trace([1.0, 1.0], releases=[0.0, 1e9])
+        r = simulate(trace, 1, FIFO())
+        assert r.makespan == pytest.approx(1e9 + 1.0)
+        np.testing.assert_allclose(r.flow_times, 1.0)
+
+    def test_many_simultaneous_arrivals(self):
+        trace = make_trace([1.0] * 50, releases=[5.0] * 50)
+        r = simulate(trace, 4, RoundRobin())
+        # all arrive together; processor sharing finishes all at once
+        assert np.isfinite(r.flow_times).all()
+        assert r.flow_times.max() == pytest.approx(50.0 / 4.0)
+
+    def test_simultaneous_arrival_and_completion(self):
+        # job0 completes exactly when job1 arrives
+        trace = make_trace([2.0, 1.0], releases=[0.0, 2.0])
+        r = simulate(trace, 1, FIFO())
+        np.testing.assert_allclose(r.flow_times, [2.0, 1.0])
+
+
+class TestAccumulationError:
+    def test_ten_thousand_events_conserve_work(self):
+        rngs = np.random.default_rng(3)
+        n = 5000
+        works = rngs.exponential(1.0, n) + 1e-6
+        releases = np.cumsum(rngs.exponential(0.3, n))
+        jobs = [
+            JobSpec(i, float(releases[i]), float(works[i]), float(works[i]))
+            for i in range(n)
+        ]
+        trace = Trace(jobs=jobs, m=4)
+        r = simulate(trace, 4, SETF())
+        busy = r.extra["utilization"] * r.makespan * 4
+        assert busy == pytest.approx(trace.total_work, rel=1e-6)
+
+    def test_drep_flow_floor_after_many_events(self):
+        rngs = np.random.default_rng(4)
+        n = 3000
+        works = rngs.lognormal(0, 1.5, n) + 1e-9
+        releases = np.cumsum(rngs.exponential(0.5, n))
+        jobs = [
+            JobSpec(i, float(releases[i]), float(works[i]), float(works[i]))
+            for i in range(n)
+        ]
+        trace = Trace(jobs=jobs, m=2)
+        r = simulate(trace, 2, DrepSequential(), seed=4)
+        lower = np.array([j.lower_bound(2) for j in trace.jobs])
+        assert (r.flow_times >= lower * (1 - 1e-7) - 1e-12).all()
+
+
+class TestFullyParallelExtremes:
+    def test_single_instantaneous_job(self):
+        jobs = [
+            JobSpec(0, 0.0, 1e-12, 1e-13, ParallelismMode.FULLY_PARALLEL)
+        ]
+        trace = Trace(jobs=jobs, m=8)
+        r = simulate(trace, 8, SRPT())
+        assert r.flow_times[0] >= 0
+        assert r.flow_times[0] == pytest.approx(1e-12 / 8, abs=1e-12)

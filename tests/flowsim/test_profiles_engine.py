@@ -1,0 +1,123 @@
+"""Tests for changing-parallelism simulation in the flow-level engine.
+
+The feature the paper declared "difficult" (Sec. V-A): flow-level
+simulation where each job's usable parallelism follows its DAG's profile
+instead of being constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, spawn_tree, wide
+from repro.dag.profile import ParallelismProfile
+from repro.flowsim.engine import FlowSimConfig, simulate
+from repro.flowsim.policies import FIFO, RoundRobin, SRPT, DrepParallel
+from repro.workloads.traces import Trace
+
+PROFILED = FlowSimConfig(use_profiles=True)
+
+
+def dag_trace(dags, releases=None, m=4):
+    releases = releases or [0.0] * len(dags)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(d.work),
+            span=float(d.span),
+            mode=ParallelismMode.DAG,
+            dag=d,
+        )
+        for i, (d, r) in enumerate(zip(dags, releases))
+    ]
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual")
+
+
+class TestProfiledSingleJob:
+    def test_chain_cannot_parallelize(self):
+        """A sequential chain on many cores still takes its full work."""
+        trace = dag_trace([chain(30, 1)])
+        r = simulate(trace, 8, FIFO(), config=PROFILED)
+        assert r.flow_times[0] == pytest.approx(30.0)
+
+    def test_flat_mode_overestimates_chain(self):
+        """Without profiles the DAG job gets cap m — physically wrong for
+        a chain; the profile fixes it."""
+        trace = dag_trace([chain(30, 1)])
+        flat = simulate(trace, 8, FIFO())
+        prof = simulate(trace, 8, FIFO(), config=PROFILED)
+        assert flat.flow_times[0] < prof.flow_times[0]
+
+    def test_single_job_runs_exactly_at_infinite_proc_speed(self):
+        """With m >= max parallelism, a lone job finishes in exactly its
+        span — the profile reproduces the infinite-processor schedule."""
+        d = spawn_tree(3, 20)
+        trace = dag_trace([d])
+        r = simulate(trace, 16, FIFO(), config=PROFILED)
+        assert r.flow_times[0] == pytest.approx(d.span, rel=1e-9)
+
+    def test_limited_cores_between_span_and_work(self):
+        d = wide(8, 40)
+        trace = dag_trace([d])
+        r = simulate(trace, 2, FIFO(), config=PROFILED)
+        assert d.span <= r.flow_times[0] + 1e-9
+        assert r.flow_times[0] <= d.work
+        # with 2 cores the 8-wide phase is core-limited: at least W/2
+        assert r.flow_times[0] >= d.work / 2 * (1 - 1e-9)
+
+    def test_events_bounded_by_segments(self):
+        d = spawn_tree(4, 10)
+        trace = dag_trace([d])
+        r = simulate(trace, 16, FIFO(), config=PROFILED)
+        p = ParallelismProfile.from_dag(d)
+        # one event per profile segment plus bookkeeping
+        assert r.extra["events"] <= p.parallelism.size + 10
+
+
+class TestProfiledMultiJob:
+    def _trace(self):
+        dags = [spawn_tree(3, 15), wide(6, 25), chain(60, 2), spawn_tree(2, 30)]
+        return dag_trace(dags, releases=[0.0, 5.0, 10.0, 15.0])
+
+    @pytest.mark.parametrize("policy_cls", [SRPT, RoundRobin, FIFO, DrepParallel])
+    def test_all_complete_with_conservation(self, policy_cls):
+        trace = self._trace()
+        r = simulate(trace, 4, policy_cls(), seed=3, config=PROFILED)
+        assert np.isfinite(r.flow_times).all()
+        busy = r.extra["utilization"] * r.makespan * 4
+        assert busy == pytest.approx(trace.total_work, rel=1e-6)
+
+    def test_span_floor_respected(self):
+        trace = self._trace()
+        r = simulate(trace, 4, SRPT(), seed=3, config=PROFILED)
+        for spec, f in zip(trace.jobs, r.flow_times):
+            assert f >= spec.span * (1 - 1e-9)
+
+    def test_profiles_never_beat_flat(self):
+        """Profile caps only constrain; flat (cap=m) flow is a lower bound
+        per instance under the same policy and seed for work-conserving
+        policies."""
+        trace = self._trace()
+        flat = simulate(trace, 4, SRPT(), seed=3)
+        prof = simulate(trace, 4, SRPT(), seed=3, config=PROFILED)
+        assert prof.mean_flow >= flat.mean_flow * (1 - 1e-9)
+
+    def test_profiled_closer_to_wsim_when_cores_exceed_parallelism(self):
+        """With more cores than job parallelism, the flat simulator lets a
+        single job absorb the whole machine (unrealistic); the profiled
+        one matches the runtime simulator's ordering."""
+        from repro.wsim.runtime import simulate_ws
+        from repro.wsim.schedulers import CentralGreedyWS
+
+        d = wide(4, 50)  # parallelism ~4
+        trace = dag_trace([d], m=16)
+        flat = simulate(trace, 16, FIFO())
+        prof = simulate(trace, 16, FIFO(), config=PROFILED)
+        real = simulate_ws(trace, 16, CentralGreedyWS(), seed=0)
+        # flat thinks the job finishes in ~work/16; profile and runtime
+        # agree it is span-limited
+        assert flat.flow_times[0] < 0.7 * prof.flow_times[0]
+        assert abs(prof.flow_times[0] - real.flow_times[0]) <= 0.35 * real.flow_times[0]

@@ -1,0 +1,113 @@
+"""Tests for repro.flowsim.rates — allocation invariants (property-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowsim.rates import equal_split, priority_waterfill
+
+
+class TestPriorityWaterfill:
+    def test_serves_in_order(self):
+        caps = np.array([1.0, 1.0, 1.0])
+        rates = priority_waterfill(caps, np.array([2, 0, 1]), m=2)
+        np.testing.assert_allclose(rates, [1.0, 0.0, 1.0])
+
+    def test_partial_remainder(self):
+        caps = np.array([4.0, 4.0])
+        rates = priority_waterfill(caps, np.array([0, 1]), m=6)
+        np.testing.assert_allclose(rates, [4.0, 2.0])
+
+    def test_zero_capacity(self):
+        caps = np.array([1.0, 1.0])
+        rates = priority_waterfill(caps, np.array([0, 1]), m=0)
+        np.testing.assert_allclose(rates, [0.0, 0.0])
+
+    def test_bad_order_shape(self):
+        with pytest.raises(ValueError):
+            priority_waterfill(np.array([1.0, 1.0]), np.array([0]), m=1)
+
+
+class TestEqualSplit:
+    def test_plain_even_split(self):
+        rates = equal_split(np.array([4.0, 4.0, 4.0]), m=6)
+        np.testing.assert_allclose(rates, [2.0, 2.0, 2.0])
+
+    def test_caps_bind_and_redistribute(self):
+        # cap 1 job takes 1; the others split the remaining 5
+        rates = equal_split(np.array([1.0, 8.0, 8.0]), m=6)
+        np.testing.assert_allclose(rates, [1.0, 2.5, 2.5])
+
+    def test_undersubscribed_saturates(self):
+        rates = equal_split(np.array([1.0, 1.0]), m=8)
+        np.testing.assert_allclose(rates, [1.0, 1.0])
+
+    def test_mask_restricts(self):
+        rates = equal_split(
+            np.array([2.0, 2.0, 2.0]), m=2, mask=np.array([True, False, True])
+        )
+        np.testing.assert_allclose(rates, [1.0, 0.0, 1.0])
+
+    def test_empty_mask(self):
+        rates = equal_split(np.array([1.0]), m=2, mask=np.array([False]))
+        np.testing.assert_allclose(rates, [0.0])
+
+    def test_nonpositive_cap_rejected(self):
+        with pytest.raises(ValueError):
+            equal_split(np.array([0.0, 1.0]), m=1)
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            equal_split(np.array([1.0, 1.0]), m=1, mask=np.array([True]))
+
+
+caps_strategy = st.lists(
+    st.floats(0.01, 64.0, allow_nan=False), min_size=1, max_size=40
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(caps=caps_strategy, m=st.floats(0.0, 128.0))
+def test_equal_split_invariants(caps, m):
+    caps = np.array(caps)
+    rates = equal_split(caps, m)
+    assert (rates >= -1e-12).all()
+    assert (rates <= caps + 1e-9).all()
+    assert rates.sum() <= m + 1e-6
+    # capacity is fully used whenever demand allows
+    assert rates.sum() == pytest.approx(min(m, caps.sum()), rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=120, deadline=None)
+@given(caps=caps_strategy, m=st.floats(0.0, 128.0), seed=st.integers(0, 1000))
+def test_waterfill_invariants(caps, m, seed):
+    caps = np.array(caps)
+    order = np.random.default_rng(seed).permutation(len(caps))
+    rates = priority_waterfill(caps, order, m)
+    assert (rates >= 0).all()
+    assert (rates <= caps + 1e-12).all()
+    assert rates.sum() <= m + 1e-9
+    assert rates.sum() == pytest.approx(min(m, caps.sum()), rel=1e-9, abs=1e-9)
+    # prefix property: a job is served only if everything ahead of it is
+    # saturated
+    seen_unsaturated = False
+    for idx in order:
+        if seen_unsaturated:
+            assert rates[idx] == 0.0
+        if rates[idx] < caps[idx] - 1e-12:
+            seen_unsaturated = True
+
+
+@settings(max_examples=60, deadline=None)
+@given(caps=caps_strategy, m=st.floats(0.5, 64.0))
+def test_equal_split_fairness(caps, m):
+    """No unsaturated job gets less than another unsaturated job."""
+    caps = np.array(caps)
+    rates = equal_split(caps, m)
+    unsat = rates < caps - 1e-9
+    if unsat.sum() >= 2:
+        vals = rates[unsat]
+        assert vals.max() - vals.min() < 1e-6

@@ -1,0 +1,85 @@
+"""Tests for resource augmentation in the flow-level engine (Sec. II).
+
+Theorem 1.1 is a speed-augmentation result; the engine's ``speed`` knob
+lets experiments compare DREP-at-speed-s against unit-speed baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flowsim.engine import FlowSimConfig, simulate
+from repro.flowsim.policies import FIFO, SETF, DrepSequential, SRPT
+from repro.workloads.traces import generate_trace
+from tests.conftest import make_trace
+
+
+class TestSpeedSemantics:
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            FlowSimConfig(speed=0.0)
+        with pytest.raises(ValueError):
+            FlowSimConfig(speed=-1.0)
+
+    def test_single_job_completes_s_times_faster(self):
+        trace = make_trace([6.0])
+        slow = simulate(trace, 1, FIFO(), config=FlowSimConfig(speed=1.0))
+        fast = simulate(trace, 1, FIFO(), config=FlowSimConfig(speed=3.0))
+        assert fast.flow_times[0] == pytest.approx(slow.flow_times[0] / 3.0)
+
+    def test_idle_gaps_not_compressed(self):
+        """Speed accelerates work, not arrivals: a late-released job still
+        waits for its release."""
+        trace = make_trace([2.0], releases=[10.0])
+        r = simulate(trace, 1, FIFO(), config=FlowSimConfig(speed=4.0))
+        assert r.makespan == pytest.approx(10.5)
+
+    def test_faster_never_hurts_mean_flow(self, small_random_trace):
+        flows = []
+        for s in (1.0, 2.0, 4.0):
+            r = simulate(
+                small_random_trace, 4, SRPT(), config=FlowSimConfig(speed=s)
+            )
+            flows.append(r.mean_flow)
+        assert flows[0] >= flows[1] >= flows[2]
+
+    def test_utilization_accounts_processor_time(self):
+        """At speed s, busy processor-time is total_work / s."""
+        trace = make_trace([8.0, 8.0])
+        r = simulate(trace, 2, FIFO(), config=FlowSimConfig(speed=2.0))
+        busy = r.extra["utilization"] * r.makespan * 2
+        assert busy == pytest.approx(16.0 / 2.0)
+
+    def test_setf_timers_respect_speed(self):
+        # two staggered jobs exercise the SETF catch-up timer under speed
+        trace = make_trace([3.0, 1.0], releases=[0.0, 1.0])
+        r = simulate(trace, 1, SETF(), config=FlowSimConfig(speed=2.0))
+        # at speed 2: job0 attains 2 by t=1; job1 runs alone [1, 1.5]
+        # finishing (work 1) before catching job0's level
+        assert r.flow_times[1] == pytest.approx(0.5)
+        assert r.flow_times[0] == pytest.approx(2.0)  # finishes at t=2
+
+
+class TestTheorem11Flavor:
+    def test_drep_with_4x_speed_beats_unit_speed_opt_proxy(self):
+        """The empirical face of Theorem 1.1: DREP given 4x speed has
+        total flow below the unit-speed near-optimal schedule (SRPT)."""
+        trace = generate_trace(3000, "bing", 0.7, 8, seed=77)
+        srpt_unit = simulate(trace, 8, SRPT(), seed=77)
+        drep_fast = simulate(
+            trace, 8, DrepSequential(), seed=77, config=FlowSimConfig(speed=4.0)
+        )
+        assert drep_fast.mean_flow <= srpt_unit.mean_flow
+
+    def test_flow_decreases_monotonically_in_speed(self):
+        trace = generate_trace(2000, "finance", 0.7, 4, seed=78)
+        flows = [
+            simulate(
+                trace, 4, DrepSequential(), seed=78, config=FlowSimConfig(speed=s)
+            ).mean_flow
+            for s in (1.0, 2.0, 4.0)
+        ]
+        assert flows[0] > flows[1] > flows[2]
+        # all jobs still complete and flows stay above the span bound
+        assert np.all(np.array(flows) > 0)

@@ -1,0 +1,77 @@
+"""Interaction tests: speed augmentation combined with parallelism profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, spawn_tree
+from repro.flowsim.engine import FlowSimConfig, simulate
+from repro.flowsim.policies import FIFO, SRPT, DrepParallel
+from repro.workloads.traces import Trace
+
+
+def dag_trace(dags, releases=None, m=4):
+    releases = releases or [0.0] * len(dags)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(d.work),
+            span=float(d.span),
+            mode=ParallelismMode.DAG,
+            dag=d,
+        )
+        for i, (d, r) in enumerate(zip(dags, releases))
+    ]
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual")
+
+
+class TestSpeedTimesProfiles:
+    def test_lone_job_scales_exactly(self):
+        d = spawn_tree(3, 20)
+        trace = dag_trace([d])
+        base = simulate(trace, 16, FIFO(), config=FlowSimConfig(use_profiles=True))
+        fast = simulate(
+            trace, 16, FIFO(), config=FlowSimConfig(use_profiles=True, speed=2.0)
+        )
+        assert fast.flow_times[0] == pytest.approx(base.flow_times[0] / 2.0)
+
+    def test_chain_at_speed(self):
+        trace = dag_trace([chain(30, 1)])
+        r = simulate(
+            trace, 8, FIFO(), config=FlowSimConfig(use_profiles=True, speed=3.0)
+        )
+        assert r.flow_times[0] == pytest.approx(10.0)
+
+    def test_breakpoints_respected_under_speed(self):
+        """Profile breakpoints must land exactly even at non-unit speed:
+        conservation and the span/speed floor both hold."""
+        dags = [spawn_tree(3, 15), chain(40, 2), spawn_tree(2, 25)]
+        trace = dag_trace(dags, releases=[0.0, 3.0, 6.0])
+        for speed in (1.0, 2.5):
+            cfg = FlowSimConfig(use_profiles=True, speed=speed)
+            r = simulate(trace, 4, SRPT(), seed=1, config=cfg)
+            busy = r.extra["utilization"] * r.makespan * 4
+            assert busy == pytest.approx(trace.total_work / speed, rel=1e-6)
+            for spec, f in zip(trace.jobs, r.flow_times):
+                assert f >= spec.span / speed * (1 - 1e-9)
+
+    def test_drep_parallel_with_both_knobs(self):
+        dags = [spawn_tree(3, 10) for _ in range(6)]
+        trace = dag_trace(dags, releases=[0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        cfg = FlowSimConfig(use_profiles=True, speed=2.0)
+        r = simulate(trace, 4, DrepParallel(), seed=2, config=cfg)
+        assert np.isfinite(r.flow_times).all()
+        assert r.extra["switches"] <= 2 * 4 * len(trace)
+
+    def test_min_flows_scaled_by_speed(self):
+        trace = dag_trace([chain(30, 1)])
+        r = simulate(
+            trace, 2, FIFO(), config=FlowSimConfig(speed=3.0, use_profiles=True)
+        )
+        # with the profile the chain runs at rate 1 x speed: flow equals
+        # the speed-adjusted lower bound, slowdown exactly 1
+        assert r.flow_times[0] == pytest.approx(10.0)
+        assert r.slowdowns[0] == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,140 @@
+"""Tests for weighted flow time: JobSpec weights, metrics, HDF/WSRPT/WDrep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import HDF, WSRPT, DrepSequential, SRPT, WDrep
+from repro.workloads.traces import Trace
+
+
+def weighted_trace(works, weights, releases=None):
+    releases = releases or [0.0] * len(works)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(w),
+            span=float(w),
+            mode=ParallelismMode.SEQUENTIAL,
+            weight=float(wt),
+        )
+        for i, (w, r, wt) in enumerate(zip(works, releases, weights))
+    ]
+    return Trace(jobs=jobs, m=1)
+
+
+class TestWeightField:
+    def test_default_weight(self):
+        j = JobSpec(job_id=0, release=0.0, work=1.0, span=1.0)
+        assert j.weight == 1.0
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            JobSpec(job_id=0, release=0.0, work=1.0, span=1.0, weight=0.0)
+        with pytest.raises(ValueError):
+            JobSpec(job_id=0, release=0.0, work=1.0, span=1.0, weight=float("nan"))
+
+
+class TestWeightedMetric:
+    def test_weighted_mean(self):
+        trace = weighted_trace([2.0, 2.0], weights=[1.0, 3.0])
+        r = simulate(trace, 1, SRPT())
+        # flows are 2 and 4 in some order; weighted mean uses the weights
+        expected = float((r.weights * r.flow_times).sum() / r.weights.sum())
+        assert r.weighted_mean_flow() == pytest.approx(expected)
+
+    def test_unweighted_equals_mean(self):
+        trace = weighted_trace([1.0, 2.0], weights=[1.0, 1.0])
+        r = simulate(trace, 1, SRPT())
+        assert r.weighted_mean_flow() == pytest.approx(r.mean_flow)
+
+
+class TestHDF:
+    def test_prefers_high_density(self):
+        # equal work, job1 has weight 10: serve it first
+        trace = weighted_trace([4.0, 4.0], weights=[1.0, 10.0])
+        r = simulate(trace, 1, HDF())
+        assert r.flow_times[1] == pytest.approx(4.0)
+        assert r.flow_times[0] == pytest.approx(8.0)
+
+    def test_unit_weights_reduce_to_sjf(self):
+        from repro.flowsim.policies import SJF
+
+        trace = weighted_trace([3.0, 1.0, 2.0], weights=[1.0, 1.0, 1.0])
+        hdf = simulate(trace, 1, HDF())
+        sjf = simulate(trace, 1, SJF())
+        np.testing.assert_allclose(hdf.flow_times, sjf.flow_times)
+
+    def test_improves_weighted_flow_over_srpt(self):
+        # a heavy long job: SRPT deprioritizes it, HDF serves it first
+        trace = weighted_trace([10.0, 1.0], weights=[100.0, 1.0])
+        srpt = simulate(trace, 1, SRPT())
+        hdf = simulate(trace, 1, HDF())
+        assert hdf.weighted_mean_flow() < srpt.weighted_mean_flow()
+
+
+class TestWSRPT:
+    def test_dynamic_density_switches(self):
+        # job0 (w=1, work 10) running; job1 (w=2, work 4) arrives: density
+        # 2/4 > 1/10 -> preempt
+        trace = weighted_trace([10.0, 4.0], weights=[1.0, 2.0], releases=[0.0, 1.0])
+        r = simulate(trace, 1, WSRPT())
+        assert r.flow_times[1] == pytest.approx(4.0)
+
+    def test_unit_weights_reduce_to_srpt(self):
+        trace = weighted_trace([3.0, 1.0, 5.0], weights=[1.0, 1.0, 1.0])
+        w = simulate(trace, 1, WSRPT())
+        s = simulate(trace, 1, SRPT())
+        np.testing.assert_allclose(w.flow_times, s.flow_times)
+
+
+class TestWDrep:
+    def test_unit_weights_match_drep(self):
+        from repro.workloads.traces import generate_trace
+
+        trace = generate_trace(800, "finance", 0.6, 4, seed=91)
+        wd = simulate(trace, 4, WDrep(), seed=91)
+        # same coin-flip structure: preemptions only on arrivals, budget holds
+        assert wd.preemptions <= 1.2 * 800
+        assert np.isfinite(wd.flow_times).all()
+        drep = simulate(trace, 4, DrepSequential(), seed=91)
+        # statistically similar mean flow (same algorithm family)
+        assert wd.mean_flow == pytest.approx(drep.mean_flow, rel=0.35)
+
+    def test_heavy_weight_attracts_processors(self):
+        """A high-weight job is picked up far more often on arrival."""
+        got_processor = 0
+        trials = 200
+        for seed in range(trials):
+            trace = weighted_trace(
+                [50.0, 5.0], weights=[1.0, 20.0], releases=[0.0, 1.0]
+            )
+            r = simulate(trace, 1, WDrep(), seed=seed)
+            # if job1 preempted job0 at its arrival, job1 finishes at ~6
+            if r.flow_times[1] <= 5.5:
+                got_processor += 1
+        # switch probability = 20/21: nearly always
+        assert got_processor >= 0.8 * trials
+
+    def test_weighted_flow_improves_with_weights(self):
+        """WDrep beats unweighted DREP on weighted mean flow when weights
+        are informative (heavy weight on short jobs)."""
+        rngs = np.random.default_rng(7)
+        works = list(rngs.exponential(1.0, 400) + 0.05)
+        releases = list(np.cumsum(rngs.exponential(0.4, 400)))
+        weights = [100.0 if w < 0.5 else 1.0 for w in works]
+        trace = weighted_trace(works, weights=weights, releases=releases)
+        wd = np.mean(
+            [simulate(trace, 2, WDrep(), seed=s).weighted_mean_flow() for s in range(5)]
+        )
+        ud = np.mean(
+            [
+                simulate(trace, 2, DrepSequential(), seed=s).weighted_mean_flow()
+                for s in range(5)
+            ]
+        )
+        assert wd <= ud * 1.05

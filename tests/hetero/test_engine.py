@@ -1,0 +1,123 @@
+"""Tests for the related-machines engine and its policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import ParallelismMode
+from repro.hetero import (
+    DrepRelated,
+    FifoRelated,
+    HeteroSimError,
+    SrptRelated,
+    simulate_hetero,
+    two_class_machine,
+    uniform_machine,
+)
+from repro.workloads.traces import generate_trace
+from tests.conftest import make_trace
+
+ALL_POLICIES = [SrptRelated, FifoRelated, DrepRelated]
+
+
+class TestExactSchedules:
+    def test_single_job_on_fast_processor(self):
+        trace = make_trace([8.0])
+        mach = two_class_machine(1, 1, fast=4.0, slow=1.0)
+        for cls in ALL_POLICIES:
+            r = simulate_hetero(trace, mach, cls(), seed=0)
+            # all policies put the lone job on the fast core: 8/4 = 2
+            assert r.flow_times[0] == pytest.approx(2.0), cls.__name__
+
+    def test_identical_machine_matches_flowsim(self, small_random_trace):
+        """On a uniform machine SRPT-rel equals flow-level SRPT."""
+        from repro.flowsim.engine import simulate
+        from repro.flowsim.policies import SRPT
+
+        mach = uniform_machine(4)
+        hetero = simulate_hetero(small_random_trace, mach, SrptRelated(), seed=0)
+        flat = simulate(small_random_trace, 4, SRPT(), seed=0)
+        np.testing.assert_allclose(hetero.flow_times, flat.flow_times, rtol=1e-6)
+
+    def test_two_jobs_fast_and_slow(self):
+        # SRPT-rel: smaller job gets the fast core
+        trace = make_trace([4.0, 8.0])
+        mach = two_class_machine(1, 1, fast=2.0, slow=1.0)
+        r = simulate_hetero(trace, mach, SrptRelated(), seed=0)
+        # job0 (4 work) on fast core: done at 2; job1 then takes fast core
+        # with 8 - 2 = 6 left: 6/2 = 3 more -> done at 5
+        assert r.flow_times[0] == pytest.approx(2.0)
+        assert r.flow_times[1] == pytest.approx(5.0)
+
+
+class TestInvariantsAndBudgets:
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+    def test_all_complete_with_conservation(self, policy_cls, small_random_trace):
+        mach = two_class_machine(2, 2, fast=3.0)
+        r = simulate_hetero(small_random_trace, mach, policy_cls(), seed=1)
+        assert np.isfinite(r.flow_times).all()
+        busy = r.extra["utilization"] * r.makespan * mach.total_speed
+        assert busy == pytest.approx(small_random_trace.total_work, rel=1e-6)
+
+    def test_drep_preemptions_only_on_arrivals(self):
+        n = 2000
+        trace = generate_trace(n, "finance", 0.6, 4, seed=3, scale_work_with_m=False)
+        mach = two_class_machine(2, 2)
+        r = simulate_hetero(trace, mach, DrepRelated(), seed=3)
+        # O(n) expected preemption budget carries over
+        assert r.preemptions <= 1.2 * n
+
+    def test_rejects_parallel_jobs(self):
+        trace = generate_trace(
+            10, "finance", 0.5, 2, mode=ParallelismMode.FULLY_PARALLEL, seed=0
+        )
+        with pytest.raises(ValueError, match="sequential"):
+            simulate_hetero(trace, uniform_machine(2), SrptRelated())
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        r = simulate_hetero(trace, uniform_machine(2), SrptRelated())
+        assert r.n_jobs == 0
+
+    def test_determinism(self, small_random_trace):
+        mach = two_class_machine(1, 3)
+        a = simulate_hetero(small_random_trace, mach, DrepRelated(), seed=9)
+        b = simulate_hetero(small_random_trace, mach, DrepRelated(), seed=9)
+        np.testing.assert_array_equal(a.flow_times, b.flow_times)
+
+
+class TestHeterogeneityFindings:
+    """The open problem's empirical shape (bench X11 at small scale)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        trace = generate_trace(
+            1500, "bing", 0.6, 8, seed=7, scale_work_with_m=False
+        )
+        mach = two_class_machine(2, 6, fast=4.0, slow=1.0)
+        return trace, mach
+
+    def test_plain_drep_pays_for_obliviousness(self, setup):
+        trace, mach = setup
+        srpt = simulate_hetero(trace, mach, SrptRelated(), seed=7)
+        drep = simulate_hetero(trace, mach, DrepRelated(), seed=7)
+        assert drep.mean_flow > srpt.mean_flow  # speed-oblivious placement hurts
+
+    def test_reseat_recovers_most_of_the_gap(self, setup):
+        trace, mach = setup
+        srpt = simulate_hetero(trace, mach, SrptRelated(), seed=7)
+        plain = simulate_hetero(trace, mach, DrepRelated(), seed=7)
+        reseat = simulate_hetero(trace, mach, DrepRelated(reseat=True), seed=7)
+        assert reseat.mean_flow < plain.mean_flow
+        gap_plain = plain.mean_flow - srpt.mean_flow
+        gap_reseat = reseat.mean_flow - srpt.mean_flow
+        assert gap_reseat <= 0.6 * gap_plain
+
+    def test_uniform_machine_no_gap(self):
+        """Control: on identical processors reseat changes nothing much."""
+        trace = generate_trace(1000, "finance", 0.6, 4, seed=8, scale_work_with_m=False)
+        mach = uniform_machine(4)
+        plain = simulate_hetero(trace, mach, DrepRelated(), seed=8)
+        reseat = simulate_hetero(trace, mach, DrepRelated(reseat=True), seed=8)
+        assert reseat.mean_flow == pytest.approx(plain.mean_flow, rel=0.2)

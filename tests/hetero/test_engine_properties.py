@@ -1,0 +1,64 @@
+"""Property-based tests for the related-machines engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobSpec
+from repro.hetero import DrepRelated, FifoRelated, Machine, SrptRelated, simulate_hetero
+from repro.workloads.traces import Trace
+
+POLICIES = [SrptRelated, FifoRelated, DrepRelated]
+
+
+@st.composite
+def random_hetero_instance(draw):
+    m = draw(st.integers(1, 4))
+    speeds = draw(
+        st.lists(st.floats(0.25, 8.0, allow_nan=False), min_size=m, max_size=m)
+    )
+    n = draw(st.integers(1, 10))
+    releases = sorted(
+        draw(st.lists(st.floats(0, 30.0), min_size=n, max_size=n))
+    )
+    works = draw(st.lists(st.floats(0.1, 15.0), min_size=n, max_size=n))
+    jobs = [
+        JobSpec(i, float(releases[i]), float(works[i]), float(works[i]))
+        for i in range(n)
+    ]
+    return Trace(jobs=jobs, m=m), Machine(np.array(speeds))
+
+
+@settings(max_examples=40, deadline=None)
+@given(inst=random_hetero_instance(), pol=st.integers(0, len(POLICIES) - 1))
+def test_hetero_invariants_random(inst, pol):
+    trace, machine = inst
+    result = simulate_hetero(trace, machine, POLICIES[pol](), seed=11)
+
+    assert np.isfinite(result.flow_times).all()
+
+    # flow floor: even the fastest processor needs work / s_max
+    for spec, f in zip(trace.jobs, result.flow_times):
+        assert f >= spec.work / machine.max_speed * (1 - 1e-7) - 1e-9
+
+    # speed-weighted conservation
+    busy = result.extra["utilization"] * result.makespan * machine.total_speed
+    if result.makespan > 0:
+        assert busy == pytest.approx(trace.total_work, rel=1e-6, abs=1e-6)
+
+    # preemption budget for the DREP transplant
+    if isinstance(POLICIES[pol](), DrepRelated):
+        assert result.extra["switches"] <= 4 * machine.m * len(trace) + len(trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(inst=random_hetero_instance())
+def test_faster_uniform_machine_never_hurts(inst):
+    trace, machine = inst
+    slow = simulate_hetero(trace, machine, SrptRelated(), seed=1)
+    boosted = Machine(machine.speeds * 2.0)
+    fast = simulate_hetero(trace, boosted, SrptRelated(), seed=1)
+    assert fast.mean_flow <= slow.mean_flow * (1 + 1e-9)

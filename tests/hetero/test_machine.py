@@ -1,0 +1,62 @@
+"""Tests for repro.hetero.machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hetero.machine import (
+    Machine,
+    geometric_machine,
+    two_class_machine,
+    uniform_machine,
+)
+
+
+class TestMachine:
+    def test_basic(self):
+        m = Machine(np.array([1.0, 2.0, 4.0]))
+        assert m.m == 3
+        assert m.total_speed == 7.0
+        assert m.max_speed == 4.0
+
+    def test_by_speed_desc(self):
+        m = Machine(np.array([1.0, 4.0, 2.0]))
+        np.testing.assert_array_equal(m.by_speed_desc(), [1, 2, 0])
+
+    def test_stable_ties(self):
+        m = Machine(np.array([2.0, 2.0, 1.0]))
+        np.testing.assert_array_equal(m.by_speed_desc(), [0, 1, 2])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Machine(np.array([]))
+        with pytest.raises(ValueError):
+            Machine(np.array([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            Machine(np.array([[1.0]]))
+
+    def test_describe(self):
+        m = two_class_machine(2, 3, fast=4.0, slow=1.0)
+        assert m.describe() == "2x4+3x1"
+
+
+class TestFactories:
+    def test_uniform(self):
+        m = uniform_machine(4, speed=2.0)
+        assert m.total_speed == 8.0
+        with pytest.raises(ValueError):
+            uniform_machine(0)
+
+    def test_two_class(self):
+        m = two_class_machine(1, 2, fast=3.0)
+        assert m.m == 3
+        assert m.max_speed == 3.0
+        with pytest.raises(ValueError):
+            two_class_machine(0, 0)
+
+    def test_geometric(self):
+        m = geometric_machine(3, ratio=2.0)
+        np.testing.assert_allclose(sorted(m.speeds), [1.0, 2.0, 4.0])
+        with pytest.raises(ValueError):
+            geometric_machine(2, ratio=0.0)

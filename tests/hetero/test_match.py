@@ -1,0 +1,66 @@
+"""Edge-case tests for the related-machines matching helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hetero.engine import FREE, HeteroState
+from repro.hetero.machine import Machine, two_class_machine
+from repro.hetero.policies import _match
+
+
+def make_state(speeds, remaining):
+    machine = Machine(np.asarray(speeds, dtype=float))
+    n = len(remaining)
+    return HeteroState(
+        machine=machine,
+        assignment=np.full(machine.m, FREE, dtype=np.int64),
+        remaining=dict(enumerate(map(float, remaining))),
+        release=np.zeros(n),
+        work=np.array(remaining, dtype=float),
+    )
+
+
+class TestMatch:
+    def test_fewer_jobs_than_procs(self):
+        state = make_state([4.0, 2.0, 1.0], [5.0])
+        _match(state, [0])
+        # job 0 on the fastest processor, others free
+        assert state.assignment[0] == 0
+        assert (state.assignment[1:] == FREE).all()
+
+    def test_more_jobs_than_procs(self):
+        state = make_state([2.0, 1.0], [5.0, 5.0, 5.0])
+        _match(state, [2, 0, 1])
+        assert state.assignment[0] == 2  # fastest proc -> first in order
+        assert state.assignment[1] == 0
+        # job 1 waits
+        assert 1 not in set(state.assignment.tolist())
+
+    def test_rematch_moves_job_between_procs(self):
+        state = make_state([4.0, 1.0], [5.0, 5.0])
+        _match(state, [0, 1])
+        assert state.assignment[0] == 0 and state.assignment[1] == 1
+        # priorities flip: job 1 now first
+        _match(state, [1, 0])
+        assert state.assignment[0] == 1 and state.assignment[1] == 0
+
+    def test_stable_match_no_spurious_switches(self):
+        state = make_state([4.0, 1.0], [5.0, 5.0])
+        _match(state, [0, 1])
+        switches_before = state.switches
+        _match(state, [0, 1])  # identical matching
+        assert state.switches == switches_before
+
+    def test_one_processor_invariant_enforced(self):
+        state = make_state([2.0, 1.0], [5.0])
+        _match(state, [0])
+        # rate_of raises if a job ever held two processors
+        assert state.rate_of(0) == 2.0
+
+    def test_speed_ties_stable(self):
+        mach = two_class_machine(2, 0, fast=3.0)
+        state = make_state(mach.speeds, [4.0, 4.0])
+        _match(state, [0, 1])
+        assert state.assignment[0] == 0 and state.assignment[1] == 1

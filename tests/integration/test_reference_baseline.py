@@ -1,0 +1,65 @@
+"""Physics-regression guard: compare fresh runs against checked-in numbers.
+
+The reference baseline (`tests/data/reference_baseline.json`) snapshots
+headline metrics of fixed-seed runs for both simulators.  Any code change
+that alters scheduling behaviour — even a "harmless" refactor — trips
+this test.  Intentional behaviour changes must regenerate the file (see
+the module docstring of `repro.analysis.baselines`).
+
+Tolerances: 1e-9 relative for float metrics (identical code paths are
+bit-stable; the epsilon absorbs platform-level libm differences), exact
+for counters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baselines import compare_to_baseline
+from repro.analysis.experiments import scale_trace
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import policy_by_name
+from repro.workloads.traces import attach_dags, generate_trace
+from repro.wsim.runtime import simulate_ws
+from repro.wsim.schedulers import ws_scheduler_by_name
+
+BASELINE = Path(__file__).resolve().parent.parent / "data" / "reference_baseline.json"
+
+
+def test_flowsim_matches_reference():
+    trace = generate_trace(500, "finance", 0.6, 4, seed=777)
+    entries = {}
+    for pol in ("srpt", "sjf", "rr", "fifo", "setf", "mlf", "drep"):
+        r = simulate(trace, 4, policy_by_name(pol), seed=777)
+        entries[f"flow/{pol}"] = {
+            "mean_flow": r.mean_flow,
+            "p99_flow": r.percentile(99),
+            "preemptions": float(r.preemptions),
+        }
+    compared = compare_to_baseline(BASELINE, entries, rel_tol=1e-9)
+    assert len(compared) == 21
+
+
+def test_wsim_matches_reference():
+    base = generate_trace(
+        60,
+        "bing",
+        0.6,
+        4,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=778,
+        scale_work_with_m=False,
+    )
+    dag = attach_dags(scale_trace(base, 250.0), parallelism=8, seed=778)
+    entries = {}
+    for sch in ("drep", "swf", "steal-first", "admit-first", "central-greedy"):
+        r = simulate_ws(dag, 4, ws_scheduler_by_name(sch), seed=778)
+        entries[f"ws/{sch}"] = {
+            "mean_flow": r.mean_flow,
+            "steal_attempts": float(r.steal_attempts),
+            "muggings": float(r.muggings),
+            "preemptions": float(r.preemptions),
+        }
+    compared = compare_to_baseline(BASELINE, entries, rel_tol=1e-9)
+    assert len(compared) == 20

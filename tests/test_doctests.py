@@ -1,0 +1,20 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.rng
+
+MODULES_WITH_DOCTESTS = [repro.core.rng]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # guard against silently empty doctests

@@ -1,0 +1,82 @@
+"""Package-level sanity: exports, version, no import cycles."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_modules_import(self):
+        names = list(iter_modules())
+        assert len(names) > 30
+        for name in names:
+            importlib.import_module(name)
+
+    def test_all_exports_resolve(self):
+        """Every name in every __all__ must exist in its module."""
+        for name in iter_modules():
+            mod = importlib.import_module(name)
+            for symbol in getattr(mod, "__all__", []):
+                assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+    def test_top_level_namespaces(self):
+        for sub in ("core", "dag", "workloads", "flowsim", "wsim", "hetero", "theory", "analysis"):
+            assert hasattr(repro, sub)
+
+    def test_public_classes_have_docstrings(self):
+        missing = []
+        for name in iter_modules():
+            mod = importlib.import_module(name)
+            if not mod.__doc__:
+                missing.append(name)
+            for symbol in getattr(mod, "__all__", []):
+                obj = getattr(mod, symbol)
+                if isinstance(obj, type) and not obj.__doc__:
+                    missing.append(f"{name}.{symbol}")
+        assert not missing, f"undocumented public items: {missing}"
+
+    def test_registries_cover_exports(self):
+        from repro.flowsim.policies import policy_by_name
+        from repro.wsim.schedulers import ws_scheduler_by_name
+
+        for name in ("srpt", "sjf", "rr", "fifo", "laps", "setf", "mlf",
+                     "drep", "drep-par", "hdf", "wsrpt", "wdrep", "random-np"):
+            assert policy_by_name(name) is not None
+        for name in ("drep", "swf", "steal-first", "admit-first",
+                     "central-greedy", "rr"):
+            assert ws_scheduler_by_name(name) is not None
+
+    def test_py_typed_marker(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()
+
+    def test_no_dataclass_field_shadowed_by_method(self):
+        """Regression guard for the Trace.load bug class: a method defined
+        after a dataclass field of the same name silently becomes the
+        field's default value."""
+        import dataclasses
+
+        offenders = []
+        for name in iter_modules():
+            mod = importlib.import_module(name)
+            for symbol in getattr(mod, "__all__", []):
+                obj = getattr(mod, symbol)
+                if isinstance(obj, type) and dataclasses.is_dataclass(obj):
+                    for f in dataclasses.fields(obj):
+                        if callable(f.default):
+                            offenders.append(f"{name}.{symbol}.{f.name}")
+        assert not offenders, f"fields with callable defaults: {offenders}"

@@ -1,0 +1,53 @@
+"""Tests for repro.theory.bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import FIFO, RoundRobin, SRPT
+from repro.theory.bounds import (
+    empirical_competitive_ratio,
+    flow_lower_bound,
+    job_lower_bounds,
+    srpt_opt_proxy,
+)
+from tests.conftest import make_trace
+
+
+class TestJobLowerBounds:
+    def test_sequential_bound_is_work(self):
+        trace = make_trace([4.0, 2.0])
+        lb = job_lower_bounds(trace, m=8)
+        assert list(lb) == [4.0, 2.0]
+
+    def test_mean_bound(self):
+        trace = make_trace([4.0, 2.0])
+        assert flow_lower_bound(trace, m=8) == pytest.approx(3.0)
+
+    def test_empty_trace(self):
+        assert flow_lower_bound(make_trace([]), m=1) == 0.0
+
+
+class TestBoundsHold:
+    @pytest.mark.parametrize("policy_cls", [SRPT, FIFO, RoundRobin])
+    def test_no_schedule_beats_the_bound(self, policy_cls, small_random_trace):
+        r = simulate(small_random_trace, 4, policy_cls())
+        assert r.mean_flow >= flow_lower_bound(small_random_trace, 4) * (1 - 1e-9)
+
+    def test_parallel_bound_holds(self, small_parallel_trace):
+        r = simulate(small_parallel_trace, 4, SRPT())
+        assert r.mean_flow >= flow_lower_bound(small_parallel_trace, 4) * (1 - 1e-9)
+
+
+class TestSrptProxy:
+    def test_proxy_is_srpt(self, small_random_trace):
+        proxy = srpt_opt_proxy(small_random_trace, 4)
+        direct = simulate(small_random_trace, 4, SRPT())
+        assert proxy.mean_flow == pytest.approx(direct.mean_flow)
+
+    def test_ratios(self, small_random_trace):
+        rr = simulate(small_random_trace, 4, RoundRobin())
+        ratios = empirical_competitive_ratio(rr, small_random_trace, 4)
+        assert ratios["vs_srpt"] >= 1.0 - 1e-9
+        assert ratios["vs_lower_bound"] >= ratios["vs_srpt"]

@@ -1,0 +1,56 @@
+"""Tests for the speed-competitiveness frontier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowsim.policies import FIFO, DrepSequential, RoundRobin, SRPT
+from repro.theory.competitive import find_required_speed, speed_sweep
+from repro.workloads.traces import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(1500, "finance", 0.7, 4, seed=81)
+
+
+class TestFindRequiredSpeed:
+    def test_srpt_needs_speed_one(self, trace):
+        f = find_required_speed(trace, 4, SRPT, seed=81)
+        assert f.required_speed == 1.0
+        assert f.iterations == 1
+
+    def test_drep_needs_modest_speed(self, trace):
+        """The empirical face of Theorem 1.1: far below 4+eps."""
+        f = find_required_speed(trace, 4, DrepSequential, seed=81)
+        assert 1.0 <= f.required_speed <= 2.0
+
+    def test_relaxed_target_lowers_requirement(self, trace):
+        tight = find_required_speed(trace, 4, RoundRobin, target_ratio=1.0, seed=81)
+        loose = find_required_speed(trace, 4, RoundRobin, target_ratio=1.5, seed=81)
+        assert loose.required_speed <= tight.required_speed
+
+    def test_invalid_params(self, trace):
+        with pytest.raises(ValueError):
+            find_required_speed(trace, 4, SRPT, target_ratio=0.5)
+        with pytest.raises(ValueError):
+            find_required_speed(trace, 4, SRPT, tol=0.0)
+
+    def test_insufficient_ceiling_detected(self):
+        # heavy-tailed work on one machine: FIFO at 1.01x speed cannot
+        # match SRPT (the size-variance regime where FCFS collapses)
+        bing = generate_trace(1500, "bing", 0.7, 1, seed=82)
+        with pytest.raises(ValueError, match="insufficient"):
+            find_required_speed(bing, 1, FIFO, speed_hi=1.01, seed=82)
+
+
+class TestSpeedSweep:
+    def test_rows_and_monotonicity(self, trace):
+        rows = speed_sweep(trace, 4, DrepSequential, speeds=[1.0, 2.0, 4.0], seed=81)
+        assert [r["speed"] for r in rows] == [1.0, 2.0, 4.0]
+        flows = [r["mean_flow"] for r in rows]
+        assert flows[0] >= flows[1] >= flows[2]
+
+    def test_ratio_column(self, trace):
+        rows = speed_sweep(trace, 4, SRPT, speeds=[1.0], seed=81)
+        assert rows[0]["vs_unit_srpt"] == pytest.approx(1.0)

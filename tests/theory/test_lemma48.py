@@ -1,0 +1,72 @@
+"""Tests for the Lemma 4.8 window tracker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, spawn_tree
+from repro.theory.lemma48 import Lemma48Tracker, WindowStats
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsRuntime
+from repro.wsim.schedulers import DrepWS, SwfApproxWS
+
+
+def build_trace(n_jobs: int, seed: int, m: int = 4) -> Trace:
+    rng = np.random.default_rng(seed)
+    jobs, t = [], 0.0
+    for i in range(n_jobs):
+        d = spawn_tree(int(rng.integers(2, 6)), int(rng.integers(5, 30)))
+        jobs.append(
+            JobSpec(i, t, float(d.work), float(d.span), ParallelismMode.DAG, dag=d)
+        )
+        t += float(rng.exponential(40.0))
+    return Trace(jobs=jobs, m=m)
+
+
+class TestWindowStats:
+    def test_empty(self):
+        s = WindowStats()
+        assert s.quarter_drop_fraction == 0.0
+        assert s.mean_log3_drop == 0.0
+
+    def test_fraction(self):
+        s = WindowStats(windows=8, quarter_drops=3, total_log3_drop=4.0)
+        assert s.quarter_drop_fraction == pytest.approx(3 / 8)
+        assert s.mean_log3_drop == pytest.approx(0.5)
+
+
+class TestTracker:
+    @pytest.mark.parametrize("scheduler_cls", [DrepWS, SwfApproxWS])
+    def test_lemma_holds_statistically(self, scheduler_cls):
+        trace = build_trace(40, seed=scheduler_cls.__name__.__len__())
+        tracker = Lemma48Tracker()
+        WsRuntime(trace, 4, scheduler_cls(), seed=11).run(observer=tracker)
+        stats = tracker.stats
+        assert stats.windows > 20
+        # the lemma's guarantee, with sampling slack: > 1/4 of windows
+        # drop psi by a quarter (we require > 0.2 to absorb noise)
+        assert stats.quarter_drop_fraction > 0.2
+        # expected log3 drop per window far exceeds the 1/16 the proof
+        # needs
+        assert stats.mean_log3_drop > 1.0 / 16.0
+
+    def test_single_sequential_job_few_windows(self):
+        # a chain spawns no parallel work: no steal-attempt windows close
+        # beyond at most the arrival mugging
+        d = chain(50, 1)
+        jobs = [JobSpec(0, 0.0, float(d.work), float(d.span), ParallelismMode.DAG, dag=d)]
+        trace = Trace(jobs=jobs, m=2)
+        tracker = Lemma48Tracker()
+        WsRuntime(trace, 2, DrepWS(), seed=0).run(observer=tracker)
+        # windows may close (the idle second worker steals-fails), but
+        # every closed window must have non-negative accounted drop
+        assert tracker.stats.total_log3_drop >= 0.0
+
+    def test_deterministic(self):
+        trace = build_trace(20, seed=5)
+        a, b = Lemma48Tracker(), Lemma48Tracker()
+        WsRuntime(trace, 4, DrepWS(), seed=3).run(observer=a)
+        WsRuntime(trace, 4, DrepWS(), seed=3).run(observer=b)
+        assert a.stats == b.stats

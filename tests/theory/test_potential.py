@@ -1,0 +1,154 @@
+"""Tests for repro.theory.potential — the Sec. IV-B potential functions.
+
+The headline structural check is Lemma 4.8's first claim: the steal
+potential ψ never increases while the runtime executes (we verify it on
+live DREP runs by snapshotting every step).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, spawn_tree
+from repro.dag.graph import NO_CHILD, DagJob
+from repro.theory.potential import (
+    flow_potential,
+    node_weights,
+    snapshot_runtime,
+    steal_potential_log3,
+)
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsRuntime
+from repro.wsim.schedulers import DrepWS
+
+
+def diamond():
+    return DagJob(
+        weights=np.array([1, 2, 5, 1]),
+        child1=np.array([1, 3, 3, NO_CHILD]),
+        child2=np.array([2, NO_CHILD, NO_CHILD, NO_CHILD]),
+    )
+
+
+class TestNodeWeights:
+    def test_weights_nonnegative(self):
+        w = node_weights(diamond())
+        assert (w >= 0).all()
+
+    def test_sink_weight_zero(self):
+        w = node_weights(diamond())
+        assert w[3] == 0  # the sink lies at depth == span
+
+    def test_source_weight(self):
+        d = diamond()
+        w = node_weights(d)
+        assert w[0] == d.span - 1  # source depth = its own weight 1
+
+
+class TestStealPotential:
+    def test_empty_is_neg_inf(self):
+        assert steal_potential_log3(diamond(), np.array([]), np.array([])) == float(
+            "-inf"
+        )
+
+    def test_single_ready_source(self):
+        d = diamond()
+        psi = steal_potential_log3(d, np.array([0]), np.array([]))
+        assert psi == pytest.approx(2 * (d.span - 1))
+
+    def test_assigned_less_than_ready(self):
+        d = diamond()
+        ready = steal_potential_log3(d, np.array([0]), np.array([]))
+        assigned = steal_potential_log3(d, np.array([]), np.array([0]))
+        assert assigned == pytest.approx(ready - 1)
+
+    def test_sum_of_two_nodes(self):
+        d = diamond()
+        both = steal_potential_log3(d, np.array([1, 2]), np.array([]))
+        w = node_weights(d)
+        expected = math.log(3 ** (2 * w[1]) + 3 ** (2 * w[2]), 3)
+        assert both == pytest.approx(expected)
+
+    def test_large_span_no_overflow(self):
+        d = chain(5000, 1)  # span 5000: 3^10000 overflows floats badly
+        psi = steal_potential_log3(d, np.array([0]), np.array([]))
+        assert np.isfinite(psi)
+        assert psi == pytest.approx(2 * (d.span - 1))
+
+
+class TestFlowPotential:
+    def test_zero_lag_zero_mugs_only_cp_term(self):
+        val = flow_potential(rank=1, m=4, lag=0.0, muggable_deques=0, psi_log3=10.0, epsilon=0.25)
+        assert val == pytest.approx((320 / 0.25**2) * 10.0)
+
+    def test_work_term_scales_with_rank(self):
+        a = flow_potential(1, 4, 8.0, 2, float("-inf"), 0.25)
+        b = flow_potential(2, 4, 8.0, 2, float("-inf"), 0.25)
+        assert b == pytest.approx(2 * a)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            flow_potential(1, 4, 1.0, 0, 0.0, epsilon=0.5)
+        with pytest.raises(ValueError):
+            flow_potential(1, 4, 1.0, 0, 0.0, epsilon=0.0)
+
+    def test_invalid_negative(self):
+        with pytest.raises(ValueError):
+            flow_potential(1, 4, -1.0, 0, 0.0, epsilon=0.25)
+
+
+class TestLemma48NonIncrease:
+    """ψ never increases during execution (between arrivals)."""
+
+    def _trace(self):
+        dags = [spawn_tree(3, 6), spawn_tree(2, 9), chain(30, 3)]
+        jobs = [
+            JobSpec(
+                job_id=i,
+                release=0.0,
+                work=float(d.work),
+                span=float(d.span),
+                mode=ParallelismMode.DAG,
+                dag=d,
+            )
+            for i, d in enumerate(dags)
+        ]
+        return Trace(jobs=jobs, m=2)
+
+    def test_psi_monotone_non_increasing_per_job(self):
+        trace = self._trace()
+        rt = WsRuntime(trace, 2, DrepWS(), seed=4)
+        rt.scheduler.reset(rt)
+        rt._admit_arrivals()
+        history: dict[int, list[float]] = {}
+        guard = 0
+        while rt._completed < len(trace) and guard < 10_000:
+            snap = snapshot_runtime(rt)
+            for job_id, psi in zip(snap.job_ids, snap.psi_log3):
+                history.setdefault(job_id, []).append(psi)
+            for w in rt.workers:
+                rt._act(w)
+            rt.step += 1
+            guard += 1
+        assert rt._completed == len(trace)
+        for job_id, series in history.items():
+            arr = np.array(series)
+            diffs = np.diff(arr)
+            assert (diffs <= 1e-9).all(), f"psi increased for job {job_id}"
+
+    def test_snapshot_contents(self):
+        trace = self._trace()
+        rt = WsRuntime(trace, 2, DrepWS(), seed=4)
+        rt.scheduler.reset(rt)
+        rt._admit_arrivals()
+        snap = snapshot_runtime(rt)
+        assert set(snap.job_ids) == {0, 1, 2}
+        assert all(np.isfinite(p) for p in snap.psi_log3)
+        # arrival deques are muggable until a worker joins; at least the
+        # jobs no worker took yet hold one muggable deque
+        assert all(mug >= 0 for mug in snap.muggable)
+        assert snap.psi_of(0) == snap.psi_log3[snap.job_ids.index(0)]

@@ -1,0 +1,57 @@
+"""Tests for repro.theory.preemptions — Theorem 1.2 budget records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import ScheduleResult
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import DrepSequential
+from repro.theory.preemptions import PreemptionBudget, check_theorem_1_2
+from repro.workloads.traces import generate_trace
+
+
+def result(preemptions, switches, m=4, n=10):
+    return ScheduleResult(
+        scheduler="DREP",
+        m=m,
+        flow_times=np.ones(n),
+        preemptions=preemptions,
+        extra={"switches": switches},
+    )
+
+
+class TestBudgetRecord:
+    def test_within_bound(self):
+        b = check_theorem_1_2(result(preemptions=5, switches=30), n_jobs=10)
+        assert b.switch_bound == 2 * 4 * 10
+        assert b.within_switch_bound
+
+    def test_violated_bound(self):
+        b = check_theorem_1_2(result(preemptions=5, switches=1000), n_jobs=10)
+        assert not b.within_switch_bound
+
+    def test_sequential_ratio(self):
+        b = check_theorem_1_2(result(preemptions=7, switches=30), n_jobs=10)
+        assert b.sequential_ratio() == pytest.approx(0.7)
+
+    def test_summary_keys(self):
+        s = check_theorem_1_2(result(2, 3), n_jobs=10).summary()
+        assert {"preemptions", "switches", "switch_bound_2mn", "within_switch_bound"} <= set(s)
+
+    def test_zero_jobs(self):
+        b = PreemptionBudget(0, 1, 0, 0, 0, 0)
+        assert b.sequential_ratio() == 0.0
+
+
+class TestLiveBudgets:
+    @pytest.mark.parametrize("m", [2, 8])
+    def test_sequential_drep_budgets(self, m):
+        n = 3000
+        trace = generate_trace(n, "finance", 0.6, m, seed=m)
+        r = simulate(trace, m, DrepSequential(), seed=m)
+        budget = check_theorem_1_2(r, n)
+        assert budget.within_switch_bound
+        # expected preemptions per job <= 1 (allow statistical slack)
+        assert budget.sequential_ratio() <= 1.2

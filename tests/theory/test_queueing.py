@@ -1,0 +1,125 @@
+"""Tests for repro.theory.queueing — formulas and simulator cross-checks.
+
+The cross-check tests are the most valuable in the suite: they validate
+the flow-level simulator against *independent* closed-form queueing
+results, not against itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import simulate
+from repro.flowsim.policies import FIFO, RoundRobin, SRPT
+from repro.theory.queueing import (
+    erlang_c,
+    exp_second_moment,
+    lognormal_second_moment,
+    mg1_fcfs_mean_flow,
+    mg1_ps_mean_flow,
+    mm1_fcfs_mean_flow,
+    mm1_srpt_mean_flow,
+    mmm_fcfs_mean_flow,
+)
+from repro.workloads.distributions import ExponentialWork, LogNormalWork
+from repro.workloads.traces import generate_trace
+
+
+class TestFormulas:
+    def test_mm1_fcfs(self):
+        # rho = 0.5, E[S] = 1 -> E[T] = 2
+        assert mm1_fcfs_mean_flow(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_mg1_fcfs_reduces_to_mm1(self):
+        lam, s = 0.6, 1.0
+        assert mg1_fcfs_mean_flow(lam, s, exp_second_moment(s)) == pytest.approx(
+            mm1_fcfs_mean_flow(lam, s)
+        )
+
+    def test_mg1_ps(self):
+        assert mg1_ps_mean_flow(0.5, 1.0) == pytest.approx(2.0)
+
+    def test_srpt_beats_fcfs_and_ps_in_theory(self):
+        lam, s = 0.7, 1.0
+        srpt = mm1_srpt_mean_flow(lam, s)
+        assert srpt < mm1_fcfs_mean_flow(lam, s)
+        assert srpt < mg1_ps_mean_flow(lam, s)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_fcfs_mean_flow(1.0, 1.0)
+        with pytest.raises(ValueError):
+            mg1_ps_mean_flow(2.0, 1.0)
+        with pytest.raises(ValueError):
+            mmm_fcfs_mean_flow(4.0, 1.0, 4)
+
+    def test_erlang_c_limits(self):
+        assert erlang_c(4, 0.0) == 0.0
+        # heavily loaded: queuing probability approaches 1
+        assert erlang_c(2, 1.99) > 0.97
+        # single server: C(1, a) = a
+        assert erlang_c(1, 0.3) == pytest.approx(0.3)
+
+    def test_mmm_reduces_to_mm1(self):
+        assert mmm_fcfs_mean_flow(0.5, 1.0, 1) == pytest.approx(
+            mm1_fcfs_mean_flow(0.5, 1.0)
+        )
+
+    def test_second_moments(self):
+        assert exp_second_moment(2.0) == 8.0
+        # sigma=0: deterministic, E[X^2] = mean^2
+        assert lognormal_second_moment(3.0, 0.0) == pytest.approx(9.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            mg1_fcfs_mean_flow(0.5, 1.0, 0.5)  # second moment < mean^2
+        with pytest.raises(ValueError):
+            erlang_c(0, 0.1)
+        with pytest.raises(ValueError):
+            mm1_srpt_mean_flow(0.5, 1.0, grid=10)
+
+
+def sim_mean_flow(policy, dist, load, n=60_000, seed=5):
+    trace = generate_trace(
+        n_jobs=n,
+        distribution=dist,
+        load=load,
+        m=1,
+        mode=ParallelismMode.SEQUENTIAL,
+        seed=seed,
+    )
+    return simulate(trace, 1, policy, seed=seed).mean_flow
+
+
+class TestSimulatorAgainstTheory:
+    """The flow-level simulator must reproduce closed-form queueing."""
+
+    def test_fifo_matches_mm1(self):
+        sim = sim_mean_flow(FIFO(), ExponentialWork(1.0), load=0.6)
+        theory = mm1_fcfs_mean_flow(0.6, 1.0)
+        assert sim == pytest.approx(theory, rel=0.05)
+
+    def test_fifo_matches_pollaczek_khinchine_lognormal(self):
+        sigma = 0.8
+        dist = LogNormalWork(1.0, sigma)
+        sim = sim_mean_flow(FIFO(), dist, load=0.6)
+        theory = mg1_fcfs_mean_flow(0.6, 1.0, lognormal_second_moment(1.0, sigma))
+        assert sim == pytest.approx(theory, rel=0.08)
+
+    def test_rr_matches_ps(self):
+        sim = sim_mean_flow(RoundRobin(), ExponentialWork(1.0), load=0.6)
+        theory = mg1_ps_mean_flow(0.6, 1.0)
+        assert sim == pytest.approx(theory, rel=0.05)
+
+    def test_rr_insensitivity(self):
+        """PS mean flow depends only on the mean: heavy-tailed and light
+        service distributions give the same RR mean flow."""
+        heavy = sim_mean_flow(RoundRobin(), LogNormalWork(1.0, 1.2), load=0.6)
+        light = sim_mean_flow(RoundRobin(), ExponentialWork(1.0), load=0.6)
+        assert heavy == pytest.approx(light, rel=0.1)
+
+    def test_srpt_matches_schrage_miller(self):
+        sim = sim_mean_flow(SRPT(), ExponentialWork(1.0), load=0.7)
+        theory = mm1_srpt_mean_flow(0.7, 1.0)
+        assert sim == pytest.approx(theory, rel=0.06)

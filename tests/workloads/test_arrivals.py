@@ -1,0 +1,81 @@
+"""Tests for repro.workloads.arrivals — Poisson process and calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    LOAD_LEVELS,
+    poisson_arrivals,
+    qps_for_load,
+    work_scale_for_m,
+)
+
+
+class TestPoissonArrivals:
+    def test_sorted_and_positive(self):
+        rng = np.random.default_rng(0)
+        t = poisson_arrivals(rng, 1000, rate=2.0)
+        assert (np.diff(t) >= 0).all()
+        assert (t > 0).all()
+
+    def test_mean_interarrival(self):
+        rng = np.random.default_rng(1)
+        t = poisson_arrivals(rng, 100_000, rate=4.0)
+        gaps = np.diff(np.concatenate([[0.0], t]))
+        assert gaps.mean() == pytest.approx(0.25, rel=0.02)
+
+    def test_start_offset(self):
+        rng = np.random.default_rng(2)
+        t = poisson_arrivals(rng, 10, rate=1.0, start=100.0)
+        assert (t > 100.0).all()
+
+    def test_empty(self):
+        rng = np.random.default_rng(3)
+        assert poisson_arrivals(rng, 0, rate=1.0).size == 0
+
+    def test_invalid(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, -1, rate=1.0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(rng, 1, rate=0.0)
+
+    def test_exponential_gaps_memoryless(self):
+        """CV of exponential inter-arrivals is 1."""
+        rng = np.random.default_rng(5)
+        t = poisson_arrivals(rng, 200_000, rate=1.0)
+        gaps = np.diff(t)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.02)
+
+
+class TestCalibration:
+    def test_qps_formula(self):
+        # load 0.5 on 8 cores with unit-mean work => 4 jobs per time unit
+        assert qps_for_load(0.5, 8, 1.0) == pytest.approx(4.0)
+
+    def test_qps_scales_with_mean_work(self):
+        assert qps_for_load(0.5, 8, 2.0) == pytest.approx(2.0)
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            qps_for_load(0.0, 4, 1.0)
+        with pytest.raises(ValueError):
+            qps_for_load(1.0, 4, 1.0)
+
+    def test_invalid_m_and_work(self):
+        with pytest.raises(ValueError):
+            qps_for_load(0.5, 0, 1.0)
+        with pytest.raises(ValueError):
+            qps_for_load(0.5, 4, 0.0)
+
+    def test_load_levels_match_paper(self):
+        assert LOAD_LEVELS == {"low": 0.5, "medium": 0.6, "high": 0.7}
+
+    def test_work_scale(self):
+        assert work_scale_for_m(16) == 16.0
+        assert work_scale_for_m(16, base_m=4) == 4.0
+        with pytest.raises(ValueError):
+            work_scale_for_m(0)

@@ -1,0 +1,154 @@
+"""Tests for repro.workloads.distributions — means, tails, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    BoundedParetoWork,
+    ExponentialWork,
+    FixedWork,
+    LogNormalWork,
+    MixtureWork,
+    UniformWork,
+    bing_distribution,
+    distribution_by_name,
+    finance_distribution,
+)
+
+
+def sample_mean(dist, n=200_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return float(dist.sample(rng, n).mean())
+
+
+class TestLogNormal:
+    def test_mean_matches(self):
+        d = LogNormalWork(mean_work=2.5, sigma=0.8)
+        assert sample_mean(d) == pytest.approx(2.5, rel=0.02)
+
+    def test_sigma_zero_is_deterministic(self):
+        d = LogNormalWork(mean_work=3.0, sigma=0.0)
+        rng = np.random.default_rng(0)
+        np.testing.assert_allclose(d.sample(rng, 10), 3.0)
+
+    def test_positive_samples(self):
+        d = LogNormalWork(1.0, 2.0)
+        rng = np.random.default_rng(1)
+        assert (d.sample(rng, 1000) > 0).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormalWork(mean_work=0.0)
+        with pytest.raises(ValueError):
+            LogNormalWork(sigma=-1.0)
+
+
+class TestBoundedPareto:
+    def test_support(self):
+        d = BoundedParetoWork(alpha=1.5, lo=2.0, hi=50.0)
+        rng = np.random.default_rng(2)
+        x = d.sample(rng, 10_000)
+        assert x.min() >= 2.0 and x.max() <= 50.0
+
+    def test_mean_formula(self):
+        d = BoundedParetoWork(alpha=1.5, lo=1.0, hi=100.0)
+        assert sample_mean(d) == pytest.approx(d.mean, rel=0.02)
+
+    def test_mean_alpha_one(self):
+        d = BoundedParetoWork(alpha=1.0, lo=1.0, hi=10.0)
+        assert sample_mean(d) == pytest.approx(d.mean, rel=0.02)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            BoundedParetoWork(alpha=0.0)
+        with pytest.raises(ValueError):
+            BoundedParetoWork(lo=5.0, hi=5.0)
+
+
+class TestSimpleDistributions:
+    def test_exponential_mean(self):
+        assert sample_mean(ExponentialWork(4.0)) == pytest.approx(4.0, rel=0.02)
+
+    def test_uniform_mean(self):
+        d = UniformWork(1.0, 3.0)
+        assert d.mean == 2.0
+        assert sample_mean(d) == pytest.approx(2.0, rel=0.01)
+
+    def test_fixed(self):
+        d = FixedWork(7.0)
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(d.sample(rng, 5), 7.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ExponentialWork(0.0)
+        with pytest.raises(ValueError):
+            UniformWork(2.0, 1.0)
+        with pytest.raises(ValueError):
+            FixedWork(-1.0)
+
+
+class TestMixture:
+    def test_mean_is_weighted(self):
+        d = MixtureWork([FixedWork(1.0), FixedWork(3.0)], [1.0, 1.0])
+        assert d.mean == pytest.approx(2.0)
+        assert sample_mean(d, n=50_000) == pytest.approx(2.0, rel=0.02)
+
+    def test_weights_normalized(self):
+        d = MixtureWork([FixedWork(1.0), FixedWork(3.0)], [2.0, 6.0])
+        assert d.mean == pytest.approx(2.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MixtureWork([], [])
+        with pytest.raises(ValueError):
+            MixtureWork([FixedWork(1.0)], [0.0])
+
+
+class TestNamedWorkloads:
+    def test_bing_unit_mean(self):
+        assert sample_mean(bing_distribution(), n=400_000) == pytest.approx(1.0, rel=0.05)
+
+    def test_finance_unit_mean(self):
+        assert sample_mean(finance_distribution()) == pytest.approx(1.0, rel=0.02)
+
+    def test_bing_heavier_tail_than_finance(self):
+        """The substitution's load-bearing property: Bing has very large jobs."""
+        rng_b = np.random.default_rng(3)
+        rng_f = np.random.default_rng(3)
+        b = bing_distribution().sample(rng_b, 200_000)
+        f = finance_distribution().sample(rng_f, 200_000)
+        assert np.percentile(b, 99.9) > 5 * np.percentile(f, 99.9)
+        assert b.std() > 2 * f.std()
+
+    def test_registry(self):
+        for name in ["bing", "finance", "exponential", "fixed", "uniform"]:
+            d = distribution_by_name(name)
+            assert d.mean > 0
+
+    def test_registry_unknown(self):
+        with pytest.raises(KeyError):
+            distribution_by_name("nope")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mean=st.floats(0.1, 10.0),
+    sigma=st.floats(0.0, 2.0),
+    seed=st.integers(0, 1000),
+)
+def test_normalized_always_unit_mean(mean, sigma, seed):
+    d = LogNormalWork(mean_work=mean, sigma=sigma).normalized()
+    assert d.mean == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 500))
+def test_samples_always_positive(seed, n):
+    rng = np.random.default_rng(seed)
+    for d in (bing_distribution(), finance_distribution()):
+        assert (d.sample(rng, n) > 0).all()

@@ -1,0 +1,84 @@
+"""Tests for MMPP (bursty) arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import mmpp_arrivals, poisson_arrivals
+from repro.workloads.traces import generate_trace
+
+
+class TestMmppArrivals:
+    def test_sorted_positive(self):
+        rng = np.random.default_rng(0)
+        t = mmpp_arrivals(rng, 2000, rate=1.0)
+        assert (np.diff(t) >= 0).all()
+        assert (t > 0).all()
+
+    def test_mean_rate_calibrated(self):
+        rng = np.random.default_rng(1)
+        t = mmpp_arrivals(rng, 200_000, rate=3.0, burstiness=5.0)
+        assert 200_000 / t[-1] == pytest.approx(3.0, rel=0.07)
+
+    def test_overdispersed_vs_poisson(self):
+        rng = np.random.default_rng(2)
+        t = mmpp_arrivals(rng, 100_000, rate=2.0, burstiness=8.0, switch_rate=0.05)
+        gaps = np.diff(t)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3  # markedly burstier than Poisson's CV = 1
+
+    def test_burstiness_one_is_poisson_like(self):
+        rng = np.random.default_rng(3)
+        t = mmpp_arrivals(rng, 100_000, rate=2.0, burstiness=1.0)
+        gaps = np.diff(t)
+        cv = gaps.std() / gaps.mean()
+        assert cv == pytest.approx(1.0, abs=0.05)
+
+    def test_start_offset(self):
+        rng = np.random.default_rng(4)
+        t = mmpp_arrivals(rng, 10, rate=1.0, start=500.0)
+        assert (t > 500.0).all()
+
+    def test_empty(self):
+        rng = np.random.default_rng(5)
+        assert mmpp_arrivals(rng, 0, rate=1.0).size == 0
+
+    def test_invalid(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(rng, 1, rate=0.0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(rng, 1, rate=1.0, burstiness=0.5)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(rng, 1, rate=1.0, switch_rate=0.0)
+        with pytest.raises(ValueError):
+            mmpp_arrivals(rng, -1, rate=1.0)
+
+
+class TestBurstyTraces:
+    def test_trace_generation(self):
+        t = generate_trace(
+            5000, "finance", 0.6, 4, seed=7, arrival_process="mmpp", burstiness=6.0
+        )
+        assert len(t) == 5000
+        assert t.meta["arrival_process"] == "mmpp"
+        # long-run load still calibrated
+        assert t.offered_load() == pytest.approx(0.6, rel=0.12)
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(ValueError, match="arrival process"):
+            generate_trace(10, "finance", 0.5, 1, arrival_process="adversarial")
+
+    def test_bursty_hurts_flow(self):
+        """Same load, burstier arrivals => higher mean flow (any policy)."""
+        from repro.flowsim.engine import simulate
+        from repro.flowsim.policies import SRPT
+
+        smooth = generate_trace(20_000, "finance", 0.7, 4, seed=8)
+        bursty = generate_trace(
+            20_000, "finance", 0.7, 4, seed=8, arrival_process="mmpp", burstiness=8.0
+        )
+        f_smooth = simulate(smooth, 4, SRPT()).mean_flow
+        f_bursty = simulate(bursty, 4, SRPT()).mean_flow
+        assert f_bursty > 1.2 * f_smooth

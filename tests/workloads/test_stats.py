@@ -1,0 +1,60 @@
+"""Tests for repro.workloads.stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import FixedWork, bing_distribution, finance_distribution
+from repro.workloads.stats import WorkStats, distribution_stats, trace_stats
+from repro.workloads.traces import generate_trace
+
+
+class TestStats:
+    def test_fixed_distribution(self):
+        s = distribution_stats(FixedWork(3.0), n=1000)
+        assert s.mean == pytest.approx(3.0)
+        assert s.cv == pytest.approx(0.0)
+        assert s.p50 == s.p99 == s.max == pytest.approx(3.0)
+
+    def test_bing_heavier_than_finance(self):
+        b = distribution_stats(bing_distribution(), n=50_000)
+        f = distribution_stats(finance_distribution(), n=50_000)
+        assert b.cv > 2 * f.cv
+        assert b.top1pct_work_share > 3 * f.top1pct_work_share
+
+    def test_trace_stats(self):
+        t = generate_trace(2000, "finance", 0.5, 4, seed=0)
+        s = trace_stats(t)
+        assert s.n == 2000
+        # work scaled by m=4, unit-mean distribution
+        assert s.mean == pytest.approx(4.0, rel=0.1)
+
+    def test_summary_keys(self):
+        s = distribution_stats(FixedWork(1.0), n=100).summary()
+        assert {"n", "mean", "cv", "p50", "p99", "max"} <= set(s)
+
+    def test_empty_rejected(self):
+        from repro.workloads.stats import _stats
+
+        with pytest.raises(ValueError):
+            _stats(np.array([]))
+
+    def test_nonpositive_rejected(self):
+        from repro.workloads.stats import _stats
+
+        with pytest.raises(ValueError):
+            _stats(np.array([1.0, 0.0]))
+
+    def test_top_share_bounds(self):
+        s = distribution_stats(bing_distribution(), n=10_000)
+        assert 0.0 < s.top1pct_work_share < 1.0
+
+    def test_dataclass_frozen(self):
+        s = distribution_stats(FixedWork(1.0), n=10)
+        with pytest.raises(AttributeError):
+            s.mean = 2.0  # type: ignore[misc]
+
+    def test_workstats_direct(self):
+        s = WorkStats(3, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.34)
+        assert s.n == 3

@@ -1,0 +1,195 @@
+"""Tests for repro.workloads.traces — generation, DAG attach, round-trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.validate import validate_dag
+from repro.workloads.traces import Trace, attach_dags, dag_for_work, generate_trace
+
+
+class TestTraceContainer:
+    def test_requires_sorted_releases(self):
+        jobs = [
+            JobSpec(job_id=0, release=5.0, work=1.0, span=1.0),
+            JobSpec(job_id=1, release=1.0, work=1.0, span=1.0),
+        ]
+        with pytest.raises(ValueError, match="sorted"):
+            Trace(jobs=jobs)
+
+    def test_requires_dense_ids(self):
+        jobs = [JobSpec(job_id=1, release=0.0, work=1.0, span=1.0)]
+        with pytest.raises(ValueError, match="dense"):
+            Trace(jobs=jobs)
+
+    def test_total_work_and_horizon(self):
+        jobs = [
+            JobSpec(job_id=0, release=0.0, work=2.0, span=2.0),
+            JobSpec(job_id=1, release=4.0, work=3.0, span=3.0),
+        ]
+        t = Trace(jobs=jobs, m=2)
+        assert t.total_work == 5.0
+        assert t.horizon == 4.0
+        assert t.offered_load() == pytest.approx(5.0 / 8.0)
+
+    def test_to_arrays(self):
+        t = generate_trace(50, "finance", 0.5, 2, seed=0)
+        arrays = t.to_arrays()
+        assert arrays["work"].shape == (50,)
+        assert (np.diff(arrays["release"]) >= 0).all()
+
+
+class TestGenerateTrace:
+    def test_job_count(self):
+        t = generate_trace(100, "finance", 0.5, 4, seed=0)
+        assert len(t) == 100
+
+    def test_load_calibration(self):
+        t = generate_trace(20_000, "finance", 0.6, 4, seed=1)
+        assert t.offered_load() == pytest.approx(0.6, rel=0.05)
+
+    def test_work_scaled_with_m(self):
+        t1 = generate_trace(1000, "fixed", 0.5, 1, seed=2)
+        t16 = generate_trace(1000, "fixed", 0.5, 16, seed=2)
+        assert t16.jobs[0].work == pytest.approx(16 * t1.jobs[0].work)
+
+    def test_unscaled_option(self):
+        t = generate_trace(1000, "fixed", 0.5, 16, seed=2, scale_work_with_m=False)
+        assert t.jobs[0].work == pytest.approx(1.0)
+        # load target still holds because QPS adjusts
+        assert t.offered_load() == pytest.approx(0.5, rel=0.1)
+
+    def test_sequential_span(self):
+        t = generate_trace(10, "finance", 0.5, 4, seed=3)
+        for j in t.jobs:
+            assert j.span == j.work
+
+    def test_parallel_span(self):
+        t = generate_trace(
+            10, "finance", 0.5, 4, mode=ParallelismMode.FULLY_PARALLEL, seed=3
+        )
+        for j in t.jobs:
+            assert j.span == pytest.approx(j.work / 4)
+
+    def test_deterministic(self):
+        a = generate_trace(50, "bing", 0.7, 8, seed=9)
+        b = generate_trace(50, "bing", 0.7, 8, seed=9)
+        assert [j.work for j in a.jobs] == [j.work for j in b.jobs]
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(50, "bing", 0.7, 8, seed=9)
+        b = generate_trace(50, "bing", 0.7, 8, seed=10)
+        assert [j.work for j in a.jobs] != [j.work for j in b.jobs]
+
+    def test_accepts_distribution_instance(self):
+        from repro.workloads.distributions import FixedWork
+
+        t = generate_trace(5, FixedWork(2.0), 0.5, 1, seed=0)
+        assert t.jobs[0].work == pytest.approx(2.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generate_trace(0, "finance", 0.5, 1)
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        t = generate_trace(30, "finance", 0.5, 4, seed=5)
+        path = tmp_path / "trace.json"
+        t.save(path)
+        back = Trace.load_file(path)
+        assert len(back) == 30
+        assert back.distribution == t.distribution
+        assert back.jobs[7].work == pytest.approx(t.jobs[7].work)
+        assert back.jobs[7].mode == t.jobs[7].mode
+
+    def test_weights_round_trip(self):
+        jobs = [JobSpec(0, 0.0, 1.0, 1.0, weight=7.5)]
+        t = Trace(jobs=jobs)
+        back = Trace.from_json(t.to_json())
+        assert back.jobs[0].weight == 7.5
+
+    def test_legacy_json_defaults_weight(self):
+        t = Trace(jobs=[JobSpec(0, 0.0, 1.0, 1.0)])
+        import json
+
+        raw = json.loads(t.to_json())
+        del raw["jobs"][0]["weight"]  # pre-weight format
+        back = Trace.from_json(json.dumps(raw))
+        assert back.jobs[0].weight == 1.0
+
+    def test_transforms_preserve_weight(self):
+        from repro.analysis.experiments import scale_trace
+        from repro.workloads.traces import attach_dags
+
+        jobs = [JobSpec(0, 0.0, 50.0, 50.0, weight=3.0)]
+        t = Trace(jobs=jobs)
+        assert scale_trace(t, 2.0).jobs[0].weight == 3.0
+        assert attach_dags(t, parallelism=2).jobs[0].weight == 3.0
+
+
+class TestDagForWork:
+    def test_small_work_is_chain(self):
+        d = dag_for_work(3, parallelism=8, rng=np.random.default_rng(0))
+        assert d.span == d.work
+
+    def test_parallelism_one_is_chain(self):
+        d = dag_for_work(100, parallelism=1, rng=np.random.default_rng(0))
+        assert d.span == d.work
+
+    def test_large_work_parallel(self):
+        d = dag_for_work(10_000, parallelism=16, rng=np.random.default_rng(0))
+        validate_dag(d)
+        assert d.work / d.span > 4  # real parallelism
+
+    def test_invalid(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            dag_for_work(0, 1, rng)
+        with pytest.raises(ValueError):
+            dag_for_work(1, 0, rng)
+
+
+class TestAttachDags:
+    def test_specs_rewritten_from_dags(self, small_random_trace):
+        from repro.analysis.experiments import scale_trace
+
+        scaled = scale_trace(small_random_trace, 100.0)
+        t = attach_dags(scaled, parallelism=4, seed=0)
+        for j in t.jobs:
+            assert j.dag is not None
+            assert j.work == float(j.dag.work)
+            assert j.span == float(j.dag.span)
+            assert j.mode is ParallelismMode.DAG
+
+    def test_work_approximates_source(self, small_random_trace):
+        from repro.analysis.experiments import scale_trace
+
+        scaled = scale_trace(small_random_trace, 200.0)
+        t = attach_dags(scaled, parallelism=4, seed=0)
+        total_src = sum(j.work for j in scaled.jobs)
+        total_dag = sum(j.work for j in t.jobs)
+        assert total_dag == pytest.approx(total_src, rel=0.15)
+
+    def test_invalid_unit(self, small_random_trace):
+        with pytest.raises(ValueError):
+            attach_dags(small_random_trace, parallelism=4, work_unit=0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    units=st.integers(1, 5000),
+    par=st.integers(1, 32),
+    seed=st.integers(0, 100),
+)
+def test_dag_for_work_always_valid(units, par, seed):
+    d = dag_for_work(units, par, np.random.default_rng(seed))
+    validate_dag(d)
+    # realized work stays close to the request, up to fan-node overhead
+    # (overshoot) and per-leaf rounding (undershoot)
+    assert d.work >= max(1, units - 4 * par - 8)
+    assert d.work <= max(4 * units, units + 8 * par)

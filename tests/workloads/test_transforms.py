@@ -1,0 +1,104 @@
+"""Tests for trace transformations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import generate_trace
+from repro.workloads.transforms import (
+    jitter_releases,
+    merge_traces,
+    repeat_trace,
+    slice_trace,
+)
+from tests.conftest import make_trace
+
+
+class TestMerge:
+    def test_job_count_and_order(self):
+        a = make_trace([1.0, 2.0], releases=[0.0, 10.0])
+        b = make_trace([3.0], releases=[5.0])
+        merged = merge_traces(a, b)
+        assert len(merged) == 3
+        releases = [j.release for j in merged.jobs]
+        assert releases == sorted(releases)
+        assert [j.job_id for j in merged.jobs] == [0, 1, 2]
+
+    def test_work_preserved(self):
+        a = make_trace([1.0, 2.0])
+        b = make_trace([4.0])
+        assert merge_traces(a, b).total_work == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_traces()
+
+    def test_simulatable(self):
+        from repro.flowsim.engine import simulate
+        from repro.flowsim.policies import SRPT
+
+        a = generate_trace(100, "finance", 0.4, 2, seed=1)
+        b = generate_trace(100, "bing", 0.3, 2, seed=2)
+        merged = merge_traces(a, b)
+        r = simulate(merged, 2, SRPT())
+        assert np.isfinite(r.flow_times).all()
+
+
+class TestSlice:
+    def test_window_and_rebase(self):
+        t = make_trace([1.0] * 4, releases=[0.0, 1.0, 2.0, 3.0])
+        s = slice_trace(t, 1.0, 3.0)
+        assert len(s) == 2
+        assert [j.release for j in s.jobs] == [0.0, 1.0]
+
+    def test_empty_slice_rejected(self):
+        t = make_trace([1.0], releases=[0.0])
+        with pytest.raises(ValueError, match="no jobs"):
+            slice_trace(t, 10.0, 20.0)
+
+    def test_invalid_bounds(self):
+        t = make_trace([1.0])
+        with pytest.raises(ValueError):
+            slice_trace(t, 2.0, 1.0)
+
+
+class TestRepeat:
+    def test_count_and_spacing(self):
+        t = make_trace([1.0, 1.0], releases=[0.0, 4.0])
+        r = repeat_trace(t, times=3, gap=2.0)
+        assert len(r) == 6
+        # period = horizon (4) + gap (2) = 6
+        assert r.jobs[2].release == pytest.approx(6.0)
+        assert r.jobs[4].release == pytest.approx(12.0)
+
+    def test_identity(self):
+        t = make_trace([1.0, 2.0], releases=[0.0, 1.0])
+        r = repeat_trace(t, times=1)
+        assert [j.work for j in r.jobs] == [1.0, 2.0]
+
+    def test_invalid(self):
+        t = make_trace([1.0])
+        with pytest.raises(ValueError):
+            repeat_trace(t, times=0)
+        with pytest.raises(ValueError):
+            repeat_trace(t, times=2, gap=-1.0)
+
+
+class TestJitter:
+    def test_zero_sigma_identity(self):
+        t = make_trace([1.0, 1.0], releases=[0.0, 5.0])
+        j = jitter_releases(t, np.random.default_rng(0), sigma=0.0)
+        assert [x.release for x in j.jobs] == [0.0, 5.0]
+
+    def test_releases_stay_nonnegative_and_sorted(self):
+        t = generate_trace(500, "finance", 0.5, 2, seed=3)
+        j = jitter_releases(t, np.random.default_rng(1), sigma=2.0)
+        releases = [x.release for x in j.jobs]
+        assert min(releases) >= 0.0
+        assert releases == sorted(releases)
+
+    def test_invalid_sigma(self):
+        t = make_trace([1.0])
+        with pytest.raises(ValueError):
+            jitter_releases(t, np.random.default_rng(0), sigma=-1.0)

@@ -1,0 +1,93 @@
+"""Work-stealing execution-time bounds (Blumofe–Leiserson / ABP style).
+
+For a *single* job on m workers, work stealing completes in
+O(W/m + C) expected time.  The runtime simulator should honor this with
+a small constant: these tests sweep random DAG shapes and machine sizes
+and check ``makespan <= W/m + c*C`` for a generous c, plus the linear-
+speedup regime (W/C >> m implies near-perfect speedup).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import fork_join, layered_random, spawn_tree
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import simulate_ws
+from repro.wsim.schedulers import DrepWS
+
+
+def single_job_trace(dag, m):
+    spec = JobSpec(
+        job_id=0,
+        release=0.0,
+        work=float(dag.work),
+        span=float(dag.span),
+        mode=ParallelismMode.DAG,
+        dag=dag,
+    )
+    return Trace(jobs=[spec], m=m)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kind=st.integers(0, 2),
+    depth=st.integers(1, 5),
+    leaf=st.integers(2, 30),
+    m=st.integers(1, 8),
+    seed=st.integers(0, 200),
+)
+def test_abp_makespan_bound(kind, depth, leaf, m, seed):
+    rng = np.random.default_rng(seed)
+    if kind == 0:
+        dag = spawn_tree(depth, leaf)
+    elif kind == 1:
+        dag = fork_join(depth, leaf, 5)
+    else:
+        dag = layered_random(depth, leaf, 6, rng)
+    trace = single_job_trace(dag, m)
+    r = simulate_ws(trace, m, DrepWS(), seed=seed)
+    # one admission step of slack; c = 8 is generous vs the theory's O(1)
+    assert r.makespan <= dag.work / m + 8 * dag.span + 2
+
+
+class TestLinearSpeedupRegime:
+    def test_ample_parallelism_gives_near_linear_speedup(self):
+        """W/C >> m: makespan ~ W/m within a small factor."""
+        dag = spawn_tree(depth=7, leaf_weight=50)  # 128 leaves
+        assert dag.work / dag.span > 32
+        for m in (2, 4, 8):
+            trace = single_job_trace(dag, m)
+            r = simulate_ws(trace, m, DrepWS(), seed=3)
+            assert r.makespan <= 1.5 * dag.work / m + 4 * dag.span
+
+    def test_speedup_monotone_in_m(self):
+        dag = spawn_tree(depth=6, leaf_weight=40)
+        spans = []
+        for m in (1, 2, 4, 8):
+            trace = single_job_trace(dag, m)
+            spans.append(simulate_ws(trace, m, DrepWS(), seed=4).makespan)
+        assert spans == sorted(spans, reverse=True)
+        # 8 workers at least 4x faster than 1 on this very parallel job
+        assert spans[0] / spans[-1] >= 4.0
+
+    def test_steal_overhead_fraction_small_with_parallel_slack(self):
+        dag = spawn_tree(depth=7, leaf_weight=60)
+        trace = single_job_trace(dag, 4)
+        r = simulate_ws(trace, 4, DrepWS(), seed=5)
+        # steal attempts stay a small fraction of work steps (O(mC) vs W)
+        assert r.steal_attempts <= 0.3 * r.extra["work_steps"]
+
+
+class TestSequentialRegime:
+    def test_chain_no_speedup(self):
+        from repro.dag.generators import chain
+
+        dag = chain(200, 1)
+        t1 = simulate_ws(single_job_trace(dag, 1), 1, DrepWS(), seed=0).makespan
+        t8 = simulate_ws(single_job_trace(dag, 8), 8, DrepWS(), seed=0).makespan
+        assert t8 >= 0.95 * t1  # span-bound: extra workers cannot help

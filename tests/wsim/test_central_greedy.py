@@ -1,0 +1,85 @@
+"""Tests for the centralized greedy baseline (repro.wsim CentralGreedyWS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, spawn_tree, wide
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsConfig, simulate_ws
+from repro.wsim.schedulers import CentralGreedyWS, DrepWS
+
+
+def dag_trace(dags, releases=None, m=2):
+    releases = releases or [0.0] * len(dags)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(d.work),
+            span=float(d.span),
+            mode=ParallelismMode.DAG,
+            dag=d,
+        )
+        for i, (d, r) in enumerate(zip(dags, releases))
+    ]
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual")
+
+
+class TestCentralGreedy:
+    def test_single_chain(self):
+        trace = dag_trace([chain(25, 1)])
+        r = simulate_ws(trace, 2, CentralGreedyWS(), seed=0)
+        # work conserving with zero dispatch cost: exactly work steps
+        assert r.flow_times[0] == 25.0
+
+    def test_no_steal_cost(self):
+        trace = dag_trace([spawn_tree(4, 10)])
+        r = simulate_ws(trace, 4, CentralGreedyWS(), seed=0)
+        assert r.steal_attempts == 0
+        assert r.muggings == 0
+        assert r.preemptions == 0
+
+    def test_greedy_makespan_bound(self):
+        """Graham's bound for greedy: makespan <= W/m + C (single job)."""
+        d = spawn_tree(5, 13)
+        trace = dag_trace([d], m=4)
+        r = simulate_ws(trace, 4, CentralGreedyWS(), seed=0)
+        assert r.flow_times[0] <= d.work / 4 + d.span + 1
+
+    def test_work_conservation(self, small_dag_trace):
+        total = sum(int(j.dag.work) for j in small_dag_trace.jobs)
+        r = simulate_ws(small_dag_trace, 4, CentralGreedyWS(), seed=1)
+        assert r.extra["work_steps"] == total
+
+    def test_all_jobs_finish_with_invariants(self, small_dag_trace):
+        r = simulate_ws(
+            small_dag_trace,
+            4,
+            CentralGreedyWS(),
+            seed=1,
+            config=WsConfig(debug_invariants=True),
+        )
+        assert np.isfinite(r.flow_times).all()
+
+    def test_lower_overhead_than_work_stealing(self, small_dag_trace):
+        """The point of the baseline: it bounds decentralization cost from
+        below (no steal steps), so its utilization-normalized makespan is
+        no worse than DREP's."""
+        greedy = simulate_ws(small_dag_trace, 4, CentralGreedyWS(), seed=2)
+        drep = simulate_ws(small_dag_trace, 4, DrepWS(), seed=2)
+        assert greedy.makespan <= drep.makespan * 1.05
+
+    def test_parallel_speedup(self):
+        d = wide(16, 40)
+        t1 = simulate_ws(dag_trace([d], m=1), 1, CentralGreedyWS(), seed=0)
+        t8 = simulate_ws(dag_trace([d], m=8), 8, CentralGreedyWS(), seed=0)
+        assert t8.flow_times[0] < t1.flow_times[0] / 4
+
+    def test_registry_name(self):
+        from repro.wsim.schedulers import ws_scheduler_by_name
+
+        s = ws_scheduler_by_name("central-greedy")
+        assert isinstance(s, CentralGreedyWS)

@@ -1,0 +1,70 @@
+"""Cross-counter accounting identities for the runtime simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wsim.runtime import WsConfig, WsRuntime
+from repro.wsim.schedulers import DrepWS, RrQuantumWS, StealFirstWS, ws_scheduler_by_name
+
+ALL = ["drep", "swf", "steal-first", "admit-first", "central-greedy", "rr", "laps"]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestAccountingIdentities:
+    def test_steal_attempts_split(self, name, small_dag_trace):
+        rt = WsRuntime(small_dag_trace, 4, ws_scheduler_by_name(name), seed=5)
+        rt.run()
+        c = rt.counters
+        successes = c.steal_attempts - c.failed_steals
+        assert successes >= 0
+        assert c.muggings <= successes
+        # node migrations are exactly the successful steals (incl. mugs)
+        assert c.node_migrations == successes
+
+    def test_preemptions_bounded_by_switches(self, name, small_dag_trace):
+        rt = WsRuntime(small_dag_trace, 4, ws_scheduler_by_name(name), seed=5)
+        rt.run()
+        assert rt.counters.preemptions <= rt.counters.switches
+
+    def test_worker_step_budget(self, name, small_dag_trace):
+        """Every counted action consumed at most one worker-step, and the
+        total cannot exceed the steps the machine had."""
+        rt = WsRuntime(small_dag_trace, 4, ws_scheduler_by_name(name), seed=5)
+        rt.run()
+        c = rt.counters
+        actions = c.work_steps + c.steal_attempts + c.idle_steps + c.overhead_steps
+        assert actions <= rt.step * rt.m + rt.m
+
+
+class TestOverheadAccounting:
+    def test_overhead_steps_bounded_by_preemptions(self, small_dag_trace):
+        cfg = WsConfig(preemption_overhead=6)
+        rt = WsRuntime(small_dag_trace, 4, RrQuantumWS(quantum=40), seed=7, config=cfg)
+        rt.run()
+        c = rt.counters
+        # a preemption applied before the worker's act in the same step
+        # blocks that act too: up to overhead + 1 lost acts per preemption
+        assert c.overhead_steps <= 7 * c.preemptions + 7
+        assert c.overhead_steps >= c.preemptions  # each costs at least one
+
+    def test_budget_counter_matches_result(self, small_dag_trace):
+        rt = WsRuntime(small_dag_trace, 4, DrepWS(), seed=8)
+        result = rt.run()
+        assert result.preemptions == rt.counters.preemptions
+        assert result.steal_attempts == rt.counters.steal_attempts
+        assert result.muggings == rt.counters.muggings
+        assert result.extra["switches"] == rt.counters.switches
+
+
+class TestStealFirstBudgetCounter:
+    def test_failed_steals_reset_on_success_or_admit(self, small_dag_trace):
+        rt = WsRuntime(
+            small_dag_trace, 4, StealFirstWS(steal_budget_factor=2.0), seed=9
+        )
+        rt.run()
+        # after the run every worker's failed counter is a small number
+        # bounded by the budget plus the final drain
+        for w in rt.workers:
+            assert w.failed_steals >= 0

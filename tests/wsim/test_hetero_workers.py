@@ -1,0 +1,105 @@
+"""Tests for heterogeneous worker speeds in the work-stealing runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, wide
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsConfig, simulate_ws
+from repro.wsim.schedulers import AdmitFirstWS, DrepWS
+
+
+def dag_trace(dags, releases=None, m=2):
+    releases = releases or [0.0] * len(dags)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(d.work),
+            span=float(d.span),
+            mode=ParallelismMode.DAG,
+            dag=d,
+        )
+        for i, (d, r) in enumerate(zip(dags, releases))
+    ]
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual")
+
+
+class TestSpeedValidation:
+    def test_shape_checked(self):
+        trace = dag_trace([chain(10, 1)])
+        with pytest.raises(ValueError, match="shape"):
+            simulate_ws(trace, 2, DrepWS(), speeds=np.ones(3))
+
+    def test_positive_checked(self):
+        trace = dag_trace([chain(10, 1)])
+        with pytest.raises(ValueError, match="positive"):
+            simulate_ws(trace, 2, DrepWS(), speeds=np.array([1.0, 0.0]))
+
+    def test_none_is_unit_speed(self):
+        trace = dag_trace([chain(40, 1)])
+        a = simulate_ws(trace, 2, DrepWS(), seed=1)
+        b = simulate_ws(trace, 2, DrepWS(), seed=1, speeds=np.ones(2))
+        np.testing.assert_array_equal(a.flow_times, b.flow_times)
+
+
+class TestSpeedSemantics:
+    def test_fast_worker_finishes_chain_proportionally_faster(self):
+        dag = chain(120, 4)
+        slow = simulate_ws(dag_trace([dag], m=1), 1, AdmitFirstWS(), seed=0)
+        fast = simulate_ws(
+            dag_trace([dag], m=1), 1, AdmitFirstWS(), seed=0, speeds=np.array([4.0])
+        )
+        # one admission step of slack; otherwise exactly 4x
+        assert fast.flow_times[0] <= slow.flow_times[0] / 4 + 4
+
+    def test_work_accounting_unchanged(self):
+        dag = wide(6, 30)
+        trace = dag_trace([dag], m=3)
+        r = simulate_ws(
+            trace, 3, DrepWS(), seed=2, speeds=np.array([2.0, 1.0, 0.5])
+        )
+        # executed units equal the DAG's work (no phantom work from
+        # overshoot: the excess is wasted, not counted)
+        assert r.extra["work_steps"] == pytest.approx(dag.work)
+
+    def test_invariants_hold(self, small_dag_trace):
+        speeds = np.array([4.0, 2.0, 1.0, 1.0])
+        r = simulate_ws(
+            small_dag_trace,
+            4,
+            DrepWS(),
+            seed=3,
+            speeds=speeds,
+            config=WsConfig(debug_invariants=True),
+        )
+        assert np.isfinite(r.flow_times).all()
+
+    def test_more_capacity_never_hurts_much(self, small_dag_trace):
+        base = simulate_ws(small_dag_trace, 4, DrepWS(), seed=4)
+        boosted = simulate_ws(
+            small_dag_trace, 4, DrepWS(), seed=4, speeds=np.full(4, 4.0)
+        )
+        assert boosted.mean_flow < base.mean_flow
+
+    def test_slowdowns_use_machine_bounds(self, small_dag_trace):
+        speeds = np.array([4.0, 1.0, 1.0, 1.0])
+        r = simulate_ws(small_dag_trace, 4, DrepWS(), seed=5, speeds=speeds)
+        assert (r.slowdowns >= 1.0 - 1e-9).all()
+
+
+class TestMixedSpeedFairness:
+    def test_drep_speed_oblivious_vs_uniform(self):
+        """DREP ignores speeds; on a strongly heterogeneous machine its
+        flow exceeds the same-total-speed uniform machine's (the wsim
+        face of the X11 finding)."""
+        dags = [wide(8, 40) for _ in range(10)]
+        trace = dag_trace(dags, releases=[i * 30.0 for i in range(10)], m=4)
+        uniform = simulate_ws(trace, 4, DrepWS(), seed=6, speeds=np.full(4, 2.0))
+        skewed = simulate_ws(
+            trace, 4, DrepWS(), seed=6, speeds=np.array([5.0, 1.0, 1.0, 1.0])
+        )
+        assert skewed.mean_flow >= uniform.mean_flow * 0.9

@@ -1,0 +1,92 @@
+"""Tests for LapsQuantumWS — the implementable LAPS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, wide
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsConfig, simulate_ws
+from repro.wsim.schedulers import DrepWS, LapsQuantumWS
+
+
+def dag_trace(dags, releases=None, m=2):
+    releases = releases or [0.0] * len(dags)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(d.work),
+            span=float(d.span),
+            mode=ParallelismMode.DAG,
+            dag=d,
+        )
+        for i, (d, r) in enumerate(zip(dags, releases))
+    ]
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual")
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LapsQuantumWS(beta=0.0)
+        with pytest.raises(ValueError):
+            LapsQuantumWS(beta=1.5)
+        with pytest.raises(ValueError):
+            LapsQuantumWS(quantum=0)
+
+    def test_name(self):
+        assert LapsQuantumWS(beta=0.25, quantum=10).name == "LAPS(b=0.25,q=10)"
+
+
+class TestBehaviour:
+    def test_completes_all_jobs(self, small_dag_trace):
+        r = simulate_ws(small_dag_trace, 4, LapsQuantumWS(), seed=1)
+        assert np.isfinite(r.flow_times).all()
+
+    def test_invariants(self, small_dag_trace):
+        simulate_ws(
+            small_dag_trace,
+            4,
+            LapsQuantumWS(quantum=20),
+            seed=1,
+            config=WsConfig(debug_invariants=True),
+        )
+
+    def test_conservation(self, small_dag_trace):
+        total = sum(int(j.dag.work) for j in small_dag_trace.jobs)
+        r = simulate_ws(small_dag_trace, 4, LapsQuantumWS(), seed=2)
+        assert r.extra["work_steps"] == total
+
+    def test_latest_arrival_favored(self):
+        """beta=0.5 of 2 concurrent jobs: the later arrival gets the
+        machine until it finishes (the LAPS signature)."""
+        big = wide(4, 120)
+        late = chain(30, 1)
+        trace = dag_trace([big, late], releases=[0.0, 20.0], m=2)
+        laps = simulate_ws(trace, 2, LapsQuantumWS(beta=0.5, quantum=10), seed=0)
+        # the late job's flow is near its span: it preempted the big one
+        assert laps.flow_times[1] <= 3 * late.span
+
+    def test_preempts_more_than_drep(self, small_dag_trace):
+        laps = simulate_ws(small_dag_trace, 4, LapsQuantumWS(quantum=20), seed=3)
+        drep = simulate_ws(small_dag_trace, 4, DrepWS(), seed=3)
+        assert laps.preemptions >= drep.preemptions
+
+    def test_determinism(self, small_dag_trace):
+        a = simulate_ws(small_dag_trace, 4, LapsQuantumWS(), seed=5)
+        b = simulate_ws(small_dag_trace, 4, LapsQuantumWS(), seed=5)
+        np.testing.assert_array_equal(a.flow_times, b.flow_times)
+
+    def test_beta_one_serves_everyone(self, small_dag_trace):
+        """beta=1 degenerates to quantum-RR-like equi over all jobs."""
+        r = simulate_ws(small_dag_trace, 4, LapsQuantumWS(beta=1.0, quantum=25), seed=6)
+        assert np.isfinite(r.flow_times).all()
+
+    def test_overhead_interaction(self, small_dag_trace):
+        cfg = WsConfig(preemption_overhead=8)
+        r = simulate_ws(small_dag_trace, 4, LapsQuantumWS(quantum=30), seed=7, config=cfg)
+        assert np.isfinite(r.flow_times).all()
+        assert r.extra["overhead_steps"] > 0

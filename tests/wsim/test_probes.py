@@ -1,0 +1,83 @@
+"""Tests for per-job runtime probes (JobStatsCollector)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, wide
+from repro.workloads.traces import Trace
+from repro.wsim.probes import JobStatsCollector
+from repro.wsim.runtime import WsRuntime
+from repro.wsim.schedulers import AdmitFirstWS, DrepWS, StealFirstWS
+
+
+def dag_trace(dags, releases=None, m=2):
+    releases = releases or [0.0] * len(dags)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(d.work),
+            span=float(d.span),
+            mode=ParallelismMode.DAG,
+            dag=d,
+        )
+        for i, (d, r) in enumerate(zip(dags, releases))
+    ]
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual")
+
+
+class TestCollector:
+    @staticmethod
+    def run_with(trace, m, scheduler, seed):
+        collector = JobStatsCollector()
+        rt = WsRuntime(trace, m, scheduler, seed=seed)
+        rt.run(observer=collector)
+        collector.finalize(rt)
+        return collector
+
+    def test_all_jobs_observed(self, small_dag_trace):
+        collector = self.run_with(small_dag_trace, 4, DrepWS(), 1)
+        assert set(collector.stats) == {j.job_id for j in small_dag_trace.jobs}
+
+    def test_lifecycle_ordering(self, small_dag_trace):
+        collector = self.run_with(small_dag_trace, 4, DrepWS(), 1)
+        for s in collector.stats.values():
+            assert s.first_service_step is not None
+            assert s.admission_wait is not None and s.admission_wait >= 0
+            assert s.service_span is not None and s.service_span >= 1
+
+    def test_immediate_admission_when_idle(self):
+        trace = dag_trace([chain(20, 1)])
+        collector = self.run_with(trace, 2, DrepWS(), 0)
+        assert collector.stats[0].admission_wait == 0
+
+    def test_steal_first_delays_admission(self):
+        """With an idle worker available, admit-first starts the newcomer
+        immediately while steal-first burns its failed-steal budget first."""
+        big = chain(200, 1)  # sequential: the second worker sits idle
+        small = chain(10, 1)
+        trace = dag_trace([big, small], releases=[0.0, 5.0], m=2)
+        sf = self.run_with(trace, 2, StealFirstWS(steal_budget_factor=16.0), 1)
+        af = self.run_with(trace, 2, AdmitFirstWS(), 1)
+        assert af.stats[1].admission_wait <= 2
+        assert sf.stats[1].admission_wait >= af.stats[1].admission_wait + 5
+
+    def test_mean_workers_bounded_by_m(self, small_dag_trace):
+        collector = self.run_with(small_dag_trace, 4, DrepWS(), 2)
+        for s in collector.stats.values():
+            assert 0.0 <= s.mean_workers <= 4.0
+
+    def test_summary_rows(self, small_dag_trace):
+        collector = self.run_with(small_dag_trace, 4, DrepWS(), 3)
+        rows = collector.summary_rows()
+        assert len(rows) == len(small_dag_trace)
+        assert {"job_id", "admission_wait", "service_span", "mean_workers"} <= set(rows[0])
+        assert collector.mean_admission_wait() >= 0.0
+
+    def test_empty_collector(self):
+        c = JobStatsCollector()
+        assert c.summary_rows() == []
+        assert c.mean_admission_wait() == 0.0

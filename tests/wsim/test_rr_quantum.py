@@ -1,0 +1,124 @@
+"""Tests for RrQuantumWS and the preemption-overhead model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, wide
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsConfig, simulate_ws
+from repro.wsim.schedulers import DrepWS, RrQuantumWS
+
+
+def dag_trace(dags, releases=None, m=2):
+    releases = releases or [0.0] * len(dags)
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(r),
+            work=float(d.work),
+            span=float(d.span),
+            mode=ParallelismMode.DAG,
+            dag=d,
+        )
+        for i, (d, r) in enumerate(zip(dags, releases))
+    ]
+    return Trace(jobs=jobs, m=m, load=0.0, distribution="manual")
+
+
+class TestRrQuantum:
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            RrQuantumWS(quantum=0)
+
+    def test_name_includes_quantum(self):
+        assert RrQuantumWS(quantum=25).name == "RR(q=25)"
+
+    def test_single_job_completes(self):
+        trace = dag_trace([chain(30, 1)])
+        r = simulate_ws(trace, 2, RrQuantumWS(quantum=10), seed=0)
+        assert np.isfinite(r.flow_times).all()
+
+    def test_preempts_every_quantum_with_many_jobs(self):
+        """Two long jobs on one worker: the worker must bounce between
+        them every quantum, so preemptions ~ makespan / quantum."""
+        trace = dag_trace([chain(200, 1), chain(200, 1)], m=1)
+        r = simulate_ws(trace, 1, RrQuantumWS(quantum=20), seed=0)
+        assert r.preemptions >= (r.makespan / 20) - 4
+
+    def test_fairness_between_identical_jobs(self):
+        """Equi-partition: identical jobs finish near-simultaneously."""
+        trace = dag_trace([chain(300, 1), chain(300, 1)], m=1)
+        r = simulate_ws(trace, 1, RrQuantumWS(quantum=10), seed=0)
+        assert abs(r.flow_times[0] - r.flow_times[1]) <= 40
+
+    def test_work_conservation(self, small_dag_trace):
+        total = sum(int(j.dag.work) for j in small_dag_trace.jobs)
+        r = simulate_ws(small_dag_trace, 4, RrQuantumWS(quantum=30), seed=1)
+        assert r.extra["work_steps"] == total
+
+    def test_invariants(self, small_dag_trace):
+        simulate_ws(
+            small_dag_trace,
+            4,
+            RrQuantumWS(quantum=30),
+            seed=1,
+            config=WsConfig(debug_invariants=True),
+        )
+
+    def test_more_preemptions_than_drep(self, small_dag_trace):
+        rr = simulate_ws(small_dag_trace, 4, RrQuantumWS(quantum=20), seed=2)
+        drep = simulate_ws(small_dag_trace, 4, DrepWS(), seed=2)
+        assert rr.preemptions > drep.preemptions
+
+
+class TestPreemptionOverhead:
+    def test_invalid_overhead(self):
+        with pytest.raises(ValueError):
+            WsConfig(preemption_overhead=-1)
+
+    def test_zero_overhead_no_overhead_steps(self, small_dag_trace):
+        r = simulate_ws(small_dag_trace, 4, DrepWS(), seed=3)
+        assert r.extra["overhead_steps"] == 0
+
+    def test_overhead_steps_counted(self, small_dag_trace):
+        cfg = WsConfig(preemption_overhead=5)
+        r = simulate_ws(small_dag_trace, 4, DrepWS(), seed=3, config=cfg)
+        if r.preemptions:
+            assert r.extra["overhead_steps"] > 0
+            assert r.extra["overhead_steps"] <= 5 * r.preemptions + 5
+
+    def test_overhead_slows_completion(self):
+        """With heavy per-preemption cost, quantum-RR's makespan grows."""
+        trace = dag_trace([chain(150, 1), chain(150, 1)], m=1)
+        fast = simulate_ws(trace, 1, RrQuantumWS(quantum=10), seed=0)
+        slow = simulate_ws(
+            trace,
+            1,
+            RrQuantumWS(quantum=10),
+            seed=0,
+            config=WsConfig(preemption_overhead=10),
+        )
+        assert slow.makespan > fast.makespan
+
+    def test_work_still_conserved_under_overhead(self, small_dag_trace):
+        total = sum(int(j.dag.work) for j in small_dag_trace.jobs)
+        cfg = WsConfig(preemption_overhead=7)
+        r = simulate_ws(small_dag_trace, 4, RrQuantumWS(quantum=25), seed=4, config=cfg)
+        assert r.extra["work_steps"] == total
+
+
+class TestNodeMigrations:
+    def test_migrations_counted_as_steals_plus_muggings(self, small_dag_trace):
+        r = simulate_ws(small_dag_trace, 4, DrepWS(), seed=5)
+        # every successful steal or mugging is one node migration
+        successes = r.steal_attempts - r.extra["failed_steals"]
+        assert r.migrations == successes
+
+    def test_single_worker_no_migrations(self):
+        trace = dag_trace([wide(4, 30)], m=1)
+        r = simulate_ws(trace, 1, DrepWS(), seed=0)
+        # one worker: nothing can migrate except the initial arrival mug
+        assert r.migrations <= 1

@@ -1,0 +1,113 @@
+"""Property-based tests for the work-stealing runtime across schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, fork_join, layered_random, spawn_tree
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsConfig, simulate_ws
+from repro.wsim.schedulers import (
+    AdmitFirstWS,
+    CentralGreedyWS,
+    DrepWS,
+    StealFirstWS,
+    SwfApproxWS,
+)
+
+SCHEDULERS = [DrepWS, SwfApproxWS, StealFirstWS, AdmitFirstWS, CentralGreedyWS]
+
+
+@st.composite
+def random_dag_trace(draw):
+    n = draw(st.integers(1, 6))
+    m = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    jobs = []
+    t = 0
+    for i in range(n):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            dag = chain(int(rng.integers(1, 40)), int(rng.integers(1, 5)))
+        elif kind == 1:
+            dag = spawn_tree(int(rng.integers(0, 4)), int(rng.integers(1, 10)))
+        elif kind == 2:
+            dag = fork_join(
+                int(rng.integers(1, 3)),
+                int(rng.integers(1, 6)),
+                int(rng.integers(1, 10)),
+            )
+        else:
+            dag = layered_random(
+                int(rng.integers(1, 4)), int(rng.integers(1, 5)), 4, rng
+            )
+        jobs.append(
+            JobSpec(
+                job_id=i,
+                release=float(t),
+                work=float(dag.work),
+                span=float(dag.span),
+                mode=ParallelismMode.DAG,
+                dag=dag,
+            )
+        )
+        t += int(rng.integers(0, 30))
+    return Trace(jobs=jobs, m=m), m
+
+
+@settings(max_examples=30, deadline=None)
+@given(inst=random_dag_trace(), sched_idx=st.integers(0, len(SCHEDULERS) - 1))
+def test_runtime_invariants_random(inst, sched_idx):
+    trace, m = inst
+    scheduler = SCHEDULERS[sched_idx]()
+    result = simulate_ws(
+        trace, m, scheduler, seed=9, config=WsConfig(debug_invariants=True)
+    )
+
+    # completion and accounting
+    assert np.isfinite(result.flow_times).all()
+    total_work = sum(int(j.dag.work) for j in trace.jobs)
+    assert result.extra["work_steps"] == total_work
+
+    # flow >= span (critical path is a hard floor in unit steps) and
+    # >= 1 (admission happens no earlier than the release step)
+    for spec, f in zip(trace.jobs, result.flow_times):
+        assert f >= 1.0
+        assert f >= spec.dag.span * (1 - 1e-12)
+
+    # the step counter accounts for every worker action
+    actions = (
+        result.extra["work_steps"]
+        + result.steal_attempts
+        + result.extra["idle_steps"]
+    )
+    # switches and admissions may or may not consume a step depending on
+    # the path, so the inequality is one-sided: a makespan of S steps with
+    # m workers provides at most S*m actions (minus idle jumps)
+    assert actions <= result.makespan * m + m
+
+
+@settings(max_examples=15, deadline=None)
+@given(inst=random_dag_trace(), seed=st.integers(0, 20))
+def test_drep_runtime_budgets_random(inst, seed):
+    trace, m = inst
+    result = simulate_ws(trace, m, DrepWS(), seed=seed)
+    n = len(trace)
+    assert result.extra["switches"] <= 2 * m * n
+    assert result.preemptions <= m * n
+
+
+@settings(max_examples=10, deadline=None)
+@given(inst=random_dag_trace())
+def test_schedulers_agree_on_total_work(inst):
+    trace, m = inst
+    works = set()
+    for cls in SCHEDULERS:
+        r = simulate_ws(trace, m, cls(), seed=4)
+        works.add(r.extra["work_steps"])
+    assert len(works) == 1  # same instance, same executed units

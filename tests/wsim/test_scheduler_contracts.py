@@ -1,0 +1,55 @@
+"""Generic contract tests for every registered runtime scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.wsim.runtime import WsConfig, simulate_ws
+from repro.wsim.schedulers import ws_scheduler_by_name
+
+ALL_SCHEDULERS = ["drep", "swf", "steal-first", "admit-first", "central-greedy", "rr", "laps"]
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULERS)
+class TestSchedulerContracts:
+    def test_completes_and_conserves(self, name, small_dag_trace):
+        r = simulate_ws(small_dag_trace, 4, ws_scheduler_by_name(name), seed=2)
+        assert np.isfinite(r.flow_times).all()
+        total = sum(int(j.dag.work) for j in small_dag_trace.jobs)
+        assert r.extra["work_steps"] == total
+
+    def test_deterministic(self, name, small_dag_trace):
+        a = simulate_ws(small_dag_trace, 4, ws_scheduler_by_name(name), seed=6)
+        b = simulate_ws(small_dag_trace, 4, ws_scheduler_by_name(name), seed=6)
+        np.testing.assert_array_equal(a.flow_times, b.flow_times)
+        assert a.steal_attempts == b.steal_attempts
+        assert a.preemptions == b.preemptions
+
+    def test_invariants(self, name, small_dag_trace):
+        simulate_ws(
+            small_dag_trace,
+            4,
+            ws_scheduler_by_name(name),
+            seed=2,
+            config=WsConfig(debug_invariants=True),
+        )
+
+    def test_flow_floor(self, name, small_dag_trace):
+        r = simulate_ws(small_dag_trace, 4, ws_scheduler_by_name(name), seed=2)
+        for spec, f in zip(small_dag_trace.jobs, r.flow_times):
+            assert f >= 1.0
+            assert f >= spec.dag.span * (1 - 1e-12)
+
+    def test_single_worker(self, name, small_dag_trace):
+        r = simulate_ws(small_dag_trace, 1, ws_scheduler_by_name(name), seed=3)
+        assert np.isfinite(r.flow_times).all()
+
+    def test_heterogeneous_speeds(self, name, small_dag_trace):
+        speeds = np.array([2.0, 1.0, 1.0, 0.5])
+        r = simulate_ws(
+            small_dag_trace, 4, ws_scheduler_by_name(name), seed=4, speeds=speeds
+        )
+        assert np.isfinite(r.flow_times).all()
+        total = sum(int(j.dag.work) for j in small_dag_trace.jobs)
+        assert r.extra["work_steps"] == pytest.approx(total)

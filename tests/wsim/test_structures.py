@@ -1,0 +1,121 @@
+"""Tests for repro.wsim.structures — deques, job runs, workers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, spawn_tree
+from repro.wsim.structures import JobRun, Worker, WsDeque
+
+
+def make_job(dag, job_id=0, release_step=0):
+    spec = JobSpec(
+        job_id=job_id,
+        release=float(release_step),
+        work=float(dag.work),
+        span=float(dag.span),
+        mode=ParallelismMode.DAG,
+        dag=dag,
+    )
+    return JobRun(spec, release_step)
+
+
+class TestWsDeque:
+    def test_lifo_for_owner(self):
+        job = make_job(chain(3, 1))
+        dq = WsDeque(job=job, owner=0)
+        dq.push_bottom((job, 0))
+        dq.push_bottom((job, 1))
+        assert dq.pop_bottom() == (job, 1)
+        assert dq.pop_bottom() == (job, 0)
+
+    def test_steal_takes_top(self):
+        job = make_job(chain(3, 1))
+        dq = WsDeque(job=job, owner=0)
+        dq.push_bottom((job, 0))
+        dq.push_bottom((job, 1))
+        assert dq.steal_top() == (job, 0)
+
+    def test_muggable_flag(self):
+        dq = WsDeque(job=None, owner=None)
+        assert dq.muggable
+        dq.owner = 3
+        assert not dq.muggable
+
+    def test_len(self):
+        job = make_job(chain(2, 1))
+        dq = WsDeque(job=job, owner=0)
+        assert len(dq) == 0
+        dq.push_bottom((job, 0))
+        assert len(dq) == 1
+
+
+class TestJobRun:
+    def test_requires_dag(self):
+        spec = JobSpec(job_id=0, release=0.0, work=1.0, span=1.0)
+        with pytest.raises(ValueError, match="no DAG"):
+            JobRun(spec, 0)
+
+    def test_initial_state(self):
+        dag = spawn_tree(2, 5)
+        job = make_job(dag)
+        assert job.remaining_nodes == dag.n_nodes
+        assert not job.done
+        assert (job.node_remaining == dag.weights).all()
+
+    def test_ready_children_fires_once_per_parent(self):
+        # diamond: node 3 becomes ready only after both 1 and 2 complete
+        import numpy as np
+
+        from repro.dag.graph import NO_CHILD, DagJob
+
+        dag = DagJob(
+            weights=np.array([1, 1, 1, 1]),
+            child1=np.array([1, 3, 3, NO_CHILD]),
+            child2=np.array([2, NO_CHILD, NO_CHILD, NO_CHILD]),
+        )
+        job = make_job(dag)
+        assert job.ready_children(0) == [1, 2]
+        assert job.ready_children(1) == []
+        assert job.ready_children(2) == [3]
+
+    def test_drop_deque_rejects_nonempty(self):
+        job = make_job(chain(2, 1))
+        dq = WsDeque(job=job, owner=0)
+        job.deques.append(dq)
+        dq.push_bottom((job, 0))
+        with pytest.raises(ValueError):
+            job.drop_deque(dq)
+
+    def test_drop_deque_idempotent(self):
+        job = make_job(chain(2, 1))
+        dq = WsDeque(job=job, owner=0)
+        job.deques.append(dq)
+        job.drop_deque(dq)
+        job.drop_deque(dq)  # no error
+        assert job.deques == []
+
+    def test_muggable_count(self):
+        job = make_job(chain(2, 1))
+        a = WsDeque(job=job, owner=None)
+        b = WsDeque(job=job, owner=1)
+        job.deques += [a, b]
+        assert job.muggable_count() == 1
+
+
+class TestWorker:
+    def test_out_of_work(self):
+        w = Worker(wid=0)
+        assert w.out_of_work
+        job = make_job(chain(2, 1))
+        w.dq = WsDeque(job=job, owner=0)
+        assert w.out_of_work
+        w.dq.push_bottom((job, 0))
+        assert not w.out_of_work
+
+    def test_current_blocks_out_of_work(self):
+        w = Worker(wid=0)
+        job = make_job(chain(2, 1))
+        w.current = (job, 0)
+        assert not w.out_of_work
