@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke figures report examples clean
+.PHONY: install test bench bench-smoke serve-smoke figures report examples clean
 
 install:
 	pip install -e '.[test]'
@@ -18,6 +18,16 @@ bench:
 
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# boot a live server, push 100 jobs through it, verify the drained flow
+# times against offline flowsim.simulate, then tear the server down
+serve-smoke:
+	@PYTHONPATH=src $(PYTHON) -m repro.cli serve --m 4 --port 8399 & \
+	SERVER_PID=$$!; \
+	trap 'kill $$SERVER_PID 2>/dev/null' EXIT; \
+	sleep 2; \
+	PYTHONPATH=src $(PYTHON) -m repro.cli loadgen \
+		--port 8399 --n-jobs 100 --load 0.7 --verify
 
 figures:
 	$(PYTHON) -m repro.cli figures

@@ -8,6 +8,8 @@ Installed as ``drep-sim``.  Examples::
     drep-sim preemptions --n-jobs 10000 --m 16
     drep-sim stats --distribution bing
     drep-sim report --out report.md --flow-jobs 5000
+    drep-sim serve --m 8 --policy drep --port 8071
+    drep-sim loadgen --port 8071 --n-jobs 1000 --load 0.7 --verify
 
 Each subcommand prints the corresponding figure's series as a table
 (mean flow time per scheduler over the swept parameter).  Sizes default
@@ -137,6 +139,65 @@ def main(argv: list[str] | None = None) -> int:
     )
     p8.add_argument("--results-dir", default="results")
 
+    p9 = sub.add_parser(
+        "serve", help="run a policy as a live online scheduling server"
+    )
+    p9.add_argument("--m", type=int, default=8)
+    p9.add_argument("--policy", default="drep", help="policy key, e.g. drep|srpt|rr")
+    p9.add_argument("--seed", type=int, default=0)
+    p9.add_argument("--host", default="127.0.0.1")
+    p9.add_argument("--port", type=int, default=8071)
+    p9.add_argument(
+        "--clock",
+        choices=["trace", "wall"],
+        default="trace",
+        help="trace = virtual time driven by release stamps; wall = real time",
+    )
+    p9.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="sim-time units per wall second (wall clock only)",
+    )
+    p9.add_argument("--window", type=float, default=1000.0, help="metrics window (sim time)")
+    p9.add_argument("--speed", type=float, default=1.0, help="resource augmentation")
+    p9.add_argument("--max-active", type=int, default=None, help="admission: queue cap")
+    p9.add_argument(
+        "--max-backlog", type=float, default=None, help="admission: backlog cap (drain time)"
+    )
+    p9.add_argument(
+        "--max-load", type=float, default=None, help="admission: estimated-load ceiling"
+    )
+    p9.add_argument("--snapshot-path", default=None, help="default snapshot target")
+    p9.add_argument(
+        "--restore", default=None, help="boot from a snapshot file instead of empty"
+    )
+
+    p10 = sub.add_parser(
+        "loadgen", help="replay a generated trace against a running server"
+    )
+    common(p10)
+    p10.add_argument("--host", default="127.0.0.1")
+    p10.add_argument("--port", type=int, default=8071)
+    p10.add_argument("--n-jobs", type=int, default=1000)
+    p10.add_argument("--load", type=float, default=0.7)
+    p10.add_argument("--m", type=int, default=None, help="trace machine size (default: ask server)")
+    p10.add_argument(
+        "--rate", type=float, default=1.0, help="arrival-rate multiplier (2 = double load)"
+    )
+    p10.add_argument(
+        "--pace", type=float, default=None, help="sim-time units per wall second (default: flat out)"
+    )
+    p10.add_argument(
+        "--trace-file", default=None, help="replay a saved Trace JSON instead of generating"
+    )
+    p10.add_argument("--no-drain", action="store_true", help="leave the server running full")
+    p10.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check drained flow times against offline flowsim.simulate",
+    )
+
     p7 = sub.add_parser(
         "hetero", help="related-machines comparison (the paper's open problem)"
     )
@@ -165,6 +226,10 @@ def main(argv: list[str] | None = None) -> int:
         return _hetero(args)
     if args.command == "figures":
         return _figures(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "loadgen":
+        return _loadgen(args)
     return 2  # pragma: no cover
 
 
@@ -187,6 +252,117 @@ def _figures(args: argparse.Namespace) -> int:
         rendered += 1
     print(f"rendered {rendered} figures into {results}/")
     return 0 if rendered else 1
+
+
+def _serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import SchedulerServer, ServeConfig
+    from repro.serve.snapshot import restore_scheduler_file
+
+    config = ServeConfig(
+        m=args.m,
+        policy=args.policy,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        clock=args.clock,
+        time_scale=args.time_scale,
+        window=args.window,
+        speed=args.speed,
+        max_active=args.max_active,
+        max_backlog=args.max_backlog,
+        max_load=args.max_load,
+        snapshot_path=args.snapshot_path,
+    )
+    scheduler = None
+    if args.restore:
+        scheduler = restore_scheduler_file(args.restore)
+        print(
+            f"restored snapshot {args.restore}: t={scheduler.now:.6g}, "
+            f"{scheduler.n_active} jobs in flight"
+        )
+
+    async def run() -> None:
+        server = SchedulerServer(config, scheduler=scheduler)
+        await server.start()
+        print(
+            f"drep-serve listening on {config.host}:{server.port} "
+            f"(m={config.m}, policy={config.policy}, clock={config.clock})",
+            flush=True,
+        )
+        await server.wait_closed()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
+def _loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.loadgen import replay_over_wire
+    from repro.workloads.traces import Trace
+
+    async def run() -> int:
+        if args.trace_file:
+            trace = Trace.load_file(args.trace_file)
+        else:
+            m = args.m
+            if m is None:
+                reader, writer = await asyncio.open_connection(args.host, args.port)
+                writer.write(b'{"op": "hello"}\n')
+                await writer.drain()
+                hello = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                m = int(hello["m"])
+            trace = generate_trace(
+                n_jobs=args.n_jobs,
+                distribution=args.distribution,
+                load=args.load,
+                m=m,
+                seed=args.seed,
+            )
+        report = await replay_over_wire(
+            args.host,
+            args.port,
+            trace,
+            rate=args.rate,
+            pace=args.pace,
+            drain=not args.no_drain,
+            verify=args.verify,
+        )
+        print(f"# loadgen: {trace.name} @ rate x{args.rate:g}")
+        for key, value in report.summary().items():
+            print(f"{key:16s} {value:.6g}" if isinstance(value, float) else f"{key:16s} {value}")
+        window = report.stats.get("window")
+        if window:
+            print(
+                f"window           mean={window['mean_flow']:.6g} "
+                f"p99={window['p99_flow']:.6g} throughput={window['throughput']:.6g}"
+            )
+        if args.verify and report.verified is False:
+            print("VERIFY FAILED: online flow times diverge from offline simulate")
+            return 1
+        if args.verify and report.verified:
+            print("verify ok: online == offline flowsim.simulate "
+                  f"(max |Δflow| = {report.max_abs_diff:.3g})")
+        if args.verify and report.verified is None:
+            print("verify skipped: wall-clock server (releases not replayable)")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except ConnectionError as exc:
+        print(
+            f"loadgen: cannot reach server at {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
 
 
 def _parse_machine(spec: str):

@@ -6,7 +6,13 @@ events.  See :mod:`repro.flowsim.engine` for the loop and
 :mod:`repro.flowsim.policies` for the scheduler implementations.
 """
 
-from repro.flowsim.engine import FlowSimConfig, FlowSimError, simulate
+from repro.flowsim.engine import (
+    FlowSimConfig,
+    FlowSimError,
+    FlowStepper,
+    default_max_events,
+    simulate,
+)
 from repro.flowsim.policies import (
     FIFO,
     LAPS,
@@ -28,6 +34,8 @@ __all__ = [
     "simulate",
     "FlowSimConfig",
     "FlowSimError",
+    "FlowStepper",
+    "default_max_events",
     "Policy",
     "ActiveView",
     "SRPT",

@@ -1,12 +1,21 @@
 """Event-driven flow-level simulator.
 
-Simulates a trace of jobs on an ``m``-processor machine under a
+Simulates jobs on an ``m``-processor machine under a
 :class:`~repro.flowsim.policies.base.Policy`.  Between events the policy's
 rate vector is constant, so job progress is linear and the engine jumps
 straight to the earliest of (a) the next arrival, (b) the earliest
 predicted completion, (c) a policy timer.  This is exact for every policy
 in the paper's simulation study (their rate vectors only change at events)
 and for SETF via its timers.
+
+Two entry points share one core:
+
+* :func:`simulate` — the batch harness: registers a whole
+  :class:`~repro.workloads.traces.Trace` up front and drains it.
+* :class:`FlowStepper` — the incremental core itself, usable directly:
+  ``add_job`` registers jobs *while the clock runs* and ``advance_to``
+  processes events up to a horizon, which is what the online serving
+  layer (:mod:`repro.serve`) builds on.
 
 This mirrors the paper's simulation methodology (Sec. V-A): no scheduling
 or preemption overheads are charged, so results "can be thought of as the
@@ -23,20 +32,39 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.job import ParallelismMode
+from repro.core.job import JobSpec, ParallelismMode
 from repro.core.metrics import ScheduleResult
 from repro.core.rng import RngFactory
 from repro.dag.profile import ParallelismProfile
 from repro.flowsim.policies.base import ActiveView, Policy
 from repro.workloads.traces import Trace
 
-__all__ = ["FlowSimConfig", "simulate", "FlowSimError"]
+__all__ = [
+    "FlowSimConfig",
+    "FlowStepper",
+    "simulate",
+    "FlowSimError",
+    "default_max_events",
+]
 
 _RATE_TOL = 1e-7
+#: relative clock tolerance used when admitting arrivals that are "due now"
+_ADMIT_TOL = 1e-15
 
 
 class FlowSimError(RuntimeError):
     """Raised when a policy violates an engine invariant or the run stalls."""
+
+
+def default_max_events(n: int) -> int:
+    """Event-budget used when :attr:`FlowSimConfig.max_events` is ``None``.
+
+    ``60 * n + 1000`` for an ``n``-job run: generous against the ~3 events
+    a job normally costs (arrival, completion, a few timer/re-rate events)
+    yet finite, so Zeno behaviour from a buggy policy timer raises
+    :class:`FlowSimError` instead of hanging the run.
+    """
+    return 60 * n + 1000
 
 
 @dataclass(frozen=True)
@@ -45,8 +73,8 @@ class FlowSimConfig:
 
     ``completion_tol`` is the relative remaining-work threshold below which
     a job counts as finished (guards float drift); ``max_events`` bounds the
-    event loop (default ``60 * n + 1000``) to catch Zeno behaviour from a
-    buggy policy timer.
+    event loop (default :func:`default_max_events`, i.e. ``60 * n + 1000``)
+    to catch Zeno behaviour from a buggy policy timer.
 
     ``speed`` implements **resource augmentation** (Sec. II): every
     processor runs ``speed`` times faster than the adversary's unit-speed
@@ -81,6 +109,566 @@ class FlowSimConfig:
             raise ValueError("speed must be > 0")
 
 
+class FlowStepper:
+    """Incremental, event-exact core of the flow-level simulator.
+
+    Drives one policy on an ``m``-processor machine one event at a time
+    and accepts new jobs *while the clock runs* — the foundation of both
+    the batch :func:`simulate` wrapper (register a whole trace, then
+    :meth:`drain`) and the online serving layer (:mod:`repro.serve`),
+    which submits jobs as they arrive over the wire.
+
+    The stepping semantics are identical to the historical batch loop;
+    :meth:`advance_to` additionally lets a caller bound a step by a
+    *horizon* so the clock can be parked at an arbitrary time ``t`` before
+    mutating the job set.  A horizon stop splits a constant-rate segment
+    in two, which changes nothing observable: job progress is linear in
+    time, ``Policy.rates`` is a pure function of the view, and randomness
+    only happens inside arrival/completion hooks.  When horizons coincide
+    with event times (e.g. submitting each job at exactly its release),
+    the trajectory — including every RNG draw — is *bit-for-bit* the same
+    as the batch run.
+
+    Jobs must be registered with dense ids ``0, 1, 2, ...`` in
+    non-decreasing release order, and never released in the stepper's
+    past; :class:`repro.serve.online.OnlineScheduler` handles the
+    bookkeeping for callers that just want to submit work.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        policy: Policy,
+        seed: int = 0,
+        config: FlowSimConfig = FlowSimConfig(),
+    ) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        self.m = int(m)
+        self.policy = policy
+        self.seed = int(seed)
+        self.config = config
+        rng = RngFactory(seed).stream(f"flowsim/{policy.name}")
+        policy.reset(self.m, rng)
+
+        self._specs: list[JobSpec] = []
+        self._profiles: list[ParallelismProfile | None] = []
+        cap = 16
+        self._release = np.zeros(cap, dtype=float)
+        self._work = np.zeros(cap, dtype=float)
+        self._caps_all = np.zeros(cap, dtype=float)
+        self._weights = np.ones(cap, dtype=float)
+        self._rem = np.zeros(cap, dtype=float)
+        self._tol = np.zeros(cap, dtype=float)
+        self._flow = np.full(cap, np.nan, dtype=float)
+        self._n = 0
+
+        self._act_ids: list[int] = []
+        self._t = 0.0
+        self._next_arrival = 0
+        self._completed = 0
+        self._busy_time = 0.0
+        self._events = 0
+        self._segments: list[tuple[float, float, dict[int, float]]] = []
+        #: append-only ``(job_id, finish_time)`` log for observers
+        self._completions: list[tuple[int, float]] = []
+        self._weights_dirty = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._t
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs registered so far."""
+        return self._n
+
+    @property
+    def n_completed(self) -> int:
+        return self._completed
+
+    @property
+    def n_active(self) -> int:
+        """Jobs admitted and not yet finished."""
+        return len(self._act_ids)
+
+    @property
+    def n_pending(self) -> int:
+        """Jobs registered but not yet admitted (release in the future)."""
+        return self._n - self._next_arrival
+
+    @property
+    def drained(self) -> bool:
+        """True when every registered job has completed."""
+        return self._completed == self._n
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    @property
+    def completion_log(self) -> list[tuple[int, float]]:
+        """Append-only ``(job_id, finish_time)`` pairs in completion order."""
+        return self._completions
+
+    @property
+    def specs(self) -> list[JobSpec]:
+        """Registered job specs, indexed by job id."""
+        return self._specs
+
+    def active_ids(self) -> list[int]:
+        return list(self._act_ids)
+
+    def remaining_of(self, job_id: int) -> float:
+        """Remaining work of an admitted, unfinished job."""
+        if job_id not in self._act_ids:
+            raise KeyError(f"job {job_id} not active")
+        return float(self._rem[job_id])
+
+    def flow_time_of(self, job_id: int) -> float | None:
+        """Flow time of ``job_id`` if it has completed, else ``None``."""
+        if not 0 <= job_id < self._n:
+            raise KeyError(f"unknown job {job_id}")
+        f = float(self._flow[job_id])
+        return None if np.isnan(f) else f
+
+    def backlog_work(self) -> float:
+        """Total remaining work of admitted jobs plus work of pending ones."""
+        ids = np.asarray(self._act_ids, dtype=np.int64)
+        active = float(self._rem[ids].sum()) if ids.size else 0.0
+        pending = float(self._work[self._next_arrival : self._n].sum())
+        return active + pending
+
+    # -- job registration --------------------------------------------------
+
+    def add_job(self, spec: JobSpec) -> int:
+        """Register ``spec``; it is admitted when the clock reaches its release.
+
+        Ids must be dense in registration order and releases non-decreasing
+        (the same contract :class:`~repro.workloads.traces.Trace` enforces);
+        a job must not be released in the stepper's past.
+        """
+        if spec.job_id != self._n:
+            raise ValueError(
+                f"job_id must be dense in submit order: expected {self._n}, "
+                f"got {spec.job_id}"
+            )
+        if self._n and spec.release < self._release[self._n - 1]:
+            raise ValueError("job releases must be non-decreasing")
+        if spec.release < self._t - 1e-9 * max(1.0, self._t):
+            raise ValueError(
+                f"cannot register a job released in the past "
+                f"(release={spec.release:.6g} < now={self._t:.6g})"
+            )
+        self._ensure_capacity(self._n + 1)
+        j = self._n
+        self._release[j] = spec.release
+        self._work[j] = spec.work
+        self._caps_all[j] = spec.mode.rate_cap(self.m)
+        self._weights[j] = spec.weight
+        self._tol[j] = self.config.completion_tol * max(1.0, spec.work)
+        self._flow[j] = np.nan
+        self._specs.append(spec)
+        prof: ParallelismProfile | None = None
+        if (
+            self.config.use_profiles
+            and spec.mode is ParallelismMode.DAG
+            and spec.dag is not None
+        ):
+            base = ParallelismProfile.from_dag(spec.dag)
+            unit = spec.work / base.total_work
+            prof = ParallelismProfile(
+                work_breaks=base.work_breaks * unit,
+                parallelism=base.parallelism,
+            )
+        self._profiles.append(prof)
+        self._n += 1
+        if hasattr(self.policy, "set_weights"):
+            self._weights_dirty = True
+        return j
+
+    def _ensure_capacity(self, n: int) -> None:
+        cap = self._release.size
+        if n <= cap:
+            return
+        new = max(n, 2 * cap)
+
+        def grow(a: np.ndarray, fill: float) -> np.ndarray:
+            out = np.full(new, fill, dtype=float)
+            out[: self._n] = a[: self._n]
+            return out
+
+        self._release = grow(self._release, 0.0)
+        self._work = grow(self._work, 0.0)
+        self._caps_all = grow(self._caps_all, 0.0)
+        self._weights = grow(self._weights, 1.0)
+        self._rem = grow(self._rem, 0.0)
+        self._tol = grow(self._tol, 0.0)
+        self._flow = grow(self._flow, np.nan)
+
+    # -- stepping ----------------------------------------------------------
+
+    def _push_weights(self) -> None:
+        if self._weights_dirty:
+            self.policy.set_weights(self._weights[: self._n].copy())
+            self._weights_dirty = False
+
+    def _caps_for(self, ids: np.ndarray, remaining: np.ndarray) -> np.ndarray:
+        caps = self._caps_all[ids].copy()
+        if self.config.use_profiles:
+            for k, j in enumerate(ids):
+                prof = self._profiles[j]
+                if prof is not None:
+                    attained = max(0.0, self._work[j] - remaining[k])
+                    tol = self.config.completion_tol * max(1.0, self._work[j])
+                    caps[k] = min(float(self.m), prof.cap_at(attained, tol=tol))
+        return caps
+
+    def _build_view(self) -> ActiveView:
+        ids = np.asarray(self._act_ids, dtype=np.int64)
+        rem = self._rem[ids]
+        return ActiveView(
+            t=self._t,
+            m=self.m,
+            job_ids=ids,
+            remaining=rem,
+            work=self._work[ids] if ids.size else np.empty(0),
+            release=self._release[ids] if ids.size else np.empty(0),
+            caps=self._caps_for(ids, rem) if ids.size else np.empty(0),
+            speed=self.config.speed,
+        )
+
+    def _checked_rates(self, view: ActiveView) -> np.ndarray:
+        rates = np.asarray(self.policy.rates(view), dtype=float)
+        if rates.shape != (view.n,):
+            raise FlowSimError(
+                f"{self.policy.name}: rates shape {rates.shape} != ({view.n},)"
+            )
+        if view.n == 0:
+            return rates
+        if (rates < -_RATE_TOL).any():
+            raise FlowSimError(f"{self.policy.name}: negative rate")
+        if (rates > view.caps * (1 + _RATE_TOL) + _RATE_TOL).any():
+            raise FlowSimError(f"{self.policy.name}: rate exceeds per-job cap")
+        if rates.sum() > self.m * (1 + _RATE_TOL) + _RATE_TOL:
+            raise FlowSimError(
+                f"{self.policy.name}: total rate {rates.sum():.6g} "
+                f"exceeds m={self.m}"
+            )
+        return np.clip(rates, 0.0, None)
+
+    def step(self, horizon: float | None = None) -> bool:
+        """Execute one event iteration, optionally bounded by ``horizon``.
+
+        Returns ``True`` if the step made (or can still make) progress,
+        ``False`` when nothing can happen before ``horizon`` — the machine
+        is idle with no arrival due (the clock is parked at the horizon
+        when one is given).  Raises :class:`FlowSimError` on policy
+        invariant violations, a stall, or an exhausted event budget.
+        """
+        cfg = self.config
+        self._push_weights()
+        self._events += 1
+        max_events = cfg.max_events or default_max_events(self._n)
+        if self._events > max_events:
+            raise FlowSimError(
+                f"{self.policy.name}: exceeded {max_events} events "
+                f"({self._completed}/{self._n} jobs done at t={self._t:.6g})"
+                " — Zeno loop?"
+            )
+
+        # ---- admit arrivals due now -----------------------------------
+        while (
+            self._next_arrival < self._n
+            and self._release[self._next_arrival] <= self._t * (1 + _ADMIT_TOL)
+        ):
+            j = self._next_arrival
+            self._act_ids.append(j)
+            self._rem[j] = self._work[j]
+            self._next_arrival += 1
+            self.policy.on_arrival(j, self._build_view())
+
+        if not self._act_ids:
+            if self._next_arrival < self._n:
+                nxt = float(self._release[self._next_arrival])
+                if horizon is not None and nxt > horizon * (1 + _ADMIT_TOL):
+                    # the next arrival is beyond the horizon: park there
+                    self._t = max(self._t, float(horizon))
+                    return False
+                self._t = nxt
+                return True
+            if horizon is not None:
+                self._t = max(self._t, float(horizon))
+            return False  # nothing active, nothing to come
+
+        # ---- constant-rate segment until the next event -----------------
+        view = self._build_view()
+        rates = self._checked_rates(view)
+        eff = rates * cfg.speed  # resource augmentation (Sec. II)
+        rem = view.remaining
+
+        dt_candidates: list[float] = []
+        served = eff > 0
+        if served.any():
+            dt_candidates.append(float((rem[served] / eff[served]).min()))
+        if self._next_arrival < self._n:
+            dt_candidates.append(
+                float(self._release[self._next_arrival] - self._t)
+            )
+        timer = self.policy.next_timer(view)
+        if timer is not None and timer > self._t:
+            dt_candidates.append(float(timer - self._t))
+        if cfg.use_profiles:
+            # stop exactly at the next parallelism-profile breakpoint of
+            # any served job so its cap change takes effect on time
+            for k in np.flatnonzero(served):
+                prof = self._profiles[self._act_ids[k]]
+                if prof is None:
+                    continue
+                j = self._act_ids[k]
+                tol = cfg.completion_tol * max(1.0, self._work[j])
+                attained = max(0.0, self._work[j] - rem[k])
+                brk = prof.next_break_after(attained, tol=tol)
+                if brk is not None:
+                    dt_candidates.append(float((brk - attained) / eff[k]))
+        if horizon is not None and horizon > self._t:
+            dt_candidates.append(float(horizon - self._t))
+
+        if not dt_candidates:
+            if horizon is not None:
+                return False  # parked at the horizon with idle-rate jobs
+            raise FlowSimError(
+                f"{self.policy.name}: stalled at t={self._t:.6g} with "
+                f"{len(self._act_ids)} active jobs, zero rates and no "
+                "future events"
+            )
+        dt = min(dt_candidates)
+        if dt < 0:
+            raise FlowSimError(f"{self.policy.name}: negative time step {dt}")
+
+        if dt > 0:
+            ids_arr = view.job_ids
+            self._rem[ids_arr] -= eff * dt
+            # processor-time, not work
+            self._busy_time += float(rates.sum()) * dt
+            if cfg.record_segments:
+                alloc = {
+                    int(j): float(r)
+                    for j, r in zip(ids_arr, rates)
+                    if r > 0
+                }
+                self._segments.append((self._t, self._t + dt, alloc))
+            self._t += dt
+
+        # ---- completions -------------------------------------------------
+        # Jobs whose remaining work dropped (within tolerance) to zero
+        # finish now.  They are removed one at a time, lowest job id first,
+        # and the policy hook sees the active set *after* each removal —
+        # matching the paper's semantics where a freed DREP processor
+        # re-draws from the jobs still alive.
+        while True:
+            ids_arr = np.asarray(self._act_ids, dtype=np.int64)
+            done = ids_arr[self._rem[ids_arr] <= self._tol[ids_arr]]
+            if done.size == 0:
+                break
+            j = int(done.min())
+            self._act_ids.remove(j)
+            self._flow[j] = self._t - self._release[j]
+            self._completed += 1
+            self._completions.append((j, self._t))
+            self.policy.on_completion(j, self._build_view())
+        return True
+
+    def advance_to(self, t: float) -> None:
+        """Process every event with time ≤ ``t`` and park the clock there.
+
+        A no-op when ``t`` is not ahead of the clock (rewinding is
+        impossible; the clock never moves backwards).
+        """
+        t = float(t)
+        while self._t * (1 + _ADMIT_TOL) < t:
+            if not self.step(horizon=t):
+                break
+
+    def drain(self) -> None:
+        """Step until every registered job has completed."""
+        while self._completed < self._n:
+            if not self.step():
+                break  # unreachable while jobs remain; defensive
+
+    # -- results -----------------------------------------------------------
+
+    def result(self, partial: bool = False) -> ScheduleResult:
+        """Assemble a :class:`~repro.core.metrics.ScheduleResult`.
+
+        With ``partial=False`` (default) every registered job must have
+        completed; ``partial=True`` restricts the arrays to completed jobs
+        (in job-id order), for progress reporting mid-run.
+        """
+        n = self._n
+        flows = self._flow[:n].copy()
+        weights = self._weights[:n].copy()
+        min_flows = np.array(
+            [spec.lower_bound(self.m) for spec in self._specs], dtype=float
+        )
+        if partial:
+            mask = ~np.isnan(flows)
+            flows = flows[mask]
+            weights = weights[mask]
+            min_flows = min_flows[mask]
+        elif np.isnan(flows).any():
+            raise FlowSimError(
+                f"{self.policy.name}: run ended with unfinished jobs"
+            )
+        makespan = self._t
+        utilization = (
+            self._busy_time / (makespan * self.m) if makespan > 0 else 0.0
+        )
+        return ScheduleResult(
+            scheduler=self.policy.name,
+            m=self.m,
+            flow_times=flows,
+            preemptions=self.policy.preemptions,
+            migrations=self.policy.migrations,
+            makespan=makespan,
+            min_flows=(min_flows / self.config.speed) if min_flows.size else None,
+            weights=weights if weights.size else None,
+            extra={
+                "utilization": utilization,
+                "events": self._events,
+                "switches": self.policy.switches,
+                **(
+                    {"segments": self._segments}
+                    if self.config.record_segments
+                    else {}
+                ),
+            },
+        )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Engine-level state as JSON-compatible plain data.
+
+        Covers the clock, job table and progress arrays — everything the
+        stepper owns.  Policy state is *not* included (policies are opaque
+        to the engine); :mod:`repro.serve.snapshot` captures it alongside.
+        Jobs carrying explicit DAGs are not snapshottable.
+        """
+        for spec in self._specs:
+            if spec.dag is not None:
+                raise FlowSimError(
+                    "cannot snapshot a run with explicit DAG jobs"
+                )
+        return {
+            "m": self.m,
+            "seed": self.seed,
+            "config": {
+                "completion_tol": self.config.completion_tol,
+                "max_events": self.config.max_events,
+                "speed": self.config.speed,
+                "use_profiles": self.config.use_profiles,
+                "record_segments": self.config.record_segments,
+            },
+            "t": self._t,
+            "next_arrival": self._next_arrival,
+            "completed": self._completed,
+            "busy_time": self._busy_time,
+            "events": self._events,
+            "act_ids": list(self._act_ids),
+            "rem": [float(x) for x in self._rem[: self._n]],
+            "flow": [
+                None if np.isnan(x) else float(x) for x in self._flow[: self._n]
+            ],
+            "completions": [[int(j), float(t)] for j, t in self._completions],
+            "segments": [
+                [a, b, {str(k): v for k, v in alloc.items()}]
+                for a, b, alloc in self._segments
+            ],
+            "jobs": [
+                {
+                    "job_id": s.job_id,
+                    "release": s.release,
+                    "work": s.work,
+                    "span": s.span,
+                    "mode": s.mode.value,
+                    "weight": s.weight,
+                }
+                for s in self._specs
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict, policy: Policy) -> "FlowStepper":
+        """Rebuild a stepper from :meth:`state_dict` output.
+
+        ``policy`` must already carry its restored internal state (the
+        constructor's ``policy.reset`` call is *skipped* — the caller is
+        handing us a mid-run policy, and resetting it would wipe exactly
+        what a checkpoint is meant to preserve).
+        """
+        cfg = FlowSimConfig(**state["config"])
+        stepper = cls.__new__(cls)
+        stepper.m = int(state["m"])
+        stepper.policy = policy
+        stepper.seed = int(state["seed"])
+        stepper.config = cfg
+        stepper._specs = []
+        stepper._profiles = []
+        n = len(state["jobs"])
+        cap = max(16, n)
+        stepper._release = np.zeros(cap, dtype=float)
+        stepper._work = np.zeros(cap, dtype=float)
+        stepper._caps_all = np.zeros(cap, dtype=float)
+        stepper._weights = np.ones(cap, dtype=float)
+        stepper._rem = np.zeros(cap, dtype=float)
+        stepper._tol = np.zeros(cap, dtype=float)
+        stepper._flow = np.full(cap, np.nan, dtype=float)
+        stepper._n = 0
+        for raw in state["jobs"]:
+            spec = JobSpec(
+                job_id=raw["job_id"],
+                release=raw["release"],
+                work=raw["work"],
+                span=raw["span"],
+                mode=ParallelismMode(raw["mode"]),
+                weight=raw.get("weight", 1.0),
+            )
+            j = spec.job_id
+            stepper._release[j] = spec.release
+            stepper._work[j] = spec.work
+            stepper._caps_all[j] = spec.mode.rate_cap(stepper.m)
+            stepper._weights[j] = spec.weight
+            stepper._tol[j] = cfg.completion_tol * max(1.0, spec.work)
+            stepper._specs.append(spec)
+            stepper._profiles.append(None)
+            stepper._n += 1
+        for j, r in enumerate(state["rem"]):
+            stepper._rem[j] = r
+        for j, f in enumerate(state["flow"]):
+            stepper._flow[j] = np.nan if f is None else f
+        stepper._act_ids = [int(j) for j in state["act_ids"]]
+        stepper._t = float(state["t"])
+        stepper._next_arrival = int(state["next_arrival"])
+        stepper._completed = int(state["completed"])
+        stepper._busy_time = float(state["busy_time"])
+        stepper._events = int(state["events"])
+        stepper._completions = [
+            (int(j), float(t)) for j, t in state["completions"]
+        ]
+        stepper._segments = [
+            (a, b, {int(k): v for k, v in alloc.items()})
+            for a, b, alloc in state["segments"]
+        ]
+        # a weight-aware policy already carries its restored table, but a
+        # fresh push is harmless and covers policies restored without one
+        stepper._weights_dirty = hasattr(policy, "set_weights")
+        return stepper
+
+
 def simulate(
     trace: Trace,
     m: int,
@@ -96,202 +684,10 @@ def simulate(
     """
     if m < 1:
         raise ValueError("m must be >= 1")
-    n = len(trace)
-    if n == 0:
+    if len(trace) == 0:
         return ScheduleResult(scheduler=policy.name, m=m, flow_times=np.empty(0))
-
-    release = np.array([j.release for j in trace.jobs], dtype=float)
-    work = np.array([j.work for j in trace.jobs], dtype=float)
-    caps_all = np.array(
-        [j.mode.rate_cap(m) for j in trace.jobs], dtype=float
-    )
-    flow_times = np.full(n, np.nan, dtype=float)
-
-    # optional changing-parallelism caps from DAG profiles; breakpoints
-    # are rescaled into the spec's work units (attach_dags may have
-    # quantized work into DAG units of a different size)
-    profiles: list[ParallelismProfile | None] = [None] * n
-    if config.use_profiles:
-        for spec in trace.jobs:
-            if spec.mode is ParallelismMode.DAG and spec.dag is not None:
-                prof = ParallelismProfile.from_dag(spec.dag)
-                unit = spec.work / prof.total_work
-                profiles[spec.job_id] = ParallelismProfile(
-                    work_breaks=prof.work_breaks * unit,
-                    parallelism=prof.parallelism,
-                )
-
-    def caps_for(ids: np.ndarray, remaining: np.ndarray) -> np.ndarray:
-        caps = caps_all[ids].copy()
-        if config.use_profiles:
-            for k, j in enumerate(ids):
-                prof = profiles[j]
-                if prof is not None:
-                    attained = max(0.0, work[j] - remaining[k])
-                    tol = config.completion_tol * max(1.0, work[j])
-                    caps[k] = min(float(m), prof.cap_at(attained, tol=tol))
-        return caps
-
-    weights = np.array([j.weight for j in trace.jobs], dtype=float)
-    rng = RngFactory(seed).stream(f"flowsim/{policy.name}")
-    policy.reset(m, rng)
-    if hasattr(policy, "set_weights"):
-        policy.set_weights(weights)
-
-    # Active set: id list plus a full-length remaining-work array indexed
-    # by job id, so draining and completion checks are vectorized fancy
-    # indexing instead of per-element Python loops (profiled hot path).
-    act_ids: list[int] = []
-    rem_all = np.zeros(n, dtype=float)
-    tol_all = config.completion_tol * np.maximum(1.0, work)
-
-    t = 0.0
-    next_arrival = 0  # index into the (release-sorted) trace
-    completed = 0
-    busy_time = 0.0
-    max_events = config.max_events or (60 * n + 1000)
-    events = 0
-    segments: list[tuple[float, float, dict[int, float]]] = []
-
-    def build_view() -> ActiveView:
-        ids = np.asarray(act_ids, dtype=np.int64)
-        rem = rem_all[ids]
-        return ActiveView(
-            t=t,
-            m=m,
-            job_ids=ids,
-            remaining=rem,
-            work=work[ids] if ids.size else np.empty(0),
-            release=release[ids] if ids.size else np.empty(0),
-            caps=caps_for(ids, rem) if ids.size else np.empty(0),
-            speed=config.speed,
-        )
-
-    def checked_rates(view: ActiveView) -> np.ndarray:
-        rates = np.asarray(policy.rates(view), dtype=float)
-        if rates.shape != (view.n,):
-            raise FlowSimError(
-                f"{policy.name}: rates shape {rates.shape} != ({view.n},)"
-            )
-        if view.n == 0:
-            return rates
-        if (rates < -_RATE_TOL).any():
-            raise FlowSimError(f"{policy.name}: negative rate")
-        if (rates > view.caps * (1 + _RATE_TOL) + _RATE_TOL).any():
-            raise FlowSimError(f"{policy.name}: rate exceeds per-job cap")
-        if rates.sum() > m * (1 + _RATE_TOL) + _RATE_TOL:
-            raise FlowSimError(
-                f"{policy.name}: total rate {rates.sum():.6g} exceeds m={m}"
-            )
-        return np.clip(rates, 0.0, None)
-
-    while completed < n:
-        events += 1
-        if events > max_events:
-            raise FlowSimError(
-                f"{policy.name}: exceeded {max_events} events "
-                f"({completed}/{n} jobs done at t={t:.6g}) — Zeno loop?"
-            )
-
-        # ---- admit arrivals due now -----------------------------------
-        while next_arrival < n and release[next_arrival] <= t * (1 + 1e-15):
-            j = next_arrival
-            act_ids.append(j)
-            rem_all[j] = work[j]
-            next_arrival += 1
-            policy.on_arrival(j, build_view())
-
-        if not act_ids:
-            if next_arrival >= n:
-                break  # nothing active, nothing to come
-            t = float(release[next_arrival])
-            continue
-
-        # ---- constant-rate segment until the next event -----------------
-        view = build_view()
-        rates = checked_rates(view)
-        eff = rates * config.speed  # resource augmentation (Sec. II)
-        rem = view.remaining
-
-        dt_candidates: list[float] = []
-        served = eff > 0
-        if served.any():
-            dt_candidates.append(float((rem[served] / eff[served]).min()))
-        if next_arrival < n:
-            dt_candidates.append(float(release[next_arrival] - t))
-        timer = policy.next_timer(view)
-        if timer is not None and timer > t:
-            dt_candidates.append(float(timer - t))
-        if config.use_profiles:
-            # stop exactly at the next parallelism-profile breakpoint of
-            # any served job so its cap change takes effect on time
-            for k in np.flatnonzero(served):
-                prof = profiles[act_ids[k]]
-                if prof is None:
-                    continue
-                j = act_ids[k]
-                tol = config.completion_tol * max(1.0, work[j])
-                attained = max(0.0, work[j] - rem[k])
-                brk = prof.next_break_after(attained, tol=tol)
-                if brk is not None:
-                    dt_candidates.append(float((brk - attained) / eff[k]))
-
-        if not dt_candidates:
-            raise FlowSimError(
-                f"{policy.name}: stalled at t={t:.6g} with {len(act_ids)} "
-                "active jobs, zero rates and no future events"
-            )
-        dt = min(dt_candidates)
-        if dt < 0:
-            raise FlowSimError(f"{policy.name}: negative time step {dt}")
-
-        if dt > 0:
-            ids_arr = view.job_ids
-            rem_all[ids_arr] -= eff * dt
-            busy_time += float(rates.sum()) * dt  # processor-time, not work
-            if config.record_segments:
-                alloc = {
-                    int(j): float(r)
-                    for j, r in zip(ids_arr, rates)
-                    if r > 0
-                }
-                segments.append((t, t + dt, alloc))
-            t += dt
-
-        # ---- completions -------------------------------------------------
-        # Jobs whose remaining work dropped (within tolerance) to zero
-        # finish now.  They are removed one at a time, lowest job id first,
-        # and the policy hook sees the active set *after* each removal —
-        # matching the paper's semantics where a freed DREP processor
-        # re-draws from the jobs still alive.
-        while True:
-            ids_arr = np.asarray(act_ids, dtype=np.int64)
-            done = ids_arr[rem_all[ids_arr] <= tol_all[ids_arr]]
-            if done.size == 0:
-                break
-            j = int(done.min())
-            act_ids.remove(j)
-            flow_times[j] = t - release[j]
-            completed += 1
-            policy.on_completion(j, build_view())
-
-    makespan = t
-    if np.isnan(flow_times).any():
-        raise FlowSimError(f"{policy.name}: run ended with unfinished jobs")
-    utilization = busy_time / (makespan * m) if makespan > 0 else 0.0
-    return ScheduleResult(
-        scheduler=policy.name,
-        m=m,
-        flow_times=flow_times,
-        preemptions=policy.preemptions,
-        migrations=policy.migrations,
-        makespan=makespan,
-        min_flows=np.array([j.lower_bound(m) for j in trace.jobs]) / config.speed,
-        weights=weights,
-        extra={
-            "utilization": utilization,
-            "events": events,
-            "switches": policy.switches,
-            **({"segments": segments} if config.record_segments else {}),
-        },
-    )
+    stepper = FlowStepper(m, policy, seed=seed, config=config)
+    for spec in trace.jobs:
+        stepper.add_job(spec)
+    stepper.drain()
+    return stepper.result()

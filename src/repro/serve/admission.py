@@ -1,0 +1,178 @@
+"""Admission control: queue caps, load estimation, backpressure and sheds.
+
+An online scheduler that accepts everything has unbounded flow time the
+moment offered load crosses 1 — the queue simply grows.  The serving
+layer therefore guards the engine with three independent checks, any of
+which can shed an offered job:
+
+* a hard cap on concurrently queued jobs (``max_active``);
+* a cap on the backlog, measured in *machine-seconds of remaining work
+  per processor* (``max_backlog``) — the drain time the queue already
+  represents;
+* an estimated-load ceiling (``max_load``): an exponentially-decayed
+  estimate of arrival rate × mean work / m, the ρ of queueing theory.
+
+The load estimator keeps two exponentially-decayed accumulators (arrival
+count and offered work, decay half-life ``halflife`` in sim-time units);
+in steady state ``α · Σ_decayed(work) / m`` converges to the offered
+utilization, and it both rises within a half-life of a burst starting
+and decays during idle stretches.  Decisions are O(1) per arrival and
+explainable.  :meth:`AdmissionController.backpressure` maps queue
+occupancy into [0, 1] so clients can slow down *before* the hard caps
+start shedding.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["AdmissionConfig", "AdmissionController", "AdmissionDecision"]
+
+
+class AdmissionDecision(enum.Enum):
+    """Outcome of offering one job to the admission layer."""
+
+    ACCEPT = "accept"
+    SHED_QUEUE_FULL = "shed_queue_full"
+    SHED_BACKLOG = "shed_backlog"
+    SHED_OVERLOAD = "shed_overload"
+
+    @property
+    def accepted(self) -> bool:
+        return self is AdmissionDecision.ACCEPT
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Caps; ``None`` disables the corresponding check.
+
+    ``max_backlog`` is in units of *time*: remaining queued work divided
+    by ``m`` (a perfectly-packed machine would need that long to drain).
+    ``max_load`` is a utilization, e.g. ``0.95``; offered jobs are shed
+    while the estimate exceeds it.  ``halflife`` tunes how fast the
+    estimator forgets (sim-time units).
+    """
+
+    max_active: int | None = None
+    max_backlog: float | None = None
+    max_load: float | None = None
+    halflife: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        if self.max_backlog is not None and self.max_backlog <= 0:
+            raise ValueError("max_backlog must be > 0")
+        if self.max_load is not None and self.max_load <= 0:
+            raise ValueError("max_load must be > 0")
+        if self.halflife <= 0:
+            raise ValueError("halflife must be > 0")
+
+
+class AdmissionController:
+    """Stateful per-machine admission logic.
+
+    Call :meth:`observe` for every *offered* arrival (accepted or not —
+    the estimator tracks offered load, which is what overload looks
+    like), then :meth:`decide` with the engine's current occupancy.
+    """
+
+    def __init__(self, config: AdmissionConfig, m: int) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        self.config = config
+        self.m = int(m)
+        self._alpha = math.log(2.0) / config.halflife
+        self._last_t: float | None = None
+        self._count = 0.0  # decayed arrival count
+        self._work_sum = 0.0  # decayed offered work
+
+    # -- estimation --------------------------------------------------------
+
+    def _decay_to(self, t: float) -> tuple[float, float]:
+        if self._last_t is None:
+            return 0.0, 0.0
+        d = math.exp(-self._alpha * max(0.0, t - self._last_t))
+        return self._count * d, self._work_sum * d
+
+    def observe(self, t: float, work: float) -> None:
+        """Fold one offered arrival at sim-time ``t`` into the estimators."""
+        self._count, self._work_sum = self._decay_to(t)
+        self._count += 1.0
+        self._work_sum += float(work)
+        self._last_t = float(t)
+
+    def arrival_rate(self, t: float) -> float:
+        """Decayed arrival-rate estimate λ̂ (jobs per sim-time unit)."""
+        count, _ = self._decay_to(t)
+        return self._alpha * count
+
+    def load_estimate(self, t: float) -> float:
+        """Estimated offered utilization ρ̂ = α · Σ_decayed(work) / m.
+
+        Equals λ̂ · Ê[W] / m in steady state; rises when a burst starts
+        and decays toward zero during idle stretches instead of freezing
+        at its last value.
+        """
+        _, work_sum = self._decay_to(t)
+        return self._alpha * work_sum / self.m
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide(
+        self, t: float, work: float, active: int, backlog_work: float
+    ) -> AdmissionDecision:
+        """Accept or shed one offered job given current engine occupancy."""
+        cfg = self.config
+        if cfg.max_active is not None and active >= cfg.max_active:
+            return AdmissionDecision.SHED_QUEUE_FULL
+        if (
+            cfg.max_backlog is not None
+            and (backlog_work + work) / self.m > cfg.max_backlog
+        ):
+            return AdmissionDecision.SHED_BACKLOG
+        if cfg.max_load is not None and self.load_estimate(t) > cfg.max_load:
+            return AdmissionDecision.SHED_OVERLOAD
+        return AdmissionDecision.ACCEPT
+
+    def backpressure(self, t: float, active: int) -> float:
+        """Soft load signal in [0, 1]: 0 = idle, 1 = at a shed boundary.
+
+        The max of queue-occupancy and load-estimate pressure, so either
+        approaching cap pushes the signal up; without any caps it falls
+        back to the load estimate clamped at 1.
+        """
+        signals = []
+        if self.config.max_active is not None:
+            signals.append(active / self.config.max_active)
+        if self.config.max_load is not None:
+            signals.append(self.load_estimate(t) / self.config.max_load)
+        if not signals:
+            signals.append(self.load_estimate(t))
+        return max(0.0, min(1.0, max(signals)))
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "config": {
+                "max_active": self.config.max_active,
+                "max_backlog": self.config.max_backlog,
+                "max_load": self.config.max_load,
+                "halflife": self.config.halflife,
+            },
+            "m": self.m,
+            "last_t": self._last_t,
+            "count": self._count,
+            "work_sum": self._work_sum,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "AdmissionController":
+        ctrl = cls(AdmissionConfig(**state["config"]), state["m"])
+        ctrl._last_t = state["last_t"]
+        ctrl._count = state["count"]
+        ctrl._work_sum = state["work_sum"]
+        return ctrl

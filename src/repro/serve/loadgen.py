@@ -1,0 +1,300 @@
+"""Open-loop load generation: replay workload traces into a live scheduler.
+
+Two replay paths share the same semantics:
+
+* :func:`replay_into` drives an in-process
+  :class:`~repro.serve.online.OnlineScheduler` directly (tests, examples,
+  and the cross-check against batch simulation);
+* :func:`replay_over_wire` speaks the JSON-lines protocol to a running
+  :class:`~repro.serve.server.SchedulerServer` and can *verify* the
+  drained result against an offline :func:`repro.flowsim.simulate` of the
+  same effective trace — the end-to-end proof that the serving stack adds
+  no scheduling error.
+
+``rate`` is the arrival-rate multiplier: release times are divided by
+it, so ``rate=2`` doubles the offered load of the original trace while
+keeping job sizes fixed (open-loop — arrivals never wait for the
+system, which is how overload actually happens).  ``pace`` optionally
+maps sim time onto wall time (sim-units per wall second) so a wall-clock
+server sees realistic inter-arrival gaps; the default streams as fast
+as the connection allows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.job import JobSpec
+from repro.workloads.traces import Trace
+
+__all__ = [
+    "LoadGenReport",
+    "effective_trace",
+    "replay_into",
+    "replay_over_wire",
+]
+
+
+def effective_trace(trace: Trace, rate: float = 1.0) -> Trace:
+    """The trace a replay at ``rate`` actually offers (releases ÷ rate)."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    if rate == 1.0:
+        return trace
+    jobs = [
+        JobSpec(
+            job_id=j.job_id,
+            release=j.release / rate,
+            work=j.work,
+            span=j.span,
+            mode=j.mode,
+            dag=j.dag,
+            weight=j.weight,
+        )
+        for j in trace.jobs
+    ]
+    return Trace(
+        jobs=jobs,
+        m=trace.m,
+        load=min(1.0, trace.load * rate) if trace.load else trace.load,
+        distribution=trace.distribution,
+        name=f"{trace.name}@x{rate:g}",
+        meta={**trace.meta, "rate_multiplier": rate},
+    )
+
+
+def _accepted_trace(trace: Trace, accepted: list[int]) -> Trace:
+    """Re-index the accepted subset densely — what the engine actually ran."""
+    jobs = [
+        JobSpec(
+            job_id=k,
+            release=trace.jobs[i].release,
+            work=trace.jobs[i].work,
+            span=trace.jobs[i].span,
+            mode=trace.jobs[i].mode,
+            weight=trace.jobs[i].weight,
+        )
+        for k, i in enumerate(accepted)
+    ]
+    return Trace(
+        jobs=jobs,
+        m=trace.m,
+        load=trace.load,
+        distribution=trace.distribution,
+        name=trace.name + "+admitted",
+        meta=trace.meta,
+    )
+
+
+@dataclass
+class LoadGenReport:
+    """What one replay did and what the server said about it."""
+
+    offered: int
+    accepted: int
+    shed: int
+    wall_seconds: float
+    stats: dict = field(default_factory=dict)
+    drain_summary: dict | None = None
+    #: None = verification not attempted; True/False = outcome
+    verified: bool | None = None
+    max_abs_diff: float | None = None
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def summary(self) -> dict:
+        out = {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "shed_fraction": self.shed_fraction,
+            "wall_seconds": self.wall_seconds,
+        }
+        if self.drain_summary is not None:
+            out["mean_flow"] = self.drain_summary.get("mean_flow")
+            out["makespan"] = self.drain_summary.get("makespan")
+        if self.verified is not None:
+            out["verified"] = self.verified
+            out["max_abs_diff"] = self.max_abs_diff
+        return out
+
+
+def replay_into(scheduler, trace: Trace, rate: float = 1.0, drain: bool = True):
+    """Stream ``trace`` into an in-process scheduler, job by job.
+
+    Each job advances the clock to its (rate-scaled) release and is
+    submitted through admission control when the scheduler has it,
+    otherwise registered verbatim — the verbatim path reproduces the
+    batch simulation exactly.  Returns ``(report, result)`` where
+    ``result`` is the drained :class:`~repro.core.metrics.ScheduleResult`
+    (``None`` when ``drain=False``).
+    """
+    eff = effective_trace(trace, rate)
+    t0 = time.perf_counter()
+    shed = 0
+    for spec in eff.jobs:
+        scheduler.advance_to(spec.release)
+        if scheduler.admission is not None:
+            outcome = scheduler.submit(
+                work=spec.work,
+                span=spec.span,
+                mode=spec.mode,
+                weight=spec.weight,
+                release=spec.release,
+            )
+            if not outcome.accepted:
+                shed += 1
+        else:
+            # verbatim ids require re-stamping after any earlier sheds
+            scheduler.submit_spec(
+                spec
+                if spec.job_id == scheduler.n_submitted
+                else JobSpec(
+                    job_id=scheduler.n_submitted,
+                    release=spec.release,
+                    work=spec.work,
+                    span=spec.span,
+                    mode=spec.mode,
+                    weight=spec.weight,
+                )
+            )
+    result = scheduler.drain() if drain else None
+    report = LoadGenReport(
+        offered=len(eff),
+        accepted=len(eff) - shed,
+        shed=shed,
+        wall_seconds=time.perf_counter() - t0,
+        stats=scheduler.stats(),
+        drain_summary=(
+            {"mean_flow": result.mean_flow, "makespan": result.makespan}
+            if result is not None
+            else None
+        ),
+    )
+    return report, result
+
+
+async def replay_over_wire(
+    host: str,
+    port: int,
+    trace: Trace,
+    rate: float = 1.0,
+    pace: float | None = None,
+    drain: bool = True,
+    verify: bool = False,
+) -> LoadGenReport:
+    """Stream ``trace`` to a running server over the JSON-lines protocol.
+
+    With ``verify=True`` (requires ``drain``) the drained per-job flow
+    times are compared against a local batch :func:`repro.flowsim.simulate`
+    of the jobs the server accepted, using the server's own policy, seed
+    and machine size from ``hello`` — the report's ``verified`` /
+    ``max_abs_diff`` fields carry the outcome.  Verification requires the
+    server to run the virtual ``trace`` clock (exact release stamps).
+    """
+    eff = effective_trace(trace, rate)
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def call(request: dict) -> dict:
+        writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    try:
+        hello = await call({"op": "hello"})
+        if not hello.get("ok"):
+            raise RuntimeError(f"hello failed: {hello}")
+        # a wall-clock server releases jobs "now"; sending the trace's
+        # release stamps would land in its past and be rejected
+        stamp_releases = hello.get("clock") == "trace"
+        t0 = time.perf_counter()
+        accepted: list[int] = []
+        shed = 0
+        prev_release = eff.jobs[0].release if eff.jobs else 0.0
+        for spec in eff.jobs:
+            if pace is not None and spec.release > prev_release:
+                await asyncio.sleep((spec.release - prev_release) / pace)
+            prev_release = spec.release
+            request = {
+                "op": "submit",
+                "work": spec.work,
+                "span": spec.span,
+                "mode": spec.mode.value,
+                "weight": spec.weight,
+            }
+            if stamp_releases:
+                request["release"] = spec.release
+            resp = await call(request)
+            if not resp.get("ok"):
+                raise RuntimeError(f"submit failed: {resp.get('error')}")
+            if resp["accepted"]:
+                accepted.append(spec.job_id)
+            else:
+                shed += 1
+        stats = (await call({"op": "stats"})).get("stats", {})
+        report = LoadGenReport(
+            offered=len(eff),
+            accepted=len(accepted),
+            shed=shed,
+            wall_seconds=time.perf_counter() - t0,
+            stats=stats,
+        )
+        if drain:
+            resp = await call({"op": "drain", "include_flows": bool(verify)})
+            if not resp.get("ok"):
+                raise RuntimeError(f"drain failed: {resp.get('error')}")
+            report.drain_summary = resp["result"]
+            if verify:
+                _verify_against_offline(report, hello, eff, accepted, resp)
+        return report
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _verify_against_offline(
+    report: LoadGenReport,
+    hello: dict,
+    eff: Trace,
+    accepted: list[int],
+    drain_resp: dict,
+) -> None:
+    from repro.flowsim.engine import FlowSimConfig, simulate
+    from repro.flowsim.policies import policy_by_name
+
+    if hello.get("clock") != "trace":
+        report.verified = None  # wall clock ⇒ releases are not replayable
+        return
+    offline = simulate(
+        _accepted_trace(eff, accepted),
+        m=int(hello["m"]),
+        policy=policy_by_name(hello["policy_key"]),
+        seed=int(hello["seed"]),
+        config=FlowSimConfig(speed=float(hello.get("speed", 1.0))),
+    )
+    online_flows = np.asarray(drain_resp["flow_times"], dtype=float)
+    if online_flows.shape != offline.flow_times.shape:
+        report.verified = False
+        report.max_abs_diff = float("inf")
+        return
+    diff = (
+        float(np.max(np.abs(online_flows - offline.flow_times)))
+        if online_flows.size
+        else 0.0
+    )
+    report.max_abs_diff = diff
+    scale = max(1.0, float(np.max(np.abs(offline.flow_times), initial=0.0)))
+    report.verified = bool(diff <= 1e-9 * scale)

@@ -1,0 +1,279 @@
+"""Submit-while-running wrapper around the incremental flow engine.
+
+:class:`OnlineScheduler` is the serving layer's view of one machine: a
+clock that only moves forward (:meth:`OnlineScheduler.advance_to`), a
+:meth:`~OnlineScheduler.submit` call that offers a job *now* (or at a
+stamped future release), and a :meth:`~OnlineScheduler.drain` that runs
+the machine empty and returns the exact
+:class:`~repro.core.metrics.ScheduleResult` the batch simulator would
+have produced for the same job sequence.
+
+Admission control and rolling metrics are optional collaborators: when
+an :class:`~repro.serve.admission.AdmissionController` is attached,
+``submit`` may *shed* the job instead of queueing it; when a
+:class:`~repro.serve.metrics.RollingMetrics` is attached, every
+submission, shed and completion is recorded against the simulation
+clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.core.metrics import ScheduleResult
+from repro.flowsim.engine import FlowSimConfig, FlowStepper
+from repro.flowsim.policies.base import Policy
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.metrics import RollingMetrics
+
+__all__ = ["OnlineScheduler", "SubmitOutcome"]
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """What happened to one offered job.
+
+    ``job_id`` is the engine id of an accepted job, ``None`` when shed;
+    ``decision`` explains why; ``backpressure`` ∈ [0, 1] is the load
+    signal clients should use to slow down *before* sheds start.
+    """
+
+    job_id: int | None
+    decision: AdmissionDecision
+    backpressure: float = 0.0
+
+    @property
+    def accepted(self) -> bool:
+        return self.job_id is not None
+
+
+class OnlineScheduler:
+    """A live scheduler: one policy, one machine, jobs arriving over time.
+
+    Parameters mirror :func:`repro.flowsim.simulate` — same ``m``,
+    ``policy``, ``seed`` and :class:`~repro.flowsim.FlowSimConfig` give
+    the same trajectory — plus the optional serving collaborators.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        policy: Policy,
+        seed: int = 0,
+        config: FlowSimConfig = FlowSimConfig(),
+        admission: AdmissionController | None = None,
+        metrics: RollingMetrics | None = None,
+    ) -> None:
+        self._stepper = FlowStepper(m, policy, seed=seed, config=config)
+        self.admission = admission
+        self.metrics = metrics
+        self._offered = 0
+        self._shed = 0
+        self._pumped = 0  # completion-log entries already sent to metrics
+
+    # -- plumbing shared with snapshot/restore -----------------------------
+
+    @property
+    def stepper(self) -> FlowStepper:
+        return self._stepper
+
+    @classmethod
+    def _from_stepper(
+        cls,
+        stepper: FlowStepper,
+        admission: AdmissionController | None = None,
+        metrics: RollingMetrics | None = None,
+        offered: int | None = None,
+        shed: int = 0,
+    ) -> "OnlineScheduler":
+        sched = cls.__new__(cls)
+        sched._stepper = stepper
+        sched.admission = admission
+        sched.metrics = metrics
+        sched._offered = stepper.n_jobs + shed if offered is None else offered
+        sched._shed = shed
+        sched._pumped = len(stepper.completion_log)
+        return sched
+
+    # -- clock & introspection ---------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._stepper.now
+
+    @property
+    def m(self) -> int:
+        return self._stepper.m
+
+    @property
+    def policy(self) -> Policy:
+        return self._stepper.policy
+
+    @property
+    def n_submitted(self) -> int:
+        """Jobs accepted into the engine (excludes sheds)."""
+        return self._stepper.n_jobs
+
+    @property
+    def n_offered(self) -> int:
+        """All jobs ever offered, accepted or shed."""
+        return self._offered
+
+    @property
+    def n_shed(self) -> int:
+        return self._shed
+
+    @property
+    def n_completed(self) -> int:
+        return self._stepper.n_completed
+
+    @property
+    def n_active(self) -> int:
+        return self._stepper.n_active + self._stepper.n_pending
+
+    @property
+    def drained(self) -> bool:
+        return self._stepper.drained
+
+    def query(self, job_id: int) -> dict:
+        """Status of one accepted job: pending, running or completed."""
+        st = self._stepper
+        if not 0 <= job_id < st.n_jobs:
+            raise KeyError(f"unknown job {job_id}")
+        flow = st.flow_time_of(job_id)
+        spec = st.specs[job_id]
+        if flow is not None:
+            return {
+                "job_id": job_id,
+                "state": "completed",
+                "flow_time": flow,
+                "finish": spec.release + flow,
+            }
+        if job_id in st.active_ids():
+            return {
+                "job_id": job_id,
+                "state": "running",
+                "remaining": st.remaining_of(job_id),
+            }
+        return {"job_id": job_id, "state": "pending", "release": spec.release}
+
+    def stats(self) -> dict:
+        """Instantaneous counters plus windowed metrics when attached."""
+        out = {
+            "now": self.now,
+            "m": self.m,
+            "policy": self.policy.name,
+            "offered": self.n_offered,
+            "submitted": self.n_submitted,
+            "shed": self.n_shed,
+            "completed": self.n_completed,
+            "active": self._stepper.n_active,
+            "pending": self._stepper.n_pending,
+            "backlog_work": self._stepper.backlog_work(),
+            "events": self._stepper.events,
+        }
+        if self.admission is not None:
+            out["load_estimate"] = self.admission.load_estimate(self.now)
+            out["backpressure"] = self.admission.backpressure(
+                self.now, self.n_active
+            )
+        if self.metrics is not None:
+            out["window"] = self.metrics.windowed(self.now)
+        return out
+
+    # -- the online API ----------------------------------------------------
+
+    def submit(
+        self,
+        work: float,
+        span: float | None = None,
+        mode: ParallelismMode | str = ParallelismMode.SEQUENTIAL,
+        weight: float = 1.0,
+        release: float | None = None,
+    ) -> SubmitOutcome:
+        """Offer one job; returns whether it was queued or shed.
+
+        ``release`` defaults to the current clock (``now``); a future
+        release stamps the job as a scheduled arrival (the clock does
+        *not* jump to it).  Submitting into the past is an error — the
+        trajectory up to ``now`` is already fixed.
+        """
+        if isinstance(mode, str):
+            mode = ParallelismMode(mode)
+        if release is None:
+            release = self.now
+        if span is None:
+            span = work if mode is ParallelismMode.SEQUENTIAL else work / self.m
+        self._offered += 1
+        decision = AdmissionDecision.ACCEPT
+        backpressure = 0.0
+        if self.admission is not None:
+            self.admission.observe(release, work)
+            decision = self.admission.decide(
+                t=release,
+                work=work,
+                active=self.n_active,
+                backlog_work=self._stepper.backlog_work(),
+            )
+            backpressure = self.admission.backpressure(release, self.n_active)
+        if decision is not AdmissionDecision.ACCEPT:
+            self._shed += 1
+            if self.metrics is not None:
+                self.metrics.on_shed(release)
+            return SubmitOutcome(None, decision, backpressure)
+        spec = JobSpec(
+            job_id=self._stepper.n_jobs,
+            release=release,
+            work=work,
+            span=span,
+            mode=mode,
+            weight=weight,
+        )
+        job_id = self._stepper.add_job(spec)
+        if self.metrics is not None:
+            self.metrics.on_submit(release)
+        return SubmitOutcome(job_id, decision, backpressure)
+
+    def submit_spec(self, spec: JobSpec) -> int:
+        """Register a pre-built spec verbatim, bypassing admission control.
+
+        The spec's ``job_id`` must equal :attr:`n_submitted` — this is the
+        replay path used by the equivalence tests, where the job sequence
+        must match an offline trace exactly.
+        """
+        self._offered += 1
+        job_id = self._stepper.add_job(spec)
+        if self.metrics is not None:
+            self.metrics.on_submit(spec.release)
+        return job_id
+
+    def advance_to(self, t: float) -> None:
+        """Run the machine forward to sim-time ``t``; never rewinds."""
+        self._stepper.advance_to(t)
+        self._pump_completions()
+
+    def drain(self) -> ScheduleResult:
+        """Run until every accepted job completes; return the full result.
+
+        The result is directly comparable to (and, for a faithfully
+        replayed trace, identical to) :func:`repro.flowsim.simulate` on
+        the same job sequence.
+        """
+        self._stepper.drain()
+        self._pump_completions()
+        return self._stepper.result()
+
+    def result(self, partial: bool = True) -> ScheduleResult:
+        """Result so far (completed jobs only unless already drained)."""
+        return self._stepper.result(partial=partial and not self.drained)
+
+    def _pump_completions(self) -> None:
+        if self.metrics is None:
+            return
+        log = self._stepper.completion_log
+        for job_id, finish in log[self._pumped :]:
+            flow = self._stepper.flow_time_of(job_id)
+            assert flow is not None
+            self.metrics.on_complete(finish, flow)
+        self._pumped = len(log)

@@ -1,0 +1,339 @@
+"""Asyncio JSON-lines scheduling server.
+
+One engine, one listening socket.  Each request is a single JSON object
+on its own line; each response is a single JSON line with ``"ok"`` plus
+op-specific fields (requests may carry an ``"id"`` which is echoed
+back).  The protocol is documented operation-by-operation in
+``docs/serving.md``; the short version::
+
+    {"op": "hello"}                          -> server identity & config
+    {"op": "submit", "work": 3.5, ...}       -> queue (or shed) one job
+    {"op": "advance", "to": 120.0}           -> move the sim clock forward
+    {"op": "query", "job_id": 7}             -> job status
+    {"op": "stats"}                          -> counters + windowed metrics
+    {"op": "metrics"}                        -> Prometheus text exposition
+    {"op": "drain"}                          -> run empty, full result
+    {"op": "snapshot", "path": "..."}        -> checkpoint to disk
+    {"op": "shutdown"}                       -> stop the server
+
+Two clock modes:
+
+* ``trace`` (default) — virtual time: the clock advances only when a
+  submitted job carries a ``release`` stamp ahead of it, or via an
+  explicit ``advance`` op.  This is the replay mode: streaming a trace's
+  jobs at their release stamps reproduces the batch simulation
+  bit-for-bit, which is what makes live results comparable to offline
+  figures.
+* ``wall`` — a background ticker maps real time onto the sim clock at
+  ``time_scale`` sim-units per second; unstamped submissions are
+  released "now".
+
+All engine access is serialized through one asyncio lock — the engine
+itself is the single-machine resource being scheduled.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+from repro.flowsim.engine import FlowSimConfig, FlowSimError
+from repro.flowsim.policies import policy_by_name
+from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.metrics import RollingMetrics
+from repro.serve.online import OnlineScheduler
+from repro.serve.snapshot import snapshot_scheduler_file
+
+__all__ = ["ServeConfig", "SchedulerServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server wiring: machine, policy, clock and admission knobs."""
+
+    m: int = 8
+    policy: str = "drep"
+    seed: int = 0
+    host: str = "127.0.0.1"
+    port: int = 8071
+    clock: str = "trace"  # "trace" (virtual) or "wall" (real time)
+    time_scale: float = 1.0  # sim-time units per wall second (wall mode)
+    tick: float = 0.05  # wall seconds between ticker advances (wall mode)
+    window: float = 1000.0
+    speed: float = 1.0
+    max_active: int | None = None
+    max_backlog: float | None = None
+    max_load: float | None = None
+    halflife: float = 50.0
+    snapshot_path: str | None = None  # default target for the snapshot op
+
+    def __post_init__(self) -> None:
+        if self.clock not in ("trace", "wall"):
+            raise ValueError("clock must be 'trace' or 'wall'")
+        if self.time_scale <= 0 or self.tick <= 0:
+            raise ValueError("time_scale and tick must be > 0")
+
+    def build_scheduler(self) -> OnlineScheduler:
+        admission = None
+        if (
+            self.max_active is not None
+            or self.max_backlog is not None
+            or self.max_load is not None
+        ):
+            admission = AdmissionController(
+                AdmissionConfig(
+                    max_active=self.max_active,
+                    max_backlog=self.max_backlog,
+                    max_load=self.max_load,
+                    halflife=self.halflife,
+                ),
+                self.m,
+            )
+        return OnlineScheduler(
+            m=self.m,
+            policy=policy_by_name(self.policy),
+            seed=self.seed,
+            config=FlowSimConfig(speed=self.speed, max_events=None),
+            admission=admission,
+            metrics=RollingMetrics(window=self.window),
+        )
+
+
+class SchedulerServer:
+    """The serving loop around one :class:`OnlineScheduler`.
+
+    ``scheduler`` overrides the one built from ``config`` — that is the
+    restore-from-snapshot path (``drep-sim serve --restore``).
+    """
+
+    def __init__(
+        self, config: ServeConfig, scheduler: OnlineScheduler | None = None
+    ) -> None:
+        self.config = config
+        self.scheduler = (
+            scheduler if scheduler is not None else config.build_scheduler()
+        )
+        self._lock = asyncio.Lock()
+        self._server: asyncio.base_events.Server | None = None
+        self._clients: dict[asyncio.Task, asyncio.StreamWriter] = {}
+        self._ticker: asyncio.Task | None = None
+        self._wall_origin: float | None = None
+        self._sim_origin = 0.0
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """Actual bound port (useful with ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        if self.config.clock == "wall":
+            loop = asyncio.get_running_loop()
+            self._wall_origin = loop.time()
+            self._sim_origin = self.scheduler.now
+            self._ticker = asyncio.create_task(self._tick_forever())
+
+    async def wait_closed(self) -> None:
+        """Block until a ``shutdown`` op (or :meth:`stop`) ends the server."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.cancel()
+            try:
+                await self._ticker
+            except asyncio.CancelledError:
+                pass
+            self._ticker = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # closing the writers EOFs each client's readline, so handlers
+        # drain out on their own — cancelling them instead trips
+        # StreamReaderProtocol's noisy done-callback on CPython 3.11
+        for writer in self._clients.values():
+            writer.close()
+        await asyncio.gather(*self._clients, return_exceptions=True)
+        self._clients.clear()
+        self._stopped.set()
+
+    def _wall_now(self) -> float:
+        assert self._wall_origin is not None
+        elapsed = asyncio.get_running_loop().time() - self._wall_origin
+        return self._sim_origin + elapsed * self.config.time_scale
+
+    async def _tick_forever(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.tick)
+            async with self._lock:
+                self.scheduler.advance_to(self._wall_now())
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients[task] = writer
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("bye"):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if task is not None:
+                self._clients.pop(task, None)
+            writer.close()
+
+    async def _dispatch_line(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        req_id = request.get("id")
+        try:
+            response = await self._dispatch(request)
+        except (FlowSimError, ValueError, KeyError, OSError) as exc:
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if req_id is not None:
+            response["id"] = req_id
+        return response
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if op is None or handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        async with self._lock:
+            return handler(request)
+
+    # -- ops (called with the lock held) -----------------------------------
+
+    def _op_hello(self, request: dict) -> dict:
+        cfg = self.config
+        return {
+            "ok": True,
+            "service": "drep-serve",
+            "m": self.scheduler.m,
+            "policy": self.scheduler.policy.name,
+            "policy_key": cfg.policy,
+            "seed": self.scheduler.stepper.seed,
+            "clock": cfg.clock,
+            "speed": cfg.speed,
+            "window": cfg.window,
+            "now": self.scheduler.now,
+        }
+
+    def _op_submit(self, request: dict) -> dict:
+        work = request.get("work")
+        if not isinstance(work, (int, float)) or not work > 0:
+            raise ValueError("submit requires work > 0")
+        release = request.get("release")
+        if self.config.clock == "wall":
+            self.scheduler.advance_to(self._wall_now())
+            if release is None:
+                release = self.scheduler.now
+        elif release is not None:
+            # trace clock: the submission drives time to its release stamp
+            self.scheduler.advance_to(float(release))
+        outcome = self.scheduler.submit(
+            work=float(work),
+            span=request.get("span"),
+            mode=request.get("mode", "sequential"),
+            weight=float(request.get("weight", 1.0)),
+            release=None if release is None else float(release),
+        )
+        return {
+            "ok": True,
+            "accepted": outcome.accepted,
+            "job_id": outcome.job_id,
+            "decision": outcome.decision.value,
+            "backpressure": outcome.backpressure,
+            "now": self.scheduler.now,
+        }
+
+    def _op_advance(self, request: dict) -> dict:
+        if self.config.clock == "wall":
+            raise ValueError("advance is only valid with the trace clock")
+        to = request.get("to")
+        if not isinstance(to, (int, float)):
+            raise ValueError("advance requires a numeric 'to'")
+        self.scheduler.advance_to(float(to))
+        return {"ok": True, "now": self.scheduler.now}
+
+    def _op_query(self, request: dict) -> dict:
+        job_id = request.get("job_id")
+        if not isinstance(job_id, int):
+            raise ValueError("query requires an integer job_id")
+        return {"ok": True, **self.scheduler.query(job_id)}
+
+    def _op_stats(self, request: dict) -> dict:
+        if self.config.clock == "wall":
+            self.scheduler.advance_to(self._wall_now())
+        return {"ok": True, "stats": self.scheduler.stats()}
+
+    def _op_metrics(self, request: dict) -> dict:
+        sched = self.scheduler
+        if self.config.clock == "wall":
+            sched.advance_to(self._wall_now())
+        assert sched.metrics is not None
+        gauges = {}
+        if sched.admission is not None:
+            gauges["backpressure"] = sched.admission.backpressure(
+                sched.now, sched.n_active
+            )
+            gauges["load_estimate"] = sched.admission.load_estimate(sched.now)
+        text = sched.metrics.to_prometheus(
+            sched.now, active=sched.n_active, **gauges
+        )
+        return {"ok": True, "content_type": "text/plain; version=0.0.4", "text": text}
+
+    def _op_drain(self, request: dict) -> dict:
+        result = self.scheduler.drain()
+        summary = {
+            k: v for k, v in result.summary().items() if _jsonable(v)
+        }
+        out = {"ok": True, "now": self.scheduler.now, "result": summary}
+        if request.get("include_flows"):
+            out["flow_times"] = [float(f) for f in result.flow_times]
+        return out
+
+    def _op_snapshot(self, request: dict) -> dict:
+        path = request.get("path") or self.config.snapshot_path
+        if not path:
+            raise ValueError(
+                "snapshot requires a 'path' (or serve --snapshot-path)"
+            )
+        written = snapshot_scheduler_file(self.scheduler, path)
+        return {"ok": True, "path": str(written), "now": self.scheduler.now}
+
+    def _op_ping(self, request: dict) -> dict:
+        return {"ok": True, "now": self.scheduler.now}
+
+    def _op_shutdown(self, request: dict) -> dict:
+        asyncio.get_running_loop().call_soon(
+            lambda: asyncio.ensure_future(self.stop())
+        )
+        return {"ok": True, "bye": True}
+
+
+def _jsonable(v) -> bool:
+    return isinstance(v, (bool, int, float, str)) or v is None

@@ -144,6 +144,59 @@ class TestPolicyValidation:
             simulate(make_trace([1.0]), m=0, policy=FIFO())
 
 
+class TestEventBudget:
+    """The Zeno guard: a bounded default event budget of ``60 * n + 1000``."""
+
+    class ZenoTimer(Policy):
+        """Serves properly, but schedules timers at ever-shrinking steps."""
+
+        name = "zeno"
+
+        def rates(self, view: ActiveView) -> np.ndarray:
+            rates = np.zeros(view.n)
+            rates[0] = min(1.0, view.caps[0])
+            return rates
+
+        def next_timer(self, view: ActiveView) -> float | None:
+            return view.t + 1e-12
+
+    def test_default_matches_docstring(self):
+        from repro.flowsim.engine import default_max_events
+
+        for n in (0, 1, 10, 1000):
+            assert default_max_events(n) == 60 * n + 1000
+        # keep the formula and its documentation in lockstep
+        assert "60 * n + 1000" in default_max_events.__doc__
+
+    def test_default_budget_admits_normal_runs(self, small_random_trace):
+        # None in the config means "use the default", not "unbounded"
+        r = simulate(
+            small_random_trace,
+            m=4,
+            policy=RoundRobin(),
+            config=FlowSimConfig(max_events=None),
+        )
+        n = len(small_random_trace)
+        assert r.extra["events"] <= 60 * n + 1000
+
+    def test_zeno_policy_trips_the_guard(self):
+        trace = make_trace([1.0, 2.0, 3.0])
+        with pytest.raises(FlowSimError, match="Zeno"):
+            simulate(trace, m=1, policy=self.ZenoTimer())
+
+    def test_explicit_budget_overrides_default(self):
+        # a generous explicit cap lets the same pathological policy limp
+        # further than the default would
+        trace = make_trace([0.001])
+        with pytest.raises(FlowSimError, match="exceeded 5 events"):
+            simulate(
+                trace,
+                m=1,
+                policy=self.ZenoTimer(),
+                config=FlowSimConfig(max_events=5),
+            )
+
+
 class TestDeterminism:
     def test_same_seed_same_result(self, small_random_trace):
         from repro.flowsim.policies import DrepSequential

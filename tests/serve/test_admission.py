@@ -1,0 +1,124 @@
+"""Admission control: caps, load estimation and backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+
+
+def controller(**kwargs) -> AdmissionController:
+    m = kwargs.pop("m", 4)
+    return AdmissionController(AdmissionConfig(**kwargs), m)
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_active=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_backlog=-1.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_load=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(halflife=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(AdmissionConfig(), m=0)
+
+
+class TestDecisions:
+    def test_unlimited_accepts_everything(self):
+        ctrl = controller()
+        for k in range(100):
+            assert ctrl.decide(
+                t=float(k), work=5.0, active=k, backlog_work=5.0 * k
+            ).accepted
+
+    def test_queue_cap(self):
+        ctrl = controller(max_active=3)
+        assert ctrl.decide(0.0, 1.0, active=2, backlog_work=2.0).accepted
+        decision = ctrl.decide(0.0, 1.0, active=3, backlog_work=3.0)
+        assert decision is AdmissionDecision.SHED_QUEUE_FULL
+
+    def test_backlog_cap_counts_offered_work(self):
+        # backlog is in drain-time units: work / m
+        ctrl = controller(max_backlog=10.0, m=2)
+        assert ctrl.decide(0.0, work=1.0, active=1, backlog_work=18.0).accepted
+        decision = ctrl.decide(0.0, work=5.0, active=1, backlog_work=18.0)
+        assert decision is AdmissionDecision.SHED_BACKLOG
+
+    def test_overload_shedding_kicks_in(self):
+        ctrl = controller(max_load=0.9, halflife=10.0, m=1)
+        # offered load 2.0: a work-1.0 job every 0.5 time units on m=1
+        decisions = []
+        t = 0.0
+        for _ in range(200):
+            ctrl.observe(t, 1.0)
+            decisions.append(ctrl.decide(t, 1.0, active=0, backlog_work=0.0))
+            t += 0.5
+        assert decisions[-1] is AdmissionDecision.SHED_OVERLOAD
+        # warm-up accepts a few before the estimator catches up
+        assert decisions[0].accepted
+
+
+class TestLoadEstimate:
+    def test_converges_to_offered_load(self):
+        ctrl = controller(halflife=20.0, m=4)
+        # rate 2 jobs/unit, mean work 1.4 => rho = 2 * 1.4 / 4 = 0.7
+        t = 0.0
+        for _ in range(2000):
+            ctrl.observe(t, 1.4)
+            t += 0.5
+        assert ctrl.load_estimate(t) == pytest.approx(0.7, rel=0.1)
+
+    def test_decays_when_traffic_stops(self):
+        ctrl = controller(halflife=5.0, m=1)
+        t = 0.0
+        for _ in range(100):
+            ctrl.observe(t, 1.0)
+            t += 1.0
+        busy = ctrl.load_estimate(t)
+        idle = ctrl.load_estimate(t + 50.0)  # ten half-lives later
+        assert idle < busy / 500
+        assert ctrl.load_estimate(t) == pytest.approx(busy)  # read-only
+
+    def test_empty_estimator_is_zero(self):
+        assert controller().load_estimate(123.0) == 0.0
+
+
+class TestBackpressure:
+    def test_monotone_in_queue_occupancy(self):
+        ctrl = controller(max_active=10)
+        values = [ctrl.backpressure(0.0, active=k) for k in range(0, 11, 2)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+
+    def test_clamped_to_unit_interval(self):
+        ctrl = controller(max_active=2)
+        assert ctrl.backpressure(0.0, active=50) == 1.0
+
+    def test_without_caps_falls_back_to_load(self):
+        ctrl = controller(halflife=10.0, m=1)
+        t = 0.0
+        for _ in range(100):
+            ctrl.observe(t, 2.0)
+            t += 1.0
+        assert 0.0 < ctrl.backpressure(t, active=0) <= 1.0
+
+
+class TestCheckpoint:
+    def test_state_roundtrip_preserves_estimate(self):
+        ctrl = controller(max_active=7, max_load=0.9, halflife=12.0)
+        t = 0.0
+        for _ in range(50):
+            ctrl.observe(t, 3.0)
+            t += 0.25
+        restored = AdmissionController.from_state_dict(ctrl.state_dict())
+        assert restored.load_estimate(t) == ctrl.load_estimate(t)
+        assert restored.config == ctrl.config
+        assert restored.m == ctrl.m
