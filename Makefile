@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke serve-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-json serve-smoke figures report examples clean
+
+# perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
+PR ?= 2
 
 install:
 	pip install -e '.[test]'
@@ -18,6 +21,10 @@ bench:
 
 bench-smoke:
 	REPRO_BENCH_SCALE=0.05 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# full-size throughput suite -> BENCH_$(PR).json perf-trajectory entry
+bench-json:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --pr $(PR)
 
 # boot a live server, push 100 jobs through it, verify the drained flow
 # times against offline flowsim.simulate, then tear the server down

@@ -10,7 +10,8 @@ order regardless of completion order, and each cell's seed is explicit.
 Cells are described *declaratively* (:class:`FlowCell`) rather than as
 closures so they pickle cheaply; the worker process rebuilds the trace
 from its generation parameters instead of shipping 100k-job arrays
-through the pipe.
+through the pipe, and memoizes it per process (``_TRACE_MEMO``) so the
+many cells of a sweep that differ only in policy generate it once.
 """
 
 from __future__ import annotations
@@ -22,6 +23,38 @@ from dataclasses import dataclass, field
 from repro.core.job import ParallelismMode
 
 __all__ = ["FlowCell", "run_cells", "parallel_flow_sweep"]
+
+
+#: Per-worker-process memo of generated traces.  A sweep runs many cells
+#: that differ only in policy, so every worker process would otherwise
+#: regenerate the identical trace once per policy; generation is a
+#: deterministic pure function of the key, so sharing is safe (simulators
+#: never mutate specs).  Bounded FIFO so a long-lived pool cannot grow
+#: without limit.
+_TRACE_MEMO: dict[tuple, object] = {}
+_TRACE_MEMO_MAX = 64
+
+
+def _memoized_trace(
+    distribution: str, load: float, m: int, n_jobs: int, mode: str, seed: int
+):
+    key = (distribution, load, m, n_jobs, mode, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        from repro.workloads.traces import generate_trace
+
+        trace = generate_trace(
+            n_jobs=n_jobs,
+            distribution=distribution,
+            load=load,
+            m=m,
+            mode=ParallelismMode(mode),
+            seed=seed,
+        )
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace
 
 
 @dataclass(frozen=True)
@@ -42,15 +75,9 @@ class FlowCell:
         """Execute in the current process; returns a flat result row."""
         from repro.flowsim.engine import FlowSimConfig, simulate
         from repro.flowsim.policies import policy_by_name
-        from repro.workloads.traces import generate_trace
 
-        trace = generate_trace(
-            n_jobs=self.n_jobs,
-            distribution=self.distribution,
-            load=self.load,
-            m=self.m,
-            mode=ParallelismMode(self.mode),
-            seed=self.seed,
+        trace = _memoized_trace(
+            self.distribution, self.load, self.m, self.n_jobs, self.mode, self.seed
         )
         policy = policy_by_name(self.policy, **dict(self.policy_kwargs))
         result = simulate(

@@ -10,6 +10,8 @@ Installed as ``drep-sim``.  Examples::
     drep-sim report --out report.md --flow-jobs 5000
     drep-sim serve --m 8 --policy drep --port 8071
     drep-sim loadgen --port 8071 --n-jobs 1000 --load 0.7 --verify
+    drep-sim bench --pr 2            # writes BENCH_2.json
+    drep-sim bench --scale 0.05      # CI smoke sizing, print only
 
 Each subcommand prints the corresponding figure's series as a table
 (mean flow time per scheduler over the swept parameter).  Sizes default
@@ -198,6 +200,30 @@ def main(argv: list[str] | None = None) -> int:
         help="cross-check drained flow times against offline flowsim.simulate",
     )
 
+    p11 = sub.add_parser(
+        "bench",
+        help="throughput suite; optionally writes the BENCH_<pr>.json trajectory",
+    )
+    p11.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="job-count multiplier (default: $REPRO_BENCH_SCALE or 1.0)",
+    )
+    p11.add_argument("--repeats", type=int, default=3)
+    p11.add_argument(
+        "--pr",
+        type=int,
+        default=None,
+        help="perf-trajectory entry number; writes BENCH_<pr>.json",
+    )
+    p11.add_argument(
+        "--out", default=None, help="explicit output path (overrides --pr naming)"
+    )
+    p11.add_argument(
+        "--cases", nargs="+", default=None, help="subset of bench case names"
+    )
+
     p7 = sub.add_parser(
         "hetero", help="related-machines comparison (the paper's open problem)"
     )
@@ -230,7 +256,48 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(args)
     if args.command == "loadgen":
         return _loadgen(args)
+    if args.command == "bench":
+        return _bench(args)
     return 2  # pragma: no cover
+
+
+def _bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.perf import (
+        BENCH_CASES,
+        run_bench_suite,
+        trajectory_entry,
+        write_trajectory,
+    )
+
+    scale = args.scale
+    if scale is None:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    cases = BENCH_CASES
+    if args.cases:
+        by_name = {c.name: c for c in BENCH_CASES}
+        unknown = sorted(set(args.cases) - set(by_name))
+        if unknown:
+            print(
+                f"bench: unknown case(s) {', '.join(unknown)}; "
+                f"available: {', '.join(by_name)}",
+                file=sys.stderr,
+            )
+            return 2
+        cases = tuple(by_name[name] for name in args.cases)
+    print(f"# drep-sim bench — scale={scale:g}, repeats={args.repeats}")
+    rows = run_bench_suite(
+        scale=scale, repeats=args.repeats, cases=cases, progress=print
+    )
+    if args.out is not None or args.pr is not None:
+        entry = trajectory_entry(
+            rows, pr=args.pr if args.pr is not None else 0,
+            scale=scale, repeats=args.repeats,
+        )
+        path = write_trajectory(args.out or f"BENCH_{args.pr}.json", entry)
+        print(f"wrote {path}")
+    return 0
 
 
 def _figures(args: argparse.Namespace) -> int:

@@ -73,32 +73,51 @@ class DagJob:
     def span(self) -> int:
         """Critical-path length :math:`C_i` — the heaviest path (Sec. II).
 
-        Computed by dynamic programming over the topological node order.
+        Computed by dynamic programming over the topological node order,
+        then cached on the instance (the DAG is immutable and results
+        assembly asks for the span of every job).
         """
+        cached = self.__dict__.get("_span")
+        if cached is not None:
+            return cached
         n = self.n_nodes
-        # depth[v] = heaviest path ending at v, *including* v's weight
-        depth = np.array(self.weights, dtype=np.int64)
-        best_prefix = np.zeros(n, dtype=np.int64)  # heaviest path ending just before v
-        c1, c2, w = self.child1, self.child2, self.weights
+        w = self.weights.tolist()
+        c1 = self.child1.tolist()
+        c2 = self.child2.tolist()
+        # best_prefix[v] = heaviest path ending just before v
+        best_prefix = [0] * n
+        best = 0
         for u in range(n):
             du = best_prefix[u] + w[u]
-            depth[u] = du
-            for c in (c1[u], c2[u]):
-                if c != NO_CHILD and best_prefix[c] < du:
-                    best_prefix[c] = du
-        return int(depth.max())
+            if du > best:
+                best = du
+            c = c1[u]
+            if c != NO_CHILD and best_prefix[c] < du:
+                best_prefix[c] = du
+            c = c2[u]
+            if c != NO_CHILD and best_prefix[c] < du:
+                best_prefix[c] = du
+        object.__setattr__(self, "_span", best)
+        return best
 
     def in_degrees(self) -> np.ndarray:
-        """``int64[n]`` — number of parents per node."""
-        deg = np.zeros(self.n_nodes, dtype=np.int64)
-        for arr in (self.child1, self.child2):
-            valid = arr[arr != NO_CHILD]
-            np.add.at(deg, valid, 1)
-        return deg
+        """``int64[n]`` — number of parents per node (cached; do not mutate)."""
+        cached = self.__dict__.get("_indeg")
+        if cached is None:
+            cached = np.zeros(self.n_nodes, dtype=np.int64)
+            for arr in (self.child1, self.child2):
+                valid = arr[arr != NO_CHILD]
+                np.add.at(cached, valid, 1)
+            object.__setattr__(self, "_indeg", cached)
+        return cached
 
     def sources(self) -> np.ndarray:
-        """Indices of nodes with no parents (initially ready nodes)."""
-        return np.flatnonzero(self.in_degrees() == 0)
+        """Indices of nodes with no parents (cached; do not mutate)."""
+        cached = self.__dict__.get("_sources")
+        if cached is None:
+            cached = np.flatnonzero(self.in_degrees() == 0)
+            object.__setattr__(self, "_sources", cached)
+        return cached
 
     def children_of(self, u: int) -> tuple[int, ...]:
         """Children of node ``u`` as a 0-, 1- or 2-tuple."""

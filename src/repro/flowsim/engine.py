@@ -21,9 +21,19 @@ This mirrors the paper's simulation methodology (Sec. V-A): no scheduling
 or preemption overheads are charged, so results "can be thought of as the
 lower bounds of what these scheduling algorithms can achieve".
 
-Invariants enforced every event (simulation bugs fail loudly rather than
-skew results): rates within per-job caps, total rate within machine
-capacity, work conservation at completion time.
+Invariant checks (rates within per-job caps, total rate within machine
+capacity) are *amortized*: full-strength on the first rate computation
+and every :attr:`FlowSimConfig.check_every_k`-th thereafter, so simulation
+bugs still fail loudly without paying four array passes per event.  Tests
+that exercise the checks set ``check_every_k=1``.
+
+The hot loop is incremental: the active-set index/cap arrays are cached
+and rebuilt only when the active set actually changes, policy hooks and
+timers are invoked only when the policy overrides them, and policies
+declaring :attr:`~repro.flowsim.policies.base.Policy.rates_stable` have
+their rate vector reused until the composition of the active set changes.
+``ScheduleResult.extra["perf"]`` reports what the caches did
+(:class:`repro.perf.PerfCounters`).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from repro.core.metrics import ScheduleResult
 from repro.core.rng import RngFactory
 from repro.dag.profile import ParallelismProfile
 from repro.flowsim.policies.base import ActiveView, Policy
+from repro.perf.counters import PerfCounters
 from repro.workloads.traces import Trace
 
 __all__ = [
@@ -96,6 +107,13 @@ class FlowSimConfig:
     interval with its non-zero allocations.  Costs memory (one entry per
     event); meant for schedule-shape verification and visualization, not
     large sweeps.
+
+    ``check_every_k`` amortizes the rate-invariant checks: the cap /
+    total-capacity / negativity passes run on the first rate computation
+    and every ``k``-th thereafter (the shape check is always on).  The
+    default of 32 keeps buggy policies failing within a few dozen events
+    while removing four full array passes from the steady-state hot loop;
+    tests that exercise the checks directly set ``check_every_k=1``.
     """
 
     completion_tol: float = 1e-9
@@ -103,10 +121,13 @@ class FlowSimConfig:
     speed: float = 1.0
     use_profiles: bool = False
     record_segments: bool = False
+    check_every_k: int = 32
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
             raise ValueError("speed must be > 0")
+        if self.check_every_k < 1:
+            raise ValueError("check_every_k must be >= 1")
 
 
 class FlowStepper:
@@ -173,6 +194,40 @@ class FlowStepper:
         #: append-only ``(job_id, finish_time)`` log for observers
         self._completions: list[tuple[int, float]] = []
         self._weights_dirty = False
+        self._init_runtime_caches()
+
+    def _init_runtime_caches(self) -> None:
+        """Hot-loop state derived from the policy/config, never snapshotted.
+
+        ``_act_ids`` is kept sorted ascending by construction (jobs are
+        admitted in dense id order and removals preserve order), which the
+        cached array index relies on; ``_act_set`` mirrors it for O(1)
+        membership.  The cached active arrays (ids / work / release /
+        caps / tol) are rebuilt lazily only when the active-set
+        *composition* changed since the last view.
+        """
+        self._act_set: set[int] = set(self._act_ids)
+        self._act_dirty = True
+        self._ids_arr = np.empty(0, dtype=np.int64)
+        self._work_arr = np.empty(0, dtype=float)
+        self._rel_arr = np.empty(0, dtype=float)
+        self._caps_arr = np.empty(0, dtype=float)
+        self._tol_arr = np.empty(0, dtype=float)
+        self._rates_cache: np.ndarray | None = None
+        self._rate_calls = 0
+        self._max_events = 0  # 0 = recompute from config/_n on next step
+        ptype = type(self.policy)
+        self._has_arrival_hook = ptype.on_arrival is not Policy.on_arrival
+        self._has_completion_hook = (
+            ptype.on_completion is not Policy.on_completion
+        )
+        self._has_timer = ptype.next_timer is not Policy.next_timer
+        # profile-driven caps move with attained work, which changes
+        # between events without any composition change — no reuse then
+        self._rates_stable = (
+            bool(self.policy.rates_stable) and not self.config.use_profiles
+        )
+        self.perf = PerfCounters()
 
     # -- introspection -----------------------------------------------------
 
@@ -223,8 +278,8 @@ class FlowStepper:
         return list(self._act_ids)
 
     def remaining_of(self, job_id: int) -> float:
-        """Remaining work of an admitted, unfinished job."""
-        if job_id not in self._act_ids:
+        """Remaining work of an admitted, unfinished job (O(1))."""
+        if job_id not in self._act_set:
             raise KeyError(f"job {job_id} not active")
         return float(self._rem[job_id])
 
@@ -286,6 +341,7 @@ class FlowStepper:
             )
         self._profiles.append(prof)
         self._n += 1
+        self._max_events = 0  # budget scales with n; recompute lazily
         if hasattr(self.policy, "set_weights"):
             self._weights_dirty = True
         return j
@@ -315,6 +371,7 @@ class FlowStepper:
         if self._weights_dirty:
             self.policy.set_weights(self._weights[: self._n].copy())
             self._weights_dirty = False
+            self._rates_cache = None
 
     def _caps_for(self, ids: np.ndarray, remaining: np.ndarray) -> np.ndarray:
         caps = self._caps_all[ids].copy()
@@ -327,17 +384,40 @@ class FlowStepper:
                     caps[k] = min(float(self.m), prof.cap_at(attained, tol=tol))
         return caps
 
-    def _build_view(self) -> ActiveView:
+    def _invalidate_active(self) -> None:
+        """The active-set composition changed: drop every derived cache."""
+        self._act_dirty = True
+        self._rates_cache = None
+
+    def _refresh_active(self) -> None:
         ids = np.asarray(self._act_ids, dtype=np.int64)
+        self._ids_arr = ids
+        self._work_arr = self._work[ids]
+        self._rel_arr = self._release[ids]
+        self._caps_arr = self._caps_all[ids]
+        self._tol_arr = self._tol[ids]
+        self._act_dirty = False
+        self.perf.view_builds += 1
+
+    def _build_view(self) -> ActiveView:
+        if self._act_dirty:
+            self._refresh_active()
+        else:
+            self.perf.view_reuses += 1
+        ids = self._ids_arr
         rem = self._rem[ids]
+        if self.config.use_profiles and ids.size:
+            caps = self._caps_for(ids, rem)
+        else:
+            caps = self._caps_arr
         return ActiveView(
             t=self._t,
             m=self.m,
             job_ids=ids,
             remaining=rem,
-            work=self._work[ids] if ids.size else np.empty(0),
-            release=self._release[ids] if ids.size else np.empty(0),
-            caps=self._caps_for(ids, rem) if ids.size else np.empty(0),
+            work=self._work_arr,
+            release=self._rel_arr,
+            caps=caps,
             speed=self.config.speed,
         )
 
@@ -349,6 +429,12 @@ class FlowStepper:
             )
         if view.n == 0:
             return rates
+        calls = self._rate_calls
+        self._rate_calls = calls + 1
+        if calls % self.config.check_every_k:
+            self.perf.checks_skipped += 1
+            return rates
+        self.perf.checks_run += 1
         if (rates < -_RATE_TOL).any():
             raise FlowSimError(f"{self.policy.name}: negative rate")
         if (rates > view.caps * (1 + _RATE_TOL) + _RATE_TOL).any():
@@ -372,7 +458,10 @@ class FlowStepper:
         cfg = self.config
         self._push_weights()
         self._events += 1
-        max_events = cfg.max_events or default_max_events(self._n)
+        max_events = self._max_events
+        if not max_events:
+            max_events = cfg.max_events or default_max_events(self._n)
+            self._max_events = max_events
         if self._events > max_events:
             raise FlowSimError(
                 f"{self.policy.name}: exceeded {max_events} events "
@@ -387,9 +476,12 @@ class FlowStepper:
         ):
             j = self._next_arrival
             self._act_ids.append(j)
+            self._act_set.add(j)
             self._rem[j] = self._work[j]
             self._next_arrival += 1
-            self.policy.on_arrival(j, self._build_view())
+            self._invalidate_active()
+            if self._has_arrival_hook:
+                self.policy.on_arrival(j, self._build_view())
 
         if not self._act_ids:
             if self._next_arrival < self._n:
@@ -406,38 +498,57 @@ class FlowStepper:
 
         # ---- constant-rate segment until the next event -----------------
         view = self._build_view()
-        rates = self._checked_rates(view)
-        eff = rates * cfg.speed  # resource augmentation (Sec. II)
+        rates = self._rates_cache
+        if rates is None:
+            self.perf.rate_misses += 1
+            rates = self._checked_rates(view)
+            if self._rates_stable:
+                self._rates_cache = rates
+        else:
+            self.perf.rate_hits += 1
+        if cfg.speed != 1.0:
+            eff = rates * cfg.speed  # resource augmentation (Sec. II)
+        else:
+            eff = rates
         rem = view.remaining
 
-        dt_candidates: list[float] = []
+        dt = np.inf
         served = eff > 0
-        if served.any():
-            dt_candidates.append(float((rem[served] / eff[served]).min()))
+        if served.all():
+            dt = float((rem / eff).min())
+        elif served.any():
+            dt = float((rem[served] / eff[served]).min())
         if self._next_arrival < self._n:
-            dt_candidates.append(
-                float(self._release[self._next_arrival] - self._t)
-            )
-        timer = self.policy.next_timer(view)
-        if timer is not None and timer > self._t:
-            dt_candidates.append(float(timer - self._t))
+            dt_arr = float(self._release[self._next_arrival]) - self._t
+            if dt_arr < dt:
+                dt = dt_arr
+        if self._has_timer:
+            timer = self.policy.next_timer(view)
+            if timer is not None and timer > self._t:
+                dt_timer = float(timer) - self._t
+                if dt_timer < dt:
+                    dt = dt_timer
         if cfg.use_profiles:
             # stop exactly at the next parallelism-profile breakpoint of
             # any served job so its cap change takes effect on time
             for k in np.flatnonzero(served):
-                prof = self._profiles[self._act_ids[k]]
+                j = self._act_ids[k]
+                prof = self._profiles[j]
                 if prof is None:
                     continue
-                j = self._act_ids[k]
                 tol = cfg.completion_tol * max(1.0, self._work[j])
                 attained = max(0.0, self._work[j] - rem[k])
                 brk = prof.next_break_after(attained, tol=tol)
                 if brk is not None:
-                    dt_candidates.append(float((brk - attained) / eff[k]))
+                    dt_brk = float((brk - attained) / eff[k])
+                    if dt_brk < dt:
+                        dt = dt_brk
         if horizon is not None and horizon > self._t:
-            dt_candidates.append(float(horizon - self._t))
+            dt_hor = float(horizon) - self._t
+            if dt_hor < dt:
+                dt = dt_hor
 
-        if not dt_candidates:
+        if dt == np.inf:
             if horizon is not None:
                 return False  # parked at the horizon with idle-rate jobs
             raise FlowSimError(
@@ -445,13 +556,16 @@ class FlowStepper:
                 f"{len(self._act_ids)} active jobs, zero rates and no "
                 "future events"
             )
-        dt = min(dt_candidates)
         if dt < 0:
             raise FlowSimError(f"{self.policy.name}: negative time step {dt}")
 
+        ids_arr = view.job_ids
+        rem_after = rem
         if dt > 0:
-            ids_arr = view.job_ids
-            self._rem[ids_arr] -= eff * dt
+            # ``rem`` is the gather _build_view already paid for;
+            # ``a[ids] -= x`` would redo it (gather/sub/scatter)
+            rem_after = rem - eff * dt
+            self._rem[ids_arr] = rem_after
             # processor-time, not work
             self._busy_time += float(rates.sum()) * dt
             if cfg.record_segments:
@@ -465,21 +579,33 @@ class FlowStepper:
 
         # ---- completions -------------------------------------------------
         # Jobs whose remaining work dropped (within tolerance) to zero
-        # finish now.  They are removed one at a time, lowest job id first,
-        # and the policy hook sees the active set *after* each removal —
-        # matching the paper's semantics where a freed DREP processor
-        # re-draws from the jobs still alive.
-        while True:
-            ids_arr = np.asarray(self._act_ids, dtype=np.int64)
-            done = ids_arr[self._rem[ids_arr] <= self._tol[ids_arr]]
-            if done.size == 0:
-                break
-            j = int(done.min())
-            self._act_ids.remove(j)
-            self._flow[j] = self._t - self._release[j]
-            self._completed += 1
-            self._completions.append((j, self._t))
-            self.policy.on_completion(j, self._build_view())
+        # finish now.  They are removed lowest job id first, and the policy
+        # hook sees the active set *after* each removal — matching the
+        # paper's semantics where a freed DREP processor re-draws from the
+        # jobs still alive.  Nothing below mutates remaining work, so the
+        # done set is computed once; ``ids_arr`` is sorted ascending, so
+        # iterating ``done`` in order is exactly lowest-id-first.
+        done = ids_arr[rem_after <= self._tol_arr]
+        if done.size:
+            t = self._t
+            if self._has_completion_hook:
+                for j in done.tolist():
+                    self._act_ids.remove(j)
+                    self._act_set.discard(j)
+                    self._flow[j] = t - self._release[j]
+                    self._completed += 1
+                    self._completions.append((j, t))
+                    self._invalidate_active()
+                    self.policy.on_completion(j, self._build_view())
+            else:
+                gone = set(done.tolist())
+                self._act_ids = [j for j in self._act_ids if j not in gone]
+                self._act_set -= gone
+                for j in sorted(gone):
+                    self._flow[j] = t - self._release[j]
+                    self._completed += 1
+                    self._completions.append((j, t))
+                self._invalidate_active()
         return True
 
     def advance_to(self, t: float) -> None:
@@ -527,6 +653,7 @@ class FlowStepper:
         utilization = (
             self._busy_time / (makespan * self.m) if makespan > 0 else 0.0
         )
+        self.perf.events = self._events
         return ScheduleResult(
             scheduler=self.policy.name,
             m=self.m,
@@ -540,6 +667,7 @@ class FlowStepper:
                 "utilization": utilization,
                 "events": self._events,
                 "switches": self.policy.switches,
+                "perf": self.perf.as_dict(),
                 **(
                     {"segments": self._segments}
                     if self.config.record_segments
@@ -572,6 +700,7 @@ class FlowStepper:
                 "speed": self.config.speed,
                 "use_profiles": self.config.use_profiles,
                 "record_segments": self.config.record_segments,
+                "check_every_k": self.config.check_every_k,
             },
             "t": self._t,
             "next_arrival": self._next_arrival,
@@ -666,6 +795,7 @@ class FlowStepper:
         # a weight-aware policy already carries its restored table, but a
         # fresh push is harmless and covers policies restored without one
         stepper._weights_dirty = hasattr(policy, "set_weights")
+        stepper._init_runtime_caches()
         return stepper
 
 
@@ -689,5 +819,7 @@ def simulate(
     stepper = FlowStepper(m, policy, seed=seed, config=config)
     for spec in trace.jobs:
         stepper.add_job(spec)
+    stepper.perf.start()
     stepper.drain()
+    stepper.perf.stop()
     return stepper.result()

@@ -63,6 +63,10 @@ class Policy(abc.ABC):
     new job joins the active set; ``on_completion`` *after* the finished job
     leaves it.  :meth:`next_timer` lets a policy request an extra event
     (e.g. SETF's service-level crossings); return ``None`` for never.
+
+    :meth:`rates` must return a *fresh* array on every call (never a view
+    of internal state that a later hook mutates): the engine may hold on
+    to the vector across events when :attr:`rates_stable` permits.
     """
 
     #: Human-readable name used in results and plots.
@@ -72,6 +76,20 @@ class Policy(abc.ABC):
     #: paper stresses DREP and RR are non-clairvoyant while SRPT/SJF/SWF
     #: are not; exposed so harnesses can annotate tables.
     clairvoyant: bool = False
+
+    #: **Rate-stability contract.**  ``True`` declares that the rate
+    #: vector is a pure function of the active-set *composition* — job
+    #: ids, caps, and static per-job attributes (total work, release,
+    #: weight) plus any internal state mutated only inside the
+    #: arrival/completion hooks.  It must NOT depend on ``remaining`` /
+    #: ``attained`` service or the clock ``t``, which drift between
+    #: events.  The engine then reuses the last rate vector until the
+    #: active set changes (RR/equi-partition-style policies are constant
+    #: between events), which makes horizon stops and segment splits in
+    #: the serving layer free.  Policies whose priorities move with
+    #: attained or remaining work (SRPT, SETF, MLF) must leave this
+    #: ``False``.
+    rates_stable: bool = False
 
     def reset(self, m: int, rng: np.random.Generator) -> None:
         """Prepare for a fresh run on an ``m``-processor machine."""

@@ -34,6 +34,45 @@ __all__ = ["DrepSequential", "DrepParallel"]
 _FREE = -1
 
 
+def _served_positions(job_ids: np.ndarray, assigned: np.ndarray) -> np.ndarray:
+    """View positions of the ``assigned`` job ids present in ``job_ids``.
+
+    ``job_ids`` is sorted ascending and unique (engine invariant), so a
+    binary search over the at-most-``m`` assigned ids replaces the O(n·m)
+    ``np.isin`` scan the hot loop used to pay per event.
+    """
+    pos = job_ids.searchsorted(assigned)
+    np.minimum(pos, job_ids.size - 1, out=pos)
+    return pos[job_ids[pos] == assigned]
+
+
+def _unassigned_ids(job_ids: np.ndarray, assignment: np.ndarray) -> np.ndarray:
+    """Active job ids with no processor — ``setdiff1d`` without the sort.
+
+    Returns exactly what ``np.setdiff1d(job_ids, assignment)`` returns
+    (``job_ids`` is already sorted unique, so masking preserves order),
+    keeping the completion re-draw bit-for-bit identical.
+    """
+    if job_ids.size == 0:
+        return job_ids
+    assigned = assignment[assignment != _FREE]
+    if assigned.size == 0:
+        return job_ids
+    keep = np.ones(job_ids.size, dtype=bool)
+    keep[_served_positions(job_ids, assigned)] = False
+    return job_ids[keep]
+
+
+def _one_proc_rates(view: ActiveView, assignment: np.ndarray) -> np.ndarray:
+    """Rate vector when every assigned job holds exactly one processor."""
+    rates = np.zeros(view.n, dtype=float)
+    assigned = assignment[assignment != _FREE]
+    if assigned.size and view.n:
+        pos = _served_positions(view.job_ids, assigned)
+        rates[pos] = np.minimum(1.0, view.caps[pos])
+    return rates
+
+
 class _DrepBase(Policy):
     """Shared machinery: per-processor assignment table and counters.
 
@@ -45,6 +84,9 @@ class _DrepBase(Policy):
     """
 
     clairvoyant = False
+    # the assignment table only changes inside the arrival/completion
+    # hooks, so the rate vector is stable between composition changes
+    rates_stable = True
 
     def __init__(self, arrival_switch_prob: float | None = None) -> None:
         if arrival_switch_prob is not None and not 0 < arrival_switch_prob <= 1:
@@ -90,7 +132,7 @@ class _DrepBase(Policy):
     def processors_of(self, job_id: int) -> np.ndarray:
         """Indices of processors currently assigned to ``job_id``."""
         assert self._assignment is not None
-        return np.flatnonzero(self._assignment == job_id)
+        return (self._assignment == job_id).nonzero()[0]
 
     def _assign(self, proc: int, job_id: int, preempt: bool) -> None:
         """Move processor ``proc`` onto ``job_id``, updating counters."""
@@ -108,7 +150,7 @@ class _DrepBase(Policy):
 
     def _release_procs_of(self, job_id: int) -> np.ndarray:
         assert self._assignment is not None
-        procs = np.flatnonzero(self._assignment == job_id)
+        procs = (self._assignment == job_id).nonzero()[0]
         self._assignment[procs] = _FREE
         self._last_proc.pop(job_id, None)
         return procs
@@ -121,14 +163,14 @@ class DrepSequential(_DrepBase):
 
     def on_arrival(self, job_id: int, view: ActiveView) -> None:
         assert self._assignment is not None and self._rng is not None
-        free = np.flatnonzero(self._assignment == _FREE)
+        free = (self._assignment == _FREE).nonzero()[0]
         if free.size:
             # a free processor takes the new job; no preemption
             self._assign(int(free[0]), job_id, preempt=False)
             return
         n_active = view.n  # includes the new job
         flips = self._rng.random(self._assignment.size) < self._switch_prob(n_active)
-        winners = np.flatnonzero(flips)
+        winners = flips.nonzero()[0]
         if winners.size == 0:
             return  # job waits in the unassigned queue
         # tie-break: exactly one of the coin winners switches (Sec. III,
@@ -140,7 +182,7 @@ class DrepSequential(_DrepBase):
         assert self._assignment is not None and self._rng is not None
         freed = self._release_procs_of(job_id)
         for proc in freed:
-            unassigned = np.setdiff1d(view.job_ids, self._assignment, assume_unique=False)
+            unassigned = _unassigned_ids(view.job_ids, self._assignment)
             if unassigned.size == 0:
                 continue  # processor stays free
             pick = int(unassigned[self._rng.integers(unassigned.size)])
@@ -148,13 +190,8 @@ class DrepSequential(_DrepBase):
 
     def rates(self, view: ActiveView) -> np.ndarray:
         assert self._assignment is not None
-        rates = np.zeros(view.n, dtype=float)
-        assigned = self._assignment[self._assignment != _FREE]
-        if assigned.size:
-            # sequential DREP gives each job at most one processor
-            served = np.isin(view.job_ids, assigned)
-            rates[served] = np.minimum(1.0, view.caps[served])
-        return rates
+        # sequential DREP gives each job at most one processor
+        return _one_proc_rates(view, self._assignment)
 
 
 class DrepParallel(_DrepBase):
@@ -164,12 +201,12 @@ class DrepParallel(_DrepBase):
 
     def on_arrival(self, job_id: int, view: ActiveView) -> None:
         assert self._assignment is not None and self._rng is not None
-        free = np.flatnonzero(self._assignment == _FREE)
+        free = (self._assignment == _FREE).nonzero()[0]
         for proc in free:
             # idle processors exist only when the machine was empty; they
             # all join the newcomer (work stealing spreads them internally)
             self._assign(int(proc), job_id, preempt=False)
-        busy = np.flatnonzero(self._assignment != _FREE)
+        busy = (self._assignment != _FREE).nonzero()[0]
         busy = busy[self._assignment[busy] != job_id]
         if busy.size == 0:
             return
@@ -193,9 +230,8 @@ class DrepParallel(_DrepBase):
         assigned = self._assignment[self._assignment != _FREE]
         if assigned.size == 0 or view.n == 0:
             return rates
-        ids, counts = np.unique(assigned, return_counts=True)
-        pos = np.searchsorted(ids, view.job_ids)
-        pos_clip = np.minimum(pos, ids.size - 1)
-        hit = ids[pos_clip] == view.job_ids
-        rates[hit] = np.minimum(view.caps[hit], counts[pos_clip[hit]].astype(float))
+        # per-job processor counts in one bincount pass; ids outside the
+        # active set simply never get read back (assignment ⊆ active ids)
+        counts = np.bincount(assigned, minlength=int(view.job_ids[-1]) + 1)
+        np.minimum(view.caps, counts[view.job_ids], out=rates)
         return rates

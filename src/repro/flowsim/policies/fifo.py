@@ -22,6 +22,7 @@ class FIFO(Policy):
 
     name = "FIFO"
     clairvoyant = False
+    rates_stable = True  # priority is the static release time
 
     def rates(self, view: ActiveView) -> np.ndarray:
         order = np.lexsort((view.job_ids, view.release))

@@ -28,6 +28,7 @@ class LAPS(Policy):
     """Equal sharing among the latest-arriving ``beta`` fraction of jobs."""
 
     clairvoyant = False
+    rates_stable = True  # the beta-fraction depends only on releases/ids
 
     def __init__(self, beta: float = 0.5) -> None:
         if not 0 < beta <= 1:

@@ -24,7 +24,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.flowsim.policies.base import ActiveView, Policy
-from repro.flowsim.policies.drep import _FREE, _DrepBase
+from repro.flowsim.policies.drep import (
+    _FREE,
+    _DrepBase,
+    _one_proc_rates,
+    _unassigned_ids,
+)
 from repro.flowsim.rates import priority_waterfill
 
 __all__ = ["HDF", "WSRPT", "WDrep"]
@@ -54,6 +59,7 @@ class HDF(_WeightAware):
 
     name = "HDF"
     clairvoyant = True
+    rates_stable = True  # density uses static weight / total work
 
     def rates(self, view: ActiveView) -> np.ndarray:
         density = self.weights_of(view) / view.work
@@ -118,7 +124,7 @@ class WDrep(_DrepBase):
         assert self._assignment is not None and self._rng is not None
         freed = self._release_procs_of(job_id)
         for proc in freed:
-            unassigned = np.setdiff1d(view.job_ids, self._assignment)
+            unassigned = _unassigned_ids(view.job_ids, self._assignment)
             if unassigned.size == 0:
                 continue
             if self._weights is None:
@@ -131,9 +137,4 @@ class WDrep(_DrepBase):
 
     def rates(self, view: ActiveView) -> np.ndarray:
         assert self._assignment is not None
-        rates = np.zeros(view.n, dtype=float)
-        assigned = self._assignment[self._assignment != _FREE]
-        if assigned.size:
-            served = np.isin(view.job_ids, assigned)
-            rates[served] = np.minimum(1.0, view.caps[served])
-        return rates
+        return _one_proc_rates(view, self._assignment)

@@ -61,6 +61,21 @@ def equal_split(caps: np.ndarray, m: float, mask: np.ndarray | None = None) -> n
     """
     caps = np.asarray(caps, dtype=float)
     n = caps.size
+    if mask is None and n and m > 0:
+        # no-mask fast path (RR/SETF splitting over the whole active set):
+        # with ``idx == arange(n)`` the general code's gather/scatter is
+        # the identity, so these early returns are bit-identical to it
+        # while skipping the selection scaffolding.  Any irregularity
+        # (non-positive or non-uniform caps) falls through.
+        if (caps > 0).all():
+            total = caps.sum()
+            if total <= m:
+                return caps.copy()  # everyone saturates
+            c0 = float(caps[0])
+            if np.all(caps == c0):
+                level = (m - 0.0) / n
+                if level <= c0 + 1e-15:
+                    return np.minimum(caps, level)
     sel = np.ones(n, dtype=bool) if mask is None else np.asarray(mask, dtype=bool)
     if sel.shape != (n,):
         raise ValueError("mask must align with caps")
@@ -75,6 +90,16 @@ def equal_split(caps: np.ndarray, m: float, mask: np.ndarray | None = None) -> n
     if total <= m:
         rates[idx] = c  # everyone saturates
         return rates
+    # uniform caps (all-sequential or all-fully-parallel views — the
+    # common case): the level is m/k outright, exactly what the general
+    # loop below computes at i=0, so this skips its sort without changing
+    # a single bit of output.  Falls through on any rounding surprise.
+    c0 = float(c[0])
+    if np.all(c == c0):
+        level = (m - 0.0) / c.size
+        if level <= c0 + 1e-15:
+            rates[idx] = np.minimum(c, level)
+            return rates
     # find level L with sum(min(c, L)) == m
     order = np.argsort(c)
     c_sorted = c[order]

@@ -1,0 +1,168 @@
+"""The standing throughput suite behind ``drep-sim bench``.
+
+Runs the same five workloads as ``benchmarks/test_engine_throughput.py``
+(the pytest-benchmark regression guards) but as a plain library call, so
+the numbers can be captured into the ``BENCH_<pr>.json`` perf trajectory
+from the CLI, CI, or a notebook without pytest in the loop.
+
+Each case reports the best-of-``repeats`` wall time (the standard
+microbenchmark convention: the minimum is the least noisy estimator of
+the true cost), the engine's event/step count, derived throughput, and
+the engine's own :class:`~repro.perf.counters.PerfCounters` snapshot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.metrics import ScheduleResult
+
+__all__ = ["BenchCase", "BENCH_CASES", "run_bench_suite"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One named throughput workload.
+
+    ``build`` constructs the (trace, runner) pair once per case — trace
+    generation is *excluded* from the timed region; ``runner()`` executes
+    one full simulation and returns its :class:`ScheduleResult`.
+    """
+
+    name: str
+    engine: str  # "flowsim" | "wsim"
+    build: Callable[[float], Callable[[], ScheduleResult]]
+
+
+def _flowsim_case(n_jobs: int, distribution: str, policy_key: str, seed: int):
+    def build(scale: float) -> Callable[[], ScheduleResult]:
+        from repro.flowsim.engine import simulate
+        from repro.flowsim.policies import policy_by_name
+        from repro.workloads.traces import generate_trace
+
+        n = max(10, int(n_jobs * scale))
+        trace = generate_trace(n, distribution, 0.7, 8, seed=seed)
+        return lambda: simulate(trace, 8, policy_by_name(policy_key), seed=seed)
+
+    return build
+
+
+def _flowsim_profiled_case(seed: int):
+    def build(scale: float) -> Callable[[], ScheduleResult]:
+        from repro.analysis.experiments import scale_trace
+        from repro.core.job import ParallelismMode
+        from repro.flowsim.engine import FlowSimConfig, simulate
+        from repro.flowsim.policies import SRPT
+        from repro.workloads.traces import attach_dags, generate_trace
+
+        n = max(10, int(300 * scale))
+        base = generate_trace(
+            n,
+            "finance",
+            0.6,
+            4,
+            mode=ParallelismMode.FULLY_PARALLEL,
+            seed=seed,
+            scale_work_with_m=False,
+        )
+        trace = attach_dags(scale_trace(base, 200.0), parallelism=8, seed=seed)
+        config = FlowSimConfig(use_profiles=True)
+        return lambda: simulate(trace, 4, SRPT(), seed=seed, config=config)
+
+    return build
+
+
+def _wsim_case(seed: int):
+    def build(scale: float) -> Callable[[], ScheduleResult]:
+        from repro.analysis.experiments import scale_trace
+        from repro.core.job import ParallelismMode
+        from repro.workloads.traces import attach_dags, generate_trace
+        from repro.wsim.runtime import simulate_ws
+        from repro.wsim.schedulers import DrepWS
+
+        n = max(10, int(150 * scale))
+        base = generate_trace(
+            n,
+            "finance",
+            0.6,
+            8,
+            mode=ParallelismMode.FULLY_PARALLEL,
+            seed=seed,
+            scale_work_with_m=False,
+        )
+        trace = attach_dags(scale_trace(base, 300.0), parallelism=16, seed=seed)
+        return lambda: simulate_ws(trace, 8, DrepWS(), seed=seed)
+
+    return build
+
+
+#: The suite: keep names stable — they are the keys of every
+#: ``BENCH_*.json`` entry, and the trajectory is only comparable across
+#: PRs if the workloads behind the names never change.
+BENCH_CASES: tuple[BenchCase, ...] = (
+    BenchCase("flowsim_srpt", "flowsim", _flowsim_case(3000, "finance", "srpt", 301)),
+    BenchCase("flowsim_rr", "flowsim", _flowsim_case(3000, "bing", "rr", 302)),
+    BenchCase("flowsim_drep", "flowsim", _flowsim_case(3000, "finance", "drep", 303)),
+    BenchCase("flowsim_profiled", "flowsim", _flowsim_profiled_case(304)),
+    BenchCase("wsim_drep", "wsim", _wsim_case(305)),
+)
+
+
+def _events_of(result: ScheduleResult) -> int:
+    if "events" in result.extra:
+        return int(result.extra["events"])
+    # wsim: makespan is the step count
+    return int(result.makespan)
+
+
+def run_bench_suite(
+    scale: float = 1.0,
+    repeats: int = 3,
+    cases: tuple[BenchCase, ...] = BENCH_CASES,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, dict]:
+    """Run the suite; returns ``{case name: measurement row}``.
+
+    ``scale`` multiplies job counts (compatible with the benchmarks'
+    ``REPRO_BENCH_SCALE`` convention); ``repeats`` reruns each case and
+    keeps the fastest wall time.  Rows carry ``wall_s``, ``events``,
+    ``events_per_sec``, ``mean_flow`` (a cheap correctness tripwire:
+    a perf "win" that changes the answer is a bug) and the engine's
+    ``perf`` counter snapshot from the fastest run.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rows: dict[str, dict] = {}
+    for case in cases:
+        runner = case.build(scale)
+        best_s = float("inf")
+        best_result: ScheduleResult | None = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = runner()
+            dt = time.perf_counter() - t0
+            if dt < best_s:
+                best_s = dt
+                best_result = result
+        assert best_result is not None
+        events = _events_of(best_result)
+        rows[case.name] = {
+            "engine": case.engine,
+            "wall_s": best_s,
+            "events": events,
+            "events_per_sec": events / best_s if best_s > 0 else None,
+            "n_jobs": best_result.n_jobs,
+            "jobs_per_sec": best_result.n_jobs / best_s if best_s > 0 else None,
+            "mean_flow": best_result.mean_flow,
+            "perf": dict(best_result.extra.get("perf", {})),
+        }
+        if progress is not None:
+            progress(
+                f"{case.name:18s} {best_s:8.3f}s  "
+                f"{events / best_s:>12.0f} events/s"
+            )
+    return rows

@@ -1,0 +1,86 @@
+"""Hot-loop performance counters shared by both simulator engines.
+
+The counters answer the questions the hot-path optimizations raise:
+how often was the cached rate vector reused (``rate_hits`` vs
+``rate_misses``), how many invariant checks were amortized away
+(``checks_run`` vs ``checks_skipped``), how many active-view rebuilds the
+buffer cache avoided (``view_reuses``), and how many unit steps the wsim
+macro-stepper skipped (``macro_jumps`` / ``macro_steps_saved``).
+
+They are plain integer attributes on a ``__slots__`` object — an
+increment is one attribute add, cheap enough to leave on permanently.
+Wall-clock phase timers are *not* free, so they are opt-in: engines time
+whole runs (one ``perf_counter`` pair) and only the bench harness times
+phases.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["PerfCounters"]
+
+
+class PerfCounters:
+    """Mutable counter block; ``as_dict`` snapshots it for result extras."""
+
+    __slots__ = (
+        "events",
+        "rate_hits",
+        "rate_misses",
+        "checks_run",
+        "checks_skipped",
+        "view_reuses",
+        "view_builds",
+        "macro_jumps",
+        "macro_steps_saved",
+        "wall_s",
+        "_t0",
+    )
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.rate_hits = 0
+        self.rate_misses = 0
+        self.checks_run = 0
+        self.checks_skipped = 0
+        self.view_reuses = 0
+        self.view_builds = 0
+        self.macro_jumps = 0
+        self.macro_steps_saved = 0
+        self.wall_s = 0.0
+        self._t0: float | None = None
+
+    # -- run timing --------------------------------------------------------
+
+    def start(self) -> None:
+        """Mark the start of a timed run (cumulative across start/stop)."""
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> None:
+        if self._t0 is not None:
+            self.wall_s += time.perf_counter() - self._t0
+            self._t0 = None
+
+    # -- reporting ---------------------------------------------------------
+
+    def events_per_sec(self) -> float | None:
+        """Throughput over the timed window; ``None`` before any timing."""
+        if self.wall_s <= 0:
+            return None
+        return self.events / self.wall_s
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot (only non-zero fields, keeps extras lean)."""
+        out = {}
+        for name in self.__slots__:
+            if name.startswith("_"):
+                continue
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"PerfCounters({inner})"

@@ -1,0 +1,85 @@
+"""The ``BENCH_<pr>.json`` perf-trajectory format.
+
+One file per PR at the repo root, written by ``drep-sim bench`` (or
+``make bench-json``).  Each file is a single JSON object::
+
+    {
+      "schema": 1,
+      "pr": 2,
+      "scale": 1.0,
+      "repeats": 3,
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "benches": {
+        "flowsim_rr": {"wall_s": ..., "events": ..., "events_per_sec": ...,
+                        "perf": {...}},
+        ...
+      }
+    }
+
+Because workloads behind the bench names are frozen
+(:data:`repro.perf.bench.BENCH_CASES`), ``events`` must be identical
+across PRs for the same scale — a changed event count flags a semantic
+change, not a perf delta — and ``events_per_sec`` ratios between
+consecutive ``BENCH_*.json`` files are the speedup history of the repo.
+Timestamps are deliberately absent: the files must be byte-reproducible
+modulo wall-clock noise, and git history already dates them.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+from pathlib import Path
+
+__all__ = ["trajectory_entry", "write_trajectory", "load_trajectory"]
+
+SCHEMA_VERSION = 1
+
+_BENCH_FILE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def trajectory_entry(
+    benches: dict[str, dict], pr: int, scale: float, repeats: int
+) -> dict:
+    """Assemble one trajectory record from :func:`run_bench_suite` rows."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "pr": int(pr),
+        "scale": float(scale),
+        "repeats": int(repeats),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benches": benches,
+    }
+
+
+def write_trajectory(path: str | Path, entry: dict) -> Path:
+    """Write an entry to ``path`` (conventionally ``BENCH_<pr>.json``)."""
+    path = Path(path)
+    path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_trajectory(root: str | Path = ".") -> list[dict]:
+    """All ``BENCH_*.json`` entries under ``root``, ordered by PR number.
+
+    Skips files that fail to parse (a truncated bench file must not take
+    down analysis of the others) but raises on duplicate PR numbers.
+    """
+    root = Path(root)
+    entries: dict[int, dict] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        match = _BENCH_FILE.match(path.name)
+        if not match:
+            continue
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        pr = int(entry.get("pr", match.group(1)))
+        if pr in entries:
+            raise ValueError(f"duplicate perf trajectory entry for PR {pr}")
+        entries[pr] = entry
+    return [entries[pr] for pr in sorted(entries)]

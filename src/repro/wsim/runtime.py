@@ -20,6 +20,17 @@ The engine is scheduler-agnostic: all policy decisions are delegated to a
 :class:`~repro.wsim.schedulers.base.WsScheduler`.  Invariants (checked in
 debug mode): muggable deques are never empty; a node is on exactly one
 deque or one worker; executed units equal total work at the end.
+
+**Macro-stepping.**  When every worker is mid-node and nothing can change
+for ``k`` steps — no arrival is due, no node can complete, no preemption
+flag can fire, no worker is paying overhead — the runtime advances all
+workers ``k`` units in one bulk update instead of ``k`` trips through the
+per-step machinery.  Eligibility is conservative: it requires unit-speed
+workers (so ``k`` subtractions of 1.0 equal one subtraction of
+``float(k)`` exactly), no observer, a default ``on_step`` hook and debug
+invariants off; counters and flow times are bit-for-bit identical to
+unit-stepping (``tests/wsim/test_golden.py`` and a Hypothesis
+equivalence test enforce this).
 """
 
 from __future__ import annotations
@@ -31,6 +42,8 @@ import numpy as np
 
 from repro.core.metrics import ScheduleResult
 from repro.core.rng import RngFactory
+from repro.dag.graph import NO_CHILD
+from repro.perf.counters import PerfCounters
 from repro.wsim.structures import JobRun, Worker, WsDeque
 from repro.workloads.traces import Trace
 
@@ -135,6 +148,9 @@ class WsRuntime:
                 raise ValueError("speeds must be positive")
         self.speeds = speeds
         self.rng = RngFactory(seed).stream(f"wsim/{scheduler.name}")
+        # bound-method cache: steal_within draws once per attempt and the
+        # attribute chain is measurable at that call rate
+        self._rng_integers = self.rng.integers
         self.workers = [Worker(wid=i) for i in range(m)]
         #: all arrived, unfinished jobs — the paper's A(t).  Schedulers
         #: append on arrival; the runtime removes on completion.
@@ -153,6 +169,7 @@ class WsRuntime:
         self.max_steps = config.max_steps or (
             horizon + 50 * total_work + 10_000
         )
+        self.perf = PerfCounters()
 
     # ------------------------------------------------------------------
     # main loop
@@ -168,27 +185,156 @@ class WsRuntime:
         """
         self.scheduler.reset(self)
         n = len(self.trace)
+        # macro-stepping is only sound when the per-step machinery is pure
+        # bulk node execution: no observer watching intermediate states, a
+        # default (no-op) on_step hook, no per-step invariant sweep, and
+        # identical unit speeds so bulk float math is exact
+        macro_ok = (
+            observer is None
+            and type(self.scheduler).on_step is WsScheduler.on_step
+            and not self.config.debug_invariants
+            and self.speeds is None
+        )
+        workers = self.workers
+        debug = self.config.debug_invariants
+        scheduler_on_step = self.scheduler.on_step
+        counters = self.counters
+        arrivals = self._arrivals
+        n_arrivals = len(arrivals)
+        flags_immediate = self.config.preempt_check == "step"
+        speeds = (
+            None if self.speeds is None else [float(x) for x in self.speeds]
+        )
+        max_steps = self.max_steps
         while self._completed < n:
-            if self.step > self.max_steps:
+            step = self.step
+            if step > max_steps:
                 raise WsimError(
-                    f"{self.scheduler.name}: exceeded {self.max_steps} steps "
+                    f"{self.scheduler.name}: exceeded {max_steps} steps "
                     f"with {self._completed}/{n} jobs done"
                 )
-            self._admit_arrivals()
+            if self._next_arrival < n_arrivals:
+                if arrivals[self._next_arrival][0] <= step:
+                    self._admit_arrivals()
             if not self.active:
                 # machine idle: jump to the next arrival
                 if self._next_arrival >= n:
                     break
-                self.step = self._arrivals[self._next_arrival][0]
+                self.step = arrivals[self._next_arrival][0]
                 continue
+            if macro_ok:
+                # largest k such that k unit steps are pure bulk execution:
+                # while every worker stays mid-node, deques are untouched,
+                # no steal/admission/idle accounting runs, and preemption
+                # flags cannot fire in "steal"/"node" mode (both need an
+                # out-of-work or between-nodes worker); "step" mode fires
+                # immediately, so any live flag disqualifies the jump.
+                # k is bounded so the next arrival is admitted at exactly
+                # its release step and no node completes mid-jump.
+                if self._next_arrival < n_arrivals:
+                    k = arrivals[self._next_arrival][0] - step
+                else:
+                    k = max_steps + 1 - step
+                if k >= 2:
+                    for worker in workers:
+                        cur = worker.current
+                        if (
+                            cur is None
+                            or worker.blocked_until > step
+                            or (
+                                flags_immediate
+                                and worker.flag_target is not None
+                            )
+                        ):
+                            k = 0
+                            break
+                        # last step that keeps remaining above the
+                        # completion threshold (remaining is integer-valued
+                        # under unit speeds, so int() truncation is exact);
+                        # the completing step runs through the normal path
+                        safe = int(cur[0].node_remaining[cur[1]]) - 1
+                        if safe < k:
+                            if safe < 2:
+                                k = 0
+                                break
+                            k = safe
+                    if k >= 2:
+                        self._macro_advance(k)
+                        continue
             if observer is not None:
                 observer(self)
-            self.scheduler.on_step()
-            for worker in self.workers:
-                self._act(worker)
-            if self.config.debug_invariants:
+            scheduler_on_step()
+            for worker in workers:
+                # fast path: a mid-node worker just executes one unit —
+                # the flag cannot fire in "steal"/"node" mode (both need
+                # the worker between nodes or out of work; a stale flag's
+                # lazy cleanup is deferred, which nothing can observe)
+                cur = worker.current
+                if (
+                    cur is None
+                    or worker.blocked_until > step
+                    or (flags_immediate and worker.flag_target is not None)
+                ):
+                    # _act inlined, same dispatch order: overhead, flag,
+                    # own-deque pop (free, falls through to execute),
+                    # scheduler out-of-work
+                    if worker.blocked_until > step:
+                        counters.overhead_steps += 1
+                        continue
+                    if worker.flag_target is not None and self._flag_fires(
+                        worker
+                    ):
+                        target = worker.flag_target
+                        worker.flag_target = None
+                        self.switch_worker(worker, target, preempt=True)
+                        continue
+                    if cur is None:
+                        dq = worker.dq
+                        if dq is not None and dq.nodes:
+                            cur = worker.current = dq.nodes.pop()
+                        else:
+                            self.scheduler.out_of_work(worker)
+                            continue
+                job, node = cur
+                speed = 1.0 if speeds is None else speeds[worker.wid]
+                remaining = job.node_remaining
+                before = remaining[node]
+                after = before - speed
+                remaining[node] = after
+                counters.work_steps += speed if speed < before else before
+                if after > 1e-9:
+                    continue
+                # node finished: enable children (Cilk-style — one child
+                # continues in place, a second goes to the deque bottom);
+                # JobRun.ready_children inlined (child2 implies child1)
+                job.remaining_nodes -= 1
+                c1 = job._child1[node]
+                if c1 == NO_CHILD:
+                    worker.current = None
+                else:
+                    pend = job.pending_parents
+                    pend[c1] -= 1
+                    r1 = pend[c1] == 0
+                    c2 = job._child2[node]
+                    if c2 == NO_CHILD:
+                        worker.current = (job, c1) if r1 else None
+                    else:
+                        pend[c2] -= 1
+                        if pend[c2] == 0:
+                            if r1:
+                                self._deque_for(worker, job).push_bottom(
+                                    (job, c1)
+                                )
+                                worker.current = (job, c2)
+                            else:
+                                worker.current = (job, c2)
+                        else:
+                            worker.current = (job, c1) if r1 else None
+                if job.remaining_nodes == 0:
+                    self.complete_job(job)
+            if debug:
                 self._check_invariants()
-            self.step += 1
+            self.step = step + 1
         if np.isnan(self._flow_steps).any():
             raise WsimError(f"{self.scheduler.name}: unfinished jobs at end")
         total_speed = float(self.m if self.speeds is None else self.speeds.sum())
@@ -224,8 +370,13 @@ class WsRuntime:
                     if self.step
                     else 0.0
                 ),
+                "perf": self._perf_snapshot(),
             },
         )
+
+    def _perf_snapshot(self) -> dict:
+        self.perf.events = self.step
+        return self.perf.as_dict()
 
     # ------------------------------------------------------------------
     # arrivals / completions
@@ -253,6 +404,27 @@ class WsRuntime:
         self.scheduler.on_completion(job)
 
     # ------------------------------------------------------------------
+    # macro-stepping
+    # ------------------------------------------------------------------
+
+    def _macro_advance(self, k: int) -> None:
+        """Advance every worker ``k`` unit steps in one update.
+
+        Exactness: remaining work is integer-valued under unit speeds, so
+        one ``-= float(k)`` equals ``k`` subtractions of 1.0, and each
+        skipped step would have added exactly 1.0 work per worker.
+        """
+        fk = float(k)
+        counters = self.counters
+        for worker in self.workers:
+            job, node = worker.current
+            job.node_remaining[node] -= fk
+            counters.work_steps += fk
+        self.step += k
+        self.perf.macro_jumps += 1
+        self.perf.macro_steps_saved += k - 1
+
+    # ------------------------------------------------------------------
     # per-worker step
     # ------------------------------------------------------------------
 
@@ -270,18 +442,19 @@ class WsRuntime:
         return worker.out_of_work  # "steal"
 
     def _act(self, worker: Worker) -> None:
-        if worker.scratch.get("blocked_until", 0) > self.step:
+        if worker.blocked_until > self.step:
             self.counters.overhead_steps += 1
             return  # paying preemption overhead
-        if self._flag_fires(worker):
+        if worker.flag_target is not None and self._flag_fires(worker):
             target = worker.flag_target
             worker.flag_target = None
             self.switch_worker(worker, target, preempt=True)
             return
         if worker.current is None:
-            if worker.dq is not None and worker.dq.nodes:
+            dq = worker.dq
+            if dq is not None and dq.nodes:
                 # popping one's own deque is free; fall through to execute
-                worker.current = worker.dq.pop_bottom()
+                worker.current = dq.pop_bottom()
             else:
                 self.scheduler.out_of_work(worker)
                 return
@@ -293,12 +466,14 @@ class WsRuntime:
     def _execute_unit(self, worker: Worker) -> None:
         job, node = worker.current
         speed = 1.0 if self.speeds is None else float(self.speeds[worker.wid])
-        before = float(job.node_remaining[node])
-        job.node_remaining[node] = before - speed
+        remaining = job.node_remaining
+        before = remaining[node]
+        after = before - speed
+        remaining[node] = after
         # account actual units done; a fast worker overshooting a node's
         # end wastes the excess (realistic granularity cost)
-        self.counters.work_steps += min(speed, before)
-        if job.node_remaining[node] > 1e-9:
+        self.counters.work_steps += speed if speed < before else before
+        if after > 1e-9:
             return
         # node finished: enable children
         job.remaining_nodes -= 1
@@ -357,7 +532,7 @@ class WsRuntime:
                 self.counters.preemptions += 1
                 if self.config.preemption_overhead:
                     # state save/restore stalls this worker (Sec. I)
-                    worker.scratch["blocked_until"] = (
+                    worker.blocked_until = (
                         self.step + 1 + self.config.preemption_overhead
                     )
         if old is not target:
@@ -375,31 +550,35 @@ class WsRuntime:
         of work").  An active victim loses its top node.  Returns True on
         success; always costs the step.
         """
-        self.counters.steal_attempts += 1
-        victims = [d for d in job.deques if d is not worker.dq]
+        counters = self.counters
+        counters.steal_attempts += 1
+        dq = worker.dq
+        # worker.dq is usually None for a thief; skip the filtering copy
+        victims = job.deques if dq is None else [d for d in job.deques if d is not dq]
         if not victims:
-            self.counters.failed_steals += 1
+            counters.failed_steals += 1
             return False
-        victim = victims[int(self.rng.integers(len(victims)))]
-        if victim.muggable:
+        victim = victims[int(self._rng_integers(len(victims)))]
+        nodes = victim.nodes
+        if victim.owner is None:  # muggable
             # mugging: adopt the deque wholesale (always succeeds, and the
             # thief "can always do at least one unit of work" — Sec. IV-A)
-            if worker.dq is not None:
-                if worker.dq.nodes:
+            if dq is not None:
+                if dq.nodes:
                     raise WsimError("thief with non-empty deque attempted a mug")
-                if worker.dq.job is not None:
-                    worker.dq.job.drop_deque(worker.dq)
+                if dq.job is not None:
+                    dq.job.drop_deque(dq)
             victim.owner = worker.wid
             worker.dq = victim
-            worker.current = victim.pop_bottom()
-            self.counters.muggings += 1
-            self.counters.node_migrations += 1
+            worker.current = nodes.pop()
+            counters.muggings += 1
+            counters.node_migrations += 1
             return True
-        if victim.nodes:
-            worker.current = victim.steal_top()
-            self.counters.node_migrations += 1
+        if nodes:
+            worker.current = nodes.popleft()
+            counters.node_migrations += 1
             return True
-        self.counters.failed_steals += 1
+        counters.failed_steals += 1
         return False
 
     def steal_from_worker(self, thief: Worker, victim: Worker) -> bool:
@@ -456,9 +635,12 @@ def simulate_ws(
     ``speeds`` (length m, positive) makes workers heterogeneous — the
     related-machines setting for parallel DAG jobs.
     """
-    return WsRuntime(
-        trace, m, scheduler, seed=seed, config=config, speeds=speeds
-    ).run()
+    rt = WsRuntime(trace, m, scheduler, seed=seed, config=config, speeds=speeds)
+    rt.perf.start()
+    result = rt.run()
+    rt.perf.stop()
+    result.extra["perf"] = rt._perf_snapshot()
+    return result
 
 
 # imported late to avoid a cycle (schedulers import runtime helpers' types)

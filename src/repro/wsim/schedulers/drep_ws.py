@@ -63,7 +63,7 @@ class DrepWS(WsScheduler):
     def out_of_work(self, worker: Worker) -> None:
         rt = self.rt
         job = worker.job
-        if job is None or job.done:
+        if job is None or job.remaining_nodes == 0:
             if rt.active:
                 pick = rt.active[int(self.rng.integers(len(rt.active)))]
                 rt.switch_worker(worker, pick, preempt=False)

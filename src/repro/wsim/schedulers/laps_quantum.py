@@ -61,7 +61,7 @@ class LapsQuantumWS(WsScheduler):
             return
         n = len(served)
         for worker in rt.workers:
-            if worker.scratch.get("blocked_until", 0) > rt.step:
+            if worker.blocked_until > rt.step:
                 continue
             target = served[(worker.wid + self._rotation) % n]
             if worker.job is not target:

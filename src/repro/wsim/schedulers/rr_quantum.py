@@ -49,7 +49,7 @@ class RrQuantumWS(WsScheduler):
             return
         n = len(jobs)
         for worker in rt.workers:
-            if worker.scratch.get("blocked_until", 0) > rt.step:
+            if worker.blocked_until > rt.step:
                 continue  # still paying a previous preemption's overhead
             target = jobs[(worker.wid + self._rotation) % n]
             if worker.job is not target:

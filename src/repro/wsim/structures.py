@@ -81,6 +81,8 @@ class JobRun:
         "release_step",
         "finish_step",
         "workers",
+        "_child1",
+        "_child2",
     )
 
     def __init__(self, spec: JobSpec, release_step: int) -> None:
@@ -89,9 +91,14 @@ class JobRun:
         dag: DagJob = spec.dag
         self.spec = spec
         self.dag = dag
-        # float so heterogeneous-speed workers can make fractional progress
-        self.node_remaining = dag.weights.astype(float)
-        self.pending_parents = dag.in_degrees()
+        # plain lists, not numpy arrays: the runtime touches single nodes
+        # once per step per worker, where python-int indexing is several
+        # times cheaper than numpy scalar indexing.  Floats (not ints) so
+        # heterogeneous-speed workers can make fractional progress.
+        self.node_remaining = dag.weights.astype(float).tolist()
+        self.pending_parents = dag.in_degrees().tolist()
+        self._child1 = dag.child1.tolist()
+        self._child2 = dag.child2.tolist()
         self.remaining_nodes = dag.n_nodes
         self.deques: list[WsDeque] = []
         self.release_step = release_step
@@ -109,13 +116,13 @@ class JobRun:
     def ready_children(self, node: int) -> list[int]:
         """Decrement the executed node's children; return the newly ready."""
         ready = []
-        dag = self.dag
-        for c in (dag.child1[node], dag.child2[node]):
+        pend = self.pending_parents
+        for c in (self._child1[node], self._child2[node]):
             if c == NO_CHILD:
                 continue
-            self.pending_parents[c] -= 1
-            if self.pending_parents[c] == 0:
-                ready.append(int(c))
+            pend[c] -= 1
+            if pend[c] == 0:
+                ready.append(c)
         return ready
 
     def drop_deque(self, dq: WsDeque) -> None:
@@ -145,6 +152,10 @@ class Worker:
     #: check granularity.
     flag_target: JobRun | None = None
     failed_steals: int = 0
+    #: first step at which the worker may act again after paying
+    #: preemption overhead (0 = never blocked); an attribute rather than a
+    #: ``scratch`` entry because the runtime reads it every worker-step
+    blocked_until: int = 0
     #: free-form scheduler scratch (e.g. steal-first's admission budget)
     scratch: dict = field(default_factory=dict)
 

@@ -1,0 +1,123 @@
+"""Bench suite + BENCH_<pr>.json trajectory round-trips, and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_CASES,
+    load_trajectory,
+    run_bench_suite,
+    trajectory_entry,
+    write_trajectory,
+)
+
+TINY = 0.01  # bench scale small enough for unit-test budgets
+
+
+class TestBenchSuite:
+    def test_case_names_are_frozen(self):
+        # the trajectory is only comparable across PRs if these never change
+        assert [c.name for c in BENCH_CASES] == [
+            "flowsim_srpt",
+            "flowsim_rr",
+            "flowsim_drep",
+            "flowsim_profiled",
+            "wsim_drep",
+        ]
+
+    def test_runs_and_reports(self):
+        rows = run_bench_suite(scale=TINY, repeats=1, cases=BENCH_CASES[:2])
+        assert set(rows) == {"flowsim_srpt", "flowsim_rr"}
+        for row in rows.values():
+            assert row["wall_s"] > 0
+            assert row["events"] > 0
+            assert row["events_per_sec"] > 0
+            assert row["mean_flow"] > 0
+
+    def test_deterministic_event_counts(self):
+        a = run_bench_suite(scale=TINY, repeats=1, cases=BENCH_CASES[:1])
+        b = run_bench_suite(scale=TINY, repeats=2, cases=BENCH_CASES[:1])
+        assert a["flowsim_srpt"]["events"] == b["flowsim_srpt"]["events"]
+        assert a["flowsim_srpt"]["mean_flow"] == b["flowsim_srpt"]["mean_flow"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_bench_suite(scale=0)
+        with pytest.raises(ValueError):
+            run_bench_suite(repeats=0)
+
+
+class TestTrajectory:
+    def test_round_trip(self, tmp_path):
+        rows = run_bench_suite(scale=TINY, repeats=1, cases=BENCH_CASES[:1])
+        entry = trajectory_entry(rows, pr=7, scale=TINY, repeats=1)
+        write_trajectory(tmp_path / "BENCH_7.json", entry)
+        loaded = load_trajectory(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0]["pr"] == 7
+        assert loaded[0]["benches"]["flowsim_srpt"]["events"] > 0
+
+    def test_ordered_by_pr_and_skips_garbage(self, tmp_path):
+        for pr in (5, 2):
+            write_trajectory(
+                tmp_path / f"BENCH_{pr}.json",
+                trajectory_entry({}, pr=pr, scale=1.0, repeats=1),
+            )
+        (tmp_path / "BENCH_9.json").write_text("{ truncated")
+        loaded = load_trajectory(tmp_path)
+        assert [e["pr"] for e in loaded] == [2, 5]
+
+    def test_duplicate_pr_rejected(self, tmp_path):
+        write_trajectory(
+            tmp_path / "BENCH_3.json",
+            trajectory_entry({}, pr=3, scale=1.0, repeats=1),
+        )
+        write_trajectory(
+            tmp_path / "BENCH_03.json",
+            trajectory_entry({}, pr=3, scale=1.0, repeats=1),
+        )
+        with pytest.raises(ValueError):
+            load_trajectory(tmp_path)
+
+
+class TestCli:
+    def test_bench_writes_trajectory(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_2.json"
+        rc = main(
+            [
+                "bench",
+                "--scale",
+                str(TINY),
+                "--repeats",
+                "1",
+                "--cases",
+                "flowsim_rr",
+                "--pr",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        entry = json.loads(out.read_text())
+        assert entry["pr"] == 2
+        assert set(entry["benches"]) == {"flowsim_rr"}
+        assert "flowsim_rr" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown_case(self):
+        from repro.cli import main
+
+        assert main(["bench", "--cases", "nope"]) == 2
+
+    def test_bench_scale_env_fallback(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", str(TINY))
+        rc = main(["bench", "--repeats", "1", "--cases", "flowsim_srpt"])
+        assert rc == 0
+        assert f"scale={TINY:g}" in capsys.readouterr().out

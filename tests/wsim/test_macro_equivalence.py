@@ -1,0 +1,136 @@
+"""Macro-stepping must be unobservable: bulk jumps ≡ unit steps.
+
+The runtime's macro path (``WsRuntime.run``) advances every worker ``k``
+units in one update whenever nothing can change for ``k`` steps.  Passing
+an observer disables the macro path while changing nothing else, so the
+two runs must agree bit-for-bit on every output: flow times, makespan,
+all practicality counters, and the RNG end state (macro jumps never
+consume draws).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.dag.generators import chain, fork_join, layered_random, spawn_tree
+from repro.workloads.traces import Trace
+from repro.wsim.runtime import WsConfig, WsRuntime
+from repro.wsim.schedulers import ws_scheduler_by_name
+
+SCHEDULERS = ["drep", "steal-first", "admit-first", "swf", "rr"]
+
+
+@st.composite
+def random_dag_trace(draw):
+    n = draw(st.integers(1, 6))
+    m = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    jobs = []
+    t = 0
+    for i in range(n):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            # long sequential nodes: the macro path's best case
+            dag = chain(int(rng.integers(20, 400)), int(rng.integers(10, 120)))
+        elif kind == 1:
+            dag = spawn_tree(int(rng.integers(0, 4)), int(rng.integers(1, 30)))
+        elif kind == 2:
+            dag = fork_join(
+                int(rng.integers(1, 3)),
+                int(rng.integers(1, 6)),
+                int(rng.integers(1, 40)),
+            )
+        else:
+            dag = layered_random(
+                int(rng.integers(1, 4)), int(rng.integers(1, 5)), 4, rng
+            )
+        jobs.append(
+            JobSpec(
+                job_id=i,
+                release=float(t),
+                work=float(dag.work),
+                span=float(dag.span),
+                mode=ParallelismMode.DAG,
+                dag=dag,
+            )
+        )
+        t += int(rng.integers(0, 80))
+    return Trace(jobs=jobs, m=m), m
+
+
+def _run(trace, m, sched_name, seed, config, unit_stepped):
+    rt = WsRuntime(
+        trace, m, ws_scheduler_by_name(sched_name), seed=seed, config=config
+    )
+    # an observer disables macro-stepping but is otherwise inert
+    observer = (lambda _rt: None) if unit_stepped else None
+    result = rt.run(observer)
+    state = json.dumps(rt.rng.bit_generator.state, sort_keys=True, default=str)
+    return result, dataclasses.asdict(rt.counters), state, rt.perf
+
+
+def _assert_identical(trace, m, sched_name, seed, config=WsConfig()):
+    r_macro, c_macro, rng_macro, _ = _run(
+        trace, m, sched_name, seed, config, unit_stepped=False
+    )
+    r_unit, c_unit, rng_unit, _ = _run(
+        trace, m, sched_name, seed, config, unit_stepped=True
+    )
+    np.testing.assert_array_equal(r_macro.flow_times, r_unit.flow_times)
+    assert r_macro.makespan == r_unit.makespan
+    assert c_macro == c_unit
+    assert rng_macro == rng_unit
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    inst=random_dag_trace(),
+    sched_idx=st.integers(0, len(SCHEDULERS) - 1),
+    seed=st.integers(0, 50),
+)
+def test_macro_equals_unit_random(inst, sched_idx, seed):
+    trace, m = inst
+    _assert_identical(trace, m, SCHEDULERS[sched_idx], seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(inst=random_dag_trace(), seed=st.integers(0, 20))
+def test_macro_equals_unit_immediate_flags(inst, seed):
+    # "step" mode is the delicate case: a live flag must veto the jump
+    trace, m = inst
+    _assert_identical(
+        trace, m, "drep", seed, config=WsConfig(preempt_check="step")
+    )
+
+
+def test_macro_path_actually_engages():
+    """Guard against the macro path silently never firing."""
+    dag = chain(600, 200)  # three 200-unit nodes, nothing to steal
+    jobs = [
+        JobSpec(
+            job_id=i,
+            release=float(i * 7),
+            work=float(dag.work),
+            span=float(dag.span),
+            mode=ParallelismMode.DAG,
+            dag=dag,
+        )
+        for i in range(3)
+    ]
+    trace = Trace(jobs=jobs, m=2)
+    _, _, _, perf = _run(
+        trace, 2, "drep", 3, WsConfig(), unit_stepped=False
+    )
+    assert perf.macro_jumps > 0
+    assert perf.macro_steps_saved > 0
+    _, _, _, perf_unit = _run(
+        trace, 2, "drep", 3, WsConfig(), unit_stepped=True
+    )
+    assert perf_unit.macro_jumps == 0
