@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-json serve-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-json serve-smoke faults-smoke figures report examples clean
 
 # perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
 PR ?= 2
@@ -35,6 +35,12 @@ serve-smoke:
 	sleep 2; \
 	PYTHONPATH=src $(PYTHON) -m repro.cli loadgen \
 		--port 8399 --n-jobs 100 --load 0.7 --verify
+
+# kill -9 a journaled server mid-load, restart it, and require the
+# recovered flow times to equal an uninterrupted run bit-for-bit; then
+# exercise the fault-injection CLI
+faults-smoke:
+	$(PYTHON) scripts/faults_smoke.py
 
 figures:
 	$(PYTHON) -m repro.cli figures

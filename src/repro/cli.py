@@ -174,6 +174,38 @@ def main(argv: list[str] | None = None) -> int:
     p9.add_argument(
         "--restore", default=None, help="boot from a snapshot file instead of empty"
     )
+    p9.add_argument(
+        "--journal-dir",
+        default=None,
+        help="write-ahead journal directory; restarts recover from it",
+    )
+    p9.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=256,
+        help="auto-checkpoint the journal every N mutating ops",
+    )
+    p9.add_argument(
+        "--fsync", action="store_true", help="fsync each journal append"
+    )
+    p9.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="shed requests when this many are already waiting",
+    )
+    p9.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="refuse requests stuck behind the engine for this many seconds",
+    )
+    p9.add_argument(
+        "--max-line-bytes",
+        type=int,
+        default=1 << 20,
+        help="reject (and resync past) request lines longer than this",
+    )
 
     p10 = sub.add_parser(
         "loadgen", help="replay a generated trace against a running server"
@@ -199,6 +231,24 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="cross-check drained flow times against offline flowsim.simulate",
     )
+    p10.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request deadline in wall seconds",
+    )
+    p10.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="retry budget per request (backoff with seeded jitter)",
+    )
+    p10.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        help="base retry backoff in seconds (doubles per attempt)",
+    )
 
     p11 = sub.add_parser(
         "bench",
@@ -222,6 +272,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     p11.add_argument(
         "--cases", nargs="+", default=None, help="subset of bench case names"
+    )
+
+    p12 = sub.add_parser(
+        "faults",
+        help="resilience experiment: policies under crash traces vs baseline",
+    )
+    common(p12)
+    p12.add_argument("--m", type=int, default=8)
+    p12.add_argument("--n-jobs", type=int, default=400)
+    p12.add_argument("--load", type=float, default=0.7)
+    p12.add_argument(
+        "--policies",
+        nargs="+",
+        default=["drep", "srpt", "rr"],
+        help="flowsim policy keys to compare",
+    )
+    p12.add_argument(
+        "--plans",
+        nargs="+",
+        default=["rolling", "half-down", "random"],
+        help="named crash plans (see repro.faults.named_fault_plans)",
+    )
+    p12.add_argument(
+        "--out", default=None, help="write the resilience/1 JSON report here"
     )
 
     p7 = sub.add_parser(
@@ -258,7 +332,59 @@ def main(argv: list[str] | None = None) -> int:
         return _loadgen(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "faults":
+        return _faults(args)
     return 2  # pragma: no cover
+
+
+def _faults(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.faults.experiment import (
+        resilience_report,
+        run_resilience_experiment,
+        write_resilience_report,
+    )
+
+    rows = run_resilience_experiment(
+        m=args.m,
+        n_jobs=args.n_jobs,
+        distribution=args.distribution,
+        load=args.load,
+        policies=tuple(args.policies),
+        plans=tuple(args.plans),
+        seed=args.seed,
+    )
+    print(
+        f"# resilience — {args.distribution}, load={args.load:g}, "
+        f"m={args.m}, n={args.n_jobs} (degradation = faulted / baseline)"
+    )
+    print(
+        format_table(
+            [
+                {
+                    "policy": r["policy"],
+                    "plan": r["plan"],
+                    "mean_flow": r["mean_flow"],
+                    "flow_degradation": r["flow_degradation"],
+                    "switch_degradation": r["switch_degradation"],
+                    "faults_applied": r["faults_applied"],
+                }
+                for r in rows
+            ]
+        )
+    )
+    if args.out:
+        report = resilience_report(
+            rows,
+            m=args.m,
+            n_jobs=args.n_jobs,
+            distribution=args.distribution,
+            load=args.load,
+            seed=args.seed,
+        )
+        path = write_resilience_report(report, args.out)
+        print(f"wrote {path}")
+    return 0
 
 
 def _bench(args: argparse.Namespace) -> int:
@@ -341,6 +467,12 @@ def _serve(args: argparse.Namespace) -> int:
         max_backlog=args.max_backlog,
         max_load=args.max_load,
         snapshot_path=args.snapshot_path,
+        journal_dir=args.journal_dir,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        max_line_bytes=args.max_line_bytes,
     )
     scheduler = None
     if args.restore:
@@ -352,6 +484,15 @@ def _serve(args: argparse.Namespace) -> int:
 
     async def run() -> None:
         server = SchedulerServer(config, scheduler=scheduler)
+        if server.recovered_seq:
+            print(
+                f"recovered journal {config.journal_dir}: "
+                f"seq={server.recovered_seq}, "
+                f"{server.recovered_entries} entries replayed, "
+                f"t={server.scheduler.now:.6g}, "
+                f"{server.scheduler.n_active} jobs in flight",
+                flush=True,
+            )
         await server.start()
         print(
             f"drep-serve listening on {config.host}:{server.port} "
@@ -402,6 +543,10 @@ def _loadgen(args: argparse.Namespace) -> int:
             pace=args.pace,
             drain=not args.no_drain,
             verify=args.verify,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            backoff=args.backoff,
+            retry_seed=args.seed,
         )
         print(f"# loadgen: {trace.name} @ rate x{args.rate:g}")
         for key, value in report.summary().items():

@@ -1,0 +1,50 @@
+"""Fault injection across both simulators (machine churn, overload, loss).
+
+The paper's guarantees are robustness claims: DREP stays competitive
+*non-clairvoyantly* and bounds processor switches at O(mn) (Theorems
+1.1-1.2) — but both our simulators and the serving layer historically ran
+on a perfectly reliable machine.  This package makes failure a first-class
+input:
+
+* :mod:`repro.faults.plan` — declarative, seeded :class:`FaultPlan`
+  descriptions (processor crash/recover traces, transient capacity
+  degradation, straggler slowdowns, job abort-and-resubmit events), JSON
+  round-trippable and generated from :class:`repro.core.rng.RngFactory`
+  streams so runs stay reproducible;
+* :mod:`repro.faults.timeline` — the compiled, stateful form the engines
+  consume: a piecewise-constant machine state for
+  :class:`repro.flowsim.FlowStepper` and an integer-step agenda for
+  :class:`repro.wsim.runtime.WsRuntime`;
+* :mod:`repro.faults.experiment` — the resilience experiment comparing
+  policies under crash traces against their no-fault baselines, emitting
+  BENCH-style JSON (imported lazily; see ``drep-sim faults``).
+
+Fault semantics per engine are documented in ``docs/robustness.md``.
+"""
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    named_fault_plans,
+    random_crash_plan,
+)
+from repro.faults.timeline import FaultTimeline, step_agenda
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultTimeline",
+    "named_fault_plans",
+    "random_crash_plan",
+    "step_agenda",
+]
+
+
+def __getattr__(name: str):
+    # experiment pulls in repro.flowsim (which must stay importable without
+    # this package); load it lazily to keep the dependency one-directional
+    if name in ("resilience_report", "run_resilience_experiment"):
+        from repro.faults import experiment
+
+        return getattr(experiment, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

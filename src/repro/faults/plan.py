@@ -1,0 +1,283 @@
+"""Declarative fault plans: what goes wrong, when, and for how long.
+
+A :class:`FaultPlan` is an immutable, JSON-round-trippable list of
+:class:`FaultEvent` records.  Plans are *descriptions*, not machinery:
+the engines consume them through :mod:`repro.faults.timeline`, which
+compiles a plan into the event agenda a particular simulator steps over.
+
+Event kinds
+-----------
+
+``crash``
+    Processor/worker ``proc`` goes down at ``t`` and recovers at
+    ``t + duration``.  The flow simulator shrinks ``m(t)``; the
+    work-stealing runtime kills the worker (its in-progress node loses
+    its partial execution and its deque is handed over for stealing).
+``degrade``
+    The whole machine runs at ``factor`` times nominal speed during
+    ``[t, t + duration)`` — thermal throttling, a noisy neighbor, a
+    shared-cache storm.
+``straggle``
+    Processor ``proc`` alone runs at ``factor`` speed during the window.
+    The flow simulator folds this into the fluid machine speed; the
+    work-stealing runtime rejects it (its workers are unit-speed by
+    construction — use the static ``speeds=`` vector for heterogeneity).
+``abort``
+    Job ``job_id`` is killed at ``t`` (all progress lost) and resubmitted
+    ``resubmit_after`` time units later with its full work.  Flow time is
+    still measured from the job's *original* release — an abort shows up
+    as latency, exactly as a user would experience it.
+
+Determinism: a plan is plain data, and the random generators below draw
+from dedicated :class:`repro.core.rng.RngFactory` streams, so the same
+seed always yields the same plan and the same seed + plan always yields
+the same simulation trajectory (tested in ``tests/faults/``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.core.rng import RngFactory
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "named_fault_plans",
+    "random_crash_plan",
+]
+
+_KINDS = ("crash", "degrade", "straggle", "abort")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault: a kind, a start time, and kind-specific parameters."""
+
+    kind: str
+    t: float
+    duration: float = 0.0
+    proc: int | None = None
+    factor: float = 1.0
+    job_id: int | None = None
+    resubmit_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {_KINDS}")
+        if not self.t >= 0:
+            raise ValueError("fault time t must be >= 0")
+        if self.kind in ("crash", "degrade", "straggle"):
+            if not self.duration > 0:
+                raise ValueError(f"{self.kind} needs duration > 0")
+        if self.kind in ("crash", "straggle"):
+            if self.proc is None or self.proc < 0:
+                raise ValueError(f"{self.kind} needs proc >= 0")
+        if self.kind in ("degrade", "straggle"):
+            if not 0 < self.factor <= 1:
+                raise ValueError(f"{self.kind} factor must be in (0, 1]")
+        if self.kind == "abort":
+            if self.job_id is None or self.job_id < 0:
+                raise ValueError("abort needs job_id >= 0")
+            if not self.resubmit_after >= 0:
+                raise ValueError("resubmit_after must be >= 0")
+
+    @property
+    def end(self) -> float:
+        """End of the fault window (``t`` itself for point events)."""
+        if self.kind == "abort":
+            return self.t + self.resubmit_after
+        return self.t + self.duration
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "t": self.t}
+        if self.kind != "abort":
+            out["duration"] = self.duration
+        if self.proc is not None:
+            out["proc"] = self.proc
+        if self.kind in ("degrade", "straggle"):
+            out["factor"] = self.factor
+        if self.kind == "abort":
+            out["job_id"] = self.job_id
+            out["resubmit_after"] = self.resubmit_after
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        return cls(
+            kind=data["kind"],
+            t=float(data["t"]),
+            duration=float(data.get("duration", 0.0)),
+            proc=data.get("proc"),
+            factor=float(data.get("factor", 1.0)),
+            job_id=data.get("job_id"),
+            resubmit_after=float(data.get("resubmit_after", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of fault events plus a display name."""
+
+    events: tuple[FaultEvent, ...] = ()
+    name: str = "plan"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"events must be FaultEvent, got {type(ev).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Latest time any fault in the plan is still in effect."""
+        return max((ev.end for ev in self.events), default=0.0)
+
+    def kinds(self) -> set[str]:
+        return {ev.kind for ev in self.events}
+
+    def validate_for(self, m: int) -> None:
+        """Reject plans that name processors the machine does not have."""
+        for ev in self.events:
+            if ev.proc is not None and ev.proc >= m:
+                raise ValueError(
+                    f"{ev.kind} targets proc {ev.proc} on an m={m} machine"
+                )
+
+    def timeline(self, m: int):
+        """Compile into a fresh (single-use) flow-level timeline."""
+        from repro.faults.timeline import FaultTimeline
+
+        return FaultTimeline(self, m)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "meta": dict(self.meta),
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in data["events"]),
+            name=data.get("name", "plan"),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+# -- generators -------------------------------------------------------------
+
+
+def random_crash_plan(
+    m: int,
+    horizon: float,
+    seed: int = 0,
+    *,
+    crash_rate: float = 0.001,
+    mttr: float = 50.0,
+    name: str = "random-crashes",
+) -> FaultPlan:
+    """Poisson processor crashes with exponential repair times.
+
+    Each of the ``m`` processors independently fails at rate
+    ``crash_rate`` (crashes per sim-time unit) over ``[0, horizon)``;
+    each outage lasts an exponential time with mean ``mttr``, clipped so
+    a processor's outages never overlap.  Drawn from the dedicated
+    ``faults/<name>`` stream of :class:`~repro.core.rng.RngFactory`, so
+    the plan is a pure function of its arguments.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    rng = RngFactory(seed).stream(f"faults/{name}")
+    events: list[FaultEvent] = []
+    for proc in range(m):
+        t = 0.0
+        while True:
+            gap = float(rng.exponential(1.0 / crash_rate)) if crash_rate > 0 else math.inf
+            t += gap
+            if t >= horizon:
+                break
+            duration = max(1e-6, float(rng.exponential(mttr)))
+            events.append(FaultEvent("crash", t=t, duration=duration, proc=proc))
+            t += duration
+    events.sort(key=lambda ev: (ev.t, ev.proc if ev.proc is not None else -1))
+    return FaultPlan(
+        events=tuple(events),
+        name=name,
+        meta={"m": m, "horizon": horizon, "seed": seed,
+              "crash_rate": crash_rate, "mttr": mttr},
+    )
+
+
+def named_fault_plans(m: int, horizon: float, seed: int = 0) -> dict[str, FaultPlan]:
+    """The standing crash traces the resilience experiment sweeps.
+
+    * ``rolling`` — one processor at a time goes down, staggered evenly
+      across the horizon (a rolling restart / kernel-upgrade wave);
+    * ``half-down`` — ``m // 2`` processors are simultaneously dead for
+      the middle third of the horizon (a rack failure);
+    * ``brownout`` — full capacity, but the machine runs at half speed
+      for the middle half plus two stragglers (flow-level only);
+    * ``random`` — seeded Poisson crashes (:func:`random_crash_plan`).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if horizon <= 0:
+        raise ValueError("horizon must be > 0")
+    third = horizon / 3.0
+    rolling = tuple(
+        FaultEvent(
+            "crash",
+            t=(p + 0.5) * horizon / m,
+            duration=max(1e-6, horizon / (2 * m)),
+            proc=p,
+        )
+        for p in range(m)
+    )
+    half = tuple(
+        FaultEvent("crash", t=third, duration=third, proc=p)
+        for p in range(max(1, m // 2))
+    )
+    brown = (
+        FaultEvent("degrade", t=horizon / 4, duration=horizon / 2, factor=0.5),
+        FaultEvent(
+            "straggle", t=horizon / 8, duration=horizon / 4, proc=0, factor=0.25
+        ),
+        FaultEvent(
+            "straggle",
+            t=horizon / 2,
+            duration=horizon / 4,
+            proc=m - 1,
+            factor=0.5,
+        ),
+    )
+    return {
+        "rolling": FaultPlan(rolling, name="rolling", meta={"m": m, "horizon": horizon}),
+        "half-down": FaultPlan(half, name="half-down", meta={"m": m, "horizon": horizon}),
+        "brownout": FaultPlan(brown, name="brownout", meta={"m": m, "horizon": horizon}),
+        "random": random_crash_plan(
+            m, horizon, seed=seed, crash_rate=2.0 / horizon, mttr=horizon / 10,
+            name="random",
+        ),
+    }

@@ -1,0 +1,256 @@
+"""Compiled fault state the engines actually step over.
+
+:class:`FaultTimeline` is the flow-level form: interval events from a
+:class:`~repro.faults.plan.FaultPlan` become *point* actions (``crash`` /
+``recover``, ``degrade_on`` / ``degrade_off``, ...) on a heap, and the
+timeline tracks the resulting piecewise-constant machine state — the
+up-processor count ``m_eff`` and the fluid speed factor.  The engine asks
+for :meth:`next_time` to bound its constant-rate segments, pops due
+actions with :meth:`pop_due` exactly when the clock reaches them, and
+pushes dynamically scheduled job resubmissions with :meth:`push_resume`.
+
+A timeline is **single-use**: it mutates as the run consumes it.  Build a
+fresh one per simulation (``plan.timeline(m)``), or snapshot/restore it
+mid-run via :meth:`state_dict` / :meth:`from_state_dict` together with
+the engine's own checkpoint.
+
+:func:`step_agenda` is the work-stealing form: the same compilation, but
+times rounded up to integer steps and only the kinds the discrete runtime
+supports (``crash`` and ``abort`` — per-worker speed changes belong to
+the runtime's static ``speeds`` vector).
+
+Fluid straggler/degradation semantics (flow level): crashes change the
+integer processor count policies see; stragglers and degradation combine
+into one machine-wide speed multiplier — ``degrade`` factors multiply,
+and a straggling processor contributes ``factor`` instead of 1 to the up
+capacity, i.e. ``speed_factor = Π degrade · (Σ_up f_p) / m_eff``.  This
+keeps the simulation event-exact (rates stay piecewise constant) at the
+cost of spreading a straggler's slowdown evenly, which is the standard
+fluid approximation; the work-stealing runtime models per-worker effects
+exactly instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultTimeline", "step_agenda"]
+
+#: relative tolerance when deciding an action is "due now" (matches the
+#: flow engine's arrival-admission tolerance)
+_DUE_TOL = 1e-15
+
+
+def _point_actions(plan: FaultPlan) -> list[tuple[float, int, dict]]:
+    """Expand interval events into (time, seq, action) points."""
+    points: list[tuple[float, int, dict]] = []
+    seq = 0
+
+    def add(t: float, action: dict) -> None:
+        nonlocal seq
+        points.append((float(t), seq, action))
+        seq += 1
+
+    for ev in plan.events:
+        if ev.kind == "crash":
+            add(ev.t, {"kind": "crash", "proc": int(ev.proc)})
+            add(ev.t + ev.duration, {"kind": "recover", "proc": int(ev.proc)})
+        elif ev.kind == "degrade":
+            add(ev.t, {"kind": "degrade_on", "factor": float(ev.factor)})
+            add(ev.t + ev.duration, {"kind": "degrade_off", "factor": float(ev.factor)})
+        elif ev.kind == "straggle":
+            add(ev.t, {"kind": "straggle_on", "proc": int(ev.proc),
+                       "factor": float(ev.factor)})
+            add(ev.t + ev.duration, {"kind": "straggle_off", "proc": int(ev.proc),
+                                     "factor": float(ev.factor)})
+        elif ev.kind == "abort":
+            add(ev.t, {"kind": "abort", "job_id": int(ev.job_id),
+                       "resubmit_after": float(ev.resubmit_after)})
+    return points
+
+
+class FaultTimeline:
+    """Stateful, single-use fault agenda for the flow-level engine."""
+
+    def __init__(self, plan: FaultPlan, m: int) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        plan.validate_for(m)
+        self.plan = plan
+        self.m = int(m)
+        self._agenda = _point_actions(plan)
+        heapq.heapify(self._agenda)
+        #: total static points compiled (for engine event budgets)
+        self.n_points = len(self._agenda)
+        self._seq = self.n_points
+        self._down: dict[int, int] = {}  # proc -> crash depth
+        self._slow: dict[int, list[float]] = {}  # proc -> straggle factors
+        self._degrade: list[float] = []
+        self.applied = 0
+
+    # -- schedule ----------------------------------------------------------
+
+    def next_time(self) -> float | None:
+        """Time of the earliest pending action, or ``None`` when exhausted."""
+        return self._agenda[0][0] if self._agenda else None
+
+    def push_resume(self, t: float, job_id: int) -> None:
+        """Schedule an aborted job's re-arrival at time ``t``."""
+        heapq.heappush(
+            self._agenda, (float(t), self._seq, {"kind": "resume", "job_id": int(job_id)})
+        )
+        self._seq += 1
+
+    def pop_due(self, t: float) -> list[dict]:
+        """Apply and return every action scheduled at or before ``t``.
+
+        Machine-state actions (crash/recover/slowdowns) are folded into
+        the timeline's own state before being returned; ``abort`` and
+        ``resume`` are returned untouched for the engine to act on.  Each
+        returned dict gains ``"t"``, the action's *scheduled* time.
+        """
+        due: list[dict] = []
+        bound = t * (1 + _DUE_TOL) if t > 0 else t
+        while self._agenda and self._agenda[0][0] <= bound:
+            when, _, action = heapq.heappop(self._agenda)
+            action = dict(action)
+            action["t"] = when
+            self._apply(action)
+            self.applied += 1
+            due.append(action)
+        return due
+
+    def _apply(self, action: dict) -> None:
+        kind = action["kind"]
+        if kind == "crash":
+            proc = action["proc"]
+            self._down[proc] = self._down.get(proc, 0) + 1
+        elif kind == "recover":
+            proc = action["proc"]
+            depth = self._down.get(proc, 0) - 1
+            if depth <= 0:
+                self._down.pop(proc, None)
+            else:
+                self._down[proc] = depth
+        elif kind == "degrade_on":
+            self._degrade.append(action["factor"])
+        elif kind == "degrade_off":
+            try:
+                self._degrade.remove(action["factor"])
+            except ValueError:
+                pass
+        elif kind == "straggle_on":
+            self._slow.setdefault(action["proc"], []).append(action["factor"])
+        elif kind == "straggle_off":
+            factors = self._slow.get(action["proc"], [])
+            try:
+                factors.remove(action["factor"])
+            except ValueError:
+                pass
+            if not factors:
+                self._slow.pop(action["proc"], None)
+        # "abort"/"resume" carry no machine state
+
+    # -- machine state -----------------------------------------------------
+
+    def down_procs(self) -> frozenset[int]:
+        return frozenset(self._down)
+
+    def m_eff(self) -> int:
+        """Up-processor count — what policies see as ``view.m``."""
+        return self.m - len(self._down)
+
+    def speed_factor(self) -> float:
+        """Machine-wide fluid speed multiplier in (0, 1]."""
+        factor = 1.0
+        for f in self._degrade:
+            factor *= f
+        m_eff = self.m_eff()
+        if m_eff <= 0:
+            return factor
+        if self._slow:
+            capacity = 0.0
+            for proc in range(self.m):
+                if proc in self._down:
+                    continue
+                f = 1.0
+                for s in self._slow.get(proc, ()):
+                    f *= s
+                capacity += f
+            factor *= capacity / m_eff
+        return factor
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "m": self.m,
+            "agenda": [[t, seq, dict(action)] for t, seq, action in sorted(self._agenda)],
+            "seq": self._seq,
+            "down": [[int(p), int(d)] for p, d in sorted(self._down.items())],
+            "slow": [[int(p), list(f)] for p, f in sorted(self._slow.items())],
+            "degrade": list(self._degrade),
+            "applied": self.applied,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FaultTimeline":
+        tl = cls.__new__(cls)
+        tl.plan = FaultPlan.from_dict(state["plan"])
+        tl.m = int(state["m"])
+        tl._agenda = [
+            (float(t), int(seq), dict(action)) for t, seq, action in state["agenda"]
+        ]
+        heapq.heapify(tl._agenda)
+        tl.n_points = len(_point_actions(tl.plan))
+        tl._seq = int(state["seq"])
+        tl._down = {int(p): int(d) for p, d in state["down"]}
+        tl._slow = {int(p): [float(x) for x in f] for p, f in state["slow"]}
+        tl._degrade = [float(f) for f in state["degrade"]]
+        tl.applied = int(state["applied"])
+        return tl
+
+
+def step_agenda(plan: FaultPlan) -> list[tuple[int, int, dict]]:
+    """Compile a plan for the discrete work-stealing runtime.
+
+    Returns ``(step, seq, action)`` triples sorted by step.  Interval
+    times round *up* to whole steps and every outage lasts at least one
+    step.  Only ``crash`` and ``abort`` events are supported — the
+    runtime's workers are unit-speed by design, so fractional slowdowns
+    (``degrade`` / ``straggle``) have no discrete analogue here; model
+    those with the static ``speeds=`` vector or at the flow level.
+    """
+    unsupported = plan.kinds() - {"crash", "abort"}
+    if unsupported:
+        raise ValueError(
+            f"wsim fault plans support crash/abort only; got {sorted(unsupported)}"
+        )
+    agenda: list[tuple[int, int, dict]] = []
+    seq = 0
+    for ev in plan.events:
+        start = int(math.ceil(ev.t))
+        if ev.kind == "crash":
+            end = max(start + 1, int(math.ceil(ev.t + ev.duration)))
+            agenda.append((start, seq, {"kind": "crash", "proc": int(ev.proc)}))
+            agenda.append((end, seq + 1, {"kind": "recover", "proc": int(ev.proc)}))
+            seq += 2
+        else:  # abort
+            agenda.append(
+                (
+                    start,
+                    seq,
+                    {
+                        "kind": "abort",
+                        "job_id": int(ev.job_id),
+                        "resubmit_after": int(math.ceil(ev.resubmit_after)),
+                    },
+                )
+            )
+            seq += 1
+    agenda.sort()
+    return agenda

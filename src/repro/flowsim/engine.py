@@ -38,6 +38,7 @@ their rate vector reused until the composition of the active set changes.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 import numpy as np
@@ -162,6 +163,7 @@ class FlowStepper:
         policy: Policy,
         seed: int = 0,
         config: FlowSimConfig = FlowSimConfig(),
+        faults=None,
     ) -> None:
         if m < 1:
             raise ValueError("m must be >= 1")
@@ -169,6 +171,19 @@ class FlowStepper:
         self.policy = policy
         self.seed = int(seed)
         self.config = config
+        # ``faults`` is a repro.faults FaultPlan (compiled here) or an
+        # already-compiled FaultTimeline; duck-typed so this module never
+        # imports repro.faults (the dependency points the other way)
+        if faults is not None and not hasattr(faults, "pop_due"):
+            faults = faults.timeline(self.m)
+        if faults is not None and faults.m != self.m:
+            raise ValueError(
+                f"fault timeline compiled for m={faults.m}, engine has m={self.m}"
+            )
+        self.faults = faults
+        self._fault_log: list[dict] = []
+        self._lost_work = 0.0
+        self._suspended: set[int] = set()
         rng = RngFactory(seed).stream(f"flowsim/{policy.name}")
         policy.reset(self.m, rng)
 
@@ -222,6 +237,7 @@ class FlowStepper:
             ptype.on_completion is not Policy.on_completion
         )
         self._has_timer = ptype.next_timer is not Policy.next_timer
+        self._has_fault_hook = ptype.on_fault is not Policy.on_fault
         # profile-driven caps move with attained work, which changes
         # between events without any composition change — no reuse then
         self._rates_stable = (
@@ -410,15 +426,23 @@ class FlowStepper:
             caps = self._caps_for(ids, rem)
         else:
             caps = self._caps_arr
+        m_view = self.m
+        speed = self.config.speed
+        if self.faults is not None:
+            m_view = self.faults.m_eff()
+            if m_view < self.m:
+                # fresh array — never clip the cached caps in place
+                caps = np.minimum(caps, float(m_view))
+            speed *= self.faults.speed_factor()
         return ActiveView(
             t=self._t,
-            m=self.m,
+            m=m_view,
             job_ids=ids,
             remaining=rem,
             work=self._work_arr,
             release=self._rel_arr,
             caps=caps,
-            speed=self.config.speed,
+            speed=speed,
         )
 
     def _checked_rates(self, view: ActiveView) -> np.ndarray:
@@ -439,12 +463,64 @@ class FlowStepper:
             raise FlowSimError(f"{self.policy.name}: negative rate")
         if (rates > view.caps * (1 + _RATE_TOL) + _RATE_TOL).any():
             raise FlowSimError(f"{self.policy.name}: rate exceeds per-job cap")
-        if rates.sum() > self.m * (1 + _RATE_TOL) + _RATE_TOL:
+        if rates.sum() > view.m * (1 + _RATE_TOL) + _RATE_TOL:
             raise FlowSimError(
                 f"{self.policy.name}: total rate {rates.sum():.6g} "
-                f"exceeds m={self.m}"
+                f"exceeds m={view.m}"
             )
         return np.clip(rates, 0.0, None)
+
+    def _apply_due_faults(self) -> None:
+        """Apply every fault action scheduled at or before the clock.
+
+        Machine-state actions (crash/recover/slowdowns) were already folded
+        into the timeline by ``pop_due``; here we drop stale caches and give
+        the policy its :meth:`Policy.on_fault` look.  Job aborts are
+        replayed through the policy's completion/arrival hooks — an abort
+        *is* a completion from the policy's point of view (its processors
+        free up and re-draw) and the resubmission is an arrival, which
+        preserves DREP's "preempt only on arrival" accounting.  Every
+        action lands in the fault log with an ``applied`` flag.
+        """
+        for action in self.faults.pop_due(self._t):
+            kind = action["kind"]
+            entry = dict(action)
+            entry["applied"] = True
+            if kind == "abort":
+                j = int(action["job_id"])
+                if j in self._act_set:
+                    self._lost_work += float(self._work[j] - self._rem[j])
+                    self._act_ids.remove(j)
+                    self._act_set.discard(j)
+                    self._rem[j] = self._work[j]
+                    self._suspended.add(j)
+                    self._invalidate_active()
+                    if self._has_completion_hook:
+                        self.policy.on_completion(j, self._build_view())
+                    self.faults.push_resume(
+                        float(action["t"]) + float(action.get("resubmit_after", 0.0)),
+                        j,
+                    )
+                else:
+                    # pending, finished, or already suspended: nothing to kill
+                    entry["applied"] = False
+            elif kind == "resume":
+                j = int(action["job_id"])
+                if j in self._suspended:
+                    self._suspended.discard(j)
+                    bisect.insort(self._act_ids, j)
+                    self._act_set.add(j)
+                    self._rem[j] = self._work[j]
+                    self._invalidate_active()
+                    if self._has_arrival_hook:
+                        self.policy.on_arrival(j, self._build_view())
+                else:
+                    entry["applied"] = False
+            else:
+                self._invalidate_active()
+                if self._has_fault_hook:
+                    self.policy.on_fault(action, self._build_view())
+            self._fault_log.append(entry)
 
     def step(self, horizon: float | None = None) -> bool:
         """Execute one event iteration, optionally bounded by ``horizon``.
@@ -461,6 +537,10 @@ class FlowStepper:
         max_events = self._max_events
         if not max_events:
             max_events = cfg.max_events or default_max_events(self._n)
+            if self.faults is not None:
+                # each fault point costs O(1) extra events (segment split,
+                # re-rate, possible resume); 8x is far above the worst case
+                max_events += 8 * self.faults.n_points + 64
             self._max_events = max_events
         if self._events > max_events:
             raise FlowSimError(
@@ -468,6 +548,11 @@ class FlowStepper:
                 f"({self._completed}/{self._n} jobs done at t={self._t:.6g})"
                 " — Zeno loop?"
             )
+
+        # ---- apply faults due now (before arrivals: a processor that
+        # crashed at t is already gone when a job arriving at t draws) ----
+        if self.faults is not None:
+            self._apply_due_faults()
 
         # ---- admit arrivals due now -----------------------------------
         while (
@@ -484,13 +569,22 @@ class FlowStepper:
                 self.policy.on_arrival(j, self._build_view())
 
         if not self._act_ids:
+            nxt = None
             if self._next_arrival < self._n:
                 nxt = float(self._release[self._next_arrival])
+            if self.faults is not None:
+                # a pending fault point (recover, job resume) can be the
+                # only future event — without this, drain() would deadlock
+                # on a suspended job
+                ft = self.faults.next_time()
+                if ft is not None and (nxt is None or ft < nxt):
+                    nxt = float(ft)
+            if nxt is not None:
                 if horizon is not None and nxt > horizon * (1 + _ADMIT_TOL):
-                    # the next arrival is beyond the horizon: park there
+                    # the next event is beyond the horizon: park there
                     self._t = max(self._t, float(horizon))
                     return False
-                self._t = nxt
+                self._t = max(self._t, nxt)
                 return True
             if horizon is not None:
                 self._t = max(self._t, float(horizon))
@@ -498,16 +592,25 @@ class FlowStepper:
 
         # ---- constant-rate segment until the next event -----------------
         view = self._build_view()
-        rates = self._rates_cache
-        if rates is None:
-            self.perf.rate_misses += 1
-            rates = self._checked_rates(view)
-            if self._rates_stable:
-                self._rates_cache = rates
+        if self.faults is not None and view.m <= 0:
+            # every processor is down: nothing runs until a recovery,
+            # which is guaranteed to be on the fault agenda
+            rates = np.zeros(view.n, dtype=float)
+            self._rates_cache = None
         else:
-            self.perf.rate_hits += 1
-        if cfg.speed != 1.0:
-            eff = rates * cfg.speed  # resource augmentation (Sec. II)
+            rates = self._rates_cache
+            if rates is None:
+                self.perf.rate_misses += 1
+                rates = self._checked_rates(view)
+                if self._rates_stable:
+                    self._rates_cache = rates
+            else:
+                self.perf.rate_hits += 1
+        # view.speed folds resource augmentation (Sec. II) together with
+        # the current fault speed factor (degradation/stragglers), both
+        # piecewise-constant between events
+        if view.speed != 1.0:
+            eff = rates * view.speed
         else:
             eff = rates
         rem = view.remaining
@@ -543,6 +646,14 @@ class FlowStepper:
                     dt_brk = float((brk - attained) / eff[k])
                     if dt_brk < dt:
                         dt = dt_brk
+        if self.faults is not None:
+            # stop exactly at the next fault point so m(t) and the speed
+            # factor change on time (keeps the run event-exact)
+            ft = self.faults.next_time()
+            if ft is not None and ft > self._t:
+                dt_f = float(ft) - self._t
+                if dt_f < dt:
+                    dt = dt_f
         if horizon is not None and horizon > self._t:
             dt_hor = float(horizon) - self._t
             if dt_hor < dt:
@@ -654,6 +765,16 @@ class FlowStepper:
             self._busy_time / (makespan * self.m) if makespan > 0 else 0.0
         )
         self.perf.events = self._events
+        fault_extra = {}
+        if self.faults is not None:
+            fault_extra["faults"] = {
+                "plan": self.faults.plan.name,
+                "points": self.faults.n_points,
+                "applied": self.faults.applied,
+                "lost_work": self._lost_work,
+                "down_now": sorted(self.faults.down_procs()),
+                "log": [dict(e) for e in self._fault_log],
+            }
         return ScheduleResult(
             scheduler=self.policy.name,
             m=self.m,
@@ -673,6 +794,7 @@ class FlowStepper:
                     if self.config.record_segments
                     else {}
                 ),
+                **fault_extra,
             },
         )
 
@@ -691,7 +813,16 @@ class FlowStepper:
                 raise FlowSimError(
                     "cannot snapshot a run with explicit DAG jobs"
                 )
+        fault_state = {}
+        if self.faults is not None:
+            fault_state = {
+                "faults": self.faults.state_dict(),
+                "fault_log": [dict(e) for e in self._fault_log],
+                "lost_work": self._lost_work,
+                "suspended": sorted(self._suspended),
+            }
         return {
+            **fault_state,
             "m": self.m,
             "seed": self.seed,
             "config": {
@@ -792,6 +923,18 @@ class FlowStepper:
             (a, b, {int(k): v for k, v in alloc.items()})
             for a, b, alloc in state["segments"]
         ]
+        if state.get("faults") is not None:
+            from repro.faults.timeline import FaultTimeline
+
+            stepper.faults = FaultTimeline.from_state_dict(state["faults"])
+            stepper._fault_log = [dict(e) for e in state.get("fault_log", [])]
+            stepper._lost_work = float(state.get("lost_work", 0.0))
+            stepper._suspended = {int(j) for j in state.get("suspended", ())}
+        else:
+            stepper.faults = None
+            stepper._fault_log = []
+            stepper._lost_work = 0.0
+            stepper._suspended = set()
         # a weight-aware policy already carries its restored table, but a
         # fresh push is harmless and covers policies restored without one
         stepper._weights_dirty = hasattr(policy, "set_weights")
@@ -805,18 +948,25 @@ def simulate(
     policy: Policy,
     seed: int = 0,
     config: FlowSimConfig = FlowSimConfig(),
+    faults=None,
 ) -> ScheduleResult:
     """Run ``policy`` over ``trace`` on ``m`` processors; return the result.
 
     The policy is reset at the start with a dedicated random stream derived
     from ``seed``, so repeated calls are reproducible and two policies in
     the same sweep never share randomness.
+
+    ``faults`` optionally injects a :class:`repro.faults.FaultPlan` (or an
+    already-compiled single-use timeline): processors crash and recover,
+    capacity degrades, jobs get aborted and resubmitted, all at the plan's
+    scheduled times.  The result's ``extra["faults"]`` carries the applied
+    fault log and the work lost to aborts.
     """
     if m < 1:
         raise ValueError("m must be >= 1")
     if len(trace) == 0:
         return ScheduleResult(scheduler=policy.name, m=m, flow_times=np.empty(0))
-    stepper = FlowStepper(m, policy, seed=seed, config=config)
+    stepper = FlowStepper(m, policy, seed=seed, config=config, faults=faults)
     for spec in trace.jobs:
         stepper.add_job(spec)
     stepper.perf.start()

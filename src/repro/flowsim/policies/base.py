@@ -28,6 +28,8 @@ class ActiveView:
     """
 
     t: float
+    #: processors currently *up* — shrinks below the machine size while a
+    #: fault plan has crashed processors (``repro.faults``)
     m: int
     job_ids: np.ndarray
     remaining: np.ndarray
@@ -99,6 +101,21 @@ class Policy(abc.ABC):
 
     def on_completion(self, job_id: int, view: ActiveView) -> None:
         """Notify that ``job_id`` just finished (absent from ``view``)."""
+
+    def on_fault(self, event: dict, view: ActiveView) -> None:
+        """Notify of a machine-state fault (``repro.faults``).
+
+        ``event`` is a point action dict with at least ``kind`` (one of
+        ``crash`` / ``recover`` / ``degrade_on`` / ``degrade_off`` /
+        ``straggle_on`` / ``straggle_off``) and ``t``; crash/recover carry
+        ``proc``.  ``view.m`` already reflects the post-event processor
+        count.  Stateless policies can ignore faults entirely — the engine
+        clips ``view.caps`` to the up-processor count and verifies rates
+        against it.  Job aborts are *not* delivered here; the engine
+        replays them through :meth:`on_completion` / :meth:`on_arrival` so
+        assignment-tracking policies free and re-draw processors with the
+        machinery they already have.
+        """
 
     @abc.abstractmethod
     def rates(self, view: ActiveView) -> np.ndarray:

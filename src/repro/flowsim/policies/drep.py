@@ -32,6 +32,9 @@ from repro.flowsim.policies.base import ActiveView, Policy
 __all__ = ["DrepSequential", "DrepParallel"]
 
 _FREE = -1
+#: sentinel for a crashed processor (repro.faults); excluded from coin
+#: flips and re-draws until its ``recover`` event restores it to _FREE
+_DOWN = -2
 
 
 def _served_positions(job_ids: np.ndarray, assigned: np.ndarray) -> np.ndarray:
@@ -55,7 +58,7 @@ def _unassigned_ids(job_ids: np.ndarray, assignment: np.ndarray) -> np.ndarray:
     """
     if job_ids.size == 0:
         return job_ids
-    assigned = assignment[assignment != _FREE]
+    assigned = assignment[assignment >= 0]
     if assigned.size == 0:
         return job_ids
     keep = np.ones(job_ids.size, dtype=bool)
@@ -66,7 +69,7 @@ def _unassigned_ids(job_ids: np.ndarray, assignment: np.ndarray) -> np.ndarray:
 def _one_proc_rates(view: ActiveView, assignment: np.ndarray) -> np.ndarray:
     """Rate vector when every assigned job holds exactly one processor."""
     rates = np.zeros(view.n, dtype=float)
-    assigned = assignment[assignment != _FREE]
+    assigned = assignment[assignment >= 0]
     if assigned.size and view.n:
         pos = _served_positions(view.job_ids, assigned)
         rates[pos] = np.minimum(1.0, view.caps[pos])
@@ -100,6 +103,8 @@ class _DrepBase(Policy):
         self._switches = 0
         self._migrations = 0
         self._last_proc: dict[int, set[int]] = {}
+        self._n_down = 0
+        self._fault_evictions = 0
 
     def _switch_prob(self, n_active: int) -> float:
         if self.arrival_switch_prob is not None:
@@ -113,6 +118,8 @@ class _DrepBase(Policy):
         self._switches = 0
         self._migrations = 0
         self._last_proc = {}
+        self._n_down = 0
+        self._fault_evictions = 0
 
     # -- counters ----------------------------------------------------------
 
@@ -128,6 +135,15 @@ class _DrepBase(Policy):
     @property
     def migrations(self) -> int:
         return self._migrations
+
+    @property
+    def fault_evictions(self) -> int:
+        """Jobs knocked off a processor by a crash (repro.faults).
+
+        Tracked separately from :attr:`preemptions` so the Theorem 1.2
+        budget keeps counting only the algorithm's own switch decisions.
+        """
+        return self._fault_evictions
 
     def processors_of(self, job_id: int) -> np.ndarray:
         """Indices of processors currently assigned to ``job_id``."""
@@ -155,6 +171,34 @@ class _DrepBase(Policy):
         self._last_proc.pop(job_id, None)
         return procs
 
+    # -- faults (repro.faults) --------------------------------------------
+
+    def on_fault(self, event: dict, view: ActiveView) -> None:
+        """Crash evicts whatever the processor ran; recovery re-draws.
+
+        The evicted job simply rejoins the unassigned pool — it gets a
+        processor again at the next completion/recovery re-draw or arrival
+        reshuffle, exactly like a job whose arrival coin flips all failed.
+        Slowdown events carry no assignment consequence and are ignored.
+        """
+        assert self._assignment is not None
+        kind = event["kind"]
+        if kind == "crash":
+            proc = int(event["proc"])
+            if self._assignment[proc] >= 0:
+                self._fault_evictions += 1
+            self._assignment[proc] = _DOWN
+            self._n_down += 1
+        elif kind == "recover":
+            proc = int(event["proc"])
+            self._assignment[proc] = _FREE
+            self._n_down -= 1
+            self._redraw_recovered(proc, view)
+
+    def _redraw_recovered(self, proc: int, view: ActiveView) -> None:
+        """Put a freshly recovered processor back to work (per variant)."""
+        raise NotImplementedError
+
 
 class DrepSequential(_DrepBase):
     """DREP for sequential jobs (paper Sec. III)."""
@@ -169,8 +213,17 @@ class DrepSequential(_DrepBase):
             self._assign(int(free[0]), job_id, preempt=False)
             return
         n_active = view.n  # includes the new job
-        flips = self._rng.random(self._assignment.size) < self._switch_prob(n_active)
-        winners = flips.nonzero()[0]
+        if self._n_down:
+            # crashed processors flip no coins; the no-fault branch below
+            # is kept verbatim so fault-free runs stay bit-for-bit stable
+            up = (self._assignment != _DOWN).nonzero()[0]
+            flips = self._rng.random(up.size) < self._switch_prob(n_active)
+            winners = up[flips.nonzero()[0]]
+        else:
+            flips = self._rng.random(self._assignment.size) < self._switch_prob(
+                n_active
+            )
+            winners = flips.nonzero()[0]
         if winners.size == 0:
             return  # job waits in the unassigned queue
         # tie-break: exactly one of the coin winners switches (Sec. III,
@@ -185,6 +238,15 @@ class DrepSequential(_DrepBase):
             unassigned = _unassigned_ids(view.job_ids, self._assignment)
             if unassigned.size == 0:
                 continue  # processor stays free
+            pick = int(unassigned[self._rng.integers(unassigned.size)])
+            self._assign(int(proc), pick, preempt=False)
+
+    def _redraw_recovered(self, proc: int, view: ActiveView) -> None:
+        # same rule as a processor freed by a completion: draw uniformly
+        # from the unassigned queue, stay free when there is none
+        assert self._assignment is not None and self._rng is not None
+        unassigned = _unassigned_ids(view.job_ids, self._assignment)
+        if unassigned.size:
             pick = int(unassigned[self._rng.integers(unassigned.size)])
             self._assign(int(proc), pick, preempt=False)
 
@@ -206,7 +268,7 @@ class DrepParallel(_DrepBase):
             # idle processors exist only when the machine was empty; they
             # all join the newcomer (work stealing spreads them internally)
             self._assign(int(proc), job_id, preempt=False)
-        busy = (self._assignment != _FREE).nonzero()[0]
+        busy = (self._assignment >= 0).nonzero()[0]
         busy = busy[self._assignment[busy] != job_id]
         if busy.size == 0:
             return
@@ -224,10 +286,18 @@ class DrepParallel(_DrepBase):
             pick = int(view.job_ids[self._rng.integers(view.n)])
             self._assign(int(proc), pick, preempt=False)
 
+    def _redraw_recovered(self, proc: int, view: ActiveView) -> None:
+        # same rule as a processor freed by a completion: uniform over all
+        # active jobs, stay free on an empty machine
+        assert self._assignment is not None and self._rng is not None
+        if view.n:
+            pick = int(view.job_ids[self._rng.integers(view.n)])
+            self._assign(int(proc), pick, preempt=False)
+
     def rates(self, view: ActiveView) -> np.ndarray:
         assert self._assignment is not None
         rates = np.zeros(view.n, dtype=float)
-        assigned = self._assignment[self._assignment != _FREE]
+        assigned = self._assignment[self._assignment >= 0]
         if assigned.size == 0 or view.n == 0:
             return rates
         # per-job processor counts in one bincount pass; ids outside the

@@ -93,7 +93,15 @@ def _accepted_trace(trace: Trace, accepted: list[int]) -> Trace:
 
 @dataclass
 class LoadGenReport:
-    """What one replay did and what the server said about it."""
+    """What one replay did and what the server said about it.
+
+    The fault-facing counters make failures visible instead of silently
+    swallowed: ``errors`` counts requests that ultimately failed (error
+    responses or connection failures after the retry budget), ``timeouts``
+    counts per-request deadline expiries, ``overloaded`` counts explicit
+    server shed responses, ``retries`` counts re-sent requests and
+    ``reconnects`` counts socket re-establishments.
+    """
 
     offered: int
     accepted: int
@@ -104,6 +112,11 @@ class LoadGenReport:
     #: None = verification not attempted; True/False = outcome
     verified: bool | None = None
     max_abs_diff: float | None = None
+    errors: int = 0
+    timeouts: int = 0
+    overloaded: int = 0
+    retries: int = 0
+    reconnects: int = 0
 
     @property
     def shed_fraction(self) -> float:
@@ -116,6 +129,11 @@ class LoadGenReport:
             "shed": self.shed,
             "shed_fraction": self.shed_fraction,
             "wall_seconds": self.wall_seconds,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "overloaded": self.overloaded,
+            "retries": self.retries,
+            "reconnects": self.reconnects,
         }
         if self.drain_summary is not None:
             out["mean_flow"] = self.drain_summary.get("mean_flow")
@@ -181,6 +199,117 @@ def replay_into(scheduler, trace: Trace, rate: float = 1.0, drain: bool = True):
     return report, result
 
 
+class _WireClient:
+    """Reconnecting JSON-lines client with a per-request retry budget.
+
+    Retries cover the failures a fault-injected server actually throws at
+    a client: connection resets, per-request timeouts (after which the
+    stream is desynced, so the socket is dropped and re-opened) and
+    explicit ``overloaded`` shed responses.  Backoff is exponential with
+    multiplicative jitter from a seeded generator, so loadgen runs stay
+    reproducible.  Every failure is *counted* on the report — nothing is
+    swallowed.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        report: LoadGenReport,
+        timeout: float | None = None,
+        max_retries: int = 0,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.report = report
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.rng = np.random.default_rng(retry_seed)
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self._ever_connected = False
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        if self._ever_connected:
+            self.report.reconnects += 1
+        self._ever_connected = True
+
+    async def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+            try:
+                await self.writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self.writer = None
+            self.reader = None
+
+    async def _drop(self) -> None:
+        """Tear the socket down; the next attempt reconnects fresh."""
+        if self.writer is not None:
+            self.writer.close()
+            self.writer = None
+            self.reader = None
+
+    async def _roundtrip(self, request: dict) -> dict:
+        assert self.reader is not None and self.writer is not None
+        self.writer.write(json.dumps(request).encode() + b"\n")
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def call(self, request: dict) -> dict | None:
+        """One request, retried within budget; ``None`` = gave up."""
+        attempt = 0
+        while True:
+            failure: str | None = None
+            if self.writer is None:
+                try:
+                    await self.connect()
+                except OSError as exc:
+                    failure = f"connect: {exc}"
+            if failure is None:
+                try:
+                    coro = self._roundtrip(request)
+                    if self.timeout is not None:
+                        resp = await asyncio.wait_for(coro, self.timeout)
+                    else:
+                        resp = await coro
+                except asyncio.TimeoutError:
+                    self.report.timeouts += 1
+                    failure = "timeout"
+                    # a late response would desync request/response
+                    # framing, so the socket cannot be reused
+                    await self._drop()
+                except (ConnectionError, OSError, ValueError) as exc:
+                    failure = f"{type(exc).__name__}: {exc}"
+                    await self._drop()
+                else:
+                    if resp.get("overloaded"):
+                        self.report.overloaded += 1
+                        failure = "overloaded"
+                    else:
+                        return resp
+            if attempt >= self.max_retries:
+                self.report.errors += 1
+                return None
+            attempt += 1
+            self.report.retries += 1
+            delay = min(self.backoff_cap, self.backoff * 2 ** (attempt - 1))
+            await asyncio.sleep(delay * (0.5 + 0.5 * float(self.rng.random())))
+        return None  # pragma: no cover - unreachable
+
+
 async def replay_over_wire(
     host: str,
     port: int,
@@ -189,6 +318,12 @@ async def replay_over_wire(
     pace: float | None = None,
     drain: bool = True,
     verify: bool = False,
+    *,
+    timeout: float | None = None,
+    max_retries: int = 0,
+    backoff: float = 0.05,
+    backoff_cap: float = 2.0,
+    retry_seed: int = 0,
 ) -> LoadGenReport:
     """Stream ``trace`` to a running server over the JSON-lines protocol.
 
@@ -198,22 +333,34 @@ async def replay_over_wire(
     and machine size from ``hello`` — the report's ``verified`` /
     ``max_abs_diff`` fields carry the outcome.  Verification requires the
     server to run the virtual ``trace`` clock (exact release stamps).
+
+    ``timeout`` / ``max_retries`` / ``backoff`` configure per-request
+    deadlines and the retry budget (exponential backoff with seeded
+    jitter; see :class:`_WireClient`).  A submit that exhausts its budget
+    is *counted* on the report (``errors``) and skipped, not raised — a
+    crashing server should degrade the report, not the client.  Note that
+    retries are at-least-once: a submit whose response was lost may be
+    applied twice server-side, so keep ``max_retries=0`` (the default)
+    for bit-exact verification runs.
     """
     eff = effective_trace(trace, rate)
-    reader, writer = await asyncio.open_connection(host, port)
-
-    async def call(request: dict) -> dict:
-        writer.write(json.dumps(request).encode() + b"\n")
-        await writer.drain()
-        line = await reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return json.loads(line)
-
+    report = LoadGenReport(
+        offered=len(eff), accepted=0, shed=0, wall_seconds=0.0
+    )
+    client = _WireClient(
+        host,
+        port,
+        report,
+        timeout=timeout,
+        max_retries=max_retries,
+        backoff=backoff,
+        backoff_cap=backoff_cap,
+        retry_seed=retry_seed,
+    )
     try:
-        hello = await call({"op": "hello"})
-        if not hello.get("ok"):
-            raise RuntimeError(f"hello failed: {hello}")
+        hello = await client.call({"op": "hello"})
+        if hello is None or not hello.get("ok"):
+            raise ConnectionError(f"hello failed: {hello}")
         # a wall-clock server releases jobs "now"; sending the trace's
         # release stamps would land in its past and be rejected
         stamp_releases = hello.get("clock") == "trace"
@@ -234,35 +381,35 @@ async def replay_over_wire(
             }
             if stamp_releases:
                 request["release"] = spec.release
-            resp = await call(request)
+            resp = await client.call(request)
+            if resp is None:
+                continue  # counted in report.errors by the client
             if not resp.get("ok"):
-                raise RuntimeError(f"submit failed: {resp.get('error')}")
+                report.errors += 1
+                continue
             if resp["accepted"]:
                 accepted.append(spec.job_id)
             else:
                 shed += 1
-        stats = (await call({"op": "stats"})).get("stats", {})
-        report = LoadGenReport(
-            offered=len(eff),
-            accepted=len(accepted),
-            shed=shed,
-            wall_seconds=time.perf_counter() - t0,
-            stats=stats,
-        )
+        report.accepted = len(accepted)
+        report.shed = shed
+        stats_resp = await client.call({"op": "stats"})
+        report.stats = (stats_resp or {}).get("stats", {})
+        report.wall_seconds = time.perf_counter() - t0
         if drain:
-            resp = await call({"op": "drain", "include_flows": bool(verify)})
-            if not resp.get("ok"):
-                raise RuntimeError(f"drain failed: {resp.get('error')}")
+            resp = await client.call(
+                {"op": "drain", "include_flows": bool(verify)}
+            )
+            if resp is None or not resp.get("ok"):
+                raise RuntimeError(
+                    f"drain failed: {resp.get('error') if resp else 'no response'}"
+                )
             report.drain_summary = resp["result"]
             if verify:
                 _verify_against_offline(report, hello, eff, accepted, resp)
         return report
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        await client.close()
 
 
 def _verify_against_offline(

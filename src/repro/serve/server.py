@@ -38,9 +38,12 @@ import asyncio
 import json
 from dataclasses import dataclass
 
-from repro.flowsim.engine import FlowSimConfig, FlowSimError
+from repro.core.job import ParallelismMode
+from repro.flowsim.engine import FlowSimConfig
 from repro.flowsim.policies import policy_by_name
 from repro.serve.admission import AdmissionConfig, AdmissionController
+from repro.serve.journal import RequestJournal
+from repro.serve.journal import recover as journal_recover
 from repro.serve.metrics import RollingMetrics
 from repro.serve.online import OnlineScheduler
 from repro.serve.snapshot import snapshot_scheduler_file
@@ -50,7 +53,7 @@ __all__ = ["ServeConfig", "SchedulerServer"]
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Server wiring: machine, policy, clock and admission knobs."""
+    """Server wiring: machine, policy, clock, admission and fault knobs."""
 
     m: int = 8
     policy: str = "drep"
@@ -67,12 +70,36 @@ class ServeConfig:
     max_load: float | None = None
     halflife: float = 50.0
     snapshot_path: str | None = None  # default target for the snapshot op
+    #: write-ahead journal directory; enables crash recovery on restart
+    journal_dir: str | None = None
+    #: auto-checkpoint (and truncate the journal) every N journaled ops
+    snapshot_every: int = 256
+    #: fsync every journal append (power-loss durability, slower)
+    fsync: bool = False
+    #: hard cap on one request line, bytes; longer lines are rejected
+    #: with a structured error and the stream is resynced at the next
+    #: newline instead of dropping the connection
+    max_line_bytes: int = 1 << 20
+    #: requests allowed to wait for the engine lock before new ones are
+    #: shed with an ``overloaded`` response (None = unbounded)
+    max_pending: int | None = None
+    #: wall seconds a request may wait for the engine before it is
+    #: refused with a ``timed_out`` response (None = wait forever)
+    request_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.clock not in ("trace", "wall"):
             raise ValueError("clock must be 'trace' or 'wall'")
         if self.time_scale <= 0 or self.tick <= 0:
             raise ValueError("time_scale and tick must be > 0")
+        if self.max_line_bytes < 64:
+            raise ValueError("max_line_bytes must be >= 64")
+        if self.max_pending is not None and self.max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
 
     def build_scheduler(self) -> OnlineScheduler:
         admission = None
@@ -111,10 +138,29 @@ class SchedulerServer:
         self, config: ServeConfig, scheduler: OnlineScheduler | None = None
     ) -> None:
         self.config = config
+        self._journal: RequestJournal | None = None
+        self.recovered_seq = 0
+        self.recovered_entries = 0
+        if config.journal_dir is not None:
+            if scheduler is None:
+                scheduler, seq, replayed = journal_recover(
+                    config.journal_dir, build_empty=config.build_scheduler
+                )
+                self.recovered_seq = seq
+                self.recovered_entries = replayed
+            self._journal = RequestJournal(
+                config.journal_dir,
+                snapshot_every=config.snapshot_every,
+                fsync=config.fsync,
+            )
         self.scheduler = (
             scheduler if scheduler is not None else config.build_scheduler()
         )
         self._lock = asyncio.Lock()
+        self._pending = 0
+        self._shed_requests = 0
+        self._timed_out_requests = 0
+        self._bad_lines = 0
         self._server: asyncio.base_events.Server | None = None
         self._clients: dict[asyncio.Task, asyncio.StreamWriter] = {}
         self._ticker: asyncio.Task | None = None
@@ -132,7 +178,10 @@ class SchedulerServer:
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle_client, self.config.host, self.config.port
+            self._handle_client,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_line_bytes,
         )
         if self.config.clock == "wall":
             loop = asyncio.get_running_loop()
@@ -163,6 +212,8 @@ class SchedulerServer:
             writer.close()
         await asyncio.gather(*self._clients, return_exceptions=True)
         self._clients.clear()
+        if self._journal is not None:
+            self._journal.close()
         self._stopped.set()
 
     def _wall_now(self) -> float:
@@ -186,13 +237,19 @@ class SchedulerServer:
             self._clients[task] = writer
         try:
             while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                response = await self._dispatch_line(line)
-                writer.write(json.dumps(response).encode() + b"\n")
+                line, early_error = await self._read_line(reader)
+                if line is None and early_error is None:
+                    break  # clean EOF
+                if early_error is not None:
+                    self._bad_lines += 1
+                    response = early_error
+                else:
+                    assert line is not None
+                    response = await self._dispatch_line(line)
+                payload = _encode_response(response)
+                writer.write(payload)
                 await writer.drain()
-                if response.get("bye"):
+                if isinstance(response, dict) and response.get("bye"):
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -201,17 +258,65 @@ class SchedulerServer:
                 self._clients.pop(task, None)
             writer.close()
 
+    async def _read_line(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[bytes | None, dict | None]:
+        """One framed line, or a structured error for an oversized one.
+
+        Returns ``(line, None)`` normally, ``(None, error_response)`` for
+        a line longer than ``max_line_bytes`` (after discarding up to the
+        next newline so the stream stays framed), and ``(None, None)``
+        at EOF.  One bad line never costs the connection.
+        """
+        try:
+            return await reader.readuntil(b"\n"), None
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                return bytes(exc.partial), None  # unterminated final line
+            return None, None
+        except asyncio.LimitOverrunError:
+            discarded = await self._discard_to_newline(reader)
+            return None, {
+                "ok": False,
+                "error": (
+                    f"line too long (> {self.config.max_line_bytes} bytes, "
+                    f"{discarded} discarded)"
+                ),
+            }
+
+    @staticmethod
+    async def _discard_to_newline(reader: asyncio.StreamReader) -> int:
+        """Drop buffered bytes until the next newline (framing resync)."""
+        discarded = 0
+        while True:
+            try:
+                discarded += len(await reader.readuntil(b"\n"))
+                return discarded
+            except asyncio.LimitOverrunError as exc:
+                # the first `consumed` buffered bytes hold no newline —
+                # safe to drop without eating the next request
+                chunk = await reader.readexactly(max(1, exc.consumed))
+                discarded += len(chunk)
+            except asyncio.IncompleteReadError as exc:
+                return discarded + len(exc.partial)
+
     async def _dispatch_line(self, line: bytes) -> dict:
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
-        except ValueError as exc:
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._bad_lines += 1
             return {"ok": False, "error": f"bad request: {exc}"}
         req_id = request.get("id")
         try:
             response = await self._dispatch(request)
-        except (FlowSimError, ValueError, KeyError, OSError) as exc:
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — one request, one error
+            # a single bad request must never take the server (or even
+            # the connection) down; everything surfaces as a structured
+            # error the client can correlate by id
             response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         if req_id is not None:
             response["id"] = req_id
@@ -219,17 +324,63 @@ class SchedulerServer:
 
     async def _dispatch(self, request: dict) -> dict:
         op = request.get("op")
-        handler = getattr(self, f"_op_{op}", None)
+        handler = (
+            getattr(self, f"_op_{op}", None) if isinstance(op, str) else None
+        )
         if op is None or handler is None:
             return {"ok": False, "error": f"unknown op {op!r}"}
-        async with self._lock:
-            return handler(request)
+        cfg = self.config
+        if cfg.max_pending is not None and self._pending >= cfg.max_pending:
+            self._shed_requests += 1
+            return {
+                "ok": False,
+                "error": (
+                    f"overloaded: {self._pending} requests already waiting "
+                    f"(max_pending={cfg.max_pending})"
+                ),
+                "overloaded": True,
+            }
+        self._pending += 1
+        try:
+            try:
+                if cfg.request_timeout is not None:
+                    await asyncio.wait_for(
+                        self._lock.acquire(), cfg.request_timeout
+                    )
+                else:
+                    await self._lock.acquire()
+            except asyncio.TimeoutError:
+                self._timed_out_requests += 1
+                return {
+                    "ok": False,
+                    "error": (
+                        f"timeout: engine busy for "
+                        f"{cfg.request_timeout:g}s"
+                    ),
+                    "timed_out": True,
+                }
+            try:
+                return handler(request)
+            finally:
+                self._lock.release()
+        finally:
+            self._pending -= 1
+
+    # -- journal plumbing (called with the lock held) ----------------------
+
+    def _journal_append(self, entry: dict) -> None:
+        if self._journal is not None:
+            self._journal.append(entry)
+
+    def _journal_rotate(self) -> None:
+        if self._journal is not None:
+            self._journal.maybe_snapshot(self.scheduler)
 
     # -- ops (called with the lock held) -----------------------------------
 
     def _op_hello(self, request: dict) -> dict:
         cfg = self.config
-        return {
+        out = {
             "ok": True,
             "service": "drep-serve",
             "m": self.scheduler.m,
@@ -241,12 +392,34 @@ class SchedulerServer:
             "window": cfg.window,
             "now": self.scheduler.now,
         }
+        if self._journal is not None:
+            out["journal_seq"] = self._journal.seq
+            out["recovered_entries"] = self.recovered_entries
+        return out
 
     def _op_submit(self, request: dict) -> dict:
         work = request.get("work")
-        if not isinstance(work, (int, float)) or not work > 0:
+        if (
+            not isinstance(work, (int, float))
+            or isinstance(work, bool)
+            or not work > 0
+        ):
             raise ValueError("submit requires work > 0")
+        span = request.get("span")
+        if span is not None:
+            if not isinstance(span, (int, float)) or isinstance(span, bool):
+                raise ValueError("span must be numeric")
+            span = float(span)
+        mode = request.get("mode", "sequential")
+        ParallelismMode(mode)  # validate before anything is journaled
+        weight = request.get("weight", 1.0)
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise ValueError("weight must be numeric")
         release = request.get("release")
+        if release is not None and (
+            not isinstance(release, (int, float)) or isinstance(release, bool)
+        ):
+            raise ValueError("release must be numeric")
         if self.config.clock == "wall":
             self.scheduler.advance_to(self._wall_now())
             if release is None:
@@ -254,13 +427,29 @@ class SchedulerServer:
         elif release is not None:
             # trace clock: the submission drives time to its release stamp
             self.scheduler.advance_to(float(release))
+        else:
+            release = self.scheduler.now
+        release = float(release)
+        # write-ahead: the *resolved* request hits the journal before the
+        # engine, so a crash between the two replays it on recovery
+        self._journal_append(
+            {
+                "op": "submit",
+                "work": float(work),
+                "span": span,
+                "mode": mode,
+                "weight": float(weight),
+                "release": release,
+            }
+        )
         outcome = self.scheduler.submit(
             work=float(work),
-            span=request.get("span"),
-            mode=request.get("mode", "sequential"),
-            weight=float(request.get("weight", 1.0)),
-            release=None if release is None else float(release),
+            span=span,
+            mode=mode,
+            weight=float(weight),
+            release=release,
         )
+        self._journal_rotate()
         return {
             "ok": True,
             "accepted": outcome.accepted,
@@ -274,9 +463,11 @@ class SchedulerServer:
         if self.config.clock == "wall":
             raise ValueError("advance is only valid with the trace clock")
         to = request.get("to")
-        if not isinstance(to, (int, float)):
+        if not isinstance(to, (int, float)) or isinstance(to, bool):
             raise ValueError("advance requires a numeric 'to'")
+        self._journal_append({"op": "advance", "to": float(to)})
         self.scheduler.advance_to(float(to))
+        self._journal_rotate()
         return {"ok": True, "now": self.scheduler.now}
 
     def _op_query(self, request: dict) -> dict:
@@ -288,7 +479,17 @@ class SchedulerServer:
     def _op_stats(self, request: dict) -> dict:
         if self.config.clock == "wall":
             self.scheduler.advance_to(self._wall_now())
-        return {"ok": True, "stats": self.scheduler.stats()}
+        stats = self.scheduler.stats()
+        stats["server"] = {
+            # exclude this stats request itself from the gauge
+            "pending": max(0, self._pending - 1),
+            "shed_requests": self._shed_requests,
+            "timed_out_requests": self._timed_out_requests,
+            "bad_lines": self._bad_lines,
+        }
+        if self._journal is not None:
+            stats["server"]["journal_seq"] = self._journal.seq
+        return {"ok": True, "stats": stats}
 
     def _op_metrics(self, request: dict) -> dict:
         sched = self.scheduler
@@ -307,7 +508,9 @@ class SchedulerServer:
         return {"ok": True, "content_type": "text/plain; version=0.0.4", "text": text}
 
     def _op_drain(self, request: dict) -> dict:
+        self._journal_append({"op": "drain"})
         result = self.scheduler.drain()
+        self._journal_rotate()
         summary = {
             k: v for k, v in result.summary().items() if _jsonable(v)
         }
@@ -319,8 +522,17 @@ class SchedulerServer:
     def _op_snapshot(self, request: dict) -> dict:
         path = request.get("path") or self.config.snapshot_path
         if not path:
+            if self._journal is not None:
+                # journal mode: checkpoint in place and truncate the log
+                written = self._journal.mark_snapshot(self.scheduler)
+                return {
+                    "ok": True,
+                    "path": str(written),
+                    "now": self.scheduler.now,
+                }
             raise ValueError(
-                "snapshot requires a 'path' (or serve --snapshot-path)"
+                "snapshot requires a 'path' (or serve --snapshot-path "
+                "or --journal-dir)"
             )
         written = snapshot_scheduler_file(self.scheduler, path)
         return {"ok": True, "path": str(written), "now": self.scheduler.now}
@@ -337,3 +549,12 @@ class SchedulerServer:
 
 def _jsonable(v) -> bool:
     return isinstance(v, (bool, int, float, str)) or v is None
+
+
+def _encode_response(response: dict) -> bytes:
+    """Serialize a response; a bad payload still yields a valid line."""
+    try:
+        return json.dumps(response).encode() + b"\n"
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        fallback = {"ok": False, "error": f"unserializable response: {exc}"}
+        return json.dumps(fallback).encode() + b"\n"

@@ -35,6 +35,7 @@ equivalence test enforce this).
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 
@@ -110,6 +111,17 @@ class WsCounters:
     #: different worker than the one that made them ready (successful
     #: steals and muggings) — the paper's costly "migration" events
     node_migrations: int = 0
+    # -- fault-injection probes (repro.faults) --------------------------
+    #: worker crashes applied
+    crashes: int = 0
+    #: job aborts applied
+    aborts: int = 0
+    #: work units executed and then thrown away — a crashed worker's
+    #: partial node plus everything an aborted job had completed; the
+    #: re-execution cost faults impose on the schedule
+    lost_work: float = 0.0
+    #: worker-steps spent crashed (capacity removed from the machine)
+    dead_steps: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -124,6 +136,7 @@ class WsRuntime:
         seed: int = 0,
         config: WsConfig = WsConfig(),
         speeds: "np.ndarray | None" = None,
+        faults=None,
     ) -> None:
         if m < 1:
             raise ValueError("m must be >= 1")
@@ -169,6 +182,33 @@ class WsRuntime:
         self.max_steps = config.max_steps or (
             horizon + 50 * total_work + 10_000
         )
+        # -- fault injection (repro.faults): crash/abort plans only -------
+        # ``faults`` is a FaultPlan; compiled lazily so this module keeps
+        # no import-time dependency on repro.faults
+        self.faults = faults
+        self._fault_heap: list[tuple[int, int, dict]] = []
+        self._fault_seq = 0
+        self._fault_next: float = math.inf
+        self._fault_log: list[dict] = []
+        #: global-mode nodes stranded with no live worker to adopt them
+        self._orphans: list = []
+        self._live_workers = self.workers
+        if faults is not None:
+            from repro.faults.timeline import step_agenda
+
+            faults.validate_for(m)
+            self._fault_heap = step_agenda(faults)
+            heapq.heapify(self._fault_heap)
+            self._fault_seq = len(self._fault_heap)
+            if self._fault_heap:
+                self._fault_next = self._fault_heap[0][0]
+            # distinct list: crash/recover rebuilds must not touch .workers
+            self._live_workers = list(self.workers)
+            if config.max_steps is None:
+                # downtime and re-executed work stretch the schedule
+                self.max_steps += (
+                    int(math.ceil(faults.horizon)) + 50 * total_work + 10_000
+                )
         self.perf = PerfCounters()
 
     # ------------------------------------------------------------------
@@ -195,13 +235,14 @@ class WsRuntime:
             and not self.config.debug_invariants
             and self.speeds is None
         )
-        workers = self.workers
+        workers = self._live_workers
         debug = self.config.debug_invariants
         scheduler_on_step = self.scheduler.on_step
         counters = self.counters
         arrivals = self._arrivals
         n_arrivals = len(arrivals)
         flags_immediate = self.config.preempt_check == "step"
+        have_faults = self.faults is not None
         speeds = (
             None if self.speeds is None else [float(x) for x in self.speeds]
         )
@@ -213,14 +254,29 @@ class WsRuntime:
                     f"{self.scheduler.name}: exceeded {max_steps} steps "
                     f"with {self._completed}/{n} jobs done"
                 )
+            if have_faults and self._fault_next <= step:
+                # before arrivals: a worker crashing at t is already gone
+                # when a job arriving at t is placed
+                self._apply_due_faults()
+                workers = self._live_workers
             if self._next_arrival < n_arrivals:
                 if arrivals[self._next_arrival][0] <= step:
                     self._admit_arrivals()
             if not self.active:
-                # machine idle: jump to the next arrival
-                if self._next_arrival >= n:
+                # machine idle: jump to the next arrival or fault point
+                # (a pending recover/resume can be the only future event)
+                nxt = (
+                    arrivals[self._next_arrival][0]
+                    if self._next_arrival < n_arrivals
+                    else None
+                )
+                if have_faults and self._fault_next < (
+                    math.inf if nxt is None else nxt
+                ):
+                    nxt = int(self._fault_next)
+                if nxt is None:
                     break
-                self.step = arrivals[self._next_arrival][0]
+                self.step = max(step, nxt)
                 continue
             if macro_ok:
                 # largest k such that k unit steps are pure bulk execution:
@@ -235,6 +291,9 @@ class WsRuntime:
                     k = arrivals[self._next_arrival][0] - step
                 else:
                     k = max_steps + 1 - step
+                if have_faults and self._fault_next - step < k:
+                    # never jump over a crash/recover/abort point
+                    k = int(self._fault_next) - step
                 if k >= 2:
                     for worker in workers:
                         cur = worker.current
@@ -337,6 +396,22 @@ class WsRuntime:
             self.step = step + 1
         if np.isnan(self._flow_steps).any():
             raise WsimError(f"{self.scheduler.name}: unfinished jobs at end")
+        fault_extra = {}
+        if self.faults is not None:
+            for worker in self.workers:
+                if worker.down:  # run ended inside a crash window
+                    counters.dead_steps += self.step - worker.scratch[
+                        "down_since"
+                    ]
+                    worker.scratch["down_since"] = self.step
+            fault_extra["faults"] = {
+                "plan": self.faults.name,
+                "crashes": counters.crashes,
+                "aborts": counters.aborts,
+                "lost_work": counters.lost_work,
+                "dead_steps": counters.dead_steps,
+                "log": [dict(e) for e in self._fault_log],
+            }
         total_speed = float(self.m if self.speeds is None else self.speeds.sum())
         max_speed = float(1.0 if self.speeds is None else self.speeds.max())
         return ScheduleResult(
@@ -371,12 +446,175 @@ class WsRuntime:
                     else 0.0
                 ),
                 "perf": self._perf_snapshot(),
+                **fault_extra,
             },
         )
 
     def _perf_snapshot(self) -> dict:
         self.perf.events = self.step
         return self.perf.as_dict()
+
+    # ------------------------------------------------------------------
+    # faults (repro.faults)
+    # ------------------------------------------------------------------
+
+    def up_workers(self) -> "list[Worker]":
+        """Workers currently alive — what schedulers must iterate.
+
+        Identical to :attr:`workers` (the same list object) when no fault
+        plan is attached, so the no-fault path pays nothing.
+        """
+        return self._live_workers
+
+    def _apply_due_faults(self) -> None:
+        heap = self._fault_heap
+        step = self.step
+        while heap and heap[0][0] <= step:
+            _, _, action = heapq.heappop(heap)
+            kind = action["kind"]
+            entry = {"kind": kind, "step": step, "applied": True}
+            if kind == "crash":
+                proc = int(action["proc"])
+                entry["proc"] = proc
+                worker = self.workers[proc]
+                depth = worker.scratch.get("crash_depth", 0)
+                worker.scratch["crash_depth"] = depth + 1
+                if depth == 0:
+                    self._kill_worker(worker)
+                else:
+                    entry["applied"] = False  # already down (nested window)
+            elif kind == "recover":
+                proc = int(action["proc"])
+                entry["proc"] = proc
+                worker = self.workers[proc]
+                depth = worker.scratch.get("crash_depth", 1) - 1
+                worker.scratch["crash_depth"] = depth
+                if depth == 0:
+                    self._revive_worker(worker)
+                else:
+                    entry["applied"] = False
+            elif kind == "abort":
+                entry["job_id"] = int(action["job_id"])
+                entry["applied"] = self._abort_job(
+                    int(action["job_id"]), int(action["resubmit_after"])
+                )
+            elif kind == "resume":
+                job_id = int(action["job_id"])
+                entry["job_id"] = job_id
+                spec = self.trace.jobs[job_id]
+                # fresh JobRun with the *original* release step: all work
+                # re-executes, but flow time still counts from first release
+                job = JobRun(spec, int(math.ceil(spec.release)))
+                self.scheduler.on_arrival(job)
+            self._fault_log.append(entry)
+        self._fault_next = heap[0][0] if heap else math.inf
+        self._live_workers = [w for w in self.workers if not w.down]
+
+    def _kill_worker(self, worker: Worker) -> None:
+        """Crash ``worker``: its partial node re-executes, its deque moves on.
+
+        The in-progress node loses its partial execution (counted in
+        ``lost_work``) and goes back to full weight.  In affinity mode the
+        worker's non-empty deque is orphaned *muggable* — the job's other
+        workers adopt it through normal stealing, the Sec. IV-A handover.
+        In global-pool mode the deque's nodes move to the first live
+        worker (or a runtime orphan list when none exists, drained on the
+        next revival).
+        """
+        counters = self.counters
+        counters.crashes += 1
+        worker.down = True
+        worker.scratch["down_since"] = self.step
+        self._live_workers = [w for w in self.workers if not w.down]
+        cur = worker.current
+        if cur is not None:
+            job, node = cur
+            weight = float(job.dag.weights[node])
+            executed = weight - job.node_remaining[node]
+            if executed > 0:
+                counters.lost_work += executed
+                job.node_remaining[node] = weight
+            self._deque_for(worker, job).push_bottom(cur)
+            worker.current = None
+        dq = worker.dq
+        if dq is not None:
+            if dq.nodes:
+                if self.scheduler.affinity:
+                    dq.owner = None  # muggable: stays with the job
+                else:
+                    target = self._live_workers[0] if self._live_workers else None
+                    if target is not None:
+                        if target.dq is None:
+                            target.dq = WsDeque(job=None, owner=target.wid)
+                        target.dq.nodes.extend(dq.nodes)
+                    else:
+                        self._orphans.extend(dq.nodes)
+                    dq.nodes.clear()
+            if not dq.nodes and dq.job is not None:
+                dq.job.drop_deque(dq)
+            worker.dq = None
+        if worker.job is not None:
+            worker.job.workers -= 1
+            worker.job = None
+        worker.flag_target = None
+        worker.blocked_until = 0
+
+    def _revive_worker(self, worker: Worker) -> None:
+        """Bring a crashed worker back; the scheduler re-engages it."""
+        self.counters.dead_steps += self.step - worker.scratch["down_since"]
+        worker.down = False
+        self._live_workers = [w for w in self.workers if not w.down]
+        if not self.scheduler.affinity:
+            worker.dq = WsDeque(job=None, owner=worker.wid)
+            if self._orphans:
+                worker.dq.nodes.extend(self._orphans)
+                self._orphans.clear()
+        # affinity mode: the worker is out of work next step and the
+        # scheduler's out_of_work re-draw puts it on a job
+
+    def _abort_job(self, job_id: int, resubmit_after: int) -> bool:
+        """Kill an active job everywhere; schedule its resubmission."""
+        job = next((j for j in self.active if j.job_id == job_id), None)
+        if job is None:
+            return False  # pending, finished, or already aborted
+        counters = self.counters
+        counters.aborts += 1
+        executed = float(job.dag.work) - sum(
+            r for r in job.node_remaining if r > 0
+        )
+        if executed > 0:
+            counters.lost_work += executed
+        for worker in self.workers:
+            if worker.current is not None and worker.current[0] is job:
+                worker.current = None
+            if worker.flag_target is job:
+                worker.flag_target = None
+            dq = worker.dq
+            if dq is not None and dq.nodes:
+                kept = [ref for ref in dq.nodes if ref[0] is not job]
+                if len(kept) != len(dq.nodes):
+                    dq.nodes.clear()
+                    dq.nodes.extend(kept)
+            if worker.job is job:
+                worker.job = None
+        if self._orphans:
+            self._orphans = [ref for ref in self._orphans if ref[0] is not job]
+        for dq in job.deques:
+            dq.nodes.clear()
+        job.deques.clear()
+        job.workers = 0
+        self.active.remove(job)
+        self.scheduler.on_abort(job)
+        heapq.heappush(
+            self._fault_heap,
+            (
+                self.step + resubmit_after,
+                self._fault_seq,
+                {"kind": "resume", "job_id": job_id},
+            ),
+        )
+        self._fault_seq += 1
+        return True
 
     # ------------------------------------------------------------------
     # arrivals / completions
@@ -416,7 +654,7 @@ class WsRuntime:
         """
         fk = float(k)
         counters = self.counters
-        for worker in self.workers:
+        for worker in self._live_workers:
             job, node = worker.current
             job.node_remaining[node] -= fk
             counters.work_steps += fk
@@ -629,13 +867,24 @@ def simulate_ws(
     seed: int = 0,
     config: WsConfig = WsConfig(),
     speeds: "np.ndarray | None" = None,
+    faults=None,
 ) -> ScheduleResult:
     """Convenience wrapper: build a runtime and run it.
 
     ``speeds`` (length m, positive) makes workers heterogeneous — the
     related-machines setting for parallel DAG jobs.
+
+    ``faults`` injects a :class:`repro.faults.FaultPlan` — worker crashes
+    (deques reassigned, partial nodes re-executed) and job aborts with
+    resubmission.  Only crash/abort kinds are supported here; fractional
+    slowdowns belong to ``speeds`` or the flow-level simulator.  The
+    result's ``extra["faults"]`` reports the applied log, the work lost
+    and re-executed, and the worker-steps spent down.
     """
-    rt = WsRuntime(trace, m, scheduler, seed=seed, config=config, speeds=speeds)
+    rt = WsRuntime(
+        trace, m, scheduler, seed=seed, config=config, speeds=speeds,
+        faults=faults,
+    )
     rt.perf.start()
     result = rt.run()
     rt.perf.stop()

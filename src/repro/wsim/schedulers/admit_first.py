@@ -40,13 +40,20 @@ class AdmitFirstWS(WsScheduler):
         self.rt.active.append(job)
         self.queue.append(job)
 
+    def on_abort(self, job: JobRun) -> None:
+        # the job may still be waiting for admission
+        try:
+            self.queue.remove(job)
+        except ValueError:
+            pass
+
     def out_of_work(self, worker: Worker) -> None:
         rt = self.rt
         if self.queue:
             job = self.queue.popleft()
             self.admit_to_worker(worker, job)
             return
-        victims = [w for w in rt.workers if w is not worker]
+        victims = [w for w in rt.up_workers() if w is not worker]
         if not victims:
             self.idle(worker)
             return

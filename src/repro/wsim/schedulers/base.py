@@ -51,6 +51,16 @@ class WsScheduler(abc.ABC):
     def on_completion(self, job: JobRun) -> None:
         """A job just finished (already removed from ``rt.active``)."""
 
+    def on_abort(self, job: JobRun) -> None:
+        """A fault plan just killed ``job`` (repro.faults).
+
+        Called *after* the runtime purged the job's nodes from every deque
+        and detached its workers, and after it left ``rt.active``.
+        Schedulers holding their own references (e.g. a FIFO admission
+        queue) must drop them here; the resubmitted job arrives later as a
+        brand-new :class:`JobRun` through :meth:`on_arrival`.
+        """
+
     def on_step(self) -> None:
         """Called once per simulated step, before workers act.
 

@@ -49,6 +49,10 @@ class CentralGreedyWS(WsScheduler):
         for src in job.dag.sources():
             self.ready.append((job, int(src)))
 
+    def on_abort(self, job: JobRun) -> None:
+        # purge any of the job's nodes still sitting in the global queue
+        self.ready = deque(ref for ref in self.ready if ref[0] is not job)
+
     def out_of_work(self, worker: Worker) -> None:
         """Take the next globally ready node.
 
@@ -68,7 +72,9 @@ class CentralGreedyWS(WsScheduler):
             worker.current = self.ready.popleft()
             self.rt._execute_unit(worker)  # work-conserving: no lost step
             return
-        donors = [w for w in self.rt.workers if w.dq is not None and w.dq.nodes]
+        donors = [
+            w for w in self.rt.up_workers() if w.dq is not None and w.dq.nodes
+        ]
         if donors:
             victim = donors[int(self.rng.integers(len(donors)))]
             worker.current = victim.dq.steal_top()

@@ -39,7 +39,7 @@ class DrepWS(WsScheduler):
         rt.active.append(job)
         self.make_arrival_deque(job)
         n_active = len(rt.active)  # includes the newcomer
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is None or worker.job.done:
                 # an idle worker takes the new job immediately (it was idle
                 # only because the machine had drained)
@@ -51,7 +51,7 @@ class DrepWS(WsScheduler):
 
     def on_completion(self, job: JobRun) -> None:
         rt = self.rt
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is job:
                 if rt.active:
                     pick = rt.active[int(self.rng.integers(len(rt.active)))]

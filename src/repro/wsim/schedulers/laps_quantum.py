@@ -60,7 +60,7 @@ class LapsQuantumWS(WsScheduler):
         if not served:
             return
         n = len(served)
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.blocked_until > rt.step:
                 continue
             target = served[(worker.wid + self._rotation) % n]
@@ -76,14 +76,14 @@ class LapsQuantumWS(WsScheduler):
         rt = self.rt
         rt.active.append(job)
         self.make_arrival_deque(job)
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is None or worker.job.done:
                 rt.switch_worker(worker, job, preempt=False)
 
     def on_completion(self, job: JobRun) -> None:
         rt = self.rt
         served = self._served_set()
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is job:
                 if served:
                     pick = served[int(self.rng.integers(len(served)))]

@@ -48,7 +48,7 @@ class RrQuantumWS(WsScheduler):
         if not jobs:
             return
         n = len(jobs)
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.blocked_until > rt.step:
                 continue  # still paying a previous preemption's overhead
             target = jobs[(worker.wid + self._rotation) % n]
@@ -65,13 +65,13 @@ class RrQuantumWS(WsScheduler):
         rt.active.append(job)
         self.make_arrival_deque(job)
         # idle workers join immediately; busy ones wait for the quantum
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is None or worker.job.done:
                 rt.switch_worker(worker, job, preempt=False)
 
     def on_completion(self, job: JobRun) -> None:
         rt = self.rt
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is job:
                 if rt.active:
                     pick = rt.active[int(self.rng.integers(len(rt.active)))]

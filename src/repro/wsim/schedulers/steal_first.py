@@ -51,6 +51,13 @@ class StealFirstWS(WsScheduler):
         self.rt.active.append(job)
         self.queue.append(job)
 
+    def on_abort(self, job: JobRun) -> None:
+        # the job may still be waiting for admission
+        try:
+            self.queue.remove(job)
+        except ValueError:
+            pass
+
     def _admit(self, worker: Worker) -> bool:
         if not self.queue:
             return False
@@ -62,7 +69,7 @@ class StealFirstWS(WsScheduler):
     def out_of_work(self, worker: Worker) -> None:
         rt = self.rt
         budget = self.steal_budget_factor * rt.m
-        victims = [w for w in rt.workers if w is not worker]
+        victims = [w for w in rt.up_workers() if w is not worker]
         exhausted = worker.failed_steals >= budget or not victims
         if exhausted and self._admit(worker):
             return

@@ -48,7 +48,7 @@ class SwfApproxWS(WsScheduler):
         self.make_arrival_deque(job)
         # only idle workers react immediately; busy ones re-evaluate when
         # they next run out of work (that is the approximation)
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is None or worker.job.done:
                 target = self._target()
                 if target is not None:
@@ -56,7 +56,7 @@ class SwfApproxWS(WsScheduler):
 
     def on_completion(self, job: JobRun) -> None:
         rt = self.rt
-        for worker in rt.workers:
+        for worker in rt.up_workers():
             if worker.job is job:
                 rt.switch_worker(worker, self._target(), preempt=False)
 

@@ -156,6 +156,9 @@ class Worker:
     #: preemption overhead (0 = never blocked); an attribute rather than a
     #: ``scratch`` entry because the runtime reads it every worker-step
     blocked_until: int = 0
+    #: crashed by a fault plan (repro.faults): excluded from the runtime's
+    #: live-worker list until its recover event fires
+    down: bool = False
     #: free-form scheduler scratch (e.g. steal-first's admission budget)
     scratch: dict = field(default_factory=dict)
 

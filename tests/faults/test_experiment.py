@@ -1,0 +1,78 @@
+"""Resilience experiment: shape, determinism and the report schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.experiment import (
+    resilience_report,
+    run_resilience_experiment,
+)
+
+PARAMS = dict(
+    m=4,
+    n_jobs=50,
+    distribution="finance",
+    load=0.7,
+    policies=("drep", "srpt", "rr"),
+    plans=("rolling", "half-down"),
+    seed=2,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_resilience_experiment(**PARAMS)
+
+
+class TestExperiment:
+    def test_full_policy_plan_grid(self, rows):
+        pairs = {(r["policy"], r["plan"]) for r in rows}
+        assert pairs == {
+            (p, f) for p in PARAMS["policies"] for f in PARAMS["plans"]
+        }
+
+    def test_every_crash_actually_landed(self, rows):
+        for r in rows:
+            assert r["faults_applied"] > 0, r
+
+    def test_degradation_ratios_are_ratios(self, rows):
+        for r in rows:
+            assert r["flow_degradation"] == pytest.approx(
+                r["mean_flow"] / r["baseline_mean_flow"]
+            )
+            # crashes cannot make a work-conserving schedule faster on
+            # average by much; allow tiny improvements from reshuffles
+            assert r["flow_degradation"] > 0.9
+
+    def test_deterministic_across_invocations(self, rows):
+        assert rows == run_resilience_experiment(**PARAMS)
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            run_resilience_experiment(
+                m=2, n_jobs=5, plans=("no-such-plan",), seed=0
+            )
+
+
+class TestReport:
+    def test_report_schema(self, rows):
+        rep = resilience_report(
+            rows, m=4, n_jobs=50, distribution="finance", load=0.7, seed=2
+        )
+        assert rep["schema"] == "resilience/1"
+        assert rep["params"]["m"] == 4
+        assert set(rep["summary"]) == set(PARAMS["plans"])
+        for plan_summary in rep["summary"].values():
+            assert set(plan_summary["policies"]) == set(PARAMS["policies"])
+            assert plan_summary["worst_flow_degradation"] >= max(
+                0.9, min(plan_summary["policies"].values())
+            )
+
+    def test_report_is_json_serializable(self, rows):
+        import json
+
+        rep = resilience_report(
+            rows, m=4, n_jobs=50, distribution="finance", load=0.7, seed=2
+        )
+        assert json.loads(json.dumps(rep)) == rep

@@ -1,0 +1,119 @@
+"""FaultEvent/FaultPlan: validation, serialization, compiled agendas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    FaultTimeline,
+    named_fault_plans,
+    random_crash_plan,
+    step_agenda,
+)
+
+
+class TestFaultEvent:
+    def test_crash_requires_proc(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", t=1.0, duration=2.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", t=-1.0, duration=2.0, proc=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent("meteor", t=1.0, duration=2.0, proc=0)
+
+    def test_abort_requires_job(self):
+        with pytest.raises(ValueError):
+            FaultEvent("abort", t=1.0)
+
+    def test_end_and_roundtrip(self):
+        ev = FaultEvent("crash", t=2.0, duration=3.0, proc=1)
+        assert ev.end == pytest.approx(5.0)
+        assert FaultEvent.from_dict(ev.to_dict()) == ev
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = named_fault_plans(4, 100.0, seed=3)["rolling"]
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.horizon == plan.horizon
+
+    def test_validate_for_rejects_out_of_range_proc(self):
+        plan = FaultPlan(
+            (FaultEvent("crash", t=1.0, duration=1.0, proc=7),), name="bad"
+        )
+        plan.validate_for(8)
+        with pytest.raises(ValueError):
+            plan.validate_for(4)
+
+    def test_named_plans_cover_the_advertised_shapes(self):
+        plans = named_fault_plans(4, 100.0, seed=0)
+        assert set(plans) == {"rolling", "half-down", "brownout", "random"}
+        assert plans["rolling"].kinds() == {"crash"}
+        assert plans["half-down"].kinds() == {"crash"}
+        assert "degrade" in plans["brownout"].kinds()
+
+    def test_random_crash_plan_is_seed_deterministic(self):
+        a = random_crash_plan(8, 200.0, seed=5, crash_rate=0.05, mttr=10.0)
+        b = random_crash_plan(8, 200.0, seed=5, crash_rate=0.05, mttr=10.0)
+        c = random_crash_plan(8, 200.0, seed=6, crash_rate=0.05, mttr=10.0)
+        assert a == b
+        assert a != c
+
+
+class TestTimeline:
+    def test_point_ordering_and_state(self):
+        plan = FaultPlan(
+            (
+                FaultEvent("crash", t=1.0, duration=2.0, proc=0),
+                FaultEvent("crash", t=2.0, duration=2.0, proc=1),
+            ),
+            name="two",
+        )
+        tl = FaultTimeline(plan, m=4)
+        assert tl.next_time() == pytest.approx(1.0)
+        tl.pop_due(1.0)
+        assert tl.down_procs() == frozenset({0})
+        assert tl.m_eff() == 3
+        tl.pop_due(2.0)
+        assert tl.down_procs() == frozenset({0, 1})
+        tl.pop_due(3.0)
+        assert tl.down_procs() == frozenset({1})
+        tl.pop_due(4.0)
+        assert tl.down_procs() == frozenset()
+        assert tl.next_time() is None
+
+    def test_timeline_state_roundtrip(self):
+        plan = named_fault_plans(4, 50.0, seed=1)["rolling"]
+        tl = FaultTimeline(plan, m=4)
+        tl.pop_due(plan.events[0].t)
+        clone = FaultTimeline.from_state_dict(tl.state_dict())
+        assert clone.down_procs() == tl.down_procs()
+        assert clone.next_time() == tl.next_time()
+        assert clone.applied == tl.applied
+
+
+class TestStepAgenda:
+    def test_crash_outage_spans_at_least_one_step(self):
+        plan = FaultPlan(
+            (FaultEvent("crash", t=3.2, duration=0.1, proc=0),), name="blip"
+        )
+        agenda = step_agenda(plan)
+        kinds = [(s, a["kind"]) for s, _, a in agenda]
+        down = [s for s, k in kinds if k == "crash"][0]
+        up = [s for s, k in kinds if k == "recover"][0]
+        assert up >= down + 1
+
+    def test_degrade_rejected_for_wsim(self):
+        plan = FaultPlan(
+            (FaultEvent("degrade", t=1.0, duration=2.0, factor=0.5),),
+            name="brown",
+        )
+        with pytest.raises(ValueError, match="crash/abort"):
+            step_agenda(plan)

@@ -1,0 +1,97 @@
+"""Admission control at the boundaries: caps hit exactly, drain, zero cap."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.server import ServeConfig
+
+from tests.serve.test_server import trace_config, with_server
+
+
+class TestControllerBoundaries:
+    def test_queue_exactly_at_cap_sheds(self):
+        ctrl = AdmissionController(AdmissionConfig(max_active=3), m=2)
+        assert ctrl.decide(0.0, 1.0, active=2, backlog_work=0.0).accepted
+        d = ctrl.decide(0.0, 1.0, active=3, backlog_work=0.0)
+        assert d is AdmissionDecision.SHED_QUEUE_FULL
+
+    def test_backlog_boundary_is_inclusive(self):
+        # (backlog + work) / m must STRICTLY exceed the cap to shed: a
+        # job that fills the budget exactly still gets in
+        ctrl = AdmissionController(AdmissionConfig(max_backlog=5.0), m=2)
+        assert ctrl.decide(0.0, 4.0, active=0, backlog_work=6.0).accepted
+        d = ctrl.decide(0.0, 4.0 + 1e-6, active=0, backlog_work=6.0)
+        assert d is AdmissionDecision.SHED_BACKLOG
+
+    def test_backpressure_saturates_at_cap(self):
+        ctrl = AdmissionController(AdmissionConfig(max_active=4), m=1)
+        assert ctrl.backpressure(0.0, active=0) == 0.0
+        assert ctrl.backpressure(0.0, active=2) == pytest.approx(0.5)
+        assert ctrl.backpressure(0.0, active=4) == 1.0
+        assert ctrl.backpressure(0.0, active=9) == 1.0  # clamped
+
+    def test_zero_capacity_config_rejected(self):
+        with pytest.raises(ValueError, match="max_active"):
+            AdmissionConfig(max_active=0)
+        with pytest.raises(ValueError, match="max_backlog"):
+            AdmissionConfig(max_backlog=0.0)
+        with pytest.raises(ValueError, match="max_load"):
+            AdmissionConfig(max_load=0.0)
+
+    def test_state_roundtrip_preserves_estimator(self):
+        ctrl = AdmissionController(
+            AdmissionConfig(max_active=2, max_load=0.9, halflife=10.0), m=2
+        )
+        for t in (0.0, 1.0, 2.5):
+            ctrl.observe(t, 3.0)
+        clone = AdmissionController.from_state_dict(ctrl.state_dict())
+        assert clone.load_estimate(5.0) == ctrl.load_estimate(5.0)
+        assert clone.backpressure(5.0, 1) == ctrl.backpressure(5.0, 1)
+
+
+class TestServerAtCap:
+    def test_shed_then_drain_then_accept_again(self):
+        async def scenario(client, server):
+            # m=1, cap 2: the third submit at t=0 must shed
+            for expect in (True, True, False):
+                resp = await client.call(op="submit", work=1.0)
+                assert resp["ok"]
+                assert resp["accepted"] is expect
+            shed = resp
+            assert shed["decision"] == "shed_queue_full"
+            assert shed["backpressure"] == 1.0
+            # draining the queue reopens admission
+            await client.call(op="advance", to=10.0)
+            resp = await client.call(op="submit", work=1.0, release=10.0)
+            assert resp["ok"] and resp["accepted"]
+            stats = (await client.call(op="stats"))["stats"]
+            assert stats["shed"] == 1
+            assert stats["offered"] == 4
+            assert stats["submitted"] == 3
+
+        asyncio.run(
+            with_server(trace_config(m=1, max_active=2), scenario)
+        )
+
+    def test_zero_pending_budget_sheds_every_request(self):
+        # max_pending=0 is the degenerate "always overloaded" server: it
+        # must answer (not hang, not drop) with an explicit overload
+        async def scenario(client, server):
+            for op in ("hello", "submit", "stats"):
+                resp = await client.call(op=op, work=1.0)
+                assert resp["ok"] is False
+                assert resp["overloaded"] is True
+
+        asyncio.run(with_server(trace_config(max_pending=0), scenario))
+
+    def test_negative_pending_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            ServeConfig(m=1, policy="drep", max_pending=-1)

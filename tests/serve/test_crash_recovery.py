@@ -1,0 +1,133 @@
+"""Kill -9 the serving process mid-workload; recovery must be bit-exact.
+
+The server runs as a real subprocess with a write-ahead journal.  It is
+SIGKILLed (no cleanup, no flush beyond the per-append one) partway
+through a trace; a second process recovers from the same journal
+directory, takes the rest of the trace, and its drained per-job flow
+times must equal an uninterrupted run **bit for bit**.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve.server import ServeConfig
+from repro.workloads.traces import generate_trace
+
+REPO = Path(__file__).resolve().parents[2]
+
+SERVE_ARGS = [
+    "--m",
+    "2",
+    "--policy",
+    "drep",
+    "--seed",
+    "7",
+    "--port",
+    "0",
+    "--snapshot-every",
+    "5",
+]
+
+
+def _spawn_server(journal_dir: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", *SERVE_ARGS]
+        + ["--journal-dir", str(journal_dir)],
+        env=env,
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    port = None
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"listening on [\d.]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+            break
+    if port is None:
+        proc.kill()
+        pytest.fail("server did not report a port")
+    return proc, port
+
+
+class _Client:
+    def __init__(self, port: int):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.rfile = self.sock.makefile("rb")
+
+    def call(self, **request) -> dict:
+        self.sock.sendall(json.dumps(request).encode() + b"\n")
+        line = self.rfile.readline()
+        assert line, "server closed the connection"
+        return json.loads(line)
+
+    def close(self) -> None:
+        self.rfile.close()
+        self.sock.close()
+
+
+def _submit_all(client: _Client, jobs) -> None:
+    for spec in jobs:
+        resp = client.call(op="submit", work=spec.work, release=spec.release)
+        assert resp["ok"] and resp["accepted"], resp
+
+
+@pytest.mark.slow
+def test_sigkill_recovery_matches_uninterrupted_run(tmp_path):
+    trace = generate_trace(40, "finance", 0.7, 2, seed=7)
+    cut = 23
+
+    # uninterrupted reference: same config, in-process
+    config = ServeConfig(m=2, policy="drep", seed=7)
+    ref = config.build_scheduler()
+    for spec in trace.jobs:
+        ref.advance_to(spec.release)
+        ref.submit(work=spec.work, release=spec.release)
+    ref_flows = ref.drain().flow_times
+
+    journal_dir = tmp_path / "wal"
+    proc, port = _spawn_server(journal_dir)
+    try:
+        client = _Client(port)
+        _submit_all(client, trace.jobs[:cut])
+    finally:
+        # no shutdown, no flush — the hard way down
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    proc2, port2 = _spawn_server(journal_dir)
+    try:
+        client = _Client(port2)
+        hello = client.call(op="hello")
+        assert hello["recovered_entries"] > 0 or hello["journal_seq"] >= cut
+        _submit_all(client, trace.jobs[cut:])
+        done = client.call(op="drain", include_flows=True)
+        assert done["ok"], done
+        np.testing.assert_array_equal(
+            np.asarray(done["flow_times"], dtype=float), ref_flows
+        )
+        client.call(op="shutdown")
+    finally:
+        if proc2.poll() is None:
+            proc2.terminate()
+        proc2.wait(timeout=30)

@@ -1,0 +1,118 @@
+"""Hypothesis fuzz of the JSON-lines wire protocol.
+
+Whatever bytes arrive — binary garbage, invalid JSON, valid JSON with
+nonsense fields, oversized lines — the server must answer every line
+with exactly one structured JSON response, keep the connection open,
+and stay fully functional afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve.server import SchedulerServer, ServeConfig
+
+MAX_LINE = 4096
+
+_ops = st.sampled_from(
+    ["hello", "submit", "advance", "query", "stats", "ping", "drain",
+     "metrics", "snapshot", "nope", "", "SUBMIT", 42]
+)
+_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=3),
+)
+_json_line = st.fixed_dictionaries(
+    {},
+    optional={
+        "op": _ops,
+        "work": _values,
+        "span": _values,
+        "mode": _values,
+        "weight": _values,
+        "release": _values,
+        "to": _values,
+        "job_id": _values,
+        "id": _values,
+    },
+).map(lambda d: json.dumps(d).encode())
+
+_binary_line = st.binary(max_size=200).map(lambda b: b.replace(b"\n", b" "))
+
+_oversized_line = st.just(b"x" * (MAX_LINE + 100))
+
+_lines = st.lists(
+    st.one_of(_binary_line, _json_line, _oversized_line), max_size=8
+)
+
+
+async def _run_lines(lines: list[bytes]) -> None:
+    config = ServeConfig(
+        m=2, policy="drep", seed=0, port=0, max_line_bytes=MAX_LINE
+    )
+    server = SchedulerServer(config)
+    await server.start()
+    try:
+        reader, writer = await asyncio.open_connection(config.host, server.port)
+        try:
+            for line in lines:
+                writer.write(line + b"\n")
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.readline(), timeout=10)
+                assert raw, f"connection dropped after {line[:60]!r}"
+                response = json.loads(raw)
+                assert isinstance(response, dict) and "ok" in response
+                if not response["ok"]:
+                    assert isinstance(response["error"], str)
+            # the server must still be fully alive and consistent
+            writer.write(b'{"op": "ping"}\n')
+            await writer.drain()
+            pong = json.loads(await asyncio.wait_for(reader.readline(), 10))
+            assert pong["ok"]
+            writer.write(b'{"op": "stats"}\n')
+            await writer.drain()
+            stats = json.loads(await asyncio.wait_for(reader.readline(), 10))
+            assert stats["ok"]
+            srv = stats["stats"]["server"]
+            for key in ("pending", "shed_requests", "timed_out_requests",
+                        "bad_lines"):
+                assert isinstance(srv[key], int) and srv[key] >= 0
+            assert srv["pending"] == 0
+        finally:
+            writer.close()
+    finally:
+        await server.stop()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(lines=_lines)
+def test_server_survives_arbitrary_lines(lines):
+    asyncio.run(_run_lines(lines))
+
+
+def test_known_nasty_lines_get_structured_errors():
+    # the deterministic corner cases the fuzzer may not always hit
+    nasty = [
+        b"",  # empty line
+        b"\xff\xfe\x00garbage",  # not UTF-8
+        b"{not json",  # invalid JSON
+        b"[1, 2, 3]",  # JSON but not an object
+        b'"just a string"',
+        b'{"op": null}',
+        b'{"op": "submit", "work": "lots"}',  # bad field type
+        b"x" * (MAX_LINE * 3),  # way past the line cap
+        b'{"op": "advance"}',  # missing required field
+    ]
+    asyncio.run(_run_lines(nasty))
