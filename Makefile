@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-json serve-smoke faults-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-json sweep-smoke serve-smoke faults-smoke figures report examples clean
 
 # perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
-PR ?= 2
+PR ?= 4
 
 install:
 	pip install -e '.[test]'
@@ -25,6 +25,11 @@ bench-smoke:
 # full-size throughput suite -> BENCH_$(PR).json perf-trajectory entry
 bench-json:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --pr $(PR)
+
+# run a small experiment grid serially and through the process pool and
+# require byte-identical rows (the grid runner's determinism contract)
+sweep-smoke:
+	PYTHONPATH=src $(PYTHON) scripts/sweep_smoke.py
 
 # boot a live server, push 100 jobs through it, verify the drained flow
 # times against offline flowsim.simulate, then tear the server down

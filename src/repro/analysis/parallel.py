@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.job import ParallelismMode
 
-__all__ = ["FlowCell", "run_cells", "parallel_flow_sweep"]
+__all__ = ["FlowCell", "memoized_trace", "run_cells", "parallel_flow_sweep"]
 
 
 #: Per-worker-process memo of generated traces.  A sweep runs many cells
@@ -55,6 +55,11 @@ def _memoized_trace(
             _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
         _TRACE_MEMO[key] = trace
     return trace
+
+
+#: public name — the grid runner (:mod:`repro.analysis.pool`) reuses the
+#: same per-process memo so mixed FlowCell/grid workloads share traces
+memoized_trace = _memoized_trace
 
 
 @dataclass(frozen=True)

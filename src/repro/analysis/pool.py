@@ -1,0 +1,277 @@
+"""Deterministic process-pool runner for experiment grids.
+
+The paper's simulation arm (Sec. V-A, Figures 1-2) is a large grid —
+{Bing, Finance} × loads × processor sweep × modes × replicates — and
+every cell is an independent simulation, so the sweep is embarrassingly
+parallel.  This module shards any such grid over a process pool while
+keeping the library's repro contract *byte-for-byte*:
+
+* **Determinism** — ``run_grid(fn, tasks, workers=N)`` returns exactly
+  the list ``[fn(t) for t in tasks]`` for every ``N``: tasks are
+  dispatched in chunks (cheap work stealing — a slow cell only delays
+  its own chunk) and reassembled in submission order, and every cell
+  carries its own explicit seed, derived with the library's single
+  seed-derivation rule (:func:`repro.core.rng.derive_seed`).
+* **No trace shipping** — cells are small frozen dataclasses; workers
+  regenerate traces from generation parameters and share them through
+  the per-process memo of :mod:`repro.analysis.parallel`, so a grid
+  whose cells differ only in policy generates each trace once per
+  worker.
+* **Observability** — pass a :class:`repro.perf.PerfCounters` and the
+  dispatch shape lands in ``pool_tasks`` / ``pool_chunks`` /
+  ``pool_workers`` (reported by the grid-sweep bench cases).
+
+``FlowSweepCell`` rows carry the same fields as the serial
+:func:`repro.analysis.experiments.run_flow_sweep` rows plus ``seed`` and
+``events`` — and deliberately nothing process-dependent (no pids, no
+wall times), which is what makes serial/parallel output comparable with
+a plain ``==``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.rng import derive_seed
+
+__all__ = [
+    "FlowSweepCell",
+    "default_chunk_size",
+    "flow_sweep_cells",
+    "replicate_flow",
+    "run_flow_grid",
+    "run_grid",
+]
+
+#: policy keys per mode, mirroring
+#: :func:`repro.analysis.experiments.flow_policy_factories`
+DEFAULT_SEQ_POLICIES = ("srpt", "sjf", "rr", "drep")
+DEFAULT_PAR_POLICIES = ("srpt", "swf", "rr", "drep-par")
+
+
+def default_chunk_size(n_tasks: int, workers: int) -> int:
+    """~4 chunks per worker: enough slack for stealing, little overhead."""
+    return max(1, math.ceil(n_tasks / (4 * max(1, workers))))
+
+
+def _run_chunk(fn: Callable, chunk: list) -> list:
+    return [fn(item) for item in chunk]
+
+
+def run_grid(
+    fn: Callable,
+    tasks: Iterable,
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    counters=None,
+) -> list:
+    """Run ``fn`` over ``tasks``; result order == task order, always.
+
+    ``fn`` and every task must be picklable (module-level function,
+    plain-data cells).  ``workers=None`` uses the CPU count; ``workers=1``
+    runs inline — same code path minus the pool, so the output is
+    byte-identical by construction.  ``chunk_size`` tunes dispatch
+    granularity (default :func:`default_chunk_size`): chunks are
+    submitted up front and completed in any order (work stealing), then
+    reassembled by chunk index.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not tasks:
+        return []
+    workers = min(workers, len(tasks))
+    if counters is not None:
+        counters.pool_tasks += len(tasks)
+        counters.pool_workers = max(counters.pool_workers, workers)
+    if workers == 1:
+        if counters is not None:
+            counters.pool_chunks += 1
+        return [fn(task) for task in tasks]
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(tasks), workers)
+    chunks = [tasks[i : i + chunk_size] for i in range(0, len(tasks), chunk_size)]
+    if counters is not None:
+        counters.pool_chunks += len(chunks)
+    results: list[list | None] = [None] * len(chunks)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_run_chunk, fn, chunk): i
+            for i, chunk in enumerate(chunks)
+        }
+        for future in as_completed(futures):
+            results[futures[future]] = future.result()
+    out: list = []
+    for chunk_rows in results:
+        assert chunk_rows is not None
+        out.extend(chunk_rows)
+    return out
+
+
+@dataclass(frozen=True)
+class FlowSweepCell:
+    """One (trace, policy) flow-simulation cell of a figure grid.
+
+    Frozen and plain-data, so it pickles cheaply; the worker regenerates
+    the trace from the generation parameters (memoized per process).
+    """
+
+    distribution: str
+    load: float
+    m: int
+    mode: str
+    policy: str
+    n_jobs: int
+    seed: int
+    figure: str = ""
+    speed: float = 1.0
+    policy_kwargs: tuple = ()  # (key, value) pairs
+
+    def run(self) -> dict:
+        """Execute in the current process; returns a flat result row."""
+        from repro.analysis.parallel import memoized_trace
+        from repro.flowsim.engine import FlowSimConfig, simulate
+        from repro.flowsim.policies import policy_by_name
+
+        trace = memoized_trace(
+            self.distribution, self.load, self.m, self.n_jobs, self.mode, self.seed
+        )
+        result = simulate(
+            trace,
+            self.m,
+            policy_by_name(self.policy, **dict(self.policy_kwargs)),
+            seed=self.seed,
+            config=FlowSimConfig(speed=self.speed),
+        )
+        # the serial sweep's row fields, plus the cell seed and event
+        # count; nothing process-dependent may ever be added here — the
+        # workers=N ≡ workers=1 guarantee is a byte-level comparison
+        return {
+            "figure": self.figure,
+            "distribution": self.distribution,
+            "load": self.load,
+            "m": self.m,
+            "mode": self.mode,
+            "scheduler": result.scheduler,
+            "mean_flow": result.mean_flow,
+            "p99_flow": result.percentile(99),
+            "preemptions": result.preemptions,
+            "switches": result.extra.get("switches", 0),
+            "utilization": result.extra.get("utilization", 0.0),
+            "seed": self.seed,
+            "events": int(result.extra.get("events", 0)),
+        }
+
+
+def _run_flow_cell(cell: FlowSweepCell) -> dict:
+    return cell.run()
+
+
+def flow_sweep_cells(
+    distribution: str,
+    load: float,
+    mode,
+    m_values: Iterable[int],
+    n_jobs: int,
+    seed: int = 0,
+    policies: Sequence[str] | None = None,
+    replicates: int = 1,
+    figure: str = "",
+) -> list[FlowSweepCell]:
+    """Figure-1/2 style grid as a flat cell list (m × policy × replicate).
+
+    Replicate 0 runs on the base ``seed`` — matching the serial
+    single-shot sweep — and replicate ``r`` on
+    ``derive_seed(seed, f"rep/{r}")``, the same child a hand-rolled
+    :meth:`repro.core.rng.RngFactory.child` loop would use.
+    """
+    mode_s = mode.value if hasattr(mode, "value") else str(mode)
+    if policies is None:
+        policies = (
+            DEFAULT_PAR_POLICIES
+            if mode_s == "fully_parallel"
+            else DEFAULT_SEQ_POLICIES
+        )
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    cells = []
+    for r in range(replicates):
+        cell_seed = seed if r == 0 else derive_seed(seed, f"rep/{r}")
+        for m in m_values:
+            for policy in policies:
+                cells.append(
+                    FlowSweepCell(
+                        distribution=distribution,
+                        load=float(load),
+                        m=int(m),
+                        mode=mode_s,
+                        policy=policy,
+                        n_jobs=int(n_jobs),
+                        seed=int(cell_seed),
+                        figure=figure,
+                    )
+                )
+    return cells
+
+
+def run_flow_grid(
+    cells: Sequence[FlowSweepCell],
+    workers: int | None = 1,
+    chunk_size: int | None = None,
+    counters=None,
+) -> list[dict]:
+    """Run a flow-cell grid through :func:`run_grid`."""
+    return run_grid(
+        _run_flow_cell,
+        cells,
+        workers=workers,
+        chunk_size=chunk_size,
+        counters=counters,
+    )
+
+
+def replicate_flow(
+    policy: str,
+    distribution: str,
+    load: float,
+    m: int,
+    n_jobs: int,
+    mode: str = "sequential",
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    workers: int | None = 1,
+    metric: str = "mean_flow",
+):
+    """Multi-seed replication of one cell, sharded over the pool.
+
+    The pool-friendly sibling of :func:`repro.analysis.replication.replicate`:
+    same :class:`~repro.analysis.replication.Replication` summary, but the
+    per-seed runs are grid cells, so they parallelize and stay
+    byte-deterministic for any worker count.
+    """
+    from repro.analysis.replication import Replication
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    cells = [
+        FlowSweepCell(
+            distribution=distribution,
+            load=float(load),
+            m=int(m),
+            mode=mode,
+            policy=policy,
+            n_jobs=int(n_jobs),
+            seed=int(s),
+        )
+        for s in seeds
+    ]
+    rows = run_flow_grid(cells, workers=workers)
+    return Replication(
+        label=rows[0]["scheduler"],
+        values=tuple(float(r[metric]) for r in rows),
+    )

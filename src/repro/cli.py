@@ -42,15 +42,33 @@ _DEFAULT_M_SWEEP = [1, 2, 4, 8, 16, 32, 64]
 
 
 def _fig_flow(args: argparse.Namespace, mode: ParallelismMode) -> int:
-    rows = run_flow_sweep(
-        distribution=args.distribution,
-        load=args.load,
-        mode=mode,
-        m_values=args.m_values,
-        n_jobs=args.n_jobs,
-        seed=args.seed,
-        policies=flow_policy_factories(mode),
-    )
+    workers = getattr(args, "workers", 1)
+    if workers == 0:
+        workers = None  # run_grid: all cores
+    if workers is None or workers > 1:
+        # shard the (m × policy) grid over a process pool; rows are
+        # byte-identical to the serial sweep (see repro.analysis.pool)
+        from repro.analysis.pool import flow_sweep_cells, run_flow_grid
+
+        cells = flow_sweep_cells(
+            distribution=args.distribution,
+            load=args.load,
+            mode=mode,
+            m_values=args.m_values,
+            n_jobs=args.n_jobs,
+            seed=args.seed,
+        )
+        rows = run_flow_grid(cells, workers=workers)
+    else:
+        rows = run_flow_sweep(
+            distribution=args.distribution,
+            load=args.load,
+            mode=mode,
+            m_values=args.m_values,
+            n_jobs=args.n_jobs,
+            seed=args.seed,
+            policies=flow_policy_factories(mode),
+        )
     print(
         f"# {args.distribution} workload, load={args.load:g}, "
         f"{mode.value} jobs, n={args.n_jobs} (mean flow time)"
@@ -102,17 +120,28 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--distribution", default="finance", help="bing|finance|...")
         p.add_argument("--seed", type=int, default=0)
 
+    def workers_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool size for the experiment grid "
+            "(0 = all cores; output is identical for any value)",
+        )
+
     p1 = sub.add_parser("fig1", help="sequential jobs, m-sweep (Figure 1)")
     common(p1)
     p1.add_argument("--load", type=float, default=0.5)
     p1.add_argument("--n-jobs", type=int, default=5000)
     p1.add_argument("--m-values", type=int, nargs="+", default=_DEFAULT_M_SWEEP)
+    workers_arg(p1)
 
     p2 = sub.add_parser("fig2", help="fully parallel jobs, m-sweep (Figure 2)")
     common(p2)
     p2.add_argument("--load", type=float, default=0.5)
     p2.add_argument("--n-jobs", type=int, default=5000)
     p2.add_argument("--m-values", type=int, nargs="+", default=_DEFAULT_M_SWEEP)
+    workers_arg(p2)
 
     p3 = sub.add_parser("fig3", help="work-stealing runtime, load-sweep (Figure 3)")
     common(p3)
@@ -273,6 +302,14 @@ def main(argv: list[str] | None = None) -> int:
     p11.add_argument(
         "--cases", nargs="+", default=None, help="subset of bench case names"
     )
+    p11.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="compare two trajectory entries (PR numbers or BENCH_*.json "
+        "paths) instead of running the suite; prints per-case speedups",
+    )
 
     p12 = sub.add_parser(
         "faults",
@@ -297,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
     p12.add_argument(
         "--out", default=None, help="write the resilience/1 JSON report here"
     )
+    workers_arg(p12)
 
     p7 = sub.add_parser(
         "hetero", help="related-machines comparison (the paper's open problem)"
@@ -353,6 +391,7 @@ def _faults(args: argparse.Namespace) -> int:
         policies=tuple(args.policies),
         plans=tuple(args.plans),
         seed=args.seed,
+        workers=args.workers or None,
     )
     print(
         f"# resilience — {args.distribution}, load={args.load:g}, "
@@ -387,6 +426,65 @@ def _faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_bench_entry(ref: str) -> dict:
+    """Resolve ``--compare`` operand: a path, or a PR number in the trajectory."""
+    import json
+    from pathlib import Path
+
+    from repro.perf import load_trajectory
+
+    path = Path(ref)
+    if path.suffix == ".json" or path.exists():
+        return json.loads(path.read_text())
+    try:
+        pr = int(ref)
+    except ValueError:
+        raise SystemExit(f"bench --compare: {ref!r} is neither a file nor a PR number")
+    entries = {e["pr"]: e for e in load_trajectory()}
+    if pr not in entries:
+        raise SystemExit(
+            f"bench --compare: no BENCH_{pr}.json in trajectory "
+            f"(have PRs {sorted(entries)})"
+        )
+    return entries[pr]
+
+
+def _bench_compare(old_ref: str, new_ref: str) -> int:
+    """Print per-case speedup ratios between two trajectory entries."""
+    old, new = _load_bench_entry(old_ref), _load_bench_entry(new_ref)
+    ob, nb = old.get("benches", {}), new.get("benches", {})
+    shared = [name for name in nb if name in ob]
+    if not shared:
+        print("bench --compare: the two entries share no case names", file=sys.stderr)
+        return 1
+    print(
+        f"# bench compare — PR {old.get('pr', '?')} -> PR {new.get('pr', '?')} "
+        f"(scale {old.get('scale', '?')} -> {new.get('scale', '?')})"
+    )
+    print(f"{'case':18s} {'old wall_s':>10s} {'new wall_s':>10s} {'speedup':>8s}  events")
+    status = 0
+    for name in shared:
+        o, n = ob[name], nb[name]
+        ratio = o["wall_s"] / n["wall_s"] if n["wall_s"] > 0 else float("inf")
+        note = ""
+        if o.get("events") != n.get("events"):
+            # frozen workloads: differing event counts mean the comparison
+            # is across a semantic change, not a perf delta
+            note = f"  EVENTS CHANGED {o.get('events')} -> {n.get('events')}"
+            status = 1
+        print(
+            f"{name:18s} {o['wall_s']:10.4f} {n['wall_s']:10.4f} "
+            f"{ratio:7.2f}x  {n.get('events')}{note}"
+        )
+    only_old = sorted(set(ob) - set(nb))
+    only_new = sorted(set(nb) - set(ob))
+    if only_old:
+        print(f"only in old: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in new: {', '.join(only_new)}")
+    return status
+
+
 def _bench(args: argparse.Namespace) -> int:
     import os
 
@@ -397,6 +495,8 @@ def _bench(args: argparse.Namespace) -> int:
         write_trajectory,
     )
 
+    if args.compare is not None:
+        return _bench_compare(*args.compare)
     scale = args.scale
     if scale is None:
         scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))

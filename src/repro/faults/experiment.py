@@ -24,13 +24,12 @@ BENCH trajectory files: a flat ``rows`` list plus a ``summary`` block.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 
+from repro.analysis.pool import run_grid
 from repro.core.job import ParallelismMode
 from repro.faults.plan import FaultPlan, named_fault_plans
-from repro.flowsim.engine import simulate
-from repro.flowsim.policies import policy_by_name
-from repro.workloads.traces import generate_trace
 
 __all__ = ["run_resilience_experiment", "resilience_report"]
 
@@ -44,6 +43,56 @@ def _ratio(faulted: float, baseline: float) -> float:
     return float("inf") if faulted > 0 else 1.0
 
 
+@dataclass(frozen=True)
+class _ResilienceCell:
+    """One (policy, plan) simulation, picklable for the grid runner.
+
+    ``plan=None`` is the fault-free baseline.  The worker regenerates the
+    trace from its parameters (memoized per process) and the plan ships
+    inside the cell — :class:`repro.faults.plan.FaultPlan` is frozen
+    plain data, so serializing one per cell is cheap and exact.
+    """
+
+    m: int
+    n_jobs: int
+    distribution: str
+    load: float
+    mode: str
+    seed: int
+    policy: str
+    plan: FaultPlan | None = None
+
+    def run(self) -> dict:
+        from repro.analysis.parallel import memoized_trace
+        from repro.flowsim.engine import simulate
+        from repro.flowsim.policies import policy_by_name
+
+        trace = memoized_trace(
+            self.distribution, self.load, self.m, self.n_jobs, self.mode, self.seed
+        )
+        result = simulate(
+            trace,
+            self.m,
+            policy_by_name(self.policy),
+            seed=self.seed,
+            faults=self.plan,
+        )
+        finfo = result.extra.get("faults", {})
+        return {
+            "scheduler": result.scheduler,
+            "mean_flow": result.mean_flow,
+            "preemptions": result.preemptions,
+            "makespan": result.makespan,
+            "fault_points": finfo.get("points", 0),
+            "faults_applied": finfo.get("applied", 0),
+            "lost_work": finfo.get("lost_work", 0.0),
+        }
+
+
+def _run_resilience_cell(cell: _ResilienceCell) -> dict:
+    return cell.run()
+
+
 def run_resilience_experiment(
     m: int = 8,
     n_jobs: int = 400,
@@ -53,6 +102,7 @@ def run_resilience_experiment(
     plans: tuple[str, ...] | dict[str, FaultPlan] = DEFAULT_PLANS,
     seed: int = 0,
     mode: ParallelismMode | str = ParallelismMode.SEQUENTIAL,
+    workers: int | None = 1,
 ) -> list[dict]:
     """Rows of (policy × fault plan) degradation vs. no-fault baselines.
 
@@ -61,25 +111,37 @@ def run_resilience_experiment(
     ``{name: FaultPlan}``.  Named plans are sized to the *longest*
     baseline makespan across the swept policies, so every crash lands
     inside every policy's busy period.
+
+    ``workers`` shards the simulations over
+    :func:`repro.analysis.pool.run_grid` in two waves (baselines, then
+    faulted runs — the plans depend on the baseline horizon); rows are
+    assembled in the parent in the serial nested order, so the output is
+    byte-identical for every worker count.
     """
     if isinstance(mode, str):
         mode = ParallelismMode(mode)
-    trace = generate_trace(
-        n_jobs=n_jobs,
-        distribution=distribution,
-        load=load,
-        m=m,
-        mode=mode,
-        seed=seed,
+    mode_s = mode.value
+
+    def _cell(policy: str, plan: FaultPlan | None = None) -> _ResilienceCell:
+        return _ResilienceCell(
+            m=m,
+            n_jobs=n_jobs,
+            distribution=distribution,
+            load=load,
+            mode=mode_s,
+            seed=seed,
+            policy=policy,
+            plan=plan,
+        )
+
+    base_rows = run_grid(
+        _run_resilience_cell, [_cell(key) for key in policies], workers=workers
     )
-    baselines = {
-        key: simulate(trace, m, policy_by_name(key), seed=seed)
-        for key in policies
-    }
+    baselines = dict(zip(policies, base_rows))
     if isinstance(plans, dict):
         plan_map = dict(plans)
     else:
-        horizon = max(r.makespan for r in baselines.values())
+        horizon = max(r["makespan"] for r in base_rows)
         named = named_fault_plans(m, horizon, seed=seed)
         unknown = sorted(set(plans) - set(named))
         if unknown:
@@ -87,36 +149,41 @@ def run_resilience_experiment(
                 f"unknown fault plan(s) {unknown}; available: {sorted(named)}"
             )
         plan_map = {name: named[name] for name in plans}
+    grid = [
+        (key, plan_name, plan)
+        for key in policies
+        for plan_name, plan in plan_map.items()
+    ]
+    fault_rows = run_grid(
+        _run_resilience_cell,
+        [_cell(key, plan) for key, _, plan in grid],
+        workers=workers,
+    )
     rows: list[dict] = []
-    for key in policies:
+    for (key, plan_name, _), faulted in zip(grid, fault_rows):
         base = baselines[key]
-        for plan_name, plan in plan_map.items():
-            faulted = simulate(
-                trace, m, policy_by_name(key), seed=seed, faults=plan
-            )
-            finfo = faulted.extra.get("faults", {})
-            rows.append(
-                {
-                    "policy": key,
-                    "scheduler": faulted.scheduler,
-                    "plan": plan_name,
-                    "mean_flow": faulted.mean_flow,
-                    "baseline_mean_flow": base.mean_flow,
-                    "flow_degradation": _ratio(
-                        faulted.mean_flow, base.mean_flow
-                    ),
-                    "switches": faulted.preemptions,
-                    "baseline_switches": base.preemptions,
-                    "switch_degradation": _ratio(
-                        float(faulted.preemptions), float(base.preemptions)
-                    ),
-                    "makespan": faulted.makespan,
-                    "baseline_makespan": base.makespan,
-                    "fault_points": finfo.get("points", 0),
-                    "faults_applied": finfo.get("applied", 0),
-                    "lost_work": finfo.get("lost_work", 0.0),
-                }
-            )
+        rows.append(
+            {
+                "policy": key,
+                "scheduler": faulted["scheduler"],
+                "plan": plan_name,
+                "mean_flow": faulted["mean_flow"],
+                "baseline_mean_flow": base["mean_flow"],
+                "flow_degradation": _ratio(
+                    faulted["mean_flow"], base["mean_flow"]
+                ),
+                "switches": faulted["preemptions"],
+                "baseline_switches": base["preemptions"],
+                "switch_degradation": _ratio(
+                    float(faulted["preemptions"]), float(base["preemptions"])
+                ),
+                "makespan": faulted["makespan"],
+                "baseline_makespan": base["makespan"],
+                "fault_points": faulted["fault_points"],
+                "faults_applied": faulted["faults_applied"],
+                "lost_work": faulted["lost_work"],
+            }
+        )
     return rows
 
 

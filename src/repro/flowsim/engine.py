@@ -27,18 +27,22 @@ and every :attr:`FlowSimConfig.check_every_k`-th thereafter, so simulation
 bugs still fail loudly without paying four array passes per event.  Tests
 that exercise the checks set ``check_every_k=1``.
 
-The hot loop is incremental: the active-set index/cap arrays are cached
-and rebuilt only when the active set actually changes, policy hooks and
-timers are invoked only when the policy overrides them, and policies
-declaring :attr:`~repro.flowsim.policies.base.Policy.rates_stable` have
-their rate vector reused until the composition of the active set changes.
+The hot loop is a flat structure-of-arrays: the active set lives in
+persistent, id-sorted parallel buffers (ids / remaining / caps / tol /
+work / release) that the event loop reads and updates in place — no
+per-event gathers against the master job table.  Policies that implement
+the vectorized :meth:`~repro.flowsim.policies.base.Policy.rates_array`
+hook are fed those buffers directly; the engine materializes an
+:class:`~repro.flowsim.policies.base.ActiveView` only for policy hooks,
+timers, and the object-path fallback.  Policies declaring
+:attr:`~repro.flowsim.policies.base.Policy.rates_stable` have their rate
+vector reused until the composition of the active set changes.
 ``ScheduleResult.extra["perf"]`` reports what the caches did
 (:class:`repro.perf.PerfCounters`).
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
 
 import numpy as np
@@ -115,6 +119,14 @@ class FlowSimConfig:
     default of 32 keeps buggy policies failing within a few dozen events
     while removing four full array passes from the steady-state hot loop;
     tests that exercise the checks directly set ``check_every_k=1``.
+
+    ``use_rates_array`` selects the vectorized policy path: policies that
+    implement :meth:`~repro.flowsim.policies.base.Policy.rates_array` are
+    called with the engine's flat active-set buffers instead of a
+    materialized :class:`~repro.flowsim.policies.base.ActiveView`.  Both
+    paths are bit-for-bit identical by contract (the golden tests and a
+    Hypothesis property pin this); ``False`` forces the object path, which
+    is mainly useful for equivalence testing.
     """
 
     completion_tol: float = 1e-9
@@ -123,6 +135,7 @@ class FlowSimConfig:
     use_profiles: bool = False
     record_segments: bool = False
     check_every_k: int = 32
+    use_rates_array: bool = True
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
@@ -214,23 +227,56 @@ class FlowStepper:
     def _init_runtime_caches(self) -> None:
         """Hot-loop state derived from the policy/config, never snapshotted.
 
-        ``_act_ids`` is kept sorted ascending by construction (jobs are
-        admitted in dense id order and removals preserve order), which the
-        cached array index relies on; ``_act_set`` mirrors it for O(1)
-        membership.  The cached active arrays (ids / work / release /
-        caps / tol) are rebuilt lazily only when the active-set
-        *composition* changed since the last view.
+        The active set is a flat structure-of-arrays: persistent parallel
+        buffers ``_a_ids`` / ``_a_rem`` / ``_a_caps`` / ``_a_tol`` /
+        ``_a_work`` / ``_a_rel`` whose first ``_na`` entries are valid,
+        kept sorted ascending by job id by construction — admissions
+        append dense increasing ids, completions compact left, and fault
+        resumes insert at the searchsorted position.  The event loop reads
+        and updates these slices in place; the master ``_rem`` column is
+        refreshed only at completions/aborts and on :meth:`state_dict`.
+        ``self._act_ids`` (a plain id list set by ``__init__`` /
+        :meth:`from_state_dict`) seeds the buffers here and is then
+        retired — the buffers are the only runtime truth.
         """
-        self._act_set: set[int] = set(self._act_ids)
-        self._act_dirty = True
-        self._ids_arr = np.empty(0, dtype=np.int64)
-        self._work_arr = np.empty(0, dtype=float)
-        self._rel_arr = np.empty(0, dtype=float)
-        self._caps_arr = np.empty(0, dtype=float)
-        self._tol_arr = np.empty(0, dtype=float)
-        self._rates_cache: np.ndarray | None = None
+        cap = self._release.size
+        self._a_ids = np.zeros(cap, dtype=np.int64)
+        self._a_rem = np.zeros(cap, dtype=float)
+        self._a_caps = np.zeros(cap, dtype=float)
+        self._a_tol = np.zeros(cap, dtype=float)
+        self._a_work = np.zeros(cap, dtype=float)
+        self._a_rel = np.zeros(cap, dtype=float)
+        self._abufs = (
+            self._a_ids,
+            self._a_rem,
+            self._a_caps,
+            self._a_tol,
+            self._a_work,
+            self._a_rel,
+        )
+        # scratch for per-segment finish times (no job state — not in
+        # ``_abufs``, never compacted, contents dead between events)
+        self._a_fin = np.zeros(cap, dtype=float)
+        ids = sorted(int(j) for j in self._act_ids)
+        self._na = len(ids)
+        for k, j in enumerate(ids):
+            self._a_ids[k] = j
+            self._a_rem[k] = self._rem[j]
+            self._a_caps[k] = self._caps_all[j]
+            self._a_tol[k] = self._tol[j]
+            self._a_work[k] = self._work[j]
+            self._a_rel[k] = self._release[j]
+        self._act_ids = None  # superseded by the SoA buffers
+
+        self._rates_cache: tuple[np.ndarray, float] | None = None
         self._rate_calls = 0
         self._max_events = 0  # 0 = recompute from config/_n on next step
+        cfg = self.config
+        self._check_k = cfg.check_every_k
+        self._speed = float(cfg.speed)
+        self._use_profiles = cfg.use_profiles
+        self._record_segments = cfg.record_segments
+        self._update_next_rel()
         ptype = type(self.policy)
         self._has_arrival_hook = ptype.on_arrival is not Policy.on_arrival
         self._has_completion_hook = (
@@ -238,6 +284,12 @@ class FlowStepper:
         )
         self._has_timer = ptype.next_timer is not Policy.next_timer
         self._has_fault_hook = ptype.on_fault is not Policy.on_fault
+        self._rates_array_fn = (
+            self.policy.rates_array
+            if cfg.use_rates_array
+            and ptype.rates_array is not Policy.rates_array
+            else None
+        )
         # profile-driven caps move with attained work, which changes
         # between events without any composition change — no reuse then
         self._rates_stable = (
@@ -264,7 +316,7 @@ class FlowStepper:
     @property
     def n_active(self) -> int:
         """Jobs admitted and not yet finished."""
-        return len(self._act_ids)
+        return self._na
 
     @property
     def n_pending(self) -> int:
@@ -291,13 +343,23 @@ class FlowStepper:
         return self._specs
 
     def active_ids(self) -> list[int]:
-        return list(self._act_ids)
+        return self._a_ids[: self._na].tolist()
+
+    def _active_pos(self, job_id: int) -> int:
+        """Buffer position of an active job, or ``-1`` (binary search)."""
+        na = self._na
+        ids = self._a_ids[:na]
+        pos = int(ids.searchsorted(job_id))
+        if pos < na and ids[pos] == job_id:
+            return pos
+        return -1
 
     def remaining_of(self, job_id: int) -> float:
-        """Remaining work of an admitted, unfinished job (O(1))."""
-        if job_id not in self._act_set:
+        """Remaining work of an admitted, unfinished job (O(log n_active))."""
+        pos = self._active_pos(job_id)
+        if pos < 0:
             raise KeyError(f"job {job_id} not active")
-        return float(self._rem[job_id])
+        return float(self._a_rem[pos])
 
     def flow_time_of(self, job_id: int) -> float | None:
         """Flow time of ``job_id`` if it has completed, else ``None``."""
@@ -308,8 +370,7 @@ class FlowStepper:
 
     def backlog_work(self) -> float:
         """Total remaining work of admitted jobs plus work of pending ones."""
-        ids = np.asarray(self._act_ids, dtype=np.int64)
-        active = float(self._rem[ids].sum()) if ids.size else 0.0
+        active = float(self._a_rem[: self._na].sum()) if self._na else 0.0
         pending = float(self._work[self._next_arrival : self._n].sum())
         return active + pending
 
@@ -358,6 +419,8 @@ class FlowStepper:
         self._profiles.append(prof)
         self._n += 1
         self._max_events = 0  # budget scales with n; recompute lazily
+        if self._next_arrival == j:
+            self._next_rel = float(spec.release)
         if hasattr(self.policy, "set_weights"):
             self._weights_dirty = True
         return j
@@ -381,7 +444,32 @@ class FlowStepper:
         self._tol = grow(self._tol, 0.0)
         self._flow = grow(self._flow, np.nan)
 
+        def grow_active(a: np.ndarray) -> np.ndarray:
+            out = np.zeros(new, dtype=a.dtype)
+            out[: self._na] = a[: self._na]
+            return out
+
+        self._a_ids = grow_active(self._a_ids)
+        self._a_rem = grow_active(self._a_rem)
+        self._a_caps = grow_active(self._a_caps)
+        self._a_tol = grow_active(self._a_tol)
+        self._a_work = grow_active(self._a_work)
+        self._a_rel = grow_active(self._a_rel)
+        self._abufs = (
+            self._a_ids,
+            self._a_rem,
+            self._a_caps,
+            self._a_tol,
+            self._a_work,
+            self._a_rel,
+        )
+        self._a_fin = np.zeros(new, dtype=float)
+
     # -- stepping ----------------------------------------------------------
+
+    def _update_next_rel(self) -> None:
+        i = self._next_arrival
+        self._next_rel = float(self._release[i]) if i < self._n else np.inf
 
     def _push_weights(self) -> None:
         if self._weights_dirty:
@@ -400,75 +488,112 @@ class FlowStepper:
                     caps[k] = min(float(self.m), prof.cap_at(attained, tol=tol))
         return caps
 
-    def _invalidate_active(self) -> None:
-        """The active-set composition changed: drop every derived cache."""
-        self._act_dirty = True
-        self._rates_cache = None
+    def _segment_caps(
+        self, ids: np.ndarray, rem: np.ndarray
+    ) -> tuple[np.ndarray, int, float]:
+        """Effective ``(caps, m, speed)`` for the current segment.
 
-    def _refresh_active(self) -> None:
-        ids = np.asarray(self._act_ids, dtype=np.int64)
-        self._ids_arr = ids
-        self._work_arr = self._work[ids]
-        self._rel_arr = self._release[ids]
-        self._caps_arr = self._caps_all[ids]
-        self._tol_arr = self._tol[ids]
-        self._act_dirty = False
-        self.perf.view_builds += 1
-
-    def _build_view(self) -> ActiveView:
-        if self._act_dirty:
-            self._refresh_active()
-        else:
-            self.perf.view_reuses += 1
-        ids = self._ids_arr
-        rem = self._rem[ids]
-        if self.config.use_profiles and ids.size:
+        Only called when profiles or faults are in play (the plain path
+        serves the static cap buffer directly); returned caps are either
+        that buffer slice or a fresh array — never mutated in place.
+        """
+        if self._use_profiles and ids.size:
             caps = self._caps_for(ids, rem)
         else:
-            caps = self._caps_arr
+            caps = self._a_caps[: ids.size]
         m_view = self.m
-        speed = self.config.speed
+        speed = self._speed
         if self.faults is not None:
             m_view = self.faults.m_eff()
             if m_view < self.m:
-                # fresh array — never clip the cached caps in place
                 caps = np.minimum(caps, float(m_view))
             speed *= self.faults.speed_factor()
+        return caps, m_view, speed
+
+    def _build_view(self) -> ActiveView:
+        na = self._na
+        ids = self._a_ids[:na]
+        rem = self._a_rem[:na]
+        caps, m_view, speed = self._segment_caps(ids, rem)
+        self.perf.view_builds += 1
         return ActiveView(
             t=self._t,
             m=m_view,
             job_ids=ids,
             remaining=rem,
-            work=self._work_arr,
-            release=self._rel_arr,
+            work=self._a_work[:na],
+            release=self._a_rel[:na],
             caps=caps,
             speed=speed,
         )
 
-    def _checked_rates(self, view: ActiveView) -> np.ndarray:
-        rates = np.asarray(self.policy.rates(view), dtype=float)
-        if rates.shape != (view.n,):
+    def _check_rates(
+        self, rates: np.ndarray, caps: np.ndarray, m: int, n: int
+    ) -> np.ndarray:
+        if rates.shape != (n,):
             raise FlowSimError(
-                f"{self.policy.name}: rates shape {rates.shape} != ({view.n},)"
+                f"{self.policy.name}: rates shape {rates.shape} != ({n},)"
             )
-        if view.n == 0:
+        if n == 0:
             return rates
         calls = self._rate_calls
         self._rate_calls = calls + 1
-        if calls % self.config.check_every_k:
+        if calls % self._check_k:
             self.perf.checks_skipped += 1
             return rates
         self.perf.checks_run += 1
         if (rates < -_RATE_TOL).any():
             raise FlowSimError(f"{self.policy.name}: negative rate")
-        if (rates > view.caps * (1 + _RATE_TOL) + _RATE_TOL).any():
+        if (rates > caps * (1 + _RATE_TOL) + _RATE_TOL).any():
             raise FlowSimError(f"{self.policy.name}: rate exceeds per-job cap")
-        if rates.sum() > view.m * (1 + _RATE_TOL) + _RATE_TOL:
+        if rates.sum() > m * (1 + _RATE_TOL) + _RATE_TOL:
             raise FlowSimError(
                 f"{self.policy.name}: total rate {rates.sum():.6g} "
-                f"exceeds m={view.m}"
+                f"exceeds m={m}"
             )
         return np.clip(rates, 0.0, None)
+
+    def _admit_due(self) -> None:
+        """Admit every pending job whose release is at or before the clock."""
+        thresh = self._t * (1.0 + _ADMIT_TOL)
+        while self._next_arrival < self._n and self._next_rel <= thresh:
+            j = self._next_arrival
+            k = self._na
+            w = self._work[j]
+            self._a_ids[k] = j
+            self._a_rem[k] = w
+            self._a_caps[k] = self._caps_all[j]
+            self._a_tol[k] = self._tol[j]
+            self._a_work[k] = w
+            self._a_rel[k] = self._release[j]
+            self._na = k + 1
+            self._rem[j] = w
+            self._next_arrival += 1
+            self._update_next_rel()
+            self._rates_cache = None
+            if self._has_arrival_hook:
+                self.policy.on_arrival(j, self._build_view())
+
+    def _remove_active(self, pos: int) -> None:
+        """Drop the job at buffer position ``pos``, compacting left."""
+        na = self._na
+        for buf in self._abufs:
+            buf[pos : na - 1] = buf[pos + 1 : na]
+        self._na = na - 1
+
+    def _insert_active(self, j: int, rem_val: float) -> None:
+        """Insert job ``j`` at its sorted position (fault resume path)."""
+        na = self._na
+        pos = int(self._a_ids[:na].searchsorted(j))
+        for buf in self._abufs:
+            buf[pos + 1 : na + 1] = buf[pos:na]
+        self._a_ids[pos] = j
+        self._a_rem[pos] = rem_val
+        self._a_caps[pos] = self._caps_all[j]
+        self._a_tol[pos] = self._tol[j]
+        self._a_work[pos] = self._work[j]
+        self._a_rel[pos] = self._release[j]
+        self._na = na + 1
 
     def _apply_due_faults(self) -> None:
         """Apply every fault action scheduled at or before the clock.
@@ -488,13 +613,13 @@ class FlowStepper:
             entry["applied"] = True
             if kind == "abort":
                 j = int(action["job_id"])
-                if j in self._act_set:
-                    self._lost_work += float(self._work[j] - self._rem[j])
-                    self._act_ids.remove(j)
-                    self._act_set.discard(j)
+                pos = self._active_pos(j)
+                if pos >= 0:
+                    self._lost_work += float(self._work[j] - self._a_rem[pos])
+                    self._remove_active(pos)
                     self._rem[j] = self._work[j]
                     self._suspended.add(j)
-                    self._invalidate_active()
+                    self._rates_cache = None
                     if self._has_completion_hook:
                         self.policy.on_completion(j, self._build_view())
                     self.faults.push_resume(
@@ -508,16 +633,15 @@ class FlowStepper:
                 j = int(action["job_id"])
                 if j in self._suspended:
                     self._suspended.discard(j)
-                    bisect.insort(self._act_ids, j)
-                    self._act_set.add(j)
+                    self._insert_active(j, float(self._work[j]))
                     self._rem[j] = self._work[j]
-                    self._invalidate_active()
+                    self._rates_cache = None
                     if self._has_arrival_hook:
                         self.policy.on_arrival(j, self._build_view())
                 else:
                     entry["applied"] = False
             else:
-                self._invalidate_active()
+                self._rates_cache = None
                 if self._has_fault_hook:
                     self.policy.on_fault(action, self._build_view())
             self._fault_log.append(entry)
@@ -532,7 +656,8 @@ class FlowStepper:
         invariant violations, a stall, or an exhausted event budget.
         """
         cfg = self.config
-        self._push_weights()
+        if self._weights_dirty:
+            self._push_weights()
         self._events += 1
         max_events = self._max_events
         if not max_events:
@@ -555,23 +680,14 @@ class FlowStepper:
             self._apply_due_faults()
 
         # ---- admit arrivals due now -----------------------------------
-        while (
-            self._next_arrival < self._n
-            and self._release[self._next_arrival] <= self._t * (1 + _ADMIT_TOL)
-        ):
-            j = self._next_arrival
-            self._act_ids.append(j)
-            self._act_set.add(j)
-            self._rem[j] = self._work[j]
-            self._next_arrival += 1
-            self._invalidate_active()
-            if self._has_arrival_hook:
-                self.policy.on_arrival(j, self._build_view())
+        if self._next_rel <= self._t * (1.0 + _ADMIT_TOL):
+            self._admit_due()
 
-        if not self._act_ids:
+        na = self._na
+        if not na:
             nxt = None
             if self._next_arrival < self._n:
-                nxt = float(self._release[self._next_arrival])
+                nxt = self._next_rel
             if self.faults is not None:
                 # a pending fault point (recover, job resume) can be the
                 # only future event — without this, drain() would deadlock
@@ -591,51 +707,91 @@ class FlowStepper:
             return False  # nothing active, nothing to come
 
         # ---- constant-rate segment until the next event -----------------
-        view = self._build_view()
-        if self.faults is not None and view.m <= 0:
+        ids = self._a_ids[:na]
+        rem = self._a_rem[:na]
+        view: ActiveView | None = None
+        if self.faults is None and not self._use_profiles:
+            caps = None  # the static cap buffer, fetched only if needed
+            m_view = self.m
+            speed = self._speed
+        else:
+            caps, m_view, speed = self._segment_caps(ids, rem)
+        if self.faults is not None and m_view <= 0:
             # every processor is down: nothing runs until a recovery,
             # which is guaranteed to be on the fault agenda
-            rates = np.zeros(view.n, dtype=float)
+            rates = np.zeros(na, dtype=float)
+            rsum = 0.0
             self._rates_cache = None
         else:
-            rates = self._rates_cache
-            if rates is None:
+            cached = self._rates_cache
+            if cached is None:
                 self.perf.rate_misses += 1
-                rates = self._checked_rates(view)
+                fn = self._rates_array_fn
+                if fn is not None:
+                    if caps is None:
+                        caps = self._a_caps[:na]
+                    rates = fn(
+                        self._t,
+                        m_view,
+                        ids,
+                        rem,
+                        self._a_work[:na],
+                        self._a_rel[:na],
+                        caps,
+                    )
+                else:
+                    view = self._build_view()
+                    caps = view.caps
+                    rates = self.policy.rates(view)
+                rates = self._check_rates(
+                    np.asarray(rates, dtype=float), caps, m_view, na
+                )
+                rsum = float(rates.sum())
                 if self._rates_stable:
-                    self._rates_cache = rates
+                    self._rates_cache = (rates, rsum)
             else:
                 self.perf.rate_hits += 1
-        # view.speed folds resource augmentation (Sec. II) together with
+                rates, rsum = cached
+        if view is None:
+            # the whole segment was computed on the flat buffers — no
+            # ActiveView materialized (the SoA fast path)
+            self.perf.view_reuses += 1
+        # ``speed`` folds resource augmentation (Sec. II) together with
         # the current fault speed factor (degradation/stragglers), both
         # piecewise-constant between events
-        if view.speed != 1.0:
-            eff = rates * view.speed
+        if speed != 1.0:
+            eff = rates * speed
         else:
             eff = rates
-        rem = view.remaining
 
-        dt = np.inf
+        # per-job finish time of the segment: rem/eff where served, +inf
+        # where idle (idle jobs never bound dt; an all-idle set leaves
+        # dt at inf exactly as the old masked-min did).  One masked
+        # divide into a persistent scratch row replaces the old
+        # all()/any() probes and boolean gathers — same quotients, same
+        # min, bit for bit.
         served = eff > 0
-        if served.all():
-            dt = float((rem / eff).min())
-        elif served.any():
-            dt = float((rem[served] / eff[served]).min())
+        finish = self._a_fin[:na]
+        finish[:] = np.inf
+        np.divide(rem, eff, out=finish, where=served)
+        dt = float(finish.min())
         if self._next_arrival < self._n:
-            dt_arr = float(self._release[self._next_arrival]) - self._t
+            dt_arr = self._next_rel - self._t
             if dt_arr < dt:
                 dt = dt_arr
         if self._has_timer:
+            if view is None:
+                view = self._build_view()
             timer = self.policy.next_timer(view)
             if timer is not None and timer > self._t:
                 dt_timer = float(timer) - self._t
                 if dt_timer < dt:
                     dt = dt_timer
-        if cfg.use_profiles:
+        if self._use_profiles:
             # stop exactly at the next parallelism-profile breakpoint of
             # any served job so its cap change takes effect on time
             for k in np.flatnonzero(served):
-                j = self._act_ids[k]
+                j = int(ids[k])
                 prof = self._profiles[j]
                 if prof is None:
                     continue
@@ -664,25 +820,22 @@ class FlowStepper:
                 return False  # parked at the horizon with idle-rate jobs
             raise FlowSimError(
                 f"{self.policy.name}: stalled at t={self._t:.6g} with "
-                f"{len(self._act_ids)} active jobs, zero rates and no "
+                f"{na} active jobs, zero rates and no "
                 "future events"
             )
         if dt < 0:
             raise FlowSimError(f"{self.policy.name}: negative time step {dt}")
 
-        ids_arr = view.job_ids
-        rem_after = rem
         if dt > 0:
-            # ``rem`` is the gather _build_view already paid for;
-            # ``a[ids] -= x`` would redo it (gather/sub/scatter)
-            rem_after = rem - eff * dt
-            self._rem[ids_arr] = rem_after
+            # ``rem`` is the live buffer slice: the segment's progress is
+            # applied in place, no gather/scatter against the job table
+            rem -= eff * dt
             # processor-time, not work
-            self._busy_time += float(rates.sum()) * dt
-            if cfg.record_segments:
+            self._busy_time += rsum * dt
+            if self._record_segments:
                 alloc = {
                     int(j): float(r)
-                    for j, r in zip(ids_arr, rates)
+                    for j, r in zip(ids, rates)
                     if r > 0
                 }
                 self._segments.append((self._t, self._t + dt, alloc))
@@ -694,29 +847,34 @@ class FlowStepper:
         # hook sees the active set *after* each removal — matching the
         # paper's semantics where a freed DREP processor re-draws from the
         # jobs still alive.  Nothing below mutates remaining work, so the
-        # done set is computed once; ``ids_arr`` is sorted ascending, so
+        # done set is computed once; ``ids`` is sorted ascending, so
         # iterating ``done`` in order is exactly lowest-id-first.
-        done = ids_arr[rem_after <= self._tol_arr]
-        if done.size:
+        done_mask = rem <= self._a_tol[:na]
+        if done_mask.any():
+            done = ids[done_mask]
+            # park the final (dust) remaining values in the master column
+            # so checkpoints and observers see what the buffers saw
+            self._rem[done] = rem[done_mask]
             t = self._t
             if self._has_completion_hook:
                 for j in done.tolist():
-                    self._act_ids.remove(j)
-                    self._act_set.discard(j)
+                    self._remove_active(self._active_pos(j))
                     self._flow[j] = t - self._release[j]
                     self._completed += 1
                     self._completions.append((j, t))
-                    self._invalidate_active()
+                    self._rates_cache = None
                     self.policy.on_completion(j, self._build_view())
             else:
-                gone = set(done.tolist())
-                self._act_ids = [j for j in self._act_ids if j not in gone]
-                self._act_set -= gone
-                for j in sorted(gone):
+                keep = ~done_mask
+                nk = na - int(done.size)
+                for buf in self._abufs:
+                    buf[:nk] = buf[:na][keep]
+                self._na = nk
+                for j in done.tolist():
                     self._flow[j] = t - self._release[j]
                     self._completed += 1
                     self._completions.append((j, t))
-                self._invalidate_active()
+                self._rates_cache = None
         return True
 
     def advance_to(self, t: float) -> None:
@@ -813,6 +971,11 @@ class FlowStepper:
                 raise FlowSimError(
                     "cannot snapshot a run with explicit DAG jobs"
                 )
+        na = self._na
+        if na:
+            # the buffers hold the live remaining-work values; flush them
+            # to the master column the snapshot serializes
+            self._rem[self._a_ids[:na]] = self._a_rem[:na]
         fault_state = {}
         if self.faults is not None:
             fault_state = {
@@ -832,13 +995,14 @@ class FlowStepper:
                 "use_profiles": self.config.use_profiles,
                 "record_segments": self.config.record_segments,
                 "check_every_k": self.config.check_every_k,
+                "use_rates_array": self.config.use_rates_array,
             },
             "t": self._t,
             "next_arrival": self._next_arrival,
             "completed": self._completed,
             "busy_time": self._busy_time,
             "events": self._events,
-            "act_ids": list(self._act_ids),
+            "act_ids": self._a_ids[:na].tolist(),
             "rem": [float(x) for x in self._rem[: self._n]],
             "flow": [
                 None if np.isnan(x) else float(x) for x in self._flow[: self._n]

@@ -22,9 +22,13 @@ __all__ = ["ActiveView", "Policy"]
 class ActiveView:
     """Snapshot of the active jobs at one instant.
 
-    All arrays are aligned: entry ``k`` describes the job ``job_ids[k]``.
+    All arrays are aligned: entry ``k`` describes the job ``job_ids[k]``
+    (``job_ids`` is sorted ascending — an engine invariant).
     ``attained == work - remaining`` is the elapsed service (for SETF).
-    Views are cheap, read-only conveniences; policies must not mutate them.
+    Views are cheap, read-only conveniences; policies must not mutate
+    them.  The arrays may *alias the engine's live buffers* and are only
+    valid for the duration of the call that received them — a policy that
+    needs data across calls must copy it.
     """
 
     t: float
@@ -124,6 +128,37 @@ class Policy(abc.ABC):
         Must satisfy ``0 <= rates <= caps`` elementwise and
         ``rates.sum() <= m`` (the engine verifies both).
         """
+
+    def rates_array(
+        self,
+        t: float,
+        m: int,
+        job_ids: np.ndarray,
+        remaining: np.ndarray,
+        work: np.ndarray,
+        release: np.ndarray,
+        caps: np.ndarray,
+    ) -> np.ndarray:
+        """Optional vectorized twin of :meth:`rates` (SoA fast path).
+
+        Policies that override this are fed the engine's flat active-set
+        buffers directly — no :class:`ActiveView` is materialized on the
+        hot path.  The arguments mirror the view fields (``job_ids``
+        sorted ascending); the contract is strict:
+
+        * the returned vector must be **bit-for-bit identical** to what
+          :meth:`rates` returns on the equivalent view (the golden tests
+          and a Hypothesis property enforce this);
+        * the input arrays alias live engine state — never mutate or
+          retain them; always return a fresh array.
+
+        The engine only uses the hook when
+        :attr:`repro.flowsim.engine.FlowSimConfig.use_rates_array` is on
+        (default) and the policy actually overrides it; everything else
+        falls back to the object path.  Timer policies still receive
+        their :meth:`next_timer` view.
+        """
+        raise NotImplementedError(f"{self.name} has no vectorized rate hook")
 
     def next_timer(self, view: ActiveView) -> float | None:
         """Absolute time of the next policy-requested event, if any."""

@@ -66,14 +66,22 @@ def _unassigned_ids(job_ids: np.ndarray, assignment: np.ndarray) -> np.ndarray:
     return job_ids[keep]
 
 
-def _one_proc_rates(view: ActiveView, assignment: np.ndarray) -> np.ndarray:
+def _one_proc_rates_arr(
+    job_ids: np.ndarray, caps: np.ndarray, assignment: np.ndarray
+) -> np.ndarray:
     """Rate vector when every assigned job holds exactly one processor."""
-    rates = np.zeros(view.n, dtype=float)
+    n = job_ids.size
+    rates = np.zeros(n, dtype=float)
     assigned = assignment[assignment >= 0]
-    if assigned.size and view.n:
-        pos = _served_positions(view.job_ids, assigned)
-        rates[pos] = np.minimum(1.0, view.caps[pos])
+    if assigned.size and n:
+        pos = _served_positions(job_ids, assigned)
+        rates[pos] = np.minimum(1.0, caps[pos])
     return rates
+
+
+def _one_proc_rates(view: ActiveView, assignment: np.ndarray) -> np.ndarray:
+    """View-based wrapper over :func:`_one_proc_rates_arr`."""
+    return _one_proc_rates_arr(view.job_ids, view.caps, assignment)
 
 
 class _DrepBase(Policy):
@@ -255,6 +263,10 @@ class DrepSequential(_DrepBase):
         # sequential DREP gives each job at most one processor
         return _one_proc_rates(view, self._assignment)
 
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        assert self._assignment is not None
+        return _one_proc_rates_arr(job_ids, caps, self._assignment)
+
 
 class DrepParallel(_DrepBase):
     """DREP's processor-assignment rule for parallel jobs (paper Sec. IV)."""
@@ -295,13 +307,20 @@ class DrepParallel(_DrepBase):
             self._assign(int(proc), pick, preempt=False)
 
     def rates(self, view: ActiveView) -> np.ndarray:
+        return self.rates_array(
+            view.t, view.m, view.job_ids, view.remaining,
+            view.work, view.release, view.caps,
+        )
+
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
         assert self._assignment is not None
-        rates = np.zeros(view.n, dtype=float)
+        n = job_ids.size
+        rates = np.zeros(n, dtype=float)
         assigned = self._assignment[self._assignment >= 0]
-        if assigned.size == 0 or view.n == 0:
+        if assigned.size == 0 or n == 0:
             return rates
         # per-job processor counts in one bincount pass; ids outside the
         # active set simply never get read back (assignment ⊆ active ids)
-        counts = np.bincount(assigned, minlength=int(view.job_ids[-1]) + 1)
-        np.minimum(view.caps, counts[view.job_ids], out=rates)
+        counts = np.bincount(assigned, minlength=int(job_ids[-1]) + 1)
+        np.minimum(caps, counts[job_ids], out=rates)
         return rates

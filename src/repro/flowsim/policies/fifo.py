@@ -27,3 +27,7 @@ class FIFO(Policy):
     def rates(self, view: ActiveView) -> np.ndarray:
         order = np.lexsort((view.job_ids, view.release))
         return priority_waterfill(view.caps, order, view.m)
+
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        order = np.lexsort((job_ids, release))
+        return priority_waterfill(caps, order, m)

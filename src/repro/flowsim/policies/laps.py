@@ -37,9 +37,16 @@ class LAPS(Policy):
         self.name = f"LAPS({beta:g})"
 
     def rates(self, view: ActiveView) -> np.ndarray:
-        k = max(1, math.ceil(self.beta * view.n))
+        return self.rates_array(
+            view.t, view.m, view.job_ids, view.remaining,
+            view.work, view.release, view.caps,
+        )
+
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        n = job_ids.size
+        k = max(1, math.ceil(self.beta * n))
         # latest arrivals first; job_id breaks release ties deterministically
-        order = np.lexsort((-view.job_ids, -view.release))
-        mask = np.zeros(view.n, dtype=bool)
+        order = np.lexsort((-job_ids, -release))
+        mask = np.zeros(n, dtype=bool)
         mask[order[:k]] = True
-        return equal_split(view.caps, view.m, mask)
+        return equal_split(caps, m, mask)

@@ -31,3 +31,6 @@ class RoundRobin(Policy):
 
     def rates(self, view: ActiveView) -> np.ndarray:
         return equal_split(view.caps, view.m)
+
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        return equal_split(caps, m)

@@ -29,6 +29,10 @@ class SJF(Policy):
         order = np.lexsort((view.job_ids, view.work))
         return priority_waterfill(view.caps, order, view.m)
 
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        order = np.lexsort((job_ids, work))
+        return priority_waterfill(caps, order, m)
+
 
 class SWF(SJF):
     """Smallest-Work-First — SJF under its parallel-jobs name (Sec. V)."""

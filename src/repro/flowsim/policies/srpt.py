@@ -27,3 +27,7 @@ class SRPT(Policy):
         # stable tie-break on job id for reproducibility
         order = np.lexsort((view.job_ids, view.remaining))
         return priority_waterfill(view.caps, order, view.m)
+
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        order = np.lexsort((job_ids, remaining))
+        return priority_waterfill(caps, order, m)

@@ -28,6 +28,7 @@ from repro.flowsim.policies.drep import (
     _FREE,
     _DrepBase,
     _one_proc_rates,
+    _one_proc_rates_arr,
     _unassigned_ids,
 )
 from repro.flowsim.rates import priority_waterfill
@@ -49,9 +50,12 @@ class _WeightAware(Policy):
         self._weights = np.asarray(weights, dtype=float)
 
     def weights_of(self, view: ActiveView) -> np.ndarray:
+        return self._weights_for(view.job_ids)
+
+    def _weights_for(self, job_ids: np.ndarray) -> np.ndarray:
         if self._weights is None:
-            return np.ones(view.n)
-        return self._weights[view.job_ids]
+            return np.ones(job_ids.size)
+        return self._weights[job_ids]
 
 
 class HDF(_WeightAware):
@@ -66,6 +70,11 @@ class HDF(_WeightAware):
         order = np.lexsort((view.job_ids, -density))
         return priority_waterfill(view.caps, order, view.m)
 
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        density = self._weights_for(job_ids) / work
+        order = np.lexsort((job_ids, -density))
+        return priority_waterfill(caps, order, m)
+
 
 class WSRPT(_WeightAware):
     """Serve jobs in decreasing dynamic density ``weight / remaining``."""
@@ -78,6 +87,12 @@ class WSRPT(_WeightAware):
         density = self.weights_of(view) / remaining
         order = np.lexsort((view.job_ids, -density))
         return priority_waterfill(view.caps, order, view.m)
+
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        rem = np.maximum(remaining, 1e-300)
+        density = self._weights_for(job_ids) / rem
+        order = np.lexsort((job_ids, -density))
+        return priority_waterfill(caps, order, m)
 
 
 class WDrep(_DrepBase):
@@ -138,3 +153,7 @@ class WDrep(_DrepBase):
     def rates(self, view: ActiveView) -> np.ndarray:
         assert self._assignment is not None
         return _one_proc_rates(view, self._assignment)
+
+    def rates_array(self, t, m, job_ids, remaining, work, release, caps):
+        assert self._assignment is not None
+        return _one_proc_rates_arr(job_ids, caps, self._assignment)

@@ -38,17 +38,24 @@ def priority_waterfill(caps: np.ndarray, order: np.ndarray, m: float) -> np.ndar
     cap, one job may get a partial remainder, the rest get zero.
     """
     caps = np.asarray(caps, dtype=float)
+    order = np.asarray(order)
     n = caps.size
-    if np.asarray(order).shape != (n,):
+    if order.shape != (n,):
         raise ValueError("order must be a permutation of range(len(caps))")
     rates = np.zeros(n, dtype=float)
     left = float(m)
-    for idx in order:
-        if left <= 0:
-            break
-        give = min(float(caps[idx]), left)
+    # the loop touches at most m+1 jobs; running it on Python floats
+    # (``tolist`` — Python floats ARE IEEE doubles, so ``c if c < left``
+    # is the same arithmetic as the former ``min(float(caps[idx]), left)``)
+    # drops the per-element numpy scalar boxing the hot loop used to pay
+    caps_l = caps.tolist()
+    for idx in order.tolist():
+        c = caps_l[idx]
+        give = c if c < left else left
         rates[idx] = give
         left -= give
+        if left <= 0:
+            break
     return rates
 
 

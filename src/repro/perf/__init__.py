@@ -16,6 +16,7 @@ Three pieces:
 from repro.perf.counters import PerfCounters
 from repro.perf.bench import BENCH_CASES, BenchCase, run_bench_suite
 from repro.perf.trajectory import (
+    discover_root,
     load_trajectory,
     trajectory_entry,
     write_trajectory,
@@ -29,4 +30,5 @@ __all__ = [
     "trajectory_entry",
     "write_trajectory",
     "load_trajectory",
+    "discover_root",
 ]

@@ -28,11 +28,13 @@ class BenchCase:
 
     ``build`` constructs the (trace, runner) pair once per case — trace
     generation is *excluded* from the timed region; ``runner()`` executes
-    one full simulation and returns its :class:`ScheduleResult`.
+    one full simulation and returns its :class:`ScheduleResult`, or — for
+    grid cases whose unit of work is many simulations — a plain summary
+    dict with ``events``, ``n_jobs``, ``mean_flow`` and ``perf`` keys.
     """
 
     name: str
-    engine: str  # "flowsim" | "wsim"
+    engine: str  # "flowsim" | "wsim" | "grid"
     build: Callable[[float], Callable[[], ScheduleResult]]
 
 
@@ -98,6 +100,48 @@ def _wsim_case(seed: int):
     return build
 
 
+def _grid_sweep_case(workers: int, seed: int):
+    """Figure-1 style (m × policy × replicate) grid through the pool runner.
+
+    The workload is identical for every ``workers`` value (the pool
+    guarantees byte-identical rows), so the ``grid_sweep_w*`` pair
+    measures pure dispatch overhead/speedup, and their ``events`` and
+    ``mean_flow`` must always agree — a cheap determinism tripwire in
+    every BENCH file.
+    """
+
+    def build(scale: float) -> Callable[[], dict]:
+        from repro.analysis.pool import flow_sweep_cells, run_flow_grid
+        from repro.perf.counters import PerfCounters
+
+        n = max(10, int(400 * scale))
+        cells = flow_sweep_cells(
+            distribution="finance",
+            load=0.7,
+            mode="sequential",
+            m_values=[2, 4, 8],
+            n_jobs=n,
+            seed=seed,
+            policies=("srpt", "rr", "drep"),
+            replicates=2,
+            figure="bench",
+        )
+
+        def run() -> dict:
+            counters = PerfCounters()
+            rows = run_flow_grid(cells, workers=workers, counters=counters)
+            return {
+                "events": sum(r["events"] for r in rows),
+                "n_jobs": n * len(rows),
+                "mean_flow": sum(r["mean_flow"] for r in rows) / len(rows),
+                "perf": counters.as_dict(),
+            }
+
+        return run
+
+    return build
+
+
 #: The suite: keep names stable — they are the keys of every
 #: ``BENCH_*.json`` entry, and the trajectory is only comparable across
 #: PRs if the workloads behind the names never change.
@@ -107,6 +151,8 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("flowsim_drep", "flowsim", _flowsim_case(3000, "finance", "drep", 303)),
     BenchCase("flowsim_profiled", "flowsim", _flowsim_profiled_case(304)),
     BenchCase("wsim_drep", "wsim", _wsim_case(305)),
+    BenchCase("grid_sweep_w1", "grid", _grid_sweep_case(1, 306)),
+    BenchCase("grid_sweep_w4", "grid", _grid_sweep_case(4, 306)),
 )
 
 
@@ -140,7 +186,7 @@ def run_bench_suite(
     for case in cases:
         runner = case.build(scale)
         best_s = float("inf")
-        best_result: ScheduleResult | None = None
+        best_result: ScheduleResult | dict | None = None
         for _ in range(repeats):
             t0 = time.perf_counter()
             result = runner()
@@ -149,16 +195,25 @@ def run_bench_suite(
                 best_s = dt
                 best_result = result
         assert best_result is not None
-        events = _events_of(best_result)
+        if isinstance(best_result, dict):  # grid cases summarize many runs
+            events = int(best_result["events"])
+            n_jobs = int(best_result["n_jobs"])
+            mean_flow = best_result["mean_flow"]
+            perf = dict(best_result.get("perf", {}))
+        else:
+            events = _events_of(best_result)
+            n_jobs = best_result.n_jobs
+            mean_flow = best_result.mean_flow
+            perf = dict(best_result.extra.get("perf", {}))
         rows[case.name] = {
             "engine": case.engine,
             "wall_s": best_s,
             "events": events,
             "events_per_sec": events / best_s if best_s > 0 else None,
-            "n_jobs": best_result.n_jobs,
-            "jobs_per_sec": best_result.n_jobs / best_s if best_s > 0 else None,
-            "mean_flow": best_result.mean_flow,
-            "perf": dict(best_result.extra.get("perf", {})),
+            "n_jobs": n_jobs,
+            "jobs_per_sec": n_jobs / best_s if best_s > 0 else None,
+            "mean_flow": mean_flow,
+            "perf": perf,
         }
         if progress is not None:
             progress(

@@ -3,9 +3,13 @@
 The counters answer the questions the hot-path optimizations raise:
 how often was the cached rate vector reused (``rate_hits`` vs
 ``rate_misses``), how many invariant checks were amortized away
-(``checks_run`` vs ``checks_skipped``), how many active-view rebuilds the
-buffer cache avoided (``view_reuses``), and how many unit steps the wsim
-macro-stepper skipped (``macro_jumps`` / ``macro_steps_saved``).
+(``checks_run`` vs ``checks_skipped``), how many flowsim segments ran
+entirely on the flat SoA buffers without materializing an ActiveView
+(``view_reuses``; ``view_builds`` counts the views that were built for
+hooks/timers/object-path policies), how many unit steps the wsim
+macro-stepper skipped (``macro_jumps`` / ``macro_steps_saved``), and what
+the grid-runner pool dispatched (``pool_tasks`` cells over
+``pool_chunks`` chunks across ``pool_workers`` workers).
 
 They are plain integer attributes on a ``__slots__`` object — an
 increment is one attribute add, cheap enough to leave on permanently.
@@ -34,6 +38,9 @@ class PerfCounters:
         "view_builds",
         "macro_jumps",
         "macro_steps_saved",
+        "pool_tasks",
+        "pool_chunks",
+        "pool_workers",
         "wall_s",
         "_t0",
     )
@@ -48,6 +55,9 @@ class PerfCounters:
         self.view_builds = 0
         self.macro_jumps = 0
         self.macro_steps_saved = 0
+        self.pool_tasks = 0
+        self.pool_chunks = 0
+        self.pool_workers = 0
         self.wall_s = 0.0
         self._t0: float | None = None
 

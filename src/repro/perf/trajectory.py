@@ -33,11 +33,44 @@ import platform
 import re
 from pathlib import Path
 
-__all__ = ["trajectory_entry", "write_trajectory", "load_trajectory"]
+__all__ = [
+    "trajectory_entry",
+    "write_trajectory",
+    "load_trajectory",
+    "discover_root",
+]
 
 SCHEMA_VERSION = 1
 
 _BENCH_FILE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: files that mark the repo root during upward discovery
+_ROOT_MARKERS = ("pyproject.toml", ".git")
+
+
+def discover_root(start: str | Path | None = None) -> Path:
+    """Find the repo root (where the ``BENCH_*.json`` files live).
+
+    Walks up from ``start`` (default: the current directory) looking for a
+    directory that either contains a ``BENCH_*.json`` file directly or
+    looks like a project root (``pyproject.toml`` / ``.git``).  Falls back
+    to walking up from this module's location — an installed or
+    ``PYTHONPATH=src`` layout puts the files three levels above
+    ``src/repro/perf/`` — and finally to ``start`` itself, so callers
+    always get *a* directory back.
+    """
+    candidates = []
+    base = Path(start) if start is not None else Path.cwd()
+    candidates.append(base)
+    candidates.append(Path(__file__).resolve().parent)
+    for origin in candidates:
+        node = origin.resolve()
+        for directory in (node, *node.parents):
+            if any(_BENCH_FILE.match(p.name) for p in directory.glob("BENCH_*.json")):
+                return directory
+            if any((directory / marker).exists() for marker in _ROOT_MARKERS):
+                return directory
+    return base
 
 
 def trajectory_entry(
@@ -62,13 +95,17 @@ def write_trajectory(path: str | Path, entry: dict) -> Path:
     return path
 
 
-def load_trajectory(root: str | Path = ".") -> list[dict]:
+def load_trajectory(root: str | Path | None = None) -> list[dict]:
     """All ``BENCH_*.json`` entries under ``root``, ordered by PR number.
 
-    Skips files that fail to parse (a truncated bench file must not take
-    down analysis of the others) but raises on duplicate PR numbers.
+    ``root=None`` (the default) locates the repo root via
+    :func:`discover_root`, so the loader works from any working directory
+    — the old ``root="."`` default silently returned ``[]`` whenever the
+    caller's cwd wasn't the repo checkout.  Skips files that fail to
+    parse (a truncated bench file must not take down analysis of the
+    others) but raises on duplicate PR numbers.
     """
-    root = Path(root)
+    root = discover_root() if root is None else Path(root)
     entries: dict[int, dict] = {}
     for path in sorted(root.glob("BENCH_*.json")):
         match = _BENCH_FILE.match(path.name)

@@ -19,14 +19,34 @@ TINY = 0.01  # bench scale small enough for unit-test budgets
 
 class TestBenchSuite:
     def test_case_names_are_frozen(self):
-        # the trajectory is only comparable across PRs if these never change
+        # the trajectory is only comparable across PRs if these never
+        # change; appending new cases is fine, renaming/removing is not
         assert [c.name for c in BENCH_CASES] == [
             "flowsim_srpt",
             "flowsim_rr",
             "flowsim_drep",
             "flowsim_profiled",
             "wsim_drep",
+            "grid_sweep_w1",
+            "grid_sweep_w4",
         ]
+
+    def test_grid_cases_report_and_agree(self):
+        by_name = {c.name: c for c in BENCH_CASES}
+        rows = run_bench_suite(
+            scale=TINY,
+            repeats=1,
+            cases=(by_name["grid_sweep_w1"], by_name["grid_sweep_w4"]),
+        )
+        w1, w4 = rows["grid_sweep_w1"], rows["grid_sweep_w4"]
+        for row in (w1, w4):
+            assert row["engine"] == "grid"
+            assert row["events"] > 0
+            assert row["perf"]["pool_tasks"] == 18  # 3 m × 3 policies × 2 reps
+        # the determinism tripwire: both worker counts, identical answers
+        assert w1["events"] == w4["events"]
+        assert w1["mean_flow"] == w4["mean_flow"]
+        assert w4["perf"]["pool_workers"] == 4
 
     def test_runs_and_reports(self):
         rows = run_bench_suite(scale=TINY, repeats=1, cases=BENCH_CASES[:2])
@@ -82,6 +102,31 @@ class TestTrajectory:
         with pytest.raises(ValueError):
             load_trajectory(tmp_path)
 
+    def test_discover_root_walks_up(self, tmp_path, monkeypatch):
+        from repro.perf import discover_root
+
+        root = tmp_path / "proj"
+        deep = root / "a" / "b"
+        deep.mkdir(parents=True)
+        write_trajectory(
+            root / "BENCH_1.json", trajectory_entry({}, pr=1, scale=1.0, repeats=1)
+        )
+        monkeypatch.chdir(deep)
+        assert discover_root() == root
+        # the old failure mode: load_trajectory() from a nested cwd
+        # must find the files instead of silently returning []
+        assert [e["pr"] for e in load_trajectory()] == [1]
+
+    def test_discover_root_honors_project_markers(self, tmp_path, monkeypatch):
+        from repro.perf import discover_root
+
+        root = tmp_path / "proj"
+        deep = root / "src" / "pkg"
+        deep.mkdir(parents=True)
+        (root / "pyproject.toml").write_text("[project]\n")
+        monkeypatch.chdir(deep)
+        assert discover_root() == root
+
 
 class TestCli:
     def test_bench_writes_trajectory(self, tmp_path, capsys):
@@ -121,3 +166,52 @@ class TestCli:
         rc = main(["bench", "--repeats", "1", "--cases", "flowsim_srpt"])
         assert rc == 0
         assert f"scale={TINY:g}" in capsys.readouterr().out
+
+    def _two_entries(self, tmp_path, old_events=100, new_events=100):
+        old = trajectory_entry(
+            {"flowsim_rr": {"wall_s": 0.2, "events": old_events}},
+            pr=1, scale=1.0, repeats=1,
+        )
+        new = trajectory_entry(
+            {"flowsim_rr": {"wall_s": 0.1, "events": new_events}},
+            pr=2, scale=1.0, repeats=1,
+        )
+        return (
+            write_trajectory(tmp_path / "BENCH_1.json", old),
+            write_trajectory(tmp_path / "BENCH_2.json", new),
+        )
+
+    def test_bench_compare_paths(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p_old, p_new = self._two_entries(tmp_path)
+        rc = main(["bench", "--compare", str(p_old), str(p_new)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flowsim_rr" in out
+        assert "2.00x" in out  # 0.2s -> 0.1s
+
+    def test_bench_compare_pr_numbers(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        self._two_entries(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        rc = main(["bench", "--compare", "1", "2"])
+        assert rc == 0
+        assert "2.00x" in capsys.readouterr().out
+
+    def test_bench_compare_flags_changed_events(self, tmp_path, capsys):
+        from repro.cli import main
+
+        p_old, p_new = self._two_entries(tmp_path, old_events=100, new_events=999)
+        rc = main(["bench", "--compare", str(p_old), str(p_new)])
+        assert rc == 1  # events drift means semantics changed, not perf
+        assert "EVENTS CHANGED" in capsys.readouterr().out
+
+    def test_bench_compare_unknown_pr(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        self._two_entries(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["bench", "--compare", "1", "99"])
