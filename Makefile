@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-json sweep-smoke serve-smoke faults-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-compare bench-json sweep-smoke serve-smoke faults-smoke figures report examples clean
 
 # perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
-PR ?= 4
+PR ?= 5
 
 install:
 	pip install -e '.[test]'
@@ -25,6 +25,15 @@ bench-smoke:
 # full-size throughput suite -> BENCH_$(PR).json perf-trajectory entry
 bench-json:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --pr $(PR)
+
+# semantic drift gate (also a CI step): run the suite fresh at full
+# scale and diff it against the committed baseline entry -- any `events`
+# change on a shared case means a frozen workload's behavior moved, and
+# the target exits non-zero.  Timing ratios are printed but not gated.
+BASELINE ?= BENCH_4.json
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats 1 --out /tmp/BENCH_fresh.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare $(BASELINE) /tmp/BENCH_fresh.json
 
 # run a small experiment grid serially and through the process pool and
 # require byte-identical rows (the grid runner's determinism contract)

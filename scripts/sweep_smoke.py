@@ -63,6 +63,32 @@ def main() -> None:
         f"workers 1/2/4 ({counters.pool_chunks} chunks dispatched)"
     )
 
+    # -- wsim grid: same contract for the work-stealing engine -------------
+    from repro.analysis.pool import run_ws_grid, ws_sweep_cells
+
+    ws_cells = ws_sweep_cells(
+        distribution="finance",
+        loads=[0.5, 0.7],
+        m_values=[4],
+        n_jobs=40,
+        seed=7,
+        mean_work_units=50,
+        replicates=2,
+        figure="smoke",
+    )
+    ws_counters = PerfCounters()
+    ws_serial = run_ws_grid(ws_cells, workers=1)
+    ws_pooled = run_ws_grid(ws_cells, workers=2, counters=ws_counters)
+    ws_auto = run_ws_grid(ws_cells, workers="auto")
+    if ws_serial != ws_pooled:
+        fail("wsim grid rows differ between workers=1 and workers=2")
+    if ws_serial != ws_auto:
+        fail("wsim grid rows differ between workers=1 and workers='auto'")
+    print(
+        f"sweep-smoke: wsim grid ok — {len(ws_serial)} rows identical "
+        f"across workers 1/2/auto ({ws_counters.pool_chunks} chunks dispatched)"
+    )
+
     # -- resilience grid: fault plans must survive pickling ----------------
     base = run_resilience_experiment(m=4, n_jobs=60, seed=3, workers=1)
     pooled = run_resilience_experiment(m=4, n_jobs=60, seed=3, workers=2)
@@ -85,6 +111,25 @@ def main() -> None:
     if out1 != out2:
         fail("drep-sim fig1 output differs with --workers 2")
     print("sweep-smoke: CLI ok — fig1 stdout byte-identical with --workers 2")
+
+    cmd3 = [
+        sys.executable, "-m", "repro.cli", "fig3",
+        "--m", "4", "--n-jobs", "40", "--loads", "0.5", "0.7", "--seed", "7",
+    ]
+    out_w1 = subprocess.run(
+        cmd3 + ["--workers", "1"], capture_output=True, text=True, env=env,
+        check=True,
+    ).stdout
+    out_w2 = subprocess.run(
+        cmd3 + ["--workers", "2"], capture_output=True, text=True, env=env,
+        check=True,
+    ).stdout
+    out_auto = subprocess.run(  # the default --workers auto
+        cmd3, capture_output=True, text=True, env=env, check=True
+    ).stdout
+    if out_w1 != out_w2 or out_w1 != out_auto:
+        fail("drep-sim fig3 output differs across --workers 1/2/auto")
+    print("sweep-smoke: CLI ok — fig3 stdout byte-identical across --workers 1/2/auto")
     print("sweep-smoke: PASS")
 
 

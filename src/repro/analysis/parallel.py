@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 
 from repro.core.job import ParallelismMode
 
-__all__ = ["FlowCell", "memoized_trace", "run_cells", "parallel_flow_sweep"]
+__all__ = [
+    "FlowCell",
+    "memoized_trace",
+    "memoized_ws_trace",
+    "run_cells",
+    "parallel_flow_sweep",
+]
 
 
 #: Per-worker-process memo of generated traces.  A sweep runs many cells
@@ -60,6 +66,51 @@ def _memoized_trace(
 #: public name — the grid runner (:mod:`repro.analysis.pool`) reuses the
 #: same per-process memo so mixed FlowCell/grid workloads share traces
 memoized_trace = _memoized_trace
+
+
+def memoized_ws_trace(
+    distribution: str,
+    load: float,
+    m: int,
+    n_jobs: int,
+    mean_work_units: int,
+    parallelism: int,
+    seed: int,
+):
+    """The fig-3 DAG trace build, memoized per worker process.
+
+    Replicates :func:`repro.analysis.experiments.run_ws_point`'s trace
+    construction exactly — fully-parallel unit-mean trace (work *not*
+    scaled with m), scaled to ``mean_work_units`` integer steps, DAGs
+    attached at the given ``parallelism`` — so grid rows match the serial
+    sweep byte-for-byte.  A fig-3 cell grid runs every scheduler on the
+    same trace; the memo builds it once per process instead of once per
+    (scheduler × load) cell.
+    """
+    key = ("ws", distribution, load, m, n_jobs, mean_work_units, parallelism, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        from repro.analysis.experiments import scale_trace
+        from repro.workloads.traces import attach_dags, generate_trace
+
+        base = generate_trace(
+            n_jobs=n_jobs,
+            distribution=distribution,
+            load=load,
+            m=m,
+            mode=ParallelismMode.FULLY_PARALLEL,
+            seed=seed,
+            scale_work_with_m=False,
+        )
+        trace = attach_dags(
+            scale_trace(base, float(mean_work_units)),
+            parallelism=parallelism,
+            seed=seed,
+        )
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace
 
 
 @dataclass(frozen=True)

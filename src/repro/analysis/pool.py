@@ -40,17 +40,55 @@ from repro.core.rng import derive_seed
 
 __all__ = [
     "FlowSweepCell",
+    "WsSweepCell",
     "default_chunk_size",
     "flow_sweep_cells",
     "replicate_flow",
+    "resolve_workers",
     "run_flow_grid",
     "run_grid",
+    "run_ws_grid",
+    "ws_sweep_cells",
 ]
 
 #: policy keys per mode, mirroring
 #: :func:`repro.analysis.experiments.flow_policy_factories`
 DEFAULT_SEQ_POLICIES = ("srpt", "sjf", "rr", "drep")
 DEFAULT_PAR_POLICIES = ("srpt", "swf", "rr", "drep-par")
+#: fig-3 series, mirroring
+#: :func:`repro.analysis.experiments.ws_scheduler_factories` (the keys
+#: double as the ``scheduler`` labels in result rows)
+DEFAULT_WS_SCHEDULERS = ("DREP", "SWF", "steal-first", "admit-first")
+
+
+def _available_cpus() -> int:
+    """CPUs this *process* may use — affinity-aware, never zero."""
+    probe = getattr(os, "process_cpu_count", None)  # Python >= 3.13
+    if probe is not None:
+        return probe() or 1
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: "int | str | None") -> int | None:
+    """Normalize a worker count: int, ``None`` (all cores) or ``"auto"``.
+
+    ``"auto"`` caps at the CPUs actually available to the process
+    (``os.process_cpu_count`` when it exists, else the scheduler
+    affinity mask) and falls back to serial on a 1-core box — spawning a
+    pool there only adds fork/pickle overhead on top of a core the
+    parent already saturates (the BENCH_4 ``grid_sweep_w4``
+    oversubscription finding: w4 is *slower* than w1 on 1 core).
+    Results are unaffected either way — the grid contract is
+    byte-identical rows for every worker count.
+    """
+    if workers == "auto":
+        return _available_cpus()
+    if isinstance(workers, str):
+        raise ValueError(f"workers must be an int, None or 'auto', got {workers!r}")
+    return workers
 
 
 def default_chunk_size(n_tasks: int, workers: int) -> int:
@@ -65,21 +103,23 @@ def _run_chunk(fn: Callable, chunk: list) -> list:
 def run_grid(
     fn: Callable,
     tasks: Iterable,
-    workers: int | None = 1,
+    workers: "int | str | None" = 1,
     chunk_size: int | None = None,
     counters=None,
 ) -> list:
     """Run ``fn`` over ``tasks``; result order == task order, always.
 
     ``fn`` and every task must be picklable (module-level function,
-    plain-data cells).  ``workers=None`` uses the CPU count; ``workers=1``
-    runs inline — same code path minus the pool, so the output is
-    byte-identical by construction.  ``chunk_size`` tunes dispatch
+    plain-data cells).  ``workers=None`` uses the CPU count;
+    ``workers="auto"`` uses :func:`resolve_workers` (available CPUs,
+    serial on 1 core); ``workers=1`` runs inline — same code path minus
+    the pool, so the output is byte-identical by construction.  ``chunk_size`` tunes dispatch
     granularity (default :func:`default_chunk_size`): chunks are
     submitted up front and completed in any order (work stealing), then
     reassembled by chunk index.
     """
     tasks = list(tasks)
+    workers = resolve_workers(workers)
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
@@ -229,6 +269,130 @@ def run_flow_grid(
     """Run a flow-cell grid through :func:`run_grid`."""
     return run_grid(
         _run_flow_cell,
+        cells,
+        workers=workers,
+        chunk_size=chunk_size,
+        counters=counters,
+    )
+
+
+@dataclass(frozen=True)
+class WsSweepCell:
+    """One (trace, scheduler) work-stealing runtime cell of a fig-3 grid.
+
+    Same discipline as :class:`FlowSweepCell`: frozen plain data, the
+    worker process rebuilds the DAG trace from generation parameters
+    (memoized — all four schedulers of a fig-3 point share one trace),
+    and the result row carries nothing process-dependent, so
+    ``workers=N`` output equals ``workers=1`` output byte-for-byte.
+    """
+
+    distribution: str
+    load: float
+    m: int
+    scheduler: str  # ws_scheduler_factories key, doubles as the row label
+    n_jobs: int
+    seed: int
+    mean_work_units: int = 400
+    parallelism: int = 0  # 0 = the run_ws_point default of 2*m
+    figure: str = ""
+
+    def run(self) -> dict:
+        """Execute in the current process; returns a flat result row."""
+        from repro.analysis.experiments import ws_scheduler_factories
+        from repro.analysis.parallel import memoized_ws_trace
+        from repro.wsim.runtime import simulate_ws
+
+        parallelism = self.parallelism or 2 * self.m
+        trace = memoized_ws_trace(
+            self.distribution,
+            self.load,
+            self.m,
+            self.n_jobs,
+            self.mean_work_units,
+            parallelism,
+            self.seed,
+        )
+        factory = ws_scheduler_factories()[self.scheduler]
+        result = simulate_ws(trace, self.m, factory(), seed=self.seed)
+        # run_ws_point's row fields plus the cell seed and the step count;
+        # nothing process-dependent may ever be added here (see
+        # FlowSweepCell.run)
+        return {
+            "figure": self.figure,
+            "distribution": self.distribution,
+            "load": self.load,
+            "m": self.m,
+            "scheduler": self.scheduler,
+            "mean_flow": result.mean_flow,
+            "p99_flow": result.percentile(99),
+            "preemptions": result.preemptions,
+            "switches": result.extra.get("switches", 0),
+            "steal_attempts": result.steal_attempts,
+            "muggings": result.muggings,
+            "utilization": result.extra.get("utilization", 0.0),
+            "seed": self.seed,
+            "events": int(result.makespan),
+        }
+
+
+def _run_ws_cell(cell: WsSweepCell) -> dict:
+    return cell.run()
+
+
+def ws_sweep_cells(
+    distribution: str,
+    loads: Iterable[float],
+    m_values: Iterable[int],
+    n_jobs: int,
+    seed: int = 0,
+    schedulers: Sequence[str] | None = None,
+    mean_work_units: int = 400,
+    parallelism: int | None = None,
+    replicates: int = 1,
+    figure: str = "",
+) -> list[WsSweepCell]:
+    """Figure-3 style grid as a flat cell list (m × load × scheduler).
+
+    Seeds follow the :func:`flow_sweep_cells` rule: replicate 0 on the
+    base ``seed`` (matching the serial :func:`run_ws_sweep`), replicate
+    ``r`` on ``derive_seed(seed, f"rep/{r}")``.
+    """
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    if schedulers is None:
+        schedulers = DEFAULT_WS_SCHEDULERS
+    cells = []
+    for r in range(replicates):
+        cell_seed = seed if r == 0 else derive_seed(seed, f"rep/{r}")
+        for m in m_values:
+            for load in loads:
+                for scheduler in schedulers:
+                    cells.append(
+                        WsSweepCell(
+                            distribution=distribution,
+                            load=float(load),
+                            m=int(m),
+                            scheduler=scheduler,
+                            n_jobs=int(n_jobs),
+                            seed=int(cell_seed),
+                            mean_work_units=int(mean_work_units),
+                            parallelism=int(parallelism or 0),
+                            figure=figure,
+                        )
+                    )
+    return cells
+
+
+def run_ws_grid(
+    cells: Sequence[WsSweepCell],
+    workers: "int | str | None" = 1,
+    chunk_size: int | None = None,
+    counters=None,
+) -> list[dict]:
+    """Run a work-stealing-cell grid through :func:`run_grid`."""
+    return run_grid(
+        _run_ws_cell,
         cells,
         workers=workers,
         chunk_size=chunk_size,

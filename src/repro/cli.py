@@ -27,7 +27,6 @@ import sys
 from repro.analysis.experiments import (
     flow_policy_factories,
     run_flow_sweep,
-    run_ws_sweep,
 )
 from repro.analysis.tables import series_table
 from repro.core.job import ParallelismMode
@@ -45,7 +44,7 @@ def _fig_flow(args: argparse.Namespace, mode: ParallelismMode) -> int:
     workers = getattr(args, "workers", 1)
     if workers == 0:
         workers = None  # run_grid: all cores
-    if workers is None or workers > 1:
+    if workers is None or workers == "auto" or workers > 1:
         # shard the (m × policy) grid over a process pool; rows are
         # byte-identical to the serial sweep (see repro.analysis.pool)
         from repro.analysis.pool import flow_sweep_cells, run_flow_grid
@@ -78,13 +77,19 @@ def _fig_flow(args: argparse.Namespace, mode: ParallelismMode) -> int:
 
 
 def _fig3(args: argparse.Namespace) -> int:
-    rows = run_ws_sweep(
+    # always the grid path: workers=1 (and "auto" on a 1-core box) runs
+    # inline, and grid rows are byte-identical to the serial
+    # run_ws_sweep rows for every worker count (repro.analysis.pool)
+    from repro.analysis.pool import run_ws_grid, ws_sweep_cells
+
+    cells = ws_sweep_cells(
         distribution=args.distribution,
         loads=args.loads,
-        m=args.m,
+        m_values=[args.m],
         n_jobs=args.n_jobs,
         seed=args.seed,
     )
+    rows = run_ws_grid(cells, workers=args.workers)
     print(
         f"# {args.distribution} workload on {args.m} cores, n={args.n_jobs} "
         "(work-stealing runtime, mean flow in steps)"
@@ -120,13 +125,21 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--distribution", default="finance", help="bing|finance|...")
         p.add_argument("--seed", type=int, default=0)
 
-    def workers_arg(p: argparse.ArgumentParser) -> None:
+    def workers_value(value: str):
+        # "auto" = available CPUs, serial on a 1-core box (see
+        # repro.analysis.pool.resolve_workers); 0 = all cores
+        if value == "auto":
+            return value
+        return int(value)
+
+    def workers_arg(p: argparse.ArgumentParser, default=1) -> None:
         p.add_argument(
             "--workers",
-            type=int,
-            default=1,
+            type=workers_value,
+            default=default,
             help="process-pool size for the experiment grid "
-            "(0 = all cores; output is identical for any value)",
+            "(0 = all cores, 'auto' = available cores with serial "
+            "fallback on 1; output is identical for any value)",
         )
 
     p1 = sub.add_parser("fig1", help="sequential jobs, m-sweep (Figure 1)")
@@ -148,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
     p3.add_argument("--m", type=int, default=16)
     p3.add_argument("--n-jobs", type=int, default=300)
     p3.add_argument("--loads", type=float, nargs="+", default=[0.5, 0.6, 0.7])
+    workers_arg(p3, default="auto")
 
     p4 = sub.add_parser("preemptions", help="Theorem 1.2 budget check")
     common(p4)

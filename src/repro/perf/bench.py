@@ -100,6 +100,81 @@ def _wsim_case(seed: int):
     return build
 
 
+def _wsim_hetero_case(seed: int):
+    """The wsim workload on a dyadic-speed machine (2-2-1-1-1-1-½-½).
+
+    Same trace as ``wsim_drep``; the speeds sit on the exactness grid, so
+    the event-horizon kernel's heterogeneous macro-stepping stays engaged
+    (``perf.exactness_fallbacks`` must read 0 in every BENCH file).
+    """
+
+    def build(scale: float) -> Callable[[], ScheduleResult]:
+        import numpy as np
+
+        from repro.analysis.experiments import scale_trace
+        from repro.core.job import ParallelismMode
+        from repro.workloads.traces import attach_dags, generate_trace
+        from repro.wsim.runtime import simulate_ws
+        from repro.wsim.schedulers import DrepWS
+
+        n = max(10, int(150 * scale))
+        base = generate_trace(
+            n,
+            "finance",
+            0.6,
+            8,
+            mode=ParallelismMode.FULLY_PARALLEL,
+            seed=seed,
+            scale_work_with_m=False,
+        )
+        trace = attach_dags(scale_trace(base, 300.0), parallelism=16, seed=seed)
+        speeds = np.array([2.0, 2.0, 1.0, 1.0, 1.0, 1.0, 0.5, 0.5])
+        return lambda: simulate_ws(trace, 8, DrepWS(), seed=seed, speeds=speeds)
+
+    return build
+
+
+def _ws_grid_case(workers, seed: int):
+    """Figure-3 style (load × scheduler × replicate) wsim grid.
+
+    Like ``grid_sweep_w*`` for the flow engine: the workload is
+    identical for every ``workers`` value, so the pair measures dispatch
+    cost, and ``events``/``mean_flow`` must agree between the two — the
+    wsim face of the pool's determinism tripwire.  ``workers="auto"``
+    resolves to the available cores (serial on a 1-core container).
+    """
+
+    def build(scale: float) -> Callable[[], dict]:
+        from repro.analysis.pool import run_ws_grid, ws_sweep_cells
+        from repro.perf.counters import PerfCounters
+
+        n = max(10, int(60 * scale))
+        cells = ws_sweep_cells(
+            distribution="finance",
+            loads=[0.5, 0.7],
+            m_values=[4],
+            n_jobs=n,
+            seed=seed,
+            mean_work_units=50,
+            replicates=2,
+            figure="bench",
+        )
+
+        def run() -> dict:
+            counters = PerfCounters()
+            rows = run_ws_grid(cells, workers=workers, counters=counters)
+            return {
+                "events": sum(r["events"] for r in rows),
+                "n_jobs": n * len(rows),
+                "mean_flow": sum(r["mean_flow"] for r in rows) / len(rows),
+                "perf": counters.as_dict(),
+            }
+
+        return run
+
+    return build
+
+
 def _grid_sweep_case(workers: int, seed: int):
     """Figure-1 style (m × policy × replicate) grid through the pool runner.
 
@@ -153,6 +228,9 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("wsim_drep", "wsim", _wsim_case(305)),
     BenchCase("grid_sweep_w1", "grid", _grid_sweep_case(1, 306)),
     BenchCase("grid_sweep_w4", "grid", _grid_sweep_case(4, 306)),
+    BenchCase("wsim_hetero", "wsim", _wsim_hetero_case(305)),
+    BenchCase("wsim_grid_w1", "grid", _ws_grid_case(1, 307)),
+    BenchCase("wsim_grid_auto", "grid", _ws_grid_case("auto", 307)),
 )
 
 

@@ -7,9 +7,11 @@ how often was the cached rate vector reused (``rate_hits`` vs
 entirely on the flat SoA buffers without materializing an ActiveView
 (``view_reuses``; ``view_builds`` counts the views that were built for
 hooks/timers/object-path policies), how many unit steps the wsim
-macro-stepper skipped (``macro_jumps`` / ``macro_steps_saved``), and what
-the grid-runner pool dispatched (``pool_tasks`` cells over
-``pool_chunks`` chunks across ``pool_workers`` workers).
+event-horizon kernel skipped (``horizon_jumps`` / ``horizon_steps_saved``),
+how many runs fell off the kernel's dyadic-grid exactness contract and
+took the pure per-step path (``exactness_fallbacks``), and what the
+grid-runner pool dispatched (``pool_tasks`` cells over ``pool_chunks``
+chunks across ``pool_workers`` workers).
 
 They are plain integer attributes on a ``__slots__`` object — an
 increment is one attribute add, cheap enough to leave on permanently.
@@ -36,8 +38,9 @@ class PerfCounters:
         "checks_skipped",
         "view_reuses",
         "view_builds",
-        "macro_jumps",
-        "macro_steps_saved",
+        "horizon_jumps",
+        "horizon_steps_saved",
+        "exactness_fallbacks",
         "pool_tasks",
         "pool_chunks",
         "pool_workers",
@@ -53,8 +56,9 @@ class PerfCounters:
         self.checks_skipped = 0
         self.view_reuses = 0
         self.view_builds = 0
-        self.macro_jumps = 0
-        self.macro_steps_saved = 0
+        self.horizon_jumps = 0
+        self.horizon_steps_saved = 0
+        self.exactness_fallbacks = 0
         self.pool_tasks = 0
         self.pool_chunks = 0
         self.pool_workers = 0

@@ -21,16 +21,50 @@ The engine is scheduler-agnostic: all policy decisions are delegated to a
 debug mode): muggable deques are never empty; a node is on exactly one
 deque or one worker; executed units equal total work at the end.
 
-**Macro-stepping.**  When every worker is mid-node and nothing can change
-for ``k`` steps — no arrival is due, no node can complete, no preemption
-flag can fire, no worker is paying overhead — the runtime advances all
-workers ``k`` units in one bulk update instead of ``k`` trips through the
-per-step machinery.  Eligibility is conservative: it requires unit-speed
-workers (so ``k`` subtractions of 1.0 equal one subtraction of
-``float(k)`` exactly), no observer, a default ``on_step`` hook and debug
-invariants off; counters and flow times are bit-for-bit identical to
-unit-stepping (``tests/wsim/test_golden.py`` and a Hypothesis
-equivalence test enforce this).
+**Event-horizon kernel.**  Simulated time is split into *segments* — the
+spans between consecutive external events (job arrivals and fault
+points).  Inside a segment, :meth:`WsRuntime._horizon_jump` classifies
+every live worker into one of three bulk-steppable classes and, when all
+workers qualify, replays ``k`` unit steps in one update:
+
+* **executing** — mid-node, unblocked: ``k`` subtractions of ``speed``
+  collapse to one ``k * speed`` subtraction.  The jump distance is the
+  min of remaining steps over these workers (an inline scalar min on
+  small machines, one array min over flat SoA buffers on large ones),
+  capped one step *before* the earliest node completion — the completing
+  step itself always runs through the normal per-step path, so
+  completions, child enabling, scheduler callbacks and their mid-step
+  interleaving are reproduced exactly;
+* **blocked** — paying preemption overhead: ``k`` overhead steps become
+  one counter bump, with the jump capped at the unblock step;
+* **steal-stuck** — out of work, where the scheduler's
+  :meth:`~repro.wsim.schedulers.base.WsScheduler.steal_target` hook
+  names the job it would steal from and every victim deque is
+  active-and-empty, so each of the ``k`` attempts provably fails:
+  replayed as ``k`` attempt/failure counter bumps plus **one batched
+  victim draw** (``integers(np.tile(bounds, k))``), bit-identical to the
+  per-step scalar draws (``tests/wsim/test_rng_draws.py`` pins the
+  stream equivalence).  Schedulers without the hook exclude their idle
+  workers from jumps — a pure perf opt-out, never a semantic one.
+
+Failed jump attempts mutate nothing, so *when* to attempt is a free
+choice: the run loop re-arms attempts only after a pass that visibly
+changed worker state and otherwise backs off, and the per-step loop
+fast-fails provably hopeless steals inline without entering the
+scheduler.  ``perf.horizon_jumps`` / ``perf.horizon_steps_saved``
+report the savings.
+
+**Exactness contract.**  Bulk jumps are enabled only when every node
+weight — and, for heterogeneous workers, every speed — lies on the
+dyadic grid of multiples of ``2**-20`` with magnitude below ``2**31``
+(integers trivially qualify).  On that grid every per-step value is
+exactly representable, so ``k`` subtractions of ``speed`` equal one
+subtraction of ``k * speed`` bit-for-bit and the ``work_steps``
+accumulation is order-independent; counters and flow times are
+bit-for-bit identical to unit-stepping (``tests/wsim/test_golden.py``
+and the Hypothesis equivalence tests enforce this, heterogeneous speeds
+included).  Off-grid runs fall back to pure per-step execution and
+record it in ``perf.exactness_fallbacks``.
 """
 
 from __future__ import annotations
@@ -53,6 +87,29 @@ __all__ = ["WsConfig", "WsRuntime", "simulate_ws", "WsimError"]
 
 class WsimError(RuntimeError):
     """Raised when the runtime detects an invariant violation or stall."""
+
+
+#: Exactness grid for bulk jumps: multiples of 2**-20.  On this grid (with
+#: magnitudes below 2**31) every remaining-work value reachable by
+#: per-step subtraction is exactly representable as a float, so bulk
+#: ``rem -= k * speed`` is bit-identical to ``k`` single-step
+#: subtractions, ``ceil(rem / speed)`` never overshoots the true
+#: steps-to-completion, and the ``work_steps`` partial sums are exact
+#: (hence order-independent between step-major and worker-major
+#: accumulation).
+_GRID = 1048576.0  # 2**20
+_GRID_MAG = 2147483648.0  # 2**31
+
+
+def _on_grid(values) -> bool:
+    """True when every value is a multiple of 2**-20 below 2**31."""
+    a = np.asarray(values, dtype=float)
+    if a.size == 0:
+        return True
+    if not np.all(np.abs(a) < _GRID_MAG):
+        return False
+    scaled = a * _GRID  # exact: power-of-two scaling, no overflow
+    return bool(np.all(scaled == np.rint(scaled)))
 
 
 @dataclass(frozen=True)
@@ -93,9 +150,13 @@ class WsConfig:
             raise ValueError("preemption_overhead must be >= 0")
 
 
-@dataclass
+@dataclass(slots=True)
 class WsCounters:
-    """Practicality counters the paper's arguments are about."""
+    """Practicality counters the paper's arguments are about.
+
+    ``slots=True``: the hot loop bumps these at step rate; slot stores
+    skip the instance-dict write.
+    """
 
     work_steps: int = 0
     steal_attempts: int = 0
@@ -160,10 +221,18 @@ class WsRuntime:
             if (speeds <= 0).any():
                 raise ValueError("speeds must be positive")
         self.speeds = speeds
+        # python-float mirror: the hot loop and the bulk path must
+        # subtract the *same* float values for bit-for-bit equivalence,
+        # and plain floats beat numpy scalar indexing at step rate
+        self._speed_list = (
+            None if speeds is None else [float(x) for x in speeds]
+        )
         self.rng = RngFactory(seed).stream(f"wsim/{scheduler.name}")
-        # bound-method cache: steal_within draws once per attempt and the
-        # attribute chain is measurable at that call rate
+        # bound-method caches: steal_within draws once per attempt and
+        # out_of_work dispatches once per stuck worker-step; both
+        # attribute chains are measurable at those call rates
         self._rng_integers = self.rng.integers
+        self._out_of_work = scheduler.out_of_work
         self.workers = [Worker(wid=i) for i in range(m)]
         #: all arrived, unfinished jobs — the paper's A(t).  Schedulers
         #: append on arrival; the runtime removes on completion.
@@ -178,6 +247,42 @@ class WsRuntime:
         self._flow_steps = np.full(len(trace), np.nan)
         total_work = sum(int(spec.dag.work) for spec in trace.jobs)
         self.total_work_units = total_work
+        # -- event-horizon kernel state ------------------------------------
+        #: DREP flags currently armed (maintained by :meth:`arm_flag`); a
+        #: fast veto for bulk jumps in "step" mode.  Only a hint — the
+        #: per-worker verify in :meth:`_horizon_jump` stays authoritative
+        #: (tests poke ``flag_target`` directly, bypassing the count).
+        self._flags_armed = 0
+        self._flags_immediate = config.preempt_check == "step"
+        #: bulk attempts are suppressed below this step (a completion is
+        #: imminent, or a worker was in a transient non-batchable state);
+        #: purely a perf hint, reset by nothing — steps are monotonic
+        self._h_cooldown = 0
+        #: consecutive failed verifies (drives the re-attempt backoff)
+        self._h_fail = 0
+        #: bound ``scheduler.steal_target`` when overridden, else None;
+        #: resolved per run so scheduler swaps stay safe
+        self._steal_target = None
+        # SoA mirrors of live workers' hot state, filled at bulk entry so
+        # the jump distance is one array min instead of a Python reduce.
+        # Only worth it on big machines: below ~64 workers the fill
+        # dominates and an inline scalar min with a completion-imminent
+        # early-exit wins (measured; tests flip ``_h_vec`` to cover both)
+        self._h_rem = np.empty(m)
+        self._h_spd = np.empty(m)
+        self._h_vec = m >= 64
+        # exactness contract (module docstring): bulk jumps need every
+        # node weight — and speed, if heterogeneous — on the dyadic grid,
+        # plus bounded total work so work_steps partial sums stay exact
+        grid = total_work < 2**31
+        if grid and speeds is not None:
+            grid = _on_grid(speeds)
+        if grid:
+            for spec in trace.jobs:
+                if not _on_grid(spec.dag.weights):
+                    grid = False
+                    break
+        self._grid_exact = grid
         horizon = self._arrivals[-1][0] if self._arrivals else 0
         self.max_steps = config.max_steps or (
             horizon + 50 * total_work + 10_000
@@ -225,27 +330,43 @@ class WsRuntime:
         """
         self.scheduler.reset(self)
         n = len(self.trace)
-        # macro-stepping is only sound when the per-step machinery is pure
-        # bulk node execution: no observer watching intermediate states, a
-        # default (no-op) on_step hook, no per-step invariant sweep, and
-        # identical unit speeds so bulk float math is exact
-        macro_ok = (
-            observer is None
-            and type(self.scheduler).on_step is WsScheduler.on_step
-            and not self.config.debug_invariants
-            and self.speeds is None
+        # bulk jumps are only sound when the per-step machinery is pure
+        # node execution — no observer watching intermediate states, a
+        # default (no-op) on_step hook, no per-step invariant sweep — and
+        # when every weight and speed sits on the dyadic exactness grid
+        # (module docstring) so bulk float math reproduces per-step math
+        # bit for bit
+        default_on_step = (
+            type(self.scheduler).on_step is WsScheduler.on_step
         )
+        horizon_ok = (
+            observer is None
+            and default_on_step
+            and not self.config.debug_invariants
+            and self._grid_exact
+        )
+        if not self._grid_exact:
+            self.perf.exactness_fallbacks += 1
+        steal_target = type(self.scheduler).steal_target
+        steal_hook = self._steal_target = (
+            self.scheduler.steal_target
+            if steal_target is not WsScheduler.steal_target
+            else None
+        )
+        self._out_of_work = self.scheduler.out_of_work
+        rng_integers = self._rng_integers
         workers = self._live_workers
         debug = self.config.debug_invariants
         scheduler_on_step = self.scheduler.on_step
+        act = self._act
+        finish_node = self._finish_node
+        horizon_jump = self._horizon_jump
         counters = self.counters
         arrivals = self._arrivals
         n_arrivals = len(arrivals)
-        flags_immediate = self.config.preempt_check == "step"
+        flags_immediate = self._flags_immediate
         have_faults = self.faults is not None
-        speeds = (
-            None if self.speeds is None else [float(x) for x in self.speeds]
-        )
+        speeds = self._speed_list
         max_steps = self.max_steps
         while self._completed < n:
             step = self.step
@@ -278,122 +399,122 @@ class WsRuntime:
                     break
                 self.step = max(step, nxt)
                 continue
-            if macro_ok:
-                # largest k such that k unit steps are pure bulk execution:
-                # while every worker stays mid-node, deques are untouched,
-                # no steal/admission/idle accounting runs, and preemption
-                # flags cannot fire in "steal"/"node" mode (both need an
-                # out-of-work or between-nodes worker); "step" mode fires
-                # immediately, so any live flag disqualifies the jump.
-                # k is bounded so the next arrival is admitted at exactly
-                # its release step and no node completes mid-jump.
-                if self._next_arrival < n_arrivals:
-                    k = arrivals[self._next_arrival][0] - step
-                else:
-                    k = max_steps + 1 - step
-                if have_faults and self._fault_next - step < k:
-                    # never jump over a crash/recover/abort point
-                    k = int(self._fault_next) - step
-                if k >= 2:
-                    for worker in workers:
-                        cur = worker.current
+            # -- segment: everything up to the next external event.  No
+            # arrival can be admitted and no fault can apply before
+            # ``horizon``, so the per-step loop drops those checks and
+            # bulk jumps are capped so the event lands on its exact step.
+            horizon = max_steps + 1
+            if self._next_arrival < n_arrivals:
+                nxt = arrivals[self._next_arrival][0]
+                if nxt < horizon:
+                    horizon = nxt
+            if have_faults and self._fault_next < horizon:
+                horizon = int(self._fault_next)
+            # bulk attempt cadence: the verify inside _horizon_jump is
+            # side-effect-free, so *when* to attempt is a free heuristic
+            # — results cannot depend on it.  Two gates keep the cost of
+            # failed verifies amortized away: a failed attempt posts a
+            # resume step in ``self._h_cooldown`` (precise when a
+            # completion is imminent, streak-stretched in churn phases),
+            # and re-attempts additionally wait for a pass that visibly
+            # changed worker state (``h_dirty``) — a quiet pass of
+            # failing steals leaves the machine exactly as the failed
+            # verify saw it, so retrying could not succeed anyway.
+            h_cool = 0
+            h_dirty = True
+            while step < horizon:
+                if horizon_ok and h_dirty and h_cool <= step:
+                    k = horizon_jump(horizon)
+                    if k:
+                        step += k
+                        self.step = step
+                        continue
+                    h_cool = self._h_cooldown
+                    h_dirty = False
+                if observer is not None:
+                    observer(self)
+                if not default_on_step:
+                    scheduler_on_step()
+                nstep = step + 1
+                work_acc = 0.0
+                for worker in workers:
+                    # fast paths: a mid-node worker just executes one
+                    # unit — the flag cannot fire in "steal"/"node" mode
+                    # (both need the worker between nodes or out of
+                    # work; a stale flag's lazy cleanup is deferred,
+                    # which nothing can observe) — and a provably
+                    # failing thief books its counters and victim draw
+                    # inline (the exact ops steal_within's failure path
+                    # performs, minus three frame pushes; steal_within
+                    # stays the authoritative implementation).
+                    # Everything else dispatches through _act, the
+                    # single slow-path source of truth.
+                    cur = worker.current
+                    if cur is None:
                         if (
-                            cur is None
-                            or worker.blocked_until > step
-                            or (
-                                flags_immediate
-                                and worker.flag_target is not None
+                            steal_hook is not None
+                            and worker.blocked_until <= step
+                            and worker.flag_target is None
+                            and (
+                                (dq := worker.dq) is None or not dq.nodes
                             )
                         ):
-                            k = 0
-                            break
-                        # last step that keeps remaining above the
-                        # completion threshold (remaining is integer-valued
-                        # under unit speeds, so int() truncation is exact);
-                        # the completing step runs through the normal path
-                        safe = int(cur[0].node_remaining[cur[1]]) - 1
-                        if safe < k:
-                            if safe < 2:
-                                k = 0
-                                break
-                            k = safe
-                    if k >= 2:
-                        self._macro_advance(k)
+                            sjob = steal_hook(worker)
+                            if sjob is not None:
+                                nv = 0
+                                for d in sjob.deques:
+                                    if d is dq:
+                                        continue
+                                    if d.owner is None or d.nodes:
+                                        nv = -1  # could succeed: _act
+                                        break
+                                    nv += 1
+                                if nv >= 0:
+                                    counters.steal_attempts += 1
+                                    counters.failed_steals += 1
+                                    if nv >= 2:
+                                        rng_integers(nv)
+                                    continue
+                        act(worker)
+                        if worker.current is not None or (
+                            worker.blocked_until > nstep
+                        ):
+                            # a successful steal/mug/pop or a fresh
+                            # preemption stall: the machine state moved
+                            h_dirty = True
                         continue
-            if observer is not None:
-                observer(self)
-            scheduler_on_step()
-            for worker in workers:
-                # fast path: a mid-node worker just executes one unit —
-                # the flag cannot fire in "steal"/"node" mode (both need
-                # the worker between nodes or out of work; a stale flag's
-                # lazy cleanup is deferred, which nothing can observe)
-                cur = worker.current
-                if (
-                    cur is None
-                    or worker.blocked_until > step
-                    or (flags_immediate and worker.flag_target is not None)
-                ):
-                    # _act inlined, same dispatch order: overhead, flag,
-                    # own-deque pop (free, falls through to execute),
-                    # scheduler out-of-work
-                    if worker.blocked_until > step:
-                        counters.overhead_steps += 1
-                        continue
-                    if worker.flag_target is not None and self._flag_fires(
-                        worker
+                    if worker.blocked_until > step or (
+                        flags_immediate and worker.flag_target is not None
                     ):
-                        target = worker.flag_target
-                        worker.flag_target = None
-                        self.switch_worker(worker, target, preempt=True)
+                        act(worker)
+                        if worker.current is not None or (
+                            worker.blocked_until > nstep
+                        ):
+                            h_dirty = True
                         continue
-                    if cur is None:
-                        dq = worker.dq
-                        if dq is not None and dq.nodes:
-                            cur = worker.current = dq.nodes.pop()
-                        else:
-                            self.scheduler.out_of_work(worker)
-                            continue
-                job, node = cur
-                speed = 1.0 if speeds is None else speeds[worker.wid]
-                remaining = job.node_remaining
-                before = remaining[node]
-                after = before - speed
-                remaining[node] = after
-                counters.work_steps += speed if speed < before else before
-                if after > 1e-9:
-                    continue
-                # node finished: enable children (Cilk-style — one child
-                # continues in place, a second goes to the deque bottom);
-                # JobRun.ready_children inlined (child2 implies child1)
-                job.remaining_nodes -= 1
-                c1 = job._child1[node]
-                if c1 == NO_CHILD:
-                    worker.current = None
-                else:
-                    pend = job.pending_parents
-                    pend[c1] -= 1
-                    r1 = pend[c1] == 0
-                    c2 = job._child2[node]
-                    if c2 == NO_CHILD:
-                        worker.current = (job, c1) if r1 else None
-                    else:
-                        pend[c2] -= 1
-                        if pend[c2] == 0:
-                            if r1:
-                                self._deque_for(worker, job).push_bottom(
-                                    (job, c1)
-                                )
-                                worker.current = (job, c2)
-                            else:
-                                worker.current = (job, c2)
-                        else:
-                            worker.current = (job, c1) if r1 else None
-                if job.remaining_nodes == 0:
-                    self.complete_job(job)
-            if debug:
-                self._check_invariants()
-            self.step = step + 1
+                    job, node = cur
+                    speed = 1.0 if speeds is None else speeds[worker.wid]
+                    remaining = job.node_remaining
+                    before = remaining[node]
+                    after = before - speed
+                    remaining[node] = after
+                    # accumulated locally, flushed once per pass: exact
+                    # (hence order-independent) on the dyadic grid; a
+                    # local float add beats an attribute store at step
+                    # rate
+                    work_acc += speed if speed < before else before
+                    if after > 1e-9:
+                        continue
+                    finish_node(worker, job, node)
+                    h_dirty = True
+                if work_acc:
+                    counters.work_steps += work_acc
+                if debug:
+                    self._check_invariants()
+                step = nstep
+                self.step = nstep
+                if self._completed >= n or not self.active:
+                    break
         if np.isnan(self._flow_steps).any():
             raise WsimError(f"{self.scheduler.name}: unfinished jobs at end")
         fault_extra = {}
@@ -556,7 +677,7 @@ class WsRuntime:
         if worker.job is not None:
             worker.job.workers -= 1
             worker.job = None
-        worker.flag_target = None
+        self.arm_flag(worker, None)
         worker.blocked_until = 0
 
     def _revive_worker(self, worker: Worker) -> None:
@@ -574,9 +695,15 @@ class WsRuntime:
 
     def _abort_job(self, job_id: int, resubmit_after: int) -> bool:
         """Kill an active job everywhere; schedule its resubmission."""
-        job = next((j for j in self.active if j.job_id == job_id), None)
-        if job is None:
+        # one position scan (position matters: see complete_job) instead
+        # of the old find-then-remove double scan
+        idx = next(
+            (i for i, j in enumerate(self.active) if j.job_id == job_id),
+            None,
+        )
+        if idx is None:
             return False  # pending, finished, or already aborted
+        job = self.active[idx]
         counters = self.counters
         counters.aborts += 1
         executed = float(job.dag.work) - sum(
@@ -588,7 +715,7 @@ class WsRuntime:
             if worker.current is not None and worker.current[0] is job:
                 worker.current = None
             if worker.flag_target is job:
-                worker.flag_target = None
+                self.arm_flag(worker, None)
             dq = worker.dq
             if dq is not None and dq.nodes:
                 kept = [ref for ref in dq.nodes if ref[0] is not job]
@@ -603,7 +730,7 @@ class WsRuntime:
             dq.nodes.clear()
         job.deques.clear()
         job.workers = 0
-        self.active.remove(job)
+        del self.active[idx]
         self.scheduler.on_abort(job)
         heapq.heappush(
             self._fault_heap,
@@ -631,36 +758,250 @@ class WsRuntime:
             self.scheduler.on_arrival(job)
 
     def complete_job(self, job: JobRun) -> None:
-        """Called by :meth:`_act` when a job's last node finishes."""
+        """Called by :meth:`_finish_node` when a job's last node finishes."""
         job.finish_step = self.step
         # completion at the end of this step; arrival at the start of its
         # release step, so flow >= 1 for any job with work
         self._flow_steps[job.job_id] = self.step + 1 - job.release_step
         self._completed += 1
-        if job in self.active:
+        # ``active`` order is semantic: schedulers draw uniformly from it
+        # by position, so an O(1) swap-pop would permute later RNG picks
+        # and break bit-for-bit goldens.  A single remove() scan (vs the
+        # old ``in`` + ``remove`` double scan) is the best
+        # order-preserving option; try/except covers schedulers that
+        # never listed the job.
+        try:
             self.active.remove(job)
+        except ValueError:
+            pass
         self.scheduler.on_completion(job)
 
     # ------------------------------------------------------------------
-    # macro-stepping
+    # preemption flags
     # ------------------------------------------------------------------
 
-    def _macro_advance(self, k: int) -> None:
-        """Advance every worker ``k`` unit steps in one update.
+    def arm_flag(self, worker: Worker, target: JobRun | None) -> None:
+        """Arm (or clear, with ``target=None``) a DREP preemption flag.
 
-        Exactness: remaining work is integer-valued under unit speeds, so
-        one ``-= float(k)`` equals ``k`` subtractions of 1.0, and each
-        skipped step would have added exactly 1.0 work per worker.
+        The single notification point for flag state: maintains the
+        armed-flag count the event-horizon kernel uses as a fast bulk
+        veto in ``preempt_check="step"`` mode.  Schedulers must route
+        flag writes through here (see ``WsScheduler.arm_flag``); direct
+        ``flag_target`` writes stay *correct* — the kernel's per-worker
+        verify is authoritative — but lose the fast veto.
         """
+        had = worker.flag_target is not None
+        if target is not None:
+            if not had:
+                self._flags_armed += 1
+        elif had and self._flags_armed > 0:
+            self._flags_armed -= 1
+        worker.flag_target = target
+
+    # ------------------------------------------------------------------
+    # event-horizon kernel
+    # ------------------------------------------------------------------
+
+    def _horizon_jump(self, horizon: int) -> int:
+        """Attempt one event-horizon bulk jump; return steps advanced.
+
+        Classifies every live worker into one of three batchable states
+        and advances all of them ``k`` steps in one update:
+
+        * **executing** — mid-node and unblocked: ``k`` subtractions
+          collapse into one (grid-exact);
+        * **blocked** — paying preemption overhead: ``k`` overhead steps
+          are booked at once;
+        * **steal-stuck** — out of work, unflagged, and the scheduler's
+          :meth:`~repro.wsim.schedulers.base.WsScheduler.steal_target`
+          job offers only active-and-empty victim deques, so every steal
+          attempt provably fails: counters advance by ``k`` and the
+          victim draws are consumed as one array draw, which numpy
+          guarantees is bit-identical to the per-step scalar sequence
+          (pinned by tests/wsim/test_rng_draws.py).
+
+        ``k`` is capped one step before the earliest node completion, at
+        the earliest unblock, and at ``horizon``, so every boundary step
+        runs through the per-step path with its exact interleaving.  Any
+        other worker state fails the verify — which is side-effect-free,
+        so the re-attempt cadence (``_h_cooldown``: precise when a
+        completion is imminent, exponential backoff on non-batchable
+        states) is a pure perf heuristic that cannot affect results.
+        Exactness relies on the dyadic-grid contract checked at
+        construction.
+        """
+        step = self.step
+        workers = self._live_workers
+        nw = len(workers)
+        if nw == 0:
+            self._h_cooldown = step + 1
+            return 0
+        flags_immediate = self._flags_immediate
+        if flags_immediate and self._flags_armed:
+            self._h_cooldown = step + 1
+            return 0
+        kmax = horizon - step
+        rem = self._h_rem
+        speeds = self._speed_list
+        spd = self._h_spd
+        vec = self._h_vec
+        steal_target = self._steal_target
+        n_exec = 0
+        n_stuck = 0
+        n_blocked = 0
+        rmin = math.inf
+        bounds: "list[int] | None" = None
+        for w in workers:
+            if w.blocked_until > step:
+                # pure no-op until it unblocks; cap the window there
+                b = w.blocked_until - step
+                if b < kmax:
+                    kmax = b
+                n_blocked += 1
+                continue
+            cur = w.current
+            if cur is not None:
+                if vec:
+                    rem[n_exec] = cur[0].node_remaining[cur[1]]
+                    if speeds is not None:
+                        spd[n_exec] = speeds[w.wid]
+                    n_exec += 1
+                    continue
+                # scalar path: same float ops as the vectorized one
+                # (one division per worker, min, one ceil), so the two
+                # are bit-equivalent; the early-exit fires as soon as a
+                # completion within 2 steps dooms the attempt
+                r = cur[0].node_remaining[cur[1]]
+                if speeds is not None:
+                    r /= speeds[w.wid]
+                if r <= 2.0:
+                    # ceil(r) - 1 < 2: post the precise resume step.
+                    # Long failure streaks (churn phases, where some
+                    # node always completes within 2 steps) stretch the
+                    # cooldown linearly so the attempt cost amortizes
+                    # away; a missed window is perf-only.
+                    cooldown = step + math.ceil(r)
+                    f = self._h_fail = self._h_fail + 1
+                    if f > 16:
+                        cooldown += f - 16 if f < 48 else 32
+                    self._h_cooldown = (
+                        cooldown if cooldown < horizon else horizon
+                    )
+                    return 0
+                if r < rmin:
+                    rmin = r
+                n_exec += 1
+                continue
+            # between nodes: batchable only as a deterministically
+            # failing thief — an own-deque pop, a firing flag, an
+            # admission or a job redraw all mutate state
+            if steal_target is None:
+                # no hook: this scheduler's steal phases are never
+                # batchable, so back off exponentially
+                self._h_fail_backoff(step)
+                return 0
+            dq = w.dq
+            if (dq is not None and dq.nodes) or w.flag_target is not None:
+                # transient: next act pops/switches — retry right after
+                self._h_cooldown = step + 1
+                return 0
+            job = steal_target(w)
+            if job is None:
+                self._h_cooldown = step + 1
+                return 0
+            nv = 0
+            for d in job.deques:
+                if d is dq:
+                    continue
+                if d.owner is None or d.nodes:
+                    # muggable or non-empty: the steal could succeed
+                    self._h_cooldown = step + 1
+                    return 0
+                nv += 1
+            n_stuck += 1
+            if nv >= 2:
+                # nv == 0 fails drawless; nv == 1 skips the draw
+                # (integers(1) consumes no state) — only nv >= 2 draws
+                if bounds is None:
+                    bounds = [nv]
+                else:
+                    bounds.append(nv)
+        if n_exec:
+            # steps-to-completion is min_i ceil(rem_i / spd_i); ceil is
+            # monotone, so the min runs first and ceil once on the
+            # scalar.  On the grid, fp division never overshoots the
+            # true steps-to-completion (it can undershoot, which only
+            # makes the jump conservative).  Last safe step is one
+            # before the earliest completion.
+            if vec:
+                if speeds is None:
+                    rmin = rem[:n_exec].min()
+                else:
+                    rmin = (rem[:n_exec] / spd[:n_exec]).min()
+            ke = math.ceil(rmin) - 1
+            if ke < kmax:
+                kmax = ke
+        k = kmax
+        if k < 2:
+            # the earliest boundary runs during pass step + k, so no
+            # attempt before step + k + 1 can succeed — skip the
+            # (buffer-priced) re-checks until then, stretching with the
+            # failure streak as above.  Clamped to the horizon: the next
+            # segment starts with fresh state (an arrival can preempt
+            # the completing worker), so the suppression must not leak
+            # into it.
+            cooldown = step + k + 1
+            f = self._h_fail = self._h_fail + 1
+            if f > 16:
+                cooldown += f - 16 if f < 48 else 32
+            self._h_cooldown = cooldown if cooldown < horizon else horizon
+            return 0
+        if bounds is not None and k > 4096:
+            # bound the batched-draw buffer; the remainder of a longer
+            # stall is simply picked up by the next attempt
+            k = 4096
         fk = float(k)
         counters = self.counters
-        for worker in self._live_workers:
-            job, node = worker.current
-            job.node_remaining[node] -= fk
-            counters.work_steps += fk
-        self.step += k
-        self.perf.macro_jumps += 1
-        self.perf.macro_steps_saved += k - 1
+        if n_exec:
+            if speeds is None:
+                for w in workers:
+                    cur = w.current
+                    if cur is not None and w.blocked_until <= step:
+                        cur[0].node_remaining[cur[1]] -= fk
+                counters.work_steps += fk * n_exec
+            else:
+                for w in workers:
+                    cur = w.current
+                    if cur is not None and w.blocked_until <= step:
+                        s = speeds[w.wid]
+                        cur[0].node_remaining[cur[1]] -= fk * s
+                        counters.work_steps += fk * s
+        if n_stuck:
+            counters.steal_attempts += k * n_stuck
+            counters.failed_steals += k * n_stuck
+            if bounds is not None:
+                # one array draw == the interleaved scalar draws, values
+                # discarded exactly as the failing per-step path would
+                self._rng_integers(np.tile(np.asarray(bounds), k))
+        if n_blocked:
+            counters.overhead_steps += k * n_blocked
+        self._h_fail = 0
+        self.perf.horizon_jumps += 1
+        self.perf.horizon_steps_saved += k - 1
+        return k
+
+    def _h_fail_backoff(self, step: int) -> None:
+        """Post the next bulk attempt after a non-batchable verify.
+
+        Consecutive failures back off exponentially (2, 4, ... 64 steps)
+        so persistently non-batchable phases — e.g. schedulers without a
+        ``steal_target`` — degrade to a rare cheap scan.  Attempts are
+        side-effect-free, so this trades only missed jumps, never
+        results.
+        """
+        f = self._h_fail + 1
+        self._h_fail = f
+        self._h_cooldown = step + (1 << f if f < 7 else 64)
 
     # ------------------------------------------------------------------
     # per-worker step
@@ -670,7 +1011,7 @@ class WsRuntime:
         if worker.flag_target is None:
             return False
         if worker.flag_target.done:
-            worker.flag_target = None  # stale flag: target already finished
+            self.arm_flag(worker, None)  # stale: target already finished
             return False
         mode = self.config.preempt_check
         if mode == "step":
@@ -685,7 +1026,7 @@ class WsRuntime:
             return  # paying preemption overhead
         if worker.flag_target is not None and self._flag_fires(worker):
             target = worker.flag_target
-            worker.flag_target = None
+            self.arm_flag(worker, None)
             self.switch_worker(worker, target, preempt=True)
             return
         if worker.current is None:
@@ -694,7 +1035,9 @@ class WsRuntime:
                 # popping one's own deque is free; fall through to execute
                 worker.current = dq.pop_bottom()
             else:
-                self.scheduler.out_of_work(worker)
+                # hottest dispatch in steal-heavy phases; the binding is
+                # looked up once per run (scheduler swaps rebind it)
+                self._out_of_work(worker)
                 return
         if worker.current is not None:
             self._execute_unit(worker)
@@ -703,7 +1046,8 @@ class WsRuntime:
 
     def _execute_unit(self, worker: Worker) -> None:
         job, node = worker.current
-        speed = 1.0 if self.speeds is None else float(self.speeds[worker.wid])
+        speeds = self._speed_list
+        speed = 1.0 if speeds is None else speeds[worker.wid]
         remaining = job.node_remaining
         before = remaining[node]
         after = before - speed
@@ -713,16 +1057,37 @@ class WsRuntime:
         self.counters.work_steps += speed if speed < before else before
         if after > 1e-9:
             return
-        # node finished: enable children
+        self._finish_node(worker, job, node)
+
+    def _finish_node(self, worker: Worker, job: JobRun, node: int) -> None:
+        """Node-completion boundary path (the single source of truth).
+
+        Enable children Cilk-style — one ready child continues in place,
+        a second goes to the deque bottom (``JobRun.ready_children``
+        inlined; child2 implies child1) — and complete the job when this
+        was its last node.
+        """
         job.remaining_nodes -= 1
-        ready = job.ready_children(node)
-        if len(ready) == 2:
-            self._deque_for(worker, job).push_bottom((job, ready[0]))
-            worker.current = (job, ready[1])
-        elif len(ready) == 1:
-            worker.current = (job, ready[0])
-        else:
+        c1 = job._child1[node]
+        if c1 == NO_CHILD:
             worker.current = None
+        else:
+            pend = job.pending_parents
+            pend[c1] -= 1
+            r1 = pend[c1] == 0
+            c2 = job._child2[node]
+            if c2 == NO_CHILD:
+                worker.current = (job, c1) if r1 else None
+            else:
+                pend[c2] -= 1
+                if pend[c2] == 0:
+                    if r1:
+                        self._deque_for(worker, job).push_bottom((job, c1))
+                        worker.current = (job, c2)
+                    else:
+                        worker.current = (job, c2)
+                else:
+                    worker.current = (job, c1) if r1 else None
         if job.remaining_nodes == 0:
             self.complete_job(job)
 
@@ -793,10 +1158,17 @@ class WsRuntime:
         dq = worker.dq
         # worker.dq is usually None for a thief; skip the filtering copy
         victims = job.deques if dq is None else [d for d in job.deques if d is not dq]
-        if not victims:
+        nv = len(victims)
+        if not nv:
             counters.failed_steals += 1
             return False
-        victim = victims[int(self._rng_integers(len(victims)))]
+        # a single victim needs no draw: Generator.integers(1) returns 0
+        # without consuming bit-generator state (pinned by
+        # tests/wsim/test_rng_draws.py), so skipping the call keeps the
+        # draw sequence — and rng_digest goldens — bit-identical
+        victim = (
+            victims[0] if nv == 1 else victims[int(self._rng_integers(nv))]
+        )
         nodes = victim.nodes
         if victim.owner is None:  # muggable
             # mugging: adopt the deque wholesale (always succeeds, and the

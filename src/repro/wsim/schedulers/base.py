@@ -72,9 +72,41 @@ class WsScheduler(abc.ABC):
     def out_of_work(self, worker: Worker) -> None:
         """Spend ``worker``'s step finding work (steal / mug / admit)."""
 
+    def steal_target(self, worker: Worker) -> "JobRun | None":
+        """The job :meth:`out_of_work` would steal from, or ``None``.
+
+        Event-horizon contract (opt-in, perf only): return job ``J`` iff
+        :meth:`out_of_work`, called on ``worker`` in its *current* state,
+        would do exactly ``rt.steal_within(worker, J)`` and nothing else —
+        no admission, no job redraw, no idling, no other side effect.
+        The runtime uses this to fast-forward steal-stuck phases: when
+        every victim deque of ``J`` is active-and-empty the attempt
+        provably fails, so ``k`` consecutive failed attempts are replayed
+        as counter bumps plus one batched victim draw (bit-identical to
+        the per-step scalar draws; see ``WsRuntime._horizon_jump``).
+        The answer must stay valid while no deque, flag or assignment
+        changes.  Returning ``None`` (the default) excludes the worker
+        from bulk jumps; it can never affect results, only speed.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
+
+    def arm_flag(self, worker: Worker, target: "JobRun | None") -> None:
+        """Arm (``target`` set) or clear (``None``) a preemption flag.
+
+        Contract: schedulers must notify flag state through this helper
+        (it delegates to :meth:`WsRuntime.arm_flag`) rather than writing
+        ``worker.flag_target`` directly, so the runtime's armed-flag
+        count stays accurate — the event-horizon kernel uses that count
+        as a fast bulk-jump veto when flags fire immediately
+        (``preempt_check="step"``).  A direct write is still *safe* (the
+        kernel re-verifies per worker before any jump) but forfeits the
+        fast veto.
+        """
+        self.rt.arm_flag(worker, target)
 
     def make_arrival_deque(self, job: JobRun) -> WsDeque:
         """Park a new job's source nodes on a muggable deque (affinity).

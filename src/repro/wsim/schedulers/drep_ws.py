@@ -34,6 +34,12 @@ class DrepWS(WsScheduler):
     affinity = True
     clairvoyant = False
 
+    def reset(self, rt) -> None:
+        super().reset(rt)
+        # bound-method cache: out_of_work fires thousands of times per
+        # run and the two-hop attribute chain is measurable there
+        self._steal = rt.steal_within
+
     def on_arrival(self, job: JobRun) -> None:
         rt = self.rt
         rt.active.append(job)
@@ -44,30 +50,50 @@ class DrepWS(WsScheduler):
                 # an idle worker takes the new job immediately (it was idle
                 # only because the machine had drained)
                 rt.switch_worker(worker, job, preempt=False)
-                worker.flag_target = None
+                self.arm_flag(worker, None)
             elif worker.job is not job:
                 if self.rng.random() < 1.0 / n_active:
-                    worker.flag_target = job
+                    self.arm_flag(worker, job)
 
     def on_completion(self, job: JobRun) -> None:
         rt = self.rt
         for worker in rt.up_workers():
             if worker.job is job:
-                if rt.active:
-                    pick = rt.active[int(self.rng.integers(len(rt.active)))]
+                active = rt.active
+                if active:
+                    # integers(1) returns 0 without consuming generator
+                    # state (tests/wsim/test_rng_draws.py), so a
+                    # single-job redraw skips the call — same sequence
+                    pick = (
+                        active[0]
+                        if len(active) == 1
+                        else active[int(self.rng.integers(len(active)))]
+                    )
                     rt.switch_worker(worker, pick, preempt=False)
                 else:
                     rt.switch_worker(worker, None, preempt=False)
-                worker.flag_target = None
+                self.arm_flag(worker, None)
 
-    def out_of_work(self, worker: Worker) -> None:
-        rt = self.rt
+    def steal_target(self, worker: Worker) -> JobRun | None:
+        # mirrors out_of_work: a worker on an unfinished job only steals
         job = worker.job
         if job is None or job.remaining_nodes == 0:
-            if rt.active:
-                pick = rt.active[int(self.rng.integers(len(rt.active)))]
-                rt.switch_worker(worker, pick, preempt=False)
-            else:
-                self.idle(worker)
+            return None
+        return job
+
+    def out_of_work(self, worker: Worker) -> None:
+        job = worker.job
+        if job is not None and job.remaining_nodes:
+            self._steal(worker, job)
             return
-        rt.steal_within(worker, job)
+        rt = self.rt
+        active = rt.active
+        if active:
+            pick = (
+                active[0]
+                if len(active) == 1
+                else active[int(self.rng.integers(len(active)))]
+            )
+            rt.switch_worker(worker, pick, preempt=False)
+        else:
+            self.idle(worker)

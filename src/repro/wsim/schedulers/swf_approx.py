@@ -60,6 +60,15 @@ class SwfApproxWS(WsScheduler):
             if worker.job is job:
                 rt.switch_worker(worker, self._target(), preempt=False)
 
+    def steal_target(self, worker: Worker) -> JobRun | None:
+        # mirrors out_of_work's final branch.  Stable within a bulk
+        # window: _target keys on static spec.work and deque emptiness,
+        # neither of which changes while no node completes.
+        target = self._target()
+        if target is None or worker.job is not target:
+            return None
+        return target
+
     def out_of_work(self, worker: Worker) -> None:
         rt = self.rt
         target = self._target()

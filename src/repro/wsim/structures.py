@@ -139,9 +139,14 @@ class JobRun:
         return sum(1 for d in self.deques if d.muggable)
 
 
-@dataclass
+@dataclass(slots=True)
 class Worker:
-    """One simulated processor (a Cilk "worker")."""
+    """One simulated processor (a Cilk "worker").
+
+    ``slots=True``: the runtime reads ``current`` / ``blocked_until`` /
+    ``flag_target`` on every worker-step, and slot access skips the
+    instance-dict lookup.
+    """
 
     wid: int
     job: JobRun | None = None
@@ -149,7 +154,10 @@ class Worker:
     current: NodeRef | None = None
     #: DREP preemption flag: the job this worker must switch to, set by the
     #: master on an arrival (Sec. V-B) and honored per the configured
-    #: check granularity.
+    #: check granularity.  Write through ``WsRuntime.arm_flag`` (or the
+    #: ``WsScheduler.arm_flag`` helper) so the event-horizon kernel's
+    #: armed-flag count stays accurate; a direct write is safe but loses
+    #: the kernel's fast bulk-jump veto.
     flag_target: JobRun | None = None
     failed_steals: int = 0
     #: first step at which the worker may act again after paying

@@ -140,6 +140,21 @@ def run_ws_case(trace, m, scheduler_name, seed, config=WsConfig(), speeds=None):
     }
 
 
+def ws_grid_cells():
+    """The pinned fig-3 style grid (policy × m × load), workers-invariant."""
+    from repro.analysis.pool import ws_sweep_cells
+
+    return ws_sweep_cells(
+        distribution="finance",
+        loads=[0.5, 0.7],
+        m_values=[2, 4],
+        n_jobs=40,
+        seed=11,
+        mean_work_units=50,
+        replicates=2,
+    )
+
+
 def main() -> None:
     flow: dict[str, dict] = {}
     seq = flow_seq_trace()
@@ -183,6 +198,14 @@ def main() -> None:
         json.dumps(ws, indent=1, sort_keys=True)
     )
     print(f"golden_wsim.json: {len(ws)} cases")
+
+    from repro.analysis.pool import run_ws_grid
+
+    rows = run_ws_grid(ws_grid_cells(), workers=1)
+    (DATA_DIR / "golden_ws_grid.json").write_text(
+        json.dumps(rows, indent=1, sort_keys=True)
+    )
+    print(f"golden_ws_grid.json: {len(rows)} rows")
 
 
 if __name__ == "__main__":

@@ -29,6 +29,9 @@ class TestBenchSuite:
             "wsim_drep",
             "grid_sweep_w1",
             "grid_sweep_w4",
+            "wsim_hetero",
+            "wsim_grid_w1",
+            "wsim_grid_auto",
         ]
 
     def test_grid_cases_report_and_agree(self):
@@ -47,6 +50,36 @@ class TestBenchSuite:
         assert w1["events"] == w4["events"]
         assert w1["mean_flow"] == w4["mean_flow"]
         assert w4["perf"]["pool_workers"] == 4
+
+    def test_ws_grid_cases_report_and_agree(self):
+        by_name = {c.name: c for c in BENCH_CASES}
+        rows = run_bench_suite(
+            scale=TINY,
+            repeats=1,
+            cases=(by_name["wsim_grid_w1"], by_name["wsim_grid_auto"]),
+        )
+        w1, auto = rows["wsim_grid_w1"], rows["wsim_grid_auto"]
+        for row in (w1, auto):
+            assert row["engine"] == "grid"
+            assert row["events"] > 0
+            assert row["perf"]["pool_tasks"] == 16  # 2 loads × 4 scheds × 2 reps
+        # the wsim face of the determinism tripwire: any worker count,
+        # identical answers ("auto" may resolve to 1 on a 1-core box,
+        # which is exactly the serial fallback under test)
+        assert w1["events"] == auto["events"]
+        assert w1["mean_flow"] == auto["mean_flow"]
+        assert auto["perf"]["pool_workers"] >= 1
+
+    def test_wsim_hetero_case_stays_on_the_exactness_grid(self):
+        by_name = {c.name: c for c in BENCH_CASES}
+        rows = run_bench_suite(
+            scale=0.05, repeats=1, cases=(by_name["wsim_hetero"],)
+        )
+        perf = rows["wsim_hetero"]["perf"]
+        # dyadic speeds: the hetero macro path must never fall back
+        # (as_dict drops zero-valued counters, hence the default)
+        assert perf.get("exactness_fallbacks", 0) == 0
+        assert perf["horizon_jumps"] > 0
 
     def test_runs_and_reports(self):
         rows = run_bench_suite(scale=TINY, repeats=1, cases=BENCH_CASES[:2])

@@ -85,7 +85,7 @@ class TestFlowsimWiring:
 
 
 class TestWsimWiring:
-    def test_macro_counters_present(self):
+    def test_horizon_counters_present(self):
         from repro.dag.generators import chain
         from repro.wsim.runtime import simulate_ws
         from repro.wsim.schedulers import DrepWS
@@ -105,5 +105,33 @@ class TestWsimWiring:
         result = simulate_ws(Trace(jobs=jobs, m=2), 2, DrepWS(), seed=5)
         perf = result.extra["perf"]
         assert perf["events"] == int(result.makespan)
-        assert perf.get("macro_jumps", 0) > 0
-        assert perf["macro_steps_saved"] >= perf["macro_jumps"]
+        assert perf.get("horizon_jumps", 0) > 0
+        assert perf["horizon_steps_saved"] >= perf["horizon_jumps"]
+        # integer weights and unit speeds sit on the exactness grid
+        assert "exactness_fallbacks" not in perf
+
+    def test_exactness_fallback_counted_off_grid(self):
+        from repro.dag.generators import chain
+        from repro.wsim.runtime import simulate_ws
+        from repro.wsim.schedulers import DrepWS
+
+        dag = chain(300, 100)
+        jobs = [
+            JobSpec(
+                job_id=0,
+                release=0.0,
+                work=float(dag.work),
+                span=float(dag.span),
+                mode=ParallelismMode.DAG,
+                dag=dag,
+            )
+        ]
+        import numpy as np
+
+        result = simulate_ws(
+            Trace(jobs=jobs, m=2), 2, DrepWS(), seed=5,
+            speeds=np.array([1.0, 1.0 / 3.0]),  # 1/3 is off the dyadic grid
+        )
+        perf = result.extra["perf"]
+        assert perf.get("exactness_fallbacks", 0) > 0
+        assert perf.get("horizon_jumps", 0) == 0

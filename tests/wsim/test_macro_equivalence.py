@@ -1,11 +1,12 @@
-"""Macro-stepping must be unobservable: bulk jumps ≡ unit steps.
+"""The event-horizon kernel must be unobservable: bulk jumps ≡ unit steps.
 
-The runtime's macro path (``WsRuntime.run``) advances every worker ``k``
-units in one update whenever nothing can change for ``k`` steps.  Passing
-an observer disables the macro path while changing nothing else, so the
-two runs must agree bit-for-bit on every output: flow times, makespan,
-all practicality counters, and the RNG end state (macro jumps never
-consume draws).
+The runtime's bulk path (``WsRuntime._horizon_jump``) advances every
+worker ``k`` units in one update whenever every live worker is purely
+executing for ``k`` steps.  Passing an observer disables the bulk path
+while changing nothing else, so the two runs must agree bit-for-bit on
+every output: flow times, makespan, all practicality counters, and the
+RNG end state (bulk jumps never consume draws).  Heterogeneous speeds
+are covered by ``test_hetero_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -110,8 +111,8 @@ def test_macro_equals_unit_immediate_flags(inst, seed):
     )
 
 
-def test_macro_path_actually_engages():
-    """Guard against the macro path silently never firing."""
+def test_horizon_path_actually_engages():
+    """Guard against the bulk path silently never firing."""
     dag = chain(600, 200)  # three 200-unit nodes, nothing to steal
     jobs = [
         JobSpec(
@@ -128,9 +129,10 @@ def test_macro_path_actually_engages():
     _, _, _, perf = _run(
         trace, 2, "drep", 3, WsConfig(), unit_stepped=False
     )
-    assert perf.macro_jumps > 0
-    assert perf.macro_steps_saved > 0
+    assert perf.horizon_jumps > 0
+    assert perf.horizon_steps_saved > 0
+    assert perf.exactness_fallbacks == 0
     _, _, _, perf_unit = _run(
         trace, 2, "drep", 3, WsConfig(), unit_stepped=True
     )
-    assert perf_unit.macro_jumps == 0
+    assert perf_unit.horizon_jumps == 0
