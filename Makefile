@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-compare bench-json sweep-smoke serve-smoke faults-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-compare bench-json sweep-smoke serve-smoke faults-smoke shard-smoke figures report examples clean
 
 # perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
 PR ?= 5
@@ -55,6 +55,12 @@ serve-smoke:
 # exercise the fault-injection CLI
 faults-smoke:
 	$(PYTHON) scripts/faults_smoke.py
+
+# route a skewed 3-tenant workload through a router over 2 subprocess
+# shards with DRF admission: no tenant may starve, only dominance is
+# punished, and two identical runs must merge to byte-identical reports
+shard-smoke:
+	$(PYTHON) scripts/shard_smoke.py
 
 figures:
 	$(PYTHON) -m repro.cli figures

@@ -153,4 +153,43 @@ def write_report(path: str | Path, config: ReportConfig = ReportConfig()) -> Pat
     return p
 
 
-__all__.append("write_report")
+def tenant_breakdown(
+    tenant_flows: dict[str, list[float]], slo: float | None = None
+) -> list[dict]:
+    """Per-tenant flow-time / SLO rows from grouped per-job flow times.
+
+    ``tenant_flows`` is the shape produced by
+    :meth:`repro.serve.online.OnlineScheduler.flows_by_tenant` and by the
+    ``tenants`` block of :meth:`repro.serve.shard.ShardRouter.drain` —
+    tenant label to list of completed flow times.  ``slo`` adds an
+    ``slo_attainment`` column: the fraction of that tenant's jobs whose
+    flow time is at or under the target.  Rows are sorted by tenant name
+    so the table (and any serialization of it) is deterministic.
+    """
+    import numpy as np
+
+    rows: list[dict] = []
+    for tenant in sorted(tenant_flows):
+        flows = np.asarray(tenant_flows[tenant], dtype=float)
+        row = {
+            "tenant": tenant,
+            "count": int(flows.size),
+            "mean_flow": float(flows.mean()) if flows.size else 0.0,
+            "p95_flow": (
+                float(np.percentile(flows, 95)) if flows.size else 0.0
+            ),
+            "p99_flow": (
+                float(np.percentile(flows, 99)) if flows.size else 0.0
+            ),
+            "max_flow": float(flows.max()) if flows.size else 0.0,
+        }
+        if slo is not None:
+            row["slo"] = float(slo)
+            row["slo_attainment"] = (
+                float((flows <= slo).mean()) if flows.size else 1.0
+            )
+        rows.append(row)
+    return rows
+
+
+__all__ += ["write_report", "tenant_breakdown"]

@@ -249,6 +249,51 @@ def main(argv: list[str] | None = None) -> int:
         default=1 << 20,
         help="reject (and resync past) request lines longer than this",
     )
+    p9.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run a consistent-hash router over N journaled engine-shard "
+        "subprocesses instead of a single engine",
+    )
+    p9.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring",
+    )
+    p9.add_argument(
+        "--multi-tenant",
+        action="store_true",
+        help="tenant-aware admission: submits may carry a tenant label, "
+        "DRF throttling applies when soft caps trip",
+    )
+    p9.add_argument(
+        "--credit-rate",
+        type=float,
+        default=None,
+        help="per-tenant credit accrual as a fraction of fleet capacity "
+        "(enables the credit check; implies --multi-tenant)",
+    )
+    p9.add_argument(
+        "--credit-burst",
+        type=float,
+        default=20.0,
+        help="seconds of accrual a tenant may bank while idle",
+    )
+    p9.add_argument(
+        "--credit-borrow",
+        type=float,
+        default=0.0,
+        help="seconds of accrual a tenant may borrow before being shed",
+    )
+    p9.add_argument(
+        "--drf-headroom",
+        type=float,
+        default=1.2,
+        help="slack multiplier on the DRF entitlement before a tenant "
+        "counts as dominant",
+    )
 
     p10 = sub.add_parser(
         "loadgen", help="replay a generated trace against a running server"
@@ -291,6 +336,18 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.05,
         help="base retry backoff in seconds (doubles per attempt)",
+    )
+    p10.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="label jobs with K tenant ids drawn from a seeded Zipf "
+        "distribution (t0 hottest)",
+    )
+    p10.add_argument(
+        "--tenant-skew",
+        default="zipf:1.0",
+        help="tenant skew 'zipf:a' — a=0 uniform, larger = hotter t0",
     )
 
     p11 = sub.add_parser(
@@ -465,17 +522,33 @@ def _load_bench_entry(ref: str) -> dict:
 
 def _bench_compare(old_ref: str, new_ref: str) -> int:
     """Print per-case speedup ratios between two trajectory entries."""
+    from repro.perf import drift_factor
+
     old, new = _load_bench_entry(old_ref), _load_bench_entry(new_ref)
     ob, nb = old.get("benches", {}), new.get("benches", {})
     shared = [name for name in nb if name in ob]
     if not shared:
         print("bench --compare: the two entries share no case names", file=sys.stderr)
         return 1
+    drift = drift_factor(old, new)
     print(
         f"# bench compare — PR {old.get('pr', '?')} -> PR {new.get('pr', '?')} "
         f"(scale {old.get('scale', '?')} -> {new.get('scale', '?')})"
     )
-    print(f"{'case':18s} {'old wall_s':>10s} {'new wall_s':>10s} {'speedup':>8s}  events")
+    if drift is not None:
+        print(
+            f"# machine drift (calibration case): {drift:.3f}x "
+            f"{'slower' if drift > 1 else 'faster'} — 'norm' = speedup x drift"
+        )
+    else:
+        print(
+            "# no calibration case in both entries; speedups are raw "
+            "(machine drift not normalized out)"
+        )
+    header = f"{'case':18s} {'old wall_s':>10s} {'new wall_s':>10s} {'speedup':>8s}"
+    if drift is not None:
+        header += f" {'norm':>8s}"
+    print(header + "  events")
     status = 0
     for name in shared:
         o, n = ob[name], nb[name]
@@ -486,10 +559,13 @@ def _bench_compare(old_ref: str, new_ref: str) -> int:
             # is across a semantic change, not a perf delta
             note = f"  EVENTS CHANGED {o.get('events')} -> {n.get('events')}"
             status = 1
-        print(
+        line = (
             f"{name:18s} {o['wall_s']:10.4f} {n['wall_s']:10.4f} "
-            f"{ratio:7.2f}x  {n.get('events')}{note}"
+            f"{ratio:7.2f}x"
         )
+        if drift is not None:
+            line += f" {ratio * drift:7.2f}x"
+        print(f"{line}  {n.get('events')}{note}")
     only_old = sorted(set(ob) - set(nb))
     only_new = sorted(set(nb) - set(ob))
     if only_old:
@@ -561,11 +637,79 @@ def _figures(args: argparse.Namespace) -> int:
     return 0 if rendered else 1
 
 
+def _serve_shards(args: argparse.Namespace) -> int:
+    """Router mode: N journaled engine-shard subprocesses + a frontend."""
+    import asyncio
+    import tempfile
+
+    from repro.serve.admission import AdmissionConfig
+    from repro.serve.shard import ShardFrontend, build_subprocess_router
+    from repro.serve.tenancy import TenancyConfig
+
+    if args.shards < 1:
+        print("serve: --shards must be >= 1", file=sys.stderr)
+        return 2
+    journal_root = args.journal_dir or tempfile.mkdtemp(prefix="drep-shards-")
+    tenancy = None
+    if args.multi_tenant or args.credit_rate is not None:
+        tenancy = TenancyConfig(
+            credit_rate=args.credit_rate,
+            credit_burst=args.credit_burst,
+            credit_borrow=args.credit_borrow,
+            drf_headroom=args.drf_headroom,
+        )
+    admission_config = None
+    if (
+        args.max_active is not None
+        or args.max_backlog is not None
+        or args.max_load is not None
+    ):
+        admission_config = AdmissionConfig(
+            max_active=args.max_active,
+            max_backlog=args.max_backlog,
+            max_load=args.max_load,
+        )
+    if admission_config is not None and tenancy is None:
+        tenancy = TenancyConfig()  # caps without tenants: DRF on "default"
+    router = build_subprocess_router(
+        args.shards,
+        journal_root,
+        m=args.m,
+        policy=args.policy,
+        seed=args.seed,
+        vnodes=args.vnodes,
+        tenancy=tenancy,
+        admission_config=admission_config,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+    )
+
+    async def run() -> None:
+        frontend = ShardFrontend(router, host=args.host, port=args.port)
+        await frontend.start()
+        print(
+            f"drep-serve-router listening on {args.host}:{frontend.port} "
+            f"(shards={args.shards}, m_total={router.m_total}, "
+            f"policy={args.policy}, journal={journal_root})",
+            flush=True,
+        )
+        await frontend.wait_closed()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        router.close()
+    return 0
+
+
 def _serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve.server import SchedulerServer, ServeConfig
     from repro.serve.snapshot import restore_scheduler_file
+
+    if args.shards is not None:
+        return _serve_shards(args)
 
     config = ServeConfig(
         m=args.m,
@@ -587,6 +731,11 @@ def _serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         request_timeout=args.request_timeout,
         max_line_bytes=args.max_line_bytes,
+        multi_tenant=args.multi_tenant,
+        credit_rate=args.credit_rate,
+        credit_burst=args.credit_burst,
+        credit_borrow=args.credit_borrow,
+        drf_headroom=args.drf_headroom,
     )
     scheduler = None
     if args.restore:
@@ -626,7 +775,7 @@ def _loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from repro.serve.loadgen import replay_over_wire
+    from repro.serve.loadgen import replay_over_wire, tenant_labels
     from repro.workloads.traces import Trace
 
     async def run() -> int:
@@ -649,6 +798,14 @@ def _loadgen(args: argparse.Namespace) -> int:
                 m=m,
                 seed=args.seed,
             )
+        tenants = None
+        if args.tenants is not None:
+            tenants = tenant_labels(
+                len(trace.jobs),
+                args.tenants,
+                skew=args.tenant_skew,
+                seed=args.seed,
+            )
         report = await replay_over_wire(
             args.host,
             args.port,
@@ -657,6 +814,7 @@ def _loadgen(args: argparse.Namespace) -> int:
             pace=args.pace,
             drain=not args.no_drain,
             verify=args.verify,
+            tenants=tenants,
             timeout=args.timeout,
             max_retries=args.max_retries,
             backoff=args.backoff,
@@ -664,7 +822,15 @@ def _loadgen(args: argparse.Namespace) -> int:
         )
         print(f"# loadgen: {trace.name} @ rate x{args.rate:g}")
         for key, value in report.summary().items():
+            if key == "tenants":
+                continue  # printed as their own block below
             print(f"{key:16s} {value:.6g}" if isinstance(value, float) else f"{key:16s} {value}")
+        for name, row in sorted(report.tenant_counts.items()):
+            print(
+                f"tenant {name:9s} offered={row['offered']} "
+                f"accepted={row['accepted']} shed={row['shed']} "
+                f"errors={row['errors']} retries={row['retries']}"
+            )
         window = report.stats.get("window")
         if window:
             print(

@@ -14,7 +14,13 @@ Three pieces:
 """
 
 from repro.perf.counters import PerfCounters
-from repro.perf.bench import BENCH_CASES, BenchCase, run_bench_suite
+from repro.perf.bench import (
+    BENCH_CASES,
+    CALIBRATION_CASE,
+    BenchCase,
+    drift_factor,
+    run_bench_suite,
+)
 from repro.perf.trajectory import (
     discover_root,
     load_trajectory,
@@ -26,6 +32,8 @@ __all__ = [
     "PerfCounters",
     "BenchCase",
     "BENCH_CASES",
+    "CALIBRATION_CASE",
+    "drift_factor",
     "run_bench_suite",
     "trajectory_entry",
     "write_trajectory",

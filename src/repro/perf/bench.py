@@ -19,7 +19,16 @@ from typing import Callable
 
 from repro.core.metrics import ScheduleResult
 
-__all__ = ["BenchCase", "BENCH_CASES", "run_bench_suite"]
+__all__ = [
+    "BenchCase",
+    "BENCH_CASES",
+    "CALIBRATION_CASE",
+    "drift_factor",
+    "run_bench_suite",
+]
+
+#: name of the fixed-work calibration case (see :func:`drift_factor`)
+CALIBRATION_CASE = "calibration"
 
 
 @dataclass(frozen=True)
@@ -74,6 +83,46 @@ def _flowsim_profiled_case(seed: int):
         return lambda: simulate(trace, 4, SRPT(), seed=seed, config=config)
 
     return build
+
+
+def _calibration_case(seed: int):
+    """Fixed-work measurement yardstick — deliberately ignores ``scale``.
+
+    Every other case scales its workload with ``--scale``, so two BENCH
+    files taken on different machines (or a machine under different
+    load) mix real code speedups with hardware drift.  This case always
+    runs the *same* frozen workload; the ratio of its wall times between
+    two trajectory entries estimates pure machine drift, which
+    :func:`drift_factor` uses to print normalized speedups next to raw
+    ones in ``drep-sim bench --compare``.
+    """
+
+    def build(scale: float) -> Callable[[], ScheduleResult]:
+        del scale  # fixed work is the whole point
+        from repro.flowsim.engine import simulate
+        from repro.flowsim.policies import policy_by_name
+        from repro.workloads.traces import generate_trace
+
+        trace = generate_trace(1500, "finance", 0.7, 8, seed=seed)
+        return lambda: simulate(trace, 8, policy_by_name("srpt"), seed=seed)
+
+    return build
+
+
+def drift_factor(old_entry: dict, new_entry: dict) -> float | None:
+    """Machine-drift estimate between two trajectory entries.
+
+    ``new_calibration_wall / old_calibration_wall`` — above 1 the new
+    machine/run was slower, below 1 faster.  Multiply a raw speedup by
+    this factor to normalize out the drift (an unchanged workload on a
+    2× slower machine shows raw 0.5×, normalized 1.0×).  ``None`` when
+    either entry predates the calibration case.
+    """
+    o = old_entry.get("benches", {}).get(CALIBRATION_CASE)
+    n = new_entry.get("benches", {}).get(CALIBRATION_CASE)
+    if not o or not n or not o.get("wall_s") or not n.get("wall_s"):
+        return None
+    return float(n["wall_s"]) / float(o["wall_s"])
 
 
 def _wsim_case(seed: int):
@@ -231,6 +280,7 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("wsim_hetero", "wsim", _wsim_hetero_case(305)),
     BenchCase("wsim_grid_w1", "grid", _ws_grid_case(1, 307)),
     BenchCase("wsim_grid_auto", "grid", _ws_grid_case("auto", 307)),
+    BenchCase(CALIBRATION_CASE, "flowsim", _calibration_case(399)),
 )
 
 

@@ -37,12 +37,23 @@ from repro.serve.loadgen import LoadGenReport, replay_into, replay_over_wire
 from repro.serve.metrics import RollingMetrics
 from repro.serve.online import OnlineScheduler, SubmitOutcome
 from repro.serve.server import SchedulerServer, ServeConfig
+from repro.serve.shard import (
+    HashRing,
+    LocalShard,
+    ShardFrontend,
+    ShardRouter,
+    SubprocessShard,
+    build_local_router,
+    build_subprocess_router,
+    shard_seed,
+)
 from repro.serve.snapshot import (
     restore_scheduler,
     restore_scheduler_file,
     snapshot_scheduler,
     snapshot_scheduler_file,
 )
+from repro.serve.tenancy import MultiTenantAdmission, TenancyConfig, TenantAccount
 
 __all__ = [
     "OnlineScheduler",
@@ -60,4 +71,15 @@ __all__ = [
     "LoadGenReport",
     "replay_into",
     "replay_over_wire",
+    "HashRing",
+    "LocalShard",
+    "ShardFrontend",
+    "ShardRouter",
+    "SubprocessShard",
+    "build_local_router",
+    "build_subprocess_router",
+    "shard_seed",
+    "MultiTenantAdmission",
+    "TenancyConfig",
+    "TenantAccount",
 ]

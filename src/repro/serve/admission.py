@@ -32,12 +32,22 @@ __all__ = ["AdmissionConfig", "AdmissionController", "AdmissionDecision"]
 
 
 class AdmissionDecision(enum.Enum):
-    """Outcome of offering one job to the admission layer."""
+    """Outcome of offering one job to the admission layer.
+
+    The last two members are produced only by the multi-tenant subclass
+    (:class:`repro.serve.tenancy.MultiTenantAdmission`): ``SHED_NO_CREDIT``
+    when a tenant has exhausted its credit balance plus borrow allowance,
+    ``SHED_DOMINANT`` when the DRF allocator throttles the tenant whose
+    dominant resource share exceeds its entitlement while a global cap is
+    tripped.
+    """
 
     ACCEPT = "accept"
     SHED_QUEUE_FULL = "shed_queue_full"
     SHED_BACKLOG = "shed_backlog"
     SHED_OVERLOAD = "shed_overload"
+    SHED_NO_CREDIT = "shed_no_credit"
+    SHED_DOMINANT = "shed_dominant"
 
     @property
     def accepted(self) -> bool:
@@ -121,19 +131,33 @@ class AdmissionController:
 
     # -- decisions ---------------------------------------------------------
 
+    def queue_full(self, active: int) -> bool:
+        """Hard queue cap: no room for another concurrently active job."""
+        cfg = self.config
+        return cfg.max_active is not None and active >= cfg.max_active
+
+    def backlog_exceeded(self, work: float, backlog_work: float) -> bool:
+        """Would admitting ``work`` push drain time past ``max_backlog``?"""
+        cfg = self.config
+        return (
+            cfg.max_backlog is not None
+            and (backlog_work + work) / self.m > cfg.max_backlog
+        )
+
+    def overloaded(self, t: float) -> bool:
+        """Is the decayed offered-load estimate above ``max_load``?"""
+        cfg = self.config
+        return cfg.max_load is not None and self.load_estimate(t) > cfg.max_load
+
     def decide(
         self, t: float, work: float, active: int, backlog_work: float
     ) -> AdmissionDecision:
         """Accept or shed one offered job given current engine occupancy."""
-        cfg = self.config
-        if cfg.max_active is not None and active >= cfg.max_active:
+        if self.queue_full(active):
             return AdmissionDecision.SHED_QUEUE_FULL
-        if (
-            cfg.max_backlog is not None
-            and (backlog_work + work) / self.m > cfg.max_backlog
-        ):
+        if self.backlog_exceeded(work, backlog_work):
             return AdmissionDecision.SHED_BACKLOG
-        if cfg.max_load is not None and self.load_estimate(t) > cfg.max_load:
+        if self.overloaded(t):
             return AdmissionDecision.SHED_OVERLOAD
         return AdmissionDecision.ACCEPT
 

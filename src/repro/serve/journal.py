@@ -171,6 +171,7 @@ def apply_entry(scheduler: OnlineScheduler, entry: dict) -> None:
             mode=entry.get("mode", "sequential"),
             weight=float(entry.get("weight", 1.0)),
             release=release,
+            tenant=entry.get("tenant"),
         )
     elif op == "advance":
         scheduler.advance_to(float(entry["to"]))

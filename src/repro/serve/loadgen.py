@@ -37,7 +37,37 @@ __all__ = [
     "effective_trace",
     "replay_into",
     "replay_over_wire",
+    "tenant_labels",
 ]
+
+
+def tenant_labels(
+    n: int, tenants: int, skew: str = "zipf:1.0", seed: int = 0
+) -> list[str]:
+    """Seeded tenant assignment for ``n`` jobs over ``tenants`` ids.
+
+    ``skew`` is ``"zipf:a"``: tenant rank k (1-based) is drawn with
+    probability ∝ 1/k^a, so ``a=0`` is uniform and larger ``a``
+    concentrates load on ``t0`` — the many-tenant hot-spot shape the DRF
+    admission layer exists for.  Draws come from a dedicated child
+    stream (``loadgen/tenants``), so enabling tenancy never perturbs the
+    trace generator's randomness.
+    """
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1")
+    kind, _, param = skew.partition(":")
+    if kind != "zipf":
+        raise ValueError(f"unknown tenant skew {skew!r} (expected 'zipf:a')")
+    a = float(param) if param else 1.0
+    if a < 0:
+        raise ValueError("zipf exponent must be >= 0")
+    from repro.core.rng import RngFactory
+
+    weights = np.array([1.0 / (k + 1) ** a for k in range(tenants)])
+    probs = weights / weights.sum()
+    rng = RngFactory(seed).stream("loadgen/tenants")
+    draws = rng.choice(tenants, size=n, p=probs)
+    return [f"t{int(k)}" for k in draws]
 
 
 def effective_trace(trace: Trace, rate: float = 1.0) -> Trace:
@@ -117,6 +147,14 @@ class LoadGenReport:
     overloaded: int = 0
     retries: int = 0
     reconnects: int = 0
+    #: per-tenant offered/accepted/shed/errors counts (tenant runs only)
+    tenant_counts: dict = field(default_factory=dict)
+
+    def _tenant_row(self, tenant: str) -> dict:
+        return self.tenant_counts.setdefault(
+            tenant,
+            {"offered": 0, "accepted": 0, "shed": 0, "errors": 0, "retries": 0},
+        )
 
     @property
     def shed_fraction(self) -> float:
@@ -141,32 +179,56 @@ class LoadGenReport:
         if self.verified is not None:
             out["verified"] = self.verified
             out["max_abs_diff"] = self.max_abs_diff
+        if self.tenant_counts:
+            out["tenants"] = {
+                name: dict(row)
+                for name, row in sorted(self.tenant_counts.items())
+            }
         return out
 
 
-def replay_into(scheduler, trace: Trace, rate: float = 1.0, drain: bool = True):
+def replay_into(
+    scheduler,
+    trace: Trace,
+    rate: float = 1.0,
+    drain: bool = True,
+    tenants: list[str] | None = None,
+):
     """Stream ``trace`` into an in-process scheduler, job by job.
 
     Each job advances the clock to its (rate-scaled) release and is
     submitted through admission control when the scheduler has it,
     otherwise registered verbatim — the verbatim path reproduces the
-    batch simulation exactly.  Returns ``(report, result)`` where
-    ``result`` is the drained :class:`~repro.core.metrics.ScheduleResult`
-    (``None`` when ``drain=False``).
+    batch simulation exactly.  ``tenants`` optionally labels job i with
+    ``tenants[i]`` (see :func:`tenant_labels`); labelled runs always go
+    through :meth:`~repro.serve.online.OnlineScheduler.submit` so the
+    labels thread into admission and metrics.  Returns
+    ``(report, result)`` where ``result`` is the drained
+    :class:`~repro.core.metrics.ScheduleResult` (``None`` when
+    ``drain=False``).
     """
     eff = effective_trace(trace, rate)
+    if tenants is not None and len(tenants) != len(eff.jobs):
+        raise ValueError("tenants must label every job of the trace")
+    report = LoadGenReport(offered=len(eff), accepted=0, shed=0, wall_seconds=0.0)
     t0 = time.perf_counter()
     shed = 0
-    for spec in eff.jobs:
+    for i, spec in enumerate(eff.jobs):
         scheduler.advance_to(spec.release)
-        if scheduler.admission is not None:
+        if scheduler.admission is not None or tenants is not None:
+            tenant = tenants[i] if tenants is not None else None
             outcome = scheduler.submit(
                 work=spec.work,
                 span=spec.span,
                 mode=spec.mode,
                 weight=spec.weight,
                 release=spec.release,
+                tenant=tenant,
             )
+            if tenant is not None:
+                row = report._tenant_row(tenant)
+                row["offered"] += 1
+                row["accepted" if outcome.accepted else "shed"] += 1
             if not outcome.accepted:
                 shed += 1
         else:
@@ -184,17 +246,14 @@ def replay_into(scheduler, trace: Trace, rate: float = 1.0, drain: bool = True):
                 )
             )
     result = scheduler.drain() if drain else None
-    report = LoadGenReport(
-        offered=len(eff),
-        accepted=len(eff) - shed,
-        shed=shed,
-        wall_seconds=time.perf_counter() - t0,
-        stats=scheduler.stats(),
-        drain_summary=(
-            {"mean_flow": result.mean_flow, "makespan": result.makespan}
-            if result is not None
-            else None
-        ),
+    report.accepted = len(eff) - shed
+    report.shed = shed
+    report.wall_seconds = time.perf_counter() - t0
+    report.stats = scheduler.stats()
+    report.drain_summary = (
+        {"mean_flow": result.mean_flow, "makespan": result.makespan}
+        if result is not None
+        else None
     )
     return report, result
 
@@ -319,6 +378,7 @@ async def replay_over_wire(
     drain: bool = True,
     verify: bool = False,
     *,
+    tenants: list[str] | None = None,
     timeout: float | None = None,
     max_retries: int = 0,
     backoff: float = 0.05,
@@ -344,6 +404,8 @@ async def replay_over_wire(
     for bit-exact verification runs.
     """
     eff = effective_trace(trace, rate)
+    if tenants is not None and len(tenants) != len(eff.jobs):
+        raise ValueError("tenants must label every job of the trace")
     report = LoadGenReport(
         offered=len(eff), accepted=0, shed=0, wall_seconds=0.0
     )
@@ -368,10 +430,11 @@ async def replay_over_wire(
         accepted: list[int] = []
         shed = 0
         prev_release = eff.jobs[0].release if eff.jobs else 0.0
-        for spec in eff.jobs:
+        for i, spec in enumerate(eff.jobs):
             if pace is not None and spec.release > prev_release:
                 await asyncio.sleep((spec.release - prev_release) / pace)
             prev_release = spec.release
+            tenant = tenants[i] if tenants is not None else None
             request = {
                 "op": "submit",
                 "work": spec.work,
@@ -379,18 +442,34 @@ async def replay_over_wire(
                 "mode": spec.mode.value,
                 "weight": spec.weight,
             }
+            if tenant is not None:
+                request["tenant"] = tenant
             if stamp_releases:
                 request["release"] = spec.release
+            row = report._tenant_row(tenant) if tenant is not None else None
+            retries_before = report.retries
+            if row is not None:
+                row["offered"] += 1
             resp = await client.call(request)
+            if row is not None:
+                row["retries"] += report.retries - retries_before
             if resp is None:
+                if row is not None:
+                    row["errors"] += 1
                 continue  # counted in report.errors by the client
             if not resp.get("ok"):
                 report.errors += 1
+                if row is not None:
+                    row["errors"] += 1
                 continue
             if resp["accepted"]:
                 accepted.append(spec.job_id)
+                if row is not None:
+                    row["accepted"] += 1
             else:
                 shed += 1
+                if row is not None:
+                    row["shed"] += 1
         report.accepted = len(accepted)
         report.shed = shed
         stats_resp = await client.call({"op": "stats"})

@@ -22,8 +22,45 @@ import numpy as np
 __all__ = ["RollingMetrics"]
 
 
+class _TenantWindow:
+    """Per-tenant counters plus a windowed deque of completions."""
+
+    __slots__ = ("submitted", "completed", "shed", "flows")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        #: (finish_time, flow_time) of completions, oldest first
+        self.flows: deque[tuple[float, float]] = deque()
+
+    def state_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "flows": [[t, f] for t, f in self.flows],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "_TenantWindow":
+        win = cls()
+        win.submitted = int(state["submitted"])
+        win.completed = int(state["completed"])
+        win.shed = int(state["shed"])
+        win.flows = deque((float(t), float(f)) for t, f in state["flows"])
+        return win
+
+
 class RollingMetrics:
-    """Windowed flow-time and throughput statistics for one scheduler."""
+    """Windowed flow-time and throughput statistics for one scheduler.
+
+    When events carry a ``tenant`` label, the same statistics are also
+    kept per tenant (the label threads from
+    :meth:`repro.serve.online.OnlineScheduler.submit` through completion
+    pumping), so the windowed block and the Prometheus exposition both
+    gain per-tenant breakdowns without a second metrics object.
+    """
 
     def __init__(self, window: float = 1000.0) -> None:
         if window <= 0:
@@ -34,18 +71,35 @@ class RollingMetrics:
         self.shed = 0
         #: (finish_time, flow_time) of completions, oldest first
         self._flows: deque[tuple[float, float]] = deque()
+        self._tenants: dict[str, _TenantWindow] = {}
+
+    def _tenant(self, tenant: str) -> _TenantWindow:
+        win = self._tenants.get(tenant)
+        if win is None:
+            win = self._tenants[tenant] = _TenantWindow()
+        return win
 
     # -- recording ---------------------------------------------------------
 
-    def on_submit(self, t: float) -> None:
+    def on_submit(self, t: float, tenant: str | None = None) -> None:
         self.submitted += 1
+        if tenant is not None:
+            self._tenant(tenant).submitted += 1
 
-    def on_shed(self, t: float) -> None:
+    def on_shed(self, t: float, tenant: str | None = None) -> None:
         self.shed += 1
+        if tenant is not None:
+            self._tenant(tenant).shed += 1
 
-    def on_complete(self, t: float, flow: float) -> None:
+    def on_complete(
+        self, t: float, flow: float, tenant: str | None = None
+    ) -> None:
         self.completed += 1
         self._flows.append((float(t), float(flow)))
+        if tenant is not None:
+            win = self._tenant(tenant)
+            win.completed += 1
+            win.flows.append((float(t), float(flow)))
 
     def prune(self, now: float) -> None:
         """Drop completions older than ``now - window``."""
@@ -53,6 +107,9 @@ class RollingMetrics:
         flows = self._flows
         while flows and flows[0][0] < cutoff:
             flows.popleft()
+        for win in self._tenants.values():
+            while win.flows and win.flows[0][0] < cutoff:
+                win.flows.popleft()
 
     # -- reading -----------------------------------------------------------
 
@@ -88,7 +145,24 @@ class RollingMetrics:
                 p99_flow=0.0,
                 max_flow=0.0,
             )
+        if self._tenants:
+            out["tenants"] = {
+                name: self._tenant_windowed(name) for name in sorted(self._tenants)
+            }
         return out
+
+    def _tenant_windowed(self, tenant: str) -> dict:
+        win = self._tenants[tenant]
+        flows = np.array([f for _, f in win.flows], dtype=float)
+        row = {
+            "submitted": win.submitted,
+            "completed": win.completed,
+            "shed": win.shed,
+            "count": int(flows.size),
+            "mean_flow": float(flows.mean()) if flows.size else 0.0,
+            "p99_flow": float(np.percentile(flows, 99)) if flows.size else 0.0,
+        }
+        return row
 
     def to_prometheus(self, now: float, active: int = 0, **gauges: float) -> str:
         """Prometheus text exposition of counters, gauges and the window.
@@ -134,6 +208,32 @@ class RollingMetrics:
                 f"# TYPE drep_serve_{name} gauge",
                 f"drep_serve_{name} {_fmt(float(value))}",
             ]
+        if self._tenants:
+            lines += [
+                "# HELP drep_serve_tenant_jobs_total Per-tenant job outcomes.",
+                "# TYPE drep_serve_tenant_jobs_total counter",
+            ]
+            for name in sorted(self._tenants):
+                win = self._tenants[name]
+                for outcome, count in (
+                    ("submitted", win.submitted),
+                    ("completed", win.completed),
+                    ("shed", win.shed),
+                ):
+                    lines.append(
+                        f'drep_serve_tenant_jobs_total{{tenant="{name}",'
+                        f'outcome="{outcome}"}} {count}'
+                    )
+            lines += [
+                "# HELP drep_serve_tenant_flow_time_mean Per-tenant windowed mean flow time.",
+                "# TYPE drep_serve_tenant_flow_time_mean gauge",
+            ]
+            for name in sorted(self._tenants):
+                row = self._tenant_windowed(name)
+                lines.append(
+                    f'drep_serve_tenant_flow_time_mean{{tenant="{name}"}} '
+                    f"{_fmt(row['mean_flow'])}"
+                )
         return "\n".join(lines) + "\n"
 
     # -- checkpointing -----------------------------------------------------
@@ -145,6 +245,10 @@ class RollingMetrics:
             "completed": self.completed,
             "shed": self.shed,
             "flows": [[t, f] for t, f in self._flows],
+            "tenants": {
+                name: win.state_dict()
+                for name, win in sorted(self._tenants.items())
+            },
         }
 
     @classmethod
@@ -154,6 +258,9 @@ class RollingMetrics:
         metrics.completed = int(state["completed"])
         metrics.shed = int(state["shed"])
         metrics._flows = deque((float(t), float(f)) for t, f in state["flows"])
+        # absent in pre-tenancy snapshots — tolerate for forward recovery
+        for name, win in state.get("tenants", {}).items():
+            metrics._tenants[name] = _TenantWindow.from_state_dict(win)
         return metrics
 
 

@@ -26,6 +26,7 @@ from repro.flowsim.engine import FlowSimConfig, FlowStepper
 from repro.flowsim.policies.base import Policy
 from repro.serve.admission import AdmissionController, AdmissionDecision
 from repro.serve.metrics import RollingMetrics
+from repro.serve.tenancy import MultiTenantAdmission
 
 __all__ = ["OnlineScheduler", "SubmitOutcome"]
 
@@ -71,6 +72,8 @@ class OnlineScheduler:
         self._offered = 0
         self._shed = 0
         self._pumped = 0  # completion-log entries already sent to metrics
+        #: tenant label per accepted job id (None = untenanted submission)
+        self._tenant_of: list[str | None] = []
 
     # -- plumbing shared with snapshot/restore -----------------------------
 
@@ -86,6 +89,7 @@ class OnlineScheduler:
         metrics: RollingMetrics | None = None,
         offered: int | None = None,
         shed: int = 0,
+        tenant_of: list[str | None] | None = None,
     ) -> "OnlineScheduler":
         sched = cls.__new__(cls)
         sched._stepper = stepper
@@ -94,6 +98,11 @@ class OnlineScheduler:
         sched._offered = stepper.n_jobs + shed if offered is None else offered
         sched._shed = shed
         sched._pumped = len(stepper.completion_log)
+        sched._tenant_of = (
+            list(tenant_of)
+            if tenant_of is not None
+            else [None] * stepper.n_jobs
+        )
         return sched
 
     # -- clock & introspection ---------------------------------------------
@@ -178,6 +187,8 @@ class OnlineScheduler:
             out["backpressure"] = self.admission.backpressure(
                 self.now, self.n_active
             )
+        if isinstance(self.admission, MultiTenantAdmission):
+            out["tenants"] = self.admission.tenant_stats(self.now)
         if self.metrics is not None:
             out["window"] = self.metrics.windowed(self.now)
         return out
@@ -191,13 +202,17 @@ class OnlineScheduler:
         mode: ParallelismMode | str = ParallelismMode.SEQUENTIAL,
         weight: float = 1.0,
         release: float | None = None,
+        tenant: str | None = None,
     ) -> SubmitOutcome:
         """Offer one job; returns whether it was queued or shed.
 
         ``release`` defaults to the current clock (``now``); a future
         release stamps the job as a scheduled arrival (the clock does
         *not* jump to it).  Submitting into the past is an error — the
-        trajectory up to ``now`` is already fixed.
+        trajectory up to ``now`` is already fixed.  ``tenant`` labels the
+        job for multi-tenant admission, per-tenant metrics and the
+        per-tenant drained report; ``None`` keeps the single-tenant
+        behavior exactly.
         """
         if isinstance(mode, str):
             mode = ParallelismMode(mode)
@@ -210,17 +225,26 @@ class OnlineScheduler:
         backpressure = 0.0
         if self.admission is not None:
             self.admission.observe(release, work)
-            decision = self.admission.decide(
-                t=release,
-                work=work,
-                active=self.n_active,
-                backlog_work=self._stepper.backlog_work(),
-            )
+            if isinstance(self.admission, MultiTenantAdmission):
+                decision = self.admission.decide_tenant(
+                    t=release,
+                    tenant=tenant if tenant is not None else "default",
+                    work=work,
+                    active=self.n_active,
+                    backlog_work=self._stepper.backlog_work(),
+                )
+            else:
+                decision = self.admission.decide(
+                    t=release,
+                    work=work,
+                    active=self.n_active,
+                    backlog_work=self._stepper.backlog_work(),
+                )
             backpressure = self.admission.backpressure(release, self.n_active)
         if decision is not AdmissionDecision.ACCEPT:
             self._shed += 1
             if self.metrics is not None:
-                self.metrics.on_shed(release)
+                self.metrics.on_shed(release, tenant=tenant)
             return SubmitOutcome(None, decision, backpressure)
         spec = JobSpec(
             job_id=self._stepper.n_jobs,
@@ -231,8 +255,9 @@ class OnlineScheduler:
             weight=weight,
         )
         job_id = self._stepper.add_job(spec)
+        self._tenant_of.append(tenant)
         if self.metrics is not None:
-            self.metrics.on_submit(release)
+            self.metrics.on_submit(release, tenant=tenant)
         return SubmitOutcome(job_id, decision, backpressure)
 
     def submit_spec(self, spec: JobSpec) -> int:
@@ -244,9 +269,35 @@ class OnlineScheduler:
         """
         self._offered += 1
         job_id = self._stepper.add_job(spec)
+        self._tenant_of.append(None)
         if self.metrics is not None:
             self.metrics.on_submit(spec.release)
         return job_id
+
+    # -- tenancy -----------------------------------------------------------
+
+    def tenant_of(self, job_id: int) -> str | None:
+        """Tenant label of an accepted job (``None`` = untenanted)."""
+        return self._tenant_of[job_id]
+
+    @property
+    def tenant_labels(self) -> list[str | None]:
+        """Tenant label per accepted job id (a copy, snapshot-friendly)."""
+        return list(self._tenant_of)
+
+    def flows_by_tenant(self) -> dict[str, list[float]]:
+        """Completed flow times grouped by tenant, in completion order.
+
+        Untenanted jobs land under ``"default"`` so a mixed trace still
+        sums to the global result.
+        """
+        out: dict[str, list[float]] = {}
+        for job_id, _finish in self._stepper.completion_log:
+            flow = self._stepper.flow_time_of(job_id)
+            assert flow is not None
+            label = self._tenant_of[job_id] or "default"
+            out.setdefault(label, []).append(float(flow))
+        return out
 
     def advance_to(self, t: float) -> None:
         """Run the machine forward to sim-time ``t``; never rewinds."""
@@ -269,11 +320,19 @@ class OnlineScheduler:
         return self._stepper.result(partial=partial and not self.drained)
 
     def _pump_completions(self) -> None:
-        if self.metrics is None:
+        if self.metrics is None and not isinstance(
+            self.admission, MultiTenantAdmission
+        ):
             return
         log = self._stepper.completion_log
         for job_id, finish in log[self._pumped :]:
             flow = self._stepper.flow_time_of(job_id)
             assert flow is not None
-            self.metrics.on_complete(finish, flow)
+            tenant = self._tenant_of[job_id]
+            if self.metrics is not None:
+                self.metrics.on_complete(finish, flow, tenant=tenant)
+            if isinstance(self.admission, MultiTenantAdmission):
+                self.admission.on_complete(
+                    tenant if tenant is not None else "default"
+                )
         self._pumped = len(log)

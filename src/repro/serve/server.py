@@ -47,6 +47,7 @@ from repro.serve.journal import recover as journal_recover
 from repro.serve.metrics import RollingMetrics
 from repro.serve.online import OnlineScheduler
 from repro.serve.snapshot import snapshot_scheduler_file
+from repro.serve.tenancy import MultiTenantAdmission, TenancyConfig
 
 __all__ = ["ServeConfig", "SchedulerServer"]
 
@@ -86,6 +87,19 @@ class ServeConfig:
     #: wall seconds a request may wait for the engine before it is
     #: refused with a ``timed_out`` response (None = wait forever)
     request_timeout: float | None = None
+    #: build the tenant-aware admission layer even without credits, so
+    #: ``submit`` requests may carry a ``tenant`` label and the DRF
+    #: throttling applies whenever the soft caps trip
+    multi_tenant: bool = False
+    #: per-tenant credit accrual as a fraction of fleet capacity
+    #: (None disables the credit check; implies ``multi_tenant``)
+    credit_rate: float | None = None
+    #: seconds of a tenant's own accrual it may bank while idle
+    credit_burst: float = 20.0
+    #: seconds of accrual a tenant may borrow (run into debt) before shed
+    credit_borrow: float = 0.0
+    #: slack multiplier on the DRF entitlement before a tenant is dominant
+    drf_headroom: float = 1.2
 
     def __post_init__(self) -> None:
         if self.clock not in ("trace", "wall"):
@@ -101,22 +115,35 @@ class ServeConfig:
         if self.snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")
 
+    @property
+    def tenant_aware(self) -> bool:
+        return self.multi_tenant or self.credit_rate is not None
+
     def build_scheduler(self) -> OnlineScheduler:
         admission = None
-        if (
+        admission_config = AdmissionConfig(
+            max_active=self.max_active,
+            max_backlog=self.max_backlog,
+            max_load=self.max_load,
+            halflife=self.halflife,
+        )
+        if self.tenant_aware:
+            admission = MultiTenantAdmission(
+                admission_config,
+                self.m,
+                tenancy=TenancyConfig(
+                    credit_rate=self.credit_rate,
+                    credit_burst=self.credit_burst,
+                    credit_borrow=self.credit_borrow,
+                    drf_headroom=self.drf_headroom,
+                ),
+            )
+        elif (
             self.max_active is not None
             or self.max_backlog is not None
             or self.max_load is not None
         ):
-            admission = AdmissionController(
-                AdmissionConfig(
-                    max_active=self.max_active,
-                    max_backlog=self.max_backlog,
-                    max_load=self.max_load,
-                    halflife=self.halflife,
-                ),
-                self.m,
-            )
+            admission = AdmissionController(admission_config, self.m)
         return OnlineScheduler(
             m=self.m,
             policy=policy_by_name(self.policy),
@@ -391,6 +418,9 @@ class SchedulerServer:
             "speed": cfg.speed,
             "window": cfg.window,
             "now": self.scheduler.now,
+            "multi_tenant": isinstance(
+                self.scheduler.admission, MultiTenantAdmission
+            ),
         }
         if self._journal is not None:
             out["journal_seq"] = self._journal.seq
@@ -420,6 +450,11 @@ class SchedulerServer:
             not isinstance(release, (int, float)) or isinstance(release, bool)
         ):
             raise ValueError("release must be numeric")
+        tenant = request.get("tenant")
+        if tenant is not None and (
+            not isinstance(tenant, str) or not tenant
+        ):
+            raise ValueError("tenant must be a non-empty string")
         if self.config.clock == "wall":
             self.scheduler.advance_to(self._wall_now())
             if release is None:
@@ -432,22 +467,24 @@ class SchedulerServer:
         release = float(release)
         # write-ahead: the *resolved* request hits the journal before the
         # engine, so a crash between the two replays it on recovery
-        self._journal_append(
-            {
-                "op": "submit",
-                "work": float(work),
-                "span": span,
-                "mode": mode,
-                "weight": float(weight),
-                "release": release,
-            }
-        )
+        entry = {
+            "op": "submit",
+            "work": float(work),
+            "span": span,
+            "mode": mode,
+            "weight": float(weight),
+            "release": release,
+        }
+        if tenant is not None:
+            entry["tenant"] = tenant
+        self._journal_append(entry)
         outcome = self.scheduler.submit(
             work=float(work),
             span=span,
             mode=mode,
             weight=float(weight),
             release=release,
+            tenant=tenant,
         )
         self._journal_rotate()
         return {
@@ -517,6 +554,9 @@ class SchedulerServer:
         out = {"ok": True, "now": self.scheduler.now, "result": summary}
         if request.get("include_flows"):
             out["flow_times"] = [float(f) for f in result.flow_times]
+        if request.get("include_tenants"):
+            out["tenant_flows"] = self.scheduler.flows_by_tenant()
+            out["tenant_of"] = self.scheduler.tenant_labels
         return out
 
     def _op_snapshot(self, request: dict) -> dict:
@@ -536,6 +576,21 @@ class SchedulerServer:
             )
         written = snapshot_scheduler_file(self.scheduler, path)
         return {"ok": True, "path": str(written), "now": self.scheduler.now}
+
+    def _op_tenants(self, request: dict) -> dict:
+        if self.config.clock == "wall":
+            self.scheduler.advance_to(self._wall_now())
+        admission = self.scheduler.admission
+        if not isinstance(admission, MultiTenantAdmission):
+            raise ValueError(
+                "tenants op requires multi-tenant admission "
+                "(serve --multi-tenant or --credit-rate)"
+            )
+        return {
+            "ok": True,
+            "now": self.scheduler.now,
+            "tenants": admission.tenant_stats(self.scheduler.now),
+        }
 
     def _op_ping(self, request: dict) -> dict:
         return {"ok": True, "now": self.scheduler.now}

@@ -1,0 +1,854 @@
+"""Sharded serving tier: consistent-hash router over N engine shards.
+
+One :class:`~repro.serve.server.SchedulerServer` is bounded by one core.
+This module scales the serving layer horizontally while keeping the
+repo's defining guarantee — determinism — intact:
+
+* **Consistent-hash routing** (:class:`HashRing`) — each shard owns
+  ``vnodes`` pseudo-random arcs of a 63-bit ring; a job's routing key
+  (its tenant by default) lands on the first arc clockwise.  Ring
+  positions come from :func:`repro.core.rng.derive_seed`, so placement
+  is a pure function of ``(seed, shard names, key)`` — the same key maps
+  to the same shard in every process, and removing one of N shards
+  remaps only the keys that shard owned (~1/N of the population).
+
+* **Per-shard seed discipline** (:func:`shard_seed`) — shard 0 runs on
+  the *base* seed and shard i>0 on ``derive_seed(seed, "shard/i")``,
+  mirroring the replicate discipline of :mod:`repro.analysis.pool`
+  (replicate 0 = base seed).  A ``--shards 1`` deployment is therefore
+  bit-identical to the serial server, and every shard of a wider
+  deployment is independently verifiable against an offline
+  :func:`repro.flowsim.simulate` with its own seed.
+
+* **Submission-order reassembly** — the router logs every offered job
+  (tenant, routed shard, shard-local id).  :meth:`ShardRouter.drain`
+  collects each shard's per-job flow times and reassembles them in
+  global submission order, exactly like the pool runner reassembles
+  grid cells, so a sharded run's merged report is byte-identical across
+  runs (:meth:`ShardRouter.report_json` serializes canonically).
+
+* **Shard lifecycle** — shards are either in-process
+  (:class:`LocalShard`, an unstarted server dispatched directly — fast
+  path for tests) or real subprocesses (:class:`SubprocessShard`) with
+  a write-ahead journal each; :meth:`SubprocessShard.kill` +
+  :meth:`SubprocessShard.restart` exercise the crash path, and because
+  each shard recovers from its own journal the merged report after a
+  SIGKILL equals the uninterrupted one bit for bit.
+
+Multi-tenant admission runs at the **router**, sized to the aggregate
+fleet capacity (Σ shard m); shards run admission-free so the accept/shed
+decision is made exactly once.  See docs/serving.md ("Sharding and
+multi-tenancy") for the topology diagram and replay guarantees.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.rng import derive_seed
+from repro.serve.admission import AdmissionConfig, AdmissionDecision
+from repro.serve.server import SchedulerServer, ServeConfig
+from repro.serve.tenancy import DEFAULT_TENANT, MultiTenantAdmission, TenancyConfig
+
+__all__ = [
+    "HashRing",
+    "LocalShard",
+    "ShardError",
+    "ShardFrontend",
+    "ShardRouter",
+    "SubprocessShard",
+    "build_local_router",
+    "build_subprocess_router",
+    "shard_seed",
+]
+
+_PORT_RE = re.compile(r"listening on [\d.]+:(\d+)")
+
+
+class ShardError(RuntimeError):
+    """A shard failed to start, respond, or recover."""
+
+
+def shard_seed(seed: int, index: int) -> int:
+    """Engine seed for shard ``index`` under master ``seed``.
+
+    Shard 0 keeps the base seed — the same rule the grid pool applies to
+    replicate 0 — so a one-shard deployment reproduces the serial
+    reference bit for bit.  Pinned by the ring determinism tests.
+    """
+    if index == 0:
+        return int(seed)
+    return derive_seed(seed, f"shard/{index}")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named shards.
+
+    Every shard contributes ``vnodes`` positions drawn from
+    :func:`derive_seed` of ``(seed, "ring/<shard>/<v>")``; a key hashes
+    to ``derive_seed(seed, "key/<key>")`` and is owned by the first
+    shard position at or clockwise of it.  Because a shard's positions
+    depend only on its own name (and the shared seed), dropping a shard
+    leaves every other shard's positions in place — only the dropped
+    arcs change owner.
+    """
+
+    def __init__(
+        self, shards: list[str], seed: int = 0, vnodes: int = 64
+    ) -> None:
+        if not shards:
+            raise ValueError("ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError("shard names must be unique")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.seed = int(seed)
+        self.vnodes = int(vnodes)
+        self.shards = list(shards)
+        points: list[tuple[int, str]] = []
+        for name in shards:
+            for v in range(vnodes):
+                points.append((derive_seed(seed, f"ring/{name}/{v}"), name))
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [o for _, o in points]
+
+    def route(self, key: str) -> str:
+        """Shard owning ``key`` — stable across processes and runs."""
+        h = derive_seed(self.seed, f"key/{key}")
+        i = bisect.bisect_left(self._positions, h)
+        if i == len(self._positions):
+            i = 0  # wrap: past the last arc back to the first
+        return self._owners[i]
+
+    def without(self, shard: str) -> "HashRing":
+        """A new ring with ``shard`` removed (other arcs untouched)."""
+        rest = [s for s in self.shards if s != shard]
+        if len(rest) == len(self.shards):
+            raise KeyError(f"unknown shard {shard!r}")
+        return HashRing(rest, seed=self.seed, vnodes=self.vnodes)
+
+
+# -- shard handles ---------------------------------------------------------
+
+
+class LocalShard:
+    """In-process shard: an unstarted server dispatched directly.
+
+    The handle shares the server's op handlers (``_op_submit`` etc.)
+    without a socket, so router logic can be tested at full speed with
+    exactly the semantics — including journaling, when the config has a
+    ``journal_dir`` — that the subprocess path exercises.
+    """
+
+    def __init__(self, name: str, config: ServeConfig) -> None:
+        self.name = name
+        self.config = config
+        self._server = SchedulerServer(config)
+
+    @property
+    def scheduler(self):
+        return self._server.scheduler
+
+    def call(self, request: dict) -> dict:
+        op = request.get("op")
+        handler = getattr(self._server, f"_op_{op}", None)
+        if handler is None or op in ("shutdown",):
+            return {"ok": False, "error": f"unsupported shard op {op!r}"}
+        try:
+            return handler(request)
+        except Exception as exc:  # noqa: BLE001 — mirror the server's guard
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def close(self) -> None:
+        if self._server._journal is not None:
+            self._server._journal.close()
+
+
+class SubprocessShard:
+    """One engine shard as a real ``drep-sim serve`` subprocess.
+
+    The shard speaks the JSON-lines protocol over a blocking socket and
+    journals every mutating request, so :meth:`kill` (SIGKILL, no
+    cleanup) followed by :meth:`restart` recovers it bit-for-bit from
+    its own write-ahead log — the sharded crash-recovery tests build on
+    exactly this pair.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: ServeConfig,
+        journal_dir: str | Path,
+        start_timeout: float = 30.0,
+    ) -> None:
+        if config.journal_dir is None:
+            config = ServeConfig(
+                **{**_config_kwargs(config), "journal_dir": str(journal_dir)}
+            )
+        self.name = name
+        self.config = config
+        self.journal_dir = Path(journal_dir)
+        self.start_timeout = float(start_timeout)
+        self._proc: subprocess.Popen | None = None
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self.port: int | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._proc is not None:
+            raise ShardError(f"shard {self.name} already started")
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src), env.get("PYTHONPATH")) if p
+        )
+        self._proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *self._argv()],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.port = self._await_port()
+        self._connect()
+
+    def _argv(self) -> list[str]:
+        cfg = self.config
+        argv = [
+            "--m", str(cfg.m),
+            "--policy", cfg.policy,
+            "--seed", str(cfg.seed),
+            "--host", cfg.host,
+            "--port", "0",
+            "--clock", cfg.clock,
+            "--window", str(cfg.window),
+            "--speed", str(cfg.speed),
+            "--journal-dir", str(cfg.journal_dir),
+            "--snapshot-every", str(cfg.snapshot_every),
+        ]
+        if cfg.fsync:
+            argv.append("--fsync")
+        return argv
+
+    def _await_port(self) -> int:
+        assert self._proc is not None and self._proc.stdout is not None
+        deadline = time.monotonic() + self.start_timeout
+        while time.monotonic() < deadline:
+            line = self._proc.stdout.readline()
+            if not line:
+                break
+            match = _PORT_RE.search(line)
+            if match:
+                return int(match.group(1))
+        self._proc.kill()
+        raise ShardError(f"shard {self.name} did not report a port")
+
+    def _connect(self) -> None:
+        assert self.port is not None
+        self._sock = socket.create_connection(
+            (self.config.host, self.port), timeout=self.start_timeout
+        )
+        self._rfile = self._sock.makefile("rb")
+
+    def call(self, request: dict) -> dict:
+        if self._sock is None:
+            raise ShardError(f"shard {self.name} is not connected")
+        self._sock.sendall(json.dumps(request).encode() + b"\n")
+        line = self._rfile.readline()
+        if not line:
+            raise ShardError(f"shard {self.name} closed the connection")
+        return json.loads(line)
+
+    def ping(self) -> bool:
+        """Health check: one ``ping`` round trip, failure = unhealthy."""
+        try:
+            return bool(self.call({"op": "ping"}).get("ok"))
+        except (ShardError, OSError, ValueError):
+            return False
+
+    def kill(self) -> None:
+        """SIGKILL the shard — no cleanup, the crash-recovery path."""
+        if self._proc is not None:
+            self._proc.send_signal(signal.SIGKILL)
+            self._proc.wait(timeout=self.start_timeout)
+            self._proc = None
+        self._drop_connection()
+
+    def restart(self) -> dict:
+        """Respawn from the same journal directory; returns its ``hello``.
+
+        The new process replays its write-ahead log, so the shard comes
+        back with the same clock, in-flight jobs and policy RNG it died
+        with.
+        """
+        if self._proc is not None:
+            raise ShardError(f"shard {self.name} is still running")
+        self.start()
+        return self.call({"op": "hello"})
+
+    def drain_process(self) -> None:
+        """Graceful stop: ``shutdown`` op, then wait for exit."""
+        if self._proc is None:
+            return
+        try:
+            self.call({"op": "shutdown"})
+        except (ShardError, OSError):
+            pass
+        self._drop_connection()
+        try:
+            self._proc.wait(timeout=self.start_timeout)
+        except subprocess.TimeoutExpired:
+            self._proc.kill()
+            self._proc.wait(timeout=self.start_timeout)
+        self._proc = None
+
+    def _drop_connection(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def close(self) -> None:
+        self.drain_process()
+
+
+def _config_kwargs(config: ServeConfig) -> dict:
+    from dataclasses import fields
+
+    return {f.name: getattr(config, f.name) for f in fields(config)}
+
+
+# -- the router ------------------------------------------------------------
+
+
+class ShardRouter:
+    """Routes jobs onto shards; owns admission, merge and lifecycle.
+
+    Parameters
+    ----------
+    shards:
+        Started shard handles (:class:`LocalShard` or
+        :class:`SubprocessShard`).  Shards should run **without** their
+        own admission caps — the router decides accept/shed exactly once
+        against the aggregate capacity.
+    seed:
+        Master seed; also salts the :class:`HashRing`.
+    admission:
+        Router-level multi-tenant admission; when ``None`` every offered
+        job is accepted (the shards still journal and replay).
+    """
+
+    def __init__(
+        self,
+        shards: list[LocalShard | SubprocessShard],
+        seed: int = 0,
+        vnodes: int = 64,
+        admission: MultiTenantAdmission | None = None,
+    ) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        names = [s.name for s in shards]
+        self.seed = int(seed)
+        self.shards = {s.name: s for s in shards}
+        self.ring = HashRing(names, seed=seed, vnodes=vnodes)
+        self.admission = admission
+        #: one row per offered job, in submission order:
+        #: (tenant, shard name or None when shed, shard-local job id)
+        self._log: list[tuple[str, str | None, int | None]] = []
+        self._now = 0.0
+        # fleet occupancy view, refreshed on advance/drain and bumped on
+        # accept — deterministic in the request sequence, which is all
+        # admission needs
+        self._active_view = 0
+        self._backlog_view = 0.0
+        #: per-shard, per-tenant completed counters already reconciled
+        self._completed_seen: dict[str, dict[str, int]] = {}
+        self._merged: dict | None = None
+
+    @property
+    def m_total(self) -> int:
+        return sum(s.config.m for s in self.shards.values())
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def n_offered(self) -> int:
+        return len(self._log)
+
+    @property
+    def n_accepted(self) -> int:
+        return sum(1 for _, shard, _ in self._log if shard is not None)
+
+    @property
+    def n_shed(self) -> int:
+        return len(self._log) - self.n_accepted
+
+    # -- the online API ----------------------------------------------------
+
+    def submit(
+        self,
+        work: float,
+        span: float | None = None,
+        mode: str = "sequential",
+        weight: float = 1.0,
+        release: float | None = None,
+        tenant: str | None = None,
+        key: str | None = None,
+    ) -> dict:
+        """Offer one job: admit at the router, route by key, forward.
+
+        The routing key defaults to the tenant (all of one tenant's jobs
+        land on one shard — cache affinity and per-tenant ordering), but
+        an explicit ``key`` spreads a tenant over the ring.  Returns the
+        shard's submit response extended with ``shard`` and ``tenant``.
+        """
+        label = tenant if tenant is not None else DEFAULT_TENANT
+        if release is None:
+            release = self._now
+        release = float(release)
+        self._now = max(self._now, release)
+        if self.admission is not None:
+            self.admission.observe(release, work)
+            decision = self.admission.decide_tenant(
+                t=release,
+                tenant=label,
+                work=float(work),
+                active=self._active_view,
+                backlog_work=self._backlog_view,
+            )
+            if decision is not AdmissionDecision.ACCEPT:
+                self._log.append((label, None, None))
+                return {
+                    "ok": True,
+                    "accepted": False,
+                    "job_id": None,
+                    "decision": decision.value,
+                    "shard": None,
+                    "tenant": label,
+                }
+        shard_name = self.ring.route(key if key is not None else label)
+        resp = self.shards[shard_name].call(
+            {
+                "op": "submit",
+                "work": float(work),
+                "span": span,
+                "mode": mode,
+                "weight": float(weight),
+                "release": release,
+                "tenant": label,
+            }
+        )
+        if not resp.get("ok") or not resp.get("accepted"):
+            # shards run admission-free, so this is an error, not a shed
+            raise ShardError(
+                f"shard {shard_name} refused a routed job: {resp}"
+            )
+        self._log.append((label, shard_name, int(resp["job_id"])))
+        self._active_view += 1
+        self._backlog_view += float(work)
+        resp["shard"] = shard_name
+        resp["tenant"] = label
+        resp["global_id"] = len(self._log) - 1
+        return resp
+
+    def advance_to(self, t: float) -> None:
+        """Advance every shard's clock to ``t`` and refresh occupancy."""
+        t = float(t)
+        if t < self._now:
+            raise ValueError(f"cannot rewind router clock to {t}")
+        self._now = t
+        active = 0
+        backlog = 0.0
+        for name in self.ring.shards:
+            shard = self.shards[name]
+            resp = shard.call({"op": "advance", "to": t})
+            if not resp.get("ok"):
+                raise ShardError(f"shard {name} advance failed: {resp}")
+            stats = shard.call({"op": "stats"})["stats"]
+            active += int(stats["active"]) + int(stats["pending"])
+            backlog += float(stats["backlog_work"])
+            self._reconcile_completions(name, stats)
+        self._active_view = active
+        self._backlog_view = backlog
+
+    def _reconcile_completions(self, name: str, stats: dict) -> None:
+        """Release router-side tenant queue slots for shard completions.
+
+        The shard's per-tenant metrics carry lifetime ``completed``
+        counters; the delta since the last refresh is exactly how many
+        of that tenant's slots freed up.
+        """
+        if self.admission is None:
+            return
+        tenant_counts = stats.get("window", {}).get("tenants", {})
+        seen = self._completed_seen.setdefault(name, {})
+        for tenant, row in tenant_counts.items():
+            done = int(row["completed"])
+            for _ in range(done - seen.get(tenant, 0)):
+                self.admission.on_complete(tenant)
+            seen[tenant] = done
+
+    def ping_all(self) -> dict[str, bool]:
+        """Health-check every shard (subprocess shards may be dead)."""
+        out = {}
+        for name, shard in self.shards.items():
+            if hasattr(shard, "ping"):
+                out[name] = shard.ping()
+            else:
+                out[name] = bool(shard.call({"op": "ping"}).get("ok"))
+        return out
+
+    def stats(self) -> dict:
+        """Aggregate counters plus per-shard and per-tenant breakdowns."""
+        per_shard = {}
+        for name in self.ring.shards:
+            per_shard[name] = self.shards[name].call({"op": "stats"})["stats"]
+        out = {
+            "now": self._now,
+            "shards": len(self.shards),
+            "m_total": self.m_total,
+            "offered": self.n_offered,
+            "accepted": self.n_accepted,
+            "shed": self.n_shed,
+            "per_shard": per_shard,
+        }
+        if self.admission is not None:
+            out["tenants"] = self.admission.tenant_stats(self._now)
+        return out
+
+    # -- drain and the merged report ---------------------------------------
+
+    def drain(self) -> dict:
+        """Drain every shard and reassemble the merged report.
+
+        Per-job flow times come back in **global submission order** (the
+        routing log maps global ids to shard-local ids), per-tenant
+        groups are keyed by label, and the makespan is the latest shard
+        finish — the same reassembly discipline the grid pool applies to
+        out-of-order cells.
+        """
+        flows_of: dict[str, list[float]] = {}
+        makespan = 0.0
+        for name in self.ring.shards:
+            resp = self.shards[name].call(
+                {"op": "drain", "include_flows": True}
+            )
+            if not resp.get("ok"):
+                raise ShardError(f"shard {name} drain failed: {resp}")
+            flows_of[name] = [float(f) for f in resp["flow_times"]]
+            makespan = max(makespan, float(resp["result"]["makespan"]))
+            self._reconcile_completions(
+                name, self.shards[name].call({"op": "stats"})["stats"]
+            )
+        self._active_view = 0
+        self._backlog_view = 0.0
+        per_job: list[float] = []
+        tenants: dict[str, dict] = {}
+        for tenant, shard, local_id in self._log:
+            row = tenants.setdefault(
+                tenant, {"accepted": 0, "shed": 0, "flows": []}
+            )
+            if shard is None:
+                row["shed"] += 1
+                continue
+            flow = flows_of[shard][local_id]
+            per_job.append(flow)
+            row["accepted"] += 1
+            row["flows"].append(flow)
+        tenant_rows = {}
+        for tenant in sorted(tenants):
+            row = tenants[tenant]
+            flows = row["flows"]
+            tenant_rows[tenant] = {
+                "accepted": row["accepted"],
+                "shed": row["shed"],
+                "count": len(flows),
+                "total_flow": sum(flows),
+                "mean_flow": sum(flows) / len(flows) if flows else 0.0,
+                "max_flow": max(flows) if flows else 0.0,
+            }
+        self._merged = {
+            "seed": self.seed,
+            "shards": len(self.shards),
+            "m_total": self.m_total,
+            "offered": self.n_offered,
+            "accepted": self.n_accepted,
+            "shed": self.n_shed,
+            "makespan": makespan,
+            "total_flow": sum(per_job),
+            "mean_flow": sum(per_job) / len(per_job) if per_job else 0.0,
+            "flow_times": per_job,
+            "tenants": tenant_rows,
+        }
+        return self._merged
+
+    def report_json(self, report: dict | None = None) -> bytes:
+        """Canonical serialization of the merged report.
+
+        Sorted keys and tight separators make equal reports equal
+        *bytes* — the form the replay-determinism tests compare.
+        """
+        if report is None:
+            report = self._merged
+        if report is None:
+            raise ShardError("no merged report yet — call drain() first")
+        return json.dumps(
+            report, sort_keys=True, separators=(",", ":")
+        ).encode()
+
+    def close(self) -> None:
+        for shard in self.shards.values():
+            shard.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ShardFrontend:
+    """Asyncio JSON-lines listener in front of a :class:`ShardRouter`.
+
+    Speaks the same framing as :class:`~repro.serve.server.SchedulerServer`
+    with the router-level op set: ``hello``, ``submit`` (with ``tenant``
+    and optional ``key``), ``advance``, ``stats``, ``tenants``, ``ping``,
+    ``drain`` (the merged report) and ``shutdown``.  Router calls block
+    briefly on shard sockets; requests are serialized, which is also
+    what keeps the routing log deterministic.
+    """
+
+    def __init__(
+        self, router: ShardRouter, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.router = router
+        self.host = host
+        self._requested_port = port
+        self._server = None
+        self._stopped = None
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "frontend not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        import asyncio
+
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+
+    async def wait_closed(self) -> None:
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.router.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._dispatch(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("bye"):
+                    import asyncio
+
+                    asyncio.get_running_loop().call_soon(
+                        lambda: asyncio.ensure_future(self.stop())
+                    )
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+        req_id = request.get("id")
+        try:
+            response = self._apply(request)
+        except Exception as exc:  # noqa: BLE001 — one request, one error
+            response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        if req_id is not None:
+            response["id"] = req_id
+        return response
+
+    def _apply(self, request: dict) -> dict:
+        router = self.router
+        op = request.get("op")
+        if op == "hello":
+            return {
+                "ok": True,
+                "service": "drep-serve-router",
+                "shards": len(router.shards),
+                # "m" = fleet capacity: what single-server clients (e.g.
+                # loadgen's load calibration) expect to find in a hello
+                "m": router.m_total,
+                "m_total": router.m_total,
+                "seed": router.seed,
+                "now": router.now,
+                "multi_tenant": router.admission is not None,
+            }
+        if op == "submit":
+            return router.submit(
+                work=float(request["work"]),
+                span=request.get("span"),
+                mode=request.get("mode", "sequential"),
+                weight=float(request.get("weight", 1.0)),
+                release=request.get("release"),
+                tenant=request.get("tenant"),
+                key=request.get("key"),
+            )
+        if op == "advance":
+            router.advance_to(float(request["to"]))
+            return {"ok": True, "now": router.now}
+        if op == "stats":
+            return {"ok": True, "stats": router.stats()}
+        if op == "tenants":
+            if router.admission is None:
+                raise ValueError("router has no multi-tenant admission")
+            return {
+                "ok": True,
+                "now": router.now,
+                "tenants": router.admission.tenant_stats(router.now),
+            }
+        if op == "ping":
+            return {"ok": True, "now": router.now, "shards": router.ping_all()}
+        if op == "drain":
+            report = router.drain()
+            out = {"ok": True, "now": router.now, "result": report}
+            if not request.get("include_flows"):
+                out["result"] = {
+                    k: v for k, v in report.items() if k != "flow_times"
+                }
+            return out
+        if op == "shutdown":
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+def build_local_router(
+    n_shards: int,
+    m: int = 8,
+    policy: str = "drep",
+    seed: int = 0,
+    vnodes: int = 64,
+    tenancy: TenancyConfig | None = None,
+    admission_config: AdmissionConfig | None = None,
+    journal_root: str | Path | None = None,
+) -> ShardRouter:
+    """Convenience constructor: N in-process shards + router admission.
+
+    Shard ``i`` is named ``shard/<i>``, runs on :func:`shard_seed` of
+    ``(seed, i)``, and journals under ``journal_root/shard-<i>`` when a
+    root is given.  Router admission is built whenever ``tenancy`` or
+    ``admission_config`` is provided, sized to the fleet (N × m).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    shards = []
+    for i in range(n_shards):
+        journal_dir = (
+            None
+            if journal_root is None
+            else str(Path(journal_root) / f"shard-{i}")
+        )
+        config = ServeConfig(
+            m=m,
+            policy=policy,
+            seed=shard_seed(seed, i),
+            journal_dir=journal_dir,
+        )
+        shards.append(LocalShard(f"shard/{i}", config))
+    admission = None
+    if tenancy is not None or admission_config is not None:
+        admission = MultiTenantAdmission(
+            admission_config or AdmissionConfig(),
+            m=n_shards * m,
+            tenancy=tenancy or TenancyConfig(),
+        )
+    return ShardRouter(shards, seed=seed, vnodes=vnodes, admission=admission)
+
+
+def build_subprocess_router(
+    n_shards: int,
+    journal_root: str | Path,
+    m: int = 8,
+    policy: str = "drep",
+    seed: int = 0,
+    vnodes: int = 64,
+    tenancy: TenancyConfig | None = None,
+    admission_config: AdmissionConfig | None = None,
+    snapshot_every: int = 256,
+    fsync: bool = False,
+) -> ShardRouter:
+    """Spawn N journaled ``drep-sim serve`` subprocesses behind a router.
+
+    Same naming/seed/admission discipline as :func:`build_local_router`;
+    ``journal_root`` is mandatory because the journal *is* a subprocess
+    shard's crash-recovery story.  Shards that fail to start are torn
+    down before the error propagates.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    shards: list[SubprocessShard] = []
+    try:
+        for i in range(n_shards):
+            config = ServeConfig(
+                m=m,
+                policy=policy,
+                seed=shard_seed(seed, i),
+                journal_dir=str(Path(journal_root) / f"shard-{i}"),
+                snapshot_every=snapshot_every,
+                fsync=fsync,
+            )
+            shard = SubprocessShard(
+                f"shard/{i}", config, config.journal_dir
+            )
+            shard.start()
+            shards.append(shard)
+    except Exception:
+        for shard in shards:
+            shard.kill()
+        raise
+    admission = None
+    if tenancy is not None or admission_config is not None:
+        admission = MultiTenantAdmission(
+            admission_config or AdmissionConfig(),
+            m=n_shards * m,
+            tenancy=tenancy or TenancyConfig(),
+        )
+    return ShardRouter(shards, seed=seed, vnodes=vnodes, admission=admission)

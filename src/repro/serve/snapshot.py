@@ -34,6 +34,7 @@ from repro.flowsim.policies.base import Policy
 from repro.serve.admission import AdmissionController
 from repro.serve.metrics import RollingMetrics
 from repro.serve.online import OnlineScheduler
+from repro.serve.tenancy import MultiTenantAdmission
 
 __all__ = [
     "SNAPSHOT_VERSION",
@@ -140,6 +141,7 @@ def snapshot_scheduler(sched: OnlineScheduler) -> dict:
         ),
         "offered": sched.n_offered,
         "shed": sched.n_shed,
+        "tenant_of": sched.tenant_labels,
     }
 
 
@@ -153,11 +155,13 @@ def restore_scheduler(state: dict) -> OnlineScheduler:
         )
     policy = _decode_policy(state["policy"])
     stepper = FlowStepper.from_state_dict(state["engine"], policy)
-    admission = (
-        None
-        if state["admission"] is None
-        else AdmissionController.from_state_dict(state["admission"])
-    )
+    admission_state = state["admission"]
+    if admission_state is None:
+        admission = None
+    elif admission_state.get("kind") == "multi_tenant":
+        admission = MultiTenantAdmission.from_state_dict(admission_state)
+    else:
+        admission = AdmissionController.from_state_dict(admission_state)
     metrics = (
         None
         if state["metrics"] is None
@@ -169,6 +173,8 @@ def restore_scheduler(state: dict) -> OnlineScheduler:
         metrics=metrics,
         offered=state["offered"],
         shed=state["shed"],
+        # absent in pre-tenancy snapshots — tolerate for forward recovery
+        tenant_of=state.get("tenant_of"),
     )
 
 

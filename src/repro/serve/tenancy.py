@@ -1,0 +1,370 @@
+"""Multi-tenant admission: per-tenant credits and DRF dominant-share throttling.
+
+A single :class:`~repro.serve.admission.AdmissionController` protects the
+*engine*, but it is tenant-blind: one hot tenant driving the load estimate
+over the ceiling makes the controller shed **everyone's** arrivals, so the
+tenant causing the overload starves the tenants who are not.  This module
+extends (not forks) the controller with two tenant-aware layers:
+
+* **Credit accounting** — every tenant owns an account that accrues
+  credit, measured in machine-seconds of work, at a rate equal to its
+  *entitlement* (its weight share of total capacity) times
+  ``credit_rate``.  Accepted jobs spend their ``work`` from the balance;
+  balances are capped at ``credit_burst`` seconds of accrual (so idle
+  tenants can burst, but not forever) and may be **borrowed** down to
+  ``credit_borrow`` seconds below zero — accrual then repays the debt
+  before the balance turns positive again.  A tenant that has spent its
+  balance *and* its borrow allowance is shed with ``shed_no_credit``
+  regardless of how idle the machine is: credits are a contract, not a
+  congestion signal.
+
+* **Dominant-share (DRF) throttling** — per-tenant exponentially decayed
+  usage is tracked along two resources: accepted *work* (machine-seconds)
+  and accepted *job count* (queue slots).  A tenant's **dominant share**
+  is its larger share of the two totals — the dominant-resource idea of
+  DRF, where fairness is judged on whichever resource a tenant uses most.
+  Whenever a *global* cap (backlog or load ceiling) trips, only tenants
+  whose dominant share exceeds ``drf_headroom`` × their entitlement are
+  shed (``shed_dominant``); tenants under their entitlement are admitted
+  through the congestion, because by definition they are not the ones
+  causing it.  The hard ``max_active`` queue cap still binds everyone —
+  it is engine capacity, not a fairness knob.
+
+Entitlements are weight shares over the tenants *seen so far* (tenants
+register implicitly on first offer, or explicitly via
+:meth:`MultiTenantAdmission.ensure_tenant`), so a fleet of K equal-weight
+tenants each holds 1/K of capacity.  All state is deterministic in the
+offered request sequence and round-trips through ``state_dict`` /
+``from_state_dict``, which is what makes journal replay and snapshots of
+multi-tenant servers bit-exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+
+__all__ = ["TenancyConfig", "TenantAccount", "MultiTenantAdmission"]
+
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Knobs of the tenant-aware layers; all rates are per sim-time unit.
+
+    ``credit_rate`` is the fraction of fleet capacity handed out as
+    credit: at ``1.0`` the accounts jointly accrue exactly the machine's
+    capacity (m machine-seconds per second, split by entitlement), below
+    ``1.0`` they accrue less (a deliberate throttle), ``None`` disables
+    the credit check entirely.  ``credit_burst`` and ``credit_borrow``
+    are expressed in *seconds of that tenant's own accrual* — burst 20
+    means an idle tenant can bank 20 seconds' worth of credit, borrow 5
+    means it may additionally run 5 seconds into debt before being shed.
+    ``drf_headroom`` is the slack multiplier on the entitlement before
+    the DRF layer treats a tenant as dominant (1.0 = exact fair share).
+    """
+
+    credit_rate: float | None = None
+    credit_burst: float = 20.0
+    credit_borrow: float = 0.0
+    drf_headroom: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.credit_rate is not None and self.credit_rate <= 0:
+            raise ValueError("credit_rate must be > 0 (or None to disable)")
+        if self.credit_burst <= 0:
+            raise ValueError("credit_burst must be > 0")
+        if self.credit_borrow < 0:
+            raise ValueError("credit_borrow must be >= 0")
+        if self.drf_headroom < 1.0:
+            raise ValueError("drf_headroom must be >= 1.0")
+
+
+class TenantAccount:
+    """One tenant's credit balance and decayed usage accumulators."""
+
+    __slots__ = (
+        "name",
+        "weight",
+        "credit",
+        "last_t",
+        "used_work",
+        "used_count",
+        "active",
+        "accepted",
+        "shed",
+    )
+
+    def __init__(self, name: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+        self.name = name
+        self.weight = float(weight)
+        self.credit = 0.0  # machine-seconds; may go negative while borrowing
+        self.last_t: float | None = None
+        self.used_work = 0.0  # decayed accepted work
+        self.used_count = 0.0  # decayed accepted arrivals
+        self.active = 0  # jobs currently queued or running
+        self.accepted = 0
+        self.shed = 0
+
+    def state_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "credit": self.credit,
+            "last_t": self.last_t,
+            "used_work": self.used_work,
+            "used_count": self.used_count,
+            "active": self.active,
+            "accepted": self.accepted,
+            "shed": self.shed,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "TenantAccount":
+        acct = cls(state["name"], state["weight"])
+        acct.credit = float(state["credit"])
+        acct.last_t = state["last_t"]
+        acct.used_work = float(state["used_work"])
+        acct.used_count = float(state["used_count"])
+        acct.active = int(state["active"])
+        acct.accepted = int(state["accepted"])
+        acct.shed = int(state["shed"])
+        return acct
+
+
+class MultiTenantAdmission(AdmissionController):
+    """Tenant-aware admission: global caps + credits + DRF throttling.
+
+    The base class is used as-is for the global estimator and the cap
+    predicates; this subclass adds the per-tenant decision path
+    (:meth:`decide_tenant`) that the serving layer calls when requests
+    carry tenant labels.  The tenant-blind :meth:`decide` remains valid
+    and charges everything to the ``"default"`` tenant.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig,
+        m: int,
+        tenancy: TenancyConfig = TenancyConfig(),
+        weights: dict[str, float] | None = None,
+    ) -> None:
+        super().__init__(config, m)
+        self.tenancy = tenancy
+        self.tenants: dict[str, TenantAccount] = {}
+        for name, weight in (weights or {}).items():
+            self.tenants[name] = TenantAccount(name, weight)
+
+    # -- tenant registry ---------------------------------------------------
+
+    def ensure_tenant(self, name: str, weight: float = 1.0) -> TenantAccount:
+        """Return the account for ``name``, creating it on first sight."""
+        acct = self.tenants.get(name)
+        if acct is None:
+            acct = TenantAccount(name, weight)
+            self.tenants[name] = acct
+        return acct
+
+    def _total_weight(self) -> float:
+        return sum(a.weight for a in self.tenants.values()) or 1.0
+
+    def entitlement(self, name: str) -> float:
+        """Tenant's fair capacity share in (0, 1]: weight / total weight."""
+        acct = self.tenants.get(name)
+        if acct is None:
+            return 1.0
+        return acct.weight / self._total_weight()
+
+    # -- credit accounting and usage decay ---------------------------------
+
+    def _credit_rate_of(self, acct: TenantAccount) -> float:
+        """Accrual rate in machine-seconds per sim-time unit.
+
+        Re-derived from the *current* tenant set, so a tenant's slice
+        shrinks as new tenants register — exactly like a fair-share
+        allocator re-dividing the machine.
+        """
+        assert self.tenancy.credit_rate is not None
+        return self.tenancy.credit_rate * self.m * self.entitlement(acct.name)
+
+    def _advance(self, acct: TenantAccount, t: float) -> None:
+        """Move ``acct`` to time ``t``: accrue credit, decay usage, once.
+
+        Credit accrual and usage decay share one clock (``last_t``), so
+        they must advance together — separate clocks would let whichever
+        runs first steal the other's elapsed interval.
+        """
+        if acct.last_t is None:
+            acct.last_t = float(t)
+            return
+        dt = t - acct.last_t
+        if dt <= 0:
+            return
+        if self.tenancy.credit_rate is not None:
+            rate = self._credit_rate_of(acct)
+            acct.credit = min(
+                acct.credit + rate * dt, self.tenancy.credit_burst * rate
+            )
+        d = math.exp(-self._alpha * dt)
+        acct.used_work *= d
+        acct.used_count *= d
+        acct.last_t = float(t)
+
+    def credit_balance(self, name: str, t: float) -> float:
+        """Current balance (after accrual to ``t``) in machine-seconds."""
+        acct = self.ensure_tenant(name)
+        self._advance(acct, t)
+        return acct.credit
+
+    def _has_credit(self, acct: TenantAccount, t: float, work: float) -> bool:
+        if self.tenancy.credit_rate is None:
+            return True
+        self._advance(acct, t)
+        rate = self._credit_rate_of(acct)
+        return acct.credit - work >= -self.tenancy.credit_borrow * rate
+
+    # -- dominant shares ---------------------------------------------------
+
+    def dominant_share(self, name: str, t: float) -> float:
+        """The tenant's largest share of any tracked resource, in [0, 1].
+
+        Shares are against the *total* decayed usage across tenants (an
+        idle fleet has no dominant tenant), which is the demand-normalized
+        form of DRF: with one tenant offering 10× the others, its work
+        share tends to 10/12 while each cold tenant's stays near 1/12.
+        """
+        acct = self.tenants.get(name)
+        if acct is None:
+            return 0.0
+        total_work = 0.0
+        total_count = 0.0
+        for other in self.tenants.values():
+            self._advance(other, t)
+            total_work += other.used_work
+            total_count += other.used_count
+        shares = []
+        if total_work > 0:
+            shares.append(acct.used_work / total_work)
+        if total_count > 0:
+            shares.append(acct.used_count / total_count)
+        return max(shares) if shares else 0.0
+
+    def over_entitlement(self, name: str, t: float) -> bool:
+        """Is the tenant's dominant share past headroom × entitlement?"""
+        return self.dominant_share(name, t) > (
+            self.tenancy.drf_headroom * self.entitlement(name)
+        )
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide_tenant(
+        self,
+        t: float,
+        tenant: str,
+        work: float,
+        active: int,
+        backlog_work: float,
+    ) -> AdmissionDecision:
+        """Accept or shed one offered job from ``tenant``.
+
+        Order of checks: the hard queue cap binds everyone; then the
+        tenant's credit; then the soft global caps (backlog, load), which
+        only shed tenants over their DRF entitlement.  Accepted jobs are
+        charged here — callers must not also call :meth:`on_accept`.
+        """
+        acct = self.ensure_tenant(tenant)
+        if self.queue_full(active):
+            acct.shed += 1
+            return AdmissionDecision.SHED_QUEUE_FULL
+        if not self._has_credit(acct, t, work):
+            acct.shed += 1
+            return AdmissionDecision.SHED_NO_CREDIT
+        if self.backlog_exceeded(work, backlog_work) or self.overloaded(t):
+            if self.over_entitlement(tenant, t):
+                acct.shed += 1
+                return AdmissionDecision.SHED_DOMINANT
+        self._charge(acct, t, work)
+        return AdmissionDecision.ACCEPT
+
+    def decide(
+        self, t: float, work: float, active: int, backlog_work: float
+    ) -> AdmissionDecision:
+        """Tenant-blind path: everything is the ``"default"`` tenant."""
+        return self.decide_tenant(t, DEFAULT_TENANT, work, active, backlog_work)
+
+    def _charge(self, acct: TenantAccount, t: float, work: float) -> None:
+        self._advance(acct, t)
+        if self.tenancy.credit_rate is not None:
+            acct.credit -= float(work)
+        acct.used_work += float(work)
+        acct.used_count += 1.0
+        acct.active += 1
+        acct.accepted += 1
+
+    def on_complete(self, tenant: str | None) -> None:
+        """Record one job completion (releases the tenant's queue slot)."""
+        if tenant is None:
+            return
+        acct = self.tenants.get(tenant)
+        if acct is not None and acct.active > 0:
+            acct.active -= 1
+
+    # -- introspection -----------------------------------------------------
+
+    def tenant_stats(self, t: float) -> dict[str, dict]:
+        """Per-tenant snapshot: counters, credit, shares, entitlement."""
+        out: dict[str, dict] = {}
+        for name in sorted(self.tenants):
+            acct = self.tenants[name]
+            row = {
+                "weight": acct.weight,
+                "entitlement": self.entitlement(name),
+                "accepted": acct.accepted,
+                "shed": acct.shed,
+                "active": acct.active,
+                "dominant_share": self.dominant_share(name, t),
+            }
+            if self.tenancy.credit_rate is not None:
+                row["credit"] = self.credit_balance(name, t)
+            out[name] = row
+        return out
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["kind"] = "multi_tenant"
+        state["tenancy"] = {
+            "credit_rate": self.tenancy.credit_rate,
+            "credit_burst": self.tenancy.credit_burst,
+            "credit_borrow": self.tenancy.credit_borrow,
+            "drf_headroom": self.tenancy.drf_headroom,
+        }
+        state["tenants"] = [
+            self.tenants[name].state_dict() for name in sorted(self.tenants)
+        ]
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MultiTenantAdmission":
+        ctrl = cls(
+            AdmissionConfig(**state["config"]),
+            state["m"],
+            tenancy=TenancyConfig(**state["tenancy"]),
+        )
+        ctrl._last_t = state["last_t"]
+        ctrl._count = state["count"]
+        ctrl._work_sum = state["work_sum"]
+        for tenant_state in state["tenants"]:
+            acct = TenantAccount.from_state_dict(tenant_state)
+            ctrl.tenants[acct.name] = acct
+        return ctrl
