@@ -670,7 +670,10 @@ def _serve_shards(args: argparse.Namespace) -> int:
             max_load=args.max_load,
         )
     if admission_config is not None and tenancy is None:
-        tenancy = TenancyConfig()  # caps without tenants: DRF on "default"
+        # caps without tenancy flags: the multi-tenant controller runs
+        # over the lone "default" tenant, whose soft caps fall back to
+        # base-class shedding — same behavior as the serial server
+        tenancy = TenancyConfig()
     router = build_subprocess_router(
         args.shards,
         journal_root,

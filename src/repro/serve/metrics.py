@@ -215,13 +215,14 @@ class RollingMetrics:
             ]
             for name in sorted(self._tenants):
                 win = self._tenants[name]
+                label = _label_escape(name)
                 for outcome, count in (
                     ("submitted", win.submitted),
                     ("completed", win.completed),
                     ("shed", win.shed),
                 ):
                     lines.append(
-                        f'drep_serve_tenant_jobs_total{{tenant="{name}",'
+                        f'drep_serve_tenant_jobs_total{{tenant="{label}",'
                         f'outcome="{outcome}"}} {count}'
                     )
             lines += [
@@ -231,7 +232,8 @@ class RollingMetrics:
             for name in sorted(self._tenants):
                 row = self._tenant_windowed(name)
                 lines.append(
-                    f'drep_serve_tenant_flow_time_mean{{tenant="{name}"}} '
+                    f'drep_serve_tenant_flow_time_mean'
+                    f'{{tenant="{_label_escape(name)}"}} '
                     f"{_fmt(row['mean_flow'])}"
                 )
         return "\n".join(lines) + "\n"
@@ -267,3 +269,14 @@ class RollingMetrics:
 def _fmt(x: float) -> str:
     """Prometheus-friendly float formatting (repr keeps full precision)."""
     return repr(float(x))
+
+
+def _label_escape(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Tenant names are client-supplied, so a quote, backslash or newline
+    would otherwise break the exposition line (and with it the scrape).
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )

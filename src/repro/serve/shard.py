@@ -47,6 +47,7 @@ import bisect
 import json
 import os
 import re
+import selectors
 import signal
 import socket
 import subprocess
@@ -243,16 +244,37 @@ class SubprocessShard:
         return argv
 
     def _await_port(self) -> int:
+        """Wait for the child's ``listening on`` line, honoring the deadline.
+
+        The pipe is polled via :mod:`selectors` and drained with
+        :func:`os.read` — a blocking ``readline()`` would ignore
+        ``start_timeout`` whenever the child starts but never prints the
+        port (and never closes stdout).  Only complete lines are matched,
+        so a port number split across reads cannot match truncated.
+        """
         assert self._proc is not None and self._proc.stdout is not None
         deadline = time.monotonic() + self.start_timeout
-        while time.monotonic() < deadline:
-            line = self._proc.stdout.readline()
-            if not line:
-                break
-            match = _PORT_RE.search(line)
-            if match:
-                return int(match.group(1))
+        fd = self._proc.stdout.fileno()
+        buf = ""
+        with selectors.DefaultSelector() as sel:
+            sel.register(fd, selectors.EVENT_READ)
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if not sel.select(timeout=remaining):
+                    continue  # poll timeout: loop re-checks the deadline
+                chunk = os.read(fd, 4096)
+                if not chunk:
+                    break  # EOF: the child exited or closed stdout
+                buf += chunk.decode(errors="replace")
+                *lines, buf = buf.split("\n")
+                for line in lines:
+                    match = _PORT_RE.search(line)
+                    if match:
+                        return int(match.group(1))
         self._proc.kill()
+        self._proc.wait(timeout=self.start_timeout)
         raise ShardError(f"shard {self.name} did not report a port")
 
     def _connect(self) -> None:
@@ -838,8 +860,10 @@ def build_subprocess_router(
             shard = SubprocessShard(
                 f"shard/{i}", config, config.journal_dir
             )
-            shard.start()
+            # registered before start(): a child that spawned but failed
+            # mid-start (e.g. the connect raised) must still be torn down
             shards.append(shard)
+            shard.start()
     except Exception:
         for shard in shards:
             shard.kill()

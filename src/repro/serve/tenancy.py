@@ -19,16 +19,24 @@ extends (not forks) the controller with two tenant-aware layers:
   congestion signal.
 
 * **Dominant-share (DRF) throttling** — per-tenant exponentially decayed
-  usage is tracked along two resources: accepted *work* (machine-seconds)
-  and accepted *job count* (queue slots).  A tenant's **dominant share**
+  demand is tracked along two resources: *offered work* (machine-seconds)
+  and *offered job count* (queue slots).  A tenant's **dominant share**
   is its larger share of the two totals — the dominant-resource idea of
-  DRF, where fairness is judged on whichever resource a tenant uses most.
-  Whenever a *global* cap (backlog or load ceiling) trips, only tenants
+  DRF, judged on whichever resource a tenant demands most.  Demand is
+  charged on every offer, accepted or shed: a hot tenant stays dominant
+  *while* it is being throttled, instead of laundering its share by
+  being shed for a moment and then flapping back in.
+  Whenever a *global* cap (backlog or load ceiling) trips, tenants
   whose dominant share exceeds ``drf_headroom`` × their entitlement are
   shed (``shed_dominant``); tenants under their entitlement are admitted
   through the congestion, because by definition they are not the ones
-  causing it.  The hard ``max_active`` queue cap still binds everyone —
-  it is engine capacity, not a fairness knob.
+  causing it.  That exemption only applies while the congestion *is*
+  attributable to some dominant tenant: when no tenant is past its
+  headroom (a single tenant, or K tenants overloading uniformly), the
+  tripped cap falls back to base-class shedding (``shed_backlog`` /
+  ``shed_overload``) — otherwise configured ceilings would be no-ops
+  exactly when everyone is over.  The hard ``max_active`` queue cap
+  still binds everyone — it is engine capacity, not a fairness knob.
 
 Entitlements are weight shares over the tenants *seen so far* (tenants
 register implicitly on first offer, or explicitly via
@@ -109,8 +117,8 @@ class TenantAccount:
         self.weight = float(weight)
         self.credit = 0.0  # machine-seconds; may go negative while borrowing
         self.last_t: float | None = None
-        self.used_work = 0.0  # decayed accepted work
-        self.used_count = 0.0  # decayed accepted arrivals
+        self.used_work = 0.0  # decayed offered work (accepted or shed)
+        self.used_count = 0.0  # decayed offered arrivals (accepted or shed)
         self.active = 0  # jobs currently queued or running
         self.accepted = 0
         self.shed = 0
@@ -264,6 +272,16 @@ class MultiTenantAdmission(AdmissionController):
             self.tenancy.drf_headroom * self.entitlement(name)
         )
 
+    def _any_over_entitlement(self, t: float) -> bool:
+        """Is the current congestion attributable to some dominant tenant?
+
+        False for a lone tenant (its share is at most 1.0 < headroom)
+        and for K equally-loaded tenants (each at ~1/K < headroom/K) —
+        the cases where a tripped global cap must still shed, because
+        there is no under-entitlement tenant to protect.
+        """
+        return any(self.over_entitlement(name, t) for name in self.tenants)
+
     # -- decisions ---------------------------------------------------------
 
     def decide_tenant(
@@ -277,22 +295,55 @@ class MultiTenantAdmission(AdmissionController):
         """Accept or shed one offered job from ``tenant``.
 
         Order of checks: the hard queue cap binds everyone; then the
-        tenant's credit; then the soft global caps (backlog, load), which
-        only shed tenants over their DRF entitlement.  Accepted jobs are
-        charged here — callers must not also call :meth:`on_accept`.
+        tenant's credit; then the soft global caps (backlog, load).  A
+        tripped soft cap sheds the offering tenant if it is over its DRF
+        entitlement (``shed_dominant``); if it is under but some *other*
+        tenant is dominant, it is admitted through the congestion; if
+        **no** tenant is over entitlement the cap binds as in the base
+        class (``shed_backlog`` / ``shed_overload``), so caps stay
+        effective under single-tenant or uniform overload.  Every offer
+        (accepted or shed) is charged to the tenant's decayed demand;
+        accepted jobs additionally spend credit and take a queue slot —
+        callers must not also call :meth:`on_accept`.
         """
         acct = self.ensure_tenant(tenant)
-        if self.queue_full(active):
+        decision = self._decide_offer(acct, t, tenant, work, active, backlog_work)
+        # demand is charged on every offer — accepted or shed, so a
+        # throttled hot tenant stays visibly dominant — but *after* the
+        # decision, so tenants are judged on the same prior history
+        # rather than self-bumped by their own in-flight offer
+        self._advance(acct, t)
+        acct.used_work += float(work)
+        acct.used_count += 1.0
+        if decision.accepted:
+            self._charge(acct, t, work)
+        else:
             acct.shed += 1
+        return decision
+
+    def _decide_offer(
+        self,
+        acct: TenantAccount,
+        t: float,
+        tenant: str,
+        work: float,
+        active: int,
+        backlog_work: float,
+    ) -> AdmissionDecision:
+        if self.queue_full(active):
             return AdmissionDecision.SHED_QUEUE_FULL
         if not self._has_credit(acct, t, work):
-            acct.shed += 1
             return AdmissionDecision.SHED_NO_CREDIT
-        if self.backlog_exceeded(work, backlog_work) or self.overloaded(t):
+        backlogged = self.backlog_exceeded(work, backlog_work)
+        if backlogged or self.overloaded(t):
             if self.over_entitlement(tenant, t):
-                acct.shed += 1
                 return AdmissionDecision.SHED_DOMINANT
-        self._charge(acct, t, work)
+            if not self._any_over_entitlement(t):
+                return (
+                    AdmissionDecision.SHED_BACKLOG
+                    if backlogged
+                    else AdmissionDecision.SHED_OVERLOAD
+                )
         return AdmissionDecision.ACCEPT
 
     def decide(
@@ -302,11 +353,10 @@ class MultiTenantAdmission(AdmissionController):
         return self.decide_tenant(t, DEFAULT_TENANT, work, active, backlog_work)
 
     def _charge(self, acct: TenantAccount, t: float, work: float) -> None:
+        """Accept-side accounting (demand was already charged on offer)."""
         self._advance(acct, t)
         if self.tenancy.credit_rate is not None:
             acct.credit -= float(work)
-        acct.used_work += float(work)
-        acct.used_count += 1.0
         acct.active += 1
         acct.accepted += 1
 

@@ -83,6 +83,26 @@ class TestPrometheus:
                 line.startswith(f"# TYPE {base} ") for line in lines
             ), base
 
+    def test_tenant_label_values_are_escaped(self):
+        """Client-supplied tenant names must not break the exposition:
+        backslash, double quote and newline are escaped per the
+        Prometheus text format."""
+        m = RollingMetrics(window=50.0)
+        evil = 'bad"tenant\\with\nnewline'
+        m.on_submit(0.0, tenant=evil)
+        m.on_complete(1.0, 0.5, tenant=evil)
+        text = m.to_prometheus(now=2.0)
+        escaped = 'bad\\"tenant\\\\with\\nnewline'
+        assert (
+            f'drep_serve_tenant_jobs_total{{tenant="{escaped}",'
+            f'outcome="submitted"}} 1'
+        ) in text.splitlines()
+        assert (
+            f'drep_serve_tenant_flow_time_mean{{tenant="{escaped}"}} 0.5'
+        ) in text.splitlines()
+        # the raw name (embedded newline and all) must never appear
+        assert evil not in text
+
     def test_counters_are_monotone_across_windows(self):
         m = RollingMetrics(window=1.0)
         m.on_complete(0.0, 1.0)

@@ -225,3 +225,55 @@ def test_report_json_requires_a_drained_router():
     with build_local_router(2, m=2, policy="srpt", seed=1) as router:
         with pytest.raises(ShardError):
             router.report_json()
+
+
+# -- subprocess lifecycle hardening ----------------------------------------
+
+
+def test_await_port_honors_start_timeout_for_a_silent_child(tmp_path):
+    """A child that starts but never prints the port (and never exits)
+    must fail within start_timeout — a blocking readline would hang."""
+    import subprocess
+    import sys
+    import time
+
+    from repro.serve.server import ServeConfig
+    from repro.serve.shard import ShardError, SubprocessShard
+
+    shard = SubprocessShard(
+        "shard/0", ServeConfig(m=2), tmp_path, start_timeout=0.5
+    )
+    shard._proc = subprocess.Popen(
+        [sys.executable, "-c", "import time; time.sleep(60)"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    t0 = time.monotonic()
+    with pytest.raises(ShardError, match="did not report a port"):
+        shard._await_port()
+    assert time.monotonic() - t0 < 5.0
+    # the silent child was reaped, not orphaned
+    assert shard._proc.returncode is not None
+
+
+@pytest.mark.slow
+def test_build_subprocess_router_reaps_partially_started_shards(
+    tmp_path, monkeypatch
+):
+    """A shard that spawned but failed mid-start (here: the router's
+    connect raises) must be killed by the builder, not leaked."""
+    from repro.serve.shard import SubprocessShard, build_subprocess_router
+
+    spawned = []
+
+    def failing_connect(self):
+        spawned.append(self._proc)
+        raise OSError("injected connect failure")
+
+    monkeypatch.setattr(SubprocessShard, "_connect", failing_connect)
+    with pytest.raises(OSError, match="injected connect failure"):
+        build_subprocess_router(1, tmp_path, m=2, seed=0)
+    assert len(spawned) == 1
+    # wait() returns promptly only because the kill loop reached it
+    assert spawned[0].wait(timeout=10) is not None

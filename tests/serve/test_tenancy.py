@@ -17,7 +17,11 @@ import pytest
 
 from repro.flowsim.engine import FlowSimConfig
 from repro.flowsim.policies import policy_by_name
-from repro.serve.admission import AdmissionConfig, AdmissionDecision
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
 from repro.serve.metrics import RollingMetrics
 from repro.serve.online import OnlineScheduler
 from repro.serve.snapshot import restore_scheduler, snapshot_scheduler
@@ -193,6 +197,64 @@ def test_drf_sheds_the_hot_tenant_and_protects_cold_tenants():
     # the hot tenant is the one being shed, and heavily so
     hot_shed = skew_offered["hot"] - skewed.get("hot", 0)
     assert hot_shed > 0.5 * skew_offered["hot"]
+
+
+def test_soft_caps_still_bind_for_a_single_tenant():
+    """A lone tenant is never 'dominant' (share <= 1.0 < headroom), but
+    configured backlog/load ceilings must shed anyway — via the
+    base-class reasons, exactly like the tenant-blind controller."""
+    adm = _admission(TenancyConfig(), m=4, max_backlog=2.0)
+    assert (
+        adm.decide_tenant(0.0, "solo", work=1.0, active=0, backlog_work=9.0)
+        is AdmissionDecision.SHED_BACKLOG
+    )
+
+    adm = _admission(TenancyConfig(), m=4, max_load=0.5, halflife=5.0)
+    for k in range(100):
+        adm.observe(k * 0.1, 4.0)  # offered load ~10, far past the ceiling
+    assert adm.overloaded(10.0)
+    assert (
+        adm.decide_tenant(10.0, "solo", work=4.0, active=0, backlog_work=0.0)
+        is AdmissionDecision.SHED_OVERLOAD
+    )
+    assert adm.tenants["solo"].shed == 1
+
+
+def test_uniform_overload_sheds_despite_no_dominant_tenant():
+    """K equally-loaded tenants each sit at ~1/K < headroom/K, so the DRF
+    exemption would admit everyone; the fallback keeps the cap binding."""
+    adm = _admission(TenancyConfig(), m=4, max_load=0.5, halflife=5.0)
+    tenants = [f"t{i}" for i in range(4)]
+    sheds = []
+    for k in range(400):
+        t = k * 0.05
+        adm.observe(t, 2.0)
+        decision = adm.decide_tenant(
+            t, tenants[k % 4], work=2.0, active=0, backlog_work=0.0
+        )
+        if not decision.accepted:
+            sheds.append(decision)
+    assert sheds, "load cap never tripped under 10x overload"
+    assert set(sheds) == {AdmissionDecision.SHED_OVERLOAD}
+
+
+def test_caps_only_decisions_match_the_base_controller():
+    """With one implicit tenant and no credits, the multi-tenant path must
+    reproduce AdmissionController.decide verbatim — the contract the
+    router relies on when only --max-* flags are given."""
+    caps = dict(max_active=8, max_backlog=5.0, max_load=0.8, halflife=5.0)
+    base = AdmissionController(AdmissionConfig(**caps), m=4)
+    multi = _admission(TenancyConfig(), m=4, **caps)
+    for k in range(300):
+        t = k * 0.1
+        work = 1.0 + (k % 5)
+        active = k % 12
+        backlog = float(k % 40)
+        base.observe(t, work)
+        multi.observe(t, work)
+        assert base.decide(t, work, active, backlog) is multi.decide(
+            t, work, active, backlog
+        ), f"diverged at arrival {k}"
 
 
 def test_dominant_share_tracks_the_offered_skew():
