@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-compare bench-json sweep-smoke serve-smoke faults-smoke shard-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-compare bench-json trajectory-gate sweep-smoke serve-smoke faults-smoke shard-smoke figures report examples clean
 
 # perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
-PR ?= 5
+PR ?= 7
 
 install:
 	pip install -e '.[test]'
@@ -30,10 +30,17 @@ bench-json:
 # scale and diff it against the committed baseline entry -- any `events`
 # change on a shared case means a frozen workload's behavior moved, and
 # the target exits non-zero.  Timing ratios are printed but not gated.
-BASELINE ?= BENCH_4.json
+BASELINE ?= BENCH_7.json
 bench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats 1 --out /tmp/BENCH_fresh.json
-	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare $(BASELINE) /tmp/BENCH_fresh.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare $(BASELINE) /tmp/BENCH_fresh.json --require-drift
+
+# committed-trajectory gate: the two checked-in entries around the batch
+# kernel must agree on every shared case's `events` (frozen workloads),
+# and the newer one must carry the calibration case so its speedups stay
+# drift-normalizable
+trajectory-gate:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare BENCH_5.json BENCH_7.json --require-drift
 
 # run a small experiment grid serially and through the process pool and
 # require byte-identical rows (the grid runner's determinism contract)

@@ -12,14 +12,17 @@ keeping the library's repro contract *byte-for-byte*:
   its own chunk) and reassembled in submission order, and every cell
   carries its own explicit seed, derived with the library's single
   seed-derivation rule (:func:`repro.core.rng.derive_seed`).
-* **No trace shipping** — cells are small frozen dataclasses; workers
-  regenerate traces from generation parameters and share them through
-  the per-process memo of :mod:`repro.analysis.parallel`, so a grid
-  whose cells differ only in policy generates each trace once per
-  worker.
+* **No per-cell trace shipping** — cells are small frozen dataclasses;
+  trace *columns* travel once per grid through a shared-memory segment
+  (:mod:`repro.analysis.shm`) that workers attach lazily, and when
+  shared memory is unavailable workers fall back to regenerating traces
+  from generation parameters through the per-process memo of
+  :mod:`repro.analysis.parallel`.  Either way a grid whose cells differ
+  only in policy materializes each trace once per worker.
 * **Observability** — pass a :class:`repro.perf.PerfCounters` and the
   dispatch shape lands in ``pool_tasks`` / ``pool_chunks`` /
-  ``pool_workers`` (reported by the grid-sweep bench cases).
+  ``pool_workers`` / ``pool_shm_traces`` / ``pool_shm_bytes`` (reported
+  by the grid-sweep bench cases).
 
 ``FlowSweepCell`` rows carry the same fields as the serial
 :func:`repro.analysis.experiments.run_flow_sweep` rows plus ``seed`` and
@@ -106,6 +109,8 @@ def run_grid(
     workers: "int | str | None" = 1,
     chunk_size: int | None = None,
     counters=None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
 ) -> list:
     """Run ``fn`` over ``tasks``; result order == task order, always.
 
@@ -117,6 +122,18 @@ def run_grid(
     granularity (default :func:`default_chunk_size`): chunks are
     submitted up front and completed in any order (work stealing), then
     reassembled by chunk index.
+
+    ``initializer`` / ``initargs`` run once in each worker process before
+    any chunk (the hook the shared-memory trace shipment uses to install
+    its manifest).  They are **not** invoked on the inline ``workers=1``
+    path — the parent process already holds whatever state the
+    initializer would install.
+
+    Degenerate dispatch shapes are normalized rather than spawning a
+    useless pool: an empty task list returns ``[]`` without touching the
+    pool or the counters, and ``workers > len(tasks)`` is clamped so no
+    worker is ever created without at least one chunk to run.  An
+    explicit ``chunk_size < 1`` is a caller bug and raises.
     """
     tasks = list(tasks)
     workers = resolve_workers(workers)
@@ -124,6 +141,8 @@ def run_grid(
         workers = os.cpu_count() or 1
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     if not tasks:
         return []
     workers = min(workers, len(tasks))
@@ -140,7 +159,9 @@ def run_grid(
     if counters is not None:
         counters.pool_chunks += len(chunks)
     results: list[list | None] = [None] * len(chunks)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=initializer, initargs=initargs
+    ) as pool:
         futures = {
             pool.submit(_run_chunk, fn, chunk): i
             for i, chunk in enumerate(chunks)
@@ -262,18 +283,67 @@ def flow_sweep_cells(
 
 def run_flow_grid(
     cells: Sequence[FlowSweepCell],
-    workers: int | None = 1,
+    workers: "int | str | None" = 1,
     chunk_size: int | None = None,
     counters=None,
 ) -> list[dict]:
-    """Run a flow-cell grid through :func:`run_grid`."""
-    return run_grid(
-        _run_flow_cell,
-        cells,
-        workers=workers,
-        chunk_size=chunk_size,
-        counters=counters,
-    )
+    """Run a flow-cell grid through :func:`run_grid`.
+
+    When the grid actually fans out (resolved ``workers > 1``), the
+    distinct traces behind the cells are generated once in the parent
+    and shipped to the workers through one shared-memory segment
+    (:mod:`repro.analysis.shm`): workers reconstruct each trace from the
+    packed columns instead of re-running ``generate_trace`` per process.
+    The reconstruction is bit-exact, so rows remain byte-identical to
+    ``workers=1``; if shared memory is unavailable the grid silently
+    stays on the per-process regeneration path.  The segment is unlinked
+    as soon as the grid returns.
+    """
+    resolved = resolve_workers(workers)
+    if resolved is None:
+        resolved = os.cpu_count() or 1
+    shipment = None
+    initializer: Callable | None = None
+    initargs: tuple = ()
+    if resolved > 1 and len(cells) > 1:
+        from repro.analysis import shm
+        from repro.analysis.parallel import memoized_trace
+
+        keyed: dict[tuple, object] = {}
+        for cell in cells:
+            key = (
+                cell.distribution,
+                cell.load,
+                cell.m,
+                cell.n_jobs,
+                cell.mode,
+                cell.seed,
+            )
+            if key not in keyed:
+                keyed[key] = memoized_trace(*key)
+        try:
+            manifest, shipment = shm.pack_flow_traces(keyed)
+        except shm.ShmUnavailable:
+            shipment = None  # memo path: workers regenerate as before
+        else:
+            initializer = shm.install_manifest
+            initargs = (manifest,)
+            if counters is not None:
+                counters.pool_shm_traces += shipment.n_traces
+                counters.pool_shm_bytes += shipment.nbytes
+    try:
+        return run_grid(
+            _run_flow_cell,
+            cells,
+            workers=workers,
+            chunk_size=chunk_size,
+            counters=counters,
+            initializer=initializer,
+            initargs=initargs,
+        )
+    finally:
+        if shipment is not None:
+            shipment.close_and_unlink()
 
 
 @dataclass(frozen=True)

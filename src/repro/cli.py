@@ -381,6 +381,19 @@ def main(argv: list[str] | None = None) -> int:
         help="compare two trajectory entries (PR numbers or BENCH_*.json "
         "paths) instead of running the suite; prints per-case speedups",
     )
+    p11.add_argument(
+        "--require-drift",
+        action="store_true",
+        help="with --compare: fail unless the NEW entry carries the "
+        "calibration case (machine-drift normalization)",
+    )
+    p11.add_argument(
+        "--profile",
+        action="store_true",
+        help="add one untimed cProfile pass per case; writes "
+        "<case>.cprofile.txt top-20 cumulative listings next to the "
+        "BENCH json (or into ./bench_profiles when not writing one)",
+    )
 
     p12 = sub.add_parser(
         "faults",
@@ -520,12 +533,23 @@ def _load_bench_entry(ref: str) -> dict:
     return entries[pr]
 
 
-def _bench_compare(old_ref: str, new_ref: str) -> int:
+def _bench_compare(old_ref: str, new_ref: str, require_drift: bool = False) -> int:
     """Print per-case speedup ratios between two trajectory entries."""
-    from repro.perf import drift_factor
+    from repro.perf import CALIBRATION_CASE, drift_factor
 
     old, new = _load_bench_entry(old_ref), _load_bench_entry(new_ref)
     ob, nb = old.get("benches", {}), new.get("benches", {})
+    if require_drift and CALIBRATION_CASE not in nb:
+        # the NEW entry must carry the calibration case so future
+        # comparisons can normalize machine drift; the OLD side may
+        # legitimately predate it
+        print(
+            f"bench --compare: --require-drift set but {new_ref!r} has no "
+            f"'{CALIBRATION_CASE}' case — its speedups can never be "
+            "drift-normalized",
+            file=sys.stderr,
+        )
+        return 1
     shared = [name for name in nb if name in ob]
     if not shared:
         print("bench --compare: the two entries share no case names", file=sys.stderr)
@@ -586,7 +610,7 @@ def _bench(args: argparse.Namespace) -> int:
     )
 
     if args.compare is not None:
-        return _bench_compare(*args.compare)
+        return _bench_compare(*args.compare, require_drift=args.require_drift)
     scale = args.scale
     if scale is None:
         scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -603,8 +627,15 @@ def _bench(args: argparse.Namespace) -> int:
             return 2
         cases = tuple(by_name[name] for name in args.cases)
     print(f"# drep-sim bench — scale={scale:g}, repeats={args.repeats}")
+    profile_dir = None
+    if args.profile:
+        from pathlib import Path
+
+        out = args.out or (f"BENCH_{args.pr}.json" if args.pr is not None else None)
+        profile_dir = str(Path(out).resolve().parent) if out else "bench_profiles"
     rows = run_bench_suite(
-        scale=scale, repeats=args.repeats, cases=cases, progress=print
+        scale=scale, repeats=args.repeats, cases=cases, progress=print,
+        profile_dir=profile_dir,
     )
     if args.out is not None or args.pr is not None:
         entry = trajectory_entry(

@@ -72,6 +72,34 @@ class FlowSimError(RuntimeError):
     """Raised when a policy violates an engine invariant or the run stalls."""
 
 
+def _make_view(
+    t: float,
+    m: int,
+    job_ids: np.ndarray,
+    remaining: np.ndarray,
+    work: np.ndarray,
+    release: np.ndarray,
+    caps: np.ndarray,
+    speed: float,
+) -> ActiveView:
+    """Build an :class:`ActiveView` without the frozen-dataclass
+    ``__init__`` (one ``object.__setattr__`` per field, ~3× the cost of a
+    plain dict fill); field values are exactly what the constructor would
+    store, so views from either path are indistinguishable."""
+    view = ActiveView.__new__(ActiveView)
+    view.__dict__.update(
+        t=t,
+        m=m,
+        job_ids=job_ids,
+        remaining=remaining,
+        work=work,
+        release=release,
+        caps=caps,
+        speed=speed,
+    )
+    return view
+
+
 def default_max_events(n: int) -> int:
     """Event-budget used when :attr:`FlowSimConfig.max_events` is ``None``.
 
@@ -127,6 +155,17 @@ class FlowSimConfig:
     paths are bit-for-bit identical by contract (the golden tests and a
     Hypothesis property pin this); ``False`` forces the object path, which
     is mainly useful for equivalence testing.
+
+    ``use_batch_horizon`` enables the completion-horizon batch kernel:
+    when the policy opts in via
+    :attr:`~repro.flowsim.policies.base.Policy.batch_horizon` (and no
+    fault plan, timer, profile or segment recording intervenes),
+    :meth:`FlowStepper.drain` and :meth:`FlowStepper.advance_to` fold the
+    whole run of events between true decision points into one kernel pass
+    instead of one :meth:`FlowStepper.step` call per event.  The kernel
+    is bit-for-bit identical to the per-event path (goldens plus the
+    batched≡unit Hypothesis suite pin this); ``False`` forces per-event
+    stepping, which is mainly useful for equivalence testing.
     """
 
     completion_tol: float = 1e-9
@@ -136,6 +175,7 @@ class FlowSimConfig:
     record_segments: bool = False
     check_every_k: int = 32
     use_rates_array: bool = True
+    use_batch_horizon: bool = True
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
@@ -241,22 +281,24 @@ class FlowStepper:
         """
         cap = self._release.size
         self._a_ids = np.zeros(cap, dtype=np.int64)
-        self._a_rem = np.zeros(cap, dtype=float)
-        self._a_caps = np.zeros(cap, dtype=float)
-        self._a_tol = np.zeros(cap, dtype=float)
-        self._a_work = np.zeros(cap, dtype=float)
-        self._a_rel = np.zeros(cap, dtype=float)
-        self._abufs = (
-            self._a_ids,
+        # the five float columns are rows of one (5, cap) block, so a
+        # completion compacts all of them with a single 2-D memmove
+        # instead of five 1-D ones; the named attributes are row *views*
+        self._a_blk = np.zeros((5, cap), dtype=float)
+        (
             self._a_rem,
             self._a_caps,
             self._a_tol,
             self._a_work,
             self._a_rel,
-        )
-        # scratch for per-segment finish times (no job state — not in
-        # ``_abufs``, never compacted, contents dead between events)
+        ) = self._a_blk
+        # scratch for per-segment finish times (no job state — outside
+        # the block, never compacted, contents dead between events)
         self._a_fin = np.zeros(cap, dtype=float)
+        # scratch backing the batch kernel's aligned rate vector: shifts
+        # and appends mutate it in place instead of reallocating per
+        # event (no job state; dead outside one kernel pass)
+        self._vec_buf = np.zeros(cap, dtype=float)
         ids = sorted(int(j) for j in self._act_ids)
         self._na = len(ids)
         for k, j in enumerate(ids):
@@ -290,10 +332,33 @@ class FlowStepper:
             and ptype.rates_array is not Policy.rates_array
             else None
         )
+        # sparse complement used only by the batch kernel (the per-event
+        # path always rebuilds, so the two surfaces stay cross-checkable)
+        self._rates_patch_fn = (
+            self.policy.rates_array_patch
+            if self._rates_array_fn is not None
+            and ptype.rates_array_patch is not Policy.rates_array_patch
+            else None
+        )
         # profile-driven caps move with attained work, which changes
         # between events without any composition change — no reuse then
         self._rates_stable = (
             bool(self.policy.rates_stable) and not self.config.use_profiles
+        )
+        # completion-horizon batch kernel eligibility: everything that
+        # could interleave a non-arrival/non-completion event (timers,
+        # fault points, profile breakpoints) or observe segment structure
+        # (record_segments) forces the per-event path; the policy opt-in
+        # carries the behavioral contract (see Policy.batch_horizon)
+        self._batch_ok = (
+            cfg.use_batch_horizon
+            and self._rates_stable
+            and self._rates_array_fn is not None
+            and getattr(self.policy, "batch_horizon", False)
+            and not self._has_timer
+            and not self._use_profiles
+            and not self._record_segments
+            and self.faults is None
         )
         self.perf = PerfCounters()
 
@@ -425,6 +490,73 @@ class FlowStepper:
             self._weights_dirty = True
         return j
 
+    def add_jobs(self, specs: list[JobSpec]) -> None:
+        """Bulk :meth:`add_job`: register a whole trace in one pass.
+
+        Semantically identical to calling ``add_job`` per spec (same
+        validation, same stored values bit for bit) but the per-job
+        column writes become sliced vector stores, which matters when a
+        harness registers thousands of jobs before every run.
+        """
+        n_new = len(specs)
+        if not n_new:
+            return
+        n0 = self._n
+        for i, spec in enumerate(specs):
+            if spec.job_id != n0 + i:
+                raise ValueError(
+                    f"job_id must be dense in submit order: expected "
+                    f"{n0 + i}, got {spec.job_id}"
+                )
+        rel = np.fromiter((s.release for s in specs), float, n_new)
+        if n_new > 1 and (rel[1:] < rel[:-1]).any():
+            raise ValueError("job releases must be non-decreasing")
+        if n0 and rel[0] < self._release[n0 - 1]:
+            raise ValueError("job releases must be non-decreasing")
+        if rel[0] < self._t - 1e-9 * max(1.0, self._t):
+            raise ValueError(
+                f"cannot register a job released in the past "
+                f"(release={rel[0]:.6g} < now={self._t:.6g})"
+            )
+        self._ensure_capacity(n0 + n_new)
+        end = n0 + n_new
+        work = np.fromiter((s.work for s in specs), float, n_new)
+        self._release[n0:end] = rel
+        self._work[n0:end] = work
+        m = self.m
+        self._caps_all[n0:end] = np.fromiter(
+            (s.mode.rate_cap(m) for s in specs), float, n_new
+        )
+        self._weights[n0:end] = np.fromiter(
+            (s.weight for s in specs), float, n_new
+        )
+        # completion_tol * max(1.0, work) elementwise — the same two
+        # IEEE ops per entry as the scalar path
+        self._tol[n0:end] = self.config.completion_tol * np.maximum(1.0, work)
+        self._flow[n0:end] = np.nan
+        self._specs.extend(specs)
+        use_profiles = self.config.use_profiles
+        for spec in specs:
+            prof: ParallelismProfile | None = None
+            if (
+                use_profiles
+                and spec.mode is ParallelismMode.DAG
+                and spec.dag is not None
+            ):
+                base = ParallelismProfile.from_dag(spec.dag)
+                unit = spec.work / base.total_work
+                prof = ParallelismProfile(
+                    work_breaks=base.work_breaks * unit,
+                    parallelism=base.parallelism,
+                )
+            self._profiles.append(prof)
+        self._n = end
+        self._max_events = 0  # budget scales with n; recompute lazily
+        if self._next_arrival == n0:
+            self._next_rel = float(rel[0])
+        if hasattr(self.policy, "set_weights"):
+            self._weights_dirty = True
+
     def _ensure_capacity(self, n: int) -> None:
         cap = self._release.size
         if n <= cap:
@@ -450,20 +582,18 @@ class FlowStepper:
             return out
 
         self._a_ids = grow_active(self._a_ids)
-        self._a_rem = grow_active(self._a_rem)
-        self._a_caps = grow_active(self._a_caps)
-        self._a_tol = grow_active(self._a_tol)
-        self._a_work = grow_active(self._a_work)
-        self._a_rel = grow_active(self._a_rel)
-        self._abufs = (
-            self._a_ids,
+        blk = np.zeros((5, new), dtype=float)
+        blk[:, : self._na] = self._a_blk[:, : self._na]
+        self._a_blk = blk
+        (
             self._a_rem,
             self._a_caps,
             self._a_tol,
             self._a_work,
             self._a_rel,
-        )
+        ) = blk
         self._a_fin = np.zeros(new, dtype=float)
+        self._vec_buf = np.zeros(new, dtype=float)
 
     # -- stepping ----------------------------------------------------------
 
@@ -514,17 +644,22 @@ class FlowStepper:
         na = self._na
         ids = self._a_ids[:na]
         rem = self._a_rem[:na]
-        caps, m_view, speed = self._segment_caps(ids, rem)
+        if self._use_profiles or self.faults is not None:
+            caps, m_view, speed = self._segment_caps(ids, rem)
+        else:
+            caps = self._a_caps[:na]
+            m_view = self.m
+            speed = self._speed
         self.perf.view_builds += 1
-        return ActiveView(
-            t=self._t,
-            m=m_view,
-            job_ids=ids,
-            remaining=rem,
-            work=self._a_work[:na],
-            release=self._a_rel[:na],
-            caps=caps,
-            speed=speed,
+        return _make_view(
+            self._t,
+            m_view,
+            ids,
+            rem,
+            self._a_work[:na],
+            self._a_rel[:na],
+            caps,
+            speed,
         )
 
     def _check_rates(
@@ -577,16 +712,16 @@ class FlowStepper:
     def _remove_active(self, pos: int) -> None:
         """Drop the job at buffer position ``pos``, compacting left."""
         na = self._na
-        for buf in self._abufs:
-            buf[pos : na - 1] = buf[pos + 1 : na]
+        self._a_ids[pos : na - 1] = self._a_ids[pos + 1 : na]
+        self._a_blk[:, pos : na - 1] = self._a_blk[:, pos + 1 : na]
         self._na = na - 1
 
     def _insert_active(self, j: int, rem_val: float) -> None:
         """Insert job ``j`` at its sorted position (fault resume path)."""
         na = self._na
         pos = int(self._a_ids[:na].searchsorted(j))
-        for buf in self._abufs:
-            buf[pos + 1 : na + 1] = buf[pos:na]
+        self._a_ids[pos + 1 : na + 1] = self._a_ids[pos:na]
+        self._a_blk[:, pos + 1 : na + 1] = self._a_blk[:, pos:na]
         self._a_ids[pos] = j
         self._a_rem[pos] = rem_val
         self._a_caps[pos] = self._caps_all[j]
@@ -867,8 +1002,8 @@ class FlowStepper:
             else:
                 keep = ~done_mask
                 nk = na - int(done.size)
-                for buf in self._abufs:
-                    buf[:nk] = buf[:na][keep]
+                self._a_ids[:nk] = self._a_ids[:na][keep]
+                self._a_blk[:, :nk] = self._a_blk[:, :na][:, keep]
                 self._na = nk
                 for j in done.tolist():
                     self._flow[j] = t - self._release[j]
@@ -877,6 +1012,416 @@ class FlowStepper:
                 self._rates_cache = None
         return True
 
+    def _batched_steps(self, horizon: float | None) -> bool:
+        """Fold a whole run of events into one kernel pass.
+
+        The completion-horizon batch kernel: semantically this is
+        :meth:`step` called in a loop, specialized to the configurations
+        ``_batch_ok`` admits — stable vectorized rates, no faults, no
+        timers, no profiles, no segment recording — with the per-call
+        dispatch overhead hoisted out of the loop.  Every iteration
+        replicates one ``step()`` invocation *exactly*: the same
+        admission threshold, the same per-element divisions and minimum,
+        the same sequential ``dt`` bounds, the same lowest-id-first
+        completion order with identical hook views (hence identical RNG
+        draw sequences), and the same event accounting against
+        ``max_events``.  The golden tests and the batched≡unit
+        Hypothesis suite (``tests/flowsim/test_batch_equivalence.py``)
+        pin the equivalence bit for bit.
+
+        Where the active set is much larger than the served set (DREP
+        gives out at most ``m`` processors), the segment solve gathers
+        the few served entries instead of sweeping all ``n_active`` —
+        valid bitwise because an ``eff == 0`` entry is exactly unchanged
+        by ``rem -= eff * dt`` and can only complete in a segment where
+        it was already within tolerance (the dense scan is kept for the
+        first segment after any admission, the one place such an entry
+        can appear).
+
+        Returns like ``step()``: ``True`` while progress was made,
+        ``False`` when nothing can happen before ``horizon`` (the clock
+        is parked there when one is given).
+        """
+        if self._weights_dirty:
+            self._push_weights()
+        max_events = self._max_events
+        if not max_events:
+            max_events = self.config.max_events or default_max_events(self._n)
+            self._max_events = max_events
+        perf = self.perf
+        policy = self.policy
+        fn = self._rates_array_fn
+        patch_fn = self._rates_patch_fn
+        speed = self._speed
+        m = self.m
+        n = self._n
+        has_completion = self._has_completion_hook
+        has_arrival = self._has_arrival_hook
+        check_k = self._check_k
+        admit_mul = 1.0 + _ADMIT_TOL
+        a_ids = self._a_ids
+        a_rem = self._a_rem
+        a_caps = self._a_caps
+        a_tol = self._a_tol
+        a_work = self._a_work
+        a_rel = self._a_rel
+        a_fin = self._a_fin
+        a_blk = self._a_blk
+        vbuf = self._vec_buf
+        flow = self._flow
+        release = self._release
+        work_all = self._work
+        caps_all = self._caps_all
+        tol_all = self._tol
+        rem_all = self._rem
+        completions = self._completions
+        radd = np.add.reduce
+        rmin = np.minimum.reduce
+        folded = 0
+        # per-iteration state lives in locals (the finally block flushes
+        # it back): attribute traffic is a measurable share of a
+        # multi-thousand-event drain when each iteration is only a
+        # handful of small numpy calls
+        ev = self._events
+        t = self._t
+        na = self._na
+        ja = self._next_arrival
+        next_rel = self._next_rel
+        cache = self._rates_cache
+        busy = self._busy_time
+        completed = self._completed
+        rate_calls = self._rate_calls
+        c_miss = c_hit = c_run = c_skip = c_reuse = c_views = c_patch = 0
+        # entry state is unknown (a horizon-parked step may have admitted
+        # jobs without running a completion scan), so the first segment
+        # always uses the dense scan
+        fresh = True
+        # the previous segment's rate vector, kept *structurally aligned*
+        # with the active buffers across admissions/completions so the
+        # policy's rates_array_patch can update it sparsely; None until
+        # the first full compute (or always, without a patch hook)
+        vec = None
+        ret = True
+        try:
+            while True:
+                ev += 1
+                folded += 1
+                if ev > max_events:
+                    raise FlowSimError(
+                        f"{policy.name}: exceeded {max_events} events "
+                        f"({completed}/{n} jobs done at "
+                        f"t={t:.6g})"
+                        " — Zeno loop?"
+                    )
+
+                # ---- admit arrivals due now -------------------------
+                # (inline _admit_due: same threshold, same per-admission
+                # bookkeeping and hook views, minus the call overhead)
+                thresh = t * admit_mul
+                if next_rel <= thresh:
+                    na0 = na
+                    while ja < n and next_rel <= thresh:
+                        w = work_all[ja]
+                        a_ids[na] = ja
+                        a_rem[na] = w
+                        a_caps[na] = caps_all[ja]
+                        a_tol[na] = tol_all[ja]
+                        a_work[na] = w
+                        a_rel[na] = release[ja]
+                        na += 1
+                        rem_all[ja] = w
+                        ja += 1
+                        next_rel = (
+                            float(release[ja]) if ja < n else np.inf
+                        )
+                        cache = None
+                        if has_arrival:
+                            c_views += 1
+                            policy.on_arrival(
+                                ja - 1,
+                                _make_view(
+                                    t,
+                                    m,
+                                    a_ids[:na],
+                                    a_rem[:na],
+                                    a_work[:na],
+                                    a_rel[:na],
+                                    a_caps[:na],
+                                    speed,
+                                ),
+                            )
+                    if vec is not None:
+                        # align the kept rate vector: admissions append
+                        # at the end (ids are handed out in sorted order)
+                        # with rate 0 until the patch says otherwise
+                        # (vec is a prefix view of vbuf, so this is one
+                        # in-place fill, not a reallocation)
+                        vbuf[na0:na] = 0.0
+                        vec = vbuf[:na]
+                    fresh = True
+                if not na:
+                    if ja < n:
+                        if horizon is not None and (
+                            next_rel > horizon * admit_mul
+                        ):
+                            # next event beyond the horizon: park there
+                            t = max(t, float(horizon))
+                            ret = False
+                            break
+                        t = max(t, next_rel)
+                        # one idle-jump event; the next iteration admits
+                        # (advance_to would stop here if the jump landed
+                        # at/over the horizon)
+                        if horizon is not None and not (
+                            t * admit_mul < horizon
+                        ):
+                            break
+                        continue
+                    if horizon is not None:
+                        t = max(t, float(horizon))
+                    ret = False  # nothing active, nothing to come
+                    break
+
+                # ---- constant-rate segment until the next event -----
+                ids = a_ids[:na]
+                rem = a_rem[:na]
+                if cache is None:
+                    c_miss += 1
+                    caps = a_caps[:na]
+                    rates = None
+                    if vec is not None:
+                        # sparse path: vec is the previous vector aligned
+                        # to the current composition; the policy reports
+                        # only the entries that moved (bit-equal to a
+                        # full rebuild by the rates_array_patch contract)
+                        pairs = patch_fn(ids, caps)
+                        if pairs is not None:
+                            for pos, val in pairs:
+                                vec[pos] = val
+                            rates = vec
+                            c_patch += 1
+                    if rates is None:
+                        rates = np.asarray(
+                            fn(
+                                t, m, ids, rem,
+                                a_work[:na], a_rel[:na], caps,
+                            ),
+                            dtype=float,
+                        )
+                    # inline _check_rates: same shape gate, same
+                    # amortized-verification cadence as per-event — one
+                    # counted call per decision point, patched or not
+                    if rates.shape != (na,):
+                        raise FlowSimError(
+                            f"{policy.name}: rates shape {rates.shape} "
+                            f"!= ({na},)"
+                        )
+                    calls = rate_calls
+                    rate_calls = calls + 1
+                    if calls % check_k:
+                        c_skip += 1
+                    else:
+                        c_run += 1
+                        if (rates < -_RATE_TOL).any():
+                            raise FlowSimError(
+                                f"{policy.name}: negative rate"
+                            )
+                        if (rates > caps * (1 + _RATE_TOL) + _RATE_TOL).any():
+                            raise FlowSimError(
+                                f"{policy.name}: rate exceeds per-job cap"
+                            )
+                        if rates.sum() > m * (1 + _RATE_TOL) + _RATE_TOL:
+                            raise FlowSimError(
+                                f"{policy.name}: total rate "
+                                f"{rates.sum():.6g} exceeds m={m}"
+                            )
+                        rates = np.clip(rates, 0.0, None)
+                    rsum = float(radd(rates))
+                    cache = (rates, rsum)
+                else:
+                    c_hit += 1
+                    rates, rsum = cache
+                if patch_fn is not None and rates is not vec:
+                    # a fresh array reached us (full rebuild, check-pass
+                    # clip, or a cache carried over from the per-event
+                    # path): copy it into the scratch so the completion /
+                    # admission shifts below can mutate in place
+                    vbuf[:na] = rates
+                    vec = vbuf[:na]
+                c_reuse += 1
+                eff = rates * speed if speed != 1.0 else rates
+
+                served = eff > 0
+                if na >= 32:
+                    sp = served.nonzero()[0]
+                    ns = sp.size
+                    sparse = 4 * ns <= na
+                else:
+                    # tiny active sets: the dense sweep is cheaper than
+                    # the nonzero() gather (both are bit-equal)
+                    sparse = False
+                if sparse:
+                    eff_s = eff[sp]
+                    dt = float(rmin(rem[sp] / eff_s)) if ns else np.inf
+                else:
+                    finish = a_fin[:na]
+                    finish[:] = np.inf
+                    np.divide(rem, eff, out=finish, where=served)
+                    dt = float(rmin(finish))
+                if ja < n:
+                    dt_arr = next_rel - t
+                    if dt_arr < dt:
+                        dt = dt_arr
+                if horizon is not None and horizon > t:
+                    dt_hor = float(horizon) - t
+                    if dt_hor < dt:
+                        dt = dt_hor
+
+                if dt == np.inf:
+                    if horizon is not None:
+                        ret = False  # parked with idle-rate jobs
+                        break
+                    raise FlowSimError(
+                        f"{policy.name}: stalled at t={t:.6g} with "
+                        f"{na} active jobs, zero rates and no "
+                        "future events"
+                    )
+                if dt < 0:
+                    raise FlowSimError(
+                        f"{policy.name}: negative time step {dt}"
+                    )
+
+                if dt > 0:
+                    if sparse:
+                        rem[sp] -= eff_s * dt
+                    else:
+                        rem -= eff * dt
+                    busy += rsum * dt
+                    t += dt
+
+                # ---- completions ------------------------------------
+                sparse_done = sparse and not fresh
+                if sparse_done:
+                    dpos = sp[rem[sp] <= a_tol[:na][sp]] if ns else sp
+                    n_done = int(dpos.size)
+                else:
+                    # nonzero() both counts and locates the finished
+                    # entries in one pass (count_nonzero + argmax would
+                    # be two)
+                    done_mask = rem <= a_tol[:na]
+                    dpos = done_mask.nonzero()[0]
+                    n_done = dpos.size
+                    fresh = False
+                if n_done == 1:
+                    # the overwhelmingly common case: one job finishes —
+                    # scalar bookkeeping, no fancy-index round trips
+                    p = int(dpos[0])
+                    j = int(ids[p])
+                    rem_all[j] = rem[p]
+                    a_ids[p : na - 1] = a_ids[p + 1 : na]
+                    a_blk[:, p : na - 1] = a_blk[:, p + 1 : na]
+                    na -= 1
+                    if vec is not None:
+                        vbuf[p:na] = vbuf[p + 1 : na + 1]
+                        vec = vbuf[:na]
+                    flow[j] = t - release[j]
+                    completed += 1
+                    completions.append((j, t))
+                    cache = None
+                    if has_completion:
+                        c_views += 1
+                        policy.on_completion(
+                            j,
+                            _make_view(
+                                t,
+                                m,
+                                a_ids[:na],
+                                a_rem[:na],
+                                a_work[:na],
+                                a_rel[:na],
+                                a_caps[:na],
+                                speed,
+                            ),
+                        )
+                elif n_done:
+                    done = ids[dpos]
+                    rem_all[done] = rem[dpos]
+                    if has_completion:
+                        for j in done.tolist():
+                            p = int(a_ids[:na].searchsorted(j))
+                            a_ids[p : na - 1] = a_ids[p + 1 : na]
+                            a_blk[:, p : na - 1] = a_blk[:, p + 1 : na]
+                            na -= 1
+                            if vec is not None:
+                                vbuf[p:na] = vbuf[p + 1 : na + 1]
+                                vec = vbuf[:na]
+                            flow[j] = t - release[j]
+                            completed += 1
+                            completions.append((j, t))
+                            cache = None
+                            c_views += 1
+                            policy.on_completion(
+                                j,
+                                _make_view(
+                                    t,
+                                    m,
+                                    a_ids[:na],
+                                    a_rem[:na],
+                                    a_work[:na],
+                                    a_rel[:na],
+                                    a_caps[:na],
+                                    speed,
+                                ),
+                            )
+                    else:
+                        if sparse_done:
+                            keep = np.ones(na, dtype=bool)
+                            keep[dpos] = False
+                        else:
+                            keep = ~done_mask
+                        nk = na - n_done
+                        a_ids[:nk] = ids[keep]
+                        a_blk[:, :nk] = a_blk[:, :na][:, keep]
+                        na = nk
+                        if vec is not None:
+                            # fancy indexing copies first, so writing the
+                            # result back into the scratch is safe
+                            vbuf[:nk] = vec[keep]
+                            vec = vbuf[:nk]
+                        for j in done.tolist():
+                            flow[j] = t - release[j]
+                            completed += 1
+                            completions.append((j, t))
+                        cache = None
+
+                # ---- batch-window exit ------------------------------
+                if horizon is not None:
+                    if not (t * admit_mul < horizon):
+                        break
+                elif completed == n:
+                    break
+        finally:
+            self._events = ev
+            self._t = t
+            self._na = na
+            self._next_arrival = ja
+            self._next_rel = next_rel
+            self._rates_cache = cache
+            self._busy_time = busy
+            self._completed = completed
+            self._rate_calls = rate_calls
+            perf.rate_misses += c_miss
+            perf.rate_hits += c_hit
+            perf.checks_run += c_run
+            perf.checks_skipped += c_skip
+            perf.view_reuses += c_reuse
+            perf.view_builds += c_views
+            perf.batch_rate_patches += c_patch
+            if folded:
+                perf.batch_jumps += 1
+                perf.batch_events_folded += folded
+        return ret
+
     def advance_to(self, t: float) -> None:
         """Process every event with time ≤ ``t`` and park the clock there.
 
@@ -884,12 +1429,22 @@ class FlowStepper:
         impossible; the clock never moves backwards).
         """
         t = float(t)
+        if self._batch_ok:
+            while self._t * (1 + _ADMIT_TOL) < t:
+                if not self._batched_steps(t):
+                    break
+            return
         while self._t * (1 + _ADMIT_TOL) < t:
             if not self.step(horizon=t):
                 break
 
     def drain(self) -> None:
         """Step until every registered job has completed."""
+        if self._batch_ok:
+            while self._completed < self._n:
+                if not self._batched_steps(None):
+                    break  # unreachable while jobs remain; defensive
+            return
         while self._completed < self._n:
             if not self.step():
                 break  # unreachable while jobs remain; defensive
@@ -996,6 +1551,7 @@ class FlowStepper:
                 "record_segments": self.config.record_segments,
                 "check_every_k": self.config.check_every_k,
                 "use_rates_array": self.config.use_rates_array,
+                "use_batch_horizon": self.config.use_batch_horizon,
             },
             "t": self._t,
             "next_arrival": self._next_arrival,
@@ -1131,8 +1687,7 @@ def simulate(
     if len(trace) == 0:
         return ScheduleResult(scheduler=policy.name, m=m, flow_times=np.empty(0))
     stepper = FlowStepper(m, policy, seed=seed, config=config, faults=faults)
-    for spec in trace.jobs:
-        stepper.add_job(spec)
+    stepper.add_jobs(list(trace.jobs))
     stepper.perf.start()
     stepper.drain()
     stepper.perf.stop()

@@ -97,6 +97,25 @@ class Policy(abc.ABC):
     #: ``False``.
     rates_stable: bool = False
 
+    #: **Batched-horizon opt-in** (the flowsim completion-horizon
+    #: kernel).  ``True`` lets the engine fold whole runs of events
+    #: between true decision points — every completion before the next
+    #: arrival, and the arrivals themselves — into one vectorized kernel
+    #: pass over its flat buffers instead of one ``step()`` per event
+    #: (``FlowStepper.drain`` / ``advance_to``).  The kernel preserves
+    #: the exact hook order, view contents and RNG draw sequence, so the
+    #: opt-in adds only two requirements on top of :attr:`rates_stable`
+    #: (which it presumes, together with a :meth:`rates_array`
+    #: override): the policy must not treat the *number* of engine
+    #: iterations as information (e.g. counting ``rates`` calls as a
+    #: clock), and :meth:`rates_array` must return nonnegative rates on
+    #: every call — not merely on the amortized ``check_every_k``
+    #: verification grid, since the kernel's sparse updates skip
+    #: zero-rate entries that a negative rate would silently turn into
+    #: (erroneous) progress.  Every bundled ``rates_stable`` policy
+    #: satisfies all of this and opts in.
+    batch_horizon: bool = False
+
     def reset(self, m: int, rng: np.random.Generator) -> None:
         """Prepare for a fresh run on an ``m``-processor machine."""
 
@@ -159,6 +178,33 @@ class Policy(abc.ABC):
         their :meth:`next_timer` view.
         """
         raise NotImplementedError(f"{self.name} has no vectorized rate hook")
+
+    def rates_array_patch(
+        self, job_ids: np.ndarray, caps: np.ndarray
+    ) -> list[tuple[int, float]] | None:
+        """Optional sparse complement of :meth:`rates_array` (batch kernel).
+
+        At a decision point inside the completion-horizon kernel the
+        engine already holds the previous segment's rate vector and has
+        *structurally aligned* it to the new composition — completed
+        entries dropped, admitted jobs appended with rate ``0.0``, order
+        still matching ``job_ids``.  A policy whose rate changes are
+        local (DREP touches at most a couple of processors per event)
+        can then report just the entries that moved instead of paying a
+        full :meth:`rates_array` rebuild: return ``(position, rate)``
+        pairs covering **every** entry whose rate may differ from that
+        aligned vector, with each rate bit-for-bit equal to what
+        :meth:`rates_array` would put there.  Positions index the
+        ``job_ids`` passed in; ids that already left the active set must
+        simply be omitted.  Over-reporting entries whose value did not
+        change is harmless; under-reporting silently corrupts the run.
+
+        Return ``None`` (the default) to force a full recompute.  The
+        engine still runs the amortized ``check_every_k`` invariant
+        verification on the patched vector at the exact same cadence as
+        the per-event path, so a patch is never exempt from checking.
+        """
+        return None
 
     def next_timer(self, view: ActiveView) -> float | None:
         """Absolute time of the next policy-requested event, if any."""

@@ -98,6 +98,7 @@ class _DrepBase(Policy):
     # the assignment table only changes inside the arrival/completion
     # hooks, so the rate vector is stable between composition changes
     rates_stable = True
+    batch_horizon = True
 
     def __init__(self, arrival_switch_prob: float | None = None) -> None:
         if arrival_switch_prob is not None and not 0 < arrival_switch_prob <= 1:
@@ -113,6 +114,15 @@ class _DrepBase(Policy):
         self._last_proc: dict[int, set[int]] = {}
         self._n_down = 0
         self._fault_evictions = 0
+        # job ids whose processor count changed since the last full or
+        # patched rate vector — the rates_array_patch working set
+        self._rate_dirty: set[int] = set()
+        # inverse of the assignment table (job id -> held processors,
+        # absent when none) plus the total held count; lets the hot
+        # hooks and patches answer "who holds what" without scanning
+        # the processor array
+        self._procs_of: dict[int, list[int]] = {}
+        self._n_assigned = 0
 
     def _switch_prob(self, n_active: int) -> float:
         if self.arrival_switch_prob is not None:
@@ -128,6 +138,9 @@ class _DrepBase(Policy):
         self._last_proc = {}
         self._n_down = 0
         self._fault_evictions = 0
+        self._rate_dirty = set()
+        self._procs_of = {}
+        self._n_assigned = 0
 
     # -- counters ----------------------------------------------------------
 
@@ -161,22 +174,48 @@ class _DrepBase(Policy):
     def _assign(self, proc: int, job_id: int, preempt: bool) -> None:
         """Move processor ``proc`` onto ``job_id``, updating counters."""
         assert self._assignment is not None
-        if self._assignment[proc] == job_id:
+        assignment = self._assignment
+        old = int(assignment[proc])
+        if old == job_id:
             return
-        if preempt and self._assignment[proc] != _FREE:
+        if preempt and old != _FREE:
             self._preemptions += 1
         self._switches += 1
-        self._assignment[proc] = job_id
-        seen = self._last_proc.setdefault(job_id, set())
-        if seen and proc not in seen:
-            self._migrations += 1
-        seen.add(proc)
+        assignment[proc] = job_id
+        procs_of = self._procs_of
+        if old >= 0:
+            self._rate_dirty.add(old)
+            held = procs_of[old]
+            held.remove(proc)
+            if not held:
+                del procs_of[old]
+        else:
+            self._n_assigned += 1
+        self._rate_dirty.add(job_id)
+        if job_id in procs_of:
+            procs_of[job_id].append(proc)
+        else:
+            procs_of[job_id] = [proc]
+        seen = self._last_proc.get(job_id)
+        if seen is None:
+            self._last_proc[job_id] = {proc}
+        else:
+            if proc not in seen:
+                self._migrations += 1
+            seen.add(proc)
 
-    def _release_procs_of(self, job_id: int) -> np.ndarray:
+    def _release_procs_of(self, job_id: int) -> list[int]:
+        """Free every processor of ``job_id``; ascending processor order."""
         assert self._assignment is not None
-        procs = (self._assignment == job_id).nonzero()[0]
-        self._assignment[procs] = _FREE
         self._last_proc.pop(job_id, None)
+        procs = self._procs_of.pop(job_id, None)
+        if procs is None:
+            return []
+        procs.sort()
+        assignment = self._assignment
+        for p in procs:
+            assignment[p] = _FREE
+        self._n_assigned -= len(procs)
         return procs
 
     # -- faults (repro.faults) --------------------------------------------
@@ -193,8 +232,15 @@ class _DrepBase(Policy):
         kind = event["kind"]
         if kind == "crash":
             proc = int(event["proc"])
-            if self._assignment[proc] >= 0:
+            evicted = int(self._assignment[proc])
+            if evicted >= 0:
                 self._fault_evictions += 1
+                self._rate_dirty.add(evicted)
+                held = self._procs_of[evicted]
+                held.remove(proc)
+                if not held:
+                    del self._procs_of[evicted]
+                self._n_assigned -= 1
             self._assignment[proc] = _DOWN
             self._n_down += 1
         elif kind == "recover":
@@ -207,6 +253,34 @@ class _DrepBase(Policy):
         """Put a freshly recovered processor back to work (per variant)."""
         raise NotImplementedError
 
+    def rates_array_patch(self, job_ids, caps):
+        """Sparse rate update under the one-processor rule.
+
+        Re-derives ``min(1, cap)`` / ``0`` from the *current* assignment
+        table for every dirty job still active, so stale dirty entries
+        (recorded before an unconsumed full rebuild) are harmless.
+        ``DrepParallel`` overrides this with the processor-count rule.
+        """
+        assignment = self._assignment
+        if assignment is None:
+            return None
+        dirty = self._rate_dirty
+        if not dirty:
+            return ()
+        out = []
+        size = job_ids.size
+        procs_of = self._procs_of
+        for j in dirty:
+            pos = int(job_ids.searchsorted(j))
+            if pos < size and job_ids[pos] == j:
+                if j in procs_of:
+                    c = caps[pos]
+                    out.append((pos, c if c < 1.0 else 1.0))
+                else:
+                    out.append((pos, 0.0))
+        dirty.clear()
+        return out
+
 
 class DrepSequential(_DrepBase):
     """DREP for sequential jobs (paper Sec. III)."""
@@ -215,22 +289,22 @@ class DrepSequential(_DrepBase):
 
     def on_arrival(self, job_id: int, view: ActiveView) -> None:
         assert self._assignment is not None and self._rng is not None
-        free = (self._assignment == _FREE).nonzero()[0]
-        if free.size:
+        if self._n_assigned + self._n_down < self._assignment.size:
             # a free processor takes the new job; no preemption
+            free = (self._assignment == _FREE).nonzero()[0]
             self._assign(int(free[0]), job_id, preempt=False)
             return
-        n_active = view.n  # includes the new job
+        prob = self.arrival_switch_prob
+        if prob is None:
+            prob = 1.0 / view.n  # |A(t)| includes the new job
         if self._n_down:
             # crashed processors flip no coins; the no-fault branch below
             # is kept verbatim so fault-free runs stay bit-for-bit stable
             up = (self._assignment != _DOWN).nonzero()[0]
-            flips = self._rng.random(up.size) < self._switch_prob(n_active)
+            flips = self._rng.random(up.size) < prob
             winners = up[flips.nonzero()[0]]
         else:
-            flips = self._rng.random(self._assignment.size) < self._switch_prob(
-                n_active
-            )
+            flips = self._rng.random(self._assignment.size) < prob
             winners = flips.nonzero()[0]
         if winners.size == 0:
             return  # job waits in the unassigned queue
@@ -242,12 +316,40 @@ class DrepSequential(_DrepBase):
     def on_completion(self, job_id: int, view: ActiveView) -> None:
         assert self._assignment is not None and self._rng is not None
         freed = self._release_procs_of(job_id)
+        if not freed:
+            return
+        job_ids = view.job_ids
+        n = int(job_ids.size)
+        rng = self._rng
+        procs_of = self._procs_of
         for proc in freed:
-            unassigned = _unassigned_ids(view.job_ids, self._assignment)
-            if unassigned.size == 0:
+            # uniform draw from the unassigned queue by order statistics:
+            # the k-th active id skipping the (at most m) assigned
+            # positions — same draw as materializing the unassigned array
+            # and indexing it, without the O(n) mask/gather per event.
+            # ``_procs_of`` keys are exactly the assigned jobs (each
+            # sequential job holds one processor, and a held job is
+            # always active), so one binary-search pass finds their
+            # positions without scanning the processor table.
+            n_held = len(procs_of)
+            if n_held:
+                plist = sorted(
+                    job_ids.searchsorted(
+                        np.fromiter(procs_of, np.int64, n_held)
+                    ).tolist()
+                )
+            else:
+                plist = []
+            k = n - n_held
+            if k == 0:
                 continue  # processor stays free
-            pick = int(unassigned[self._rng.integers(unassigned.size)])
-            self._assign(int(proc), pick, preempt=False)
+            idx = int(rng.integers(k))
+            for p in plist:
+                if p <= idx:
+                    idx += 1
+                else:
+                    break
+            self._assign(proc, int(job_ids[idx]), preempt=False)
 
     def _redraw_recovered(self, proc: int, view: ActiveView) -> None:
         # same rule as a processor freed by a completion: draw uniformly
@@ -265,6 +367,7 @@ class DrepSequential(_DrepBase):
 
     def rates_array(self, t, m, job_ids, remaining, work, release, caps):
         assert self._assignment is not None
+        self._rate_dirty.clear()
         return _one_proc_rates_arr(job_ids, caps, self._assignment)
 
 
@@ -275,11 +378,13 @@ class DrepParallel(_DrepBase):
 
     def on_arrival(self, job_id: int, view: ActiveView) -> None:
         assert self._assignment is not None and self._rng is not None
-        free = (self._assignment == _FREE).nonzero()[0]
-        for proc in free:
-            # idle processors exist only when the machine was empty; they
-            # all join the newcomer (work stealing spreads them internally)
-            self._assign(int(proc), job_id, preempt=False)
+        if self._n_assigned + self._n_down < self._assignment.size:
+            free = (self._assignment == _FREE).nonzero()[0]
+            for proc in free:
+                # idle processors exist only when the machine was empty;
+                # they all join the newcomer (work stealing spreads them
+                # internally)
+                self._assign(int(proc), job_id, preempt=False)
         busy = (self._assignment >= 0).nonzero()[0]
         busy = busy[self._assignment[busy] != job_id]
         if busy.size == 0:
@@ -296,7 +401,7 @@ class DrepParallel(_DrepBase):
             return  # machine drained; processors stay free
         for proc in freed:
             pick = int(view.job_ids[self._rng.integers(view.n)])
-            self._assign(int(proc), pick, preempt=False)
+            self._assign(proc, pick, preempt=False)
 
     def _redraw_recovered(self, proc: int, view: ActiveView) -> None:
         # same rule as a processor freed by a completion: uniform over all
@@ -314,6 +419,7 @@ class DrepParallel(_DrepBase):
 
     def rates_array(self, t, m, job_ids, remaining, work, release, caps):
         assert self._assignment is not None
+        self._rate_dirty.clear()
         n = job_ids.size
         rates = np.zeros(n, dtype=float)
         assigned = self._assignment[self._assignment >= 0]
@@ -324,3 +430,23 @@ class DrepParallel(_DrepBase):
         counts = np.bincount(assigned, minlength=int(job_ids[-1]) + 1)
         np.minimum(caps, counts[job_ids], out=rates)
         return rates
+
+    def rates_array_patch(self, job_ids, caps):
+        """Sparse rate update under the processor-count rule."""
+        assignment = self._assignment
+        if assignment is None:
+            return None
+        dirty = self._rate_dirty
+        if not dirty:
+            return ()
+        out = []
+        size = job_ids.size
+        procs_of = self._procs_of
+        for j in dirty:
+            pos = int(job_ids.searchsorted(j))
+            if pos < size and job_ids[pos] == j:
+                c = float(len(procs_of.get(j, ())))
+                cap = caps[pos]
+                out.append((pos, cap if cap < c else c))
+        dirty.clear()
+        return out

@@ -23,6 +23,7 @@ class FIFO(Policy):
     name = "FIFO"
     clairvoyant = False
     rates_stable = True  # priority is the static release time
+    batch_horizon = True
 
     def rates(self, view: ActiveView) -> np.ndarray:
         order = np.lexsort((view.job_ids, view.release))

@@ -29,6 +29,7 @@ class LAPS(Policy):
 
     clairvoyant = False
     rates_stable = True  # the beta-fraction depends only on releases/ids
+    batch_horizon = True
 
     def __init__(self, beta: float = 0.5) -> None:
         if not 0 < beta <= 1:

@@ -24,6 +24,7 @@ class SJF(Policy):
     name = "SJF"
     clairvoyant = True
     rates_stable = True  # priority is the static total work
+    batch_horizon = True
 
     def rates(self, view: ActiveView) -> np.ndarray:
         order = np.lexsort((view.job_ids, view.work))

@@ -64,6 +64,7 @@ class HDF(_WeightAware):
     name = "HDF"
     clairvoyant = True
     rates_stable = True  # density uses static weight / total work
+    batch_horizon = True
 
     def rates(self, view: ActiveView) -> np.ndarray:
         density = self.weights_of(view) / view.work
@@ -156,4 +157,5 @@ class WDrep(_DrepBase):
 
     def rates_array(self, t, m, job_ids, remaining, work, release, caps):
         assert self._assignment is not None
+        self._rate_dirty.clear()
         return _one_proc_rates_arr(job_ids, caps, self._assignment)

@@ -291,11 +291,39 @@ def _events_of(result: ScheduleResult) -> int:
     return int(result.makespan)
 
 
+def _profile_case(runner: Callable, name: str, profile_dir) -> str:
+    """One extra cProfile'd pass; writes the top-20 cumulative listing.
+
+    Runs *after* the timed repeats so the tracer overhead never touches
+    the recorded wall times.  Returns the written path.  The profile is
+    parent-process only — pooled grid cases show dispatch cost here, the
+    simulation time lives in the workers.
+    """
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        runner()
+    finally:
+        prof.disable()
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(20)
+    path = Path(profile_dir) / f"{name}.cprofile.txt"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(buf.getvalue())
+    return str(path)
+
+
 def run_bench_suite(
     scale: float = 1.0,
     repeats: int = 3,
     cases: tuple[BenchCase, ...] = BENCH_CASES,
     progress: Callable[[str], None] | None = None,
+    profile_dir: "str | None" = None,
 ) -> dict[str, dict]:
     """Run the suite; returns ``{case name: measurement row}``.
 
@@ -305,6 +333,10 @@ def run_bench_suite(
     ``events_per_sec``, ``mean_flow`` (a cheap correctness tripwire:
     a perf "win" that changes the answer is a bug) and the engine's
     ``perf`` counter snapshot from the fastest run.
+
+    ``profile_dir`` adds one untimed cProfile pass per case and drops a
+    ``<case>.cprofile.txt`` top-20 cumulative listing there (the
+    ``drep-sim bench --profile`` backend).
     """
     if scale <= 0:
         raise ValueError("scale must be > 0")
@@ -323,6 +355,10 @@ def run_bench_suite(
                 best_s = dt
                 best_result = result
         assert best_result is not None
+        if profile_dir is not None:
+            profile_path = _profile_case(runner, case.name, profile_dir)
+            if progress is not None:
+                progress(f"{case.name:18s} profile -> {profile_path}")
         if isinstance(best_result, dict):  # grid cases summarize many runs
             events = int(best_result["events"])
             n_jobs = int(best_result["n_jobs"])

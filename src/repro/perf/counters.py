@@ -9,9 +9,17 @@ entirely on the flat SoA buffers without materializing an ActiveView
 hooks/timers/object-path policies), how many unit steps the wsim
 event-horizon kernel skipped (``horizon_jumps`` / ``horizon_steps_saved``),
 how many runs fell off the kernel's dyadic-grid exactness contract and
-took the pure per-step path (``exactness_fallbacks``), and what the
-grid-runner pool dispatched (``pool_tasks`` cells over ``pool_chunks``
-chunks across ``pool_workers`` workers).
+took the pure per-step path (``exactness_fallbacks``), what the flowsim
+completion-horizon batch kernel absorbed (``batch_jumps`` kernel entries
+folding ``batch_events_folded`` events that would otherwise each have
+been a ``step()`` call, of which ``batch_rate_patches`` decision points
+refreshed the rate vector through the policy's sparse
+``rates_array_patch`` instead of a full ``rates_array`` rebuild), and
+what the grid-runner pool dispatched
+(``pool_tasks`` cells over ``pool_chunks`` chunks across ``pool_workers``
+workers, with ``pool_shm_traces`` traces shipped once as
+``pool_shm_bytes`` of shared memory instead of being regenerated per
+worker).
 
 They are plain integer attributes on a ``__slots__`` object — an
 increment is one attribute add, cheap enough to leave on permanently.
@@ -41,9 +49,14 @@ class PerfCounters:
         "horizon_jumps",
         "horizon_steps_saved",
         "exactness_fallbacks",
+        "batch_jumps",
+        "batch_events_folded",
+        "batch_rate_patches",
         "pool_tasks",
         "pool_chunks",
         "pool_workers",
+        "pool_shm_traces",
+        "pool_shm_bytes",
         "wall_s",
         "_t0",
     )
@@ -59,9 +72,14 @@ class PerfCounters:
         self.horizon_jumps = 0
         self.horizon_steps_saved = 0
         self.exactness_fallbacks = 0
+        self.batch_jumps = 0
+        self.batch_events_folded = 0
+        self.batch_rate_patches = 0
         self.pool_tasks = 0
         self.pool_chunks = 0
         self.pool_workers = 0
+        self.pool_shm_traces = 0
+        self.pool_shm_bytes = 0
         self.wall_s = 0.0
         self._t0: float | None = None
 

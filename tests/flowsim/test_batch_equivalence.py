@@ -1,0 +1,198 @@
+"""Property tests: the completion-horizon batch kernel ≡ per-event steps.
+
+``use_batch_horizon=True`` (the default) lets rates-stable policies fold
+whole runs of completions between arrivals into one vectorized pass over
+the SoA buffers (``FlowStepper._batched_steps``); ``False`` forces the
+classic one-event-at-a-time ``step()`` loop.  These tests generate random
+instances with Hypothesis and require the two executions to agree
+*exactly* — per-job flow times at full float precision, event/switch
+counters, and the policy RNG end-state digest — across policies, check
+cadences, fault plans (which disable the kernel entirely), mid-run
+``advance_to`` horizons, and both ``use_rates_array`` settings.
+
+The sibling file ``test_soa_equivalence.py`` pins the SoA path to the
+object path; this one pins the batched path to the unit-step path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.job import JobSpec, ParallelismMode
+from repro.flowsim.engine import FlowSimConfig, FlowStepper, simulate
+from repro.flowsim.policies import policy_by_name
+from repro.workloads.traces import Trace, generate_trace
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "data"
+_spec = importlib.util.spec_from_file_location(
+    "gen_goldens", DATA_DIR / "gen_goldens.py"
+)
+gen_goldens = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gen_goldens)
+
+#: every policy opting into the kernel (``batch_horizon = True``), by mode
+BATCH_POLICIES_SEQ = ["fifo", "sjf", "rr", "laps", "drep", "hdf", "wdrep"]
+BATCH_POLICIES_PAR = ["rr", "laps", "drep-par"]
+
+UNIT = FlowSimConfig(use_batch_horizon=False)
+
+
+@st.composite
+def random_instance(draw):
+    n = draw(st.integers(1, 14))
+    m = draw(st.integers(1, 6))
+    mode = draw(
+        st.sampled_from([ParallelismMode.SEQUENTIAL, ParallelismMode.FULLY_PARALLEL])
+    )
+    releases = sorted(
+        draw(
+            st.lists(
+                st.floats(0.0, 40.0, allow_nan=False), min_size=n, max_size=n
+            )
+        )
+    )
+    works = draw(
+        st.lists(st.floats(0.1, 15.0, allow_nan=False), min_size=n, max_size=n)
+    )
+    jobs = []
+    for i in range(n):
+        w = float(works[i])
+        span = w if mode is ParallelismMode.SEQUENTIAL else w / m
+        jobs.append(
+            JobSpec(job_id=i, release=float(releases[i]), work=w, span=span, mode=mode)
+        )
+    return Trace(jobs=jobs, m=m), m, mode
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    inst=random_instance(),
+    policy_idx=st.integers(0, max(len(BATCH_POLICIES_SEQ), len(BATCH_POLICIES_PAR)) - 1),
+    seed=st.integers(0, 20),
+)
+def test_batched_equals_unit_steps(inst, policy_idx, seed):
+    trace, m, mode = inst
+    names = (
+        BATCH_POLICIES_SEQ
+        if mode is ParallelismMode.SEQUENTIAL
+        else BATCH_POLICIES_PAR
+    )
+    policy = names[policy_idx % len(names)]
+    batched = gen_goldens.run_flow_case(trace, m, policy, seed=seed)
+    unit = gen_goldens.run_flow_case(trace, m, policy, seed=seed, config=UNIT)
+    assert batched == unit
+
+
+@settings(max_examples=25, deadline=None)
+@given(inst=random_instance(), k=st.sampled_from([1, 7, 1000]))
+def test_batched_equals_unit_under_check_k(inst, k):
+    """The kernel must honor the same amortized-check cadence as step()."""
+    trace, m, mode = inst
+    policy = "drep" if mode is ParallelismMode.SEQUENTIAL else "drep-par"
+    batched = gen_goldens.run_flow_case(
+        trace, m, policy, seed=5, config=FlowSimConfig(check_every_k=k)
+    )
+    unit = gen_goldens.run_flow_case(
+        trace,
+        m,
+        policy,
+        seed=5,
+        config=FlowSimConfig(check_every_k=k, use_batch_horizon=False),
+    )
+    assert batched == unit
+
+
+@settings(max_examples=20, deadline=None)
+@given(inst=random_instance(), seed=st.integers(0, 10))
+def test_batched_equals_unit_on_object_path(inst, seed):
+    """Without the vectorized hook the kernel must stand down, not drift.
+
+    ``use_rates_array=False`` removes the ``rates_array`` surface the
+    kernel runs on, so both configs take per-event steps — any
+    disagreement means the batch flag leaks into unrelated plumbing.
+    """
+    trace, m, mode = inst
+    policy = "drep" if mode is ParallelismMode.SEQUENTIAL else "drep-par"
+    batched = gen_goldens.run_flow_case(
+        trace, m, policy, seed=seed, config=FlowSimConfig(use_rates_array=False)
+    )
+    unit = gen_goldens.run_flow_case(
+        trace,
+        m,
+        policy,
+        seed=seed,
+        config=FlowSimConfig(use_rates_array=False, use_batch_horizon=False),
+    )
+    assert batched == unit
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    inst=random_instance(),
+    horizon=st.floats(0.5, 60.0, allow_nan=False),
+    seed=st.integers(0, 10),
+)
+def test_advance_to_parks_identically(inst, horizon, seed):
+    """Mid-run horizon parking: clock, counters and partial flows agree."""
+    trace, m, mode = inst
+    policy = "drep" if mode is ParallelismMode.SEQUENTIAL else "drep-par"
+
+    def run(config):
+        stepper = FlowStepper(m, policy_by_name(policy), seed=seed, config=config)
+        stepper.add_jobs(list(trace.jobs))
+        stepper.advance_to(horizon)
+        mid = (
+            stepper.now,
+            stepper.n_completed,
+            stepper.n_active,
+            stepper.events,
+        )
+        stepper.drain()
+        return mid, stepper.result()
+
+    mid_b, res_b = run(FlowSimConfig())
+    mid_u, res_u = run(UNIT)
+    assert mid_b == mid_u
+    assert res_b.flow_times.tolist() == res_u.flow_times.tolist()
+    assert res_b.extra["events"] == res_u.extra["events"]
+
+
+@pytest.mark.parametrize("plan_name", ["rolling", "half-down", "random"])
+def test_fault_plans_force_unit_fallback(plan_name):
+    """Fault timelines disable the kernel; results still match exactly."""
+    from repro.faults import named_fault_plans
+
+    trace = generate_trace(120, "finance", 0.7, 4, seed=17)
+    horizon = max(j.release for j in trace.jobs) + 50.0
+    batched = simulate(
+        trace, 4, policy_by_name("drep"), seed=17,
+        faults=named_fault_plans(4, horizon, seed=3)[plan_name],
+    )
+    unit = simulate(
+        trace, 4, policy_by_name("drep"), seed=17, config=UNIT,
+        faults=named_fault_plans(4, horizon, seed=3)[plan_name],
+    )
+    perf = dict(batched.extra.get("perf", {}))
+    assert perf.get("batch_jumps", 0) == 0  # kernel must not engage
+    assert batched.flow_times.tolist() == unit.flow_times.tolist()
+    assert batched.extra["events"] == unit.extra["events"]
+    assert batched.extra["faults"] == unit.extra["faults"]
+
+
+def test_batch_kernel_actually_engages():
+    """A batch policy on a plain run must fold (nearly) every event."""
+    trace = generate_trace(200, "finance", 0.7, 4, seed=23)
+    batched = simulate(trace, 4, policy_by_name("drep"), seed=23)
+    unit = simulate(trace, 4, policy_by_name("drep"), seed=23, config=UNIT)
+    perf_b = dict(batched.extra.get("perf", {}))
+    perf_u = dict(unit.extra.get("perf", {}))
+    assert perf_b.get("batch_jumps", 0) > 0
+    assert perf_b.get("batch_events_folded", 0) == batched.extra["events"]
+    assert perf_b.get("batch_rate_patches", 0) > 0  # sparse patches used
+    assert perf_u.get("batch_jumps", 0) == 0
+    assert batched.flow_times.tolist() == unit.flow_times.tolist()
