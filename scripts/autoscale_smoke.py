@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""CI smoke for the elastic-capacity layer (`make autoscale-smoke`).
+
+1. runs the closed-loop flowsim driver twice on the same seed and
+   checks the m(t) decision trace, requeue log and summary row are
+   byte-identical, with **zero unaccounted displaced work**;
+2. boots a `drep-sim serve --autoscale` subprocess, advances an idle
+   clock, and checks the controller scaled the machine down to
+   `--autoscale-m-min` at exact tick boundaries;
+3. runs a tiny `drep-sim autoscale` experiment grid to make sure the
+   Pareto-report CLI is alive (it exits non-zero itself if any
+   displaced work goes unaccounted).
+
+Exits non-zero (with a message) on any mismatch.  Needs only the
+package itself — no pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.autoscale.guard import AutoscaleConfig  # noqa: E402
+from repro.autoscale.loop import run_flowsim_elastic  # noqa: E402
+from repro.flowsim.policies import policy_by_name  # noqa: E402
+from repro.workloads.traces import generate_trace  # noqa: E402
+
+SERVE = [
+    sys.executable, "-m", "repro.cli", "serve",
+    "--m", "4", "--policy", "drep", "--seed", "11", "--port", "0",
+    "--autoscale", "--autoscale-m-min", "1", "--autoscale-tick", "5",
+    "--autoscale-cooldown-up", "0", "--autoscale-cooldown-down", "0",
+]
+
+
+def spawn() -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        SERVE, env=env, cwd=REPO, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        sys.stdout.write(f"  [server] {line}")
+        match = re.search(r"listening on [\d.]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise SystemExit("server never reported a port")
+
+
+def call(sock_file, sock, **request) -> dict:
+    sock.sendall(json.dumps(request).encode() + b"\n")
+    line = sock_file.readline()
+    if not line:
+        raise SystemExit("server closed the connection")
+    return json.loads(line)
+
+
+def main() -> None:
+    print("== phase 1: closed-loop determinism + displaced-work accounting")
+    cfg = AutoscaleConfig(
+        m_min=1, m_max=4, tick=5.0,
+        up_watermark=15.0, down_watermark=4.0,
+        cooldown_up=0.0, cooldown_down=0.0, requeue_delay=1.0,
+    )
+    trace = generate_trace(100, "finance", 0.7, 4, seed=5)
+    rows = [
+        run_flowsim_elastic(trace, policy_by_name("drep"), cfg, seed=5)
+        for _ in range(2)
+    ]
+    a, b = (json.dumps(r, sort_keys=True) for r in rows)
+    if a != b:
+        raise SystemExit("FAIL: same-seed elastic runs are not "
+                         "byte-identical")
+    row = rows[0]
+    if row["displaced_unaccounted"] != 0.0:
+        raise SystemExit(
+            f"FAIL: {row['displaced_unaccounted']:g} displaced work "
+            "unaccounted"
+        )
+    print(
+        f"   byte-identical; m(t) changed {len(row['m_trace'])}x, "
+        f"{row['requeues']} requeues, displaced work fully accounted"
+    )
+
+    print("== phase 2: elastic serve tier scales an idle machine down")
+    proc, port = spawn()
+    try:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        fh = sock.makefile("rb")
+        hello = call(fh, sock, op="hello")
+        assert hello["ok"] and hello.get("autoscale"), hello
+        resp = call(fh, sock, op="advance", to=50.0)
+        assert resp["ok"], resp
+        stats = call(fh, sock, op="stats")["stats"]["autoscale"]
+        if stats["m_current"] != 1 or stats["ticks"] != 10:
+            raise SystemExit(
+                f"FAIL: expected m=1 after 10 ticks, got {stats}"
+            )
+        call(fh, sock, op="shutdown")
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+        proc.wait(timeout=30)
+    print(f"   m 4 → {stats['m_current']} over {stats['ticks']} ticks, "
+          f"{stats['scale_downs']} scale-downs")
+
+    print("== phase 3: autoscale experiment CLI")
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "autoscale",
+         "--n-jobs", "60", "--m-max", "4", "--policies", "drep", "srpt",
+         "--ws-schedulers", "none", "--seed", "3"],
+        env=env, cwd=REPO, check=True,
+    )
+    print("autoscale-smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Closed-loop elastic capacity: predictor, watermark guard, controller.
+
+The package is engine-agnostic at its core (predictor → guard →
+controller decision trace) with drivers for both simulation engines and
+an experiment harness producing the cost-vs-flow-time Pareto report.
+"""
+
+from repro.autoscale.controller import AutoscaleController
+from repro.autoscale.experiment import (
+    autoscale_report,
+    run_autoscale_experiment,
+    write_autoscale_report,
+)
+from repro.autoscale.guard import AutoscaleConfig, WatermarkGuard
+from repro.autoscale.loop import run_flowsim_elastic, run_wsim_elastic
+from repro.autoscale.predictor import ArrivalPredictor
+
+__all__ = [
+    "ArrivalPredictor",
+    "AutoscaleConfig",
+    "AutoscaleController",
+    "WatermarkGuard",
+    "autoscale_report",
+    "run_autoscale_experiment",
+    "run_flowsim_elastic",
+    "run_wsim_elastic",
+    "write_autoscale_report",
+]

@@ -1,0 +1,158 @@
+"""The closed-loop capacity controller: predictor + guard + decision trace.
+
+:class:`AutoscaleController` is engine-agnostic.  A driver (the offline
+loops in :mod:`repro.autoscale.loop`, or the live serving tier) calls
+:meth:`observe` once per tick with what it can see — arrived work since
+the last tick, current backlog, active-job count — and gets back the
+target processor count.  The controller owns:
+
+* the :class:`~repro.autoscale.predictor.ArrivalPredictor` feeding the
+  look-ahead term of the backlog signal;
+* the :class:`~repro.autoscale.guard.WatermarkGuard` enforcing
+  hysteresis, cooldowns, and clamps;
+* a seeded generator (``derive_seed(seed, "autoscale/<name>")``) whose
+  only draws stretch cooldown windows by the configured ``jitter`` —
+  decisions are a pure function of ``(seed, observation sequence)``, so
+  the same seed yields a byte-identical decision trace;
+* the **decision trace** (every tick: time, signal, rate/slope, m
+  before/after, reason) and the **m(t) trace** (changes only), plus the
+  running ``capacity_seconds`` integral ∫m(t)dt the Pareto report uses
+  as its cost axis.
+
+Everything round-trips through :meth:`state_dict` (the RNG via its
+bit-generator state), so a SIGKILLed server recovers the controller
+bit-for-bit alongside the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.autoscale.guard import AutoscaleConfig, WatermarkGuard
+from repro.autoscale.predictor import ArrivalPredictor
+from repro.core.rng import derive_seed
+
+__all__ = ["AutoscaleController"]
+
+
+class AutoscaleController:
+    """Seeded, deterministic closed-loop capacity controller."""
+
+    def __init__(
+        self, config: AutoscaleConfig, seed: int = 0, name: str = "autoscale"
+    ) -> None:
+        self.config = config
+        self.seed = int(seed)
+        self.name = str(name)
+        self.predictor = ArrivalPredictor(halflife=config.halflife)
+        self.guard = WatermarkGuard(config)
+        self.rng = np.random.default_rng(derive_seed(seed, f"autoscale/{name}"))
+        self.m = config.initial_m
+        self.decisions: list[dict] = []
+        self.m_trace: list[list[float]] = [[0.0, self.m]]
+        self.capacity_seconds = 0.0
+        self._last_t = 0.0
+
+    def bind(self, t: float, m: int) -> None:
+        """Pin the starting point of the capacity integral and m(t) trace."""
+        self.m = int(m)
+        self._last_t = float(t)
+        self.m_trace = [[float(t), self.m]]
+
+    def observe(
+        self,
+        t: float,
+        *,
+        arrived_work: float,
+        backlog_work: float,
+        n_active: int,
+    ) -> int:
+        """One control tick: fold in observations, return the target m.
+
+        ``arrived_work`` is the work released/submitted since the last
+        tick, ``backlog_work`` the remaining work of everything in the
+        system, ``n_active`` the jobs currently admitted (the displace
+        sizing input the drivers use).  The capacity integral accrues at
+        the *pre-decision* m — a change decided at ``t`` takes effect at
+        ``t``.
+        """
+        t = float(t)
+        cfg = self.config
+        self.capacity_seconds += self.m * max(0.0, t - self._last_t)
+        self._last_t = t
+        self.predictor.observe(t, arrived_work)
+        lookahead = self.predictor.forecast(cfg.horizon)
+        signal = (float(backlog_work) + lookahead) / max(1, self.m)
+        cooldown_scale = 1.0
+        if cfg.jitter > 0:
+            cooldown_scale = 1.0 + cfg.jitter * (float(self.rng.random()) - 0.5)
+        target, reason = self.guard.propose(
+            t, signal, self.m, cooldown_scale=cooldown_scale
+        )
+        self.decisions.append(
+            {
+                "t": t,
+                "m": self.m,
+                "target": target,
+                "signal": signal,
+                "rate": self.predictor.rate,
+                "slope": self.predictor.slope,
+                "backlog_work": float(backlog_work),
+                "n_active": int(n_active),
+                "reason": reason,
+            }
+        )
+        if target != self.m:
+            self.m = target
+            self.m_trace.append([t, target])
+        return target
+
+    def finalize(self, t: float) -> None:
+        """Close the capacity integral at the end of a run."""
+        t = float(t)
+        self.capacity_seconds += self.m * max(0.0, t - self._last_t)
+        self._last_t = t
+
+    def summary(self) -> dict:
+        """Counters the experiment rows and shard reports surface."""
+        return {
+            "m": self.m,
+            "ticks": len(self.decisions),
+            "scale_ups": self.guard.ups,
+            "scale_downs": self.guard.downs,
+            "holds": self.guard.holds,
+            "capacity_seconds": self.capacity_seconds,
+        }
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "config": asdict(self.config),
+            "seed": self.seed,
+            "name": self.name,
+            "predictor": self.predictor.state_dict(),
+            "guard": self.guard.state_dict(),
+            "rng": self.rng.bit_generator.state,
+            "m": self.m,
+            "decisions": [dict(d) for d in self.decisions],
+            "m_trace": [list(p) for p in self.m_trace],
+            "capacity_seconds": self.capacity_seconds,
+            "last_t": self._last_t,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "AutoscaleController":
+        config = AutoscaleConfig(**state["config"])
+        ctl = cls(config, seed=int(state["seed"]), name=state["name"])
+        ctl.predictor = ArrivalPredictor.from_state_dict(state["predictor"])
+        ctl.guard = WatermarkGuard.from_state_dict(config, state["guard"])
+        ctl.rng.bit_generator.state = state["rng"]
+        ctl.m = int(state["m"])
+        ctl.decisions = [dict(d) for d in state["decisions"]]
+        ctl.m_trace = [[float(t), int(m)] for t, m in state["m_trace"]]
+        ctl.capacity_seconds = float(state["capacity_seconds"])
+        ctl._last_t = float(state["last_t"])
+        return ctl

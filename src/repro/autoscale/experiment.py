@@ -1,0 +1,268 @@
+"""Autoscale experiment: DREP vs baselines under elastic capacity.
+
+For every (engine, scheduler) pair the same trace runs twice: once at
+fixed full capacity ``m_max`` (the baseline) and once under the
+closed-loop controller (:mod:`repro.autoscale.loop`).  The report's axes
+are the elastic-capacity trade-off the paper's fixed-machine theorems do
+not cover:
+
+* ``capacity_seconds`` — ∫m(t)dt, the cost of the capacity actually
+  held (the fixed baseline pays ``m_max × makespan``);
+* ``mean_flow`` — what the users felt;
+* ``switches`` — probing whether the O(mn) switch bound survives
+  capacity churn.
+
+The summary block pairs each elastic row with its fixed baseline into
+``flow_ratio`` / ``capacity_ratio`` — the Pareto point "x% of the
+capacity bill for y× the flow time".  Rows are computed through
+:func:`repro.analysis.pool.run_grid`, assembled in submission order, so
+``workers=N`` is byte-identical to ``workers=1`` (schema
+``autoscale/1``, same contract as the resilience report).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.pool import run_grid
+from repro.autoscale.guard import AutoscaleConfig
+
+__all__ = [
+    "run_autoscale_experiment",
+    "autoscale_report",
+    "write_autoscale_report",
+]
+
+DEFAULT_FLOW_POLICIES = ("drep", "srpt", "rr")
+DEFAULT_WS_SCHEDULERS = ("DREP", "SWF", "steal-first")
+
+#: keys every row carries (decision/m(t)/requeue detail stays with the
+#: loop functions; rows keep the aggregates so reports stay readable)
+_ROW_DROP = ("decisions",)
+
+
+@dataclass(frozen=True)
+class _AutoscaleCell:
+    """One (engine, scheduler, elastic|fixed) run, picklable for the grid."""
+
+    engine: str
+    policy: str
+    elastic: bool
+    aconfig: AutoscaleConfig
+    n_jobs: int
+    distribution: str
+    load: float
+    seed: int
+    ws_work_units: int = 60
+    ws_parallelism: int = 8
+
+    def run(self) -> dict:
+        if self.engine == "flowsim":
+            row = self._run_flowsim()
+        elif self.engine == "wsim":
+            row = self._run_wsim()
+        else:  # pragma: no cover - guarded by run_autoscale_experiment
+            raise ValueError(f"unknown engine {self.engine!r}")
+        for key in _ROW_DROP:
+            row.pop(key, None)
+        row["policy"] = self.policy
+        return row
+
+    def _run_flowsim(self) -> dict:
+        from repro.analysis.parallel import memoized_trace
+        from repro.flowsim.policies import policy_by_name
+
+        trace = memoized_trace(
+            self.distribution,
+            self.load,
+            self.aconfig.m_max,
+            self.n_jobs,
+            "sequential",
+            self.seed,
+        )
+        if self.elastic:
+            from repro.autoscale.loop import run_flowsim_elastic
+
+            return run_flowsim_elastic(
+                trace, policy_by_name(self.policy), self.aconfig, seed=self.seed
+            )
+        from repro.flowsim.engine import simulate
+
+        result = simulate(
+            trace, self.aconfig.m_max, policy_by_name(self.policy), seed=self.seed
+        )
+        return _fixed_row("flowsim", result, self.aconfig.m_max)
+
+    def _run_wsim(self) -> dict:
+        from repro.analysis.experiments import ws_scheduler_factories
+        from repro.analysis.parallel import memoized_ws_trace
+
+        trace = memoized_ws_trace(
+            self.distribution,
+            self.load,
+            self.aconfig.m_max,
+            self.n_jobs,
+            self.ws_work_units,
+            self.ws_parallelism,
+            self.seed,
+        )
+        factory = ws_scheduler_factories()[self.policy]
+        if self.elastic:
+            from repro.autoscale.loop import run_wsim_elastic
+
+            return run_wsim_elastic(
+                trace, factory(), self.aconfig, seed=self.seed
+            )
+        from repro.wsim.runtime import WsRuntime
+
+        result = WsRuntime(
+            trace, self.aconfig.m_max, factory(), seed=self.seed
+        ).run()
+        return _fixed_row("wsim", result, self.aconfig.m_max)
+
+
+def _fixed_row(engine: str, result, m: int) -> dict:
+    """Shape a fixed-capacity baseline like an elastic row."""
+    return {
+        "engine": engine,
+        "scheduler": result.scheduler,
+        "mode": "fixed",
+        "mean_flow": result.mean_flow,
+        "makespan": result.makespan,
+        "switches": result.extra.get("switches", 0),
+        "preemptions": result.preemptions,
+        "capacity_seconds": float(m) * float(result.makespan),
+        "m_final": m,
+        "ticks": 0,
+        "scale_ups": 0,
+        "scale_downs": 0,
+        "displaced_work": 0.0,
+        "requeues": 0,
+        "displaced_unaccounted": 0.0,
+        "m_trace": [[0.0, m]],
+    }
+
+
+def _run_autoscale_cell(cell: _AutoscaleCell) -> dict:
+    return cell.run()
+
+
+def _ratio(elastic: float, fixed: float) -> float:
+    if fixed > 0:
+        return elastic / fixed
+    return float("inf") if elastic > 0 else 1.0
+
+
+def run_autoscale_experiment(
+    aconfig: AutoscaleConfig,
+    n_jobs: int = 400,
+    distribution: str = "finance",
+    load: float = 0.7,
+    flow_policies: tuple[str, ...] = DEFAULT_FLOW_POLICIES,
+    ws_schedulers: tuple[str, ...] = DEFAULT_WS_SCHEDULERS,
+    ws_jobs: int | None = None,
+    seed: int = 0,
+    workers: int | None = 1,
+) -> list[dict]:
+    """Rows of (engine × scheduler × {fixed, elastic}) under ``aconfig``.
+
+    ``ws_jobs`` defaults to ``max(40, n_jobs // 4)`` — the step-exact
+    runtime pays per work unit, so its sweep runs on a smaller trace.
+    Either engine sweep can be disabled by passing an empty tuple.
+    """
+    if ws_jobs is None:
+        ws_jobs = max(40, n_jobs // 4)
+    grid: list[_AutoscaleCell] = []
+    for policy in flow_policies:
+        for elastic in (False, True):
+            grid.append(
+                _AutoscaleCell(
+                    engine="flowsim",
+                    policy=policy,
+                    elastic=elastic,
+                    aconfig=aconfig,
+                    n_jobs=n_jobs,
+                    distribution=distribution,
+                    load=load,
+                    seed=seed,
+                )
+            )
+    for scheduler in ws_schedulers:
+        for elastic in (False, True):
+            grid.append(
+                _AutoscaleCell(
+                    engine="wsim",
+                    policy=scheduler,
+                    elastic=elastic,
+                    aconfig=aconfig,
+                    n_jobs=ws_jobs,
+                    distribution=distribution,
+                    load=load,
+                    seed=seed,
+                )
+            )
+    return run_grid(_run_autoscale_cell, grid, workers=workers)
+
+
+def autoscale_report(
+    rows: list[dict],
+    aconfig: AutoscaleConfig,
+    n_jobs: int,
+    distribution: str,
+    load: float,
+    seed: int,
+) -> dict:
+    """BENCH-style JSON document: rows plus the Pareto pairing summary."""
+    from dataclasses import asdict
+
+    fixed = {
+        (r["engine"], r["policy"]): r for r in rows if r["mode"] == "fixed"
+    }
+    pareto: dict[str, dict] = {}
+    unaccounted = 0.0
+    for row in rows:
+        if row["mode"] != "elastic":
+            continue
+        base = fixed.get((row["engine"], row["policy"]))
+        entry = {
+            "mean_flow": row["mean_flow"],
+            "capacity_seconds": row["capacity_seconds"],
+            "switches": row["switches"],
+            "scale_ups": row["scale_ups"],
+            "scale_downs": row["scale_downs"],
+            "displaced_work": row.get("displaced_work", 0.0),
+            "requeues": row.get("requeues", 0),
+        }
+        if base is not None:
+            entry["flow_ratio"] = _ratio(row["mean_flow"], base["mean_flow"])
+            entry["capacity_ratio"] = _ratio(
+                row["capacity_seconds"], base["capacity_seconds"]
+            )
+            entry["switch_ratio"] = _ratio(
+                float(row["switches"]), float(base["switches"])
+            )
+        pareto.setdefault(row["engine"], {})[row["policy"]] = entry
+        unaccounted += abs(row.get("displaced_unaccounted", 0.0))
+    return {
+        "schema": "autoscale/1",
+        "params": {
+            "autoscale": asdict(aconfig),
+            "n_jobs": n_jobs,
+            "distribution": distribution,
+            "load": load,
+            "seed": seed,
+        },
+        "rows": rows,
+        "summary": {
+            "pareto": pareto,
+            "displaced_unaccounted": unaccounted,
+        },
+    }
+
+
+def write_autoscale_report(report: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

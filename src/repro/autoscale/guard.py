@@ -1,0 +1,153 @@
+"""Watermark guard: hysteresis-banded scale-up/scale-down decisions.
+
+The guard turns a backlog *signal* (estimated drain time per unit of
+current capacity, look-ahead included) into a target processor count.
+Three mechanisms keep capacity from flapping:
+
+* **watermarks with a hysteresis band** — scale up only above
+  ``up_watermark``, down only below ``down_watermark``, and
+  ``up_watermark > down_watermark`` is enforced so there is a dead band
+  where the guard holds;
+* **cooldown windows** — after any change, no further change of either
+  direction until ``cooldown_up`` / ``cooldown_down`` time has passed
+  (scale-downs typically wait longer: adding capacity is cheap, evicting
+  work is not);
+* **min/max clamps** — targets never leave ``[m_min, m_max]``.
+
+The guard is pure bookkeeping — no randomness, no engine knowledge — and
+round-trips through ``state_dict`` for serve-tier snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AutoscaleConfig", "WatermarkGuard"]
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Tuning knobs for the closed-loop capacity controller.
+
+    Watermarks are in *drain-time* units: backlog plus forecast work,
+    divided by current capacity — "how many time units until the queue
+    empties at today's size".  ``horizon`` is how far ahead the arrival
+    predictor looks; ``requeue_delay`` is the penalty a displaced job
+    pays before re-entering the queue; ``jitter`` (0..1) stretches or
+    shrinks each cooldown window by a seeded random factor so fleets of
+    controllers do not move in lockstep.
+    """
+
+    m_min: int = 1
+    m_max: int = 8
+    m_start: int | None = None  # None = start at m_min (cold start)
+    tick: float = 10.0
+    up_watermark: float = 20.0
+    down_watermark: float = 5.0
+    step_up: int = 1
+    step_down: int = 1
+    cooldown_up: float = 10.0
+    cooldown_down: float = 30.0
+    horizon: float = 20.0
+    halflife: float = 50.0
+    requeue_delay: float = 1.0
+    displace: bool = True
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.m_min < 1:
+            raise ValueError("m_min must be >= 1")
+        if self.m_max < self.m_min:
+            raise ValueError("m_max must be >= m_min")
+        if self.m_start is not None and not (
+            self.m_min <= self.m_start <= self.m_max
+        ):
+            raise ValueError("m_start must lie in [m_min, m_max]")
+        if not self.tick > 0:
+            raise ValueError("tick must be > 0")
+        if not self.up_watermark > self.down_watermark >= 0:
+            raise ValueError(
+                "need up_watermark > down_watermark >= 0 (hysteresis band)"
+            )
+        if self.step_up < 1 or self.step_down < 1:
+            raise ValueError("step_up/step_down must be >= 1")
+        if self.cooldown_up < 0 or self.cooldown_down < 0:
+            raise ValueError("cooldowns must be >= 0")
+        if not self.horizon >= 0:
+            raise ValueError("horizon must be >= 0")
+        if not self.halflife > 0:
+            raise ValueError("halflife must be > 0")
+        if self.requeue_delay < 0:
+            raise ValueError("requeue_delay must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @property
+    def initial_m(self) -> int:
+        return self.m_start if self.m_start is not None else self.m_min
+
+
+class WatermarkGuard:
+    """Stateful watermark/hysteresis/cooldown gate over capacity targets."""
+
+    def __init__(self, config: AutoscaleConfig) -> None:
+        self.config = config
+        self._last_change: float | None = None
+        self.ups = 0
+        self.downs = 0
+        self.holds = 0
+
+    def propose(
+        self, t: float, signal: float, m: int, cooldown_scale: float = 1.0
+    ) -> tuple[int, str]:
+        """Return ``(target_m, reason)`` for the backlog ``signal`` at ``t``.
+
+        ``reason`` is one of ``up`` / ``down`` / ``hold`` /
+        ``cooldown`` / ``clamped`` — the decision trace keeps it so a
+        flat m(t) line is explainable after the fact.
+        """
+        cfg = self.config
+        if signal > cfg.up_watermark and m < cfg.m_max:
+            if not self._cooled(t, cfg.cooldown_up * cooldown_scale):
+                self.holds += 1
+                return m, "cooldown"
+            target = min(cfg.m_max, m + cfg.step_up)
+            self._last_change = t
+            self.ups += 1
+            return target, "up"
+        if signal < cfg.down_watermark and m > cfg.m_min:
+            if not self._cooled(t, cfg.cooldown_down * cooldown_scale):
+                self.holds += 1
+                return m, "cooldown"
+            target = max(cfg.m_min, m - cfg.step_down)
+            self._last_change = t
+            self.downs += 1
+            return target, "down"
+        self.holds += 1
+        if signal > cfg.up_watermark or signal < cfg.down_watermark:
+            return m, "clamped"
+        return m, "hold"
+
+    def _cooled(self, t: float, window: float) -> bool:
+        return self._last_change is None or t - self._last_change >= window
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "last_change": self._last_change,
+            "ups": self.ups,
+            "downs": self.downs,
+            "holds": self.holds,
+        }
+
+    @classmethod
+    def from_state_dict(cls, config: AutoscaleConfig, state: dict) -> "WatermarkGuard":
+        guard = cls(config)
+        guard._last_change = (
+            None if state["last_change"] is None else float(state["last_change"])
+        )
+        guard.ups = int(state["ups"])
+        guard.downs = int(state["downs"])
+        guard.holds = int(state["holds"])
+        return guard

@@ -294,6 +294,65 @@ def main(argv: list[str] | None = None) -> int:
         help="slack multiplier on the DRF entitlement before a tenant "
         "counts as dominant",
     )
+    p9.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="closed-loop elastic capacity: a seeded controller parks and "
+        "revives processors between [--autoscale-m-min, --m]",
+    )
+    p9.add_argument(
+        "--autoscale-m-min", type=int, default=1, help="capacity floor"
+    )
+    p9.add_argument(
+        "--autoscale-tick",
+        type=float,
+        default=10.0,
+        help="sim-time between controller decisions",
+    )
+    p9.add_argument(
+        "--autoscale-up",
+        type=float,
+        default=20.0,
+        help="scale-up backlog watermark (drain-time units)",
+    )
+    p9.add_argument(
+        "--autoscale-down",
+        type=float,
+        default=5.0,
+        help="scale-down backlog watermark (must be < --autoscale-up)",
+    )
+    p9.add_argument(
+        "--autoscale-cooldown-up", type=float, default=10.0,
+        help="sim-time after any change before the next scale-up",
+    )
+    p9.add_argument(
+        "--autoscale-cooldown-down", type=float, default=30.0,
+        help="sim-time after any change before the next scale-down",
+    )
+    p9.add_argument(
+        "--autoscale-no-displace",
+        action="store_true",
+        help="let stranded jobs finish on the shrunken machine instead of "
+        "preempting and requeueing them",
+    )
+    p9.add_argument(
+        "--autoscale-requeue-delay",
+        type=float,
+        default=1.0,
+        help="sim-time a displaced job waits before re-entering the queue",
+    )
+    p9.add_argument(
+        "--supervise",
+        action="store_true",
+        help="with --shards: run a self-healing heartbeat loop that "
+        "restarts dead shard subprocesses (journal replay on revival)",
+    )
+    p9.add_argument(
+        "--supervise-interval",
+        type=float,
+        default=1.0,
+        help="wall seconds between supervisor heartbeat sweeps",
+    )
 
     p10 = sub.add_parser(
         "loadgen", help="replay a generated trace against a running server"
@@ -416,9 +475,70 @@ def main(argv: list[str] | None = None) -> int:
         help="named crash plans (see repro.faults.named_fault_plans)",
     )
     p12.add_argument(
+        "--plan-file",
+        nargs="+",
+        default=None,
+        help="run user-supplied fault-plan JSON files instead of named "
+        "plans (validated against --m before anything runs)",
+    )
+    p12.add_argument(
         "--out", default=None, help="write the resilience/1 JSON report here"
     )
     workers_arg(p12)
+
+    p13 = sub.add_parser(
+        "autoscale",
+        help="elastic-capacity experiment: DREP vs baselines under the "
+        "closed-loop controller, cost-vs-flow Pareto report",
+    )
+    common(p13)
+    p13.add_argument("--m-min", type=int, default=1, help="capacity floor")
+    p13.add_argument("--m-max", type=int, default=8, help="capacity ceiling")
+    p13.add_argument("--n-jobs", type=int, default=400)
+    p13.add_argument("--load", type=float, default=0.7)
+    p13.add_argument(
+        "--tick", type=float, default=10.0, help="controller decision period"
+    )
+    p13.add_argument(
+        "--up-watermark", type=float, default=20.0,
+        help="scale-up backlog watermark (drain-time units)",
+    )
+    p13.add_argument(
+        "--down-watermark", type=float, default=5.0,
+        help="scale-down backlog watermark (must be < --up-watermark)",
+    )
+    p13.add_argument("--cooldown-up", type=float, default=10.0)
+    p13.add_argument("--cooldown-down", type=float, default=30.0)
+    p13.add_argument(
+        "--requeue-delay", type=float, default=1.0,
+        help="delay before a displaced job re-enters the queue",
+    )
+    p13.add_argument(
+        "--no-displace",
+        action="store_true",
+        help="scale-downs never preempt running jobs",
+    )
+    p13.add_argument(
+        "--policies",
+        nargs="+",
+        default=["drep", "srpt", "rr"],
+        help="flowsim policy keys to compare",
+    )
+    p13.add_argument(
+        "--ws-schedulers",
+        nargs="+",
+        default=["DREP", "SWF", "steal-first"],
+        help="work-stealing schedulers to compare ('none' skips the "
+        "wsim sweep)",
+    )
+    p13.add_argument(
+        "--ws-jobs", type=int, default=None,
+        help="wsim trace size (default: n-jobs // 4, floor 40)",
+    )
+    p13.add_argument(
+        "--out", default=None, help="write the autoscale/1 JSON report here"
+    )
+    workers_arg(p13)
 
     p7 = sub.add_parser(
         "hetero", help="related-machines comparison (the paper's open problem)"
@@ -456,7 +576,46 @@ def main(argv: list[str] | None = None) -> int:
         return _bench(args)
     if args.command == "faults":
         return _faults(args)
+    if args.command == "autoscale":
+        return _autoscale(args)
     return 2  # pragma: no cover
+
+
+def _load_plan_files(paths: list[str], m: int):
+    """Parse and validate user fault-plan JSON at the CLI boundary.
+
+    Returns ``{name: FaultPlan}`` or raises :class:`SystemExit` with a
+    structured one-line message — a malformed plan file must never reach
+    the engine (or the user) as a traceback.
+    """
+    import json as _json
+
+    from repro.faults.plan import FaultPlan
+
+    plans = {}
+    for path in paths:
+        try:
+            text = open(path, encoding="utf-8").read()
+        except OSError as exc:
+            raise SystemExit(f"faults: cannot read plan file {path}: {exc}")
+        try:
+            plan = FaultPlan.from_json(text)
+        except (_json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(
+                f"faults: invalid plan in {path}: {exc} "
+                "(expected {\"name\": ..., \"events\": [{\"kind\": ..., "
+                "\"t\": ..., ...}]})"
+            )
+        try:
+            plan.validate_for(m)
+        except ValueError as exc:
+            raise SystemExit(f"faults: plan {plan.name!r} in {path}: {exc}")
+        if plan.name in plans:
+            raise SystemExit(
+                f"faults: duplicate plan name {plan.name!r} (in {path})"
+            )
+        plans[plan.name] = plan
+    return plans
 
 
 def _faults(args: argparse.Namespace) -> int:
@@ -467,13 +626,16 @@ def _faults(args: argparse.Namespace) -> int:
         write_resilience_report,
     )
 
+    plans = tuple(args.plans)
+    if args.plan_file:
+        plans = _load_plan_files(args.plan_file, args.m)
     rows = run_resilience_experiment(
         m=args.m,
         n_jobs=args.n_jobs,
         distribution=args.distribution,
         load=args.load,
         policies=tuple(args.policies),
-        plans=tuple(args.plans),
+        plans=plans,
         seed=args.seed,
         workers=args.workers or None,
     )
@@ -508,6 +670,93 @@ def _faults(args: argparse.Namespace) -> int:
         path = write_resilience_report(report, args.out)
         print(f"wrote {path}")
     return 0
+
+
+def _autoscale(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.autoscale import (
+        AutoscaleConfig,
+        autoscale_report,
+        run_autoscale_experiment,
+        write_autoscale_report,
+    )
+
+    try:
+        aconfig = AutoscaleConfig(
+            m_min=args.m_min,
+            m_max=args.m_max,
+            tick=args.tick,
+            up_watermark=args.up_watermark,
+            down_watermark=args.down_watermark,
+            cooldown_up=args.cooldown_up,
+            cooldown_down=args.cooldown_down,
+            requeue_delay=args.requeue_delay,
+            displace=not args.no_displace,
+        )
+    except ValueError as exc:
+        print(f"autoscale: {exc}", file=sys.stderr)
+        return 2
+    ws_schedulers = tuple(args.ws_schedulers)
+    if ws_schedulers == ("none",):
+        ws_schedulers = ()
+    rows = run_autoscale_experiment(
+        aconfig,
+        n_jobs=args.n_jobs,
+        distribution=args.distribution,
+        load=args.load,
+        flow_policies=tuple(args.policies),
+        ws_schedulers=ws_schedulers,
+        ws_jobs=args.ws_jobs,
+        seed=args.seed,
+        workers=args.workers or None,
+    )
+    report = autoscale_report(
+        rows,
+        aconfig,
+        n_jobs=args.n_jobs,
+        distribution=args.distribution,
+        load=args.load,
+        seed=args.seed,
+    )
+    print(
+        f"# autoscale — {args.distribution}, load={args.load:g}, "
+        f"m∈[{args.m_min},{args.m_max}], n={args.n_jobs} "
+        "(elastic vs fixed full capacity)"
+    )
+    print(
+        format_table(
+            [
+                {
+                    "engine": r["engine"],
+                    "policy": r["policy"],
+                    "mode": r["mode"],
+                    "mean_flow": r["mean_flow"],
+                    "capacity_s": r["capacity_seconds"],
+                    "switches": r["switches"],
+                    "ups": r["scale_ups"],
+                    "downs": r["scale_downs"],
+                    "displaced": r.get("displaced_work", 0.0),
+                }
+                for r in rows
+            ]
+        )
+    )
+    print("# Pareto (elastic / fixed):")
+    for engine, entries in report["summary"]["pareto"].items():
+        for policy, e in entries.items():
+            if "flow_ratio" in e:
+                print(
+                    f"{engine:8s} {policy:12s} "
+                    f"flow x{e['flow_ratio']:.3f}  "
+                    f"capacity x{e['capacity_ratio']:.3f}  "
+                    f"switches x{e['switch_ratio']:.3f}"
+                )
+    unacc = report["summary"]["displaced_unaccounted"]
+    print(f"# displaced work unaccounted: {unacc:g}")
+    if args.out:
+        path = write_autoscale_report(report, args.out)
+        print(f"wrote {path}")
+    return 0 if unacc == 0.0 else 1
 
 
 def _load_bench_entry(ref: str) -> dict:
@@ -718,13 +967,32 @@ def _serve_shards(args: argparse.Namespace) -> int:
         fsync=args.fsync,
     )
 
+    supervisor = None
+    stop_event = None
+    sup_thread = None
+    if args.supervise:
+        import threading
+
+        from repro.serve.shard import ShardSupervisor
+
+        supervisor = ShardSupervisor(router)
+        stop_event = threading.Event()
+        sup_thread = threading.Thread(
+            target=supervisor.run,
+            kwargs={"interval": args.supervise_interval, "stop": stop_event},
+            name="shard-supervisor",
+            daemon=True,
+        )
+        sup_thread.start()
+
     async def run() -> None:
         frontend = ShardFrontend(router, host=args.host, port=args.port)
         await frontend.start()
         print(
             f"drep-serve-router listening on {args.host}:{frontend.port} "
             f"(shards={args.shards}, m_total={router.m_total}, "
-            f"policy={args.policy}, journal={journal_root})",
+            f"policy={args.policy}, journal={journal_root}, "
+            f"supervise={'on' if supervisor else 'off'})",
             flush=True,
         )
         await frontend.wait_closed()
@@ -733,6 +1001,11 @@ def _serve_shards(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive
         router.close()
+    finally:
+        if stop_event is not None:
+            stop_event.set()
+        if sup_thread is not None:
+            sup_thread.join(timeout=2.0)
     return 0
 
 
@@ -770,6 +1043,15 @@ def _serve(args: argparse.Namespace) -> int:
         credit_burst=args.credit_burst,
         credit_borrow=args.credit_borrow,
         drf_headroom=args.drf_headroom,
+        autoscale=args.autoscale,
+        autoscale_m_min=args.autoscale_m_min,
+        autoscale_tick=args.autoscale_tick,
+        autoscale_up=args.autoscale_up,
+        autoscale_down=args.autoscale_down,
+        autoscale_cooldown_up=args.autoscale_cooldown_up,
+        autoscale_cooldown_down=args.autoscale_cooldown_down,
+        autoscale_displace=not args.autoscale_no_displace,
+        autoscale_requeue_delay=args.autoscale_requeue_delay,
     )
     scheduler = None
     if args.restore:

@@ -27,6 +27,14 @@ Event kinds
     ``resubmit_after`` time units later with its full work.  Flow time is
     still measured from the job's *original* release — an abort shows up
     as latency, exactly as a user would experience it.
+``displace``
+    Same mechanics as ``abort`` — job ``job_id`` loses its progress at
+    ``t`` and re-enters the queue ``resubmit_after`` later — but the
+    *cause* is capacity management (a scale-down evicting work), not a
+    failure, so the engines account the redone work separately
+    (``displaced_work`` + a requeue log instead of ``lost_work``).  The
+    autoscale controller pushes these dynamically; plans may also script
+    them.
 
 Determinism: a plan is plain data, and the random generators below draw
 from dedicated :class:`repro.core.rng.RngFactory` streams, so the same
@@ -49,7 +57,7 @@ __all__ = [
     "random_crash_plan",
 ]
 
-_KINDS = ("crash", "degrade", "straggle", "abort")
+_KINDS = ("crash", "degrade", "straggle", "abort", "displace")
 
 
 @dataclass(frozen=True)
@@ -78,28 +86,28 @@ class FaultEvent:
         if self.kind in ("degrade", "straggle"):
             if not 0 < self.factor <= 1:
                 raise ValueError(f"{self.kind} factor must be in (0, 1]")
-        if self.kind == "abort":
+        if self.kind in ("abort", "displace"):
             if self.job_id is None or self.job_id < 0:
-                raise ValueError("abort needs job_id >= 0")
+                raise ValueError(f"{self.kind} needs job_id >= 0")
             if not self.resubmit_after >= 0:
                 raise ValueError("resubmit_after must be >= 0")
 
     @property
     def end(self) -> float:
         """End of the fault window (``t`` itself for point events)."""
-        if self.kind == "abort":
+        if self.kind in ("abort", "displace"):
             return self.t + self.resubmit_after
         return self.t + self.duration
 
     def to_dict(self) -> dict:
         out = {"kind": self.kind, "t": self.t}
-        if self.kind != "abort":
+        if self.kind not in ("abort", "displace"):
             out["duration"] = self.duration
         if self.proc is not None:
             out["proc"] = self.proc
         if self.kind in ("degrade", "straggle"):
             out["factor"] = self.factor
-        if self.kind == "abort":
+        if self.kind in ("abort", "displace"):
             out["job_id"] = self.job_id
             out["resubmit_after"] = self.resubmit_after
         return out

@@ -69,6 +69,9 @@ def _point_actions(plan: FaultPlan) -> list[tuple[float, int, dict]]:
         elif ev.kind == "abort":
             add(ev.t, {"kind": "abort", "job_id": int(ev.job_id),
                        "resubmit_after": float(ev.resubmit_after)})
+        elif ev.kind == "displace":
+            add(ev.t, {"kind": "displace", "job_id": int(ev.job_id),
+                       "resubmit_after": float(ev.resubmit_after)})
     return points
 
 
@@ -98,11 +101,28 @@ class FaultTimeline:
         return self._agenda[0][0] if self._agenda else None
 
     def push_resume(self, t: float, job_id: int) -> None:
-        """Schedule an aborted job's re-arrival at time ``t``."""
+        """Schedule an aborted/displaced job's re-arrival at time ``t``.
+
+        Resumes ride on the event budget their triggering point already
+        paid for, so they do not count toward :attr:`n_points`.
+        """
         heapq.heappush(
             self._agenda, (float(t), self._seq, {"kind": "resume", "job_id": int(job_id)})
         )
         self._seq += 1
+
+    def push_action(self, t: float, action: dict) -> None:
+        """Schedule an arbitrary point action at time ``t``.
+
+        This is the dynamic counterpart of the compiled plan: closed-loop
+        controllers push ``crash``/``recover`` pairs to move capacity and
+        ``displace`` actions to evict work ahead of a scale-down.  Every
+        dynamic push counts toward :attr:`n_points` so engine event
+        budgets stay wide enough for the extra agenda traffic.
+        """
+        heapq.heappush(self._agenda, (float(t), self._seq, dict(action)))
+        self._seq += 1
+        self.n_points += 1
 
     def pop_due(self, t: float) -> list[dict]:
         """Apply and return every action scheduled at or before ``t``.
@@ -152,7 +172,7 @@ class FaultTimeline:
                 pass
             if not factors:
                 self._slow.pop(action["proc"], None)
-        # "abort"/"resume" carry no machine state
+        # "abort"/"resume"/"displace" carry no machine state
 
     # -- machine state -----------------------------------------------------
 
@@ -195,6 +215,7 @@ class FaultTimeline:
             "slow": [[int(p), list(f)] for p, f in sorted(self._slow.items())],
             "degrade": list(self._degrade),
             "applied": self.applied,
+            "n_points": self.n_points,
         }
 
     @classmethod
@@ -206,7 +227,11 @@ class FaultTimeline:
             (float(t), int(seq), dict(action)) for t, seq, action in state["agenda"]
         ]
         heapq.heapify(tl._agenda)
-        tl.n_points = len(_point_actions(tl.plan))
+        # older snapshots predate dynamic push_action points; recompute
+        # the static count for those
+        tl.n_points = int(
+            state.get("n_points", len(_point_actions(tl.plan)))
+        )
         tl._seq = int(state["seq"])
         tl._down = {int(p): int(d) for p, d in state["down"]}
         tl._slow = {int(p): [float(x) for x in f] for p, f in state["slow"]}

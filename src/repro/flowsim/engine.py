@@ -236,6 +236,8 @@ class FlowStepper:
         self.faults = faults
         self._fault_log: list[dict] = []
         self._lost_work = 0.0
+        self._displaced_work = 0.0
+        self._requeue_log: list[dict] = []
         self._suspended: set[int] = set()
         rng = RngFactory(seed).stream(f"flowsim/{policy.name}")
         policy.reset(self.m, rng)
@@ -396,6 +398,31 @@ class FlowStepper:
     @property
     def events(self) -> int:
         return self._events
+
+    @property
+    def lost_work(self) -> float:
+        """Work destroyed by fault aborts (redone from scratch)."""
+        return self._lost_work
+
+    @property
+    def displaced_work(self) -> float:
+        """Work redone because scale-downs displaced running jobs."""
+        return self._displaced_work
+
+    @property
+    def requeue_log(self) -> list[dict]:
+        """Append-only displacement records (job_id/t/resume_at/redone_work)."""
+        return self._requeue_log
+
+    def refresh_event_budget(self) -> None:
+        """Recompute the Zeno event budget on the next step.
+
+        Callers that push dynamic fault actions (the autoscale loop's
+        capacity changes and displacements) grow ``faults.n_points`` after
+        the budget was first cached; this makes the next :meth:`step`
+        re-derive it from the new count.
+        """
+        self._max_events = 0
 
     @property
     def completion_log(self) -> list[tuple[int, float]]:
@@ -746,21 +773,36 @@ class FlowStepper:
             kind = action["kind"]
             entry = dict(action)
             entry["applied"] = True
-            if kind == "abort":
+            if kind in ("abort", "displace"):
                 j = int(action["job_id"])
                 pos = self._active_pos(j)
                 if pos >= 0:
-                    self._lost_work += float(self._work[j] - self._a_rem[pos])
+                    redone = float(self._work[j] - self._a_rem[pos])
+                    resume_at = float(action["t"]) + float(
+                        action.get("resubmit_after", 0.0)
+                    )
+                    if kind == "displace":
+                        # capacity management, not a failure: same preempt
+                        # + full-work requeue mechanics, separate books —
+                        # every displaced unit must land in the requeue log
+                        self._displaced_work += redone
+                        self._requeue_log.append(
+                            {
+                                "job_id": j,
+                                "t": float(action["t"]),
+                                "resume_at": resume_at,
+                                "redone_work": redone,
+                            }
+                        )
+                    else:
+                        self._lost_work += redone
                     self._remove_active(pos)
                     self._rem[j] = self._work[j]
                     self._suspended.add(j)
                     self._rates_cache = None
                     if self._has_completion_hook:
                         self.policy.on_completion(j, self._build_view())
-                    self.faults.push_resume(
-                        float(action["t"]) + float(action.get("resubmit_after", 0.0)),
-                        j,
-                    )
+                    self.faults.push_resume(resume_at, j)
                 else:
                     # pending, finished, or already suspended: nothing to kill
                     entry["applied"] = False
@@ -1485,6 +1527,8 @@ class FlowStepper:
                 "points": self.faults.n_points,
                 "applied": self.faults.applied,
                 "lost_work": self._lost_work,
+                "displaced_work": self._displaced_work,
+                "requeues": [dict(e) for e in self._requeue_log],
                 "down_now": sorted(self.faults.down_procs()),
                 "log": [dict(e) for e in self._fault_log],
             }
@@ -1537,6 +1581,8 @@ class FlowStepper:
                 "faults": self.faults.state_dict(),
                 "fault_log": [dict(e) for e in self._fault_log],
                 "lost_work": self._lost_work,
+                "displaced_work": self._displaced_work,
+                "requeue_log": [dict(e) for e in self._requeue_log],
                 "suspended": sorted(self._suspended),
             }
         return {
@@ -1649,11 +1695,15 @@ class FlowStepper:
             stepper.faults = FaultTimeline.from_state_dict(state["faults"])
             stepper._fault_log = [dict(e) for e in state.get("fault_log", [])]
             stepper._lost_work = float(state.get("lost_work", 0.0))
+            stepper._displaced_work = float(state.get("displaced_work", 0.0))
+            stepper._requeue_log = [dict(e) for e in state.get("requeue_log", [])]
             stepper._suspended = {int(j) for j in state.get("suspended", ())}
         else:
             stepper.faults = None
             stepper._fault_log = []
             stepper._lost_work = 0.0
+            stepper._displaced_work = 0.0
+            stepper._requeue_log = []
             stepper._suspended = set()
         # a weight-aware policy already carries its restored table, but a
         # fresh push is harmless and covers policies restored without one

@@ -223,9 +223,16 @@ class _DrepBase(Policy):
     def on_fault(self, event: dict, view: ActiveView) -> None:
         """Crash evicts whatever the processor ran; recovery re-draws.
 
-        The evicted job simply rejoins the unassigned pool — it gets a
+        An evicted job normally rejoins the unassigned pool — it gets a
         processor again at the next completion/recovery re-draw or arrival
         reshuffle, exactly like a job whose arrival coin flips all failed.
+        One exception: if the eviction left the job with no processors
+        while a FREE up processor exists (possible under elastic
+        scale-downs, where no recovery is ever coming), the job reseats on
+        the lowest free processor immediately.  Otherwise a lone survivor
+        could stall at rate zero forever with idle capacity beside it.
+        The reseat draws no randomness, so trajectories without such an
+        eviction — all fault-free runs included — are bit-for-bit stable.
         Slowdown events carry no assignment consequence and are ignored.
         """
         assert self._assignment is not None
@@ -243,6 +250,10 @@ class _DrepBase(Policy):
                 self._n_assigned -= 1
             self._assignment[proc] = _DOWN
             self._n_down += 1
+            if evicted >= 0 and evicted not in self._procs_of:
+                free = (self._assignment == _FREE).nonzero()[0]
+                if free.size:
+                    self._assign(int(free[0]), evicted, preempt=False)
         elif kind == "recover":
             proc = int(event["proc"])
             self._assignment[proc] = _FREE

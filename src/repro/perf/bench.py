@@ -266,6 +266,57 @@ def _grid_sweep_case(workers: int, seed: int):
     return build
 
 
+def _autoscale_case(seed: int):
+    """Closed-loop elastic capacity over the flow engine (repro.autoscale).
+
+    One DREP run under the watermark controller: ticks, scale decisions,
+    displacement and requeues all ride the timed region, so this case
+    tracks the controller's dispatch overhead on top of flowsim — and
+    its ``events`` count doubles as a frozen-workload tripwire for the
+    elastic trajectory itself (a changed m(t) schedule changes the
+    event count).
+    """
+
+    def build(scale: float) -> Callable[[], dict]:
+        from repro.autoscale.guard import AutoscaleConfig
+        from repro.autoscale.loop import run_flowsim_elastic
+        from repro.flowsim.policies import policy_by_name
+        from repro.workloads.traces import generate_trace
+
+        n = max(10, int(1500 * scale))
+        cfg = AutoscaleConfig(
+            m_min=1,
+            m_max=8,
+            tick=5.0,
+            up_watermark=15.0,
+            down_watermark=4.0,
+            cooldown_up=0.0,
+            cooldown_down=0.0,
+            requeue_delay=1.0,
+        )
+        trace = generate_trace(n, "finance", 0.7, 8, seed=seed)
+
+        def run() -> dict:
+            row = run_flowsim_elastic(
+                trace, policy_by_name("drep"), cfg, seed=seed
+            )
+            return {
+                "events": int(row["events"]),
+                "n_jobs": n,
+                "mean_flow": row["mean_flow"],
+                "perf": {
+                    "ticks": row["ticks"],
+                    "scale_ups": row["scale_ups"],
+                    "scale_downs": row["scale_downs"],
+                    "requeues": row["requeues"],
+                },
+            }
+
+        return run
+
+    return build
+
+
 #: The suite: keep names stable — they are the keys of every
 #: ``BENCH_*.json`` entry, and the trajectory is only comparable across
 #: PRs if the workloads behind the names never change.
@@ -280,6 +331,7 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("wsim_hetero", "wsim", _wsim_hetero_case(305)),
     BenchCase("wsim_grid_w1", "grid", _ws_grid_case(1, 307)),
     BenchCase("wsim_grid_auto", "grid", _ws_grid_case("auto", 307)),
+    BenchCase("autoscale", "grid", _autoscale_case(308)),
     BenchCase(CALIBRATION_CASE, "flowsim", _calibration_case(399)),
 )
 

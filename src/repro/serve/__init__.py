@@ -42,6 +42,7 @@ from repro.serve.shard import (
     LocalShard,
     ShardFrontend,
     ShardRouter,
+    ShardSupervisor,
     SubprocessShard,
     build_local_router,
     build_subprocess_router,
@@ -75,6 +76,7 @@ __all__ = [
     "LocalShard",
     "ShardFrontend",
     "ShardRouter",
+    "ShardSupervisor",
     "SubprocessShard",
     "build_local_router",
     "build_subprocess_router",

@@ -37,8 +37,24 @@ __all__ = [
     "effective_trace",
     "replay_into",
     "replay_over_wire",
+    "retry_delay",
     "tenant_labels",
 ]
+
+
+def retry_delay(
+    attempt: int, backoff: float, backoff_cap: float, rng: np.random.Generator
+) -> float:
+    """Bounded exponential backoff with seeded jitter, in seconds.
+
+    ``attempt`` is 1-based; the base delay doubles per attempt up to
+    ``backoff_cap`` and the jitter draw scales it into [0.5×, 1.0×] so
+    retriers sharing a fate (one dead server, one dead shard) do not
+    stampede in lockstep.  Shared by the wire client's request retries
+    and the shard supervisor's process restarts.
+    """
+    delay = min(backoff_cap, backoff * 2 ** (attempt - 1))
+    return delay * (0.5 + 0.5 * float(rng.random()))
 
 
 def tenant_labels(
@@ -364,8 +380,9 @@ class _WireClient:
                 return None
             attempt += 1
             self.report.retries += 1
-            delay = min(self.backoff_cap, self.backoff * 2 ** (attempt - 1))
-            await asyncio.sleep(delay * (0.5 + 0.5 * float(self.rng.random())))
+            await asyncio.sleep(
+                retry_delay(attempt, self.backoff, self.backoff_cap, self.rng)
+            )
         return None  # pragma: no cover - unreachable
 
 

@@ -18,8 +18,11 @@ clock.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
+from repro.autoscale.controller import AutoscaleController
+from repro.autoscale.guard import AutoscaleConfig
 from repro.core.job import JobSpec, ParallelismMode
 from repro.core.metrics import ScheduleResult
 from repro.flowsim.engine import FlowSimConfig, FlowStepper
@@ -65,8 +68,21 @@ class OnlineScheduler:
         config: FlowSimConfig = FlowSimConfig(),
         admission: AdmissionController | None = None,
         metrics: RollingMetrics | None = None,
+        autoscale: AutoscaleConfig | None = None,
     ) -> None:
-        self._stepper = FlowStepper(m, policy, seed=seed, config=config)
+        faults = None
+        if autoscale is not None:
+            if autoscale.m_max != m:
+                raise ValueError(
+                    f"autoscale.m_max ({autoscale.m_max}) must equal the "
+                    f"machine size m ({m})"
+                )
+            from repro.faults.plan import FaultPlan
+
+            faults = FaultPlan((), name="elastic").timeline(m)
+        self._stepper = FlowStepper(
+            m, policy, seed=seed, config=config, faults=faults
+        )
         self.admission = admission
         self.metrics = metrics
         self._offered = 0
@@ -74,6 +90,25 @@ class OnlineScheduler:
         self._pumped = 0  # completion-log entries already sent to metrics
         #: tenant label per accepted job id (None = untenanted submission)
         self._tenant_of: list[str | None] = []
+        self._controller: AutoscaleController | None = None
+        if autoscale is not None:
+            self._init_autoscale(autoscale, seed)
+
+    def _init_autoscale(self, autoscale: AutoscaleConfig, seed: int) -> None:
+        """Attach the elastic timeline and controller to a fresh engine."""
+        # the controller name is fixed so a restored snapshot re-derives
+        # the same jitter stream — serve determinism is per (seed, policy)
+        self._controller = AutoscaleController(autoscale, seed=seed, name="serve")
+        self._m_cur = autoscale.initial_m
+        self._controller.bind(0.0, self._m_cur)
+        self._next_tick = autoscale.tick
+        #: (release, seq, work) of accepted jobs not yet past a tick —
+        #: the controller's arrived-work ledger, release-ordered
+        self._unreleased: list[tuple[float, int, float]] = []
+        self._arr_seq = 0
+        for p in range(self._m_cur, self._stepper.m):
+            self._stepper.faults.push_action(0.0, {"kind": "crash", "proc": p})
+        self._stepper.refresh_event_budget()
 
     # -- plumbing shared with snapshot/restore -----------------------------
 
@@ -90,6 +125,7 @@ class OnlineScheduler:
         offered: int | None = None,
         shed: int = 0,
         tenant_of: list[str | None] | None = None,
+        autoscale_state: dict | None = None,
     ) -> "OnlineScheduler":
         sched = cls.__new__(cls)
         sched._stepper = stepper
@@ -103,6 +139,18 @@ class OnlineScheduler:
             if tenant_of is not None
             else [None] * stepper.n_jobs
         )
+        sched._controller = None
+        if autoscale_state is not None:
+            sched._controller = AutoscaleController.from_state_dict(
+                autoscale_state["controller"]
+            )
+            sched._m_cur = int(autoscale_state["m_cur"])
+            sched._next_tick = float(autoscale_state["next_tick"])
+            sched._unreleased = [
+                (float(r), int(s), float(w))
+                for r, s, w in autoscale_state["unreleased"]
+            ]
+            sched._arr_seq = int(autoscale_state["arr_seq"])
         return sched
 
     # -- clock & introspection ---------------------------------------------
@@ -182,6 +230,19 @@ class OnlineScheduler:
             "backlog_work": self._stepper.backlog_work(),
             "events": self._stepper.events,
         }
+        if self._controller is not None:
+            summary = self._controller.summary()
+            out["autoscale"] = {
+                "m_current": self._m_cur,
+                "m_min": self._controller.config.m_min,
+                "m_max": self._controller.config.m_max,
+                "ticks": summary["ticks"],
+                "scale_ups": summary["scale_ups"],
+                "scale_downs": summary["scale_downs"],
+                "capacity_seconds": summary["capacity_seconds"],
+                "displaced_work": self._stepper.displaced_work,
+                "requeues": len(self._stepper.requeue_log),
+            }
         if self.admission is not None:
             out["load_estimate"] = self.admission.load_estimate(self.now)
             out["backpressure"] = self.admission.backpressure(
@@ -256,6 +317,9 @@ class OnlineScheduler:
         )
         job_id = self._stepper.add_job(spec)
         self._tenant_of.append(tenant)
+        if self._controller is not None:
+            heapq.heappush(self._unreleased, (release, self._arr_seq, work))
+            self._arr_seq += 1
         if self.metrics is not None:
             self.metrics.on_submit(release, tenant=tenant)
         return SubmitOutcome(job_id, decision, backpressure)
@@ -270,6 +334,11 @@ class OnlineScheduler:
         self._offered += 1
         job_id = self._stepper.add_job(spec)
         self._tenant_of.append(None)
+        if self._controller is not None:
+            heapq.heappush(
+                self._unreleased, (float(spec.release), self._arr_seq, float(spec.work))
+            )
+            self._arr_seq += 1
         if self.metrics is not None:
             self.metrics.on_submit(spec.release)
         return job_id
@@ -301,7 +370,10 @@ class OnlineScheduler:
 
     def advance_to(self, t: float) -> None:
         """Run the machine forward to sim-time ``t``; never rewinds."""
-        self._stepper.advance_to(t)
+        if self._controller is not None:
+            self._advance_elastic(float(t))
+        else:
+            self._stepper.advance_to(t)
         self._pump_completions()
 
     def drain(self) -> ScheduleResult:
@@ -309,11 +381,94 @@ class OnlineScheduler:
 
         The result is directly comparable to (and, for a faithfully
         replayed trace, identical to) :func:`repro.flowsim.simulate` on
-        the same job sequence.
+        the same job sequence.  Under autoscale the controller keeps
+        ticking through the drain — the machine empties at whatever
+        capacity the closed loop decides, not at a frozen m.
         """
-        self._stepper.drain()
+        if self._controller is not None:
+            while not self._stepper.drained:
+                self._advance_elastic(self._next_tick)
+        else:
+            self._stepper.drain()
         self._pump_completions()
         return self._stepper.result()
+
+    # -- elastic capacity (autoscale attached) -----------------------------
+
+    def _advance_elastic(self, t: float) -> None:
+        """Advance to ``t``, firing controller ticks at fixed boundaries.
+
+        Ticks land at exact multiples of the configured tick regardless
+        of how callers chunk their ``advance_to`` calls, which is what
+        makes the decision trace a pure function of the journaled request
+        sequence (and thus bit-for-bit recoverable).
+        """
+        while self._next_tick <= t:
+            boundary = self._next_tick
+            self._stepper.advance_to(boundary)
+            self._autoscale_tick(boundary)
+            self._next_tick = boundary + self._controller.config.tick
+        self._stepper.advance_to(t)
+
+    def _autoscale_tick(self, t: float) -> None:
+        st = self._stepper
+        arrived = 0.0
+        while self._unreleased and self._unreleased[0][0] <= t:
+            arrived += heapq.heappop(self._unreleased)[2]
+        future_work = sum(w for _, _, w in self._unreleased)
+        backlog = max(0.0, st.backlog_work() - future_work)
+        target = self._controller.observe(
+            t,
+            arrived_work=arrived,
+            backlog_work=backlog,
+            n_active=st.n_active,
+        )
+        if target == self._m_cur:
+            return
+        cfg = self._controller.config
+        if target > self._m_cur:
+            for p in range(self._m_cur, target):
+                st.faults.push_action(t, {"kind": "recover", "proc": p})
+        else:
+            for p in range(target, self._m_cur):
+                st.faults.push_action(t, {"kind": "crash", "proc": p})
+            if cfg.displace:
+                n_victims = max(0, min(st.n_active, self._m_cur) - target)
+                if n_victims:
+                    for j in sorted(st.active_ids())[-n_victims:]:
+                        st.faults.push_action(
+                            t,
+                            {
+                                "kind": "displace",
+                                "job_id": int(j),
+                                "resubmit_after": cfg.requeue_delay,
+                            },
+                        )
+        self._m_cur = target
+        st.refresh_event_budget()
+
+    @property
+    def m_effective(self) -> int:
+        """Current controlled capacity (= ``m`` without autoscale)."""
+        if self._controller is None:
+            return self._stepper.m
+        return self._m_cur
+
+    @property
+    def autoscale(self) -> AutoscaleController | None:
+        return self._controller
+
+    def autoscale_state_dict(self) -> dict | None:
+        """Snapshot payload for the elastic layer (None when disabled)."""
+        if self._controller is None:
+            return None
+        return {
+            "controller": self._controller.state_dict(),
+            "m_cur": self._m_cur,
+            "next_tick": self._next_tick,
+            "unreleased": [list(e) for e in self._unreleased],
+            "arr_seq": self._arr_seq,
+        }
 
     def result(self, partial: bool = True) -> ScheduleResult:
         """Result so far (completed jobs only unless already drained)."""

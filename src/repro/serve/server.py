@@ -100,6 +100,22 @@ class ServeConfig:
     credit_borrow: float = 0.0
     #: slack multiplier on the DRF entitlement before a tenant is dominant
     drf_headroom: float = 1.2
+    #: closed-loop elastic capacity: the engine still allocates ``m``
+    #: processors but a seeded controller parks/revives them from the
+    #: top between ``[autoscale_m_min, m]`` (see repro.autoscale)
+    autoscale: bool = False
+    autoscale_m_min: int = 1
+    #: sim-time between controller ticks (trace clock: ticks fire at
+    #: exact multiples regardless of how advances are chunked)
+    autoscale_tick: float = 10.0
+    autoscale_up: float = 20.0
+    autoscale_down: float = 5.0
+    autoscale_cooldown_up: float = 10.0
+    autoscale_cooldown_down: float = 30.0
+    #: preempt+requeue jobs stranded by a scale-down (vs letting them
+    #: finish on the shrunken machine)
+    autoscale_displace: bool = True
+    autoscale_requeue_delay: float = 1.0
 
     def __post_init__(self) -> None:
         if self.clock not in ("trace", "wall"):
@@ -118,6 +134,30 @@ class ServeConfig:
     @property
     def tenant_aware(self) -> bool:
         return self.multi_tenant or self.credit_rate is not None
+
+    def autoscale_config(self):
+        """The :class:`repro.autoscale.AutoscaleConfig` this server runs.
+
+        ``None`` when autoscale is off.  ``m_start = m``: a server comes
+        up at full capacity and lets the controller shed idle processors,
+        so enabling autoscale never degrades a cold start.
+        """
+        if not self.autoscale:
+            return None
+        from repro.autoscale.guard import AutoscaleConfig
+
+        return AutoscaleConfig(
+            m_min=self.autoscale_m_min,
+            m_max=self.m,
+            m_start=self.m,
+            tick=self.autoscale_tick,
+            up_watermark=self.autoscale_up,
+            down_watermark=self.autoscale_down,
+            cooldown_up=self.autoscale_cooldown_up,
+            cooldown_down=self.autoscale_cooldown_down,
+            displace=self.autoscale_displace,
+            requeue_delay=self.autoscale_requeue_delay,
+        )
 
     def build_scheduler(self) -> OnlineScheduler:
         admission = None
@@ -151,6 +191,7 @@ class ServeConfig:
             config=FlowSimConfig(speed=self.speed, max_events=None),
             admission=admission,
             metrics=RollingMetrics(window=self.window),
+            autoscale=self.autoscale_config(),
         )
 
 
@@ -421,6 +462,8 @@ class SchedulerServer:
             "multi_tenant": isinstance(
                 self.scheduler.admission, MultiTenantAdmission
             ),
+            "autoscale": self.scheduler.autoscale is not None,
+            "m_current": self.scheduler.m_effective,
         }
         if self._journal is not None:
             out["journal_seq"] = self._journal.seq
@@ -539,6 +582,9 @@ class SchedulerServer:
                 sched.now, sched.n_active
             )
             gauges["load_estimate"] = sched.admission.load_estimate(sched.now)
+        if sched.autoscale is not None:
+            gauges["m_current"] = float(sched.m_effective)
+            gauges["capacity_seconds"] = sched.autoscale.capacity_seconds
         text = sched.metrics.to_prometheus(
             sched.now, active=sched.n_active, **gauges
         )

@@ -52,10 +52,14 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.rng import derive_seed
+from repro.serve.loadgen import retry_delay
 from repro.serve.admission import AdmissionConfig, AdmissionDecision
 from repro.serve.server import SchedulerServer, ServeConfig
 from repro.serve.tenancy import DEFAULT_TENANT, MultiTenantAdmission, TenancyConfig
@@ -66,6 +70,7 @@ __all__ = [
     "ShardError",
     "ShardFrontend",
     "ShardRouter",
+    "ShardSupervisor",
     "SubprocessShard",
     "build_local_router",
     "build_subprocess_router",
@@ -191,6 +196,10 @@ class SubprocessShard:
         config: ServeConfig,
         journal_dir: str | Path,
         start_timeout: float = 30.0,
+        restart_backoff: float = 0.25,
+        restart_backoff_cap: float = 4.0,
+        max_restart_attempts: int = 5,
+        sleep=time.sleep,
     ) -> None:
         if config.journal_dir is None:
             config = ServeConfig(
@@ -200,10 +209,26 @@ class SubprocessShard:
         self.config = config
         self.journal_dir = Path(journal_dir)
         self.start_timeout = float(start_timeout)
+        self.restart_backoff = float(restart_backoff)
+        self.restart_backoff_cap = float(restart_backoff_cap)
+        self.max_restart_attempts = int(max_restart_attempts)
+        #: lifetime spawn attempts made by :meth:`restart` (incl. failures)
+        self.restart_attempts = 0
+        #: successful revivals (hello round-tripped after a respawn)
+        self.restarts = 0
+        # jitter stream for restart backoff: a pure function of
+        # (shard seed, shard name) so fleet revivals are reproducible
+        self._restart_rng = np.random.default_rng(
+            derive_seed(config.seed, f"restart/{name}")
+        )
+        self._sleep = sleep
         self._proc: subprocess.Popen | None = None
         self._sock: socket.socket | None = None
         self._rfile = None
         self.port: int | None = None
+        # serializes wire round trips and restarts: the supervisor may
+        # heartbeat from its own thread while the frontend routes jobs
+        self._wire_lock = threading.RLock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -285,13 +310,14 @@ class SubprocessShard:
         self._rfile = self._sock.makefile("rb")
 
     def call(self, request: dict) -> dict:
-        if self._sock is None:
-            raise ShardError(f"shard {self.name} is not connected")
-        self._sock.sendall(json.dumps(request).encode() + b"\n")
-        line = self._rfile.readline()
-        if not line:
-            raise ShardError(f"shard {self.name} closed the connection")
-        return json.loads(line)
+        with self._wire_lock:
+            if self._sock is None:
+                raise ShardError(f"shard {self.name} is not connected")
+            self._sock.sendall(json.dumps(request).encode() + b"\n")
+            line = self._rfile.readline()
+            if not line:
+                raise ShardError(f"shard {self.name} closed the connection")
+            return json.loads(line)
 
     def ping(self) -> bool:
         """Health check: one ``ping`` round trip, failure = unhealthy."""
@@ -308,17 +334,76 @@ class SubprocessShard:
             self._proc = None
         self._drop_connection()
 
+    def reap(self) -> None:
+        """Collect a dead child process and drop its stale connection.
+
+        A shard that exited on its own (crash, OOM kill) leaves a zombie
+        until waited on; a shard that is still alive raises — restarting
+        over a live process would orphan it and double-serve the journal.
+        """
+        if self._proc is not None:
+            if self._proc.poll() is None:
+                raise ShardError(f"shard {self.name} is still running")
+            self._proc.wait()
+            self._proc = None
+        self._drop_connection()
+
     def restart(self) -> dict:
         """Respawn from the same journal directory; returns its ``hello``.
 
         The new process replays its write-ahead log, so the shard comes
         back with the same clock, in-flight jobs and policy RNG it died
-        with.
+        with.  Spawn failures are retried up to ``max_restart_attempts``
+        times with bounded exponential backoff and seeded jitter (the
+        same :func:`~repro.serve.loadgen.retry_delay` discipline the wire
+        client uses); the dead child is reaped before every attempt so a
+        half-started process never leaks.
         """
-        if self._proc is not None:
-            raise ShardError(f"shard {self.name} is still running")
-        self.start()
-        return self.call({"op": "hello"})
+        with self._wire_lock:
+            self.reap()
+            last_exc: Exception | None = None
+            for attempt in range(1, self.max_restart_attempts + 1):
+                self.restart_attempts += 1
+                try:
+                    self.start()
+                    hello = self.call({"op": "hello"})
+                    if not hello.get("ok"):
+                        raise ShardError(
+                            f"shard {self.name} revived but hello "
+                            f"failed: {hello}"
+                        )
+                    self.restarts += 1
+                    return hello
+                except (ShardError, OSError, ValueError) as exc:
+                    last_exc = exc
+                    # tear down whatever half-started before the next try
+                    if self._proc is not None:
+                        if self._proc.poll() is None:
+                            self._proc.kill()
+                        self._proc.wait()
+                        self._proc = None
+                    self._drop_connection()
+                    if attempt < self.max_restart_attempts:
+                        self._sleep(
+                            retry_delay(
+                                attempt,
+                                self.restart_backoff,
+                                self.restart_backoff_cap,
+                                self._restart_rng,
+                            )
+                        )
+            raise ShardError(
+                f"shard {self.name} failed to restart after "
+                f"{self.max_restart_attempts} attempts"
+            ) from last_exc
+
+    def supervision_stats(self) -> dict:
+        """Restart bookkeeping surfaced into the router report."""
+        return {
+            "restart_attempts": self.restart_attempts,
+            "restarts": self.restarts,
+            "alive": self._proc is not None and self._proc.poll() is None,
+        }
 
     def drain_process(self) -> None:
         """Graceful stop: ``shutdown`` op, then wait for exit."""
@@ -540,7 +625,10 @@ class ShardRouter:
         """Aggregate counters plus per-shard and per-tenant breakdowns."""
         per_shard = {}
         for name in self.ring.shards:
-            per_shard[name] = self.shards[name].call({"op": "stats"})["stats"]
+            shard = self.shards[name]
+            per_shard[name] = shard.call({"op": "stats"})["stats"]
+            if isinstance(shard, SubprocessShard):
+                per_shard[name]["supervision"] = shard.supervision_stats()
         out = {
             "now": self._now,
             "shards": len(self.shards),
@@ -643,6 +731,103 @@ class ShardRouter:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class ShardSupervisor:
+    """Self-healing loop over a router's subprocess shards.
+
+    Each sweep (:meth:`check_once`) heartbeats every
+    :class:`SubprocessShard` with a ``ping`` and revives dead ones via
+    :meth:`SubprocessShard.restart` — which reaps the corpse, respawns
+    with bounded backoff, and replays the shard's write-ahead journal, so
+    a revived shard rejoins with the clock, in-flight jobs and policy RNG
+    it died with.  :class:`LocalShard` entries are in-process and cannot
+    die independently; they are reported ``local`` and skipped.
+
+    The supervisor is cooperative: call :meth:`check_once` from any loop
+    you already own, or :meth:`run` for a blocking heartbeat loop (the
+    CLI's ``--supervise`` path runs it on a daemon thread).  A shard that
+    exhausts its restart budget is marked failed and left alone until an
+    operator intervenes — flapping forever would just burn the backoff
+    budget every sweep.
+    """
+
+    def __init__(self, router: ShardRouter) -> None:
+        self.router = router
+        self.sweeps = 0
+        self.revivals = 0
+        self.failures = 0
+        #: shards that exhausted their restart budget; not retried
+        self.failed: set[str] = set()
+        #: last sweep's verdict per shard name
+        self.last_status: dict[str, str] = {}
+
+    def check_once(self) -> dict[str, str]:
+        """One heartbeat sweep; returns shard name → verdict.
+
+        Verdicts: ``healthy``, ``revived`` (dead, restart + journal
+        replay succeeded), ``failed`` (restart budget exhausted, now
+        quarantined), ``local`` (in-process shard, nothing to supervise).
+        """
+        self.sweeps += 1
+        status: dict[str, str] = {}
+        for name, shard in self.router.shards.items():
+            if not isinstance(shard, SubprocessShard):
+                status[name] = "local"
+                continue
+            if name in self.failed:
+                status[name] = "failed"
+                continue
+            if shard.ping():
+                status[name] = "healthy"
+                continue
+            try:
+                shard.restart()
+            except ShardError:
+                self.failures += 1
+                self.failed.add(name)
+                status[name] = "failed"
+            else:
+                self.revivals += 1
+                status[name] = "revived"
+        self.last_status = status
+        return status
+
+    def run(
+        self,
+        interval: float = 1.0,
+        max_sweeps: int | None = None,
+        stop=None,
+        sleep=time.sleep,
+    ) -> None:
+        """Blocking heartbeat loop: sweep, sleep ``interval``, repeat.
+
+        ``stop`` is an optional ``threading.Event``-like object checked
+        between sweeps; ``max_sweeps`` bounds the loop for tests.
+        """
+        done = 0
+        while max_sweeps is None or done < max_sweeps:
+            if stop is not None and stop.is_set():
+                return
+            self.check_once()
+            done += 1
+            if max_sweeps is not None and done >= max_sweeps:
+                return
+            sleep(interval)
+
+    def stats(self) -> dict:
+        """Counters plus per-shard restart bookkeeping."""
+        per_shard = {}
+        for name, shard in self.router.shards.items():
+            if isinstance(shard, SubprocessShard):
+                per_shard[name] = shard.supervision_stats()
+        return {
+            "sweeps": self.sweeps,
+            "revivals": self.revivals,
+            "failures": self.failures,
+            "failed": sorted(self.failed),
+            "per_shard": per_shard,
+        }
 
 
 class ShardFrontend:

@@ -142,6 +142,7 @@ def snapshot_scheduler(sched: OnlineScheduler) -> dict:
         "offered": sched.n_offered,
         "shed": sched.n_shed,
         "tenant_of": sched.tenant_labels,
+        "autoscale": sched.autoscale_state_dict(),
     }
 
 
@@ -175,6 +176,8 @@ def restore_scheduler(state: dict) -> OnlineScheduler:
         shed=state["shed"],
         # absent in pre-tenancy snapshots — tolerate for forward recovery
         tenant_of=state.get("tenant_of"),
+        # likewise absent in pre-autoscale snapshots
+        autoscale_state=state.get("autoscale"),
     )
 
 

@@ -183,6 +183,15 @@ class WsCounters:
     lost_work: float = 0.0
     #: worker-steps spent crashed (capacity removed from the machine)
     dead_steps: int = 0
+    # -- elastic capacity probes (repro.autoscale) ----------------------
+    #: workers drained (gracefully parked) by scale-down decisions
+    drains: int = 0
+    #: partial-node work a drain *preserved* — what a kill would have
+    #: thrown away; the graceful-handover payoff
+    preserved_work: float = 0.0
+    #: worker-steps spent deliberately parked by the controller
+    #: (capacity the schedule chose not to buy, unlike ``dead_steps``)
+    parked_steps: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -198,6 +207,7 @@ class WsRuntime:
         config: WsConfig = WsConfig(),
         speeds: "np.ndarray | None" = None,
         faults=None,
+        autoscale=None,
     ) -> None:
         if m < 1:
             raise ValueError("m must be >= 1")
@@ -298,6 +308,12 @@ class WsRuntime:
         #: global-mode nodes stranded with no live worker to adopt them
         self._orphans: list = []
         self._live_workers = self.workers
+        # ``autoscale`` is a closed-loop controller hook: called as
+        # ``hook(self)`` whenever an ``{"kind": "autoscale"}`` tick action
+        # pops from the fault heap; it drains/revives workers through
+        # :meth:`push_fault_action`.  Attaching a hook activates the fault
+        # machinery even without a plan.
+        self._tick_hook = autoscale
         if faults is not None:
             from repro.faults.timeline import step_agenda
 
@@ -314,6 +330,11 @@ class WsRuntime:
                 self.max_steps += (
                     int(math.ceil(faults.horizon)) + 50 * total_work + 10_000
                 )
+        elif autoscale is not None:
+            self._live_workers = list(self.workers)
+            if config.max_steps is None:
+                # parked capacity stretches the schedule like downtime does
+                self.max_steps += 50 * total_work + 10_000
         self.perf = PerfCounters()
 
     # ------------------------------------------------------------------
@@ -365,7 +386,7 @@ class WsRuntime:
         arrivals = self._arrivals
         n_arrivals = len(arrivals)
         flags_immediate = self._flags_immediate
-        have_faults = self.faults is not None
+        have_faults = self.faults is not None or self._tick_hook is not None
         speeds = self._speed_list
         max_steps = self.max_steps
         while self._completed < n:
@@ -518,19 +539,29 @@ class WsRuntime:
         if np.isnan(self._flow_steps).any():
             raise WsimError(f"{self.scheduler.name}: unfinished jobs at end")
         fault_extra = {}
-        if self.faults is not None:
+        if self.faults is not None or self._tick_hook is not None:
             for worker in self.workers:
-                if worker.down:  # run ended inside a crash window
-                    counters.dead_steps += self.step - worker.scratch[
-                        "down_since"
-                    ]
+                if worker.down:  # run ended inside a crash/park window
+                    downtime = self.step - worker.scratch["down_since"]
+                    if worker.scratch.get("drained"):
+                        counters.parked_steps += downtime
+                    else:
+                        counters.dead_steps += downtime
                     worker.scratch["down_since"] = self.step
+        if self.faults is not None:
             fault_extra["faults"] = {
                 "plan": self.faults.name,
                 "crashes": counters.crashes,
                 "aborts": counters.aborts,
                 "lost_work": counters.lost_work,
                 "dead_steps": counters.dead_steps,
+                "log": [dict(e) for e in self._fault_log],
+            }
+        if self._tick_hook is not None:
+            fault_extra["elastic"] = {
+                "drains": counters.drains,
+                "preserved_work": counters.preserved_work,
+                "parked_steps": counters.parked_steps,
                 "log": [dict(e) for e in self._fault_log],
             }
         total_speed = float(self.m if self.speeds is None else self.speeds.sum())
@@ -587,6 +618,20 @@ class WsRuntime:
         """
         return self._live_workers
 
+    def push_fault_action(self, step: int, action: dict) -> None:
+        """Schedule a dynamic fault-heap action (controller hooks use this).
+
+        Actions at the current step apply within the ongoing
+        :meth:`_apply_due_faults` sweep; future ones bound the kernel's
+        segment horizon like any compiled fault point.
+        """
+        heapq.heappush(
+            self._fault_heap, (int(step), self._fault_seq, dict(action))
+        )
+        self._fault_seq += 1
+        if self._fault_heap[0][0] < self._fault_next:
+            self._fault_next = self._fault_heap[0][0]
+
     def _apply_due_faults(self) -> None:
         heap = self._fault_heap
         step = self.step
@@ -612,6 +657,26 @@ class WsRuntime:
                 worker.scratch["crash_depth"] = depth
                 if depth == 0:
                     self._revive_worker(worker)
+                else:
+                    entry["applied"] = False
+            elif kind == "drain":
+                # scale-down: like a crash, but the partial node keeps its
+                # progress — capacity leaves, work does not re-execute
+                proc = int(action["proc"])
+                entry["proc"] = proc
+                worker = self.workers[proc]
+                depth = worker.scratch.get("crash_depth", 0)
+                worker.scratch["crash_depth"] = depth + 1
+                if depth == 0:
+                    self._drain_worker(worker)
+                else:
+                    entry["applied"] = False  # already down
+            elif kind == "autoscale":
+                # controller tick: the hook observes the runtime and may
+                # push drain/recover actions at this very step (the while
+                # loop picks them up) plus its own next tick
+                if self._tick_hook is not None:
+                    self._tick_hook(self)
                 else:
                     entry["applied"] = False
             elif kind == "abort":
@@ -680,9 +745,59 @@ class WsRuntime:
         self.arm_flag(worker, None)
         worker.blocked_until = 0
 
+    def _drain_worker(self, worker: Worker) -> None:
+        """Park ``worker`` gracefully: hand its work over, keep the progress.
+
+        The scale-down analogue of :meth:`_kill_worker`: the worker goes
+        down and its deque moves on identically, but the in-progress node
+        keeps its partial execution — whichever worker picks it up resumes
+        where this one stopped.  The preserved partial work is counted in
+        ``preserved_work`` (exactly what a crash would have destroyed).
+        """
+        counters = self.counters
+        counters.drains += 1
+        worker.down = True
+        worker.scratch["down_since"] = self.step
+        worker.scratch["drained"] = True
+        self._live_workers = [w for w in self.workers if not w.down]
+        cur = worker.current
+        if cur is not None:
+            job, node = cur
+            executed = float(job.dag.weights[node]) - job.node_remaining[node]
+            if executed > 0:
+                counters.preserved_work += executed
+            self._deque_for(worker, job).push_bottom(cur)
+            worker.current = None
+        dq = worker.dq
+        if dq is not None:
+            if dq.nodes:
+                if self.scheduler.affinity:
+                    dq.owner = None  # muggable: stays with the job
+                else:
+                    target = self._live_workers[0] if self._live_workers else None
+                    if target is not None:
+                        if target.dq is None:
+                            target.dq = WsDeque(job=None, owner=target.wid)
+                        target.dq.nodes.extend(dq.nodes)
+                    else:
+                        self._orphans.extend(dq.nodes)
+                    dq.nodes.clear()
+            if not dq.nodes and dq.job is not None:
+                dq.job.drop_deque(dq)
+            worker.dq = None
+        if worker.job is not None:
+            worker.job.workers -= 1
+            worker.job = None
+        self.arm_flag(worker, None)
+        worker.blocked_until = 0
+
     def _revive_worker(self, worker: Worker) -> None:
-        """Bring a crashed worker back; the scheduler re-engages it."""
-        self.counters.dead_steps += self.step - worker.scratch["down_since"]
+        """Bring a crashed/parked worker back; the scheduler re-engages it."""
+        downtime = self.step - worker.scratch["down_since"]
+        if worker.scratch.pop("drained", False):
+            self.counters.parked_steps += downtime
+        else:
+            self.counters.dead_steps += downtime
         worker.down = False
         self._live_workers = [w for w in self.workers if not w.down]
         if not self.scheduler.affinity:

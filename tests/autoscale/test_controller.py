@@ -1,0 +1,121 @@
+"""Unit tests for the closed-loop capacity controller."""
+
+from __future__ import annotations
+
+import json
+
+from repro.autoscale.controller import AutoscaleController
+from repro.autoscale.guard import AutoscaleConfig
+
+
+def cfg(**kw) -> AutoscaleConfig:
+    base = dict(
+        m_min=1,
+        m_max=6,
+        tick=1.0,
+        up_watermark=10.0,
+        down_watermark=2.0,
+        cooldown_up=0.0,
+        cooldown_down=0.0,
+        horizon=0.0,
+    )
+    base.update(kw)
+    return AutoscaleConfig(**base)
+
+
+def drive(ctl: AutoscaleController, signals) -> list[int]:
+    out = []
+    for k, backlog in enumerate(signals):
+        out.append(
+            ctl.observe(
+                float(k + 1),
+                arrived_work=backlog,
+                backlog_work=backlog,
+                n_active=1,
+            )
+        )
+    return out
+
+
+BURST = [0.0, 0.0, 50.0, 80.0, 90.0, 90.0, 40.0, 10.0, 2.0, 0.0, 0.0, 0.0]
+
+
+class TestDecisions:
+    def test_tracks_a_burst_up_and_down(self):
+        ctl = AutoscaleController(cfg(), seed=0)
+        targets = drive(ctl, BURST)
+        assert max(targets) > 1  # scaled up into the burst
+        assert targets[-1] < max(targets)  # released capacity after
+        assert all(1 <= m <= 6 for m in targets)
+        summary = ctl.summary()
+        assert summary["ticks"] == len(BURST)
+        assert summary["scale_ups"] >= 1
+        assert summary["scale_downs"] >= 1
+
+    def test_signal_normalizes_by_current_m(self):
+        ctl = AutoscaleController(cfg(), seed=0)
+        ctl.bind(0.0, 4)
+        # backlog 20 over m=4 → signal 5: inside the dead band, holds
+        target = ctl.observe(1.0, arrived_work=0.0, backlog_work=20.0, n_active=4)
+        assert target == 4
+        assert ctl.decisions[-1]["reason"] == "hold"
+
+    def test_capacity_integral_accrues_pre_decision(self):
+        ctl = AutoscaleController(cfg(), seed=0)
+        ctl.bind(0.0, 2)
+        ctl.observe(10.0, arrived_work=999.0, backlog_work=999.0, n_active=2)
+        # 10 time units at m=2, the scale-up applies *at* t=10
+        assert ctl.capacity_seconds == 20.0
+        assert ctl.m == 3
+        ctl.finalize(15.0)
+        assert ctl.capacity_seconds == 20.0 + 5 * 3
+
+    def test_m_trace_records_changes_only(self):
+        ctl = AutoscaleController(cfg(), seed=0)
+        drive(ctl, [0.0, 0.0, 99.0, 99.0, 0.0])
+        times = [t for t, _ in ctl.m_trace]
+        assert times == sorted(times)
+        ms = [m for _, m in ctl.m_trace]
+        assert all(a != b for a, b in zip(ms, ms[1:]))
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_trace(self):
+        a = AutoscaleController(cfg(jitter=0.5), seed=7)
+        b = AutoscaleController(cfg(jitter=0.5), seed=7)
+        drive(a, BURST)
+        drive(b, BURST)
+        assert json.dumps(a.decisions) == json.dumps(b.decisions)
+        assert json.dumps(a.m_trace) == json.dumps(b.m_trace)
+
+    def test_name_scopes_the_jitter_stream(self):
+        a = AutoscaleController(cfg(jitter=0.5), seed=7, name="x")
+        b = AutoscaleController(cfg(jitter=0.5), seed=7, name="y")
+        assert a.rng.random() != b.rng.random()
+
+
+class TestStateDict:
+    def test_round_trip_is_exact(self):
+        ctl = AutoscaleController(cfg(jitter=0.3), seed=3)
+        drive(ctl, BURST[:6])
+        clone = AutoscaleController.from_state_dict(ctl.state_dict())
+        assert json.dumps(clone.state_dict(), default=str) == json.dumps(
+            ctl.state_dict(), default=str
+        )
+
+    def test_restored_controller_continues_identically(self):
+        ctl = AutoscaleController(cfg(jitter=0.3, cooldown_up=2.0), seed=3)
+        drive(ctl, BURST[:6])
+        clone = AutoscaleController.from_state_dict(ctl.state_dict())
+        rest = BURST[6:]
+        a = [
+            ctl.observe(7.0 + k, arrived_work=s, backlog_work=s, n_active=1)
+            for k, s in enumerate(rest)
+        ]
+        b = [
+            clone.observe(7.0 + k, arrived_work=s, backlog_work=s, n_active=1)
+            for k, s in enumerate(rest)
+        ]
+        assert a == b
+        assert json.dumps(clone.decisions) == json.dumps(ctl.decisions)
+        assert clone.capacity_seconds == ctl.capacity_seconds

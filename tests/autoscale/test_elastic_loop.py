@@ -1,0 +1,135 @@
+"""Closed-loop elastic drivers: determinism and displaced-work accounting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import ws_scheduler_factories
+from repro.autoscale.guard import AutoscaleConfig
+from repro.autoscale.loop import run_flowsim_elastic, run_wsim_elastic
+from repro.core.job import ParallelismMode
+from repro.flowsim.policies import policy_by_name
+from repro.workloads.traces import attach_dags, generate_trace
+
+
+def aconfig(**kw) -> AutoscaleConfig:
+    base = dict(
+        m_min=1,
+        m_max=4,
+        tick=5.0,
+        up_watermark=15.0,
+        down_watermark=4.0,
+        cooldown_up=0.0,
+        cooldown_down=0.0,
+        requeue_delay=1.0,
+    )
+    base.update(kw)
+    return AutoscaleConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def flow_trace():
+    return generate_trace(n_jobs=120, distribution="finance", load=0.7, m=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def ws_trace():
+    base = generate_trace(
+        n_jobs=30,
+        distribution="finance",
+        load=0.6,
+        m=4,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=9,
+        scale_work_with_m=False,
+    )
+    from repro.analysis.experiments import scale_trace
+
+    return attach_dags(scale_trace(base, 60.0), parallelism=8, seed=9)
+
+
+class TestFlowsimElastic:
+    def test_completes_all_jobs(self, flow_trace):
+        row = run_flowsim_elastic(
+            flow_trace, policy_by_name("drep"), aconfig(), seed=5
+        )
+        assert row["engine"] == "flowsim"
+        assert row["mode"] == "elastic"
+        assert row["mean_flow"] > 0
+        assert row["ticks"] > 0
+
+    def test_m_trace_respects_clamps(self, flow_trace):
+        cfg = aconfig()
+        row = run_flowsim_elastic(flow_trace, policy_by_name("drep"), cfg, seed=5)
+        ms = [m for _, m in row["m_trace"]]
+        assert all(cfg.m_min <= m <= cfg.m_max for m in ms)
+        times = [t for t, _ in row["m_trace"]]
+        assert times == sorted(times)
+
+    def test_zero_unaccounted_displaced_work(self, flow_trace):
+        row = run_flowsim_elastic(
+            flow_trace, policy_by_name("drep"), aconfig(), seed=5
+        )
+        assert row["displaced_unaccounted"] == 0.0
+        # every requeue-log entry names its redone work explicitly
+        assert row["displaced_work"] == pytest.approx(
+            sum(r["redone_work"] for r in row["requeue_log"])
+        )
+        assert row["requeues"] == len(row["requeue_log"])
+
+    def test_no_displace_mode_never_displaces(self, flow_trace):
+        row = run_flowsim_elastic(
+            flow_trace, policy_by_name("drep"), aconfig(displace=False), seed=5
+        )
+        assert row["displaced_work"] == 0.0
+        assert row["requeue_log"] == []
+
+    def test_same_seed_byte_identical(self, flow_trace):
+        rows = [
+            run_flowsim_elastic(
+                flow_trace, policy_by_name("srpt"), aconfig(jitter=0.4), seed=7
+            )
+            for _ in range(2)
+        ]
+        a, b = (json.dumps(r, sort_keys=True) for r in rows)
+        assert a == b
+
+    def test_capacity_never_exceeds_fixed_bill(self, flow_trace):
+        cfg = aconfig()
+        row = run_flowsim_elastic(flow_trace, policy_by_name("drep"), cfg, seed=5)
+        assert row["capacity_seconds"] <= cfg.m_max * row["makespan"] + 1e-9
+
+    def test_scale_activity_happens(self, flow_trace):
+        row = run_flowsim_elastic(
+            flow_trace, policy_by_name("drep"), aconfig(), seed=5
+        )
+        assert row["scale_ups"] >= 1  # cold start at m_min must grow
+
+
+class TestWsimElastic:
+    def test_completes_and_preserves_progress(self, ws_trace):
+        factory = ws_scheduler_factories()["DREP"]
+        row = run_wsim_elastic(ws_trace, factory(), aconfig(tick=20.0), seed=9)
+        assert row["engine"] == "wsim"
+        assert row["mean_flow"] > 0
+        # drains park workers gracefully: nothing displaced, ever
+        assert row["displaced_work"] == 0.0
+        assert row["displaced_unaccounted"] == 0.0
+        assert row["drains"] >= 1
+
+    def test_same_seed_byte_identical(self, ws_trace):
+        factory = ws_scheduler_factories()["DREP"]
+        rows = [
+            run_wsim_elastic(ws_trace, factory(), aconfig(tick=20.0), seed=9)
+            for _ in range(2)
+        ]
+        a, b = (json.dumps(r, sort_keys=True) for r in rows)
+        assert a == b
+
+    def test_m_trace_respects_clamps(self, ws_trace):
+        cfg = aconfig(tick=20.0)
+        factory = ws_scheduler_factories()["SWF"]
+        row = run_wsim_elastic(ws_trace, factory(), cfg, seed=9)
+        assert all(cfg.m_min <= m <= cfg.m_max for _, m in row["m_trace"])

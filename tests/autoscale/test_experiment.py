@@ -1,0 +1,98 @@
+"""The autoscale experiment grid and its Pareto report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.autoscale.experiment import (
+    autoscale_report,
+    run_autoscale_experiment,
+    write_autoscale_report,
+)
+from repro.autoscale.guard import AutoscaleConfig
+
+CFG = AutoscaleConfig(
+    m_min=1,
+    m_max=4,
+    tick=5.0,
+    up_watermark=15.0,
+    down_watermark=4.0,
+    cooldown_up=0.0,
+    cooldown_down=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_autoscale_experiment(
+        CFG,
+        n_jobs=80,
+        flow_policies=("drep", "srpt"),
+        ws_schedulers=("DREP",),
+        ws_jobs=40,
+        seed=3,
+    )
+
+
+class TestGrid:
+    def test_row_count_and_pairing(self, rows):
+        # (2 flow policies + 1 ws scheduler) × {fixed, elastic}
+        assert len(rows) == 6
+        keys = {(r["engine"], r["policy"], r["mode"]) for r in rows}
+        assert ("flowsim", "drep", "fixed") in keys
+        assert ("flowsim", "drep", "elastic") in keys
+        assert ("wsim", "DREP", "elastic") in keys
+
+    def test_rows_drop_decision_detail(self, rows):
+        assert all("decisions" not in r for r in rows)
+
+    def test_fixed_baseline_shape(self, rows):
+        fixed = next(
+            r for r in rows if r["engine"] == "flowsim" and r["mode"] == "fixed"
+        )
+        assert fixed["capacity_seconds"] == pytest.approx(
+            CFG.m_max * fixed["makespan"]
+        )
+        assert fixed["scale_ups"] == 0 and fixed["displaced_work"] == 0.0
+
+    def test_workers_equivalence(self, rows):
+        parallel = run_autoscale_experiment(
+            CFG,
+            n_jobs=80,
+            flow_policies=("drep", "srpt"),
+            ws_schedulers=("DREP",),
+            ws_jobs=40,
+            seed=3,
+            workers=2,
+        )
+        assert json.dumps(parallel, sort_keys=True) == json.dumps(
+            rows, sort_keys=True
+        )
+
+    def test_engine_sweeps_can_be_disabled(self):
+        only_flow = run_autoscale_experiment(
+            CFG, n_jobs=40, flow_policies=("drep",), ws_schedulers=(), seed=3
+        )
+        assert {r["engine"] for r in only_flow} == {"flowsim"}
+
+
+class TestReport:
+    def test_schema_and_pareto(self, rows):
+        report = autoscale_report(
+            rows, CFG, n_jobs=80, distribution="finance", load=0.7, seed=3
+        )
+        assert report["schema"] == "autoscale/1"
+        assert report["params"]["autoscale"]["m_max"] == 4
+        drep = report["summary"]["pareto"]["flowsim"]["drep"]
+        assert drep["flow_ratio"] > 0
+        assert 0 < drep["capacity_ratio"] <= 1.0 + 1e-9
+        assert report["summary"]["displaced_unaccounted"] == 0.0
+
+    def test_report_is_json_serializable(self, rows, tmp_path):
+        report = autoscale_report(
+            rows, CFG, n_jobs=80, distribution="finance", load=0.7, seed=3
+        )
+        path = write_autoscale_report(report, tmp_path / "auto.json")
+        assert json.loads(path.read_text())["schema"] == "autoscale/1"

@@ -1,0 +1,143 @@
+"""Unit tests for the watermark guard and its config validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscale.guard import AutoscaleConfig, WatermarkGuard
+
+
+def cfg(**kw) -> AutoscaleConfig:
+    base = dict(
+        m_min=1,
+        m_max=8,
+        tick=1.0,
+        up_watermark=10.0,
+        down_watermark=2.0,
+        cooldown_up=0.0,
+        cooldown_down=0.0,
+    )
+    base.update(kw)
+    return AutoscaleConfig(**base)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        AutoscaleConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"m_min": 0},
+            {"m_min": 4, "m_max": 2},
+            {"m_start": 0},
+            {"m_start": 9},
+            {"tick": 0.0},
+            {"up_watermark": 2.0, "down_watermark": 2.0},
+            {"up_watermark": 1.0, "down_watermark": 5.0},
+            {"down_watermark": -1.0, "up_watermark": 1.0},
+            {"step_up": 0},
+            {"step_down": 0},
+            {"cooldown_up": -1.0},
+            {"cooldown_down": -1.0},
+            {"horizon": -1.0},
+            {"halflife": 0.0},
+            {"requeue_delay": -0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kw):
+        with pytest.raises(ValueError):
+            cfg(**kw)
+
+    def test_initial_m_defaults_to_floor(self):
+        assert cfg().initial_m == 1
+        assert cfg(m_start=4).initial_m == 4
+
+
+class TestWatermarks:
+    def test_scale_up_above_watermark(self):
+        guard = WatermarkGuard(cfg())
+        target, reason = guard.propose(1.0, signal=11.0, m=2)
+        assert (target, reason) == (3, "up")
+        assert guard.ups == 1
+
+    def test_scale_down_below_watermark(self):
+        guard = WatermarkGuard(cfg())
+        target, reason = guard.propose(1.0, signal=1.0, m=4)
+        assert (target, reason) == (3, "down")
+        assert guard.downs == 1
+
+    def test_dead_band_holds(self):
+        guard = WatermarkGuard(cfg())
+        for signal in (2.0, 5.0, 10.0):
+            target, reason = guard.propose(1.0, signal=signal, m=4)
+            assert (target, reason) == (4, "hold")
+        assert (guard.ups, guard.downs, guard.holds) == (0, 0, 3)
+
+    def test_step_sizes(self):
+        guard = WatermarkGuard(cfg(step_up=3, step_down=2))
+        assert guard.propose(1.0, signal=99.0, m=2)[0] == 5
+        guard = WatermarkGuard(cfg(step_up=3, step_down=2))
+        assert guard.propose(1.0, signal=0.0, m=5)[0] == 3
+
+
+class TestClamps:
+    def test_never_above_m_max(self):
+        guard = WatermarkGuard(cfg(m_max=4))
+        target, reason = guard.propose(1.0, signal=99.0, m=4)
+        assert (target, reason) == (4, "clamped")
+
+    def test_never_below_m_min(self):
+        guard = WatermarkGuard(cfg(m_min=2))
+        target, reason = guard.propose(1.0, signal=0.0, m=2)
+        assert (target, reason) == (2, "clamped")
+
+    def test_step_is_clamped_not_rejected(self):
+        guard = WatermarkGuard(cfg(m_max=4, step_up=10))
+        assert guard.propose(1.0, signal=99.0, m=3)[0] == 4
+
+
+class TestCooldowns:
+    def test_up_cooldown_blocks_repeat(self):
+        guard = WatermarkGuard(cfg(cooldown_up=10.0))
+        assert guard.propose(0.0, signal=99.0, m=1) == (2, "up")
+        assert guard.propose(5.0, signal=99.0, m=2) == (2, "cooldown")
+        assert guard.propose(10.0, signal=99.0, m=2) == (3, "up")
+
+    def test_down_cooldown_longer_than_up(self):
+        guard = WatermarkGuard(cfg(cooldown_up=1.0, cooldown_down=30.0))
+        assert guard.propose(0.0, signal=99.0, m=2) == (3, "up")
+        # a down right after an up waits out the *down* cooldown
+        assert guard.propose(2.0, signal=0.0, m=3) == (3, "cooldown")
+        assert guard.propose(30.0, signal=0.0, m=3) == (2, "down")
+
+    def test_cooldown_scale_stretches_window(self):
+        guard = WatermarkGuard(cfg(cooldown_up=10.0))
+        guard.propose(0.0, signal=99.0, m=1)
+        # scaled window = 20: still cooling at t=15
+        assert guard.propose(15.0, signal=99.0, m=2, cooldown_scale=2.0) == (
+            2,
+            "cooldown",
+        )
+        assert guard.propose(15.0, signal=99.0, m=2, cooldown_scale=1.0)[1] == "up"
+
+
+class TestStateDict:
+    def test_round_trip_mid_sequence(self):
+        guard = WatermarkGuard(cfg(cooldown_up=5.0))
+        guard.propose(0.0, signal=99.0, m=1)
+        guard.propose(2.0, signal=99.0, m=2)
+
+        clone = WatermarkGuard.from_state_dict(cfg(cooldown_up=5.0), guard.state_dict())
+        assert clone.state_dict() == guard.state_dict()
+        # both must make the same next decision (cooldown still active)
+        assert clone.propose(4.0, signal=99.0, m=2) == guard.propose(
+            4.0, signal=99.0, m=2
+        )
+
+    def test_fresh_guard_state(self):
+        guard = WatermarkGuard(cfg())
+        state = guard.state_dict()
+        assert state == {"last_change": None, "ups": 0, "downs": 0, "holds": 0}

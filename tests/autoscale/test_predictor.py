@@ -1,0 +1,94 @@
+"""Unit tests for the EWMA arrival predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscale.predictor import ArrivalPredictor
+
+
+class TestObserve:
+    def test_rejects_bad_halflife(self):
+        with pytest.raises(ValueError):
+            ArrivalPredictor(halflife=0.0)
+
+    def test_first_observation_only_seeds_clock(self):
+        pred = ArrivalPredictor()
+        pred.observe(0.0, 100.0)
+        assert pred.rate == 0.0
+        assert pred.slope == 0.0
+        assert pred.observations == 1
+
+    def test_non_advancing_clock_is_ignored(self):
+        pred = ArrivalPredictor()
+        pred.observe(0.0, 0.0)
+        pred.observe(1.0, 5.0)
+        rate = pred.rate
+        pred.observe(1.0, 1000.0)  # dt == 0: dropped
+        pred.observe(0.5, 1000.0)  # dt < 0: dropped
+        assert pred.rate == rate
+        assert pred.observations == 2
+
+    def test_converges_to_constant_rate(self):
+        pred = ArrivalPredictor(halflife=5.0)
+        for k in range(200):
+            pred.observe(float(k), 3.0 if k else 0.0)
+        assert pred.rate == pytest.approx(3.0, rel=1e-6)
+        assert pred.slope == pytest.approx(0.0, abs=1e-6)
+
+    def test_ramp_produces_positive_slope(self):
+        pred = ArrivalPredictor(halflife=10.0)
+        for k in range(100):
+            pred.observe(float(k), float(k))  # rate grows linearly
+        assert pred.rate > 0
+        assert pred.slope > 0
+
+
+class TestForecast:
+    def test_zero_horizon(self):
+        pred = ArrivalPredictor()
+        pred.observe(0.0, 0.0)
+        pred.observe(1.0, 10.0)
+        assert pred.forecast(0.0) == 0.0
+        assert pred.forecast(-5.0) == 0.0
+
+    def test_integrates_rate_over_horizon(self):
+        pred = ArrivalPredictor(halflife=5.0)
+        for k in range(200):
+            pred.observe(float(k), 2.0 if k else 0.0)
+        assert pred.forecast(10.0) == pytest.approx(20.0, rel=1e-5)
+
+    def test_never_negative(self):
+        pred = ArrivalPredictor(halflife=2.0)
+        # a hard stop after a burst drives the slope negative
+        pred.observe(0.0, 0.0)
+        pred.observe(1.0, 50.0)
+        for k in range(2, 40):
+            pred.observe(float(k), 0.0)
+        assert pred.forecast(1000.0) == 0.0
+
+
+class TestStateDict:
+    def test_round_trip_is_exact(self):
+        pred = ArrivalPredictor(halflife=7.0)
+        for k in range(10):
+            pred.observe(k * 1.5, float(k % 3))
+        clone = ArrivalPredictor.from_state_dict(pred.state_dict())
+        assert clone.state_dict() == pred.state_dict()
+
+    def test_restored_predictor_continues_identically(self):
+        pred = ArrivalPredictor(halflife=7.0)
+        for k in range(10):
+            pred.observe(k * 1.5, float(k % 3))
+        clone = ArrivalPredictor.from_state_dict(pred.state_dict())
+        for k in range(10, 20):
+            pred.observe(k * 1.5, float(k % 5))
+            clone.observe(k * 1.5, float(k % 5))
+        assert clone.rate == pred.rate
+        assert clone.slope == pred.slope
+        assert clone.forecast(13.0) == pred.forecast(13.0)
+
+    def test_pre_first_observation_round_trip(self):
+        pred = ArrivalPredictor()
+        clone = ArrivalPredictor.from_state_dict(pred.state_dict())
+        assert clone.state_dict() == pred.state_dict()

@@ -1,0 +1,130 @@
+"""Property tests: FaultTimeline state_dict round-trips mid-window.
+
+The serve tier snapshots a live timeline at arbitrary moments — including
+inside an active degrade/straggle interval and with displaced jobs
+waiting on the resume queue.  These tests drive a random plan to a random
+cut point, checkpoint, and require the restored timeline to be
+indistinguishable from the original from that moment on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.timeline import FaultTimeline
+
+M = 4
+
+times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+durations = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+factors = st.floats(
+    min_value=0.1, max_value=1.0, allow_nan=False, exclude_min=False
+)
+
+
+@st.composite
+def fault_events(draw):
+    kind = draw(st.sampled_from(["crash", "degrade", "straggle", "abort"]))
+    t = draw(times)
+    if kind == "crash":
+        return FaultEvent("crash", t=t, duration=draw(durations), proc=draw(st.integers(0, M - 1)))
+    if kind == "degrade":
+        return FaultEvent("degrade", t=t, duration=draw(durations), factor=draw(factors))
+    if kind == "straggle":
+        return FaultEvent(
+            "straggle",
+            t=t,
+            duration=draw(durations),
+            proc=draw(st.integers(0, M - 1)),
+            factor=draw(factors),
+        )
+    return FaultEvent(
+        "abort",
+        t=t,
+        job_id=draw(st.integers(0, 9)),
+        resubmit_after=draw(st.floats(0.0, 20.0, allow_nan=False)),
+    )
+
+
+plans = st.lists(fault_events(), min_size=1, max_size=12).map(
+    lambda evs: FaultPlan(tuple(evs), name="prop")
+)
+
+
+def drain(tl: FaultTimeline) -> list[dict]:
+    """Pop everything left on the agenda, recording the applied actions."""
+    out = []
+    while tl.next_time() is not None:
+        out.extend(tl.pop_due(tl.next_time()))
+    return out
+
+
+@given(plan=plans, frac=st.floats(0.0, 1.0, allow_nan=False), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_mid_run_round_trip_is_exact(plan, frac, data):
+    tl = FaultTimeline(plan, M)
+    t_cut = frac * plan.horizon
+    tl.pop_due(t_cut)
+
+    # displaced jobs waiting to re-enter: the resume queue must survive
+    n_resumes = data.draw(st.integers(0, 3))
+    for k in range(n_resumes):
+        tl.push_resume(t_cut + 1.0 + k, job_id=100 + k)
+    # plus a dynamically pushed controller action (counts toward n_points)
+    if data.draw(st.booleans()):
+        tl.push_action(t_cut + 0.5, {"kind": "crash", "proc": 0})
+
+    state = tl.state_dict()
+    clone = FaultTimeline.from_state_dict(state)
+
+    # machine state at the cut is identical — even inside an active
+    # degrade/straggle window
+    assert clone.m_eff() == tl.m_eff()
+    assert clone.down_procs() == tl.down_procs()
+    assert clone.speed_factor() == tl.speed_factor()
+    assert clone.n_points == tl.n_points
+    assert clone.applied == tl.applied
+    assert clone.state_dict() == state  # serialization is a fixed point
+
+    # and the two timelines replay the identical future
+    assert drain(clone) == drain(tl)
+    assert clone.m_eff() == tl.m_eff()
+    assert clone.speed_factor() == tl.speed_factor()
+
+
+@given(plan=plans, frac=st.floats(0.0, 1.0, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_restored_resume_ordering_matches(plan, frac):
+    """Resumes pushed after restore keep the original sequence ordering."""
+    tl = FaultTimeline(plan, M)
+    t_cut = frac * plan.horizon
+    tl.pop_due(t_cut)
+    clone = FaultTimeline.from_state_dict(tl.state_dict())
+    for target in (tl, clone):
+        target.push_resume(t_cut + 2.0, job_id=7)
+        target.push_resume(t_cut + 2.0, job_id=8)  # same time: seq breaks tie
+    assert drain(clone) == drain(tl)
+
+
+def test_mid_window_cut_inside_degrade_and_straggle():
+    """Deterministic anchor: cut strictly inside both slowdown windows."""
+    plan = FaultPlan(
+        (
+            FaultEvent("degrade", t=1.0, duration=10.0, factor=0.5),
+            FaultEvent("straggle", t=2.0, duration=10.0, proc=1, factor=0.25),
+            FaultEvent("crash", t=3.0, duration=10.0, proc=2),
+        ),
+        name="mid",
+    )
+    tl = FaultTimeline(plan, M)
+    tl.pop_due(5.0)  # all three active, none ended
+    assert tl.m_eff() == M - 1
+    assert tl.speed_factor() < 0.5  # degrade × straggler drag
+
+    clone = FaultTimeline.from_state_dict(tl.state_dict())
+    assert clone.m_eff() == tl.m_eff()
+    assert clone.speed_factor() == tl.speed_factor()
+    assert drain(clone) == drain(tl)
+    assert clone.m_eff() == M and clone.speed_factor() == 1.0

@@ -1,0 +1,69 @@
+"""CLI boundary validation for user-supplied fault-plan JSON files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+VALID_PLAN = {
+    "name": "userplan",
+    "events": [
+        {"kind": "crash", "t": 5.0, "duration": 10.0, "proc": 1},
+        {"kind": "degrade", "t": 8.0, "duration": 4.0, "factor": 0.5},
+    ],
+}
+
+FAULTS_ARGS = [
+    "faults",
+    "--n-jobs", "60",
+    "--m", "4",
+    "--policies", "drep",
+    "--seed", "2",
+]
+
+
+def write_plan(tmp_path, payload, name="plan.json"):
+    path = tmp_path / name
+    path.write_text(payload if isinstance(payload, str) else json.dumps(payload))
+    return str(path)
+
+
+class TestPlanFileValidation:
+    def test_valid_plan_runs(self, tmp_path, capsys):
+        path = write_plan(tmp_path, VALID_PLAN)
+        rc = main([*FAULTS_ARGS, "--plan-file", path])
+        assert rc == 0
+        assert "userplan" in capsys.readouterr().out
+
+    def test_malformed_json_exits_cleanly(self, tmp_path):
+        path = write_plan(tmp_path, "{not json", name="bad.json")
+        with pytest.raises(SystemExit, match="invalid plan"):
+            main([*FAULTS_ARGS, "--plan-file", path])
+
+    def test_unknown_event_kind_is_rejected(self, tmp_path):
+        plan = {"name": "x", "events": [{"kind": "meltdown", "t": 1.0}]}
+        path = write_plan(tmp_path, plan)
+        with pytest.raises(SystemExit, match="invalid plan"):
+            main([*FAULTS_ARGS, "--plan-file", path])
+
+    def test_missing_file_is_a_structured_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read plan file"):
+            main([*FAULTS_ARGS, "--plan-file", str(tmp_path / "nope.json")])
+
+    def test_proc_out_of_range_for_m(self, tmp_path):
+        plan = {
+            "name": "bigproc",
+            "events": [{"kind": "crash", "t": 1.0, "duration": 2.0, "proc": 7}],
+        }
+        path = write_plan(tmp_path, plan)
+        with pytest.raises(SystemExit, match="bigproc"):
+            main([*FAULTS_ARGS, "--plan-file", path])
+
+    def test_duplicate_plan_names_are_rejected(self, tmp_path):
+        a = write_plan(tmp_path, VALID_PLAN, name="a.json")
+        b = write_plan(tmp_path, VALID_PLAN, name="b.json")
+        with pytest.raises(SystemExit, match="duplicate plan name"):
+            main([*FAULTS_ARGS, "--plan-file", a, b])

@@ -32,6 +32,7 @@ class TestBenchSuite:
             "wsim_hetero",
             "wsim_grid_w1",
             "wsim_grid_auto",
+            "autoscale",
             "calibration",
         ]
 
