@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-compare bench-json trajectory-gate sweep-smoke serve-smoke faults-smoke shard-smoke autoscale-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-compare bench-json trajectory-gate sweep-smoke serve-smoke faults-smoke shard-smoke autoscale-smoke stream-smoke figures report examples clean
 
 # perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
-PR ?= 8
+PR ?= 9
 
 install:
 	pip install -e '.[test]'
@@ -30,7 +30,7 @@ bench-json:
 # scale and diff it against the committed baseline entry -- any `events`
 # change on a shared case means a frozen workload's behavior moved, and
 # the target exits non-zero.  Timing ratios are printed but not gated.
-BASELINE ?= BENCH_8.json
+BASELINE ?= BENCH_9.json
 bench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats 1 --out /tmp/BENCH_fresh.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare $(BASELINE) /tmp/BENCH_fresh.json --require-drift
@@ -40,7 +40,7 @@ bench-compare:
 # and the newer one must carry the calibration case so its speedups stay
 # drift-normalizable
 trajectory-gate:
-	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare BENCH_7.json BENCH_8.json --require-drift
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare BENCH_8.json BENCH_9.json --require-drift
 
 # run a small experiment grid serially and through the process pool and
 # require byte-identical rows (the grid runner's determinism contract)
@@ -74,6 +74,12 @@ shard-smoke:
 # down at exact tick boundaries; the Pareto-report CLI must run clean
 autoscale-smoke:
 	$(PYTHON) scripts/autoscale_smoke.py
+
+# push 100k generated jobs through simulate_stream with the trace never
+# materialized and require peak RSS to stay under a flat ceiling; then
+# spot-check the wsim streaming driver and the SWF-replay CLI
+stream-smoke:
+	$(PYTHON) scripts/stream_smoke.py
 
 figures:
 	$(PYTHON) -m repro.cli figures

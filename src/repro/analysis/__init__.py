@@ -17,7 +17,13 @@ from repro.analysis.baselines import (
 from repro.analysis.charts import figure_svg_from_rows, line_chart_svg, save_figure_svg
 from repro.analysis.parallel import FlowCell, parallel_flow_sweep, run_cells
 from repro.analysis.replication import Replication, replicate, significantly_less
-from repro.analysis.report import ReportConfig, build_report, write_report
+from repro.analysis.report import (
+    ReportConfig,
+    build_report,
+    stream_report,
+    stream_summary_rows,
+    write_report,
+)
 from repro.analysis.tables import (
     ascii_plot,
     format_table,
@@ -55,6 +61,8 @@ __all__ = [
     "ReportConfig",
     "build_report",
     "write_report",
+    "stream_report",
+    "stream_summary_rows",
     "TimelineRecorder",
     "occupancy",
     "render_timeline",

@@ -153,6 +153,75 @@ def write_report(path: str | Path, config: ReportConfig = ReportConfig()) -> Pat
     return p
 
 
+def stream_summary_rows(summaries: "dict[str, dict]") -> list[dict]:
+    """Normalize streamed-run summaries into report table rows.
+
+    ``summaries`` maps a row label to either a
+    :meth:`repro.core.metrics.StreamResult.summary` dict or a bare
+    :meth:`repro.core.metrics.StreamingMetrics.summary` dict.  Rows keep
+    the headline flow statistics, mark whether the quantiles are exact
+    or reservoir estimates, and surface the memory counters the
+    streaming engines record — the numbers a bounded-RAM replay is run
+    for.  Sorted by label for deterministic rendering.
+    """
+    rows: list[dict] = []
+    for label in sorted(summaries):
+        s = summaries[label]
+        perf = s.get("perf", {}) or {}
+        row = {
+            "run": label,
+            "n_jobs": int(s.get("n_jobs", 0)),
+            "mean_flow": float(s.get("mean_flow", 0.0)),
+            "p50_flow": float(s.get("p50_flow", 0.0)),
+            "p99_flow": float(s.get("p99_flow", 0.0)),
+            "max_flow": float(s.get("max_flow", 0.0)),
+            "quantiles": (
+                "exact" if s.get("quantiles_exact", True) else "reservoir"
+            ),
+        }
+        if "mean_slowdown" in s:
+            row["mean_slowdown"] = float(s["mean_slowdown"])
+        if perf.get("peak_rss_mb"):
+            row["peak_rss_mb"] = round(float(perf["peak_rss_mb"]), 1)
+        if perf.get("py_peak_mb"):
+            row["py_peak_mb"] = round(float(perf["py_peak_mb"]), 2)
+        rows.append(row)
+    return rows
+
+
+def stream_report(summaries: "dict[str, dict]", title: str = "Streamed runs") -> str:
+    """Markdown section for streamed (bounded-RAM) runs.
+
+    The streaming twin of the dense report tables: per-run flow
+    statistics from :class:`~repro.core.metrics.StreamingMetrics`
+    summaries plus the recorded memory peaks, with a note when the
+    tail quantiles are reservoir estimates rather than exact.
+    """
+    from repro.analysis.tables import format_table
+
+    rows = stream_summary_rows(summaries)
+    sec = _Section(title)
+    if not rows:
+        sec.body.append("(no streamed runs)")
+        return sec.render()
+    columns: list[str] = []
+    for r in rows:  # key union, first-appearance order (rows may differ)
+        for k in r:
+            if k not in columns:
+                columns.append(k)
+    full = [{c: r.get(c, "") for c in columns} for r in rows]
+    sec.body.append("```")
+    sec.body.append(format_table(full, columns=columns))
+    sec.body.append("```")
+    if any(r["quantiles"] == "reservoir" for r in rows):
+        sec.body.append(
+            "\np50/p99 marked `reservoir` are fixed-seed reservoir-sample "
+            "estimates (the run exceeded the exact-quantile buffer); "
+            "count/mean/total/max are always exact."
+        )
+    return sec.render()
+
+
 def tenant_breakdown(
     tenant_flows: dict[str, list[float]], slo: float | None = None
 ) -> list[dict]:
@@ -192,4 +261,9 @@ def tenant_breakdown(
     return rows
 
 
-__all__ += ["write_report", "tenant_breakdown"]
+__all__ += [
+    "write_report",
+    "tenant_breakdown",
+    "stream_summary_rows",
+    "stream_report",
+]

@@ -370,7 +370,9 @@ def main(argv: list[str] | None = None) -> int:
         "--pace", type=float, default=None, help="sim-time units per wall second (default: flat out)"
     )
     p10.add_argument(
-        "--trace-file", default=None, help="replay a saved Trace JSON instead of generating"
+        "--trace-file", default=None,
+        help="replay a saved Trace JSON — or a .swf archive log, streamed "
+        "lazily — instead of generating",
     )
     p10.add_argument("--no-drain", action="store_true", help="leave the server running full")
     p10.add_argument(
@@ -551,6 +553,60 @@ def main(argv: list[str] | None = None) -> int:
         help="speed spec: 'NxS+NxS+...' e.g. '2x4+6x1' or 'geometric:8:2'",
     )
 
+    p14 = sub.add_parser(
+        "stream",
+        help="bounded-RAM streamed run: SWF trace replay or lazy generator",
+    )
+    common(p14)
+    p14.add_argument(
+        "--trace-file",
+        default=None,
+        help="SWF trace file to replay (Standard Workload Format, the HPC "
+        "archive format — not the SWF policy; see docs/workloads.md)",
+    )
+    p14.add_argument("--m", type=int, default=8)
+    p14.add_argument("--n-jobs", type=int, default=100_000)
+    p14.add_argument("--load", type=float, default=0.7)
+    p14.add_argument(
+        "--engine", choices=("flowsim", "wsim"), default="flowsim"
+    )
+    p14.add_argument(
+        "--policy", default="srpt", help="flowsim policy key (engine=flowsim)"
+    )
+    p14.add_argument(
+        "--scheduler", default="drep", help="wsim scheduler key (engine=wsim)"
+    )
+    p14.add_argument(
+        "--arrival-process", choices=("poisson", "mmpp"), default="poisson"
+    )
+    p14.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="SWF: multiply all times (1s wall = this many sim units)",
+    )
+    p14.add_argument(
+        "--calibrate-load", type=float, default=None,
+        help="SWF: re-scale arrivals to offer this utilization on --m",
+    )
+    p14.add_argument(
+        "--peak-window", type=float, default=None,
+        help="SWF: replay only the busiest window of this length",
+    )
+    p14.add_argument(
+        "--parallelism", type=int, default=8,
+        help="wsim: DAG parallelism attached to streamed jobs",
+    )
+    p14.add_argument(
+        "--keep-flow-times", action="store_true",
+        help="retain per-job flow times (O(n) memory — defeats streaming)",
+    )
+    p14.add_argument(
+        "--chunk", type=int, default=None,
+        help="flowsim: arrivals pulled per ingest batch",
+    )
+    p14.add_argument(
+        "--json", default=None, help="write the run summary JSON here"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "fig1":
         return _fig_flow(args, ParallelismMode.SEQUENTIAL)
@@ -578,6 +634,8 @@ def main(argv: list[str] | None = None) -> int:
         return _faults(args)
     if args.command == "autoscale":
         return _autoscale(args)
+    if args.command == "stream":
+        return _stream(args)
     return 2  # pragma: no cover
 
 
@@ -818,9 +876,15 @@ def _bench_compare(old_ref: str, new_ref: str, require_drift: bool = False) -> i
             "# no calibration case in both entries; speedups are raw "
             "(machine drift not normalized out)"
         )
+    def _mem_mb(row: dict) -> "float | None":
+        perf = row.get("perf") or {}
+        v = perf.get("peak_rss_mb")
+        return float(v) if v else None
+
     header = f"{'case':18s} {'old wall_s':>10s} {'new wall_s':>10s} {'speedup':>8s}"
     if drift is not None:
         header += f" {'norm':>8s}"
+    header += f" {'old MB':>7s} {'new MB':>7s}"
     print(header + "  events")
     status = 0
     for name in shared:
@@ -838,6 +902,9 @@ def _bench_compare(old_ref: str, new_ref: str, require_drift: bool = False) -> i
         )
         if drift is not None:
             line += f" {ratio * drift:7.2f}x"
+        o_mem, n_mem = _mem_mb(o), _mem_mb(n)
+        line += f" {o_mem:7.0f}" if o_mem is not None else f" {'-':>7s}"
+        line += f" {n_mem:7.0f}" if n_mem is not None else f" {'-':>7s}"
         print(f"{line}  {n.get('events')}{note}")
     only_old = sorted(set(ob) - set(nb))
     only_new = sorted(set(nb) - set(ob))
@@ -892,6 +959,105 @@ def _bench(args: argparse.Namespace) -> int:
             scale=scale, repeats=args.repeats,
         )
         path = write_trajectory(args.out or f"BENCH_{args.pr}.json", entry)
+        print(f"wrote {path}")
+    return 0
+
+
+def _stream(args: argparse.Namespace) -> int:
+    """Bounded-RAM streamed run: SWF replay or lazy synthetic generator."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis.report import stream_report
+    from repro.workloads.stream import (
+        attach_dags_stream,
+        calibrate_load,
+        generate_stream,
+        peak_window,
+    )
+    from repro.workloads.swf import SwfParseError, swf_stream
+
+    def build_stream():
+        if args.trace_file is not None:
+            factory = lambda: swf_stream(  # noqa: E731
+                args.trace_file, time_scale=args.time_scale
+            )
+            if args.peak_window is not None:
+                inner = factory
+                factory = lambda: peak_window(inner, args.peak_window)  # noqa: E731
+            if args.calibrate_load is not None:
+                outer = factory
+                factory = lambda: calibrate_load(  # noqa: E731
+                    outer, args.calibrate_load, args.m
+                )
+            return factory()
+        if (
+            args.calibrate_load is not None
+            or args.peak_window is not None
+            or args.time_scale != 1.0
+        ):
+            raise SystemExit(
+                "stream: --time-scale/--calibrate-load/--peak-window are "
+                "SWF replay options; they need --trace-file"
+            )
+        return generate_stream(
+            args.n_jobs,
+            args.distribution,
+            args.load,
+            args.m,
+            seed=args.seed,
+            arrival_process=args.arrival_process,
+        )
+
+    try:
+        stream = build_stream()
+        label = getattr(stream, "name", "stream")
+        if args.engine == "wsim":
+            from repro.wsim import simulate_ws_stream, ws_scheduler_by_name
+
+            jobs = attach_dags_stream(
+                stream, parallelism=args.parallelism, seed=args.seed
+            )
+            result = simulate_ws_stream(
+                jobs,
+                args.m,
+                ws_scheduler_by_name(args.scheduler),
+                seed=args.seed,
+                keep_flow_times=args.keep_flow_times,
+            )
+        else:
+            from repro.flowsim import policy_by_name, simulate_stream
+
+            kwargs = {}
+            if args.chunk:
+                kwargs["ingest_chunk"] = args.chunk
+            result = simulate_stream(
+                stream,
+                args.m,
+                policy_by_name(args.policy),
+                seed=args.seed,
+                keep_flow_times=args.keep_flow_times,
+                **kwargs,
+            )
+    except SwfParseError as exc:
+        print(f"stream: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, KeyError, ValueError) as exc:
+        # CLI boundary: unknown policy/scheduler keys, unreadable trace
+        # files and contract violations surface as one-liners, not
+        # tracebacks
+        print(f"stream: {exc}", file=sys.stderr)
+        return 1
+    summary = result.summary()
+    print(
+        f"# drep-sim stream — {label}, engine={args.engine}, "
+        f"m={args.m}, seed={args.seed}"
+    )
+    print(stream_report({label: summary}, title="streamed run"))
+    if args.json is not None:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(summary, indent=2, default=str) + "\n")
         print(f"wrote {path}")
     return 0
 
@@ -1095,7 +1261,13 @@ def _loadgen(args: argparse.Namespace) -> int:
     from repro.workloads.traces import Trace
 
     async def run() -> int:
-        if args.trace_file:
+        if args.trace_file and args.trace_file.endswith(".swf"):
+            # SWF archive replay: jobs stream lazily through the wire
+            # client, so a multi-million-job log never materializes here
+            from repro.workloads.swf import swf_stream
+
+            trace = swf_stream(args.trace_file)
+        elif args.trace_file:
             trace = Trace.load_file(args.trace_file)
         else:
             m = args.m
@@ -1116,6 +1288,14 @@ def _loadgen(args: argparse.Namespace) -> int:
             )
         tenants = None
         if args.tenants is not None:
+            if not isinstance(trace, Trace):
+                print(
+                    "loadgen: --tenants needs an in-memory trace "
+                    "(labels are indexed by job id); not available for "
+                    ".swf streams",
+                    file=sys.stderr,
+                )
+                return 2
             tenants = tenant_labels(
                 len(trace.jobs),
                 args.tenants,

@@ -29,9 +29,17 @@ from repro.flowsim.policies import (
     policy_by_name,
 )
 from repro.flowsim.rates import equal_split, priority_waterfill
+from repro.flowsim.stream import (
+    DEFAULT_HARVEST_EVERY,
+    DEFAULT_INGEST_CHUNK,
+    simulate_stream,
+)
 
 __all__ = [
     "simulate",
+    "simulate_stream",
+    "DEFAULT_INGEST_CHUNK",
+    "DEFAULT_HARVEST_EVERY",
     "FlowSimConfig",
     "FlowSimError",
     "FlowStepper",

@@ -244,6 +244,11 @@ class FlowStepper:
 
         self._specs: list[JobSpec] = []
         self._profiles: list[ParallelismProfile | None] = []
+        # master columns hold rows for job ids [_base, _n): row = id - _base.
+        # _base is 0 for batch/online runs (every index below degenerates to
+        # the absolute id); harvest() advances it, freeing completed-prefix
+        # rows so a streamed run is O(active + pending) in memory
+        self._base = 0
         cap = 16
         self._release = np.zeros(cap, dtype=float)
         self._work = np.zeros(cap, dtype=float)
@@ -302,14 +307,15 @@ class FlowStepper:
         # event (no job state; dead outside one kernel pass)
         self._vec_buf = np.zeros(cap, dtype=float)
         ids = sorted(int(j) for j in self._act_ids)
+        base = self._base
         self._na = len(ids)
         for k, j in enumerate(ids):
             self._a_ids[k] = j
-            self._a_rem[k] = self._rem[j]
-            self._a_caps[k] = self._caps_all[j]
-            self._a_tol[k] = self._tol[j]
-            self._a_work[k] = self._work[j]
-            self._a_rel[k] = self._release[j]
+            self._a_rem[k] = self._rem[j - base]
+            self._a_caps[k] = self._caps_all[j - base]
+            self._a_tol[k] = self._tol[j - base]
+            self._a_work[k] = self._work[j - base]
+            self._a_rel[k] = self._release[j - base]
         self._act_ids = None  # superseded by the SoA buffers
 
         self._rates_cache: tuple[np.ndarray, float] | None = None
@@ -457,13 +463,20 @@ class FlowStepper:
         """Flow time of ``job_id`` if it has completed, else ``None``."""
         if not 0 <= job_id < self._n:
             raise KeyError(f"unknown job {job_id}")
-        f = float(self._flow[job_id])
+        if job_id < self._base:
+            raise KeyError(
+                f"job {job_id} was harvested (folded into streaming metrics)"
+            )
+        f = float(self._flow[job_id - self._base])
         return None if np.isnan(f) else f
 
     def backlog_work(self) -> float:
         """Total remaining work of admitted jobs plus work of pending ones."""
+        base = self._base
         active = float(self._a_rem[: self._na].sum()) if self._na else 0.0
-        pending = float(self._work[self._next_arrival : self._n].sum())
+        pending = float(
+            self._work[self._next_arrival - base : self._n - base].sum()
+        )
         return active + pending
 
     # -- job registration --------------------------------------------------
@@ -480,21 +493,23 @@ class FlowStepper:
                 f"job_id must be dense in submit order: expected {self._n}, "
                 f"got {spec.job_id}"
             )
-        if self._n and spec.release < self._release[self._n - 1]:
+        base = self._base
+        if self._n > base and spec.release < self._release[self._n - 1 - base]:
             raise ValueError("job releases must be non-decreasing")
         if spec.release < self._t - 1e-9 * max(1.0, self._t):
             raise ValueError(
                 f"cannot register a job released in the past "
                 f"(release={spec.release:.6g} < now={self._t:.6g})"
             )
-        self._ensure_capacity(self._n + 1)
+        self._ensure_capacity(self._n + 1 - base)
         j = self._n
-        self._release[j] = spec.release
-        self._work[j] = spec.work
-        self._caps_all[j] = spec.mode.rate_cap(self.m)
-        self._weights[j] = spec.weight
-        self._tol[j] = self.config.completion_tol * max(1.0, spec.work)
-        self._flow[j] = np.nan
+        r = j - base
+        self._release[r] = spec.release
+        self._work[r] = spec.work
+        self._caps_all[r] = spec.mode.rate_cap(self.m)
+        self._weights[r] = spec.weight
+        self._tol[r] = self.config.completion_tol * max(1.0, spec.work)
+        self._flow[r] = np.nan
         self._specs.append(spec)
         prof: ParallelismProfile | None = None
         if (
@@ -538,29 +553,31 @@ class FlowStepper:
         rel = np.fromiter((s.release for s in specs), float, n_new)
         if n_new > 1 and (rel[1:] < rel[:-1]).any():
             raise ValueError("job releases must be non-decreasing")
-        if n0 and rel[0] < self._release[n0 - 1]:
+        base = self._base
+        if n0 > base and rel[0] < self._release[n0 - 1 - base]:
             raise ValueError("job releases must be non-decreasing")
         if rel[0] < self._t - 1e-9 * max(1.0, self._t):
             raise ValueError(
                 f"cannot register a job released in the past "
                 f"(release={rel[0]:.6g} < now={self._t:.6g})"
             )
-        self._ensure_capacity(n0 + n_new)
+        self._ensure_capacity(n0 + n_new - base)
         end = n0 + n_new
+        r0, r1 = n0 - base, end - base
         work = np.fromiter((s.work for s in specs), float, n_new)
-        self._release[n0:end] = rel
-        self._work[n0:end] = work
+        self._release[r0:r1] = rel
+        self._work[r0:r1] = work
         m = self.m
-        self._caps_all[n0:end] = np.fromiter(
+        self._caps_all[r0:r1] = np.fromiter(
             (s.mode.rate_cap(m) for s in specs), float, n_new
         )
-        self._weights[n0:end] = np.fromiter(
+        self._weights[r0:r1] = np.fromiter(
             (s.weight for s in specs), float, n_new
         )
         # completion_tol * max(1.0, work) elementwise — the same two
         # IEEE ops per entry as the scalar path
-        self._tol[n0:end] = self.config.completion_tol * np.maximum(1.0, work)
-        self._flow[n0:end] = np.nan
+        self._tol[r0:r1] = self.config.completion_tol * np.maximum(1.0, work)
+        self._flow[r0:r1] = np.nan
         self._specs.extend(specs)
         use_profiles = self.config.use_profiles
         for spec in specs:
@@ -584,15 +601,21 @@ class FlowStepper:
         if hasattr(self.policy, "set_weights"):
             self._weights_dirty = True
 
-    def _ensure_capacity(self, n: int) -> None:
+    def _ensure_capacity(self, rows: int) -> None:
+        """Grow the master columns to hold ``rows`` stored rows.
+
+        ``rows`` counts *stored* jobs (``_n - _base``), not absolute ids —
+        after a harvest the columns only ever hold the unharvested tail.
+        """
         cap = self._release.size
-        if n <= cap:
+        if rows <= cap:
             return
-        new = max(n, 2 * cap)
+        new = max(rows, 2 * cap)
+        stored = self._n - self._base
 
         def grow(a: np.ndarray, fill: float) -> np.ndarray:
             out = np.full(new, fill, dtype=float)
-            out[: self._n] = a[: self._n]
+            out[:stored] = a[:stored]
             return out
 
         self._release = grow(self._release, 0.0)
@@ -626,22 +649,33 @@ class FlowStepper:
 
     def _update_next_rel(self) -> None:
         i = self._next_arrival
-        self._next_rel = float(self._release[i]) if i < self._n else np.inf
+        self._next_rel = (
+            float(self._release[i - self._base]) if i < self._n else np.inf
+        )
 
     def _push_weights(self) -> None:
         if self._weights_dirty:
+            if self._base:
+                # weight-aware policies index their table by absolute job
+                # id; a harvested prefix makes that table unreconstructable
+                raise FlowSimError(
+                    "weighted policies are not supported after harvest() "
+                    "(streaming mode)"
+                )
             self.policy.set_weights(self._weights[: self._n].copy())
             self._weights_dirty = False
             self._rates_cache = None
 
     def _caps_for(self, ids: np.ndarray, remaining: np.ndarray) -> np.ndarray:
-        caps = self._caps_all[ids].copy()
+        base = self._base
+        rows = ids - base if base else ids
+        caps = self._caps_all[rows].copy()
         if self.config.use_profiles:
-            for k, j in enumerate(ids):
-                prof = self._profiles[j]
+            for k, r in enumerate(rows):
+                prof = self._profiles[r]
                 if prof is not None:
-                    attained = max(0.0, self._work[j] - remaining[k])
-                    tol = self.config.completion_tol * max(1.0, self._work[j])
+                    attained = max(0.0, self._work[r] - remaining[k])
+                    tol = self.config.completion_tol * max(1.0, self._work[r])
                     caps[k] = min(float(self.m), prof.cap_at(attained, tol=tol))
         return caps
 
@@ -718,18 +752,20 @@ class FlowStepper:
     def _admit_due(self) -> None:
         """Admit every pending job whose release is at or before the clock."""
         thresh = self._t * (1.0 + _ADMIT_TOL)
+        base = self._base
         while self._next_arrival < self._n and self._next_rel <= thresh:
             j = self._next_arrival
+            r = j - base
             k = self._na
-            w = self._work[j]
+            w = self._work[r]
             self._a_ids[k] = j
             self._a_rem[k] = w
-            self._a_caps[k] = self._caps_all[j]
-            self._a_tol[k] = self._tol[j]
+            self._a_caps[k] = self._caps_all[r]
+            self._a_tol[k] = self._tol[r]
             self._a_work[k] = w
-            self._a_rel[k] = self._release[j]
+            self._a_rel[k] = self._release[r]
             self._na = k + 1
-            self._rem[j] = w
+            self._rem[r] = w
             self._next_arrival += 1
             self._update_next_rel()
             self._rates_cache = None
@@ -746,15 +782,16 @@ class FlowStepper:
     def _insert_active(self, j: int, rem_val: float) -> None:
         """Insert job ``j`` at its sorted position (fault resume path)."""
         na = self._na
+        r = j - self._base
         pos = int(self._a_ids[:na].searchsorted(j))
         self._a_ids[pos + 1 : na + 1] = self._a_ids[pos:na]
         self._a_blk[:, pos + 1 : na + 1] = self._a_blk[:, pos:na]
         self._a_ids[pos] = j
         self._a_rem[pos] = rem_val
-        self._a_caps[pos] = self._caps_all[j]
-        self._a_tol[pos] = self._tol[j]
-        self._a_work[pos] = self._work[j]
-        self._a_rel[pos] = self._release[j]
+        self._a_caps[pos] = self._caps_all[r]
+        self._a_tol[pos] = self._tol[r]
+        self._a_work[pos] = self._work[r]
+        self._a_rel[pos] = self._release[r]
         self._na = na + 1
 
     def _apply_due_faults(self) -> None:
@@ -777,7 +814,8 @@ class FlowStepper:
                 j = int(action["job_id"])
                 pos = self._active_pos(j)
                 if pos >= 0:
-                    redone = float(self._work[j] - self._a_rem[pos])
+                    r = j - self._base
+                    redone = float(self._work[r] - self._a_rem[pos])
                     resume_at = float(action["t"]) + float(
                         action.get("resubmit_after", 0.0)
                     )
@@ -797,7 +835,7 @@ class FlowStepper:
                     else:
                         self._lost_work += redone
                     self._remove_active(pos)
-                    self._rem[j] = self._work[j]
+                    self._rem[r] = self._work[r]
                     self._suspended.add(j)
                     self._rates_cache = None
                     if self._has_completion_hook:
@@ -809,9 +847,10 @@ class FlowStepper:
             elif kind == "resume":
                 j = int(action["job_id"])
                 if j in self._suspended:
+                    r = j - self._base
                     self._suspended.discard(j)
-                    self._insert_active(j, float(self._work[j]))
-                    self._rem[j] = self._work[j]
+                    self._insert_active(j, float(self._work[r]))
+                    self._rem[r] = self._work[r]
                     self._rates_cache = None
                     if self._has_arrival_hook:
                         self.policy.on_arrival(j, self._build_view())
@@ -968,12 +1007,12 @@ class FlowStepper:
             # stop exactly at the next parallelism-profile breakpoint of
             # any served job so its cap change takes effect on time
             for k in np.flatnonzero(served):
-                j = int(ids[k])
-                prof = self._profiles[j]
+                r = int(ids[k]) - self._base
+                prof = self._profiles[r]
                 if prof is None:
                     continue
-                tol = cfg.completion_tol * max(1.0, self._work[j])
-                attained = max(0.0, self._work[j] - rem[k])
+                tol = cfg.completion_tol * max(1.0, self._work[r])
+                attained = max(0.0, self._work[r] - rem[k])
                 brk = prof.next_break_after(attained, tol=tol)
                 if brk is not None:
                     dt_brk = float((brk - attained) / eff[k])
@@ -1028,15 +1067,16 @@ class FlowStepper:
         # iterating ``done`` in order is exactly lowest-id-first.
         done_mask = rem <= self._a_tol[:na]
         if done_mask.any():
+            base = self._base
             done = ids[done_mask]
             # park the final (dust) remaining values in the master column
             # so checkpoints and observers see what the buffers saw
-            self._rem[done] = rem[done_mask]
+            self._rem[done - base if base else done] = rem[done_mask]
             t = self._t
             if self._has_completion_hook:
                 for j in done.tolist():
                     self._remove_active(self._active_pos(j))
-                    self._flow[j] = t - self._release[j]
+                    self._flow[j - base] = t - self._release[j - base]
                     self._completed += 1
                     self._completions.append((j, t))
                     self._rates_cache = None
@@ -1048,7 +1088,7 @@ class FlowStepper:
                 self._a_blk[:, :nk] = self._a_blk[:, :na][:, keep]
                 self._na = nk
                 for j in done.tolist():
-                    self._flow[j] = t - self._release[j]
+                    self._flow[j - base] = t - self._release[j - base]
                     self._completed += 1
                     self._completions.append((j, t))
                 self._rates_cache = None
@@ -1117,6 +1157,9 @@ class FlowStepper:
         tol_all = self._tol
         rem_all = self._rem
         completions = self._completions
+        # master rows are stored base-relative; stable for the whole pass
+        # (harvest() only runs between kernel passes)
+        base = self._base
         radd = np.add.reduce
         rmin = np.minimum.reduce
         folded = 0
@@ -1163,18 +1206,19 @@ class FlowStepper:
                 if next_rel <= thresh:
                     na0 = na
                     while ja < n and next_rel <= thresh:
-                        w = work_all[ja]
+                        r = ja - base
+                        w = work_all[r]
                         a_ids[na] = ja
                         a_rem[na] = w
-                        a_caps[na] = caps_all[ja]
-                        a_tol[na] = tol_all[ja]
+                        a_caps[na] = caps_all[r]
+                        a_tol[na] = tol_all[r]
                         a_work[na] = w
-                        a_rel[na] = release[ja]
+                        a_rel[na] = release[r]
                         na += 1
-                        rem_all[ja] = w
+                        rem_all[r] = w
                         ja += 1
                         next_rel = (
-                            float(release[ja]) if ja < n else np.inf
+                            float(release[ja - base]) if ja < n else np.inf
                         )
                         cache = None
                         if has_arrival:
@@ -1359,14 +1403,15 @@ class FlowStepper:
                     # scalar bookkeeping, no fancy-index round trips
                     p = int(dpos[0])
                     j = int(ids[p])
-                    rem_all[j] = rem[p]
+                    r = j - base
+                    rem_all[r] = rem[p]
                     a_ids[p : na - 1] = a_ids[p + 1 : na]
                     a_blk[:, p : na - 1] = a_blk[:, p + 1 : na]
                     na -= 1
                     if vec is not None:
                         vbuf[p:na] = vbuf[p + 1 : na + 1]
                         vec = vbuf[:na]
-                    flow[j] = t - release[j]
+                    flow[r] = t - release[r]
                     completed += 1
                     completions.append((j, t))
                     cache = None
@@ -1387,7 +1432,7 @@ class FlowStepper:
                         )
                 elif n_done:
                     done = ids[dpos]
-                    rem_all[done] = rem[dpos]
+                    rem_all[done - base if base else done] = rem[dpos]
                     if has_completion:
                         for j in done.tolist():
                             p = int(a_ids[:na].searchsorted(j))
@@ -1397,7 +1442,7 @@ class FlowStepper:
                             if vec is not None:
                                 vbuf[p:na] = vbuf[p + 1 : na + 1]
                                 vec = vbuf[:na]
-                            flow[j] = t - release[j]
+                            flow[j - base] = t - release[j - base]
                             completed += 1
                             completions.append((j, t))
                             cache = None
@@ -1431,7 +1476,7 @@ class FlowStepper:
                             vbuf[:nk] = vec[keep]
                             vec = vbuf[:nk]
                         for j in done.tolist():
-                            flow[j] = t - release[j]
+                            flow[j - base] = t - release[j - base]
                             completed += 1
                             completions.append((j, t))
                         cache = None
@@ -1491,6 +1536,91 @@ class FlowStepper:
             if not self.step():
                 break  # unreachable while jobs remain; defensive
 
+    # -- streaming harvest -------------------------------------------------
+
+    def _harvest_bound(self) -> int:
+        """First job id that may still need its master row: every id below
+        it is completed (admitted, not active, not suspended)."""
+        b = self._next_arrival
+        if self._na:
+            a0 = int(self._a_ids[0])
+            if a0 < b:
+                b = a0
+        if self._suspended:
+            s0 = min(self._suspended)
+            if s0 < b:
+                b = s0
+        return b
+
+    @property
+    def n_harvestable(self) -> int:
+        """Completed-prefix jobs :meth:`harvest` would fold right now."""
+        return self._harvest_bound() - self._base
+
+    def harvest(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Fold the completed prefix out of the job table and free its rows.
+
+        Returns ``(ids, flows, weights, min_flows)`` for every job whose
+        id precedes all active / suspended / pending jobs (in id order,
+        ``min_flows`` already speed-normalized exactly as
+        :meth:`result` reports them), then compacts the master columns
+        left and advances the internal base offset.  Calling it
+        periodically is what makes a streamed run O(active + pending) in
+        memory; the cost is one shift of the stored rows per call.
+
+        After the first non-empty harvest :meth:`result` /
+        :meth:`state_dict` are unavailable (their per-job arrays are
+        gone) — the streaming driver
+        (:func:`repro.flowsim.simulate_stream`) accumulates
+        :class:`~repro.core.metrics.StreamingMetrics` instead.  Weighted
+        policies (``set_weights``) are refused: their weight tables are
+        indexed by absolute job id over the full run.
+        """
+        if hasattr(self.policy, "set_weights"):
+            raise FlowSimError(
+                f"{self.policy.name}: weighted policies are not supported "
+                "in streaming mode (their weight table spans all jobs)"
+            )
+        base = self._base
+        b = self._harvest_bound()
+        k = b - base
+        if k <= 0:
+            empty = np.empty(0, dtype=float)
+            return np.empty(0, dtype=np.int64), empty, empty.copy(), empty.copy()
+        ids = np.arange(base, b, dtype=np.int64)
+        flows = self._flow[:k].copy()
+        if np.isnan(flows).any():  # pragma: no cover - internal invariant
+            raise FlowSimError("harvest bound covers an unfinished job")
+        weights = self._weights[:k].copy()
+        m = self.m
+        min_flows = (
+            np.fromiter(
+                (spec.lower_bound(m) for spec in self._specs[:k]), float, k
+            )
+            / self.config.speed
+        )
+        stored = self._n - base
+        keep = stored - k
+        for a in (
+            self._release,
+            self._work,
+            self._caps_all,
+            self._weights,
+            self._rem,
+            self._tol,
+            self._flow,
+        ):
+            a[:keep] = a[k:stored]
+        del self._specs[:k]
+        del self._profiles[:k]
+        self._base = b
+        if self._completions:
+            # keep the observer log bounded too: harvested ids are gone
+            self._completions = [e for e in self._completions if e[0] >= b]
+        return ids, flows, weights, min_flows
+
     # -- results -----------------------------------------------------------
 
     def result(self, partial: bool = False) -> ScheduleResult:
@@ -1500,6 +1630,12 @@ class FlowStepper:
         completed; ``partial=True`` restricts the arrays to completed jobs
         (in job-id order), for progress reporting mid-run.
         """
+        if self._base:
+            raise FlowSimError(
+                "result() is unavailable after harvest(): per-job arrays "
+                "were folded into streaming metrics "
+                "(use repro.flowsim.simulate_stream)"
+            )
         n = self._n
         flows = self._flow[:n].copy()
         weights = self._weights[:n].copy()
@@ -1565,6 +1701,11 @@ class FlowStepper:
         to the engine); :mod:`repro.serve.snapshot` captures it alongside.
         Jobs carrying explicit DAGs are not snapshottable.
         """
+        if self._base:
+            raise FlowSimError(
+                "cannot snapshot a harvested (streaming) run: the "
+                "completed prefix was folded away"
+            )
         for spec in self._specs:
             if spec.dag is not None:
                 raise FlowSimError(
@@ -1676,6 +1817,7 @@ class FlowStepper:
             stepper._rem[j] = r
         for j, f in enumerate(state["flow"]):
             stepper._flow[j] = np.nan if f is None else f
+        stepper._base = 0
         stepper._act_ids = [int(j) for j in state["act_ids"]]
         stepper._t = float(state["t"])
         stepper._next_arrival = int(state["next_arrival"])

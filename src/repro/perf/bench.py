@@ -45,6 +45,9 @@ class BenchCase:
     name: str
     engine: str  # "flowsim" | "wsim" | "grid"
     build: Callable[[float], Callable[[], ScheduleResult]]
+    #: cap on timed repeats for expensive cases (``None`` = suite default);
+    #: ``run_bench_suite`` uses ``min(repeats, max_repeats)``.
+    max_repeats: "int | None" = None
 
 
 def _flowsim_case(n_jobs: int, distribution: str, policy_key: str, seed: int):
@@ -266,6 +269,94 @@ def _grid_sweep_case(workers: int, seed: int):
     return build
 
 
+def _flowsim_stream_case(seed: int):
+    """Million-job streaming run — the bounded-RAM tripwire.
+
+    The timed region is one :func:`~repro.flowsim.stream.simulate_stream`
+    pass over a *lazy* ``generate_stream`` of ``1e6 * scale`` jobs (the
+    generator is inside the timed region on purpose: lazy ingestion is
+    the thing being measured, and pre-materializing the trace would both
+    defeat it and need the O(n) memory this case exists to rule out).
+
+    ``build`` additionally runs an untimed flat-memory gate: two
+    tracemalloc'd streaming runs at ``n/100`` and ``n/10`` jobs must not
+    differ in Python heap peak by more than 1.25x despite the 10x job
+    count — O(active-jobs) memory, not O(n).  The gate raises (failing
+    the bench) when streaming regresses to per-job retention; its
+    numbers ride along in the row's ``perf`` dict.
+    """
+
+    def build(scale: float) -> Callable[[], dict]:
+        import tracemalloc
+
+        from repro.flowsim.policies import policy_by_name
+        from repro.flowsim.stream import simulate_stream
+        from repro.workloads.stream import generate_stream
+
+        n = max(5000, int(1_000_000 * scale))
+
+        def one(n_run: int, traced: bool):
+            # The gate pins the chunking knobs well below its job counts:
+            # at the defaults (65536/1024/8192) a 20k-job traced run is
+            # bounded by n, not the knobs, and the ratio means nothing.
+            # The timed full-n run keeps the defaults (n >> knobs there).
+            knobs = (
+                dict(chunk_jobs=128) if traced else {}
+            )
+            stream = generate_stream(
+                n_run, "exponential", 0.8, 16, seed=seed, **knobs
+            )
+            sim_knobs = (
+                dict(ingest_chunk=64, harvest_every=256) if traced else {}
+            )
+            if traced:
+                tracemalloc.start()
+            try:
+                res = simulate_stream(
+                    stream, 16, policy_by_name("srpt"), seed=seed, **sim_knobs
+                )
+                peak_mb = (
+                    tracemalloc.get_traced_memory()[1] / (1024.0 * 1024.0)
+                    if traced
+                    else 0.0
+                )
+            finally:
+                if traced:
+                    tracemalloc.stop()
+            return res, peak_mb
+
+        # Untimed flat-memory gate.  tracemalloc costs ~20x throughput,
+        # so the traced pair is capped: 2k vs 20k jobs already exercises
+        # a 10x job-count spread, and O(active-jobs) vs O(n) retention
+        # shows up identically at any absolute size.
+        small_n = max(500, min(n // 100, 2_000))
+        _, small_peak = one(small_n, traced=True)
+        _, big_peak = one(10 * small_n, traced=True)
+        mem_ratio = big_peak / small_peak if small_peak > 0 else float("inf")
+        if mem_ratio > 1.25:
+            raise RuntimeError(
+                f"streaming memory not flat: py heap peak {big_peak:.2f}MB at "
+                f"10x jobs vs {small_peak:.2f}MB (ratio {mem_ratio:.2f} > 1.25)"
+            )
+
+        def run() -> dict:
+            res, _ = one(n, traced=False)
+            perf = dict(res.extra.get("perf", {}))
+            perf["py_peak_mb_small"] = round(small_peak, 3)
+            perf["py_peak_mb_10x"] = round(big_peak, 3)
+            perf["mem_flat_ratio"] = round(mem_ratio, 4)
+            return {
+                "events": int(res.extra["events"]),
+                "n_jobs": res.n_jobs,
+                "mean_flow": res.mean_flow,
+                "perf": perf,
+            }
+
+        return run
+
+    return build
+
+
 def _autoscale_case(seed: int):
     """Closed-loop elastic capacity over the flow engine (repro.autoscale).
 
@@ -332,6 +423,9 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("wsim_grid_w1", "grid", _ws_grid_case(1, 307)),
     BenchCase("wsim_grid_auto", "grid", _ws_grid_case("auto", 307)),
     BenchCase("autoscale", "grid", _autoscale_case(308)),
+    BenchCase(
+        "flowsim_stream_1m", "flowsim", _flowsim_stream_case(309), max_repeats=1
+    ),
     BenchCase(CALIBRATION_CASE, "flowsim", _calibration_case(399)),
 )
 
@@ -397,9 +491,12 @@ def run_bench_suite(
     rows: dict[str, dict] = {}
     for case in cases:
         runner = case.build(scale)
+        case_repeats = (
+            repeats if case.max_repeats is None else min(repeats, case.max_repeats)
+        )
         best_s = float("inf")
         best_result: ScheduleResult | dict | None = None
-        for _ in range(repeats):
+        for _ in range(case_repeats):
             t0 = time.perf_counter()
             result = runner()
             dt = time.perf_counter() - t0

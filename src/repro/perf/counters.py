@@ -57,6 +57,8 @@ class PerfCounters:
         "pool_workers",
         "pool_shm_traces",
         "pool_shm_bytes",
+        "peak_rss_mb",
+        "py_peak_mb",
         "wall_s",
         "_t0",
     )
@@ -80,6 +82,8 @@ class PerfCounters:
         self.pool_workers = 0
         self.pool_shm_traces = 0
         self.pool_shm_bytes = 0
+        self.peak_rss_mb = 0.0
+        self.py_peak_mb = 0.0
         self.wall_s = 0.0
         self._t0: float | None = None
 
@@ -93,6 +97,36 @@ class PerfCounters:
         if self._t0 is not None:
             self.wall_s += time.perf_counter() - self._t0
             self._t0 = None
+
+    # -- memory observability ----------------------------------------------
+
+    def capture_memory(self) -> None:
+        """Record the process memory high-water marks (max over captures).
+
+        ``peak_rss_mb`` is the OS-level resident-set peak
+        (``getrusage.ru_maxrss`` — a *process-lifetime* high-water mark,
+        so it reports what the whole process ever touched); ``py_peak_mb``
+        is the ``tracemalloc`` traced-allocation peak, which callers can
+        reset per run (``tracemalloc.reset_peak``) and is therefore the
+        number the flat-memory assertions compare.  Only populated when
+        tracing is on; capturing is cheap enough to do at every harvest.
+        """
+        try:
+            import resource
+
+            ru = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # linux reports KiB, macOS bytes
+            rss_mb = ru / 1024.0 if ru < 1 << 40 else ru / (1024.0 * 1024.0)
+            if rss_mb > self.peak_rss_mb:
+                self.peak_rss_mb = rss_mb
+        except Exception:  # pragma: no cover - non-POSIX fallback
+            pass
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            peak_mb = tracemalloc.get_traced_memory()[1] / (1024.0 * 1024.0)
+            if peak_mb > self.py_peak_mb:
+                self.py_peak_mb = peak_mb
 
     # -- reporting ---------------------------------------------------------
 

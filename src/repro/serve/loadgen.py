@@ -25,7 +25,8 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.workloads.traces import Trace
 __all__ = [
     "LoadGenReport",
     "effective_trace",
+    "iter_effective",
     "replay_into",
     "replay_over_wire",
     "retry_delay",
@@ -114,27 +116,35 @@ def effective_trace(trace: Trace, rate: float = 1.0) -> Trace:
     )
 
 
-def _accepted_trace(trace: Trace, accepted: list[int]) -> Trace:
+def iter_effective(trace_or_jobs, rate: float = 1.0) -> Iterator[JobSpec]:
+    """Lazily yield rate-scaled jobs from a trace or a job stream.
+
+    The streaming twin of :func:`effective_trace`: accepts a
+    :class:`Trace`, a :class:`~repro.workloads.stream.JobStream` or any
+    iterable of specs, and never materializes anything — the path an SWF
+    archive replay takes (``drep-sim loadgen --trace-file x.swf``).
+    """
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    jobs: Iterable[JobSpec] = getattr(trace_or_jobs, "jobs", trace_or_jobs)
+    for spec in jobs:
+        yield spec if rate == 1.0 else replace(spec, release=spec.release / rate)
+
+
+def _accepted_trace(specs: list[JobSpec], name: str = "accepted") -> Trace:
     """Re-index the accepted subset densely — what the engine actually ran."""
     jobs = [
         JobSpec(
             job_id=k,
-            release=trace.jobs[i].release,
-            work=trace.jobs[i].work,
-            span=trace.jobs[i].span,
-            mode=trace.jobs[i].mode,
-            weight=trace.jobs[i].weight,
+            release=s.release,
+            work=s.work,
+            span=s.span,
+            mode=s.mode,
+            weight=s.weight,
         )
-        for k, i in enumerate(accepted)
+        for k, s in enumerate(specs)
     ]
-    return Trace(
-        jobs=jobs,
-        m=trace.m,
-        load=trace.load,
-        distribution=trace.distribution,
-        name=trace.name + "+admitted",
-        meta=trace.meta,
-    )
+    return Trace(jobs=jobs, name=name + "+admitted")
 
 
 @dataclass
@@ -222,14 +232,26 @@ def replay_into(
     ``(report, result)`` where ``result`` is the drained
     :class:`~repro.core.metrics.ScheduleResult` (``None`` when
     ``drain=False``).
+
+    ``trace`` may also be a lazy job stream (e.g.
+    :func:`repro.workloads.swf.swf_stream`); jobs are then pulled one at
+    a time and never materialized.  Tenant labelling needs an in-memory
+    trace (the label list is indexed by job id).
     """
-    eff = effective_trace(trace, rate)
-    if tenants is not None and len(tenants) != len(eff.jobs):
-        raise ValueError("tenants must label every job of the trace")
-    report = LoadGenReport(offered=len(eff), accepted=0, shed=0, wall_seconds=0.0)
+    is_trace = isinstance(trace, Trace)
+    if tenants is not None:
+        if not is_trace:
+            raise ValueError(
+                "tenant labelling needs an in-memory Trace, not a stream"
+            )
+        if len(tenants) != len(trace.jobs):
+            raise ValueError("tenants must label every job of the trace")
+    report = LoadGenReport(offered=0, accepted=0, shed=0, wall_seconds=0.0)
     t0 = time.perf_counter()
+    offered = 0
     shed = 0
-    for i, spec in enumerate(eff.jobs):
+    for i, spec in enumerate(iter_effective(trace, rate)):
+        offered += 1
         scheduler.advance_to(spec.release)
         if scheduler.admission is not None or tenants is not None:
             tenant = tenants[i] if tenants is not None else None
@@ -262,7 +284,8 @@ def replay_into(
                 )
             )
     result = scheduler.drain() if drain else None
-    report.accepted = len(eff) - shed
+    report.offered = offered
+    report.accepted = offered - shed
     report.shed = shed
     report.wall_seconds = time.perf_counter() - t0
     report.stats = scheduler.stats()
@@ -419,12 +442,24 @@ async def replay_over_wire(
     retries are at-least-once: a submit whose response was lost may be
     applied twice server-side, so keep ``max_retries=0`` (the default)
     for bit-exact verification runs.
+
+    ``trace`` may also be a lazy job stream (e.g.
+    :func:`repro.workloads.swf.swf_stream` for SWF archive replay); jobs
+    are pulled and sent one at a time, so client memory stays O(1) —
+    except under ``verify``, which must buffer the accepted specs to
+    re-simulate them offline.  Tenant labelling needs an in-memory
+    trace.
     """
-    eff = effective_trace(trace, rate)
-    if tenants is not None and len(tenants) != len(eff.jobs):
-        raise ValueError("tenants must label every job of the trace")
+    is_trace = isinstance(trace, Trace)
+    if tenants is not None:
+        if not is_trace:
+            raise ValueError(
+                "tenant labelling needs an in-memory Trace, not a stream"
+            )
+        if len(tenants) != len(trace.jobs):
+            raise ValueError("tenants must label every job of the trace")
     report = LoadGenReport(
-        offered=len(eff), accepted=0, shed=0, wall_seconds=0.0
+        offered=0, accepted=0, shed=0, wall_seconds=0.0
     )
     client = _WireClient(
         host,
@@ -444,11 +479,19 @@ async def replay_over_wire(
         # release stamps would land in its past and be rejected
         stamp_releases = hello.get("clock") == "trace"
         t0 = time.perf_counter()
-        accepted: list[int] = []
+        keep_specs = bool(verify and drain)
+        accepted = 0
+        accepted_specs: list[JobSpec] = []
+        offered = 0
         shed = 0
-        prev_release = eff.jobs[0].release if eff.jobs else 0.0
-        for i, spec in enumerate(eff.jobs):
-            if pace is not None and spec.release > prev_release:
+        prev_release: float | None = None
+        for i, spec in enumerate(iter_effective(trace, rate)):
+            offered += 1
+            if (
+                pace is not None
+                and prev_release is not None
+                and spec.release > prev_release
+            ):
                 await asyncio.sleep((spec.release - prev_release) / pace)
             prev_release = spec.release
             tenant = tenants[i] if tenants is not None else None
@@ -480,14 +523,17 @@ async def replay_over_wire(
                     row["errors"] += 1
                 continue
             if resp["accepted"]:
-                accepted.append(spec.job_id)
+                accepted += 1
+                if keep_specs:
+                    accepted_specs.append(spec)
                 if row is not None:
                     row["accepted"] += 1
             else:
                 shed += 1
                 if row is not None:
                     row["shed"] += 1
-        report.accepted = len(accepted)
+        report.offered = offered
+        report.accepted = accepted
         report.shed = shed
         stats_resp = await client.call({"op": "stats"})
         report.stats = (stats_resp or {}).get("stats", {})
@@ -502,7 +548,10 @@ async def replay_over_wire(
                 )
             report.drain_summary = resp["result"]
             if verify:
-                _verify_against_offline(report, hello, eff, accepted, resp)
+                name = getattr(trace, "name", "stream")
+                _verify_against_offline(
+                    report, hello, accepted_specs, name, resp
+                )
         return report
     finally:
         await client.close()
@@ -511,8 +560,8 @@ async def replay_over_wire(
 def _verify_against_offline(
     report: LoadGenReport,
     hello: dict,
-    eff: Trace,
-    accepted: list[int],
+    accepted_specs: list[JobSpec],
+    name: str,
     drain_resp: dict,
 ) -> None:
     from repro.flowsim.engine import FlowSimConfig, simulate
@@ -522,7 +571,7 @@ def _verify_against_offline(
         report.verified = None  # wall clock ⇒ releases are not replayable
         return
     offline = simulate(
-        _accepted_trace(eff, accepted),
+        _accepted_trace(accepted_specs, name),
         m=int(hello["m"]),
         policy=policy_by_name(hello["policy_key"]),
         seed=int(hello["seed"]),

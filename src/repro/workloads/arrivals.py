@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "PoissonProcess",
+    "MmppProcess",
     "poisson_arrivals",
     "mmpp_arrivals",
     "qps_for_load",
@@ -45,6 +47,96 @@ def poisson_arrivals(
     return start + np.cumsum(gaps)
 
 
+class PoissonProcess:
+    """Resumable Poisson arrival generator for chunked (streaming) draws.
+
+    :meth:`draw` advances generator state, so consecutive chunked draws
+    continue the same arrival sequence.  With ``start == 0`` (the
+    :func:`repro.workloads.traces.generate_trace` path) the concatenation
+    of chunked draws is **bit-for-bit identical** to one
+    :func:`poisson_arrivals` call for the whole trace: ``np.cumsum`` is
+    strictly sequential, and the carry is folded into the first gap of
+    each chunk — the same float op the unchunked cumsum performs.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, rate: float, start: float = 0.0
+    ) -> None:
+        if not rate > 0:
+            raise ValueError("rate must be > 0")
+        self._rng = rng
+        self._scale = 1.0 / rate
+        self._t = float(start)
+
+    def draw(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        gaps = self._rng.exponential(self._scale, size=n)
+        if n == 0:
+            return gaps
+        gaps[0] += self._t
+        out = np.cumsum(gaps)
+        self._t = float(out[-1])
+        return out
+
+
+class MmppProcess:
+    """Resumable two-state Markov-modulated Poisson process.
+
+    Stateful core of :func:`mmpp_arrivals`: the per-arrival loop is
+    purely sequential, so chunked :meth:`draw` calls are trivially
+    bit-for-bit with one whole-trace call.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        rate: float,
+        burstiness: float = 4.0,
+        switch_rate: float = 0.05,
+        start: float = 0.0,
+    ) -> None:
+        if not rate > 0:
+            raise ValueError("rate must be > 0")
+        if burstiness < 1:
+            raise ValueError("burstiness must be >= 1")
+        if not switch_rate > 0:
+            raise ValueError("switch_rate must be > 0")
+        # equal state occupancy: calm + burst rates average to `rate`
+        self._calm = 2.0 * rate / (1.0 + burstiness)
+        self._burst = self._calm * burstiness
+        self._switch_scale = 1.0 / switch_rate
+        self._rng = rng
+        self._t = float(start)
+        self._in_burst = bool(rng.random() < 0.5)
+        self._state_ends = self._t + rng.exponential(self._switch_scale)
+
+    def draw(self, n: int) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rng = self._rng
+        out = np.empty(n, dtype=float)
+        t = self._t
+        in_burst = self._in_burst
+        state_ends = self._state_ends
+        for i in range(n):
+            while True:
+                lam = self._burst if in_burst else self._calm
+                gap = rng.exponential(1.0 / lam)
+                if t + gap <= state_ends:
+                    t += gap
+                    out[i] = t
+                    break
+                # jump to the state boundary and re-draw (memorylessness)
+                t = state_ends
+                in_burst = not in_burst
+                state_ends = t + rng.exponential(self._switch_scale)
+        self._t = t
+        self._in_burst = in_burst
+        self._state_ends = state_ends
+        return out
+
+
 def mmpp_arrivals(
     rng: np.random.Generator,
     n_jobs: int,
@@ -64,32 +156,9 @@ def mmpp_arrivals(
     """
     if n_jobs < 0:
         raise ValueError("n_jobs must be >= 0")
-    if not rate > 0:
-        raise ValueError("rate must be > 0")
-    if burstiness < 1:
-        raise ValueError("burstiness must be >= 1")
-    if not switch_rate > 0:
-        raise ValueError("switch_rate must be > 0")
-    # equal state occupancy: calm + burst rates average to `rate`
-    calm = 2.0 * rate / (1.0 + burstiness)
-    burst = calm * burstiness
-    out = np.empty(n_jobs, dtype=float)
-    t = start
-    in_burst = bool(rng.random() < 0.5)
-    state_ends = t + rng.exponential(1.0 / switch_rate)
-    for i in range(n_jobs):
-        while True:
-            lam = burst if in_burst else calm
-            gap = rng.exponential(1.0 / lam)
-            if t + gap <= state_ends:
-                t += gap
-                out[i] = t
-                break
-            # jump to the state boundary and re-draw (memorylessness)
-            t = state_ends
-            in_burst = not in_burst
-            state_ends = t + rng.exponential(1.0 / switch_rate)
-    return out
+    return MmppProcess(
+        rng, rate, burstiness=burstiness, switch_rate=switch_rate, start=start
+    ).draw(n_jobs)
 
 
 def qps_for_load(load: float, m: int, mean_work: float) -> float:

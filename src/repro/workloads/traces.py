@@ -23,8 +23,7 @@ from repro.core.rng import RngFactory
 from repro.dag.generators import chain as chain_dag
 from repro.dag.generators import fork_join, spawn_tree
 from repro.dag.graph import DagJob
-from repro.workloads.arrivals import mmpp_arrivals, poisson_arrivals, qps_for_load
-from repro.workloads.distributions import WorkDistribution, distribution_by_name
+from repro.workloads.distributions import WorkDistribution
 
 __all__ = ["Trace", "generate_trace", "attach_dags", "dag_for_work"]
 
@@ -43,12 +42,16 @@ class Trace:
     def __post_init__(self) -> None:
         if not isinstance(self.load, (int, float)):
             raise TypeError("load must be a number")
-        releases = [j.release for j in self.jobs]
-        if any(b < a for a, b in zip(releases, releases[1:])):
-            raise ValueError("trace jobs must be sorted by release time")
-        ids = [j.job_id for j in self.jobs]
-        if ids != list(range(len(ids))):
-            raise ValueError("job_ids must be dense 0..n-1 in release order")
+        # single pass, no temporaries: on million-job traces the old
+        # `releases`/`ids` list copies cost two O(n) allocations per
+        # construction, which the streaming wrapper pays on every chunk
+        prev = -np.inf
+        for i, j in enumerate(self.jobs):
+            if j.job_id != i:
+                raise ValueError("job_ids must be dense 0..n-1 in release order")
+            if j.release < prev:
+                raise ValueError("trace jobs must be sorted by release time")
+            prev = j.release
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -174,43 +177,27 @@ def generate_trace(
         Markov-modulated arrivals with the given ``burstiness`` (mean
         rate calibrated to the same target load either way).
     """
-    if n_jobs < 1:
-        raise ValueError("n_jobs must be >= 1")
-    if arrival_process not in ("poisson", "mmpp"):
-        raise ValueError(f"unknown arrival process {arrival_process!r}")
-    if isinstance(distribution, str):
-        dist_name = distribution
-        dist = distribution_by_name(distribution)
-    else:
-        dist_name = type(distribution).__name__
-        dist = distribution
-    rngs = RngFactory(seed)
-    work_scale = float(m) if scale_work_with_m else 1.0
-    mean_work = dist.mean * work_scale
-    rate = qps_for_load(load, m, mean_work)
-    if arrival_process == "mmpp":
-        releases = mmpp_arrivals(
-            rngs.stream("arrivals"), n_jobs, rate, burstiness=burstiness
-        )
-    else:
-        releases = poisson_arrivals(rngs.stream("arrivals"), n_jobs, rate)
-    works = dist.sample(rngs.stream("work"), n_jobs) * work_scale
+    # thin materializing wrapper over the lazy stream substrate: a single
+    # chunk reproduces the historical whole-trace draw order bit-for-bit
+    # (chunk-invariant distributions match at any chunk size; mixtures
+    # only in one chunk — see repro.workloads.stream.generate_stream)
+    from repro.workloads.stream import generate_stream
 
-    jobs = []
-    for i in range(n_jobs):
-        w = float(works[i])
-        span = w if mode is ParallelismMode.SEQUENTIAL else w / m
-        jobs.append(
-            JobSpec(
-                job_id=i,
-                release=float(releases[i]),
-                work=w,
-                span=span,
-                mode=mode,
-            )
-        )
+    stream = generate_stream(
+        n_jobs,
+        distribution,
+        load,
+        m,
+        mode=mode,
+        seed=seed,
+        scale_work_with_m=scale_work_with_m,
+        arrival_process=arrival_process,
+        burstiness=burstiness,
+        chunk_jobs=n_jobs,
+    )
+    dist_name = stream.meta["distribution"]
     return Trace(
-        jobs=jobs,
+        jobs=list(stream),
         m=m,
         load=load,
         distribution=dist_name,

@@ -7,7 +7,13 @@ simulator stands in for the real shared-memory runtime.
 """
 
 from repro.wsim.probes import JobStats, JobStatsCollector
-from repro.wsim.runtime import WsConfig, WsimError, WsRuntime, simulate_ws
+from repro.wsim.runtime import (
+    WsConfig,
+    WsimError,
+    WsRuntime,
+    simulate_ws,
+    simulate_ws_stream,
+)
 from repro.wsim.schedulers import (
     AdmitFirstWS,
     CentralGreedyWS,
@@ -26,6 +32,7 @@ __all__ = [
     "WsRuntime",
     "WsimError",
     "simulate_ws",
+    "simulate_ws_stream",
     "WsScheduler",
     "DrepWS",
     "SwfApproxWS",

@@ -82,7 +82,13 @@ from repro.perf.counters import PerfCounters
 from repro.wsim.structures import JobRun, Worker, WsDeque
 from repro.workloads.traces import Trace
 
-__all__ = ["WsConfig", "WsRuntime", "simulate_ws", "WsimError"]
+__all__ = [
+    "WsConfig",
+    "WsRuntime",
+    "simulate_ws",
+    "simulate_ws_stream",
+    "WsimError",
+]
 
 
 class WsimError(RuntimeError):
@@ -196,11 +202,22 @@ class WsCounters:
 
 
 class WsRuntime:
-    """One simulation run: a trace, ``m`` workers and a scheduler."""
+    """One simulation run: a trace, ``m`` workers and a scheduler.
+
+    ``trace`` is either a materialized :class:`~repro.workloads.Trace`
+    (the classic mode: per-job flow times retained densely) or any
+    iterator/iterable of DAG-attached :class:`~repro.core.JobSpec` in
+    trace order (dense ids, non-decreasing releases) — the *streaming*
+    mode, which pulls arrivals lazily one ahead of the clock and folds
+    completed jobs into ``metrics`` instead of growing per-job arrays,
+    so memory stays O(active jobs).  Streaming requires ``metrics`` (a
+    :class:`~repro.core.metrics.StreamingMetrics`); use
+    :func:`simulate_ws_stream` rather than driving it by hand.
+    """
 
     def __init__(
         self,
-        trace: Trace,
+        trace: "Trace | object",
         m: int,
         scheduler: "WsScheduler",
         seed: int = 0,
@@ -208,15 +225,26 @@ class WsRuntime:
         speeds: "np.ndarray | None" = None,
         faults=None,
         autoscale=None,
+        metrics=None,
     ) -> None:
         if m < 1:
             raise ValueError("m must be >= 1")
-        for spec in trace.jobs:
-            if spec.dag is None:
+        self._streaming = not isinstance(trace, Trace)
+        if self._streaming:
+            if metrics is None:
                 raise ValueError(
-                    "wsim needs DAG-attached traces; see workloads.attach_dags"
+                    "streaming runs need a StreamingMetrics accumulator; "
+                    "use simulate_ws_stream()"
                 )
-        self.trace = trace
+            self.trace = None
+        else:
+            for spec in trace.jobs:
+                if spec.dag is None:
+                    raise ValueError(
+                        "wsim needs DAG-attached traces; see workloads.attach_dags"
+                    )
+            self.trace = trace
+        self._metrics = metrics
         self.m = m
         self.scheduler = scheduler
         self.config = config
@@ -249,14 +277,40 @@ class WsRuntime:
         self.active: list[JobRun] = []
         self.counters = WsCounters()
         self.step = 0
-        self._arrivals = [
-            (int(math.ceil(spec.release)), spec) for spec in trace.jobs
-        ]
-        self._next_arrival = 0
         self._completed = 0
-        self._flow_steps = np.full(len(trace), np.nan)
-        total_work = sum(int(spec.dag.work) for spec in trace.jobs)
+        # speed aggregates (streaming completion folds need them per job;
+        # the dense result build reuses them)
+        self._total_speed = float(m if speeds is None else speeds.sum())
+        self._max_speed = float(1.0 if speeds is None else speeds.max())
+        if self._streaming:
+            self._arrivals = []
+            self._next_arrival = 0
+            self._flow_steps = None
+            self._job_iter = iter(trace)
+            #: specs of admitted, unfinished jobs (fault resume needs them)
+            self._specs_by_id: dict[int, "JobSpec"] = {}
+            #: completions folded into metrics strictly in job-id order —
+            #: jobs finish out of order, so late ids park on a heap until
+            #: the gap closes; O(active) entries
+            self._done_heap: list[tuple[int, float, float]] = []
+            self._emit_next = 0
+            self._n_seen = 0
+            self._horizon_seen = 0
+            total_work = 0
+        else:
+            self._arrivals = [
+                (int(math.ceil(spec.release)), spec) for spec in trace.jobs
+            ]
+            self._next_arrival = 0
+            self._flow_steps = np.full(len(trace), np.nan)
+            total_work = sum(int(spec.dag.work) for spec in trace.jobs)
         self.total_work_units = total_work
+        #: release step of the next not-yet-admitted arrival (inf = none):
+        #: the single cursor both modes drive the run loop with
+        self._peek_step: float = (
+            self._arrivals[0][0] if self._arrivals else math.inf
+        )
+        self._peek_spec = None
         # -- event-horizon kernel state ------------------------------------
         #: DREP flags currently armed (maintained by :meth:`arm_flag`); a
         #: fast veto for bulk jumps in "step" mode.  Only a hint — the
@@ -283,11 +337,16 @@ class WsRuntime:
         self._h_vec = m >= 64
         # exactness contract (module docstring): bulk jumps need every
         # node weight — and speed, if heterogeneous — on the dyadic grid,
-        # plus bounded total work so work_steps partial sums stay exact
+        # plus bounded total work so work_steps partial sums stay exact.
+        # Streaming runs start vacuously on-grid and re-verify every job
+        # as it is pulled; a violation only disables *future* jumps, which
+        # is sound — and still bit-identical to the materialized run —
+        # because all bulk math performed while the contract held was
+        # exact, hence order-independent.
         grid = total_work < 2**31
         if grid and speeds is not None:
             grid = _on_grid(speeds)
-        if grid:
+        if grid and not self._streaming:
             for spec in trace.jobs:
                 if not _on_grid(spec.dag.weights):
                     grid = False
@@ -297,6 +356,11 @@ class WsRuntime:
         self.max_steps = config.max_steps or (
             horizon + 50 * total_work + 10_000
         )
+        # streaming max_steps accounting: the stall bound is recomputed on
+        # every pull as horizon_seen + factor * work_seen + const, chosen
+        # to dominate the materialized formula for any prefix
+        self._ms_factor = 50
+        self._ms_const = 10_000
         # -- fault injection (repro.faults): crash/abort plans only -------
         # ``faults`` is a FaultPlan; compiled lazily so this module keeps
         # no import-time dependency on repro.faults
@@ -330,27 +394,85 @@ class WsRuntime:
                 self.max_steps += (
                     int(math.ceil(faults.horizon)) + 50 * total_work + 10_000
                 )
+                self._ms_factor = 100
+                self._ms_const = 20_000 + int(math.ceil(faults.horizon))
         elif autoscale is not None:
             self._live_workers = list(self.workers)
             if config.max_steps is None:
                 # parked capacity stretches the schedule like downtime does
                 self.max_steps += 50 * total_work + 10_000
+                self._ms_factor = 100
+                self._ms_const = 20_000
         self.perf = PerfCounters()
+        if self._streaming:
+            self._pull_next()  # prime the one-job lookahead
+
+    # ------------------------------------------------------------------
+    # lazy ingestion (streaming mode)
+    # ------------------------------------------------------------------
+
+    def _pull_next(self) -> None:
+        """Advance the one-job lookahead cursor from the job stream.
+
+        Validates the pulled spec (DAG attached, non-decreasing release)
+        and folds it into the incremental accounting the materialized
+        constructor does upfront: total work, the grid-exactness
+        contract, and the ``max_steps`` stall bound.
+        """
+        try:
+            spec = next(self._job_iter)
+        except StopIteration:
+            self._peek_spec = None
+            self._peek_step = math.inf
+            return
+        if spec.dag is None:
+            raise ValueError(
+                "wsim needs DAG-attached job streams; see "
+                "workloads.attach_dags_stream"
+            )
+        release_step = int(math.ceil(spec.release))
+        if release_step < self._horizon_seen:
+            raise ValueError(
+                f"job {spec.job_id}: release step {release_step} precedes "
+                f"an earlier arrival at {self._horizon_seen} "
+                "(streams must be sorted by release)"
+            )
+        self._horizon_seen = release_step
+        self._n_seen += 1
+        self.total_work_units += int(spec.dag.work)
+        if self._grid_exact and (
+            self.total_work_units >= 2**31 or not _on_grid(spec.dag.weights)
+        ):
+            self._grid_exact = False  # run loop books the fallback
+        if self.config.max_steps is None:
+            self.max_steps = (
+                self._horizon_seen
+                + self._ms_factor * self.total_work_units
+                + self._ms_const
+            )
+        self._peek_spec = spec
+        self._peek_step = release_step
 
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
-    def run(self, observer=None) -> ScheduleResult:
+    def run(self, observer=None) -> "ScheduleResult | None":
         """Execute to completion.
 
         ``observer``, if given, is called as ``observer(self)`` once per
         simulated step *after* arrivals are admitted and *before* workers
         act — the instant the potential-function analysis reasons about.
         Used by :mod:`repro.analysis.timeline` and the theory tests.
+
+        Returns the dense :class:`ScheduleResult` in materialized mode;
+        ``None`` in streaming mode, where everything already lives in the
+        metrics accumulator (the :func:`simulate_ws_stream` wrapper
+        assembles the :class:`~repro.core.metrics.StreamResult` from it
+        and ``self._run_extra``).
         """
         self.scheduler.reset(self)
-        n = len(self.trace)
+        n = math.inf if self._streaming else len(self.trace)
         # bulk jumps are only sound when the per-step machinery is pure
         # node execution — no observer watching intermediate states, a
         # default (no-op) on_step hook, no per-step invariant sweep — and
@@ -383,14 +505,31 @@ class WsRuntime:
         finish_node = self._finish_node
         horizon_jump = self._horizon_jump
         counters = self.counters
-        arrivals = self._arrivals
-        n_arrivals = len(arrivals)
         flags_immediate = self._flags_immediate
         have_faults = self.faults is not None or self._tick_hook is not None
         speeds = self._speed_list
+        streaming = self._streaming
         max_steps = self.max_steps
         while self._completed < n:
             step = self.step
+            if streaming:
+                if (
+                    not self.active
+                    and self._peek_spec is None
+                    and not self._specs_by_id
+                ):
+                    # every job pulled has completed (and none awaits a
+                    # fault resume): stop here, exactly where the dense
+                    # loop's ``completed == n`` exit lands — leftover
+                    # fault-heap events (recovers past the last
+                    # completion) are dropped unapplied, as there
+                    break
+                # the stall bound and the exactness contract both grow
+                # with the stream; re-read them once per segment
+                max_steps = self.max_steps
+                if horizon_ok and not self._grid_exact:
+                    horizon_ok = False
+                    self.perf.exactness_fallbacks += 1
             if step > max_steps:
                 raise WsimError(
                     f"{self.scheduler.name}: exceeded {max_steps} steps "
@@ -401,34 +540,30 @@ class WsRuntime:
                 # when a job arriving at t is placed
                 self._apply_due_faults()
                 workers = self._live_workers
-            if self._next_arrival < n_arrivals:
-                if arrivals[self._next_arrival][0] <= step:
-                    self._admit_arrivals()
+            if self._peek_step <= step:
+                self._admit_arrivals()
+                if streaming:
+                    max_steps = self.max_steps
+                    if horizon_ok and not self._grid_exact:
+                        horizon_ok = False
+                        self.perf.exactness_fallbacks += 1
             if not self.active:
                 # machine idle: jump to the next arrival or fault point
                 # (a pending recover/resume can be the only future event)
-                nxt = (
-                    arrivals[self._next_arrival][0]
-                    if self._next_arrival < n_arrivals
-                    else None
-                )
-                if have_faults and self._fault_next < (
-                    math.inf if nxt is None else nxt
-                ):
-                    nxt = int(self._fault_next)
-                if nxt is None:
+                nxt = self._peek_step
+                if have_faults and self._fault_next < nxt:
+                    nxt = self._fault_next
+                if nxt == math.inf:
                     break
-                self.step = max(step, nxt)
+                self.step = max(step, int(nxt))
                 continue
             # -- segment: everything up to the next external event.  No
             # arrival can be admitted and no fault can apply before
             # ``horizon``, so the per-step loop drops those checks and
             # bulk jumps are capped so the event lands on its exact step.
             horizon = max_steps + 1
-            if self._next_arrival < n_arrivals:
-                nxt = arrivals[self._next_arrival][0]
-                if nxt < horizon:
-                    horizon = nxt
+            if self._peek_step < horizon:
+                horizon = int(self._peek_step)
             if have_faults and self._fault_next < horizon:
                 horizon = int(self._fault_next)
             # bulk attempt cadence: the verify inside _horizon_jump is
@@ -536,7 +671,12 @@ class WsRuntime:
                 self.step = nstep
                 if self._completed >= n or not self.active:
                     break
-        if np.isnan(self._flow_steps).any():
+        if streaming:
+            if self.active or self._peek_spec is not None or self._done_heap:
+                raise WsimError(
+                    f"{self.scheduler.name}: unfinished jobs at end"
+                )
+        elif np.isnan(self._flow_steps).any():
             raise WsimError(f"{self.scheduler.name}: unfinished jobs at end")
         fault_extra = {}
         if self.faults is not None or self._tick_hook is not None:
@@ -564,8 +704,25 @@ class WsRuntime:
                 "parked_steps": counters.parked_steps,
                 "log": [dict(e) for e in self._fault_log],
             }
-        total_speed = float(self.m if self.speeds is None else self.speeds.sum())
-        max_speed = float(1.0 if self.speeds is None else self.speeds.max())
+        total_speed = self._total_speed
+        max_speed = self._max_speed
+        self._run_extra = {
+            "switches": self.counters.switches,
+            "work_steps": self.counters.work_steps,
+            "failed_steals": self.counters.failed_steals,
+            "idle_steps": self.counters.idle_steps,
+            "overhead_steps": self.counters.overhead_steps,
+            "admissions": self.counters.admissions,
+            "utilization": (
+                self.counters.work_steps / (self.step * total_speed)
+                if self.step
+                else 0.0
+            ),
+            "perf": self._perf_snapshot(),
+            **fault_extra,
+        }
+        if streaming:
+            return None
         return ScheduleResult(
             scheduler=self.scheduler.name,
             m=self.m,
@@ -585,21 +742,7 @@ class WsRuntime:
                     for spec in self.trace.jobs
                 ]
             ),
-            extra={
-                "switches": self.counters.switches,
-                "work_steps": self.counters.work_steps,
-                "failed_steals": self.counters.failed_steals,
-                "idle_steps": self.counters.idle_steps,
-                "overhead_steps": self.counters.overhead_steps,
-                "admissions": self.counters.admissions,
-                "utilization": (
-                    self.counters.work_steps / (self.step * total_speed)
-                    if self.step
-                    else 0.0
-                ),
-                "perf": self._perf_snapshot(),
-                **fault_extra,
-            },
+            extra=self._run_extra,
         )
 
     def _perf_snapshot(self) -> dict:
@@ -687,7 +830,11 @@ class WsRuntime:
             elif kind == "resume":
                 job_id = int(action["job_id"])
                 entry["job_id"] = job_id
-                spec = self.trace.jobs[job_id]
+                spec = (
+                    self._specs_by_id[job_id]
+                    if self._streaming
+                    else self.trace.jobs[job_id]
+                )
                 # fresh JobRun with the *original* release step: all work
                 # re-executes, but flow time still counts from first release
                 job = JobRun(spec, int(math.ceil(spec.release)))
@@ -863,21 +1010,60 @@ class WsRuntime:
     # ------------------------------------------------------------------
 
     def _admit_arrivals(self) -> None:
+        if self._streaming:
+            while self._peek_step <= self.step:
+                spec = self._peek_spec
+                release_step = int(self._peek_step)
+                self._pull_next()
+                self._specs_by_id[spec.job_id] = spec
+                job = JobRun(spec, release_step)
+                self.scheduler.on_arrival(job)
+            return
+        arrivals = self._arrivals
+        n_arrivals = len(arrivals)
         while (
-            self._next_arrival < len(self._arrivals)
-            and self._arrivals[self._next_arrival][0] <= self.step
+            self._next_arrival < n_arrivals
+            and arrivals[self._next_arrival][0] <= self.step
         ):
-            release_step, spec = self._arrivals[self._next_arrival]
+            release_step, spec = arrivals[self._next_arrival]
             self._next_arrival += 1
             job = JobRun(spec, release_step)
             self.scheduler.on_arrival(job)
+        self._peek_step = (
+            arrivals[self._next_arrival][0]
+            if self._next_arrival < n_arrivals
+            else math.inf
+        )
 
     def complete_job(self, job: JobRun) -> None:
         """Called by :meth:`_finish_node` when a job's last node finishes."""
         job.finish_step = self.step
         # completion at the end of this step; arrival at the start of its
         # release step, so flow >= 1 for any job with work
-        self._flow_steps[job.job_id] = self.step + 1 - job.release_step
+        flow = self.step + 1 - job.release_step
+        if self._streaming:
+            # fold-and-forget, strictly in job-id order: jobs finish out
+            # of order, so park late ids on a small heap until the id gap
+            # closes — keeps the metrics stream (and the keep_flow_times
+            # reconstruction) aligned with the dense, id-indexed arrays
+            dag = job.dag
+            min_flow = max(
+                dag.work / self._total_speed,
+                float(dag.span) / self._max_speed,
+                1.0,
+            )
+            heapq.heappush(
+                self._done_heap, (job.job_id, float(flow), min_flow)
+            )
+            self._specs_by_id.pop(job.job_id, None)
+            heap = self._done_heap
+            metrics = self._metrics
+            while heap and heap[0][0] == self._emit_next:
+                _, f, mf = heapq.heappop(heap)
+                metrics.add(f, min_flow=mf)
+                self._emit_next += 1
+        else:
+            self._flow_steps[job.job_id] = flow
         self._completed += 1
         # ``active`` order is semantic: schedulers draw uniformly from it
         # by position, so an O(1) swap-pop would permute later RNG picks
@@ -1377,6 +1563,63 @@ def simulate_ws(
     rt.perf.stop()
     result.extra["perf"] = rt._perf_snapshot()
     return result
+
+
+def simulate_ws_stream(
+    jobs,
+    m: int,
+    scheduler: "WsScheduler",
+    seed: int = 0,
+    config: WsConfig = WsConfig(),
+    speeds: "np.ndarray | None" = None,
+    faults=None,
+    *,
+    keep_flow_times: bool = False,
+    metrics=None,
+):
+    """Run the work-stealing runtime over a lazy job stream in O(active) RAM.
+
+    ``jobs`` is any iterable of DAG-attached :class:`~repro.core.JobSpec`
+    in trace order (a materialized trace's ``.jobs`` works too).  The
+    trajectory — every counter, RNG draw and flow time — is bit-for-bit
+    identical to :func:`simulate_ws` on the materialized trace; only the
+    bookkeeping differs: completed jobs fold into a
+    :class:`~repro.core.metrics.StreamingMetrics` (in job-id order) and
+    their state is freed, so memory tracks the *active* job count, not
+    the trace length.  ``keep_flow_times=True`` opts back into dense
+    retention, letting ``result.to_schedule_result()`` reproduce the
+    materialized :class:`~repro.core.metrics.ScheduleResult` exactly.
+    """
+    from repro.core.metrics import StreamingMetrics, StreamResult
+    from repro.core.rng import derive_seed
+
+    if metrics is None:
+        metrics = StreamingMetrics(
+            keep_flow_times=keep_flow_times,
+            seed=derive_seed(seed, "stream/metrics"),
+        )
+    rt = WsRuntime(
+        jobs, m, scheduler, seed=seed, config=config, speeds=speeds,
+        faults=faults, metrics=metrics,
+    )
+    rt.perf.start()
+    rt.run()
+    rt.perf.stop()
+    rt.perf.capture_memory()
+    extra = dict(rt._run_extra)
+    extra["perf"] = rt._perf_snapshot()
+    extra["streaming"] = True
+    return StreamResult(
+        scheduler=scheduler.name,
+        m=m,
+        metrics=metrics,
+        preemptions=rt.counters.preemptions,
+        migrations=rt.counters.node_migrations,
+        steal_attempts=rt.counters.steal_attempts,
+        muggings=rt.counters.muggings,
+        makespan=float(rt.step),
+        extra=extra,
+    )
 
 
 # imported late to avoid a cycle (schedulers import runtime helpers' types)

@@ -1,0 +1,213 @@
+"""StreamingMetrics: streamed statistics must match the dense arrays.
+
+The Hypothesis property at the heart of the streaming tentpole: folding
+random flow batches in any chunking yields the same summary a dense
+:class:`ScheduleResult` computes from the full arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import ScheduleResult, StreamingMetrics
+
+
+def _chunks(arr: np.ndarray, sizes: list[int]):
+    i = 0
+    for s in sizes:
+        if i >= arr.size:
+            return
+        yield arr[i : i + s]
+        i += s
+    if i < arr.size:
+        yield arr[i:]
+
+
+@st.composite
+def flows_and_chunking(draw):
+    n = draw(st.integers(1, 60))
+    flows = np.array(
+        draw(
+            st.lists(
+                st.floats(0.0, 1e6, allow_nan=False, width=32),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=float,
+    )
+    sizes = draw(st.lists(st.integers(1, 17), min_size=1, max_size=12))
+    with_min = draw(st.booleans())
+    with_weights = draw(st.booleans())
+    min_flows = None
+    weights = None
+    if with_min:
+        min_flows = np.array(
+            draw(
+                st.lists(
+                    st.floats(0.001953125, 1024.0, allow_nan=False, width=32),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=float,
+        )
+    if with_weights:
+        weights = np.array(
+            draw(
+                st.lists(
+                    st.floats(0.001953125, 1024.0, allow_nan=False, width=32),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=float,
+        )
+    return flows, weights, min_flows, sizes
+
+
+@settings(max_examples=120, deadline=None)
+@given(flows_and_chunking())
+def test_streaming_matches_dense_summary(case):
+    flows, weights, min_flows, sizes = case
+    sm = StreamingMetrics(keep_flow_times=True)
+    offset = 0
+    for chunk in _chunks(flows, sizes):
+        k = chunk.size
+        sm.add_batch(
+            chunk,
+            None if weights is None else weights[offset : offset + k],
+            None if min_flows is None else min_flows[offset : offset + k],
+        )
+        offset += k
+
+    dense = ScheduleResult(
+        scheduler="test",
+        m=1,
+        flow_times=flows,
+        weights=weights,
+        min_flows=min_flows,
+    )
+    assert sm.count == flows.size
+    assert sm.max_flow == (flows.max() if flows.size else 0.0)
+    assert sm.mean_flow == pytest.approx(dense.mean_flow, rel=1e-12, abs=1e-12)
+    assert sm.total_flow == pytest.approx(float(flows.sum()), rel=1e-12, abs=1e-9)
+    # keep_flow_times: quantiles are exact regardless of count
+    for q in (0, 25, 50, 95, 99, 100):
+        assert sm.percentile(q) == pytest.approx(
+            float(np.percentile(flows, q)), rel=1e-12, abs=1e-12
+        )
+    # round-trip arrays
+    assert np.array_equal(sm.flow_times, flows)
+    if weights is None:
+        assert sm.weights is None
+    else:
+        assert np.array_equal(sm.weights, weights)
+    if min_flows is None:
+        assert sm.min_flows is None
+        with pytest.raises(ValueError):
+            sm.mean_slowdown()
+    else:
+        assert np.array_equal(sm.min_flows, min_flows)
+        slow = flows / min_flows
+        assert sm.mean_slowdown() == pytest.approx(
+            float(slow.mean()), rel=1e-12, abs=1e-12
+        )
+        assert sm.max_slowdown == pytest.approx(float(slow.max()))
+    if weights is not None:
+        wm = float((weights * flows).sum() / weights.sum())
+        assert sm.weighted_mean_flow() == pytest.approx(wm, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(flows_and_chunking())
+def test_chunking_invariance(case):
+    """Any chunking folds to identical statistics (and reservoir)."""
+    flows, weights, min_flows, sizes = case
+    one = StreamingMetrics(reservoir_size=16, seed=9)
+    one.add_batch(flows, weights, min_flows)
+    many = StreamingMetrics(reservoir_size=16, seed=9)
+    offset = 0
+    for chunk in _chunks(flows, sizes):
+        k = chunk.size
+        many.add_batch(
+            chunk,
+            None if weights is None else weights[offset : offset + k],
+            None if min_flows is None else min_flows[offset : offset + k],
+        )
+        offset += k
+    assert one.count == many.count
+    # compensated totals agree to ~1 ulp across chunkings (exactly equal
+    # is not promised: fsum-per-chunk folds round once per batch)
+    assert one.total_flow == pytest.approx(many.total_flow, rel=1e-13, abs=1e-12)
+    assert one.max_flow == many.max_flow
+    assert one.percentile(50) == many.percentile(50)
+    assert one.percentile(99) == many.percentile(99)
+    assert np.array_equal(
+        one._reservoir[: min(one.count, 16)], many._reservoir[: min(many.count, 16)]
+    )
+
+
+def test_reservoir_estimates_are_seeded_and_bounded():
+    rng = np.random.default_rng(0)
+    flows = rng.exponential(10.0, size=100_000)
+    a = StreamingMetrics(reservoir_size=512, seed=1)
+    b = StreamingMetrics(reservoir_size=512, seed=1)
+    for chunk in np.array_split(flows, 77):
+        a.add_batch(chunk)
+    b.add_batch(flows)
+    assert not a.quantiles_exact
+    assert a.percentile(99) == b.percentile(99)  # chunking-invariant draw
+    # an unbiased 512-sample estimate lands near the true quantile
+    true_p50 = float(np.percentile(flows, 50))
+    assert a.percentile(50) == pytest.approx(true_p50, rel=0.2)
+    # memory model: only the reservoir is retained
+    assert a._reservoir.size == 512
+    assert not a._kept_flows
+
+
+def test_exact_below_reservoir_size():
+    flows = np.arange(1.0, 101.0)
+    sm = StreamingMetrics(reservoir_size=4096)
+    sm.add_batch(flows)
+    assert sm.quantiles_exact
+    assert sm.percentile(50) == pytest.approx(float(np.percentile(flows, 50)))
+
+
+def test_percentile_validation():
+    sm = StreamingMetrics()
+    sm.add(1.0)
+    with pytest.raises(ValueError):
+        sm.percentile(-1)
+    with pytest.raises(ValueError):
+        sm.percentile(101)
+
+
+def test_folded_arrays_unavailable_without_opt_in():
+    sm = StreamingMetrics()
+    sm.add(1.0)
+    with pytest.raises(ValueError, match="keep_flow_times"):
+        _ = sm.flow_times
+    with pytest.raises(ValueError, match="keep_flow_times"):
+        _ = sm.min_flows
+    with pytest.raises(ValueError, match="keep_flow_times"):
+        _ = sm.weights
+
+
+def test_input_validation():
+    sm = StreamingMetrics()
+    with pytest.raises(ValueError, match="1-D"):
+        sm.add_batch(np.zeros((2, 2)))
+    with pytest.raises(ValueError, match="negative"):
+        sm.add_batch(np.array([-1.0]))
+    with pytest.raises(ValueError, match="align"):
+        sm.add_batch(np.array([1.0, 2.0]), np.array([1.0]))
+    with pytest.raises(ValueError, match="align"):
+        sm.add_batch(np.array([1.0, 2.0]), None, np.array([1.0]))
+    with pytest.raises(ValueError, match="positive"):
+        sm.add_batch(np.array([1.0]), None, np.array([0.0]))
+    with pytest.raises(ValueError, match="reservoir_size"):
+        StreamingMetrics(reservoir_size=0)

@@ -33,6 +33,7 @@ class TestBenchSuite:
             "wsim_grid_w1",
             "wsim_grid_auto",
             "autoscale",
+            "flowsim_stream_1m",
             "calibration",
         ]
 

@@ -1,0 +1,181 @@
+"""Streaming wsim (`simulate_ws_stream`) ≡ materialized `simulate_ws`.
+
+The work-stealing runtime completes jobs out of id order, so the
+streaming path buffers finished jobs in a small heap and folds them into
+StreamingMetrics strictly by job id — these tests pin that the whole
+pipeline (lazy DAG attachment included) is bit-for-bit the dense run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.job import ParallelismMode
+from repro.core.metrics import StreamingMetrics
+from repro.faults.plan import random_crash_plan
+from repro.workloads.stream import attach_dags_stream, stream_trace
+from repro.workloads.traces import attach_dags, generate_trace
+from repro.wsim import (
+    WsRuntime,
+    simulate_ws,
+    simulate_ws_stream,
+    ws_scheduler_by_name,
+)
+
+SCHEDULERS = [
+    "drep",
+    "swf",
+    "steal-first",
+    "admit-first",
+    "central-greedy",
+    "rr",
+    "laps",
+]
+
+
+def _dag_trace(n=40, seed=21, parallelism=6):
+    from repro.analysis.experiments import scale_trace
+
+    base = generate_trace(
+        n,
+        "finance",
+        0.6,
+        4,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=seed,
+        scale_work_with_m=False,
+    )
+    return attach_dags(scale_trace(base, 150.0), parallelism=parallelism, seed=seed)
+
+
+def _assert_equivalent(dense, streamed):
+    rebuilt = streamed.to_schedule_result()
+    assert np.array_equal(rebuilt.flow_times, dense.flow_times)
+    assert rebuilt.makespan == dense.makespan
+    assert rebuilt.preemptions == dense.preemptions
+    assert rebuilt.migrations == dense.migrations
+    assert rebuilt.steal_attempts == dense.steal_attempts
+    assert rebuilt.muggings == dense.muggings
+    for key in ("switches", "work_steps", "idle_steps", "utilization"):
+        assert streamed.extra[key] == dense.extra[key], key
+    if dense.min_flows is not None:
+        assert np.array_equal(rebuilt.min_flows, dense.min_flows)
+    assert rebuilt.weights is None and dense.weights is None
+
+
+@pytest.mark.parametrize("key", SCHEDULERS)
+def test_all_schedulers_equivalent(key):
+    trace = _dag_trace()
+    dense = simulate_ws(trace, 4, ws_scheduler_by_name(key), seed=8)
+    streamed = simulate_ws_stream(
+        stream_trace(trace),
+        4,
+        ws_scheduler_by_name(key),
+        seed=8,
+        keep_flow_times=True,
+    )
+    _assert_equivalent(dense, streamed)
+
+
+def test_lazy_dag_attachment_equivalent():
+    """attach_dags_stream inline with the runtime ≡ attach_dags upfront."""
+    from repro.analysis.experiments import scale_trace
+
+    base = generate_trace(
+        30,
+        "finance",
+        0.6,
+        4,
+        mode=ParallelismMode.FULLY_PARALLEL,
+        seed=31,
+        scale_work_with_m=False,
+    )
+    scaled = scale_trace(base, 150.0)
+    dense = simulate_ws(
+        attach_dags(scaled, parallelism=6, seed=33),
+        4,
+        ws_scheduler_by_name("drep"),
+        seed=4,
+    )
+    streamed = simulate_ws_stream(
+        attach_dags_stream(stream_trace(scaled), parallelism=6, seed=33),
+        4,
+        ws_scheduler_by_name("drep"),
+        seed=4,
+        keep_flow_times=True,
+    )
+    _assert_equivalent(dense, streamed)
+
+
+def test_heterogeneous_speeds_equivalent():
+    trace = _dag_trace(n=30, seed=41)
+    speeds = np.array([2.0, 1.0, 1.0, 0.5])
+    dense = simulate_ws(
+        trace, 4, ws_scheduler_by_name("drep"), seed=6, speeds=speeds
+    )
+    streamed = simulate_ws_stream(
+        stream_trace(trace),
+        4,
+        ws_scheduler_by_name("drep"),
+        seed=6,
+        speeds=speeds,
+        keep_flow_times=True,
+    )
+    _assert_equivalent(dense, streamed)
+
+
+@pytest.mark.parametrize("key", ["drep", "steal-first"])
+def test_fault_plans_equivalent(key):
+    trace = _dag_trace(n=30, seed=51)
+    horizon = trace.horizon + 5000.0
+
+    def plan():
+        return random_crash_plan(4, horizon, seed=2, crash_rate=0.001, mttr=50.0)
+
+    dense = simulate_ws(
+        trace, 4, ws_scheduler_by_name(key), seed=9, faults=plan()
+    )
+    streamed = simulate_ws_stream(
+        stream_trace(trace),
+        4,
+        ws_scheduler_by_name(key),
+        seed=9,
+        faults=plan(),
+        keep_flow_times=True,
+    )
+    _assert_equivalent(dense, streamed)
+    assert streamed.extra["faults"] == dense.extra["faults"]
+
+
+def test_streaming_summary_matches_dense():
+    trace = _dag_trace(n=50, seed=61)
+    dense = simulate_ws(trace, 4, ws_scheduler_by_name("drep"), seed=3)
+    streamed = simulate_ws_stream(
+        stream_trace(trace), 4, ws_scheduler_by_name("drep"), seed=3
+    )
+    sm = streamed.metrics
+    assert sm.count == dense.n_jobs
+    assert sm.mean_flow == pytest.approx(dense.mean_flow, rel=1e-12)
+    assert sm.max_flow == float(dense.flow_times.max())
+    assert streamed.extra["streaming"] is True
+
+
+def test_streaming_requires_metrics_sink():
+    trace = _dag_trace(n=10, seed=71)
+    with pytest.raises(ValueError, match="simulate_ws_stream"):
+        WsRuntime(stream_trace(trace), 4, ws_scheduler_by_name("drep"), seed=0)
+
+
+def test_stream_without_dags_rejected():
+    jobs = stream_trace(generate_trace(5, "finance", 0.5, 2, seed=1))
+    with pytest.raises(ValueError, match="attach_dags_stream"):
+        simulate_ws_stream(jobs, 2, ws_scheduler_by_name("drep"), seed=0)
+
+
+def test_perf_counters_capture_memory():
+    trace = _dag_trace(n=20, seed=81)
+    streamed = simulate_ws_stream(
+        stream_trace(trace), 4, ws_scheduler_by_name("drep"), seed=1
+    )
+    assert streamed.extra["perf"].get("peak_rss_mb", 0) > 0
