@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-compare bench-json trajectory-gate sweep-smoke serve-smoke faults-smoke shard-smoke autoscale-smoke stream-smoke figures report examples clean
+.PHONY: install test bench bench-smoke bench-compare bench-json trajectory-gate sweep-smoke serve-smoke faults-smoke shard-smoke autoscale-smoke stream-smoke scaling-smoke figures report examples clean
 
 # perf-trajectory entry number for `make bench-json` (BENCH_$(PR).json)
-PR ?= 9
+PR ?= 10
 
 install:
 	pip install -e '.[test]'
@@ -30,7 +30,7 @@ bench-json:
 # scale and diff it against the committed baseline entry -- any `events`
 # change on a shared case means a frozen workload's behavior moved, and
 # the target exits non-zero.  Timing ratios are printed but not gated.
-BASELINE ?= BENCH_9.json
+BASELINE ?= BENCH_10.json
 bench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --repeats 1 --out /tmp/BENCH_fresh.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare $(BASELINE) /tmp/BENCH_fresh.json --require-drift
@@ -40,7 +40,7 @@ bench-compare:
 # and the newer one must carry the calibration case so its speedups stay
 # drift-normalizable
 trajectory-gate:
-	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare BENCH_8.json BENCH_9.json --require-drift
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --compare BENCH_9.json BENCH_10.json --require-drift
 
 # run a small experiment grid serially and through the process pool and
 # require byte-identical rows (the grid runner's determinism contract)
@@ -80,6 +80,13 @@ autoscale-smoke:
 # spot-check the wsim streaming driver and the SWF-replay CLI
 stream-smoke:
 	$(PYTHON) scripts/stream_smoke.py
+
+# fit the per-event scaling exponent over a 10^2 -> 10^4 staircase
+# ladder on the incremental order/calendar kernels and fail if any
+# policy's slope breaches its bound (SRPT/SJF/FIFO < 0.5; LAPS < 0.85,
+# its served set is Theta(beta*n) by definition)
+scaling-smoke:
+	$(PYTHON) scripts/scaling_smoke.py
 
 figures:
 	$(PYTHON) -m repro.cli figures

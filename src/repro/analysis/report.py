@@ -181,6 +181,11 @@ def stream_summary_rows(summaries: "dict[str, dict]") -> list[dict]:
         }
         if "mean_slowdown" in s:
             row["mean_slowdown"] = float(s["mean_slowdown"])
+        if "slo_attainment" in s:
+            # exact O(1)-memory fold (never a reservoir estimate) — see
+            # StreamingMetrics.slo_attainment
+            row["slo"] = float(s.get("slo_threshold", 0.0))
+            row["slo_attainment"] = round(float(s["slo_attainment"]), 4)
         if perf.get("peak_rss_mb"):
             row["peak_rss_mb"] = round(float(perf["peak_rss_mb"]), 1)
         if perf.get("py_peak_mb"):

@@ -604,6 +604,11 @@ def main(argv: list[str] | None = None) -> int:
         help="flowsim: arrivals pulled per ingest batch",
     )
     p14.add_argument(
+        "--slo", type=float, default=None,
+        help="flow-time SLO threshold: report the attained fraction "
+        "(jobs with flow <= this) in the table and JSON",
+    )
+    p14.add_argument(
         "--json", default=None, help="write the run summary JSON here"
     )
 
@@ -906,6 +911,21 @@ def _bench_compare(old_ref: str, new_ref: str, require_drift: bool = False) -> i
         line += f" {o_mem:7.0f}" if o_mem is not None else f" {'-':>7s}"
         line += f" {n_mem:7.0f}" if n_mem is not None else f" {'-':>7s}"
         print(f"{line}  {n.get('events')}{note}")
+    # incremental-kernel evidence: structure counters and fitted scaling
+    # exponents, where a row recorded them (PR 10's order/calendar core)
+    inc_keys = ("order_ops", "calendar_pops", "calendar_invalidations")
+    for name in sorted(nb):
+        perf = nb[name].get("perf") or {}
+        counters = {k: perf[k] for k in inc_keys if k in perf}
+        exponents = {
+            k: perf[k] for k in sorted(perf) if k.startswith("exponent_")
+        }
+        if counters or exponents:
+            parts = [f"{k}={v}" for k, v in counters.items()]
+            parts += [
+                f"{k.removeprefix('exponent_')}^{v}" for k, v in exponents.items()
+            ]
+            print(f"# {name}: {' '.join(parts)}")
     only_old = sorted(set(ob) - set(nb))
     only_new = sorted(set(nb) - set(ob))
     if only_old:
@@ -1012,6 +1032,19 @@ def _stream(args: argparse.Namespace) -> int:
     try:
         stream = build_stream()
         label = getattr(stream, "name", "stream")
+        # a pre-built accumulator carries the SLO threshold into either
+        # engine; the seed derivation matches the engines' default so
+        # the reservoir quantile sample is unchanged by --slo
+        slo_metrics = None
+        if args.slo is not None:
+            from repro.core.metrics import StreamingMetrics
+            from repro.core.rng import derive_seed
+
+            slo_metrics = StreamingMetrics(
+                keep_flow_times=args.keep_flow_times,
+                seed=derive_seed(args.seed, "stream/metrics"),
+                slo_threshold=args.slo,
+            )
         if args.engine == "wsim":
             from repro.wsim import simulate_ws_stream, ws_scheduler_by_name
 
@@ -1024,6 +1057,7 @@ def _stream(args: argparse.Namespace) -> int:
                 ws_scheduler_by_name(args.scheduler),
                 seed=args.seed,
                 keep_flow_times=args.keep_flow_times,
+                metrics=slo_metrics,
             )
         else:
             from repro.flowsim import policy_by_name, simulate_stream
@@ -1037,6 +1071,7 @@ def _stream(args: argparse.Namespace) -> int:
                 policy_by_name(args.policy),
                 seed=args.seed,
                 keep_flow_times=args.keep_flow_times,
+                metrics=slo_metrics,
                 **kwargs,
             )
     except SwfParseError as exc:

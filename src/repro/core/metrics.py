@@ -231,6 +231,12 @@ class StreamingMetrics:
     retain every per-job value — the bridge back to a dense
     :class:`ScheduleResult` used by the streaming≡materialized golden
     tests.
+
+    ``slo_threshold`` enables SLO-attainment accounting: every folded
+    job with ``flow <= slo_threshold`` counts as attained, and
+    :attr:`slo_attainment` reports the attained fraction.  It is an
+    exact O(1)-memory fold (a counter, not a reservoir estimate), so it
+    stays trustworthy far past the quantile-exactness horizon.
     """
 
     def __init__(
@@ -239,15 +245,24 @@ class StreamingMetrics:
         keep_flow_times: bool = False,
         reservoir_size: int = 4096,
         seed: int = 0,
+        slo_threshold: float | None = None,
     ) -> None:
         if reservoir_size < 1:
             raise ValueError("reservoir_size must be >= 1")
+        if slo_threshold is not None and not slo_threshold > 0:
+            raise ValueError(
+                f"slo_threshold must be positive, got {slo_threshold}"
+            )
         self.keep_flow_times = bool(keep_flow_times)
         self.reservoir_size = int(reservoir_size)
         self.seed = int(seed)
         self._rng = np.random.Generator(
             np.random.PCG64(np.random.SeedSequence([int(seed), 0x5EED]))
         )
+        self.slo_threshold = (
+            None if slo_threshold is None else float(slo_threshold)
+        )
+        self.slo_attained = 0
         self.count = 0
         self.max_flow = 0.0
         self._flow_sum = _CompensatedSum()
@@ -332,6 +347,11 @@ class StreamingMetrics:
             if smx > self.max_slowdown:
                 self.max_slowdown = smx
 
+        if self.slo_threshold is not None:
+            self.slo_attained += int(
+                np.count_nonzero(flows <= self.slo_threshold)
+            )
+
         self._reservoir_fold(flows)
         if self.keep_flow_times:
             self._kept_flows.append(flows.copy())
@@ -404,6 +424,17 @@ class StreamingMetrics:
         return math.sqrt(max(var, 0.0))
 
     @property
+    def slo_attainment(self) -> float | None:
+        """Fraction of folded jobs with ``flow <= slo_threshold``.
+
+        ``None`` when no threshold was configured; 0.0 before any job
+        completes (vacuous attainment would overstate an empty run).
+        """
+        if self.slo_threshold is None:
+            return None
+        return self.slo_attained / self.count if self.count else 0.0
+
+    @property
     def quantiles_exact(self) -> bool:
         """True while every folded flow is still held in the reservoir."""
         return self.count <= self.reservoir_size
@@ -471,6 +502,9 @@ class StreamingMetrics:
         if self._slow_count:
             out["mean_slowdown"] = self.mean_slowdown()
             out["max_slowdown"] = self.max_slowdown
+        if self.slo_threshold is not None:
+            out["slo_threshold"] = self.slo_threshold
+            out["slo_attainment"] = self.slo_attainment
         return out
 
 

@@ -43,6 +43,7 @@ vector reused until the composition of the active set changes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -51,7 +52,9 @@ from repro.core.job import JobSpec, ParallelismMode
 from repro.core.metrics import ScheduleResult
 from repro.core.rng import RngFactory
 from repro.dag.profile import ParallelismProfile
+from repro.flowsim.order import CompletionCalendar, OrderIndex, sparse_sum
 from repro.flowsim.policies.base import ActiveView, Policy
+from repro.flowsim.rates import equal_split
 from repro.perf.counters import PerfCounters
 from repro.workloads.traces import Trace
 
@@ -166,6 +169,34 @@ class FlowSimConfig:
     is bit-for-bit identical to the per-event path (goldens plus the
     batched≡unit Hypothesis suite pin this); ``False`` forces per-event
     stepping, which is mainly useful for equivalence testing.
+
+    ``use_incremental`` enables the O(log n) active-set kernels for
+    policies that declare an
+    :class:`~repro.flowsim.policies.base.OrderSpec`: the engine maintains
+    their priority order incrementally across admissions / completions /
+    fault evictions (:class:`repro.flowsim.order.OrderIndex`), allocates
+    rates by walking only the O(m) order head (or the O(beta n) LAPS
+    share set), and picks the next completion from a lazy-invalidation
+    calendar (:class:`repro.flowsim.order.CompletionCalendar`) instead
+    of the dense finish-time sweep — per-event work then scales with the
+    *change*, not with ``n_active``.  Bit-for-bit identical to the dense
+    path by construction (goldens plus the incremental≡dense Hypothesis
+    suite pin it); ``False`` forces the dense ``np.lexsort`` path, which
+    is mainly useful for equivalence testing and A/B benches.
+
+    ``incremental_min_active`` is the promotion threshold for those
+    kernels: the run starts on the dense paths and switches to the
+    incremental structures the first time the active set reaches this
+    many jobs (one O(n log n) build from the live buffers; promotion is
+    one-way).  Below a thousand-odd active jobs one C-speed
+    ``np.lexsort`` per event beats Python-level order maintenance, so
+    promoting immediately would *slow down* low-concurrency runs — the
+    default sits just under the measured crossover (~1.5k for SRPT and
+    FIFO alike).  ``0`` promotes at construction (the pure-incremental
+    mode the scaling benches and the equivalence suite measure).  The
+    switch is unobservable in results: both paths are bit-for-bit
+    equal, so a promoted run composes two identical trajectory
+    prefixes.
     """
 
     completion_tol: float = 1e-9
@@ -176,12 +207,69 @@ class FlowSimConfig:
     check_every_k: int = 32
     use_rates_array: bool = True
     use_batch_horizon: bool = True
+    use_incremental: bool = True
+    incremental_min_active: int = 1024
 
     def __post_init__(self) -> None:
         if not self.speed > 0:
             raise ValueError("speed must be > 0")
         if self.check_every_k < 1:
             raise ValueError("check_every_k must be >= 1")
+        if self.incremental_min_active < 0:
+            raise ValueError("incremental_min_active must be >= 0")
+
+
+class _IncrementalCore:
+    """Engine-side state for the O(log n) active-set kernels.
+
+    One instance per run of a policy with an
+    :class:`~repro.flowsim.policies.base.OrderSpec`.  Holds the live
+    priority order (:class:`~repro.flowsim.order.OrderIndex`, kept in
+    sync by the admission / completion / fault-eviction hooks), the
+    completion calendar, the cached sparse allocation, and the *dust
+    set* — jobs admitted or resumed already within completion tolerance.
+
+    The dust set is what makes completion detection O(served): every
+    active non-dust job has ``rem > tol`` at segment start (its ``rem``
+    only moves while served, and crossing the tolerance while served is
+    caught in that segment), so the dense ``rem <= tol`` sweep can be
+    replaced by checking the served set plus the dust set.
+
+    ``alloc`` caches ``(positions, rates, rsum)`` — positions into the
+    id-sorted active buffers, ascending; every cached rate is strictly
+    positive, so the positions *are* the served set.  It is invalidated
+    (set to ``None``) at exactly the points the dense path drops
+    ``_rates_cache``: any composition change.  Positions therefore stay
+    valid for the cache's whole lifetime.
+    """
+
+    __slots__ = ("kind", "neg", "share", "beta", "order", "cal",
+                 "cal_jobs", "alloc", "dust")
+
+    def __init__(self, spec, policy: Policy) -> None:
+        self.kind = spec.key
+        self.neg = spec.descending
+        self.share = spec.alloc == "share_topk"
+        self.beta = float(getattr(policy, "beta", 1.0))
+        self.order = OrderIndex()
+        self.cal = CompletionCalendar()
+        self.cal_jobs: set[int] = set()  # jobs with a live calendar entry
+        self.alloc: tuple[np.ndarray, np.ndarray, float] | None = None
+        self.dust: list[int] = []
+
+    def key_tie(self, j: int, rem: float, work: float,
+                rel: float) -> tuple[float, int]:
+        """The ``(key, tie)`` pair job ``j`` sorts under (Python floats —
+        ``(key, tie)`` ascending replicates the policy's lexsort)."""
+        if self.kind == "remaining":
+            k = rem
+        elif self.kind == "work":
+            k = work
+        else:
+            k = rel
+        if self.neg:
+            return -k, -j
+        return k, j
 
 
 class FlowStepper:
@@ -368,6 +456,38 @@ class FlowStepper:
             and not self._record_segments
             and self.faults is None
         )
+        # incremental order/calendar kernels: policies declaring an
+        # OrderSpec get their priority order maintained across events
+        # instead of re-lexsorted per rate rebuild.  Profiles move caps
+        # between events (the order alone no longer determines rates),
+        # timers need views anyway, segment recording wants the dense
+        # vector, and weighted policies fold a table the spec can't see
+        # — all of those fall back to the dense path, as does
+        # use_rates_array=False (the object-path equivalence mode).
+        spec = getattr(self.policy, "order_spec", None)
+        self._inc: _IncrementalCore | None = None
+        self._inc_spec = None
+        if (
+            cfg.use_incremental
+            and spec is not None
+            and self._rates_array_fn is not None
+            and not self._has_timer
+            and not self._use_profiles
+            and not self._record_segments
+            and not hasattr(self.policy, "set_weights")
+        ):
+            self._inc_spec = spec
+        self._inc_min = int(cfg.incremental_min_active)
+        # the incremental batch kernel folds event runs like
+        # _batched_steps; faults interleave non-completion events, so
+        # they force per-event stepping (still incremental per event
+        # once promoted)
+        self._inc_kernel_allowed = (
+            cfg.use_batch_horizon and self.faults is None
+        )
+        self._inc_kernel_ok = False
+        if self._inc_spec is not None and self._na >= self._inc_min:
+            self._inc_promote()
         self.perf = PerfCounters()
 
     # -- introspection -----------------------------------------------------
@@ -753,6 +873,7 @@ class FlowStepper:
         """Admit every pending job whose release is at or before the clock."""
         thresh = self._t * (1.0 + _ADMIT_TOL)
         base = self._base
+        inc = self._inc
         while self._next_arrival < self._n and self._next_rel <= thresh:
             j = self._next_arrival
             r = j - base
@@ -769,11 +890,35 @@ class FlowStepper:
             self._next_arrival += 1
             self._update_next_rel()
             self._rates_cache = None
+            if inc is not None:
+                inc.alloc = None
+                wf = float(w)
+                inc.order.insert(
+                    *inc.key_tie(j, wf, wf, float(self._release[r]))
+                )
+                if w <= self._tol[r]:
+                    inc.dust.append(j)
             if self._has_arrival_hook:
                 self.policy.on_arrival(j, self._build_view())
 
     def _remove_active(self, pos: int) -> None:
         """Drop the job at buffer position ``pos``, compacting left."""
+        inc = self._inc
+        if inc is not None:
+            # the order holds the job's *current* key (the incremental
+            # tail re-keys served jobs before processing completions)
+            j = int(self._a_ids[pos])
+            inc.order.remove(
+                *inc.key_tie(
+                    j,
+                    float(self._a_rem[pos]),
+                    float(self._a_work[pos]),
+                    float(self._a_rel[pos]),
+                )
+            )
+            inc.cal.discard(j)
+            inc.cal_jobs.discard(j)
+            inc.alloc = None
         na = self._na
         self._a_ids[pos : na - 1] = self._a_ids[pos + 1 : na]
         self._a_blk[:, pos : na - 1] = self._a_blk[:, pos + 1 : na]
@@ -793,6 +938,17 @@ class FlowStepper:
         self._a_work[pos] = self._work[r]
         self._a_rel[pos] = self._release[r]
         self._na = na + 1
+        inc = self._inc
+        if inc is not None:
+            inc.alloc = None
+            inc.order.insert(
+                *inc.key_tie(
+                    j, float(rem_val), float(self._work[r]),
+                    float(self._release[r]),
+                )
+            )
+            if rem_val <= self._tol[r]:
+                inc.dust.append(j)
 
     def _apply_due_faults(self) -> None:
         """Apply every fault action scheduled at or before the clock.
@@ -857,7 +1013,11 @@ class FlowStepper:
                 else:
                     entry["applied"] = False
             else:
+                # machine-state change: composition is intact but the
+                # effective capacity moved, so both caches are stale
                 self._rates_cache = None
+                if self._inc is not None:
+                    self._inc.alloc = None
                 if self._has_fault_hook:
                     self.policy.on_fault(action, self._build_view())
             self._fault_log.append(entry)
@@ -921,6 +1081,12 @@ class FlowStepper:
             if horizon is not None:
                 self._t = max(self._t, float(horizon))
             return False  # nothing active, nothing to come
+
+        if self._inc_spec is not None and self._inc is None:
+            if na >= self._inc_min:
+                self._inc_promote()
+        if self._inc is not None:
+            return self._inc_step_tail(horizon, na)
 
         # ---- constant-rate segment until the next event -----------------
         ids = self._a_ids[:na]
@@ -1094,6 +1260,283 @@ class FlowStepper:
                 self._rates_cache = None
         return True
 
+    # -- incremental (O(log n)) kernels ------------------------------------
+
+    def _inc_promote(self) -> None:
+        """Build the order/calendar structures from the live buffers and
+        switch the stepper onto the incremental kernels.
+
+        Runs once per stepper, the first time the active set reaches
+        ``incremental_min_active`` (at construction when the threshold
+        is 0 — or when restoring a snapshot already past it).  One
+        O(n log n) pass seeds the :class:`OrderIndex` with every active
+        job's current ``(key, tie)`` and captures already-within-
+        tolerance jobs into the dust set, exactly the state the
+        structures would hold had they been maintained from the start;
+        the calendar starts empty and fills as segments are served.
+        Promotion is one-way — the dense paths win below the threshold
+        only on constant factors, and demotion would just thrash.
+        """
+        inc = _IncrementalCore(self._inc_spec, self.policy)
+        for k in range(self._na):
+            j = int(self._a_ids[k])
+            inc.order.insert(
+                *inc.key_tie(
+                    j,
+                    float(self._a_rem[k]),
+                    float(self._a_work[k]),
+                    float(self._a_rel[k]),
+                )
+            )
+            if self._a_rem[k] <= self._a_tol[k]:
+                inc.dust.append(j)
+        self._inc = inc
+        self._inc_kernel_ok = self._inc_kernel_allowed
+
+    def _inc_build_alloc(
+        self, na: int, m_view: int
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Sparse rate allocation from the live order: ``(positions,
+        rates, rsum)`` with positions ascending into the id-sorted
+        buffers and every rate strictly positive.
+
+        Bit-for-bit equal to the dense policy compute restricted to its
+        non-zero entries: the prefix walk replicates
+        :func:`~repro.flowsim.rates.priority_waterfill` (same Python
+        floats, same break), the share walk replicates the masked
+        :func:`~repro.flowsim.rates.equal_split` (the gathered call is
+        bitwise equal on members), and ``rsum`` replicates
+        ``float(np.add.reduce(dense))`` via :func:`sparse_sum`.
+        """
+        inc = self._inc
+        if m_view <= 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0, dtype=float), 0.0)
+        ids = self._a_ids[:na]
+        caps = self._a_caps
+        neg = inc.neg
+        limit = m_view < self.m
+        mv = float(m_view)
+        if inc.share:
+            k = max(1, math.ceil(inc.beta * na))
+            head = inc.order.head(k)
+            jl = [(-tie if neg else tie) for _, tie in head]
+            pos = ids.searchsorted(np.asarray(jl, dtype=np.int64))
+            pos.sort()
+            c = self._a_caps[:na][pos]
+            if limit:
+                c = np.minimum(c, mv)
+            rates = equal_split(c, m_view)
+            rsum = sparse_sum(pos.tolist(), rates.tolist(), na)
+            return (pos, rates, rsum)
+        left = mv
+        pl: list[int] = []
+        rl: list[float] = []
+        for _, tie in inc.order:
+            p = int(ids.searchsorted(-tie if neg else tie))
+            c = float(caps[p])
+            if limit and mv < c:
+                c = mv
+            give = c if c < left else left
+            pl.append(p)
+            rl.append(give)
+            left -= give
+            if left <= 0:
+                break
+        pairs = sorted(zip(pl, rl))
+        pl = [p for p, _ in pairs]
+        rl = [g for _, g in pairs]
+        return (
+            np.asarray(pl, dtype=np.int64),
+            np.asarray(rl, dtype=float),
+            sparse_sum(pl, rl, na),
+        )
+
+    def _inc_check_alloc(
+        self, alloc: tuple[np.ndarray, np.ndarray, float],
+        na: int, m_view: int,
+    ) -> None:
+        """Amortized invariant checks on a sparse allocation — the same
+        cap / negativity / total-capacity verification the dense path
+        runs, restricted to the non-zero entries (the zeros it skips
+        satisfy all three trivially)."""
+        pos, rates, rsum = alloc
+        if not pos.size:
+            return
+        if (rates < -_RATE_TOL).any():
+            raise FlowSimError(f"{self.policy.name}: negative rate")
+        caps = self._a_caps[:na][pos]
+        if m_view < self.m:
+            caps = np.minimum(caps, float(m_view))
+        if (rates > caps * (1 + _RATE_TOL) + _RATE_TOL).any():
+            raise FlowSimError(f"{self.policy.name}: rate exceeds per-job cap")
+        if rsum > m_view * (1 + _RATE_TOL) + _RATE_TOL:
+            raise FlowSimError(
+                f"{self.policy.name}: total rate {rsum:.6g} "
+                f"exceeds m={m_view}"
+            )
+
+    def _inc_sync_perf(self) -> None:
+        """Mirror the order/calendar counters into :class:`PerfCounters`
+        (one structure per run, so plain assignment is cumulative)."""
+        inc = self._inc
+        perf = self.perf
+        perf.order_ops = inc.order.ops
+        perf.calendar_pops = inc.cal.pops
+        perf.calendar_invalidations = inc.cal.invalidations
+
+    def _inc_step_tail(self, horizon: float | None, na: int) -> bool:
+        """Incremental completion of one :meth:`step` event.
+
+        Entered after the shared fault / admission / empty-set preamble;
+        replicates the dense constant-rate-segment tail bit for bit —
+        same ``dt`` bound sequence, same progress and busy-time updates,
+        same lowest-id-first completion order with identical hook views
+        — but touches only the served set, the dust set, and O(log n)
+        structure updates instead of sweeping all ``n_active`` entries.
+        Supports fault plans (machine-state changes invalidate the
+        allocation; evictions/resumes flow through the buffer hooks).
+        """
+        inc = self._inc
+        perf = self.perf
+        rem = self._a_rem[:na]
+        if self.faults is not None:
+            m_view = self.faults.m_eff()
+            speed = self._speed * self.faults.speed_factor()
+        else:
+            m_view = self.m
+            speed = self._speed
+        if self.faults is not None and m_view <= 0:
+            # every processor is down: zero rates, no compute, no check
+            # cadence tick — exactly the dense all-down branch
+            self._rates_cache = None
+            inc.alloc = None
+            alloc = (np.empty(0, dtype=np.int64), np.empty(0, dtype=float), 0.0)
+        else:
+            alloc = inc.alloc
+            if alloc is None:
+                perf.rate_misses += 1
+                alloc = self._inc_build_alloc(na, m_view)
+                calls = self._rate_calls
+                self._rate_calls = calls + 1
+                if calls % self._check_k:
+                    perf.checks_skipped += 1
+                else:
+                    perf.checks_run += 1
+                    self._inc_check_alloc(alloc, na, m_view)
+                if self._rates_stable:
+                    inc.alloc = alloc
+            else:
+                perf.rate_hits += 1
+        perf.view_reuses += 1
+        pos, rates, rsum = alloc
+        ns = pos.size
+        cal = inc.cal
+        if ns:
+            rem_s = rem[pos]
+            eff_s = rates * speed if speed != 1.0 else rates
+            served_ids = self._a_ids[:na][pos].tolist()
+            newset = set(served_ids)
+            for j in inc.cal_jobs - newset:
+                cal.discard(j)
+            inc.cal_jobs = newset
+            qs = (rem_s / eff_s).tolist()
+            for i in range(ns):
+                cal.update(served_ids[i], qs[i])
+            dt = cal.min_quotient()
+        else:
+            if inc.cal_jobs:
+                for j in inc.cal_jobs:
+                    cal.discard(j)
+                inc.cal_jobs = set()
+            dt = float("inf")
+        if self._next_arrival < self._n:
+            dt_arr = self._next_rel - self._t
+            if dt_arr < dt:
+                dt = dt_arr
+        if self.faults is not None:
+            ft = self.faults.next_time()
+            if ft is not None and ft > self._t:
+                dt_f = float(ft) - self._t
+                if dt_f < dt:
+                    dt = dt_f
+        if horizon is not None and horizon > self._t:
+            dt_hor = float(horizon) - self._t
+            if dt_hor < dt:
+                dt = dt_hor
+
+        if dt == np.inf:
+            if horizon is not None:
+                return False  # parked at the horizon with idle-rate jobs
+            raise FlowSimError(
+                f"{self.policy.name}: stalled at t={self._t:.6g} with "
+                f"{na} active jobs, zero rates and no "
+                "future events"
+            )
+        if dt < 0:
+            raise FlowSimError(f"{self.policy.name}: negative time step {dt}")
+
+        if dt > 0:
+            if ns:
+                rem[pos] -= eff_s * dt
+            self._busy_time += rsum * dt
+            self._t += dt
+            if inc.kind == "remaining" and ns:
+                # the decremented delta: re-key every served job so the
+                # order tracks live remaining work (SRPT); pre-update
+                # keys come from the gather taken before the scatter
+                order = inc.order
+                neg = inc.neg
+                olds = rem_s.tolist()
+                news = rem[pos].tolist()
+                for i in range(ns):
+                    ov = olds[i]
+                    nv = news[i]
+                    if nv == ov:
+                        continue
+                    j = served_ids[i]
+                    if neg:
+                        order.remove(-ov, -j)
+                        order.insert(-nv, -j)
+                    else:
+                        order.remove(ov, j)
+                        order.insert(nv, j)
+
+        # ---- completions: served ∪ dust covers every candidate ----------
+        done: list[int] = []
+        if ns:
+            nr = rem[pos]
+            dm = nr <= self._a_tol[:na][pos]
+            if dm.any():
+                done = [served_ids[i] for i in np.flatnonzero(dm)]
+        if inc.dust:
+            ds = set(done)
+            for j in inc.dust:
+                # a fault eviction may have removed a dust job before any
+                # segment ran; stale entries are simply dropped
+                if j not in ds and self._active_pos(j) >= 0:
+                    done.append(j)
+            inc.dust.clear()
+            done.sort()
+        if done:
+            base = self._base
+            t = self._t
+            has_hook = self._has_completion_hook
+            for j in done:
+                p = self._active_pos(j)
+                r = j - base
+                # park the final (dust) remaining value in the master
+                # column, as the dense scan does
+                self._rem[r] = self._a_rem[p]
+                self._remove_active(p)  # also syncs order/calendar/alloc
+                self._flow[r] = t - self._release[r]
+                self._completed += 1
+                self._completions.append((j, t))
+                self._rates_cache = None
+                if has_hook:
+                    self.policy.on_completion(j, self._build_view())
+        self._inc_sync_perf()
+        return True
+
     def _batched_steps(self, horizon: float | None) -> bool:
         """Fold a whole run of events into one kernel pass.
 
@@ -1186,9 +1629,18 @@ class FlowStepper:
         # policy's rates_array_patch can update it sparsely; None until
         # the first full compute (or always, without a patch hook)
         vec = None
+        # promotion watch: an order-spec policy still below its
+        # incremental_min_active threshold runs this dense kernel; once
+        # admissions push the active set over the line, exit the pass at
+        # an iteration boundary (state consistent, event not yet
+        # counted) so the caller can promote and re-dispatch
+        inc_pending = self._inc_spec is not None and self._inc is None
+        inc_min = self._inc_min
         ret = True
         try:
             while True:
+                if inc_pending and na >= inc_min:
+                    break
                 ev += 1
                 folded += 1
                 if ev > max_events:
@@ -1509,6 +1961,298 @@ class FlowStepper:
                 perf.batch_events_folded += folded
         return ret
 
+    def _inc_steps(self, horizon: float | None) -> bool:
+        """Incremental completion-horizon kernel: :meth:`_inc_step_tail`
+        fused into a :meth:`_batched_steps`-style event loop.
+
+        Eligibility (``_inc_kernel_ok``) is the per-event incremental
+        gate plus no faults and ``use_batch_horizon`` — the same "nothing
+        interleaves a non-arrival/non-completion event" condition the
+        dense batch kernel needs.  Every iteration replicates one
+        ``step()`` invocation exactly (admission threshold, dt bound
+        sequence, lowest-id-first completions, hook views, event
+        accounting), so goldens and the incremental≡dense suite hold
+        against either dense path.  Per-event cost is O((m + changes)
+        log n): the order walk touches the served head, completions pop
+        from the calendar, and nothing sweeps the active set.
+        """
+        if self._weights_dirty:
+            self._push_weights()
+        max_events = self._max_events
+        if not max_events:
+            max_events = self.config.max_events or default_max_events(self._n)
+            self._max_events = max_events
+        perf = self.perf
+        policy = self.policy
+        inc = self._inc
+        order = inc.order
+        cal = inc.cal
+        dust = inc.dust
+        rekey = inc.kind == "remaining"
+        neg = inc.neg
+        speed = self._speed
+        m = self.m
+        n = self._n
+        has_completion = self._has_completion_hook
+        has_arrival = self._has_arrival_hook
+        check_k = self._check_k
+        admit_mul = 1.0 + _ADMIT_TOL
+        a_ids = self._a_ids
+        a_rem = self._a_rem
+        a_caps = self._a_caps
+        a_tol = self._a_tol
+        a_work = self._a_work
+        a_rel = self._a_rel
+        a_blk = self._a_blk
+        flow = self._flow
+        release = self._release
+        work_all = self._work
+        caps_all = self._caps_all
+        tol_all = self._tol
+        rem_all = self._rem
+        completions = self._completions
+        base = self._base
+        key_tie = inc.key_tie
+        rates_stable = self._rates_stable
+        INF = float("inf")
+        folded = 0
+        ev = self._events
+        t = self._t
+        na = self._na
+        ja = self._next_arrival
+        next_rel = self._next_rel
+        busy = self._busy_time
+        completed = self._completed
+        rate_calls = self._rate_calls
+        c_miss = c_hit = c_run = c_skip = c_reuse = c_views = 0
+        ret = True
+        try:
+            while True:
+                ev += 1
+                folded += 1
+                if ev > max_events:
+                    raise FlowSimError(
+                        f"{policy.name}: exceeded {max_events} events "
+                        f"({completed}/{n} jobs done at "
+                        f"t={t:.6g})"
+                        " — Zeno loop?"
+                    )
+
+                # ---- admit arrivals due now -------------------------
+                thresh = t * admit_mul
+                if next_rel <= thresh:
+                    while ja < n and next_rel <= thresh:
+                        r = ja - base
+                        w = work_all[r]
+                        a_ids[na] = ja
+                        a_rem[na] = w
+                        a_caps[na] = caps_all[r]
+                        a_tol[na] = tol_all[r]
+                        a_work[na] = w
+                        a_rel[na] = release[r]
+                        na += 1
+                        rem_all[r] = w
+                        wf = float(w)
+                        order.insert(*key_tie(ja, wf, wf, float(release[r])))
+                        if w <= tol_all[r]:
+                            dust.append(ja)
+                        inc.alloc = None
+                        ja += 1
+                        next_rel = (
+                            float(release[ja - base]) if ja < n else np.inf
+                        )
+                        if has_arrival:
+                            c_views += 1
+                            policy.on_arrival(
+                                ja - 1,
+                                _make_view(
+                                    t,
+                                    m,
+                                    a_ids[:na],
+                                    a_rem[:na],
+                                    a_work[:na],
+                                    a_rel[:na],
+                                    a_caps[:na],
+                                    speed,
+                                ),
+                            )
+                if not na:
+                    if ja < n:
+                        if horizon is not None and (
+                            next_rel > horizon * admit_mul
+                        ):
+                            t = max(t, float(horizon))
+                            ret = False
+                            break
+                        t = max(t, next_rel)
+                        if horizon is not None and not (
+                            t * admit_mul < horizon
+                        ):
+                            break
+                        continue
+                    if horizon is not None:
+                        t = max(t, float(horizon))
+                    ret = False
+                    break
+
+                # ---- constant-rate segment until the next event -----
+                rem = a_rem[:na]
+                alloc = inc.alloc
+                if alloc is None:
+                    c_miss += 1
+                    alloc = self._inc_build_alloc(na, m)
+                    calls = rate_calls
+                    rate_calls = calls + 1
+                    if calls % check_k:
+                        c_skip += 1
+                    else:
+                        c_run += 1
+                        self._inc_check_alloc(alloc, na, m)
+                    if rates_stable:
+                        inc.alloc = alloc
+                else:
+                    c_hit += 1
+                c_reuse += 1
+                pos, rates, rsum = alloc
+                ns = pos.size
+                if ns:
+                    rem_s = rem[pos]
+                    eff_s = rates * speed if speed != 1.0 else rates
+                    served_ids = a_ids[:na][pos].tolist()
+                    newset = set(served_ids)
+                    for j in inc.cal_jobs - newset:
+                        cal.discard(j)
+                    inc.cal_jobs = newset
+                    qs = (rem_s / eff_s).tolist()
+                    for i in range(ns):
+                        cal.update(served_ids[i], qs[i])
+                    dt = cal.min_quotient()
+                else:
+                    if inc.cal_jobs:
+                        for j in inc.cal_jobs:
+                            cal.discard(j)
+                        inc.cal_jobs = set()
+                    dt = INF
+                if ja < n:
+                    dt_arr = next_rel - t
+                    if dt_arr < dt:
+                        dt = dt_arr
+                if horizon is not None and horizon > t:
+                    dt_hor = float(horizon) - t
+                    if dt_hor < dt:
+                        dt = dt_hor
+
+                if dt == INF:
+                    if horizon is not None:
+                        ret = False
+                        break
+                    raise FlowSimError(
+                        f"{policy.name}: stalled at t={t:.6g} with "
+                        f"{na} active jobs, zero rates and no "
+                        "future events"
+                    )
+                if dt < 0:
+                    raise FlowSimError(
+                        f"{policy.name}: negative time step {dt}"
+                    )
+
+                if dt > 0:
+                    if ns:
+                        rem[pos] -= eff_s * dt
+                    busy += rsum * dt
+                    t += dt
+                    if rekey and ns:
+                        olds = rem_s.tolist()
+                        news = rem[pos].tolist()
+                        for i in range(ns):
+                            ov = olds[i]
+                            nv = news[i]
+                            if nv == ov:
+                                continue
+                            j = served_ids[i]
+                            if neg:
+                                order.remove(-ov, -j)
+                                order.insert(-nv, -j)
+                            else:
+                                order.remove(ov, j)
+                                order.insert(nv, j)
+
+                # ---- completions ------------------------------------
+                done: list[int] = []
+                if ns:
+                    dm = rem[pos] <= a_tol[:na][pos]
+                    if dm.any():
+                        done = [served_ids[i] for i in np.flatnonzero(dm)]
+                if dust:
+                    # no faults here: every dust entry is still active
+                    ds = set(done)
+                    for j in dust:
+                        if j not in ds:
+                            done.append(j)
+                    del dust[:]
+                    done.sort()
+                for j in done:
+                    p = int(a_ids[:na].searchsorted(j))
+                    r = j - base
+                    rem_all[r] = a_rem[p]
+                    order.remove(
+                        *key_tie(
+                            j, float(a_rem[p]), float(a_work[p]),
+                            float(a_rel[p]),
+                        )
+                    )
+                    cal.discard(j)
+                    inc.cal_jobs.discard(j)
+                    a_ids[p : na - 1] = a_ids[p + 1 : na]
+                    a_blk[:, p : na - 1] = a_blk[:, p + 1 : na]
+                    na -= 1
+                    flow[r] = t - release[r]
+                    completed += 1
+                    completions.append((j, t))
+                    inc.alloc = None
+                    if has_completion:
+                        c_views += 1
+                        policy.on_completion(
+                            j,
+                            _make_view(
+                                t,
+                                m,
+                                a_ids[:na],
+                                a_rem[:na],
+                                a_work[:na],
+                                a_rel[:na],
+                                a_caps[:na],
+                                speed,
+                            ),
+                        )
+
+                # ---- batch-window exit ------------------------------
+                if horizon is not None:
+                    if not (t * admit_mul < horizon):
+                        break
+                elif completed == n:
+                    break
+        finally:
+            self._events = ev
+            self._t = t
+            self._na = na
+            self._next_arrival = ja
+            self._next_rel = next_rel
+            self._busy_time = busy
+            self._completed = completed
+            self._rate_calls = rate_calls
+            perf.rate_misses += c_miss
+            perf.rate_hits += c_hit
+            perf.checks_run += c_run
+            perf.checks_skipped += c_skip
+            perf.view_reuses += c_reuse
+            perf.view_builds += c_views
+            if folded:
+                perf.batch_jumps += 1
+                perf.batch_events_folded += folded
+            self._inc_sync_perf()
+        return ret
+
     def advance_to(self, t: float) -> None:
         """Process every event with time ≤ ``t`` and park the clock there.
 
@@ -1516,24 +2260,32 @@ class FlowStepper:
         impossible; the clock never moves backwards).
         """
         t = float(t)
-        if self._batch_ok:
-            while self._t * (1 + _ADMIT_TOL) < t:
-                if not self._batched_steps(t):
-                    break
-            return
         while self._t * (1 + _ADMIT_TOL) < t:
-            if not self.step(horizon=t):
+            if self._inc_spec is not None and self._inc is None:
+                if self._na >= self._inc_min:
+                    self._inc_promote()
+            if self._inc_kernel_ok:
+                ok = self._inc_steps(t)
+            elif self._batch_ok:
+                ok = self._batched_steps(t)
+            else:
+                ok = self.step(horizon=t)
+            if not ok:
                 break
 
     def drain(self) -> None:
         """Step until every registered job has completed."""
-        if self._batch_ok:
-            while self._completed < self._n:
-                if not self._batched_steps(None):
-                    break  # unreachable while jobs remain; defensive
-            return
         while self._completed < self._n:
-            if not self.step():
+            if self._inc_spec is not None and self._inc is None:
+                if self._na >= self._inc_min:
+                    self._inc_promote()
+            if self._inc_kernel_ok:
+                ok = self._inc_steps(None)
+            elif self._batch_ok:
+                ok = self._batched_steps(None)
+            else:
+                ok = self.step()
+            if not ok:
                 break  # unreachable while jobs remain; defensive
 
     # -- streaming harvest -------------------------------------------------
@@ -1656,6 +2408,8 @@ class FlowStepper:
             self._busy_time / (makespan * self.m) if makespan > 0 else 0.0
         )
         self.perf.events = self._events
+        if self._inc is not None:
+            self._inc_sync_perf()
         fault_extra = {}
         if self.faults is not None:
             fault_extra["faults"] = {
@@ -1739,6 +2493,8 @@ class FlowStepper:
                 "check_every_k": self.config.check_every_k,
                 "use_rates_array": self.config.use_rates_array,
                 "use_batch_horizon": self.config.use_batch_horizon,
+                "use_incremental": self.config.use_incremental,
+                "incremental_min_active": self.config.incremental_min_active,
             },
             "t": self._t,
             "next_arrival": self._next_arrival,

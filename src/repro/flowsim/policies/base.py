@@ -15,7 +15,51 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ActiveView", "Policy"]
+__all__ = ["ActiveView", "OrderSpec", "Policy"]
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """Declarative priority order for the engine's incremental kernels.
+
+    A policy whose allocation is a pure function of a *sorted order* over
+    the active set can declare that order here instead of re-sorting on
+    every rate rebuild: the engine then maintains a persistent
+    key-ordered structure (:class:`repro.flowsim.order.OrderIndex`) in
+    O(log n) per admission / completion / fault eviction and feeds the
+    policy's allocation from ``(inserted, removed, decremented)`` deltas
+    — the sparse, incremental complement of the dense
+    ``np.lexsort``-based :meth:`Policy.rates_array` the policy keeps as
+    its ``use_incremental=False`` fallback.
+
+    ``key`` names the per-job sort key: ``"remaining"`` (SRPT — the
+    engine re-keys served jobs after every segment, the *decremented*
+    delta), ``"work"`` (SJF/SWF) or ``"release"`` (FIFO, LAPS).
+    ``descending`` flips both the key and the job-id tie-break (LAPS
+    serves latest arrivals first, ties to the higher id), matching
+    ``np.lexsort((-job_ids, -key))`` exactly as the ascending form
+    matches ``np.lexsort((job_ids, key))``.
+
+    ``alloc`` selects the engine-side sparse allocator, each bit-for-bit
+    equal to the dense twin by construction:
+
+    * ``"prefix"`` — :func:`repro.flowsim.rates.priority_waterfill`
+      over the order: walk the head, grant each job its cap until the
+      machine is full; touches O(m) jobs.
+    * ``"share_topk"`` — :func:`repro.flowsim.rates.equal_split` over
+      the first ``ceil(beta * n)`` jobs of the order (``beta`` read
+      from the policy instance); touches O(beta n) jobs.
+    """
+
+    key: str
+    descending: bool = False
+    alloc: str = "prefix"
+
+    def __post_init__(self) -> None:
+        if self.key not in ("remaining", "work", "release"):
+            raise ValueError(f"unknown order key {self.key!r}")
+        if self.alloc not in ("prefix", "share_topk"):
+            raise ValueError(f"unknown alloc {self.alloc!r}")
 
 
 @dataclass(frozen=True)
@@ -115,6 +159,20 @@ class Policy(abc.ABC):
     #: (erroneous) progress.  Every bundled ``rates_stable`` policy
     #: satisfies all of this and opts in.
     batch_horizon: bool = False
+
+    #: **Incremental-order opt-in** (the flowsim order/calendar
+    #: kernels).  A :class:`OrderSpec` declares that the policy's rate
+    #: vector is fully determined by one sorted order over the active
+    #: set plus an allocation shape, letting the engine maintain that
+    #: order incrementally (``repro.flowsim.order.OrderIndex``) and
+    #: predict completions through a lazy calendar instead of
+    #: re-sorting/rescanning per event.  The spec must describe
+    #: :meth:`rates_array` *exactly* — same keys, same tie-breaks, same
+    #: allocation — since the engine stops calling the hook on the
+    #: incremental path and the equivalence suite pins bit-for-bit
+    #: equality against it.  ``None`` (the default) keeps the policy on
+    #: the dense paths.
+    order_spec: "OrderSpec | None" = None
 
     def reset(self, m: int, rng: np.random.Generator) -> None:
         """Prepare for a fresh run on an ``m``-processor machine."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.flowsim.policies.base import ActiveView, Policy
+from repro.flowsim.policies.base import ActiveView, OrderSpec, Policy
 from repro.flowsim.rates import priority_waterfill
 
 __all__ = ["FIFO"]
@@ -24,6 +24,7 @@ class FIFO(Policy):
     clairvoyant = False
     rates_stable = True  # priority is the static release time
     batch_horizon = True
+    order_spec = OrderSpec(key="release")  # static keys: inserts/removes only
 
     def rates(self, view: ActiveView) -> np.ndarray:
         order = np.lexsort((view.job_ids, view.release))

@@ -18,7 +18,7 @@ import math
 
 import numpy as np
 
-from repro.flowsim.policies.base import ActiveView, Policy
+from repro.flowsim.policies.base import ActiveView, OrderSpec, Policy
 from repro.flowsim.rates import equal_split
 
 __all__ = ["LAPS"]
@@ -30,6 +30,8 @@ class LAPS(Policy):
     clairvoyant = False
     rates_stable = True  # the beta-fraction depends only on releases/ids
     batch_horizon = True
+    # latest-first order, equal split over its first ceil(beta*n) jobs
+    order_spec = OrderSpec(key="release", descending=True, alloc="share_topk")
 
     def __init__(self, beta: float = 0.5) -> None:
         if not 0 < beta <= 1:

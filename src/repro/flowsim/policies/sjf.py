@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.flowsim.policies.base import ActiveView, Policy
+from repro.flowsim.policies.base import ActiveView, OrderSpec, Policy
 from repro.flowsim.rates import priority_waterfill
 
 __all__ = ["SJF", "SWF"]
@@ -25,6 +25,7 @@ class SJF(Policy):
     clairvoyant = True
     rates_stable = True  # priority is the static total work
     batch_horizon = True
+    order_spec = OrderSpec(key="work")  # static keys: inserts/removes only
 
     def rates(self, view: ActiveView) -> np.ndarray:
         order = np.lexsort((view.job_ids, view.work))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.flowsim.policies.base import ActiveView, Policy
+from repro.flowsim.policies.base import ActiveView, OrderSpec, Policy
 from repro.flowsim.rates import priority_waterfill
 
 __all__ = ["SRPT"]
@@ -22,6 +22,9 @@ class SRPT(Policy):
 
     name = "SRPT"
     clairvoyant = True
+    # incremental twin of the lexsort below: the engine keeps the
+    # (remaining, id) order live across events and waterfills its head
+    order_spec = OrderSpec(key="remaining")
 
     def rates(self, view: ActiveView) -> np.ndarray:
         # stable tie-break on job id for reproducibility

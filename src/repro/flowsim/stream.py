@@ -57,6 +57,7 @@ def simulate_stream(
     *,
     keep_flow_times: bool = False,
     metrics: StreamingMetrics | None = None,
+    slo_threshold: float | None = None,
     ingest_chunk: int = DEFAULT_INGEST_CHUNK,
     harvest_every: int = DEFAULT_HARVEST_EVERY,
     faults=None,
@@ -73,6 +74,11 @@ def simulate_stream(
         Bring your own accumulator (e.g. shared across shards); by
         default one is created with a seed derived from ``seed`` so the
         reservoir quantile sample is reproducible.
+    ``slo_threshold``
+        Count jobs with ``flow <= slo_threshold`` as SLO-attained; the
+        attained fraction lands in the summary as ``slo_attainment``
+        (mutually exclusive with a caller-supplied ``metrics``, which
+        already fixed its own threshold).
     ``ingest_chunk``
         How many jobs to register ahead of the clock per stream pull.
         Purely a throughput knob — results are identical for any value.
@@ -92,6 +98,12 @@ def simulate_stream(
         metrics = StreamingMetrics(
             keep_flow_times=keep_flow_times,
             seed=derive_seed(seed, "stream/metrics"),
+            slo_threshold=slo_threshold,
+        )
+    elif slo_threshold is not None:
+        raise ValueError(
+            "pass slo_threshold on the StreamingMetrics you supply, "
+            "not alongside it"
         )
     stepper = FlowStepper(m, policy, seed=seed, config=config, faults=faults)
     stepper.perf.start()

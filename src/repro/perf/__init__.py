@@ -10,7 +10,9 @@ Three pieces:
   Python or via ``drep-sim bench``;
 * :mod:`repro.perf.trajectory` — the ``BENCH_<pr>.json`` trajectory
   format: one file per PR recording that PR's measured throughput, so the
-  repo carries its own perf history and a regression is a diff away.
+  repo carries its own perf history and a regression is a diff away;
+* :mod:`repro.perf.scaling` — active-set scaling ladders and the fitted
+  per-event exponent behind the ``make scaling-smoke`` asymptotics gate.
 """
 
 from repro.perf.counters import PerfCounters
@@ -20,6 +22,12 @@ from repro.perf.bench import (
     BenchCase,
     drift_factor,
     run_bench_suite,
+)
+from repro.perf.scaling import (
+    SCALING_POLICIES,
+    fit_exponent,
+    measure_scaling,
+    staircase_jobs,
 )
 from repro.perf.trajectory import (
     discover_root,
@@ -35,6 +43,10 @@ __all__ = [
     "CALIBRATION_CASE",
     "drift_factor",
     "run_bench_suite",
+    "SCALING_POLICIES",
+    "measure_scaling",
+    "fit_exponent",
+    "staircase_jobs",
     "trajectory_entry",
     "write_trajectory",
     "load_trajectory",

@@ -357,6 +357,97 @@ def _flowsim_stream_case(seed: int):
     return build
 
 
+def _churn_case(seed: int, use_incremental: bool):
+    """High-concurrency streamed staircase: 10⁴ simultaneously active jobs.
+
+    The adversarial regime PR 10 targets — every event touches a
+    10,000-deep active set.  The case runs twice in the suite
+    (``flowsim_churn_10k`` on the incremental kernels,
+    ``flowsim_churn_10k_dense`` on the dense lexsort/scan path) so every
+    BENCH file carries its own interleaved A/B: the pair's wall-time
+    ratio is the incremental speedup on this machine, this run, with no
+    cross-day drift to normalize out.  Results are bit-identical by the
+    equivalence suite, so ``events``/``mean_flow`` must agree between
+    the two rows.
+    """
+
+    def build(scale: float) -> Callable[[], dict]:
+        del scale  # the A/B pair is only comparable at frozen depth
+        from repro.flowsim.engine import FlowSimConfig
+        from repro.flowsim.policies import policy_by_name
+        from repro.flowsim.stream import simulate_stream
+        from repro.perf.scaling import staircase_jobs
+
+        n = 10_000
+        config = FlowSimConfig(use_incremental=use_incremental)
+
+        def run() -> dict:
+            res = simulate_stream(
+                staircase_jobs(n), 8, policy_by_name("fifo"), seed=seed,
+                config=config,
+            )
+            return {
+                "events": int(res.extra["events"]),
+                "n_jobs": res.n_jobs,
+                "mean_flow": res.mean_flow,
+                "perf": dict(res.extra.get("perf", {})),
+            }
+
+        return run
+
+    return build
+
+
+def _active_scaling_case(seed: int):
+    """Fitted active-set scaling exponents (the PR 10 asymptotics gate).
+
+    Runs the staircase ladder 10²→10⁴ for every order-driven policy on
+    the incremental kernels and records the per-policy fitted exponent
+    of wall-per-event vs n_active (``perf["exponent_<policy>"]``) plus
+    the summed structure counters.  Deliberately ignores ``--scale``:
+    exponents are only comparable on a frozen ladder.  The slope, unlike
+    wall time, is machine-drift-free — it is the number the trajectory
+    tracks.  ``scripts/scaling_smoke.py`` gates CI on the same
+    measurement.
+    """
+
+    def build(scale: float) -> Callable[[], dict]:
+        del scale
+        from repro.perf.scaling import SCALING_POLICIES, measure_scaling
+
+        def run() -> dict:
+            res = measure_scaling((100, 1_000, 10_000), seed=seed)
+            perf: dict = {}
+            events = 0
+            flows = []
+            for key in SCALING_POLICIES:
+                perf[f"exponent_{key}"] = round(res[key]["exponent"], 4)
+                for p in res[key]["points"]:
+                    events += p["events"]
+                    flows.append(p["mean_flow"])
+                    for counter in (
+                        "order_ops",
+                        "calendar_pops",
+                        "calendar_invalidations",
+                    ):
+                        if counter in p:
+                            perf[counter] = perf.get(counter, 0) + p[counter]
+            return {
+                "events": events,
+                "n_jobs": sum(
+                    p["n_active"]
+                    for key in SCALING_POLICIES
+                    for p in res[key]["points"]
+                ),
+                "mean_flow": sum(flows) / len(flows),
+                "perf": perf,
+            }
+
+        return run
+
+    return build
+
+
 def _autoscale_case(seed: int):
     """Closed-loop elastic capacity over the flow engine (repro.autoscale).
 
@@ -425,6 +516,18 @@ BENCH_CASES: tuple[BenchCase, ...] = (
     BenchCase("autoscale", "grid", _autoscale_case(308)),
     BenchCase(
         "flowsim_stream_1m", "flowsim", _flowsim_stream_case(309), max_repeats=1
+    ),
+    BenchCase(
+        "flowsim_churn_10k", "flowsim", _churn_case(310, True), max_repeats=2
+    ),
+    BenchCase(
+        "flowsim_churn_10k_dense",
+        "flowsim",
+        _churn_case(310, False),
+        max_repeats=1,
+    ),
+    BenchCase(
+        "active_scaling", "flowsim", _active_scaling_case(311), max_repeats=1
     ),
     BenchCase(CALIBRATION_CASE, "flowsim", _calibration_case(399)),
 )

@@ -14,8 +14,12 @@ completion-horizon batch kernel absorbed (``batch_jumps`` kernel entries
 folding ``batch_events_folded`` events that would otherwise each have
 been a ``step()`` call, of which ``batch_rate_patches`` decision points
 refreshed the rate vector through the policy's sparse
-``rates_array_patch`` instead of a full ``rates_array`` rebuild), and
-what the grid-runner pool dispatched
+``rates_array_patch`` instead of a full ``rates_array`` rebuild), what
+the incremental order/calendar kernels did (``order_ops`` structural
+mutations of the live priority order, ``calendar_pops`` heap pops and
+``calendar_invalidations`` superseded entries in the completion
+calendar — see ``docs/performance.md`` for the per-policy complexity
+table they evidence), and what the grid-runner pool dispatched
 (``pool_tasks`` cells over ``pool_chunks`` chunks across ``pool_workers``
 workers, with ``pool_shm_traces`` traces shipped once as
 ``pool_shm_bytes`` of shared memory instead of being regenerated per
@@ -52,6 +56,9 @@ class PerfCounters:
         "batch_jumps",
         "batch_events_folded",
         "batch_rate_patches",
+        "order_ops",
+        "calendar_pops",
+        "calendar_invalidations",
         "pool_tasks",
         "pool_chunks",
         "pool_workers",
@@ -77,6 +84,9 @@ class PerfCounters:
         self.batch_jumps = 0
         self.batch_events_folded = 0
         self.batch_rate_patches = 0
+        self.order_ops = 0
+        self.calendar_pops = 0
+        self.calendar_invalidations = 0
         self.pool_tasks = 0
         self.pool_chunks = 0
         self.pool_workers = 0

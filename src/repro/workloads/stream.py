@@ -48,6 +48,7 @@ __all__ = [
     "attach_dags_stream",
     "calibrate_load",
     "peak_window",
+    "resample_stream",
     "DEFAULT_CHUNK_JOBS",
 ]
 
@@ -434,5 +435,102 @@ def peak_window(
             "window_start": t0,
             "window_work": best_work,
             "source_jobs": n_seen,
+        },
+    )
+
+
+def resample_stream(
+    source,
+    n_jobs: int,
+    seed: int = 0,
+    *,
+    name: str | None = None,
+    chunk_jobs: int = DEFAULT_CHUNK_JOBS,
+) -> JobStream:
+    """Bootstrap-resample a trace into an ``n_jobs``-long stream.
+
+    One bounded scan of ``source`` (a factory or in-memory trace, as for
+    :func:`calibrate_load`) collects the empirical inter-arrival gaps
+    and per-job ``(work, span, mode, weight)`` tuples; the returned
+    stream then draws ``n_jobs`` jobs *with replacement* — gaps i.i.d.
+    from the gap sample and cumulated into releases, job bodies sampled
+    jointly by source index so the work/span/mode correlations of the
+    original trace survive.  This is how a short parsed SWF segment is
+    stretched into an arbitrarily long synthetic trace with the same
+    marginal size and burst structure.
+
+    Replay-deterministic: draws come from the library's named RNG
+    streams (``"resample/arrivals"`` / ``"resample/jobs"``), and
+    both draws consume the bitstream element-wise, so the output is a
+    function of ``(source, n_jobs, seed)`` alone — ``chunk_jobs`` is a
+    pure throughput knob.  Memory is O(source jobs) for the empirical
+    sample (three float arrays plus a mode table) and O(``chunk_jobs``)
+    while streaming.
+    """
+    if n_jobs < 1:
+        raise ValueError("n_jobs must be >= 1")
+    if chunk_jobs < 1:
+        raise ValueError("chunk_jobs must be >= 1")
+    factory = _as_factory(source)
+    releases: list[float] = []
+    works: list[float] = []
+    spans: list[float] = []
+    weights: list[float] = []
+    modes: list[ParallelismMode] = []
+    src_name = "trace"
+    for spec in factory():
+        releases.append(spec.release)
+        works.append(spec.work)
+        spans.append(spec.span)
+        weights.append(spec.weight)
+        modes.append(spec.mode)
+        if spec.dag is not None:
+            raise ValueError(
+                "resample_stream cannot bootstrap DAG-attached jobs; "
+                "resample the bare trace and attach_dags_stream after"
+            )
+    src_name = getattr(source, "name", src_name)
+    n_src = len(works)
+    if n_src < 2:
+        raise ValueError(
+            f"need >= 2 source jobs for an inter-arrival sample, got {n_src}"
+        )
+    gaps = np.diff(np.asarray(releases, dtype=float))
+    work_arr = np.asarray(works, dtype=float)
+    span_arr = np.asarray(spans, dtype=float)
+    weight_arr = np.asarray(weights, dtype=float)
+
+    def _jobs() -> Iterator[JobSpec]:
+        rngs = RngFactory(seed)
+        gap_rng = rngs.stream("resample/arrivals")
+        job_rng = rngs.stream("resample/jobs")
+        t = 0.0
+        i = 0
+        while i < n_jobs:
+            c = min(chunk_jobs, n_jobs - i)
+            g = gaps[gap_rng.integers(0, gaps.size, size=c)]
+            idx = job_rng.integers(0, n_src, size=c)
+            for k in range(c):
+                t += float(g[k])
+                j = int(idx[k])
+                yield JobSpec(
+                    job_id=i + k,
+                    release=t,
+                    work=float(work_arr[j]),
+                    span=float(span_arr[j]),
+                    mode=modes[j],
+                    weight=float(weight_arr[j]),
+                )
+            i += c
+
+    return JobStream(
+        _jobs(),
+        name=name or f"resample-{src_name}-n{n_jobs}",
+        meta={
+            "seed": seed,
+            "n_jobs": n_jobs,
+            "source": src_name,
+            "source_jobs": n_src,
+            "chunk_jobs": chunk_jobs,
         },
     )

@@ -211,3 +211,53 @@ def test_input_validation():
         sm.add_batch(np.array([1.0]), None, np.array([0.0]))
     with pytest.raises(ValueError, match="reservoir_size"):
         StreamingMetrics(reservoir_size=0)
+
+
+class TestSloAttainment:
+    def test_exact_counter_fold(self):
+        sm = StreamingMetrics(slo_threshold=5.0)
+        sm.add_batch(np.array([1.0, 5.0, 5.0 + 1e-9, 12.0]))
+        assert sm.slo_attained == 2  # boundary flow == threshold attains
+        sm.add(4.0)
+        assert sm.slo_attained == 3
+        assert sm.slo_attainment == pytest.approx(0.6)
+        s = sm.summary()
+        assert s["slo_threshold"] == 5.0
+        assert s["slo_attainment"] == pytest.approx(0.6)
+
+    def test_absent_without_threshold(self):
+        sm = StreamingMetrics()
+        sm.add(1.0)
+        assert sm.slo_attainment is None
+        assert "slo_attainment" not in sm.summary()
+        assert "slo_threshold" not in sm.summary()
+
+    def test_empty_run_attains_nothing(self):
+        sm = StreamingMetrics(slo_threshold=1.0)
+        assert sm.slo_attainment == 0.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="slo_threshold"):
+            StreamingMetrics(slo_threshold=0.0)
+        with pytest.raises(ValueError, match="slo_threshold"):
+            StreamingMetrics(slo_threshold=-2.0)
+
+    def test_exact_beyond_reservoir(self):
+        # the fold is a plain counter, so it stays exact long after the
+        # quantile reservoir switches to estimates
+        sm = StreamingMetrics(reservoir_size=8, slo_threshold=100.0)
+        flows = np.arange(1.0, 201.0)  # 1..200, exactly half attain
+        sm.add_batch(flows)
+        assert not sm.quantiles_exact
+        assert sm.slo_attained == 100
+        assert sm.slo_attainment == pytest.approx(0.5)
+
+    def test_batching_invariance(self):
+        flows = np.linspace(0.5, 30.0, 173)
+        one = StreamingMetrics(slo_threshold=9.0)
+        one.add_batch(flows)
+        many = StreamingMetrics(slo_threshold=9.0)
+        for i in range(0, 173, 7):
+            many.add_batch(flows[i : i + 7])
+        assert one.slo_attained == many.slo_attained
+        assert one.slo_attainment == many.slo_attainment

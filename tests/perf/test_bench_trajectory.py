@@ -34,6 +34,9 @@ class TestBenchSuite:
             "wsim_grid_auto",
             "autoscale",
             "flowsim_stream_1m",
+            "flowsim_churn_10k",
+            "flowsim_churn_10k_dense",
+            "active_scaling",
             "calibration",
         ]
 

@@ -12,6 +12,7 @@ from repro.workloads.stream import (
     calibrate_load,
     generate_stream,
     peak_window,
+    resample_stream,
     scan_stream,
     stream_trace,
 )
@@ -170,3 +171,61 @@ class TestAttachDagsStream:
     def test_rejects_bad_work_unit(self):
         with pytest.raises(ValueError):
             attach_dags_stream([], parallelism=2, work_unit=0.0)
+
+
+class TestResampleStream:
+    def _source(self):
+        return generate_trace(60, "bing", 0.7, 4, seed=9)
+
+    def test_contract_and_support(self):
+        src = self._source()
+        out = list(resample_stream(src, 250, seed=5))
+        assert [j.job_id for j in out] == list(range(250))
+        assert all(
+            a.release <= b.release for a, b in zip(out, out[1:])
+        )
+        src_bodies = {(j.work, j.span, j.mode) for j in src.jobs}
+        assert {(j.work, j.span, j.mode) for j in out} <= src_bodies
+        # releases are a running sum, so recovered gaps differ from the
+        # drawn ones only by accumulation rounding
+        src_gaps = sorted(
+            b.release - a.release for a, b in zip(src.jobs, src.jobs[1:])
+        )
+        for a, b in zip(out, out[1:]):
+            g = b.release - a.release
+            nearest = min(src_gaps, key=lambda x: abs(x - g))
+            assert g == pytest.approx(nearest, rel=1e-9, abs=1e-9)
+
+    def test_deterministic_and_chunk_invariant(self):
+        src = self._source()
+        a = list(resample_stream(src, 200, seed=5, chunk_jobs=1))
+        b = list(resample_stream(src, 200, seed=5, chunk_jobs=64))
+        c = list(resample_stream(src, 200, seed=5))
+        assert a == b == c
+        d = list(resample_stream(src, 200, seed=6))
+        assert a != d
+
+    def test_factory_source(self):
+        jobs = [_spec(i, float(i), work=1.0 + i) for i in range(10)]
+        out = list(resample_stream(lambda: iter(jobs), 30, seed=0))
+        assert len(out) == 30
+        assert all(j.work in {1.0 + i for i in range(10)} for j in out)
+
+    def test_rejects_degenerate_inputs(self):
+        jobs = [_spec(0, 0.0)]
+        with pytest.raises(ValueError, match=">= 2 source jobs"):
+            resample_stream(lambda: iter(jobs), 10)
+        with pytest.raises(ValueError, match="n_jobs"):
+            resample_stream(self._source(), 0)
+        with pytest.raises(ValueError, match="chunk_jobs"):
+            resample_stream(self._source(), 10, chunk_jobs=0)
+
+    def test_rejects_dag_jobs(self):
+        base = generate_trace(
+            10, "finance", 0.6, 4,
+            mode=ParallelismMode.FULLY_PARALLEL, seed=2,
+            scale_work_with_m=False,
+        )
+        dag_trace = attach_dags(base, parallelism=4, seed=2)
+        with pytest.raises(ValueError, match="DAG"):
+            resample_stream(dag_trace, 5)
